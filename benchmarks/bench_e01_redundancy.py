@@ -1,0 +1,50 @@
+"""E1 — Examples 3.1 / 3.2: the ones-vector and diag operators are redundant."""
+
+import numpy as np
+
+from benchmarks.conftest import as_float
+from repro.experiments import Table
+from repro.matlang.ast import Diag, OneVector
+from repro.matlang.builder import var
+from repro.matlang.evaluator import evaluate
+from repro.matlang.instance import Instance
+from repro.stdlib.basic import diag_via_for, ones_via_for
+from repro.experiments.workloads import random_matrix, random_vector
+
+DIMENSIONS = (2, 4, 8, 16)
+
+
+def _instances(dimension: int):
+    matrix = random_matrix(dimension, seed=dimension)
+    vector = random_vector(dimension, seed=dimension)
+    return Instance.from_matrices({"A": matrix, "u": vector})
+
+
+def test_ones_redundancy(benchmark, record_experiment):
+    table = Table(("n", "max |1(e) - for-loop|", "agree"), title="E1a: ones via for-loop")
+    passed = True
+    for dimension in DIMENSIONS:
+        instance = _instances(dimension)
+        primitive = as_float(evaluate(OneVector(var("A")), instance))
+        via_for = as_float(evaluate(ones_via_for(), instance))
+        gap = float(np.max(np.abs(primitive - via_for)))
+        agree = gap < 1e-12
+        passed = passed and agree
+        table.add_row(dimension, gap, agree)
+    benchmark(lambda: evaluate(ones_via_for(), _instances(DIMENSIONS[-1])))
+    record_experiment("E1", table, passed)
+
+
+def test_diag_redundancy(benchmark, record_experiment):
+    table = Table(("n", "max |diag(e) - for-loop|", "agree"), title="E1b: diag via for-loop")
+    passed = True
+    for dimension in DIMENSIONS:
+        instance = _instances(dimension)
+        primitive = as_float(evaluate(Diag(var("u")), instance))
+        via_for = as_float(evaluate(diag_via_for("u"), instance))
+        gap = float(np.max(np.abs(primitive - via_for)))
+        agree = gap < 1e-12
+        passed = passed and agree
+        table.add_row(dimension, gap, agree)
+    benchmark(lambda: evaluate(diag_via_for("u"), _instances(DIMENSIONS[-1])))
+    record_experiment("E1", table, passed)

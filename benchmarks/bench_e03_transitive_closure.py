@@ -1,0 +1,42 @@
+"""E3 — Example 3.5: the Floyd-Warshall expression computes the transitive closure."""
+
+import numpy as np
+
+from benchmarks.conftest import as_float
+from repro.experiments import Table
+from repro.matlang.evaluator import evaluate
+from repro.matlang.instance import Instance
+from repro.semiring import BOOLEAN
+from repro.stdlib.graphs import transitive_closure_floyd_warshall, transitive_closure_indicator
+from repro.experiments.workloads import random_digraph, reachability_closure
+
+DIMENSIONS = (4, 6, 8, 10)
+
+
+def test_floyd_warshall_matches_reference(benchmark, record_experiment):
+    table = Table(
+        ("n", "edges", "reachable pairs", "matches reference", "boolean agrees"),
+        title="E3: Floyd-Warshall transitive closure",
+    )
+    passed = True
+    for dimension in DIMENSIONS:
+        adjacency = random_digraph(dimension, probability=0.3, seed=dimension)
+        reference = reachability_closure(adjacency)
+        instance = Instance.from_matrices({"A": adjacency})
+        indicator = as_float(evaluate(transitive_closure_indicator("A"), instance))
+        boolean_instance = Instance.from_matrices({"A": adjacency}, semiring=BOOLEAN)
+        boolean = evaluate(transitive_closure_floyd_warshall("A"), boolean_instance)
+        boolean_as_float = np.array(
+            [[1.0 if boolean[i, j] else 0.0 for j in range(dimension)] for i in range(dimension)]
+        )
+        matches = np.allclose(indicator, reference)
+        boolean_matches = np.allclose(boolean_as_float, reference)
+        passed = passed and matches and boolean_matches
+        table.add_row(
+            dimension, int(adjacency.sum()), int(reference.sum()), matches, boolean_matches
+        )
+
+    adjacency = random_digraph(8, probability=0.3, seed=1)
+    instance = Instance.from_matrices({"A": adjacency})
+    benchmark(lambda: evaluate(transitive_closure_indicator("A"), instance))
+    record_experiment("E3", table, passed)

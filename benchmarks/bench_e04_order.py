@@ -1,0 +1,42 @@
+"""E4 — Section 3.2: order predicates on canonical vectors."""
+
+import numpy as np
+
+from benchmarks.conftest import as_float
+from repro.experiments import Table
+from repro.matlang.evaluator import evaluate
+from repro.matlang.instance import Instance
+from repro.stdlib.order import e_max, e_min, prev_matrix, s_less, s_less_equal
+
+DIMENSIONS = (2, 4, 8, 16)
+
+
+def _instance(dimension: int) -> Instance:
+    return Instance.from_matrices({"A": np.zeros((dimension, dimension))})
+
+
+def test_order_predicates(benchmark, record_experiment):
+    table = Table(
+        ("n", "S<= correct", "S< correct", "Prev correct", "e_min/e_max correct"),
+        title="E4: order on canonical vectors",
+    )
+    passed = True
+    for dimension in DIMENSIONS:
+        instance = _instance(dimension)
+        leq = as_float(evaluate(s_less_equal(), instance))
+        less = as_float(evaluate(s_less(), instance))
+        prev = as_float(evaluate(prev_matrix(), instance))
+        first = as_float(evaluate(e_min(), instance)).ravel()
+        last = as_float(evaluate(e_max(), instance)).ravel()
+
+        leq_ok = np.allclose(leq, np.triu(np.ones((dimension, dimension))))
+        less_ok = np.allclose(less, np.triu(np.ones((dimension, dimension)), k=1))
+        prev_ok = np.allclose(prev, np.eye(dimension, k=1))
+        extremes_ok = first[0] == 1.0 and first.sum() == 1.0 and last[-1] == 1.0 and last.sum() == 1.0
+        row_ok = leq_ok and less_ok and prev_ok and extremes_ok
+        passed = passed and row_ok
+        table.add_row(dimension, leq_ok, less_ok, prev_ok, extremes_ok)
+
+    instance = _instance(12)
+    benchmark(lambda: evaluate(s_less_equal(), instance))
+    record_experiment("E4", table, passed)

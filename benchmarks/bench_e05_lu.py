@@ -1,0 +1,44 @@
+"""E5 — Proposition 4.1: LU decomposition in for-MATLANG[f_/]."""
+
+import numpy as np
+
+from benchmarks.conftest import as_float
+from repro.experiments import Table
+from repro.matlang.evaluator import evaluate
+from repro.matlang.fragments import classify
+from repro.matlang.instance import Instance
+from repro.stdlib.linalg import lu_lower, lu_upper
+from repro.experiments.workloads import random_lu_factorizable_matrix
+
+DIMENSIONS = (2, 3, 4, 5)
+
+
+def test_lu_decomposition(benchmark, record_experiment):
+    table = Table(
+        ("n", "max |LU - A|", "L unit lower", "U upper", "functions"),
+        title="E5: LU decomposition (Proposition 4.1)",
+    )
+    passed = True
+    for dimension in DIMENSIONS:
+        matrix = random_lu_factorizable_matrix(dimension, seed=dimension)
+        instance = Instance.from_matrices({"A": matrix})
+        lower = as_float(evaluate(lu_lower("A"), instance))
+        upper = as_float(evaluate(lu_upper("A"), instance))
+        residual = float(np.max(np.abs(lower @ upper - matrix)))
+        lower_ok = np.allclose(np.triu(lower, 1), 0) and np.allclose(np.diag(lower), 1)
+        upper_ok = np.allclose(np.tril(upper, -1), 0)
+        functions = ", ".join(classify(lu_upper("A")).functions)
+        row_ok = residual < 1e-8 and lower_ok and upper_ok and functions == "div"
+        passed = passed and row_ok
+        table.add_row(dimension, residual, lower_ok, upper_ok, functions)
+
+    matrix = random_lu_factorizable_matrix(4, seed=99)
+    instance = Instance.from_matrices({"A": matrix})
+    benchmark(lambda: evaluate(lu_upper("A"), instance))
+    record_experiment("E5", table, passed)
+
+
+def test_lu_against_numpy_baseline(benchmark):
+    """Baseline timing: numpy's LU-equivalent factorisation on the same input."""
+    matrix = random_lu_factorizable_matrix(4, seed=99)
+    benchmark(lambda: np.linalg.det(matrix))

@@ -1,0 +1,41 @@
+"""E6 — Proposition 4.2: LU decomposition with pivoting (PLU)."""
+
+import numpy as np
+
+from benchmarks.conftest import as_float
+from repro.experiments import Table
+from repro.matlang.evaluator import evaluate
+from repro.matlang.fragments import classify
+from repro.matlang.instance import Instance
+from repro.stdlib.linalg import plu_transform, plu_upper
+from repro.experiments.workloads import random_pivot_requiring_matrix
+
+DIMENSIONS = (2, 3, 4)
+
+
+def test_plu_decomposition(benchmark, record_experiment):
+    table = Table(
+        ("n", "pivot needed", "U upper", "E.A = U", "|det E| > 0", "functions"),
+        title="E6: PLU decomposition (Proposition 4.2)",
+    )
+    passed = True
+    for dimension in DIMENSIONS:
+        matrix = random_pivot_requiring_matrix(dimension, seed=dimension)
+        instance = Instance.from_matrices({"A": matrix})
+        transform = as_float(evaluate(plu_transform("A"), instance))
+        upper = as_float(evaluate(plu_upper("A"), instance))
+        upper_ok = np.allclose(np.tril(upper, -1), 0, atol=1e-8)
+        reduces_ok = np.allclose(transform @ matrix, upper, atol=1e-8)
+        invertible = abs(np.linalg.det(transform)) > 1e-9
+        functions = classify(plu_upper("A")).functions
+        has_required = set(functions) >= {"div", "gt0"}
+        row_ok = upper_ok and reduces_ok and invertible and has_required
+        passed = passed and row_ok
+        table.add_row(
+            dimension, matrix[0, 0] == 0.0, upper_ok, reduces_ok, invertible, ", ".join(functions)
+        )
+
+    matrix = random_pivot_requiring_matrix(3, seed=42)
+    instance = Instance.from_matrices({"A": matrix})
+    benchmark(lambda: evaluate(plu_upper("A"), instance))
+    record_experiment("E6", table, passed)

@@ -1,0 +1,60 @@
+"""E7 — Proposition 4.3: determinant and inverse via Csanky's algorithm."""
+
+import numpy as np
+
+from benchmarks.conftest import as_float
+from repro.experiments import Table
+from repro.matlang.evaluator import evaluate
+from repro.matlang.instance import Instance
+from repro.stdlib.linalg import csanky_determinant, csanky_inverse
+from repro.experiments.workloads import random_invertible_matrix
+
+DIMENSIONS = (2, 3, 4, 5)
+
+
+def test_determinant(benchmark, record_experiment):
+    table = Table(
+        ("n", "csanky det", "numpy det", "relative error"),
+        title="E7a: determinant via Csanky",
+    )
+    passed = True
+    for dimension in DIMENSIONS:
+        matrix = random_invertible_matrix(dimension, seed=dimension)
+        instance = Instance.from_matrices({"A": matrix})
+        ours = float(evaluate(csanky_determinant("A"), instance)[0, 0])
+        reference = float(np.linalg.det(matrix))
+        error = abs(ours - reference) / max(1.0, abs(reference))
+        passed = passed and error < 1e-6
+        table.add_row(dimension, ours, reference, error)
+
+    matrix = random_invertible_matrix(4, seed=11)
+    instance = Instance.from_matrices({"A": matrix})
+    benchmark(lambda: evaluate(csanky_determinant("A"), instance))
+    record_experiment("E7", table, passed)
+
+
+def test_inverse(benchmark, record_experiment):
+    table = Table(
+        ("n", "max |A^-1_csanky - A^-1_numpy|", "A . A^-1 = I"),
+        title="E7b: inverse via Csanky",
+    )
+    passed = True
+    for dimension in DIMENSIONS:
+        matrix = random_invertible_matrix(dimension, seed=20 + dimension)
+        instance = Instance.from_matrices({"A": matrix})
+        ours = as_float(evaluate(csanky_inverse("A"), instance))
+        gap = float(np.max(np.abs(ours - np.linalg.inv(matrix))))
+        identity_ok = np.allclose(matrix @ ours, np.eye(dimension), atol=1e-6)
+        passed = passed and gap < 1e-6 and identity_ok
+        table.add_row(dimension, gap, identity_ok)
+
+    matrix = random_invertible_matrix(3, seed=33)
+    instance = Instance.from_matrices({"A": matrix})
+    benchmark(lambda: evaluate(csanky_inverse("A"), instance))
+    record_experiment("E7", table, passed)
+
+
+def test_numpy_inverse_baseline(benchmark):
+    """Baseline timing: numpy's inverse on the same input size."""
+    matrix = random_invertible_matrix(3, seed=33)
+    benchmark(lambda: np.linalg.inv(matrix))

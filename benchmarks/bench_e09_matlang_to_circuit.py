@@ -1,0 +1,60 @@
+"""E9 — Theorem 5.3 / Corollary 5.4: for-MATLANG compiles to circuit families."""
+
+import numpy as np
+
+from repro.circuits import circuit_statistics, compile_expression
+from repro.experiments import Table
+from repro.matlang.evaluator import evaluate
+from repro.matlang.instance import Instance
+from repro.matlang.schema import Schema
+from repro.stdlib import four_clique_count, trace, transitive_closure_floyd_warshall
+from repro.experiments.workloads import random_digraph, random_matrix
+
+SCHEMA = Schema({"A": ("alpha", "alpha")})
+EXPRESSIONS = {
+    "trace": trace("A"),
+    "A*A": None,  # filled below to keep the table ordering explicit
+    "4-clique": four_clique_count("A"),
+    "floyd-warshall": transitive_closure_floyd_warshall("A"),
+}
+
+
+def _workload(name: str, dimension: int) -> np.ndarray:
+    if name in ("4-clique", "floyd-warshall"):
+        return random_digraph(dimension, probability=0.4, seed=dimension)
+    return random_matrix(dimension, seed=dimension)
+
+
+def test_compilation_preserves_semantics(benchmark, record_experiment):
+    from repro.matlang.builder import var
+
+    EXPRESSIONS["A*A"] = var("A") @ var("A")
+    table = Table(
+        ("expression", "n", "gates", "wires", "depth", "degree", "matches evaluator"),
+        title="E9: for-MATLANG -> arithmetic circuits",
+    )
+    passed = True
+    for name, expression in EXPRESSIONS.items():
+        for dimension in (2, 3, 4):
+            matrix = _workload(name, dimension)
+            compiled = compile_expression(expression, SCHEMA, dimension)
+            stats = circuit_statistics(compiled.circuit)
+            direct = np.asarray(
+                evaluate(expression, Instance.from_matrices({"A": matrix})), float
+            )
+            via_circuit = compiled.evaluate({"A": matrix})
+            matches = np.allclose(direct, via_circuit, atol=1e-8)
+            passed = passed and matches
+            table.add_row(
+                name, dimension, stats.num_gates, stats.num_wires, stats.depth, stats.degree, matches
+            )
+
+    benchmark(lambda: compile_expression(four_clique_count("A"), SCHEMA, 4))
+    record_experiment("E9", table, passed)
+
+
+def test_compiled_circuit_evaluation_speed(benchmark):
+    """Timing: evaluating the compiled circuit (the repeated-use payoff of compilation)."""
+    compiled = compile_expression(trace("A"), SCHEMA, 8)
+    matrix = random_matrix(8, seed=3)
+    benchmark(lambda: compiled.evaluate({"A": matrix}))

@@ -1,0 +1,44 @@
+"""E10 — Propositions 5.5 / 6.1: degree analysis of for-MATLANG expressions."""
+
+from repro.circuits import compile_expression
+from repro.experiments import Table
+from repro.matlang.builder import forloop, var
+from repro.matlang.degree import analyse_degree, circuit_degree_for_dimension
+from repro.matlang.schema import Schema
+from repro.stdlib import diagonal_product, four_clique_count, trace
+
+SCHEMA = Schema({"A": ("alpha", "alpha")})
+SCALAR_SCHEMA = Schema({"A": ("1", "1"), "v": ("alpha", "1")})
+
+
+def test_degree_certificates_and_growth(benchmark, record_experiment):
+    e_exp = forloop("v", "X", var("X") @ var("X"), init=var("A"))
+    cases = {
+        "trace (sum-MATLANG)": (trace("A"), SCHEMA, True),
+        "4-clique (sum-MATLANG)": (four_clique_count("A"), SCHEMA, True),
+        "diagonal product (FO)": (diagonal_product("A"), SCHEMA, True),
+        "e_exp = for v, X=A. X*X": (e_exp, SCALAR_SCHEMA, False),
+    }
+    table = Table(
+        ("expression", "certified polynomial", "degree n=2", "degree n=3", "degree n=4"),
+        title="E10: degree analysis (Prop. 5.5 / 6.1)",
+    )
+    passed = True
+    for name, (expression, schema, expect_polynomial) in cases.items():
+        report = analyse_degree(expression)
+        degrees = [circuit_degree_for_dimension(expression, schema, n) for n in (2, 3, 4)]
+        passed = passed and (report.certified_polynomial == expect_polynomial)
+        table.add_row(name, report.certified_polynomial, *degrees)
+
+    # Shape claim: e_exp degree doubles with n while sum-MATLANG stays flat.
+    exp_degrees = [circuit_degree_for_dimension(e_exp, SCALAR_SCHEMA, n) for n in (2, 3, 4, 5)]
+    passed = passed and exp_degrees == [4, 8, 16, 32]
+    sum_degrees = [circuit_degree_for_dimension(trace("A"), SCHEMA, n) for n in (2, 3, 4, 5)]
+    passed = passed and sum_degrees == [1, 1, 1, 1]
+
+    benchmark(lambda: analyse_degree(four_clique_count("A")))
+    record_experiment("E10", table, passed)
+
+
+def test_exact_degree_computation_speed(benchmark):
+    benchmark(lambda: circuit_degree_for_dimension(diagonal_product("A"), SCHEMA, 6))

@@ -1,0 +1,61 @@
+"""E14 — Section 6.3 / Proposition 6.8: the prod-MATLANG fragment."""
+
+import numpy as np
+
+from benchmarks.conftest import as_float
+from repro.experiments import Table
+from repro.matlang.builder import had, prod, ssum, var
+from repro.matlang.evaluator import evaluate
+from repro.matlang.fragments import Fragment, minimal_fragment
+from repro.matlang.instance import Instance
+from repro.stdlib.graphs import transitive_closure_product
+from repro.stdlib.linalg import csanky_inverse
+from repro.experiments.workloads import random_digraph, random_invertible_matrix, reachability_closure
+
+
+def test_prod_fragment_claims(benchmark, record_experiment):
+    table = Table(
+        ("claim", "n", "holds"),
+        title="E14: prod-MATLANG computes TC; with order, matrix inversion",
+    )
+    passed = True
+
+    # (a) e_TC = f_>0(Pi v. (I + A)) computes the reflexive-transitive closure.
+    for dimension in (4, 6, 8):
+        adjacency = random_digraph(dimension, probability=0.3, seed=dimension)
+        instance = Instance.from_matrices({"A": adjacency})
+        closure = as_float(evaluate(transitive_closure_product("A"), instance))
+        expected = np.clip(reachability_closure(adjacency) + np.eye(dimension), 0, 1)
+        holds = np.allclose(closure, expected)
+        passed = passed and holds
+        table.add_row("e_TC computes reflexive TC", dimension, holds)
+
+    # (b) The Hadamard quantifier is expressible with the product quantifier:
+    # on diagonal matrices Pi-o and Pi agree entrywise on the diagonal.
+    for dimension in (3, 5):
+        diagonal = np.diag(np.arange(1.0, dimension + 1.0))
+        instance = Instance.from_matrices({"A": diagonal})
+        hadamard = as_float(evaluate(had("v", var("A")), instance))
+        product = as_float(evaluate(prod("v", var("A")), instance))
+        holds = np.allclose(np.diag(hadamard), np.diag(product))
+        passed = passed and holds
+        table.add_row("Pi-o subsumed by Pi on diagonals (Prop. 6.8)", dimension, holds)
+
+    # (c) Csanky inversion uses only Sigma / Pi quantifiers plus order and f_/.
+    inverse_expression = csanky_inverse("A")
+    uses_only_quantifiers_and_order = minimal_fragment(inverse_expression) in (
+        Fragment.PROD_MATLANG,
+        Fragment.FOR_MATLANG,
+    )
+    for dimension in (3, 4):
+        matrix = random_invertible_matrix(dimension, seed=50 + dimension)
+        instance = Instance.from_matrices({"A": matrix})
+        inverse = as_float(evaluate(inverse_expression, instance))
+        holds = np.allclose(inverse, np.linalg.inv(matrix), atol=1e-6)
+        passed = passed and holds and uses_only_quantifiers_and_order
+        table.add_row("Csanky inversion with Pi + S_< + f_/", dimension, holds)
+
+    adjacency = random_digraph(6, probability=0.3, seed=77)
+    instance = Instance.from_matrices({"A": adjacency})
+    benchmark(lambda: evaluate(transitive_closure_product("A"), instance))
+    record_experiment("E14", table, passed)

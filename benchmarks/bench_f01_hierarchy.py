@@ -1,0 +1,55 @@
+"""F1 — Figure 1: the fragment hierarchy and query placements."""
+
+import numpy as np
+
+from repro.experiments import Table, build_figure1, render_figure1
+from repro.experiments.figure1 import hierarchy_chain
+from repro.kalgebra.matlang_to_ra import evaluate_via_relational
+from repro.matlang.evaluator import evaluate
+from repro.matlang.instance import Instance
+from repro.stdlib import four_clique_count, trace
+from repro.wlogic import evaluate_formula, structure_from_instance, translate_fo_matlang
+from repro.experiments.workloads import random_integer_matrix
+
+
+def test_figure1_placements(benchmark, record_experiment):
+    table, consistent = build_figure1()
+    benchmark(build_figure1)
+    record_experiment("F1", table, consistent, notes=render_figure1().splitlines()[0])
+
+
+def test_figure1_equivalence_arrows(benchmark, record_experiment):
+    """Spot-check the three equivalence arrows of Figure 1 on one instance."""
+    matrix = random_integer_matrix(4, seed=8)
+    instance = Instance.from_matrices({"A": matrix})
+    table = Table(("arrow", "witness expression", "holds"), title="F1b: equivalence arrows")
+
+    # sum-MATLANG = RA+_K (Corollary 6.5).
+    ra_matches = np.allclose(
+        np.asarray(evaluate(four_clique_count("A"), instance), float),
+        np.asarray(evaluate_via_relational(four_clique_count("A"), instance), float),
+    )
+    table.add_row("sum-MATLANG = RA+_K", "4-clique", ra_matches)
+
+    # FO-MATLANG = WL (Proposition 6.7).
+    formula = translate_fo_matlang(trace("A"), instance.schema)
+    wl_matches = np.isclose(
+        float(evaluate(trace("A"), instance)[0, 0]),
+        float(evaluate_formula(formula, structure_from_instance(instance))),
+    )
+    table.add_row("FO-MATLANG = WL", "trace", wl_matches)
+
+    # for-MATLANG = arithmetic circuits (Corollary 5.4).
+    from repro.circuits import compile_expression
+    from repro.matlang.schema import Schema
+
+    compiled = compile_expression(trace("A"), Schema({"A": ("alpha", "alpha")}), 4)
+    circuit_matches = np.isclose(
+        compiled.evaluate({"A": matrix})[0, 0], float(evaluate(trace("A"), instance)[0, 0])
+    )
+    table.add_row("for-MATLANG = circuits", "trace", circuit_matches)
+
+    passed = ra_matches and wl_matches and circuit_matches
+    chain_ok = list(hierarchy_chain()) == sorted(hierarchy_chain())
+    benchmark(lambda: evaluate(trace("A"), instance))
+    record_experiment("F1", table, passed and chain_ok)

@@ -1,0 +1,68 @@
+"""P1 — Interpreter cost: MATLANG evaluation versus direct numpy baselines.
+
+This experiment is reproduction-specific (the paper has no performance
+study): it quantifies the overhead of interpreting for-MATLANG expressions
+over numpy, which is the practical cost a downstream user of the library
+pays for the expressiveness guarantees.
+"""
+
+import numpy as np
+
+from repro.experiments import Table
+from repro.matlang.builder import var
+from repro.matlang.evaluator import Evaluator, evaluate
+from repro.matlang.instance import Instance
+from repro.matlang.typecheck import annotate
+from repro.stdlib import trace, transitive_closure_indicator
+from repro.experiments.workloads import random_digraph, random_matrix, reachability_closure
+
+DIMENSION = 16
+
+
+def _instance() -> Instance:
+    return Instance.from_matrices({"A": random_matrix(DIMENSION, seed=0)})
+
+
+def test_matmul_interpreter(benchmark):
+    instance = _instance()
+    expression = var("A") @ var("A")
+    result = benchmark(lambda: evaluate(expression, instance))
+    assert np.allclose(
+        np.asarray(result, float),
+        np.asarray(instance.matrix("A"), float) @ np.asarray(instance.matrix("A"), float),
+    )
+
+
+def test_matmul_numpy_baseline(benchmark):
+    matrix = random_matrix(DIMENSION, seed=0)
+    benchmark(lambda: matrix @ matrix)
+
+
+def test_trace_interpreter(benchmark):
+    instance = _instance()
+    benchmark(lambda: evaluate(trace("A"), instance))
+
+
+def test_trace_numpy_baseline(benchmark):
+    matrix = random_matrix(DIMENSION, seed=0)
+    benchmark(lambda: np.trace(matrix))
+
+
+def test_transitive_closure_interpreter(benchmark):
+    adjacency = random_digraph(8, probability=0.3, seed=2)
+    instance = Instance.from_matrices({"A": adjacency})
+    result = benchmark(lambda: evaluate(transitive_closure_indicator("A"), instance))
+    assert np.allclose(np.asarray(result, float), reachability_closure(adjacency))
+
+
+def test_transitive_closure_python_baseline(benchmark):
+    adjacency = random_digraph(8, probability=0.3, seed=2)
+    benchmark(lambda: reachability_closure(adjacency))
+
+
+def test_reusing_annotated_expression(benchmark):
+    """Pre-annotating the expression amortises type inference across calls."""
+    instance = _instance()
+    evaluator = Evaluator(instance)
+    typed = annotate(trace("A"), instance.schema)
+    benchmark(lambda: evaluator.run_typed(typed))

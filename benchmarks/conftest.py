@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark module reproduces one experiment of the index in DESIGN.md /
+``repro.experiments.registry``: it times the workload with pytest-benchmark
+and asserts the qualitative claim ("who wins / what shape the result has"),
+printing the reproduced table so that ``pytest benchmarks/ --benchmark-only``
+regenerates the rows recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentRecord, Table, experiment_info
+
+
+@pytest.fixture
+def record_experiment(capsys):
+    """Print an experiment record so it appears in the benchmark log."""
+
+    def _record(identifier: str, table: Table, passed: bool, notes: str = "") -> None:
+        info = experiment_info(identifier)
+        record = ExperimentRecord(identifier, info.description, table, passed, notes)
+        with capsys.disabled():
+            print()
+            print(record.render())
+        assert passed, f"experiment {identifier} claim check failed"
+
+    return _record
+
+
+def as_float(matrix) -> np.ndarray:
+    """Convenience conversion used by several benchmark modules."""
+    return np.asarray(matrix, dtype=np.float64)

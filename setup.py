@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file only exists so
+that legacy (non-PEP 517) editable installs work on environments that lack
+the ``wheel`` package, e.g. ``pip install -e . --no-use-pep517``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,39 @@
+"""Reproduction of "Expressive Power of Linear Algebra Query Languages" (PODS 2021).
+
+The package implements the matrix query language MATLANG, its extension with
+for-loops over canonical vectors (for-MATLANG), the fragments sum-MATLANG,
+FO-MATLANG and prod-MATLANG, together with the substrates the paper relates
+them to: commutative semirings, arithmetic circuits, K-relations with the
+positive relational algebra RA+_K, weighted logics, and deterministic Turing
+machines as the uniformity device for circuit families.
+
+The most frequently used entry points are re-exported here:
+
+>>> from repro import matlang, semiring, stdlib
+>>> expr = matlang.parse("for v, X . X + v")
+"""
+
+from repro.exceptions import (
+    CircuitError,
+    EvaluationError,
+    FragmentError,
+    ParseError,
+    ReproError,
+    SchemaError,
+    SemiringError,
+    TypingError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CircuitError",
+    "EvaluationError",
+    "FragmentError",
+    "ParseError",
+    "ReproError",
+    "SchemaError",
+    "SemiringError",
+    "TypingError",
+    "__version__",
+]

@@ -1,0 +1,56 @@
+"""Arithmetic circuits (Section 5).
+
+Arithmetic circuits are the yardstick the paper measures for-MATLANG against:
+Theorem 5.1 / Corollary 5.2 show that uniform circuit families of polynomial
+degree can be simulated by for-MATLANG expressions, and Theorem 5.3 /
+Corollary 5.4 give the converse.  This subpackage provides
+
+* the circuit data structure and evaluator (:mod:`repro.circuits.circuit`),
+* size / depth / degree analysis (:mod:`repro.circuits.analysis`),
+* standard uniform circuit families (:mod:`repro.circuits.builders`,
+  :mod:`repro.circuits.families`),
+* the two-stack depth-first evaluation algorithm of Appendix D.2
+  (:mod:`repro.circuits.stack_machine`),
+* the for-MATLANG -> circuit compiler of Theorem 5.3
+  (:mod:`repro.circuits.from_matlang`), and
+* the circuit -> for-MATLANG translation in the direction of Theorem 5.1
+  (:mod:`repro.circuits.to_matlang`).
+"""
+
+from repro.circuits.analysis import CircuitStatistics, circuit_statistics
+from repro.circuits.builders import (
+    balanced_sum_family,
+    elementary_symmetric_two_family,
+    inner_product_family,
+    monomial_family,
+    power_family,
+    product_family,
+    sum_family,
+)
+from repro.circuits.circuit import Circuit, Gate, GateKind
+from repro.circuits.families import UniformCircuitFamily, family_from_machine
+from repro.circuits.from_matlang import CompiledExpression, compile_expression
+from repro.circuits.stack_machine import StackMachineTrace, evaluate_with_stacks
+from repro.circuits.to_matlang import circuit_to_expression
+
+__all__ = [
+    "Circuit",
+    "CircuitStatistics",
+    "CompiledExpression",
+    "Gate",
+    "GateKind",
+    "StackMachineTrace",
+    "UniformCircuitFamily",
+    "balanced_sum_family",
+    "circuit_statistics",
+    "circuit_to_expression",
+    "compile_expression",
+    "elementary_symmetric_two_family",
+    "evaluate_with_stacks",
+    "family_from_machine",
+    "inner_product_family",
+    "monomial_family",
+    "power_family",
+    "product_family",
+    "sum_family",
+]

@@ -1,0 +1,95 @@
+"""Structural analysis of arithmetic circuits.
+
+The quantities of interest in Section 5 are the circuit's *size* (gates plus
+wires), *depth* (longest output-to-input path) and *degree* (the degree of the
+polynomial it computes, defined gate-inductively).  :func:`circuit_statistics`
+collects them together with gate-kind counts, and
+:func:`is_polynomial_degree_family` checks empirically whether a family's
+degree growth is bounded by a polynomial of a given order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence, Tuple
+
+from repro.circuits.circuit import Circuit, GateKind
+
+
+@dataclass(frozen=True)
+class CircuitStatistics:
+    """A summary of the structural parameters of one circuit."""
+
+    name: str
+    num_gates: int
+    num_wires: int
+    size: int
+    depth: int
+    degree: int
+    num_inputs: int
+    num_outputs: int
+    gate_counts: Tuple[Tuple[str, int], ...]
+
+    def as_dict(self) -> Dict[str, object]:
+        """A plain dictionary, convenient for table rendering."""
+        return {
+            "name": self.name,
+            "gates": self.num_gates,
+            "wires": self.num_wires,
+            "size": self.size,
+            "depth": self.depth,
+            "degree": self.degree,
+            "inputs": self.num_inputs,
+            "outputs": self.num_outputs,
+        }
+
+
+def circuit_statistics(circuit: Circuit) -> CircuitStatistics:
+    """Compute the structural statistics of ``circuit``."""
+    counts: Dict[str, int] = {}
+    for gate in circuit.gates:
+        counts[gate.kind.value] = counts.get(gate.kind.value, 0) + 1
+    return CircuitStatistics(
+        name=circuit.name,
+        num_gates=circuit.num_gates(),
+        num_wires=circuit.num_wires(),
+        size=circuit.size(),
+        depth=circuit.depth(),
+        degree=circuit.degree(),
+        num_inputs=len(circuit.input_indices),
+        num_outputs=len(circuit.outputs),
+        gate_counts=tuple(sorted(counts.items())),
+    )
+
+
+def degree_growth(
+    family: Callable[[int], Circuit], dimensions: Sequence[int]
+) -> Tuple[Tuple[int, int], ...]:
+    """The degree of ``family(n)`` for each ``n`` in ``dimensions``."""
+    return tuple((n, family(n).degree()) for n in dimensions)
+
+
+def is_polynomial_degree_family(
+    family: Callable[[int], Circuit],
+    dimensions: Sequence[int],
+    order: int = 3,
+) -> bool:
+    """Empirical polynomial-degree check: ``degree(Phi_n) <= C * n^order``.
+
+    The constant ``C`` is calibrated on the smallest dimension.  This is a
+    heuristic witness used by the experiments (the exact property is
+    undecidable in general, Proposition 5.5).
+    """
+    points = degree_growth(family, dimensions)
+    if not points:
+        return True
+    first_n, first_degree = points[0]
+    constant = max(1.0, first_degree / max(1, first_n) ** order)
+    return all(degree <= constant * n**order + 1e-9 for n, degree in points)
+
+
+def depth_growth(
+    family: Callable[[int], Circuit], dimensions: Sequence[int]
+) -> Tuple[Tuple[int, int], ...]:
+    """The depth of ``family(n)`` for each ``n`` in ``dimensions``."""
+    return tuple((n, family(n).depth()) for n in dimensions)

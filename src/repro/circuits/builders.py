@@ -1,0 +1,102 @@
+"""Standard uniform arithmetic circuit families.
+
+Each function returns, for a dimension ``n``, a concrete circuit with ``n``
+input gates labelled ``x_1, ..., x_n`` and a single output gate.  Together
+with :class:`repro.circuits.families.UniformCircuitFamily` these are the
+workloads of the circuit <-> for-MATLANG experiments (E8 / E9): they cover
+logarithmic-depth sums, linear-depth sums, products (degree ``n``), inner
+products, elementary symmetric polynomials, and powers of a single variable.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.circuits.circuit import Circuit
+
+
+def _input_gates(circuit: Circuit, count: int) -> List[int]:
+    return [circuit.add_input(f"x_{index + 1}") for index in range(count)]
+
+
+def sum_family(dimension: int) -> Circuit:
+    """``Phi_n = x_1 + ... + x_n`` as a single unbounded fan-in sum gate."""
+    circuit = Circuit(name=f"sum_{dimension}", simplify=False)
+    inputs = _input_gates(circuit, dimension)
+    circuit.mark_output(circuit.add_sum(inputs))
+    return circuit
+
+
+def balanced_sum_family(dimension: int) -> Circuit:
+    """``x_1 + ... + x_n`` computed by a balanced tree of binary sum gates.
+
+    Depth ``ceil(log2 n)`` — the logarithmic-depth shape Theorem 5.1 assumes.
+    """
+    circuit = Circuit(name=f"balanced_sum_{dimension}", simplify=False)
+    level = _input_gates(circuit, dimension)
+    while len(level) > 1:
+        next_level = []
+        for start in range(0, len(level) - 1, 2):
+            next_level.append(circuit.add_sum([level[start], level[start + 1]]))
+        if len(level) % 2 == 1:
+            next_level.append(level[-1])
+        level = next_level
+    circuit.mark_output(level[0])
+    return circuit
+
+
+def product_family(dimension: int) -> Circuit:
+    """``Phi_n = x_1 * x_2 * ... * x_n`` — degree ``n``."""
+    circuit = Circuit(name=f"product_{dimension}", simplify=False)
+    inputs = _input_gates(circuit, dimension)
+    circuit.mark_output(circuit.add_product(inputs))
+    return circuit
+
+
+def inner_product_family(dimension: int) -> Circuit:
+    """``sum_i x_i * x_{i + n/2}`` — the inner product of the two input halves.
+
+    For odd ``n`` the unpaired middle input contributes ``x_m * x_m``.
+    """
+    circuit = Circuit(name=f"inner_product_{dimension}", simplify=False)
+    inputs = _input_gates(circuit, dimension)
+    half = max(1, dimension // 2)
+    products = []
+    for index in range(half):
+        partner = min(index + half, dimension - 1)
+        products.append(circuit.add_product([inputs[index], inputs[partner]]))
+    circuit.mark_output(circuit.add_sum(products))
+    return circuit
+
+
+def elementary_symmetric_two_family(dimension: int) -> Circuit:
+    """``e_2(x) = sum_{i < j} x_i x_j`` — a quadratic, polynomial-size family."""
+    circuit = Circuit(name=f"esym2_{dimension}", simplify=False)
+    inputs = _input_gates(circuit, dimension)
+    products = []
+    for i in range(dimension):
+        for j in range(i + 1, dimension):
+            products.append(circuit.add_product([inputs[i], inputs[j]]))
+    if not products:
+        circuit.mark_output(circuit.add_constant(0.0))
+    else:
+        circuit.mark_output(circuit.add_sum(products))
+    return circuit
+
+
+def power_family(dimension: int) -> Circuit:
+    """``Phi_n = x_1^n`` — degree ``n`` concentrated on one variable."""
+    circuit = Circuit(name=f"power_{dimension}", simplify=False)
+    inputs = _input_gates(circuit, dimension)
+    circuit.mark_output(circuit.add_product([inputs[0]] * dimension))
+    return circuit
+
+
+def monomial_family(dimension: int) -> Circuit:
+    """``Phi_n = x_1 x_2 ... x_n + x_1^2`` — mixes a long monomial with a square."""
+    circuit = Circuit(name=f"monomial_{dimension}", simplify=False)
+    inputs = _input_gates(circuit, dimension)
+    long_monomial = circuit.add_product(inputs)
+    square = circuit.add_product([inputs[0], inputs[0]])
+    circuit.mark_output(circuit.add_sum([long_monomial, square]))
+    return circuit

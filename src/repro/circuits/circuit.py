@@ -1,0 +1,307 @@
+"""Arithmetic circuits: gates, wires and evaluation.
+
+An arithmetic circuit (Section 5.1) is a directed acyclic graph whose leaves
+are input gates (labelled by variables) or constant gates, and whose internal
+gates compute unbounded fan-in sums and products.  To support the division
+fragment of Corollary 5.6 a binary division gate is also available.
+
+Circuits here may have multiple output gates ("circuits over matrices",
+Section 5.2): the compiler from for-MATLANG produces one output gate per
+entry of the result matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import CircuitError
+
+
+class GateKind(str, Enum):
+    """The kinds of gates supported by the circuit model."""
+
+    INPUT = "input"
+    CONSTANT = "const"
+    SUM = "sum"
+    PRODUCT = "prod"
+    DIVISION = "div"
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A single gate: its kind, its children (operands) and its label/value."""
+
+    index: int
+    kind: GateKind
+    children: Tuple[int, ...] = ()
+    label: Optional[str] = None
+    value: Optional[float] = None
+
+    def is_leaf(self) -> bool:
+        return self.kind in (GateKind.INPUT, GateKind.CONSTANT)
+
+
+class Circuit:
+    """A mutable arithmetic circuit builder and evaluator.
+
+    Gates are stored in creation order, which is a topological order because
+    a gate's children must exist before the gate is created.  Construction
+    performs light algebraic simplification (constant folding, dropping
+    additive zeros and multiplicative ones) so that compiled circuits reflect
+    the data-dependent part of a computation; folding can be disabled for
+    faithfulness experiments.
+    """
+
+    def __init__(self, name: str = "circuit", simplify: bool = True) -> None:
+        self.name = name
+        self.simplify = simplify
+        self.gates: List[Gate] = []
+        self.outputs: List[int] = []
+        self._input_indices: List[int] = []
+        self._constant_cache: Dict[float, int] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _append(self, gate: Gate) -> int:
+        self.gates.append(gate)
+        return gate.index
+
+    def add_input(self, label: str) -> int:
+        """Add an input gate labelled by a variable name and return its index."""
+        index = len(self.gates)
+        self._input_indices.append(index)
+        return self._append(Gate(index, GateKind.INPUT, (), label=label))
+
+    def add_constant(self, value: float) -> int:
+        """Add (or reuse) a constant gate with the given value."""
+        value = float(value)
+        if value in self._constant_cache:
+            return self._constant_cache[value]
+        index = len(self.gates)
+        self._constant_cache[value] = index
+        return self._append(Gate(index, GateKind.CONSTANT, (), value=value))
+
+    def constant_value(self, index: int) -> Optional[float]:
+        """The value of gate ``index`` if it is a constant gate, else ``None``."""
+        gate = self.gates[index]
+        return gate.value if gate.kind == GateKind.CONSTANT else None
+
+    def add_sum(self, children: Sequence[int]) -> int:
+        """Add an unbounded fan-in sum gate."""
+        children = [self._check_child(child) for child in children]
+        if not children:
+            return self.add_constant(0.0)
+        if self.simplify:
+            constant_total = 0.0
+            remaining: List[int] = []
+            for child in children:
+                value = self.constant_value(child)
+                if value is None:
+                    remaining.append(child)
+                else:
+                    constant_total += value
+            if not remaining:
+                return self.add_constant(constant_total)
+            if constant_total != 0.0:
+                remaining.append(self.add_constant(constant_total))
+            if len(remaining) == 1:
+                return remaining[0]
+            children = remaining
+        index = len(self.gates)
+        return self._append(Gate(index, GateKind.SUM, tuple(children)))
+
+    def add_product(self, children: Sequence[int]) -> int:
+        """Add an unbounded fan-in product gate."""
+        children = [self._check_child(child) for child in children]
+        if not children:
+            return self.add_constant(1.0)
+        if self.simplify:
+            constant_total = 1.0
+            remaining: List[int] = []
+            for child in children:
+                value = self.constant_value(child)
+                if value is None:
+                    remaining.append(child)
+                else:
+                    constant_total *= value
+            if constant_total == 0.0:
+                return self.add_constant(0.0)
+            if not remaining:
+                return self.add_constant(constant_total)
+            if constant_total != 1.0:
+                remaining.append(self.add_constant(constant_total))
+            if len(remaining) == 1:
+                return remaining[0]
+            children = remaining
+        index = len(self.gates)
+        return self._append(Gate(index, GateKind.PRODUCT, tuple(children)))
+
+    def add_division(self, numerator: int, denominator: int) -> int:
+        """Add a binary division gate (Corollary 5.6 extension)."""
+        numerator = self._check_child(numerator)
+        denominator = self._check_child(denominator)
+        if self.simplify:
+            num_value = self.constant_value(numerator)
+            den_value = self.constant_value(denominator)
+            if den_value is not None and den_value == 1.0:
+                return numerator
+            if num_value is not None and den_value is not None:
+                return self.add_constant(0.0 if den_value == 0.0 else num_value / den_value)
+        index = len(self.gates)
+        return self._append(Gate(index, GateKind.DIVISION, (numerator, denominator)))
+
+    def mark_output(self, index: int) -> None:
+        """Declare gate ``index`` as an output gate."""
+        self._check_child(index)
+        self.outputs.append(index)
+
+    def _check_child(self, index: int) -> int:
+        if not 0 <= index < len(self.gates):
+            raise CircuitError(f"gate index {index} does not exist (circuit has {len(self.gates)} gates)")
+        return index
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def input_labels(self) -> Tuple[str, ...]:
+        """Labels of the input gates, in creation order."""
+        return tuple(self.gates[index].label or "" for index in self._input_indices)
+
+    @property
+    def input_indices(self) -> Tuple[int, ...]:
+        return tuple(self._input_indices)
+
+    def gate(self, index: int) -> Gate:
+        return self.gates[self._check_child(index)]
+
+    def num_gates(self) -> int:
+        return len(self.gates)
+
+    def num_wires(self) -> int:
+        return sum(len(gate.children) for gate in self.gates)
+
+    def size(self) -> int:
+        """The paper's notion of size: number of gates plus number of wires."""
+        return self.num_gates() + self.num_wires()
+
+    def depth(self) -> int:
+        """Length of the longest path from an output gate to an input gate."""
+        depths = [0] * len(self.gates)
+        for gate in self.gates:
+            if gate.children:
+                depths[gate.index] = 1 + max(depths[child] for child in gate.children)
+        if not self.outputs:
+            return max(depths, default=0)
+        return max(depths[output] for output in self.outputs)
+
+    def degree(self) -> int:
+        """The degree of the circuit (sum over output gates, Section 5.2)."""
+        degrees = self.gate_degrees()
+        if not self.outputs:
+            return max(degrees, default=0)
+        return sum(degrees[output] for output in self.outputs)
+
+    def gate_degrees(self) -> List[int]:
+        """Per-gate degree following the inductive definition of Section 5.1.
+
+        Input gates have degree 1, constant gates degree 0, sum gates the
+        maximum of their children, product gates the sum of their children,
+        and division gates the maximum of numerator and denominator degrees
+        (the convention of Corollary 5.6).
+        """
+        degrees = [0] * len(self.gates)
+        for gate in self.gates:
+            if gate.kind == GateKind.INPUT:
+                degrees[gate.index] = 1
+            elif gate.kind == GateKind.CONSTANT:
+                degrees[gate.index] = 0
+            elif gate.kind == GateKind.SUM:
+                degrees[gate.index] = max((degrees[child] for child in gate.children), default=0)
+            elif gate.kind == GateKind.PRODUCT:
+                degrees[gate.index] = sum(degrees[child] for child in gate.children)
+            else:  # division
+                degrees[gate.index] = max(degrees[child] for child in gate.children)
+        return degrees
+
+    def validate(self) -> None:
+        """Check structural invariants; raises :class:`CircuitError` if violated."""
+        for gate in self.gates:
+            for child in gate.children:
+                if child >= gate.index:
+                    raise CircuitError(
+                        f"gate {gate.index} has child {child} that is not earlier in "
+                        "topological order"
+                    )
+            if gate.kind == GateKind.DIVISION and len(gate.children) != 2:
+                raise CircuitError(f"division gate {gate.index} must have exactly two children")
+            if gate.kind == GateKind.INPUT and gate.label is None:
+                raise CircuitError(f"input gate {gate.index} has no label")
+            if gate.kind == GateKind.CONSTANT and gate.value is None:
+                raise CircuitError(f"constant gate {gate.index} has no value")
+        if not self.outputs:
+            raise CircuitError("circuit has no output gates")
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        inputs: Union[Mapping[str, float], Sequence[float]],
+    ) -> List[float]:
+        """Evaluate the circuit and return the values of its output gates.
+
+        ``inputs`` is either a mapping from input labels to values or a
+        sequence of values in input-gate creation order.
+        """
+        assignment = self._input_assignment(inputs)
+        values: List[float] = [0.0] * len(self.gates)
+        for gate in self.gates:
+            if gate.kind == GateKind.INPUT:
+                values[gate.index] = assignment[gate.label or ""]
+            elif gate.kind == GateKind.CONSTANT:
+                values[gate.index] = float(gate.value or 0.0)
+            elif gate.kind == GateKind.SUM:
+                values[gate.index] = sum(values[child] for child in gate.children)
+            elif gate.kind == GateKind.PRODUCT:
+                product = 1.0
+                for child in gate.children:
+                    product *= values[child]
+                values[gate.index] = product
+            else:  # division
+                numerator = values[gate.children[0]]
+                denominator = values[gate.children[1]]
+                values[gate.index] = 0.0 if denominator == 0.0 else numerator / denominator
+        return [values[output] for output in self.outputs]
+
+    def evaluate_single(self, inputs: Union[Mapping[str, float], Sequence[float]]) -> float:
+        """Evaluate a single-output circuit."""
+        outputs = self.evaluate(inputs)
+        if len(outputs) != 1:
+            raise CircuitError(f"expected a single output gate, circuit has {len(outputs)}")
+        return outputs[0]
+
+    def _input_assignment(
+        self, inputs: Union[Mapping[str, float], Sequence[float]]
+    ) -> Dict[str, float]:
+        if isinstance(inputs, Mapping):
+            missing = [label for label in self.input_labels if label not in inputs]
+            if missing:
+                raise CircuitError(f"missing values for input gates {missing}")
+            return {label: float(value) for label, value in inputs.items()}
+        values = list(inputs)
+        labels = self.input_labels
+        if len(values) != len(labels):
+            raise CircuitError(
+                f"circuit has {len(labels)} input gates but {len(values)} values were given"
+            )
+        return {label: float(value) for label, value in zip(labels, values)}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Circuit(name={self.name!r}, gates={self.num_gates()}, "
+            f"inputs={len(self._input_indices)}, outputs={len(self.outputs)})"
+        )

@@ -1,0 +1,381 @@
+"""Compiling for-MATLANG expressions to arithmetic circuits (Theorem 5.3).
+
+For a fixed dimension ``n`` the compiler turns a well-typed for-MATLANG
+expression into an arithmetic circuit over matrices: every entry of every
+input matrix becomes an input gate, every entry of the result becomes an
+output gate, and the MATLANG operators become the gate constructions of the
+proof of Theorem 5.3 (appendix D.3).  For-loops are unrolled over the ``n``
+canonical vectors, whose entries are compile-time constants; the circuit
+builder's constant folding therefore specialises away all data-independent
+control structure (order predicates, canonical-vector tests), exactly as the
+uniform circuit family "hard-codes" that structure for each ``n``.
+
+Pointwise functions are compiled when they have a circuit counterpart:
+``mul`` and ``add`` (Lemma A.1) map to product / sum gates and ``div`` to the
+division gate of Corollary 5.6.  Other functions (such as ``f_>0``) have no
+arithmetic-circuit analogue and raise :class:`CircuitError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.exceptions import CircuitError
+from repro.matlang.ast import (
+    Add,
+    Apply,
+    Diag,
+    Expression,
+    ForLoop,
+    HadamardLoop,
+    Literal,
+    MatMul,
+    OneVector,
+    ProductLoop,
+    ScalarMul,
+    SumLoop,
+    Transpose,
+    TypeHint,
+    Var,
+)
+from repro.matlang.schema import SCALAR_SYMBOL, Schema
+from repro.matlang.typecheck import TypedExpression, annotate
+
+#: A symbolic matrix during compilation: a 2-d array of gate indices.
+GateMatrix = np.ndarray
+
+
+@dataclass
+class CompiledExpression:
+    """The result of compiling an expression at a fixed dimension.
+
+    Attributes
+    ----------
+    circuit:
+        The arithmetic circuit over matrices.
+    input_layout:
+        For every free matrix variable, the 2-d array of its input gate
+        indices (row-major, matching the shape of the variable).
+    output_shape:
+        Shape of the result matrix; the circuit's output gates list the
+        entries in row-major order.
+    dimension:
+        The concrete dimension ``n`` the non-scalar size symbols were fixed to.
+    """
+
+    circuit: Circuit
+    input_layout: Dict[str, GateMatrix]
+    output_shape: Tuple[int, int]
+    dimension: int
+
+    def evaluate(self, matrices: Mapping[str, np.ndarray]) -> np.ndarray:
+        """Evaluate the compiled circuit on concrete input matrices."""
+        assignment: Dict[str, float] = {}
+        for name, layout in self.input_layout.items():
+            if name not in matrices:
+                raise CircuitError(f"no matrix supplied for input variable {name!r}")
+            matrix = np.asarray(matrices[name], dtype=np.float64)
+            if matrix.ndim == 1:
+                matrix = matrix.reshape(-1, 1)
+            if matrix.shape != layout.shape:
+                raise CircuitError(
+                    f"matrix for {name!r} has shape {matrix.shape}, expected {layout.shape}"
+                )
+            for index in np.ndindex(layout.shape):
+                assignment[self.circuit.gate(int(layout[index])).label or ""] = float(
+                    matrix[index]
+                )
+        outputs = self.circuit.evaluate(assignment)
+        return np.asarray(outputs, dtype=np.float64).reshape(self.output_shape)
+
+
+class _Compiler:
+    """Recursive compiler from typed expressions to gate matrices."""
+
+    def __init__(self, circuit: Circuit, dimension: int) -> None:
+        self.circuit = circuit
+        self.dimension = dimension
+        self.input_layout: Dict[str, GateMatrix] = {}
+        self._zero = circuit.add_constant(0.0)
+        self._one = circuit.add_constant(1.0)
+        # Loop sub-expressions that do not mention any loop-bound variable
+        # (order matrices, e_max, ...) compile to the same gates in every
+        # iteration of an enclosing loop; memoising them mirrors the
+        # evaluator's cache and keeps unrolled circuits small.
+        self._cache: Dict[int, GateMatrix] = {}
+
+    # ------------------------------------------------------------------
+    # Shapes
+    # ------------------------------------------------------------------
+    def _length(self, symbol: str) -> int:
+        if symbol == SCALAR_SYMBOL:
+            return 1
+        if symbol.startswith("?"):
+            raise CircuitError(
+                f"cannot compile: size symbol {symbol!r} is unconstrained; add a "
+                "TypeHint or declare the variable in the schema"
+            )
+        return self.dimension
+
+    def _shape(self, matrix_type: Tuple[str, str]) -> Tuple[int, int]:
+        return (self._length(matrix_type[0]), self._length(matrix_type[1]))
+
+    # ------------------------------------------------------------------
+    # Gate-matrix helpers
+    # ------------------------------------------------------------------
+    def _gate_matrix(self, rows: int, cols: int, fill: int) -> GateMatrix:
+        matrix = np.empty((rows, cols), dtype=np.int64)
+        matrix[...] = fill
+        return matrix
+
+    def _declare_input(self, name: str, shape: Tuple[int, int]) -> GateMatrix:
+        if name in self.input_layout:
+            return self.input_layout[name]
+        rows, cols = shape
+        layout = np.empty((rows, cols), dtype=np.int64)
+        for i in range(rows):
+            for j in range(cols):
+                layout[i, j] = self.circuit.add_input(f"{name}[{i},{j}]")
+        self.input_layout[name] = layout
+        return layout
+
+    def _canonical(self, size: int, index: int) -> GateMatrix:
+        vector = self._gate_matrix(size, 1, self._zero)
+        vector[index, 0] = self._one
+        return vector
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    def compile(self, typed: TypedExpression, env: Dict[str, GateMatrix]) -> GateMatrix:
+        expression = typed.expression
+
+        if isinstance(expression, Var):
+            if expression.name in env:
+                return env[expression.name]
+            return self._declare_input(expression.name, self._shape(typed.type))
+
+        if isinstance(expression, Literal):
+            return self._gate_matrix(1, 1, self.circuit.add_constant(expression.value))
+
+        if isinstance(expression, TypeHint):
+            return self.compile(typed.children[0], env)
+
+        if isinstance(expression, Transpose):
+            return self.compile(typed.children[0], env).T.copy()
+
+        if isinstance(expression, OneVector):
+            operand = self.compile(typed.children[0], env)
+            return self._gate_matrix(operand.shape[0], 1, self._one)
+
+        if isinstance(expression, Diag):
+            operand = self.compile(typed.children[0], env)
+            size = operand.shape[0]
+            result = self._gate_matrix(size, size, self._zero)
+            for i in range(size):
+                result[i, i] = operand[i, 0]
+            return result
+
+        if isinstance(expression, Add):
+            left = self.compile(typed.children[0], env)
+            right = self.compile(typed.children[1], env)
+            return self._entrywise_sum(left, right)
+
+        if isinstance(expression, MatMul):
+            left = self.compile(typed.children[0], env)
+            right = self.compile(typed.children[1], env)
+            return self._matmul(left, right)
+
+        if isinstance(expression, ScalarMul):
+            scalar = self.compile(typed.children[0], env)
+            operand = self.compile(typed.children[1], env)
+            return self._scale(int(scalar[0, 0]), operand)
+
+        if isinstance(expression, Apply):
+            return self._apply(expression, typed, env)
+
+        if isinstance(expression, (ForLoop, SumLoop, HadamardLoop, ProductLoop)):
+            cacheable = not (typed.free_names & env.keys())
+            if cacheable and id(typed) in self._cache:
+                return self._cache[id(typed)]
+            if isinstance(expression, ForLoop):
+                result = self._for_loop(expression, typed, env)
+            else:
+                result = self._quantifier(expression, typed, env)
+            if cacheable:
+                self._cache[id(typed)] = result
+            return result
+
+        raise CircuitError(f"cannot compile node {type(expression).__name__}")
+
+    # ------------------------------------------------------------------
+    # Operator translations (appendix D.3)
+    # ------------------------------------------------------------------
+    def _entrywise_sum(self, left: GateMatrix, right: GateMatrix) -> GateMatrix:
+        if left.shape != right.shape:
+            raise CircuitError(f"shape mismatch in addition: {left.shape} vs {right.shape}")
+        result = np.empty(left.shape, dtype=np.int64)
+        for index in np.ndindex(left.shape):
+            result[index] = self.circuit.add_sum([int(left[index]), int(right[index])])
+        return result
+
+    def _matmul(self, left: GateMatrix, right: GateMatrix) -> GateMatrix:
+        if left.shape[1] != right.shape[0]:
+            raise CircuitError(
+                f"shape mismatch in multiplication: {left.shape} vs {right.shape}"
+            )
+        rows, inner = left.shape
+        cols = right.shape[1]
+        result = np.empty((rows, cols), dtype=np.int64)
+        for i in range(rows):
+            for j in range(cols):
+                terms = [
+                    self.circuit.add_product([int(left[i, k]), int(right[k, j])])
+                    for k in range(inner)
+                ]
+                result[i, j] = self.circuit.add_sum(terms)
+        return result
+
+    def _scale(self, scalar_gate: int, operand: GateMatrix) -> GateMatrix:
+        result = np.empty(operand.shape, dtype=np.int64)
+        for index in np.ndindex(operand.shape):
+            result[index] = self.circuit.add_product([scalar_gate, int(operand[index])])
+        return result
+
+    def _apply(
+        self, expression: Apply, typed: TypedExpression, env: Dict[str, GateMatrix]
+    ) -> GateMatrix:
+        operands = [self.compile(child, env) for child in typed.children]
+        shape = operands[0].shape
+        result = np.empty(shape, dtype=np.int64)
+        for index in np.ndindex(shape):
+            entries = [int(operand[index]) for operand in operands]
+            if expression.function == "mul":
+                result[index] = self.circuit.add_product(entries)
+            elif expression.function == "add":
+                result[index] = self.circuit.add_sum(entries)
+            elif expression.function == "square":
+                result[index] = self.circuit.add_product(entries + entries)
+            elif expression.function == "div":
+                if len(entries) != 2:
+                    raise CircuitError("division expects exactly two operands")
+                result[index] = self.circuit.add_division(entries[0], entries[1])
+            elif expression.function == "sub":
+                if len(entries) != 2:
+                    raise CircuitError("subtraction expects exactly two operands")
+                negated = self.circuit.add_product(
+                    [self.circuit.add_constant(-1.0), entries[1]]
+                )
+                result[index] = self.circuit.add_sum([entries[0], negated])
+            elif expression.function == "neg":
+                result[index] = self.circuit.add_product(
+                    [self.circuit.add_constant(-1.0), entries[0]]
+                )
+            else:
+                raise CircuitError(
+                    f"pointwise function {expression.function!r} has no arithmetic-circuit "
+                    "counterpart (Theorem 5.3 covers sum/product circuits, Corollary 5.6 "
+                    "adds division)"
+                )
+        return result
+
+    def _for_loop(
+        self, expression: ForLoop, typed: TypedExpression, env: Dict[str, GateMatrix]
+    ) -> GateMatrix:
+        if typed.iterator_symbol is None or typed.accumulator_type is None:
+            raise CircuitError("for-loop node is missing typing annotations")
+        count = self._length(typed.iterator_symbol)
+        if expression.init is not None:
+            init_typed, body_typed = typed.children
+            accumulator = self.compile(init_typed, env)
+        else:
+            (body_typed,) = typed.children
+            rows, cols = self._shape(typed.accumulator_type)
+            accumulator = self._gate_matrix(rows, cols, self._zero)
+
+        saved_iterator = env.get(expression.iterator)
+        saved_accumulator = env.get(expression.accumulator)
+        try:
+            for index in range(count):
+                env[expression.iterator] = self._canonical(count, index)
+                env[expression.accumulator] = accumulator
+                accumulator = self.compile(body_typed, env)
+        finally:
+            _restore(env, expression.iterator, saved_iterator)
+            _restore(env, expression.accumulator, saved_accumulator)
+        return accumulator
+
+    def _quantifier(
+        self, expression, typed: TypedExpression, env: Dict[str, GateMatrix]
+    ) -> GateMatrix:
+        if typed.iterator_symbol is None:
+            raise CircuitError("quantifier node is missing typing annotations")
+        count = self._length(typed.iterator_symbol)
+        (body_typed,) = typed.children
+
+        saved_iterator = env.get(expression.iterator)
+        accumulator: Optional[GateMatrix] = None
+        try:
+            for index in range(count):
+                env[expression.iterator] = self._canonical(count, index)
+                value = self.compile(body_typed, env)
+                if accumulator is None:
+                    accumulator = value
+                elif isinstance(expression, SumLoop):
+                    accumulator = self._entrywise_sum(accumulator, value)
+                elif isinstance(expression, HadamardLoop):
+                    accumulator = self._hadamard(accumulator, value)
+                else:
+                    accumulator = self._matmul(accumulator, value)
+        finally:
+            _restore(env, expression.iterator, saved_iterator)
+        if accumulator is None:  # pragma: no cover - dimensions are always >= 1
+            raise CircuitError("quantifier iterated over an empty dimension")
+        return accumulator
+
+    def _hadamard(self, left: GateMatrix, right: GateMatrix) -> GateMatrix:
+        result = np.empty(left.shape, dtype=np.int64)
+        for index in np.ndindex(left.shape):
+            result[index] = self.circuit.add_product([int(left[index]), int(right[index])])
+        return result
+
+
+def _restore(env: Dict[str, GateMatrix], name: str, saved: Optional[GateMatrix]) -> None:
+    if saved is None:
+        env.pop(name, None)
+    else:
+        env[name] = saved
+
+
+def compile_expression(
+    expression: Expression,
+    schema: Schema,
+    dimension: int,
+    simplify: bool = True,
+    name: Optional[str] = None,
+) -> CompiledExpression:
+    """Compile ``expression`` (over ``schema``) into a circuit at dimension ``n``.
+
+    Every non-scalar size symbol is interpreted as ``dimension``, matching the
+    square-schema setting of Section 5.  The returned
+    :class:`CompiledExpression` contains the circuit, the layout of its input
+    gates and the shape of its output.
+    """
+    if dimension < 1:
+        raise CircuitError("dimension must be a positive integer")
+    typed = annotate(expression, schema)
+    circuit = Circuit(name=name or f"matlang@{dimension}", simplify=simplify)
+    compiler = _Compiler(circuit, dimension)
+    output = compiler.compile(typed, {})
+    for index in np.ndindex(output.shape):
+        circuit.mark_output(int(output[index]))
+    return CompiledExpression(
+        circuit=circuit,
+        input_layout=compiler.input_layout,
+        output_shape=output.shape,
+        dimension=dimension,
+    )

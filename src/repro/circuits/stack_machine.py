@@ -1,0 +1,163 @@
+"""The two-stack depth-first circuit evaluation algorithm (Appendix D.2).
+
+Theorem 5.1 simulates circuit evaluation inside for-MATLANG by encoding two
+stacks — a *gates* stack and a *values* stack — into an ``n x n`` matrix and
+running the depth-first traversal of Algorithms 1–3.  This module implements
+those algorithms directly (``Initialize``, ``Aggregate``, ``Evaluate``),
+operating on explicit Python stacks, so that
+
+* the algorithm itself can be unit-tested against the straightforward
+  bottom-up circuit evaluator, and
+* the experiments can report the stack-depth and step-count profile that the
+  matrix encoding of the theorem would need (the gates stack never grows
+  beyond the circuit depth plus one, the values stack never beyond the gates
+  stack).
+
+One bookkeeping refinement over the pseudo-code: each entry of the gates stack
+carries the position it occupies among its parent's children.  The paper's
+``next_gate(g1, g2)`` oracle identifies the next child by gate id, which is
+ambiguous when a gate has the same child twice (for example the circuit for
+``x^n`` built as a single product gate with ``n`` copies of the same input);
+carrying the position resolves the ambiguity without changing the algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.circuits.circuit import Circuit, GateKind
+from repro.exceptions import CircuitError
+
+#: A gates-stack entry: (gate index, position of this gate among its parent's
+#: children, or None for the root entry).
+_StackEntry = Tuple[int, Optional[int]]
+
+
+@dataclass
+class StackMachineTrace:
+    """Execution profile of one run of the two-stack evaluation."""
+
+    result: float
+    steps: int
+    max_gates_stack: int
+    max_values_stack: int
+
+    def fits_in_matrix_encoding(self, dimension: int) -> bool:
+        """Whether both stacks stay within ``dimension`` entries.
+
+        This is the condition the Theorem 5.1 encoding relies on: for
+        logarithmic-depth circuits the stacks are bounded by ``n`` for all
+        large enough ``n``.
+        """
+        return self.max_gates_stack <= dimension and self.max_values_stack <= dimension
+
+
+def _initialize(
+    circuit: Circuit,
+    gates_stack: List[_StackEntry],
+    values_stack: List[float],
+    assignment: Mapping[str, float],
+) -> None:
+    """Algorithm 1: push the initial value for the fresh gate on top of the gates stack."""
+    gate = circuit.gate(gates_stack[-1][0])
+    if gate.kind == GateKind.SUM:
+        values_stack.append(0.0)
+        if gate.children:
+            gates_stack.append((gate.children[0], 0))
+    elif gate.kind == GateKind.PRODUCT:
+        values_stack.append(1.0)
+        if gate.children:
+            gates_stack.append((gate.children[0], 0))
+    elif gate.kind == GateKind.CONSTANT:
+        values_stack.append(float(gate.value or 0.0))
+    elif gate.kind == GateKind.INPUT:
+        values_stack.append(float(assignment[gate.label or ""]))
+    else:
+        raise CircuitError(
+            "the two-stack evaluation of Appendix D.2 handles input, constant, "
+            f"sum and product gates only; found a {gate.kind.value} gate"
+        )
+
+
+def _aggregate(
+    circuit: Circuit, gates_stack: List[_StackEntry], values_stack: List[float]
+) -> None:
+    """Algorithm 2: fold the finished child's value into its parent and advance."""
+    _, finished_position = gates_stack.pop()
+    finished_value = values_stack.pop()
+    parent = circuit.gate(gates_stack[-1][0])
+    if parent.kind == GateKind.SUM:
+        values_stack[-1] = values_stack[-1] + finished_value
+    elif parent.kind == GateKind.PRODUCT:
+        values_stack[-1] = values_stack[-1] * finished_value
+    else:
+        raise CircuitError(
+            f"gate {parent.index} of kind {parent.kind.value} cannot be an inner gate"
+        )
+    if finished_position is None:
+        raise CircuitError("internal error: aggregated a root entry")
+    next_position = finished_position + 1
+    if next_position < len(parent.children):
+        gates_stack.append((parent.children[next_position], next_position))
+
+
+def evaluate_with_stacks(
+    circuit: Circuit,
+    inputs: Union[Mapping[str, float], Sequence[float]],
+    output: Optional[int] = None,
+    max_steps: Optional[int] = None,
+) -> StackMachineTrace:
+    """Algorithm 3: evaluate one output gate of ``circuit`` depth-first.
+
+    ``output`` selects the output gate (default: the unique output).  The
+    returned trace records the result together with the step count and the
+    maximal sizes both stacks reached, which the experiments compare against
+    the circuit depth.
+
+    Note: the depth-first traversal re-visits shared sub-circuits once per
+    parent, exactly like the paper's simulation; it therefore runs in time
+    proportional to the number of distinct paths, not the number of gates.
+    """
+    if output is None:
+        if len(circuit.outputs) != 1:
+            raise CircuitError(
+                "evaluate_with_stacks needs an explicit output gate for circuits "
+                f"with {len(circuit.outputs)} outputs"
+            )
+        output = circuit.outputs[0]
+
+    if isinstance(inputs, Mapping):
+        assignment: Dict[str, float] = {key: float(value) for key, value in inputs.items()}
+    else:
+        labels = circuit.input_labels
+        values = list(inputs)
+        if len(values) != len(labels):
+            raise CircuitError(
+                f"circuit has {len(labels)} input gates but {len(values)} values were given"
+            )
+        assignment = {label: float(value) for label, value in zip(labels, values)}
+
+    gates_stack: List[_StackEntry] = [(output, None)]
+    values_stack: List[float] = []
+    steps = 0
+    max_gates = 1
+    max_values = 0
+
+    while not (len(gates_stack) == 1 and len(values_stack) == 1):
+        if len(gates_stack) != len(values_stack):
+            _initialize(circuit, gates_stack, values_stack, assignment)
+        else:
+            _aggregate(circuit, gates_stack, values_stack)
+        steps += 1
+        max_gates = max(max_gates, len(gates_stack))
+        max_values = max(max_values, len(values_stack))
+        if max_steps is not None and steps > max_steps:
+            raise CircuitError(f"two-stack evaluation exceeded {max_steps} steps")
+
+    return StackMachineTrace(
+        result=values_stack[0],
+        steps=steps,
+        max_gates_stack=max_gates,
+        max_values_stack=max_values,
+    )

@@ -1,0 +1,55 @@
+"""Exception hierarchy shared by every subsystem of the reproduction.
+
+All library errors derive from :class:`ReproError` so that callers can catch a
+single exception type at API boundaries while tests can still assert on the
+precise failure mode.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` package."""
+
+
+class SemiringError(ReproError):
+    """An operation is not supported by the semiring it was attempted on.
+
+    Typical examples are requesting division in a semiring that is not a
+    field, or mixing values from two different semirings.
+    """
+
+
+class SchemaError(ReproError):
+    """A MATLANG schema or instance is inconsistent.
+
+    Raised when a matrix variable is missing from a schema, when an instance
+    assigns a matrix whose dimensions contradict the schema size symbols, or
+    when a relational / logical schema is malformed.
+    """
+
+
+class TypingError(ReproError):
+    """A MATLANG expression is not well-typed with respect to a schema."""
+
+
+class EvaluationError(ReproError):
+    """Evaluation of a well-typed expression failed at runtime.
+
+    This covers undefined pointwise functions (for example division by the
+    semiring zero) and internal invariant violations.
+    """
+
+
+class ParseError(ReproError):
+    """The surface-syntax parser rejected its input."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class FragmentError(ReproError):
+    """An expression does not belong to the fragment required by an operation."""
+
+
+class CircuitError(ReproError):
+    """An arithmetic circuit is malformed or an operation on it failed."""

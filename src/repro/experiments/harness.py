@@ -1,0 +1,93 @@
+"""Minimal table / experiment-record harness used by benchmarks and docs.
+
+The harness intentionally avoids any dependency beyond the standard library:
+experiments produce :class:`Table` objects whose ``render`` method prints the
+rows the corresponding claim of the paper asserts, and
+:class:`ExperimentRecord` couples a table with a pass/fail verdict so the
+benchmark suite can both time the workload and assert the claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+
+@dataclass
+class Table:
+    """A simple column-aligned text table."""
+
+    columns: Sequence[str]
+    rows: List[Sequence[Any]] = field(default_factory=list)
+    title: str = ""
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values but the table has {len(self.columns)} columns"
+            )
+        self.rows.append(tuple(values))
+
+    def add_dict_row(self, values: Dict[str, Any]) -> None:
+        self.add_row(*(values.get(column, "") for column in self.columns))
+
+    def column(self, name: str) -> List[Any]:
+        index = list(self.columns).index(name)
+        return [row[index] for row in self.rows]
+
+    def render(self) -> str:
+        """Render the table as aligned plain text."""
+        headers = [str(column) for column in self.columns]
+        formatted_rows = [[_format(value) for value in row] for row in self.rows]
+        widths = [len(header) for header in headers]
+        for row in formatted_rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+
+        def line(cells: Sequence[str]) -> str:
+            return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+        parts = []
+        if self.title:
+            parts.append(self.title)
+        parts.append(line(headers))
+        parts.append(line(["-" * width for width in widths]))
+        parts.extend(line(row) for row in formatted_rows)
+        return "\n".join(parts)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _format(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+@dataclass
+class ExperimentRecord:
+    """The outcome of one reproduced claim.
+
+    ``identifier`` is the experiment id from DESIGN.md (E1 .. E14, F1, P1);
+    ``passed`` states whether every row of the table satisfied the claim.
+    """
+
+    identifier: str
+    description: str
+    table: Table
+    passed: bool
+    notes: str = ""
+
+    def render(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        header = f"[{self.identifier}] {self.description} ... {status}"
+        body = self.table.render()
+        if self.notes:
+            body = f"{body}\n{self.notes}"
+        return f"{header}\n{body}"
+
+    def __str__(self) -> str:
+        return self.render()

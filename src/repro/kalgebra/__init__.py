@@ -1,0 +1,61 @@
+"""K-relations and the positive relational algebra RA+_K (Section 6.1).
+
+The subpackage implements the annotated-relation formalism of Green,
+Karvounarakis and Tannen that sum-MATLANG is proved equivalent to:
+
+* :mod:`repro.kalgebra.relations` — K-relations over named attributes;
+* :mod:`repro.kalgebra.query` — the RA+_K query AST (union, projection,
+  selection, renaming, natural join) and its schema function;
+* :mod:`repro.kalgebra.algebra` — the semiring-annotated evaluation;
+* :mod:`repro.kalgebra.encoding` — the encodings ``Rel(S)`` / ``Rel(I)`` of
+  matrices as K-relations and ``Mat(R)`` / ``Mat(J)`` of binary K-relations
+  as matrices;
+* :mod:`repro.kalgebra.matlang_to_ra` — Proposition 6.3 (sum-MATLANG to
+  RA+_K);
+* :mod:`repro.kalgebra.ra_to_matlang` — Proposition 6.4 (RA+_K to
+  sum-MATLANG).
+"""
+
+from repro.kalgebra.algebra import evaluate_query
+from repro.kalgebra.encoding import (
+    MatrixEncoding,
+    RelationalEncoding,
+    decode_relation_to_matrix,
+    encode_instance_as_relations,
+    encode_relations_as_matrices,
+)
+from repro.kalgebra.matlang_to_ra import translate_sum_matlang
+from repro.kalgebra.query import (
+    Join,
+    Project,
+    Query,
+    RelationRef,
+    Rename,
+    Select,
+    Union,
+    query_schema,
+)
+from repro.kalgebra.ra_to_matlang import translate_query
+from repro.kalgebra.relations import KRelation, RelationalInstance, RelationalSchema
+
+__all__ = [
+    "Join",
+    "KRelation",
+    "MatrixEncoding",
+    "Project",
+    "Query",
+    "RelationRef",
+    "RelationalEncoding",
+    "RelationalInstance",
+    "RelationalSchema",
+    "Rename",
+    "Select",
+    "Union",
+    "decode_relation_to_matrix",
+    "encode_instance_as_relations",
+    "encode_relations_as_matrices",
+    "evaluate_query",
+    "query_schema",
+    "translate_query",
+    "translate_sum_matlang",
+]

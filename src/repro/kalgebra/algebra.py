@@ -1,0 +1,92 @@
+"""Evaluation of RA+_K queries over K-instances (Section 6.1 semantics).
+
+The evaluation is support-based: since every K-relation has finite support
+and every operator's output annotation is a finite ``+``/``*`` combination of
+input annotations, iterating over supports computes the exact semantics
+(tuples outside the produced support have annotation 0, as required).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.exceptions import SchemaError
+from repro.kalgebra.query import Join, Project, Query, RelationRef, Rename, Select, Union, query_schema
+from repro.kalgebra.relations import KRelation, RelationalInstance, restrict, tuple_key
+from repro.semiring import Semiring
+
+
+def evaluate_query(query: Query, instance: RelationalInstance) -> KRelation:
+    """Evaluate ``query`` over ``instance`` and return the result K-relation."""
+    semiring = instance.semiring
+    if semiring is None:
+        raise SchemaError("cannot evaluate a query over an instance with no relations")
+    # Validating the schema up front gives better error messages than failing
+    # somewhere inside the recursion.
+    query_schema(query, instance.schema)
+    return _evaluate(query, instance, semiring)
+
+
+def _evaluate(query: Query, instance: RelationalInstance, semiring: Semiring) -> KRelation:
+    if isinstance(query, RelationRef):
+        return instance.relation(query.name).copy()
+
+    if isinstance(query, Union):
+        left = _evaluate(query.left, instance, semiring)
+        right = _evaluate(query.right, instance, semiring)
+        result = left.copy()
+        for values, annotation in right.items():
+            result.add(values, annotation)
+        return result
+
+    if isinstance(query, Project):
+        operand = _evaluate(query.operand, instance, semiring)
+        result = KRelation(query.attributes, semiring)
+        for values, annotation in operand.items():
+            projected = {name: values[name] for name in query.attributes}
+            result.add(projected, annotation)
+        return result
+
+    if isinstance(query, Select):
+        operand = _evaluate(query.operand, instance, semiring)
+        result = KRelation(operand.attributes, semiring)
+        attributes = sorted(query.attributes)
+        for values, annotation in operand.items():
+            if all(values[attributes[0]] == values[name] for name in attributes[1:]):
+                result.add(values, annotation)
+        return result
+
+    if isinstance(query, Rename):
+        operand = _evaluate(query.operand, instance, semiring)
+        mapping = query.as_dict()
+        result = KRelation(frozenset(mapping), semiring)
+        for values, annotation in operand.items():
+            renamed = {new: values[old] for new, old in mapping.items()}
+            result.add(renamed, annotation)
+        return result
+
+    if isinstance(query, Join):
+        left = _evaluate(query.left, instance, semiring)
+        right = _evaluate(query.right, instance, semiring)
+        return _join(left, right, semiring)
+
+    raise SchemaError(f"unknown query node {type(query).__name__}")
+
+
+def _join(left: KRelation, right: KRelation, semiring: Semiring) -> KRelation:
+    """Hash join on the shared attributes, multiplying annotations."""
+    shared = sorted(left.attributes & right.attributes)
+    result = KRelation(left.attributes | right.attributes, semiring)
+
+    buckets: Dict[Any, list] = {}
+    for values, annotation in right.items():
+        key = tuple(values[name] for name in shared)
+        buckets.setdefault(key, []).append((values, annotation))
+
+    for left_values, left_annotation in left.items():
+        key = tuple(left_values[name] for name in shared)
+        for right_values, right_annotation in buckets.get(key, []):
+            combined = dict(right_values)
+            combined.update(left_values)
+            result.add(combined, semiring.times(left_annotation, right_annotation))
+    return result

@@ -1,0 +1,270 @@
+"""Encodings between matrices and K-relations (Section 6.1).
+
+Two encodings are needed to state Propositions 6.3 and 6.4:
+
+* ``Rel(S)`` / ``Rel(I)`` — a MATLANG schema / instance as a relational
+  schema / K-instance: each matrix variable ``V`` of type ``(alpha, beta)``
+  becomes a relation ``R_V`` over the attributes ``row_alpha`` and
+  ``col_beta`` holding the matrix entries (1-based indices), and each size
+  symbol ``alpha`` becomes a unary "domain" relation ``Dom_alpha`` marking
+  the valid indices ``1 .. D(alpha)`` with annotation 1.
+* ``Mat(R)`` / ``Mat(J)`` — a binary relational schema / K-instance as a
+  MATLANG schema / instance: each binary relation becomes a square matrix
+  over the active domain of the instance (with an arbitrary but fixed
+  ordering), each unary relation a vector, each nullary relation a scalar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import SchemaError
+from repro.kalgebra.relations import KRelation, RelationalInstance, RelationalSchema
+from repro.matlang.instance import Instance
+from repro.matlang.schema import SCALAR_SYMBOL, Schema
+from repro.semiring import Semiring, lift
+
+
+# ----------------------------------------------------------------------
+# Attribute / relation naming conventions
+# ----------------------------------------------------------------------
+def row_attribute(symbol: str) -> str:
+    """The attribute holding row indices over size symbol ``symbol``."""
+    return f"row_{symbol}"
+
+
+def col_attribute(symbol: str) -> str:
+    """The attribute holding column indices over size symbol ``symbol``."""
+    return f"col_{symbol}"
+
+
+def iterator_attribute(name: str) -> str:
+    """The attribute standing for the canonical-vector iterator ``name``."""
+    return f"var_{name}"
+
+
+def domain_relation(symbol: str) -> str:
+    """The name of the unary domain relation ``R_alpha`` of the paper."""
+    return f"Dom_{symbol}"
+
+
+def domain_attribute(symbol: str) -> str:
+    """The single attribute of the domain relation for ``symbol``."""
+    return f"dom_{symbol}"
+
+
+def matrix_relation(variable: str) -> str:
+    """The relation name encoding matrix variable ``variable``."""
+    return f"R_{variable}"
+
+
+def relation_variable(relation: str) -> str:
+    """The matrix variable name encoding relation ``relation`` (Mat(R))."""
+    return f"V_{relation}"
+
+
+# ----------------------------------------------------------------------
+# Matrices -> relations (Rel(S), Rel(I))
+# ----------------------------------------------------------------------
+@dataclass
+class RelationalEncoding:
+    """The result of encoding a MATLANG instance as a K-instance."""
+
+    instance: RelationalInstance
+    dimensions: Dict[str, int]
+    semiring: Semiring
+
+
+def _relation_attributes(matrix_type: Tuple[str, str]) -> Tuple[str, ...]:
+    row_symbol, col_symbol = matrix_type
+    attributes = []
+    if row_symbol != SCALAR_SYMBOL:
+        attributes.append(row_attribute(row_symbol))
+    if col_symbol != SCALAR_SYMBOL:
+        attributes.append(col_attribute(col_symbol))
+    return tuple(attributes)
+
+
+def encode_schema_as_relational(schema: Schema) -> RelationalSchema:
+    """``Rel(S)``: the relational schema encoding a MATLANG schema."""
+    signatures: Dict[str, Tuple[str, ...]] = {}
+    for symbol in schema.symbols():
+        if symbol != SCALAR_SYMBOL:
+            signatures[domain_relation(symbol)] = (domain_attribute(symbol),)
+    for name in schema.variables():
+        signatures[matrix_relation(name)] = _relation_attributes(schema.size(name))
+    return RelationalSchema(signatures)
+
+
+def encode_instance_as_relations(instance: Instance) -> RelationalEncoding:
+    """``Rel(I)``: encode every matrix of a MATLANG instance as a K-relation.
+
+    Indices are 1-based, matching the paper's convention that the data domain
+    is ``N \\ {0}``.
+    """
+    semiring = instance.semiring
+    schema = encode_schema_as_relational(instance.schema)
+    relations: Dict[str, KRelation] = {}
+
+    for symbol in instance.schema.symbols():
+        if symbol == SCALAR_SYMBOL:
+            continue
+        size = instance.dimension(symbol)
+        domain = KRelation((domain_attribute(symbol),), semiring)
+        for index in range(1, size + 1):
+            domain.set({domain_attribute(symbol): index}, semiring.one)
+        relations[domain_relation(symbol)] = domain
+
+    for name in instance.schema.variables():
+        if name not in instance.matrices:
+            continue
+        matrix = instance.matrix(name)
+        row_symbol, col_symbol = instance.schema.size(name)
+        attributes = _relation_attributes((row_symbol, col_symbol))
+        relation = KRelation(attributes, semiring)
+        rows, cols = matrix.shape
+        for i in range(rows):
+            for j in range(cols):
+                values: Dict[str, Any] = {}
+                if row_symbol != SCALAR_SYMBOL:
+                    values[row_attribute(row_symbol)] = i + 1
+                if col_symbol != SCALAR_SYMBOL:
+                    values[col_attribute(col_symbol)] = j + 1
+                relation.set(values, matrix[i, j])
+        relations[matrix_relation(name)] = relation
+
+    dimensions = {
+        symbol: instance.dimension(symbol)
+        for symbol in instance.schema.symbols()
+        if symbol != SCALAR_SYMBOL
+    }
+    return RelationalEncoding(
+        instance=RelationalInstance(schema, relations, semiring),
+        dimensions=dimensions,
+        semiring=semiring,
+    )
+
+
+def decode_relation_to_matrix(
+    relation: KRelation,
+    shape: Tuple[int, int],
+    row_attr: Optional[str],
+    col_attr: Optional[str],
+    semiring: Semiring,
+) -> np.ndarray:
+    """Decode a K-relation over (subsets of) ``{row_attr, col_attr}`` into a matrix."""
+    rows, cols = shape
+    matrix = semiring.zeros(rows, cols)
+    for values, annotation in relation.items():
+        i = int(values[row_attr]) - 1 if row_attr is not None else 0
+        j = int(values[col_attr]) - 1 if col_attr is not None else 0
+        if not (0 <= i < rows and 0 <= j < cols):
+            raise SchemaError(
+                f"tuple index ({i + 1}, {j + 1}) falls outside the matrix shape {shape}"
+            )
+        matrix[i, j] = annotation
+    return matrix
+
+
+# ----------------------------------------------------------------------
+# Relations -> matrices (Mat(R), Mat(J))
+# ----------------------------------------------------------------------
+@dataclass
+class MatrixEncoding:
+    """The result of encoding a binary K-instance as a MATLANG instance."""
+
+    instance: Instance
+    domain: Tuple[Any, ...]
+    symbol: str = "alpha"
+
+    def index_of(self, value: Any) -> int:
+        """The 0-based matrix index of an active-domain value."""
+        try:
+            return self.domain.index(value)
+        except ValueError:
+            raise SchemaError(f"value {value!r} is not in the encoded active domain") from None
+
+
+def encode_relations_as_matrices(
+    relational: RelationalInstance, symbol: str = "alpha"
+) -> MatrixEncoding:
+    """``Mat(R)`` / ``Mat(J)``: encode a binary K-instance as matrices.
+
+    Binary relations become square matrices over the active domain of the
+    *whole* instance (ordered ascendingly); unary relations become column
+    vectors; nullary relations become ``1 x 1`` matrices.  The attribute order
+    within a binary relation (which attribute indexes rows) is the
+    lexicographic order on attribute names, the fixed order ``<`` the paper
+    assumes.
+    """
+    if not relational.schema.is_binary_schema():
+        raise SchemaError("Mat(R) is only defined for schemas of arity at most two")
+    semiring = relational.semiring
+    if semiring is None:
+        raise SchemaError("cannot encode an instance with no relations")
+
+    domain = relational.active_domain()
+    size = max(1, len(domain))
+    index = {value: position for position, value in enumerate(domain)}
+
+    sizes: Dict[str, Tuple[str, str]] = {}
+    matrices: Dict[str, np.ndarray] = {}
+    for name in relational.schema.names():
+        relation = relational.relation(name)
+        attributes = sorted(relation.attributes)
+        variable = relation_variable(name)
+        if len(attributes) == 2:
+            sizes[variable] = (symbol, symbol)
+            matrix = semiring.zeros(size, size)
+            first, second = attributes
+            for values, annotation in relation.items():
+                matrix[index[values[first]], index[values[second]]] = annotation
+        elif len(attributes) == 1:
+            sizes[variable] = (symbol, SCALAR_SYMBOL)
+            matrix = semiring.zeros(size, 1)
+            (only,) = attributes
+            for values, annotation in relation.items():
+                matrix[index[values[only]], 0] = annotation
+        else:
+            sizes[variable] = (SCALAR_SYMBOL, SCALAR_SYMBOL)
+            matrix = semiring.zeros(1, 1)
+            for _, annotation in relation.items():
+                matrix[0, 0] = annotation
+        matrices[variable] = matrix
+
+    schema = Schema(sizes)
+    instance = Instance(schema, {symbol: size}, matrices, semiring)
+    return MatrixEncoding(instance=instance, domain=domain, symbol=symbol)
+
+
+def matrix_to_relation(
+    matrix: np.ndarray,
+    attributes: Tuple[str, ...],
+    domain: Tuple[Any, ...],
+    semiring: Semiring,
+) -> KRelation:
+    """Decode a matrix over the active-domain encoding back into a K-relation.
+
+    Used to compare the result of a translated sum-MATLANG expression with the
+    result of the original RA+_K query (Proposition 6.4).
+    """
+    lifted = lift(semiring, matrix)
+    relation = KRelation(attributes, semiring)
+    ordered = sorted(attributes)
+    if len(ordered) == 2:
+        first, second = ordered
+        for i in range(lifted.shape[0]):
+            for j in range(lifted.shape[1]):
+                relation.set(
+                    {first: domain[i], second: domain[j]}, lifted[i, j]
+                )
+    elif len(ordered) == 1:
+        (only,) = ordered
+        for i in range(lifted.shape[0]):
+            relation.set({only: domain[i]}, lifted[i, 0])
+    else:
+        relation.set({}, lifted[0, 0])
+    return relation

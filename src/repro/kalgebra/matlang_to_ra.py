@@ -1,0 +1,444 @@
+"""Translating sum-MATLANG expressions to RA+_K queries (Proposition 6.3).
+
+The translation follows the inductive proof of the appendix: a sub-expression
+with free iterator variables ``v_1, ..., v_k`` and type ``(alpha, beta)``
+becomes a query over the attributes ``row_alpha`` (if ``alpha != 1``),
+``col_beta`` (if ``beta != 1``) and ``var_{v_s}`` for each free iterator.
+The full expression has no free iterators, giving exactly the statement of
+Proposition 6.3.
+
+Scalar literals do not exist in RA+_K; they are handled by introducing
+auxiliary nullary constant relations (one per distinct literal value) that the
+companion instance encoder populates.  Pointwise functions other than the
+variadic product ``mul`` (Lemma A.1) are rejected: they fall outside the
+fragment the proposition covers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.exceptions import FragmentError
+from repro.kalgebra.algebra import evaluate_query
+from repro.kalgebra.encoding import (
+    col_attribute,
+    decode_relation_to_matrix,
+    domain_attribute,
+    domain_relation,
+    encode_instance_as_relations,
+    iterator_attribute,
+    matrix_relation,
+    row_attribute,
+)
+from repro.kalgebra.query import Join, Project, Query, RelationRef, Rename, Select, Union
+from repro.kalgebra.relations import KRelation, RelationalInstance
+from repro.matlang.ast import (
+    Add,
+    Apply,
+    Diag,
+    Expression,
+    Literal,
+    MatMul,
+    OneVector,
+    ScalarMul,
+    SumLoop,
+    Transpose,
+    TypeHint,
+    Var,
+)
+from repro.matlang.fragments import Fragment, minimal_fragment
+from repro.matlang.instance import Instance
+from repro.matlang.schema import SCALAR_SYMBOL, Schema
+from repro.matlang.typecheck import TypedExpression, annotate
+
+
+@dataclass
+class TranslationResult:
+    """A translated expression: the query plus its bookkeeping.
+
+    Attributes
+    ----------
+    query:
+        The RA+_K query equivalent to the expression.
+    result_type:
+        The (row symbol, column symbol) type of the source expression.
+    constants:
+        Auxiliary nullary constant relations required by scalar literals:
+        relation name -> literal value.
+    """
+
+    query: Query
+    result_type: Tuple[str, str]
+    constants: Dict[str, float]
+
+    @property
+    def row_attr(self) -> Optional[str]:
+        return row_attribute(self.result_type[0]) if self.result_type[0] != SCALAR_SYMBOL else None
+
+    @property
+    def col_attr(self) -> Optional[str]:
+        return col_attribute(self.result_type[1]) if self.result_type[1] != SCALAR_SYMBOL else None
+
+
+@dataclass
+class _Attributes:
+    """Logical roles of the attributes of an intermediate query."""
+
+    row: Optional[str] = None
+    col: Optional[str] = None
+    iterators: Dict[str, str] = field(default_factory=dict)
+
+    def all(self) -> FrozenSet[str]:
+        names = set(self.iterators.values())
+        if self.row is not None:
+            names.add(self.row)
+        if self.col is not None:
+            names.add(self.col)
+        return frozenset(names)
+
+
+class _Translator:
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self.constants: Dict[str, float] = {}
+        self._fresh = 0
+
+    # ------------------------------------------------------------------
+    def fresh_attribute(self) -> str:
+        self._fresh += 1
+        return f"join_{self._fresh}"
+
+    def constant_relation(self, value: float) -> str:
+        for name, existing in self.constants.items():
+            if existing == value:
+                return name
+        name = f"Const_{len(self.constants)}"
+        self.constants[name] = value
+        return name
+
+    def domain_query(self, symbol: str, attribute: str) -> Query:
+        """The full domain over ``symbol`` exposed under attribute ``attribute``."""
+        return Rename({attribute: domain_attribute(symbol)}, RelationRef(domain_relation(symbol)))
+
+    # ------------------------------------------------------------------
+    def translate(
+        self, typed: TypedExpression, iterators: Dict[str, str]
+    ) -> Tuple[Query, _Attributes]:
+        """Translate a typed sub-expression.
+
+        ``iterators`` maps the names of the iterator variables bound above
+        this node to their size symbols.
+        """
+        expression = typed.expression
+        row_symbol, col_symbol = typed.type
+
+        if isinstance(expression, TypeHint):
+            return self.translate(typed.children[0], iterators)
+
+        if isinstance(expression, Var):
+            return self._translate_var(expression, typed, iterators)
+
+        if isinstance(expression, Literal):
+            name = self.constant_relation(float(expression.value))
+            return RelationRef(name), _Attributes()
+
+        if isinstance(expression, OneVector):
+            # 1(e): every index of the row symbol, annotated 1.
+            attribute = row_attribute(row_symbol)
+            return self.domain_query(row_symbol, attribute), _Attributes(row=attribute)
+
+        if isinstance(expression, Diag):
+            return self._translate_diag(typed, iterators, row_symbol)
+
+        if isinstance(expression, Transpose):
+            return self._translate_transpose(typed, iterators)
+
+        if isinstance(expression, Add):
+            return self._translate_add(typed, iterators)
+
+        if isinstance(expression, (ScalarMul, Apply)):
+            return self._translate_pointwise(expression, typed, iterators)
+
+        if isinstance(expression, MatMul):
+            return self._translate_matmul(typed, iterators)
+
+        if isinstance(expression, SumLoop):
+            return self._translate_sum(expression, typed, iterators)
+
+        raise FragmentError(
+            f"node {type(expression).__name__} is outside sum-MATLANG and cannot be "
+            "translated to RA+_K (Proposition 6.3)"
+        )
+
+    # ------------------------------------------------------------------
+    def _translate_var(
+        self, expression: Var, typed: TypedExpression, iterators: Dict[str, str]
+    ) -> Tuple[Query, _Attributes]:
+        row_symbol, col_symbol = typed.type
+        if expression.name in iterators:
+            symbol = iterators[expression.name]
+            var_attr = iterator_attribute(expression.name)
+            if row_symbol != SCALAR_SYMBOL:
+                position_attr = row_attribute(row_symbol)
+            elif col_symbol != SCALAR_SYMBOL:
+                position_attr = col_attribute(col_symbol)
+            else:
+                raise FragmentError(
+                    f"iterator variable {expression.name!r} has scalar type; cannot translate"
+                )
+            query = Select(
+                {position_attr, var_attr},
+                Join(
+                    self.domain_query(symbol, position_attr),
+                    self.domain_query(symbol, var_attr),
+                ),
+            )
+            attributes = _Attributes(iterators={expression.name: var_attr})
+            if row_symbol != SCALAR_SYMBOL:
+                attributes.row = position_attr
+            else:
+                attributes.col = position_attr
+            return query, attributes
+
+        attributes = _Attributes()
+        if row_symbol != SCALAR_SYMBOL:
+            attributes.row = row_attribute(row_symbol)
+        if col_symbol != SCALAR_SYMBOL:
+            attributes.col = col_attribute(col_symbol)
+        return RelationRef(matrix_relation(expression.name)), attributes
+
+    def _translate_diag(
+        self, typed: TypedExpression, iterators: Dict[str, str], row_symbol: str
+    ) -> Tuple[Query, _Attributes]:
+        operand_query, operand_attrs = self.translate(typed.children[0], iterators)
+        row_attr = row_attribute(row_symbol)
+        col_attr = col_attribute(row_symbol)
+        if operand_attrs.row != row_attr:
+            operand_query, operand_attrs = self._rename_role(
+                operand_query, operand_attrs, "row", row_attr
+            )
+        equality = Select(
+            {row_attr, col_attr},
+            Join(self.domain_query(row_symbol, row_attr), self.domain_query(row_symbol, col_attr)),
+        )
+        attributes = _Attributes(row=row_attr, col=col_attr, iterators=dict(operand_attrs.iterators))
+        return Join(operand_query, equality), attributes
+
+    def _translate_transpose(
+        self, typed: TypedExpression, iterators: Dict[str, str]
+    ) -> Tuple[Query, _Attributes]:
+        operand_query, operand_attrs = self.translate(typed.children[0], iterators)
+        result_row, result_col = typed.type
+        # One simultaneous rename: the operand's column attribute becomes the
+        # result's (canonical) row attribute and vice versa; iterator
+        # attributes are untouched.  A simultaneous mapping is required for
+        # square operands, where row and column attributes swap names.
+        mapping: Dict[str, str] = {name: name for name in operand_attrs.iterators.values()}
+        attributes = _Attributes(iterators=dict(operand_attrs.iterators))
+        if operand_attrs.col is not None:
+            attributes.row = row_attribute(result_row)
+            mapping[attributes.row] = operand_attrs.col
+        if operand_attrs.row is not None:
+            attributes.col = col_attribute(result_col)
+            mapping[attributes.col] = operand_attrs.row
+        if not mapping or all(new == old for new, old in mapping.items()):
+            return operand_query, attributes
+        return Rename(mapping, operand_query), attributes
+
+    def _translate_add(
+        self, typed: TypedExpression, iterators: Dict[str, str]
+    ) -> Tuple[Query, _Attributes]:
+        left_query, left_attrs = self.translate(typed.children[0], iterators)
+        right_query, right_attrs = self.translate(typed.children[1], iterators)
+        left_query, left_attrs = self._pad_iterators(
+            left_query, left_attrs, right_attrs.iterators, iterators
+        )
+        right_query, right_attrs = self._pad_iterators(
+            right_query, right_attrs, left_attrs.iterators, iterators
+        )
+        return Union(left_query, right_query), left_attrs
+
+    def _translate_pointwise(
+        self, expression, typed: TypedExpression, iterators: Dict[str, str]
+    ) -> Tuple[Query, _Attributes]:
+        if isinstance(expression, Apply) and expression.function != "mul":
+            raise FragmentError(
+                f"pointwise function {expression.function!r} cannot be translated to "
+                "RA+_K; only the product function of Lemma A.1 is supported"
+            )
+        query: Optional[Query] = None
+        attributes = _Attributes()
+        for child in typed.children:
+            child_query, child_attrs = self.translate(child, iterators)
+            if query is None:
+                query, attributes = child_query, child_attrs
+            else:
+                query = Join(query, child_query)
+                attributes = _Attributes(
+                    row=attributes.row or child_attrs.row,
+                    col=attributes.col or child_attrs.col,
+                    iterators={**attributes.iterators, **child_attrs.iterators},
+                )
+        assert query is not None
+        return query, attributes
+
+    def _translate_matmul(
+        self, typed: TypedExpression, iterators: Dict[str, str]
+    ) -> Tuple[Query, _Attributes]:
+        left_typed, right_typed = typed.children
+        inner_symbol = left_typed.type[1]
+        left_query, left_attrs = self.translate(left_typed, iterators)
+        right_query, right_attrs = self.translate(right_typed, iterators)
+
+        if inner_symbol == SCALAR_SYMBOL:
+            attributes = _Attributes(
+                row=left_attrs.row,
+                col=right_attrs.col,
+                iterators={**left_attrs.iterators, **right_attrs.iterators},
+            )
+            return Join(left_query, right_query), attributes
+
+        join_attr = self.fresh_attribute()
+        left_query, left_attrs = self._rename_attribute(
+            left_query, left_attrs, left_attrs.col, join_attr
+        )
+        left_attrs.col = None
+        right_query, right_attrs = self._rename_attribute(
+            right_query, right_attrs, right_attrs.row, join_attr
+        )
+        right_attrs.row = None
+
+        joined = Join(left_query, right_query)
+        attributes = _Attributes(
+            row=left_attrs.row,
+            col=right_attrs.col,
+            iterators={**left_attrs.iterators, **right_attrs.iterators},
+        )
+        return Project(attributes.all(), joined), attributes
+
+    def _translate_sum(
+        self, expression: SumLoop, typed: TypedExpression, iterators: Dict[str, str]
+    ) -> Tuple[Query, _Attributes]:
+        if typed.iterator_symbol is None:
+            raise FragmentError("sum quantifier is missing its iterator annotation")
+        inner_iterators = dict(iterators)
+        inner_iterators[expression.iterator] = typed.iterator_symbol
+        body_query, body_attrs = self.translate(typed.children[0], inner_iterators)
+        var_attr = body_attrs.iterators.pop(expression.iterator, None)
+        if var_attr is None:
+            # The body does not mention the iterator: summing multiplies the
+            # result by n, expressed by joining with the iterator's domain and
+            # projecting it away again.
+            var_attr = iterator_attribute(expression.iterator)
+            body_query = Join(
+                body_query, self.domain_query(typed.iterator_symbol, var_attr)
+            )
+        keep = _Attributes(
+            row=body_attrs.row, col=body_attrs.col, iterators=dict(body_attrs.iterators)
+        )
+        return Project(keep.all(), body_query), keep
+
+    # ------------------------------------------------------------------
+    # Attribute bookkeeping helpers
+    # ------------------------------------------------------------------
+    def _rename_attribute(
+        self, query: Query, attributes: _Attributes, old: Optional[str], new: str
+    ) -> Tuple[Query, _Attributes]:
+        """Rename one attribute of ``query`` (identity on all the others)."""
+        if old is None:
+            raise FragmentError("internal translation error: expected an attribute to rename")
+        if old == new:
+            return query, attributes
+        mapping = {name: name for name in attributes.all() if name != old}
+        mapping[new] = old
+        renamed = Rename(mapping, query)
+        updated = _Attributes(
+            row=new if attributes.row == old else attributes.row,
+            col=new if attributes.col == old else attributes.col,
+            iterators={
+                key: (new if value == old else value)
+                for key, value in attributes.iterators.items()
+            },
+        )
+        return renamed, updated
+
+    def _rename_role(
+        self, query: Query, attributes: _Attributes, role: str, new: str
+    ) -> Tuple[Query, _Attributes]:
+        old = attributes.row if role == "row" else attributes.col
+        return self._rename_attribute(query, attributes, old, new)
+
+    def _pad_iterators(
+        self,
+        query: Query,
+        attributes: _Attributes,
+        other_iterators: Dict[str, str],
+        iterator_symbols: Dict[str, str],
+    ) -> Tuple[Query, _Attributes]:
+        """Join with domain relations for iterators the other operand mentions."""
+        updated = _Attributes(
+            row=attributes.row, col=attributes.col, iterators=dict(attributes.iterators)
+        )
+        for name, attribute in other_iterators.items():
+            if name in updated.iterators:
+                continue
+            symbol = iterator_symbols.get(name)
+            if symbol is None:
+                raise FragmentError(
+                    f"iterator {name!r} appears free on one side of an addition but is "
+                    "not bound by an enclosing sum"
+                )
+            query = Join(query, self.domain_query(symbol, attribute))
+            updated.iterators[name] = attribute
+        return query, updated
+
+
+def translate_sum_matlang(expression: Expression, schema: Schema) -> TranslationResult:
+    """Proposition 6.3: translate a sum-MATLANG expression to an RA+_K query."""
+    fragment = minimal_fragment(expression)
+    if not Fragment.SUM_MATLANG.includes(fragment):
+        raise FragmentError(
+            f"expression lives in {fragment.display_name}; Proposition 6.3 only covers "
+            "sum-MATLANG"
+        )
+    typed = annotate(expression, schema)
+    translator = _Translator(schema)
+    query, attributes = translator.translate(typed, {})
+    if attributes.iterators:
+        raise FragmentError(
+            f"expression has free iterator variables {sorted(attributes.iterators)}"
+        )
+    return TranslationResult(
+        query=query, result_type=typed.type, constants=dict(translator.constants)
+    )
+
+
+def evaluate_via_relational(expression: Expression, instance: Instance) -> np.ndarray:
+    """Evaluate a sum-MATLANG expression by translating it to RA+_K.
+
+    The result is decoded back into a matrix so it can be compared entrywise
+    with the direct MATLANG evaluation (experiment E11).
+    """
+    translation = translate_sum_matlang(expression, instance.schema)
+    encoding = encode_instance_as_relations(instance)
+    relational = encoding.instance
+    for name, value in translation.constants.items():
+        constant = KRelation((), instance.semiring)
+        constant.set({}, value)
+        relational = relational.with_relation(name, constant)
+
+    result = evaluate_query(translation.query, relational)
+
+    row_symbol, col_symbol = translation.result_type
+    rows = instance.dimension(row_symbol) if row_symbol != SCALAR_SYMBOL else 1
+    cols = instance.dimension(col_symbol) if col_symbol != SCALAR_SYMBOL else 1
+    return decode_relation_to_matrix(
+        result,
+        (rows, cols),
+        translation.row_attr,
+        translation.col_attr,
+        instance.semiring,
+    )

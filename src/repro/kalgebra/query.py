@@ -1,0 +1,169 @@
+"""The RA+_K query language: syntax and schema function.
+
+The grammar is that of Section 6.1::
+
+    Q := R | Q u Q | pi_X(Q) | sigma_X(Q) | rho_f(Q) | Q |x| Q
+
+with the syntactic restrictions of the paper: both operands of a union have
+the same signature, the attribute set of a projection or selection is
+contained in the operand's signature, and the renaming ``f : X -> Y`` is a
+bijection whose range is the operand's signature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Mapping, Tuple
+
+from repro.exceptions import SchemaError
+from repro.kalgebra.relations import RelationalSchema
+
+
+@dataclass(frozen=True)
+class Query:
+    """Base class of RA+_K query nodes."""
+
+    def children(self) -> Tuple["Query", ...]:
+        return ()
+
+    def walk(self):
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+@dataclass(frozen=True)
+class RelationRef(Query):
+    """A base relation ``R``."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Union(Query):
+    """Annotation-adding union ``Q1 u Q2``."""
+
+    left: Query
+    right: Query
+
+    def children(self) -> Tuple[Query, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Project(Query):
+    """Projection ``pi_X(Q)``: sums annotations of agreeing tuples."""
+
+    attributes: FrozenSet[str]
+    operand: Query
+
+    def __init__(self, attributes: Iterable[str], operand: Query) -> None:
+        object.__setattr__(self, "attributes", frozenset(attributes))
+        object.__setattr__(self, "operand", operand)
+
+    def children(self) -> Tuple[Query, ...]:
+        return (self.operand,)
+
+
+@dataclass(frozen=True)
+class Select(Query):
+    """Selection ``sigma_X(Q)``: keeps tuples whose ``X`` attributes are all equal."""
+
+    attributes: FrozenSet[str]
+    operand: Query
+
+    def __init__(self, attributes: Iterable[str], operand: Query) -> None:
+        object.__setattr__(self, "attributes", frozenset(attributes))
+        object.__setattr__(self, "operand", operand)
+
+    def children(self) -> Tuple[Query, ...]:
+        return (self.operand,)
+
+
+@dataclass(frozen=True)
+class Rename(Query):
+    """Renaming ``rho_f(Q)`` for a bijection ``f : X -> Y`` with ``Y`` the operand schema.
+
+    ``mapping`` sends *new* attribute names to *old* ones, i.e. it is the
+    function ``f`` of the paper: the result has schema ``X = dom(f)`` and the
+    annotation of ``t`` is that of ``t o f`` in the operand.
+    """
+
+    mapping: Tuple[Tuple[str, str], ...]
+    operand: Query
+
+    def __init__(self, mapping: Mapping[str, str], operand: Query) -> None:
+        object.__setattr__(self, "mapping", tuple(sorted(mapping.items())))
+        object.__setattr__(self, "operand", operand)
+
+    def children(self) -> Tuple[Query, ...]:
+        return (self.operand,)
+
+    def as_dict(self) -> Dict[str, str]:
+        return dict(self.mapping)
+
+
+@dataclass(frozen=True)
+class Join(Query):
+    """Natural join ``Q1 |x| Q2``: annotations of joined tuples are multiplied."""
+
+    left: Query
+    right: Query
+
+    def children(self) -> Tuple[Query, ...]:
+        return (self.left, self.right)
+
+
+def query_schema(query: Query, schema: RelationalSchema) -> FrozenSet[str]:
+    """The signature ``R(Q)`` of a query, validating the paper's side conditions."""
+    if isinstance(query, RelationRef):
+        return schema.signature(query.name)
+
+    if isinstance(query, Union):
+        left = query_schema(query.left, schema)
+        right = query_schema(query.right, schema)
+        if left != right:
+            raise SchemaError(
+                f"union operands must have the same signature, got {sorted(left)} "
+                f"and {sorted(right)}"
+            )
+        return left
+
+    if isinstance(query, Project):
+        operand = query_schema(query.operand, schema)
+        if not query.attributes <= operand:
+            raise SchemaError(
+                f"projection attributes {sorted(query.attributes)} are not contained in "
+                f"the operand signature {sorted(operand)}"
+            )
+        return query.attributes
+
+    if isinstance(query, Select):
+        operand = query_schema(query.operand, schema)
+        if not query.attributes <= operand:
+            raise SchemaError(
+                f"selection attributes {sorted(query.attributes)} are not contained in "
+                f"the operand signature {sorted(operand)}"
+            )
+        return operand
+
+    if isinstance(query, Rename):
+        operand = query_schema(query.operand, schema)
+        mapping = query.as_dict()
+        new_attributes = frozenset(mapping)
+        old_attributes = frozenset(mapping.values())
+        if old_attributes != operand:
+            raise SchemaError(
+                f"renaming range {sorted(old_attributes)} must equal the operand "
+                f"signature {sorted(operand)}"
+            )
+        if len(new_attributes) != len(mapping):
+            raise SchemaError("renaming must be one-to-one")
+        return new_attributes
+
+    if isinstance(query, Join):
+        left = query_schema(query.left, schema)
+        right = query_schema(query.right, schema)
+        return left | right
+
+    raise SchemaError(f"unknown query node {type(query).__name__}")

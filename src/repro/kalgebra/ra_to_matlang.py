@@ -1,0 +1,153 @@
+"""Translating RA+_K queries over binary schemas to sum-MATLANG (Proposition 6.4).
+
+Following the appendix, every attribute ``A`` appearing in the query is given
+a canonical-vector variable ``v_A``; a query ``Q`` with signature
+``{A_1 < ... < A_k}`` is translated to a scalar expression ``e_Q(v_{A_1}, ...,
+v_{A_k})`` such that evaluating ``e_Q`` with ``v_{A_s}`` bound to the
+``i_s``-th canonical vector yields the annotation of the tuple
+``(d_{i_1}, ..., d_{i_k})`` in the query answer, where ``d_1 < d_2 < ...`` is
+the active domain of the instance.  The final wrapper re-assembles the scalar
+expression into a matrix / vector / scalar result by summing over the free
+attribute variables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Tuple
+
+from repro.exceptions import SchemaError
+from repro.kalgebra.encoding import (
+    MatrixEncoding,
+    encode_relations_as_matrices,
+    matrix_to_relation,
+    relation_variable,
+)
+from repro.kalgebra.query import Join, Project, Query, RelationRef, Rename, Select, Union, query_schema
+from repro.kalgebra.relations import KRelation, RelationalInstance, RelationalSchema
+from repro.matlang.ast import Expression, Var
+from repro.matlang.builder import ssum, var
+from repro.matlang.evaluator import evaluate
+from repro.matlang.schema import Schema
+
+
+def attribute_variable(attribute: str) -> str:
+    """The canonical-vector variable name standing for attribute ``attribute``."""
+    return f"_attr_{attribute}"
+
+
+def _scalar_translation(
+    query: Query, schema: RelationalSchema, variables: Dict[str, str]
+) -> Expression:
+    """The scalar expression ``e_Q`` of the appendix (free attribute variables)."""
+    if isinstance(query, RelationRef):
+        signature = sorted(schema.signature(query.name))
+        matrix = Var(relation_variable(query.name))
+        if len(signature) == 2:
+            first, second = signature
+            return var(variables[first]).T @ matrix @ var(variables[second])
+        if len(signature) == 1:
+            (only,) = signature
+            return matrix.T @ var(variables[only])
+        return matrix
+
+    if isinstance(query, Union):
+        left = _scalar_translation(query.left, schema, variables)
+        right = _scalar_translation(query.right, schema, variables)
+        return left + right
+
+    if isinstance(query, Project):
+        operand_signature = query_schema(query.operand, schema)
+        removed = sorted(operand_signature - query.attributes)
+        expression = _scalar_translation(query.operand, schema, variables)
+        for attribute in reversed(removed):
+            expression = ssum(variables[attribute], expression)
+        return expression
+
+    if isinstance(query, Select):
+        expression = _scalar_translation(query.operand, schema, variables)
+        attributes = sorted(query.attributes)
+        for left, right in zip(attributes, attributes[1:]):
+            expression = expression @ (var(variables[left]).T @ var(variables[right]))
+        return expression
+
+    if isinstance(query, Rename):
+        mapping = query.as_dict()
+        # The annotation of t under rho_f(Q') is that of t o f in Q', so the
+        # variable standing for the old attribute f(A) must be the variable of
+        # the new attribute A.
+        inner_variables = dict(variables)
+        for new, old in mapping.items():
+            inner_variables[old] = variables[new]
+        return _scalar_translation(query.operand, schema, inner_variables)
+
+    if isinstance(query, Join):
+        left = _scalar_translation(query.left, schema, variables)
+        right = _scalar_translation(query.right, schema, variables)
+        return left @ right
+
+    raise SchemaError(f"unknown query node {type(query).__name__}")
+
+
+def _collect_attributes(query: Query, schema: RelationalSchema) -> FrozenSet[str]:
+    """Every attribute mentioned anywhere in the query (for variable allocation)."""
+    attributes = set()
+
+    def visit(node: Query) -> None:
+        attributes.update(query_schema(node, schema))
+        for child in node.children():
+            visit(child)
+
+    visit(query)
+    return frozenset(attributes)
+
+
+def translate_query(query: Query, schema: RelationalSchema, symbol: str = "alpha") -> Expression:
+    """Proposition 6.4: translate an RA+_K query to a sum-MATLANG expression.
+
+    The query's signature must have arity at most two; its answer over a
+    K-instance ``J`` coincides (under the active-domain encoding ``Mat(J)``)
+    with the evaluation of the returned expression.
+    """
+    if not schema.is_binary_schema():
+        raise SchemaError("Proposition 6.4 requires a binary relational schema")
+    signature = sorted(query_schema(query, schema))
+    if len(signature) > 2:
+        raise SchemaError(
+            "the output signature of the query must have arity at most two, got "
+            f"{signature}"
+        )
+
+    variables = {
+        attribute: attribute_variable(attribute)
+        for attribute in _collect_attributes(query, schema)
+    }
+    scalar = _scalar_translation(query, schema, variables)
+
+    if len(signature) == 2:
+        first, second = signature
+        body = scalar * (var(variables[first]) @ var(variables[second]).T)
+        return ssum(variables[first], ssum(variables[second], body))
+    if len(signature) == 1:
+        (only,) = signature
+        return ssum(variables[only], scalar * var(variables[only]))
+    return scalar
+
+
+def evaluate_query_via_matlang(
+    query: Query, instance: RelationalInstance, symbol: str = "alpha"
+) -> KRelation:
+    """Evaluate an RA+_K query by translating it to sum-MATLANG.
+
+    The relational instance is encoded as matrices over its active domain
+    (``Mat(J)``), the translated expression is evaluated, and the resulting
+    matrix is decoded back into a K-relation over the original domain values,
+    ready to be compared against :func:`repro.kalgebra.algebra.evaluate_query`
+    (experiment E12).
+    """
+    expression = translate_query(query, instance.schema, symbol)
+    encoding: MatrixEncoding = encode_relations_as_matrices(instance, symbol)
+    result_matrix = evaluate(expression, encoding.instance)
+
+    signature = tuple(sorted(query_schema(query, instance.schema)))
+    semiring = encoding.instance.semiring
+    return matrix_to_relation(result_matrix, signature, encoding.domain, semiring)

@@ -1,0 +1,204 @@
+"""K-relations: relations whose tuples are annotated with semiring values.
+
+A K-relation of signature ``R`` (a finite set of attributes) is a function
+from ``R``-tuples to ``K`` with finite support.  Tuples are mappings from
+attribute names to domain values; internally they are stored in a canonical
+sorted-pair form so they can be dictionary keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Tuple
+
+from repro.exceptions import SchemaError, SemiringError
+from repro.semiring import Semiring
+
+#: The canonical, hashable form of a tuple: attribute/value pairs sorted by attribute.
+TupleKey = Tuple[Tuple[str, Any], ...]
+
+
+def tuple_key(values: Mapping[str, Any], attributes: FrozenSet[str]) -> TupleKey:
+    """Canonicalise a tuple mapping, checking it covers exactly ``attributes``."""
+    if set(values) != set(attributes):
+        raise SchemaError(
+            f"tuple over {sorted(values)} does not match signature {sorted(attributes)}"
+        )
+    return tuple(sorted(values.items()))
+
+
+def restrict(key: TupleKey, attributes: Iterable[str]) -> TupleKey:
+    """The restriction ``t[X]`` of a tuple to a subset of its attributes."""
+    wanted = set(attributes)
+    return tuple((attribute, value) for attribute, value in key if attribute in wanted)
+
+
+class RelationalSchema:
+    """A relational schema: relation names mapped to attribute sets."""
+
+    def __init__(self, signatures: Mapping[str, Iterable[str]]) -> None:
+        self._signatures: Dict[str, FrozenSet[str]] = {
+            name: frozenset(attributes) for name, attributes in signatures.items()
+        }
+
+    def signature(self, name: str) -> FrozenSet[str]:
+        try:
+            return self._signatures[name]
+        except KeyError:
+            raise SchemaError(f"relation {name!r} is not declared in the schema") from None
+
+    def declares(self, name: str) -> bool:
+        return name in self._signatures
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._signatures))
+
+    def is_binary_schema(self) -> bool:
+        """Whether every relation has arity at most two (Section 6.1)."""
+        return all(len(signature) <= 2 for signature in self._signatures.values())
+
+    def with_relation(self, name: str, attributes: Iterable[str]) -> "RelationalSchema":
+        updated = dict(self._signatures)
+        updated[name] = frozenset(attributes)
+        return RelationalSchema(updated)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._signatures
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+
+class KRelation:
+    """A finitely supported function from tuples to semiring values."""
+
+    def __init__(
+        self,
+        attributes: Iterable[str],
+        semiring: Semiring,
+        annotations: Optional[Mapping[Mapping[str, Any] | TupleKey, Any]] = None,
+    ) -> None:
+        self.attributes: FrozenSet[str] = frozenset(attributes)
+        self.semiring = semiring
+        self._annotations: Dict[TupleKey, Any] = {}
+        if annotations:
+            for raw_tuple, value in annotations.items():
+                if isinstance(raw_tuple, tuple):
+                    mapping = dict(raw_tuple)
+                else:
+                    mapping = dict(raw_tuple)
+                self.set(mapping, value)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def set(self, values: Mapping[str, Any], annotation: Any) -> None:
+        """Assign an annotation to a tuple (zero annotations are dropped)."""
+        key = tuple_key(values, self.attributes)
+        coerced = self.semiring.coerce(annotation)
+        if self.semiring.is_zero(coerced):
+            self._annotations.pop(key, None)
+        else:
+            self._annotations[key] = coerced
+
+    def add(self, values: Mapping[str, Any], annotation: Any) -> None:
+        """Add ``annotation`` to the tuple's current annotation."""
+        key = tuple_key(values, self.attributes)
+        current = self._annotations.get(key, self.semiring.zero)
+        combined = self.semiring.plus(current, self.semiring.coerce(annotation))
+        if self.semiring.is_zero(combined):
+            self._annotations.pop(key, None)
+        else:
+            self._annotations[key] = combined
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def annotation(self, values: Mapping[str, Any]) -> Any:
+        """The annotation of a tuple (the semiring zero when absent)."""
+        key = tuple_key(values, self.attributes)
+        return self._annotations.get(key, self.semiring.zero)
+
+    def support(self) -> Tuple[Dict[str, Any], ...]:
+        """The tuples with non-zero annotation, as plain dictionaries."""
+        return tuple(dict(key) for key in self._annotations)
+
+    def support_size(self) -> int:
+        return len(self._annotations)
+
+    def items(self) -> Iterator[Tuple[Dict[str, Any], Any]]:
+        """Iterate over ``(tuple, annotation)`` pairs of the support."""
+        for key, value in self._annotations.items():
+            yield dict(key), value
+
+    def active_domain(self) -> Tuple[Any, ...]:
+        """All domain values appearing in the support, sorted."""
+        values = {value for key in self._annotations for _, value in key}
+        return tuple(sorted(values))
+
+    def equals(self, other: "KRelation", tolerance: float = 1e-9) -> bool:
+        """Whether two K-relations agree on every tuple (up to tolerance)."""
+        if self.attributes != other.attributes:
+            return False
+        keys = set(self._annotations) | set(other._annotations)
+        for key in keys:
+            mine = self._annotations.get(key, self.semiring.zero)
+            theirs = other._annotations.get(key, other.semiring.zero)
+            if not self.semiring.close_to(mine, theirs, tolerance):
+                return False
+        return True
+
+    def copy(self) -> "KRelation":
+        duplicate = KRelation(self.attributes, self.semiring)
+        duplicate._annotations = dict(self._annotations)
+        return duplicate
+
+    def __len__(self) -> int:
+        return len(self._annotations)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"KRelation(attributes={sorted(self.attributes)}, "
+            f"support={len(self._annotations)}, semiring={self.semiring.name})"
+        )
+
+
+@dataclass
+class RelationalInstance:
+    """A K-instance: one K-relation per relation name of a schema."""
+
+    schema: RelationalSchema
+    relations: Dict[str, KRelation] = field(default_factory=dict)
+    semiring: Optional[Semiring] = None
+
+    def __post_init__(self) -> None:
+        for name, relation in self.relations.items():
+            declared = self.schema.signature(name)
+            if relation.attributes != declared:
+                raise SchemaError(
+                    f"relation {name!r} has attributes {sorted(relation.attributes)}, "
+                    f"schema declares {sorted(declared)}"
+                )
+            if self.semiring is None:
+                self.semiring = relation.semiring
+            elif self.semiring != relation.semiring:
+                raise SemiringError("all relations of an instance must share one semiring")
+
+    def relation(self, name: str) -> KRelation:
+        try:
+            return self.relations[name]
+        except KeyError:
+            raise SchemaError(f"instance has no relation named {name!r}") from None
+
+    def active_domain(self) -> Tuple[Any, ...]:
+        """The active domain of the whole instance, sorted."""
+        values = set()
+        for relation in self.relations.values():
+            values.update(relation.active_domain())
+        return tuple(sorted(values))
+
+    def with_relation(self, name: str, relation: KRelation) -> "RelationalInstance":
+        schema = self.schema.with_relation(name, relation.attributes)
+        relations = dict(self.relations)
+        relations[name] = relation
+        return RelationalInstance(schema, relations, self.semiring)

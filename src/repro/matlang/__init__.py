@@ -1,0 +1,109 @@
+"""MATLANG and for-MATLANG: expressions, typing, instances and evaluation.
+
+This subpackage implements Sections 2 and 3 of the paper:
+
+* the expression language (:mod:`repro.matlang.ast`) with the MATLANG core
+  operators, the ``for`` loop over canonical vectors, and the three quantifier
+  sugars Sigma (sum), Hadamard-product and matrix-product used to delineate the
+  fragments of Section 6;
+* schemas with size symbols and the typing relation
+  (:mod:`repro.matlang.schema`, :mod:`repro.matlang.typecheck`);
+* instances assigning dimensions and concrete K-matrices to variables
+  (:mod:`repro.matlang.instance`);
+* pointwise function libraries such as ``f_/`` and ``f_>0``
+  (:mod:`repro.matlang.functions`);
+* the evaluator over an arbitrary commutative semiring
+  (:mod:`repro.matlang.evaluator`);
+* the fragment classifier and degree analysis
+  (:mod:`repro.matlang.fragments`, :mod:`repro.matlang.degree`);
+* a surface-syntax parser and pretty printer
+  (:mod:`repro.matlang.parser`, :mod:`repro.matlang.printer`).
+"""
+
+from repro.matlang.ast import (
+    Add,
+    Apply,
+    Expression,
+    Diag,
+    ForLoop,
+    HadamardLoop,
+    Literal,
+    MatMul,
+    OneVector,
+    ProductLoop,
+    ScalarMul,
+    SumLoop,
+    Transpose,
+    TypeHint,
+    Var,
+)
+from repro.matlang.builder import (
+    apply,
+    diag,
+    forloop,
+    had,
+    lit,
+    ones,
+    prod,
+    scalar_mul,
+    ssum,
+    var,
+)
+from repro.matlang.degree import DegreeReport, analyse_degree, circuit_degree_for_dimension
+from repro.matlang.evaluator import Evaluator, evaluate
+from repro.matlang.fragments import Fragment, classify, is_in_fragment, required_functions
+from repro.matlang.functions import FunctionRegistry, PointwiseFunction, default_registry
+from repro.matlang.instance import Instance
+from repro.matlang.parser import parse
+from repro.matlang.printer import to_text
+from repro.matlang.schema import SCALAR_SYMBOL, MatrixType, Schema
+from repro.matlang.typecheck import TypedExpression, annotate, infer_type
+
+__all__ = [
+    "Add",
+    "Apply",
+    "Diag",
+    "DegreeReport",
+    "Evaluator",
+    "Expression",
+    "ForLoop",
+    "Fragment",
+    "FunctionRegistry",
+    "HadamardLoop",
+    "Instance",
+    "Literal",
+    "MatMul",
+    "MatrixType",
+    "OneVector",
+    "PointwiseFunction",
+    "ProductLoop",
+    "SCALAR_SYMBOL",
+    "ScalarMul",
+    "Schema",
+    "SumLoop",
+    "Transpose",
+    "TypeHint",
+    "TypedExpression",
+    "Var",
+    "analyse_degree",
+    "annotate",
+    "apply",
+    "circuit_degree_for_dimension",
+    "classify",
+    "default_registry",
+    "diag",
+    "evaluate",
+    "forloop",
+    "had",
+    "infer_type",
+    "is_in_fragment",
+    "lit",
+    "ones",
+    "parse",
+    "prod",
+    "required_functions",
+    "scalar_mul",
+    "ssum",
+    "to_text",
+    "var",
+]

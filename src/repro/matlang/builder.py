@@ -1,0 +1,118 @@
+"""A small Python-embedded DSL for building MATLANG expressions.
+
+The builder functions mirror the paper's notation:
+
+>>> from repro.matlang.builder import var, ssum, ones
+>>> A, v = var("A"), var("v")
+>>> expr = ssum("v", v.T @ A @ v)       # Sigma v. v^T . A . v  (the trace)
+
+Expressions also support ``+`` (addition), ``@`` (matrix multiplication),
+``*`` (scalar multiplication, left operand must be 1x1) and ``.T``
+(transposition) directly; see :class:`repro.matlang.ast.Expression`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.matlang.ast import (
+    Apply,
+    Diag,
+    Expression,
+    ForLoop,
+    HadamardLoop,
+    Literal,
+    OneVector,
+    ProductLoop,
+    ScalarMul,
+    SumLoop,
+    TypeHint,
+    Var,
+)
+
+ExpressionLike = Union[Expression, int, float]
+
+
+def _coerce(value: ExpressionLike) -> Expression:
+    if isinstance(value, Expression):
+        return value
+    if isinstance(value, (int, float)):
+        return Literal(float(value))
+    raise TypeError(f"cannot interpret {value!r} as a MATLANG expression")
+
+
+def var(name: str) -> Var:
+    """A matrix variable reference."""
+    return Var(name)
+
+
+def lit(value: float) -> Literal:
+    """A 1x1 constant."""
+    return Literal(float(value))
+
+
+def ones(operand: ExpressionLike) -> OneVector:
+    """The ones-vector ``1(e)``."""
+    return OneVector(_coerce(operand))
+
+
+def diag(operand: ExpressionLike) -> Diag:
+    """Diagonalisation ``diag(e)`` of a column vector."""
+    return Diag(_coerce(operand))
+
+
+def scalar_mul(scalar: ExpressionLike, operand: ExpressionLike) -> ScalarMul:
+    """Scalar multiplication ``e1 x e2``."""
+    return ScalarMul(_coerce(scalar), _coerce(operand))
+
+
+def apply(function: str, *operands: ExpressionLike) -> Apply:
+    """Pointwise application ``f(e1, ..., ek)``."""
+    return Apply(function, tuple(_coerce(operand) for operand in operands))
+
+
+def forloop(
+    iterator: str,
+    accumulator: str,
+    body: ExpressionLike,
+    init: Optional[ExpressionLike] = None,
+) -> ForLoop:
+    """The canonical for-loop ``for v, X (= init). body``."""
+    return ForLoop(
+        iterator,
+        accumulator,
+        _coerce(body),
+        None if init is None else _coerce(init),
+    )
+
+
+def ssum(iterator: str, body: ExpressionLike) -> SumLoop:
+    """The Sigma quantifier ``Sigma v. e`` of sum-MATLANG."""
+    return SumLoop(iterator, _coerce(body))
+
+
+def had(iterator: str, body: ExpressionLike) -> HadamardLoop:
+    """The Hadamard-product quantifier ``Pi-o v. e`` of FO-MATLANG."""
+    return HadamardLoop(iterator, _coerce(body))
+
+
+def prod(iterator: str, body: ExpressionLike) -> ProductLoop:
+    """The matrix-product quantifier ``Pi v. e`` of prod-MATLANG."""
+    return ProductLoop(iterator, _coerce(body))
+
+
+def hint(
+    operand: ExpressionLike, row: Optional[str] = None, col: Optional[str] = None
+) -> TypeHint:
+    """Attach a type hint ``(e : row x col)`` to an expression."""
+    return TypeHint(_coerce(operand), row, col)
+
+
+def hadamard(left: ExpressionLike, right: ExpressionLike) -> Apply:
+    """The binary Hadamard product ``e1 o e2`` as a pointwise application."""
+    return apply("mul", left, right)
+
+
+def minus(left: ExpressionLike, right: ExpressionLike) -> Expression:
+    """Subtraction ``e1 - e2`` as ``e1 + (-1) x e2`` (rings only)."""
+    return _coerce(left) + ScalarMul(Literal(-1.0), _coerce(right))

@@ -1,0 +1,254 @@
+"""Degree analysis for for-MATLANG expressions.
+
+Section 5.2 defines the *degree* of a for-MATLANG expression as the smallest
+degree of an equivalent arithmetic-circuit family, and Proposition 5.5 shows
+that deciding whether an expression has polynomial degree is undecidable.
+Two complementary, decidable tools are therefore provided:
+
+* :func:`analyse_degree` — a conservative syntactic analysis.  It tracks, for
+  every loop, how the degree of the accumulator grows per iteration.  When no
+  loop multiplies its accumulator with itself (or feeds it through an
+  unbounded pointwise function), the expression is certified to have
+  polynomial degree; this criterion covers all of sum-MATLANG (Proposition
+  6.1), FO-MATLANG, prod-MATLANG, and every Section 4 algorithm.  The analysis
+  may report ``certified_polynomial = False`` for expressions that happen to
+  be polynomial — that is the unavoidable price of Proposition 5.5.
+* :func:`circuit_degree_for_dimension` — the exact degree for one concrete
+  dimension ``n``, obtained by compiling the expression to an arithmetic
+  circuit (Theorem 5.3) and reading off the circuit degree.  Evaluating it for
+  a sweep of ``n`` values exposes growth behaviour empirically, e.g. the
+  doubly-exponential ``e_exp = for v, X = A. X . X`` of Section 5.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.matlang.ast import (
+    Add,
+    Apply,
+    Diag,
+    Expression,
+    ForLoop,
+    HadamardLoop,
+    Literal,
+    MatMul,
+    OneVector,
+    ProductLoop,
+    ScalarMul,
+    SumLoop,
+    Transpose,
+    TypeHint,
+    Var,
+)
+
+#: Pointwise functions through which degree analysis can track growth:
+#: ``mul`` multiplies degrees, the others keep the maximum of their arguments.
+_MULTIPLICATIVE_FUNCTIONS = frozenset({"mul", "square"})
+_DEGREE_PRESERVING_FUNCTIONS = frozenset({"add", "sub", "neg", "min", "max", "abs"})
+
+
+@dataclass(frozen=True)
+class LoopGrowth:
+    """Per-iteration growth of a loop accumulator's degree.
+
+    After one iteration the accumulator degree ``d`` becomes at most
+    ``multiplier * d + increment``.  ``multiplier <= 1`` means the degree grows
+    by at most an additive constant per iteration, hence stays polynomial in
+    the dimension ``n``.
+    """
+
+    iterator: str
+    accumulator: Optional[str]
+    multiplier: int
+    increment: int
+
+    @property
+    def is_polynomial(self) -> bool:
+        return self.multiplier <= 1
+
+
+@dataclass(frozen=True)
+class DegreeReport:
+    """Result of the syntactic degree analysis."""
+
+    certified_polynomial: bool
+    loops: Tuple[LoopGrowth, ...]
+    opaque_functions: Tuple[str, ...]
+    base_degree: int
+
+    def explain(self) -> str:
+        """A human-readable summary of why the certificate holds or fails."""
+        if self.certified_polynomial:
+            return (
+                "every loop grows its accumulator degree by at most an additive "
+                f"constant per iteration (base degree {self.base_degree})"
+            )
+        reasons = []
+        for loop in self.loops:
+            if not loop.is_polynomial:
+                reasons.append(
+                    f"loop over {loop.iterator!r} multiplies the degree of its "
+                    f"accumulator by {loop.multiplier} each iteration"
+                )
+        for function in self.opaque_functions:
+            reasons.append(f"pointwise function {function!r} is not degree-tracked")
+        return "; ".join(reasons) if reasons else "no certificate produced"
+
+
+@dataclass(frozen=True)
+class _Degree:
+    """Symbolic degree: ``constant + accumulator_coefficient * deg(accumulator)``."""
+
+    constant: int
+    accumulator_coefficient: int = 0
+
+    def combine_max(self, other: "_Degree") -> "_Degree":
+        return _Degree(
+            max(self.constant, other.constant),
+            max(self.accumulator_coefficient, other.accumulator_coefficient),
+        )
+
+    def combine_sum(self, other: "_Degree") -> "_Degree":
+        # deg(e1 . e2) = deg(e1) + deg(e2); the cross term between two
+        # accumulator occurrences is what makes X . X super-polynomial, which
+        # we track by adding the coefficients.
+        return _Degree(
+            self.constant + other.constant,
+            self.accumulator_coefficient + other.accumulator_coefficient,
+        )
+
+
+def analyse_degree(expression: Expression) -> DegreeReport:
+    """Run the conservative syntactic degree analysis on ``expression``."""
+    loops: list[LoopGrowth] = []
+    opaque: set[str] = set()
+    degree = _analyse(expression, accumulator=None, loops=loops, opaque=opaque)
+    certified = not opaque and all(loop.is_polynomial for loop in loops)
+    return DegreeReport(
+        certified_polynomial=certified,
+        loops=tuple(loops),
+        opaque_functions=tuple(sorted(opaque)),
+        base_degree=degree.constant,
+    )
+
+
+def is_certified_polynomial_degree(expression: Expression) -> bool:
+    """Whether the syntactic analysis certifies polynomial degree."""
+    return analyse_degree(expression).certified_polynomial
+
+
+def _analyse(
+    expression: Expression,
+    accumulator: Optional[str],
+    loops: list,
+    opaque: set,
+) -> _Degree:
+    if isinstance(expression, Var):
+        if accumulator is not None and expression.name == accumulator:
+            return _Degree(0, 1)
+        return _Degree(1, 0)
+
+    if isinstance(expression, Literal):
+        return _Degree(0, 0)
+
+    if isinstance(expression, (Transpose, OneVector, Diag, TypeHint)):
+        child = expression.children()[0] if expression.children() else None
+        if child is None:
+            return _Degree(0, 0)
+        inner = _analyse(child, accumulator, loops, opaque)
+        if isinstance(expression, OneVector):
+            return _Degree(0, 0)
+        return inner
+
+    if isinstance(expression, Add):
+        left = _analyse(expression.left, accumulator, loops, opaque)
+        right = _analyse(expression.right, accumulator, loops, opaque)
+        return left.combine_max(right)
+
+    if isinstance(expression, (MatMul, ScalarMul)):
+        children = expression.children()
+        left = _analyse(children[0], accumulator, loops, opaque)
+        right = _analyse(children[1], accumulator, loops, opaque)
+        return left.combine_sum(right)
+
+    if isinstance(expression, Apply):
+        operands = [_analyse(op, accumulator, loops, opaque) for op in expression.operands]
+        if expression.function in _MULTIPLICATIVE_FUNCTIONS:
+            total = _Degree(0, 0)
+            for operand in operands:
+                total = total.combine_sum(operand)
+            if expression.function == "square":
+                total = total.combine_sum(total)
+            return total
+        if expression.function in _DEGREE_PRESERVING_FUNCTIONS:
+            total = _Degree(0, 0)
+            for operand in operands:
+                total = total.combine_max(operand)
+            return total
+        # Division and unknown functions are handled conservatively: they do
+        # not break polynomiality of the *numerator/denominator degrees*
+        # (Corollary 5.6), but we cannot bound composition through them, so we
+        # record them as opaque unless the operands are accumulator-free.
+        total = _Degree(0, 0)
+        involves_accumulator = False
+        for operand in operands:
+            total = total.combine_max(operand)
+            if operand.accumulator_coefficient > 0:
+                involves_accumulator = True
+        if involves_accumulator:
+            opaque.add(expression.function)
+        return total
+
+    if isinstance(expression, SumLoop):
+        body = _analyse(expression.body, accumulator, loops, opaque)
+        loops.append(LoopGrowth(expression.iterator, None, 1, body.constant))
+        return body
+
+    if isinstance(expression, (HadamardLoop, ProductLoop)):
+        body = _analyse(expression.body, accumulator, loops, opaque)
+        # The accumulator of the desugared loop is multiplied by the body once
+        # per iteration; its own degree is not squared, so growth is linear in
+        # n, i.e. polynomial degree.
+        loops.append(LoopGrowth(expression.iterator, None, 1, body.constant))
+        return body
+
+    if isinstance(expression, ForLoop):
+        init_degree = _Degree(0, 0)
+        if expression.init is not None:
+            init_degree = _analyse(expression.init, accumulator, loops, opaque)
+        body = _analyse(expression.body, expression.accumulator, loops, opaque)
+        loops.append(
+            LoopGrowth(
+                expression.iterator,
+                expression.accumulator,
+                body.accumulator_coefficient,
+                body.constant,
+            )
+        )
+        # Degree of the loop as seen from the outside: when growth is linear
+        # (coefficient <= 1) the result degree is bounded by
+        # init + n * increment, polynomial in n; we report the additive part.
+        outer_constant = max(init_degree.constant, body.constant)
+        return _Degree(outer_constant, init_degree.accumulator_coefficient)
+
+    raise TypeError(f"cannot analyse unknown node {type(expression).__name__}")
+
+
+def circuit_degree_for_dimension(
+    expression: Expression,
+    schema,
+    dimension: int,
+) -> int:
+    """Exact degree of ``expression`` at concrete dimension ``n``.
+
+    The expression is compiled to an arithmetic circuit over matrices
+    (Theorem 5.3) for the given dimension and the circuit's degree is
+    returned.  Imported lazily to avoid a circular dependency between the
+    language and circuit packages.
+    """
+    from repro.circuits.from_matlang import compile_expression
+
+    compiled = compile_expression(expression, schema, dimension)
+    return compiled.circuit.degree()

@@ -1,0 +1,308 @@
+"""Evaluation of MATLANG / for-MATLANG expressions over a semiring.
+
+The semantics follows Sections 2, 3.1 and 6 of the paper.  Evaluation proceeds
+on the *typed* tree produced by :func:`repro.matlang.typecheck.annotate`: the
+resolved size symbols tell the evaluator which dimension each for-loop ranges
+over and what the shape of an empty accumulator is, so no shape information
+has to be re-derived at run time.
+
+The evaluator is generic over the commutative semiring of the instance; the
+real field uses dense ``float64`` numpy arrays, all other semirings use
+object-dtype arrays (see :mod:`repro.semiring`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.exceptions import EvaluationError, TypingError
+from repro.matlang.ast import (
+    Add,
+    Apply,
+    Diag,
+    Expression,
+    ForLoop,
+    HadamardLoop,
+    Literal,
+    MatMul,
+    OneVector,
+    ProductLoop,
+    ScalarMul,
+    SumLoop,
+    Transpose,
+    TypeHint,
+    Var,
+)
+from repro.matlang.functions import FunctionRegistry, default_registry
+from repro.matlang.instance import Instance
+from repro.matlang.typecheck import TypedExpression, annotate
+from repro.semiring import canonical_vector, identity, ones_matrix, scalar
+
+
+class Evaluator:
+    """Evaluates annotated expressions against a fixed instance.
+
+    The evaluator is reusable: :meth:`run` may be called many times with
+    different expressions over the same instance, which the benchmark harness
+    exploits.
+    """
+
+    def __init__(
+        self,
+        instance: Instance,
+        functions: Optional[FunctionRegistry] = None,
+        memoize: bool = True,
+    ) -> None:
+        self.instance = instance
+        self.semiring = instance.semiring
+        self.functions = functions if functions is not None else default_registry()
+        self.memoize = memoize
+        #: Cache of results of loop sub-expressions that do not depend on any
+        #: loop-bound variable.  Such sub-expressions (for example the order
+        #: matrix ``S_<=`` occurring inside the body of an LU reduction loop)
+        #: would otherwise be re-evaluated once per iteration of every
+        #: enclosing loop, turning the stdlib constructions quadratically
+        #: slower than necessary.  The cache is keyed by the identity of the
+        #: annotated node, so structurally equal but distinct sub-trees are
+        #: simply cached separately.
+        self._cache: Dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self, expression: Expression) -> np.ndarray:
+        """Type-check and evaluate ``expression`` against the instance."""
+        typed = annotate(expression, self.instance.schema)
+        return self.run_typed(typed)
+
+    def run_typed(self, typed: TypedExpression) -> np.ndarray:
+        """Evaluate an already annotated expression."""
+        # The memoisation cache is keyed by node identity, which is only
+        # guaranteed stable for the lifetime of one evaluation; clear it so a
+        # recycled object id from a different tree can never produce a stale hit.
+        self._cache.clear()
+        environment: Dict[str, np.ndarray] = {}
+        return self._evaluate(typed, environment)
+
+    # ------------------------------------------------------------------
+    # Shape helpers
+    # ------------------------------------------------------------------
+    def _dimension(self, symbol: str, context: str) -> int:
+        if symbol.startswith("?"):
+            # Unconstrained dimension: fall back to the instance's unique
+            # non-scalar dimension when there is one (the square-schema
+            # convention of Sections 5 and 6); otherwise the expression is
+            # genuinely ambiguous and we refuse to guess.
+            non_scalar = sorted(
+                name for name in self.instance.dimensions if name != "1"
+            )
+            if len(non_scalar) == 1:
+                return self.instance.dimension(non_scalar[0])
+            raise EvaluationError(
+                f"cannot determine the dimension of {context}: the size symbol is "
+                "unconstrained; declare the variable in the schema or add a TypeHint"
+            )
+        return self.instance.dimension(symbol)
+
+    def _shape(self, matrix_type, context: str) -> tuple[int, int]:
+        row_symbol, col_symbol = matrix_type
+        return (
+            self._dimension(row_symbol, f"{context} (rows)"),
+            self._dimension(col_symbol, f"{context} (columns)"),
+        )
+
+    # ------------------------------------------------------------------
+    # Core recursion
+    # ------------------------------------------------------------------
+    def _evaluate(self, typed: TypedExpression, env: Dict[str, np.ndarray]) -> np.ndarray:
+        expression = typed.expression
+        semiring = self.semiring
+
+        if isinstance(expression, Var):
+            if expression.name in env:
+                return env[expression.name]
+            return self.instance.matrix(expression.name)
+
+        if isinstance(expression, Literal):
+            return scalar(semiring, expression.value)
+
+        if isinstance(expression, Transpose):
+            operand = self._evaluate(typed.children[0], env)
+            return operand.T.copy()
+
+        if isinstance(expression, OneVector):
+            operand = self._evaluate(typed.children[0], env)
+            return ones_matrix(semiring, operand.shape[0], 1)
+
+        if isinstance(expression, Diag):
+            operand = self._evaluate(typed.children[0], env)
+            if operand.shape[1] != 1:
+                raise EvaluationError(
+                    f"diag expects a column vector, got shape {operand.shape}"
+                )
+            size = operand.shape[0]
+            result = semiring.zeros(size, size)
+            for i in range(size):
+                result[i, i] = operand[i, 0]
+            return result
+
+        if isinstance(expression, TypeHint):
+            return self._evaluate(typed.children[0], env)
+
+        if isinstance(expression, MatMul):
+            left = self._evaluate(typed.children[0], env)
+            right = self._evaluate(typed.children[1], env)
+            return semiring.matmul(left, right)
+
+        if isinstance(expression, Add):
+            left = self._evaluate(typed.children[0], env)
+            right = self._evaluate(typed.children[1], env)
+            return semiring.add_matrices(left, right)
+
+        if isinstance(expression, ScalarMul):
+            factor = self._evaluate(typed.children[0], env)
+            operand = self._evaluate(typed.children[1], env)
+            if factor.shape != (1, 1):
+                raise EvaluationError(
+                    f"scalar multiplication expects a 1x1 left operand, got {factor.shape}"
+                )
+            return semiring.scale(factor[0, 0], operand)
+
+        if isinstance(expression, Apply):
+            return self._evaluate_apply(expression, typed, env)
+
+        if isinstance(expression, (ForLoop, SumLoop, HadamardLoop, ProductLoop)):
+            cacheable = self.memoize and not (typed.free_names & env.keys())
+            if cacheable and id(typed) in self._cache:
+                return self._cache[id(typed)]
+
+            if isinstance(expression, ForLoop):
+                result = self._evaluate_for(expression, typed, env)
+            elif isinstance(expression, SumLoop):
+                result = self._evaluate_quantifier(expression, typed, env, kind="sum")
+            elif isinstance(expression, HadamardLoop):
+                result = self._evaluate_quantifier(expression, typed, env, kind="hadamard")
+            else:
+                result = self._evaluate_quantifier(expression, typed, env, kind="product")
+
+            if cacheable:
+                self._cache[id(typed)] = result
+            return result
+
+        raise EvaluationError(f"unknown expression node {type(expression).__name__}")
+
+    # ------------------------------------------------------------------
+    # Pointwise application
+    # ------------------------------------------------------------------
+    def _evaluate_apply(
+        self, expression: Apply, typed: TypedExpression, env: Dict[str, np.ndarray]
+    ) -> np.ndarray:
+        function = self.functions.get(expression.function)
+        operands = [self._evaluate(child, env) for child in typed.children]
+        shape = operands[0].shape
+        for operand in operands[1:]:
+            if operand.shape != shape:
+                raise EvaluationError(
+                    f"pointwise function {expression.function!r} applied to matrices of "
+                    f"different shapes {shape} and {operand.shape}"
+                )
+        result = self.semiring.zeros(*shape)
+        for index in np.ndindex(shape):
+            values = [operand[index] for operand in operands]
+            result[index] = self.semiring.coerce(function(self.semiring, *values))
+        return result
+
+    # ------------------------------------------------------------------
+    # Loops
+    # ------------------------------------------------------------------
+    def _loop_dimension(self, typed: TypedExpression, expression) -> int:
+        if typed.iterator_symbol is None:
+            raise EvaluationError("loop node is missing its iterator annotation")
+        return self._dimension(
+            typed.iterator_symbol, f"iterator {expression.iterator!r}"
+        )
+
+    def _evaluate_for(
+        self, expression: ForLoop, typed: TypedExpression, env: Dict[str, np.ndarray]
+    ) -> np.ndarray:
+        semiring = self.semiring
+        count = self._loop_dimension(typed, expression)
+
+        if expression.init is not None:
+            init_typed, body_typed = typed.children
+            accumulator = self._evaluate(init_typed, env)
+        else:
+            (body_typed,) = typed.children
+            if typed.accumulator_type is None:
+                raise EvaluationError("for-loop node is missing its accumulator type")
+            rows, cols = self._shape(
+                typed.accumulator_type, f"accumulator {expression.accumulator!r}"
+            )
+            accumulator = semiring.zeros(rows, cols)
+
+        saved_iterator = env.get(expression.iterator)
+        saved_accumulator = env.get(expression.accumulator)
+        try:
+            for index in range(count):
+                env[expression.iterator] = canonical_vector(semiring, count, index)
+                env[expression.accumulator] = accumulator
+                accumulator = self._evaluate(body_typed, env)
+        finally:
+            _restore(env, expression.iterator, saved_iterator)
+            _restore(env, expression.accumulator, saved_accumulator)
+        return accumulator
+
+    def _evaluate_quantifier(
+        self,
+        expression,
+        typed: TypedExpression,
+        env: Dict[str, np.ndarray],
+        kind: str,
+    ) -> np.ndarray:
+        semiring = self.semiring
+        count = self._loop_dimension(typed, expression)
+        (body_typed,) = typed.children
+
+        saved_iterator = env.get(expression.iterator)
+        accumulator: Optional[np.ndarray] = None
+        try:
+            for index in range(count):
+                env[expression.iterator] = canonical_vector(semiring, count, index)
+                value = self._evaluate(body_typed, env)
+                if accumulator is None:
+                    accumulator = value
+                elif kind == "sum":
+                    accumulator = semiring.add_matrices(accumulator, value)
+                elif kind == "hadamard":
+                    accumulator = semiring.hadamard(accumulator, value)
+                else:
+                    accumulator = semiring.matmul(accumulator, value)
+        finally:
+            _restore(env, expression.iterator, saved_iterator)
+
+        if accumulator is None:  # pragma: no cover - dimensions are always >= 1
+            raise EvaluationError("quantifier iterated over an empty dimension")
+        return accumulator
+
+
+def _restore(env: Dict[str, np.ndarray], name: str, saved: Optional[np.ndarray]) -> None:
+    if saved is None:
+        env.pop(name, None)
+    else:
+        env[name] = saved
+
+
+def evaluate(
+    expression: Expression,
+    instance: Instance,
+    functions: Optional[FunctionRegistry] = None,
+) -> np.ndarray:
+    """Evaluate ``expression`` over ``instance``.
+
+    This is the module-level convenience wrapper around :class:`Evaluator`;
+    it type-checks the expression against the instance's schema first and
+    raises :class:`~repro.exceptions.TypingError` if that fails.
+    """
+    return Evaluator(instance, functions).run(expression)

@@ -1,0 +1,148 @@
+"""Fragment classification for for-MATLANG expressions.
+
+Section 6 of the paper identifies a chain of fragments of increasing
+expressive power (Figure 1)::
+
+    MATLANG  <  sum-MATLANG  <=  FO-MATLANG  <=  prod-MATLANG  <=  for-MATLANG
+                 (= RA+_K)        (= WL)          (+ S_< : Inv)     (= circuits)
+
+The classifier is purely syntactic and mirrors the paper's definitions:
+
+* the MATLANG core consists of variables, literals, transpose, ones, diag,
+  matrix multiplication / addition, scalar multiplication and pointwise
+  function applications;
+* sum-MATLANG adds the Sigma quantifier (:class:`SumLoop`);
+* FO-MATLANG further adds the Hadamard-product quantifier (:class:`HadamardLoop`);
+* prod-MATLANG further adds the matrix-product quantifier (:class:`ProductLoop`);
+* full for-MATLANG allows the unrestricted :class:`ForLoop`.
+
+The classifier also reports which non-trivial pointwise functions an
+expression uses, so a result such as "``e_inv`` is in for-MATLANG[f_/]"
+(Proposition 4.3) can be stated and tested precisely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import FrozenSet, Tuple
+
+from repro.matlang.ast import (
+    Apply,
+    Expression,
+    ForLoop,
+    HadamardLoop,
+    ProductLoop,
+    SumLoop,
+)
+
+
+class Fragment(IntEnum):
+    """The fragments of Figure 1, ordered by inclusion."""
+
+    MATLANG = 0
+    SUM_MATLANG = 1
+    FO_MATLANG = 2
+    PROD_MATLANG = 3
+    FOR_MATLANG = 4
+
+    def includes(self, other: "Fragment") -> bool:
+        """Whether this fragment contains ``other`` (Figure 1 inclusions)."""
+        return self >= other
+
+    @property
+    def display_name(self) -> str:
+        return {
+            Fragment.MATLANG: "MATLANG",
+            Fragment.SUM_MATLANG: "sum-MATLANG",
+            Fragment.FO_MATLANG: "FO-MATLANG",
+            Fragment.PROD_MATLANG: "prod-MATLANG",
+            Fragment.FOR_MATLANG: "for-MATLANG",
+        }[self]
+
+
+@dataclass(frozen=True)
+class FragmentReport:
+    """Result of classifying an expression."""
+
+    fragment: Fragment
+    functions: Tuple[str, ...]
+    uses_for_loop: bool
+    uses_sum: bool
+    uses_hadamard: bool
+    uses_product: bool
+
+    @property
+    def language_name(self) -> str:
+        """A name such as ``"for-MATLANG[div, gt0]"`` mirroring the paper."""
+        if not self.functions:
+            return self.fragment.display_name
+        return f"{self.fragment.display_name}[{', '.join(self.functions)}]"
+
+
+def classify(expression: Expression) -> FragmentReport:
+    """Determine the minimal fragment of Figure 1 containing ``expression``."""
+    uses_for = False
+    uses_sum = False
+    uses_hadamard = False
+    uses_product = False
+    functions = set()
+
+    for node in expression.walk():
+        if isinstance(node, ForLoop):
+            uses_for = True
+        elif isinstance(node, SumLoop):
+            uses_sum = True
+        elif isinstance(node, HadamardLoop):
+            uses_hadamard = True
+        elif isinstance(node, ProductLoop):
+            uses_product = True
+        elif isinstance(node, Apply):
+            functions.add(node.function)
+
+    if uses_for:
+        fragment = Fragment.FOR_MATLANG
+    elif uses_product:
+        fragment = Fragment.PROD_MATLANG
+    elif uses_hadamard:
+        fragment = Fragment.FO_MATLANG
+    elif uses_sum:
+        fragment = Fragment.SUM_MATLANG
+    else:
+        fragment = Fragment.MATLANG
+
+    return FragmentReport(
+        fragment=fragment,
+        functions=tuple(sorted(functions)),
+        uses_for_loop=uses_for,
+        uses_sum=uses_sum,
+        uses_hadamard=uses_hadamard,
+        uses_product=uses_product,
+    )
+
+
+def minimal_fragment(expression: Expression) -> Fragment:
+    """The smallest fragment of Figure 1 that contains ``expression``."""
+    return classify(expression).fragment
+
+
+def is_in_fragment(expression: Expression, fragment: Fragment) -> bool:
+    """Whether ``expression`` belongs (syntactically) to ``fragment``."""
+    return fragment.includes(minimal_fragment(expression))
+
+
+def required_functions(expression: Expression) -> Tuple[str, ...]:
+    """Names of all pointwise functions used by ``expression``."""
+    return classify(expression).functions
+
+
+def assert_fragment(expression: Expression, fragment: Fragment) -> None:
+    """Raise :class:`~repro.exceptions.FragmentError` if the expression escapes ``fragment``."""
+    from repro.exceptions import FragmentError
+
+    actual = minimal_fragment(expression)
+    if not fragment.includes(actual):
+        raise FragmentError(
+            f"expression lives in {actual.display_name}, which is not contained in "
+            f"{fragment.display_name}"
+        )

@@ -1,0 +1,208 @@
+"""Pointwise function libraries for MATLANG[F].
+
+MATLANG is parameterised by a collection ``F`` of functions ``R^k -> R`` that
+are applied entrywise (Section 2).  The paper singles out two of them:
+
+* ``f_/`` — binary division, needed for LU decomposition, the determinant and
+  matrix inversion (Propositions 4.1–4.3);
+* ``f_>0`` — the positivity indicator, needed for pivoting and for turning the
+  matrix power ``(I + A)^n`` into the transitive closure (Proposition 4.2 and
+  Section 6.3).
+
+The registry below holds named :class:`PointwiseFunction` objects.  Functions
+receive the evaluation semiring as their first argument so that semiring-aware
+definitions (for example ``f_mul`` as iterated semiring product) are possible;
+functions that only make sense over ordered numeric semirings raise
+:class:`~repro.exceptions.EvaluationError` elsewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, Optional, Tuple
+
+from repro.exceptions import EvaluationError, SemiringError
+from repro.semiring import Semiring
+
+#: Names of the functions the paper refers to explicitly.
+DIVISION = "div"
+POSITIVE = "gt0"
+
+
+@dataclass(frozen=True)
+class PointwiseFunction:
+    """A named pointwise function ``f : K^arity -> K``.
+
+    ``arity`` of ``None`` means variadic (at least one argument).  The
+    implementation receives the semiring followed by the scalar arguments.
+    """
+
+    name: str
+    arity: Optional[int]
+    implementation: Callable[..., Any]
+    description: str = ""
+
+    def check_arity(self, count: int) -> None:
+        if self.arity is not None and count != self.arity:
+            raise EvaluationError(
+                f"function {self.name!r} expects {self.arity} arguments, got {count}"
+            )
+        if self.arity is None and count < 1:
+            raise EvaluationError(f"function {self.name!r} expects at least one argument")
+
+    def __call__(self, semiring: Semiring, *values: Any) -> Any:
+        self.check_arity(len(values))
+        return self.implementation(semiring, *values)
+
+
+class FunctionRegistry:
+    """A mutable mapping from function names to :class:`PointwiseFunction`."""
+
+    def __init__(self, functions: Iterable[PointwiseFunction] = ()) -> None:
+        self._functions: Dict[str, PointwiseFunction] = {}
+        for function in functions:
+            self.register(function)
+
+    def register(self, function: PointwiseFunction, overwrite: bool = False) -> None:
+        """Add a function to the registry."""
+        if function.name in self._functions and not overwrite:
+            raise EvaluationError(f"function {function.name!r} is already registered")
+        self._functions[function.name] = function
+
+    def register_simple(
+        self,
+        name: str,
+        arity: Optional[int],
+        implementation: Callable[..., Any],
+        description: str = "",
+    ) -> None:
+        """Register a function whose implementation ignores the semiring."""
+
+        def wrapper(semiring: Semiring, *values: Any) -> Any:
+            del semiring
+            return implementation(*values)
+
+        self.register(PointwiseFunction(name, arity, wrapper, description))
+
+    def get(self, name: str) -> PointwiseFunction:
+        try:
+            return self._functions[name]
+        except KeyError:
+            known = ", ".join(sorted(self._functions))
+            raise EvaluationError(
+                f"unknown pointwise function {name!r}; known functions: {known}"
+            ) from None
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._functions))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._functions
+
+    def copy(self) -> "FunctionRegistry":
+        registry = FunctionRegistry()
+        registry._functions = dict(self._functions)
+        return registry
+
+
+# ----------------------------------------------------------------------
+# Default function implementations
+# ----------------------------------------------------------------------
+def _require_number(name: str, value: Any) -> float:
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    if isinstance(value, (int, float)):
+        return float(value)
+    raise EvaluationError(
+        f"function {name!r} is only defined over numeric semirings, got {value!r}"
+    )
+
+
+def _division(semiring: Semiring, numerator: Any, denominator: Any) -> Any:
+    """The paper's ``f_/``: division, with ``x / 0`` defined as ``0``.
+
+    Defining division by zero as zero follows the convention used implicitly by
+    the paper's LU construction, where columns with a zero pivot simply
+    contribute nothing.
+    """
+    if semiring.is_zero(denominator):
+        return semiring.zero
+    try:
+        return semiring.divide(numerator, denominator)
+    except SemiringError as error:
+        raise EvaluationError(str(error)) from error
+
+
+def _positive(semiring: Semiring, value: Any) -> Any:
+    """The paper's ``f_>0``: 1 if the value is strictly positive, else 0."""
+    number = _require_number(POSITIVE, value)
+    return semiring.one if number > 0 else semiring.zero
+
+
+def _nonzero(semiring: Semiring, value: Any) -> Any:
+    """1 if the value differs from the semiring zero, else 0."""
+    return semiring.zero if semiring.is_zero(value) else semiring.one
+
+
+def _product(semiring: Semiring, *values: Any) -> Any:
+    """The variadic Hadamard helper ``f_mul`` (Lemma A.1)."""
+    return semiring.product(values)
+
+
+def _sum(semiring: Semiring, *values: Any) -> Any:
+    """The variadic addition helper ``f_add`` (Lemma A.1)."""
+    return semiring.sum(values)
+
+
+def _subtract(semiring: Semiring, left: Any, right: Any) -> Any:
+    try:
+        return semiring.plus(left, semiring.negate(right))
+    except SemiringError as error:
+        raise EvaluationError(str(error)) from error
+
+
+def _negate(semiring: Semiring, value: Any) -> Any:
+    try:
+        return semiring.negate(value)
+    except SemiringError as error:
+        raise EvaluationError(str(error)) from error
+
+
+def _minimum(semiring: Semiring, *values: Any) -> Any:
+    del semiring
+    return min(_require_number("min", value) for value in values)
+
+
+def _maximum(semiring: Semiring, *values: Any) -> Any:
+    del semiring
+    return max(_require_number("max", value) for value in values)
+
+
+def _absolute(semiring: Semiring, value: Any) -> Any:
+    del semiring
+    return abs(_require_number("abs", value))
+
+
+def _square(semiring: Semiring, value: Any) -> Any:
+    return semiring.times(value, value)
+
+
+def default_registry() -> FunctionRegistry:
+    """The registry with the paper's functions plus a few generic helpers."""
+    registry = FunctionRegistry()
+    registry.register(
+        PointwiseFunction(DIVISION, 2, _division, "f_/: division with x/0 := 0")
+    )
+    registry.register(
+        PointwiseFunction(POSITIVE, 1, _positive, "f_>0: strict positivity indicator")
+    )
+    registry.register(PointwiseFunction("nonzero", 1, _nonzero, "indicator of x != 0"))
+    registry.register(PointwiseFunction("mul", None, _product, "variadic product f_mul"))
+    registry.register(PointwiseFunction("add", None, _sum, "variadic sum f_add"))
+    registry.register(PointwiseFunction("sub", 2, _subtract, "subtraction (rings only)"))
+    registry.register(PointwiseFunction("neg", 1, _negate, "additive inverse (rings only)"))
+    registry.register(PointwiseFunction("square", 1, _square, "x * x"))
+    registry.register(PointwiseFunction("min", None, _minimum, "numeric minimum"))
+    registry.register(PointwiseFunction("max", None, _maximum, "numeric maximum"))
+    registry.register(PointwiseFunction("abs", 1, _absolute, "numeric absolute value"))
+    return registry

@@ -1,0 +1,169 @@
+"""MATLANG instances: dimensions for size symbols and matrices for variables.
+
+An instance ``I = (D, mat)`` over a schema assigns a positive dimension to
+every size symbol and a concrete K-matrix of matching shape to every matrix
+variable (Section 2).  ``D("1") = 1`` always holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.exceptions import SchemaError
+from repro.matlang.schema import SCALAR_SYMBOL, MatrixType, Schema
+from repro.semiring import REAL, Semiring, lift
+
+
+@dataclass
+class Instance:
+    """A concrete instance of a MATLANG schema over some semiring.
+
+    Parameters
+    ----------
+    schema:
+        The schema the instance conforms to.
+    dimensions:
+        Mapping from size symbols to positive integers.  The scalar symbol
+        ``"1"`` is added automatically.
+    matrices:
+        Mapping from variable names to matrices (anything accepted by
+        :func:`repro.semiring.lift`).
+    semiring:
+        The semiring the matrix entries live in; defaults to the real field.
+    """
+
+    schema: Schema
+    dimensions: Dict[str, int] = field(default_factory=dict)
+    matrices: Dict[str, np.ndarray] = field(default_factory=dict)
+    semiring: Semiring = field(default_factory=lambda: REAL)
+
+    def __post_init__(self) -> None:
+        self.dimensions = dict(self.dimensions)
+        self.dimensions[SCALAR_SYMBOL] = 1
+        for symbol, value in self.dimensions.items():
+            if not isinstance(value, (int, np.integer)) or value < 1:
+                raise SchemaError(
+                    f"dimension of size symbol {symbol!r} must be a positive integer, got {value!r}"
+                )
+            self.dimensions[symbol] = int(value)
+
+        lifted: Dict[str, np.ndarray] = {}
+        for name, matrix in dict(self.matrices).items():
+            lifted[name] = self._validate_matrix(name, matrix)
+        self.matrices = lifted
+
+    # ------------------------------------------------------------------
+    # Validation helpers
+    # ------------------------------------------------------------------
+    def _validate_matrix(self, name: str, matrix: Any) -> np.ndarray:
+        if not self.schema.declares(name):
+            raise SchemaError(f"instance assigns a matrix to undeclared variable {name!r}")
+        lifted = lift(self.semiring, matrix)
+        expected = self.shape_of(name)
+        if lifted.shape != expected:
+            raise SchemaError(
+                f"matrix for variable {name!r} has shape {lifted.shape}, expected {expected} "
+                f"from its declared type {self.schema.size(name)}"
+            )
+        return lifted
+
+    def shape_of(self, name: str) -> tuple[int, int]:
+        """The concrete shape the instance prescribes for variable ``name``."""
+        row_symbol, col_symbol = self.schema.size(name)
+        return (self.dimension(row_symbol), self.dimension(col_symbol))
+
+    def shape_of_type(self, matrix_type: MatrixType) -> tuple[int, int]:
+        """The concrete shape of a matrix of the given type."""
+        row_symbol, col_symbol = matrix_type
+        return (self.dimension(row_symbol), self.dimension(col_symbol))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def dimension(self, symbol: str) -> int:
+        """The dimension assigned to ``symbol``."""
+        if symbol == SCALAR_SYMBOL:
+            return 1
+        try:
+            return self.dimensions[symbol]
+        except KeyError:
+            raise SchemaError(f"no dimension assigned to size symbol {symbol!r}") from None
+
+    def matrix(self, name: str) -> np.ndarray:
+        """The matrix assigned to variable ``name``."""
+        try:
+            return self.matrices[name]
+        except KeyError:
+            raise SchemaError(f"no matrix assigned to variable {name!r}") from None
+
+    def with_matrix(self, name: str, matrix: Any) -> "Instance":
+        """The instance ``I[name := matrix]`` (used by the for-loop semantics)."""
+        updated = dict(self.matrices)
+        updated[name] = matrix
+        return Instance(self.schema, dict(self.dimensions), updated, self.semiring)
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_matrices(
+        matrices: Mapping[str, Any],
+        semiring: Semiring = REAL,
+        symbol: str = "alpha",
+        schema: Optional[Schema] = None,
+        dimensions: Optional[Mapping[str, int]] = None,
+    ) -> "Instance":
+        """Build a square-schema instance directly from matrices.
+
+        Every ``n x n`` matrix is declared with type ``(symbol, symbol)``,
+        every ``n x 1`` vector with ``(symbol, 1)``, every ``1 x n`` row vector
+        with ``(1, symbol)`` and every ``1 x 1`` matrix with ``(1, 1)``.  All
+        non-unit dimensions must agree; this mirrors the square-schema setting
+        of Sections 5 and 6.
+        """
+        lifted = {name: lift(semiring, matrix) for name, matrix in matrices.items()}
+        inferred_dimension: Optional[int] = None
+        for name, matrix in lifted.items():
+            for size in matrix.shape:
+                if size != 1:
+                    if inferred_dimension is None:
+                        inferred_dimension = size
+                    elif inferred_dimension != size:
+                        raise SchemaError(
+                            "from_matrices requires all non-unit dimensions to agree; "
+                            f"variable {name!r} has shape {matrix.shape} but dimension "
+                            f"{inferred_dimension} was already inferred"
+                        )
+        if dimensions and symbol in dimensions:
+            if inferred_dimension is not None and dimensions[symbol] != inferred_dimension:
+                raise SchemaError(
+                    f"explicit dimension {dimensions[symbol]} for {symbol!r} contradicts "
+                    f"matrix shapes (inferred {inferred_dimension})"
+                )
+            inferred_dimension = dimensions[symbol]
+        if inferred_dimension is None:
+            inferred_dimension = 1
+
+        if schema is None:
+            declared: Dict[str, MatrixType] = {}
+            for name, matrix in lifted.items():
+                rows, cols = matrix.shape
+                row_symbol = symbol if rows != 1 else SCALAR_SYMBOL
+                col_symbol = symbol if cols != 1 else SCALAR_SYMBOL
+                declared[name] = (row_symbol, col_symbol)
+            schema = Schema(declared)
+
+        all_dimensions = {symbol: inferred_dimension}
+        if dimensions:
+            all_dimensions.update(dimensions)
+        return Instance(schema, all_dimensions, lifted, semiring)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        dims = {k: v for k, v in self.dimensions.items() if k != SCALAR_SYMBOL}
+        return (
+            f"Instance(dimensions={dims}, variables={sorted(self.matrices)}, "
+            f"semiring={self.semiring.name})"
+        )

@@ -1,0 +1,298 @@
+"""A recursive-descent parser for the MATLANG surface syntax.
+
+The concrete grammar mirrors the paper's notation as closely as plain text
+allows::
+
+    expression  := loop | addition
+    loop        := 'for' NAME ',' NAME ('=' addition)? '.' expression
+                 | ('sum' | 'prod' | 'had') NAME '.' expression
+    addition    := multiplication ('+' multiplication)*
+    multiplication := postfix (('*' | '.*') postfix)*
+    postfix     := atom "'"*
+    atom        := NUMBER
+                 | 'ones' '(' expression ')'
+                 | 'diag' '(' expression ')'
+                 | 'hint' '(' expression ',' symbol ',' symbol ')'
+                 | NAME '(' expression (',' expression)* ')'
+                 | NAME
+                 | '(' expression ')'
+
+``*`` is matrix multiplication, ``.*`` scalar multiplication, a postfix
+apostrophe is transposition and loops bind as far to the right as possible,
+so ``for v, X. X + v`` parses the whole of ``X + v`` as the loop body.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.exceptions import ParseError
+from repro.matlang.ast import (
+    Add,
+    Apply,
+    Diag,
+    Expression,
+    ForLoop,
+    HadamardLoop,
+    Literal,
+    MatMul,
+    OneVector,
+    ProductLoop,
+    ScalarMul,
+    SumLoop,
+    Transpose,
+    TypeHint,
+    Var,
+)
+
+#: Reserved words that cannot be used as variable names.
+KEYWORDS = frozenset({"for", "sum", "prod", "had", "ones", "diag", "hint"})
+
+_TOKEN_PATTERN = re.compile(
+    r"""
+    (?P<number>\d+\.\d+([eE][+-]?\d+)?|\d+([eE][+-]?\d+)?)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<scalarmul>\.\*)
+  | (?P<symbol>[()+\-*,=.'])
+  | (?P<whitespace>\s+)
+  | (?P<comment>\#[^\n]*)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token with its source position (for error messages)."""
+
+    kind: str
+    text: str
+    position: int
+
+
+def tokenize(source: str) -> List[Token]:
+    """Split ``source`` into tokens, raising :class:`ParseError` on bad input."""
+    tokens: List[Token] = []
+    position = 0
+    while position < len(source):
+        match = _TOKEN_PATTERN.match(source, position)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {source[position]!r} at position {position}", position
+            )
+        kind = match.lastgroup or ""
+        text = match.group()
+        if kind == "number":
+            tokens.append(Token("number", text, position))
+        elif kind == "name":
+            tokens.append(Token("name", text, position))
+        elif kind == "scalarmul":
+            tokens.append(Token(".*", text, position))
+        elif kind == "symbol":
+            tokens.append(Token(text, text, position))
+        # whitespace and comments are skipped
+        position = match.end()
+    tokens.append(Token("end", "", len(source)))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over a token stream."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.index = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def expect(self, kind: str) -> Token:
+        token = self.peek()
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind!r} but found {token.text!r} at position {token.position}",
+                token.position,
+            )
+        return self.advance()
+
+    def accept(self, kind: str) -> Optional[Token]:
+        if self.peek().kind == kind:
+            return self.advance()
+        return None
+
+    def at_keyword(self, word: str) -> bool:
+        token = self.peek()
+        return token.kind == "name" and token.text == word
+
+    # ------------------------------------------------------------------
+    # Grammar rules
+    # ------------------------------------------------------------------
+    def parse_expression(self) -> Expression:
+        if self.at_keyword("for"):
+            return self._parse_for()
+        for keyword, node in (("sum", SumLoop), ("prod", ProductLoop), ("had", HadamardLoop)):
+            if self.at_keyword(keyword):
+                return self._parse_quantifier(node)
+        return self.parse_addition()
+
+    def _parse_for(self) -> Expression:
+        self.advance()  # 'for'
+        iterator = self._parse_identifier("for-loop iterator")
+        self.expect(",")
+        accumulator = self._parse_identifier("for-loop accumulator")
+        init: Optional[Expression] = None
+        if self.accept("="):
+            init = self.parse_addition()
+        self.expect(".")
+        body = self.parse_expression()
+        return ForLoop(iterator, accumulator, body, init)
+
+    def _parse_quantifier(self, node_type) -> Expression:
+        self.advance()  # keyword
+        iterator = self._parse_identifier("quantifier iterator")
+        self.expect(".")
+        body = self.parse_expression()
+        return node_type(iterator, body)
+
+    def _parse_identifier(self, context: str) -> str:
+        token = self.expect("name")
+        if token.text in KEYWORDS:
+            raise ParseError(
+                f"keyword {token.text!r} cannot be used as a {context}", token.position
+            )
+        return token.text
+
+    def parse_addition(self) -> Expression:
+        expression = self.parse_multiplication()
+        while True:
+            if self.accept("+"):
+                expression = Add(expression, self.parse_multiplication())
+            elif self.accept("-"):
+                # Subtraction is sugar for adding the (-1)-scaled operand.
+                negated = ScalarMul(Literal(-1.0), self.parse_multiplication())
+                expression = Add(expression, negated)
+            else:
+                return expression
+
+    def parse_multiplication(self) -> Expression:
+        expression = self.parse_postfix()
+        while True:
+            if self.accept("*"):
+                expression = MatMul(expression, self.parse_postfix())
+            elif self.accept(".*"):
+                expression = ScalarMul(expression, self.parse_postfix())
+            else:
+                return expression
+
+    def parse_postfix(self) -> Expression:
+        expression = self.parse_atom()
+        while self.accept("'"):
+            expression = Transpose(expression)
+        return expression
+
+    def parse_atom(self) -> Expression:
+        token = self.peek()
+
+        if token.kind == "-":
+            self.advance()
+            follower = self.peek()
+            if follower.kind == "number":
+                self.advance()
+                return Literal(-float(follower.text))
+            return ScalarMul(Literal(-1.0), self.parse_atom())
+
+        if token.kind == "number":
+            self.advance()
+            return Literal(float(token.text))
+
+        if token.kind == "(":
+            self.advance()
+            expression = self.parse_expression()
+            self.expect(")")
+            return expression
+
+        if token.kind == "name":
+            if token.text == "ones":
+                return self._parse_unary_builtin(OneVector)
+            if token.text == "diag":
+                return self._parse_unary_builtin(Diag)
+            if token.text == "hint":
+                return self._parse_hint()
+            if token.text in {"for", "sum", "prod", "had"}:
+                # Loops at atom position are allowed when parenthesised only;
+                # reaching here without parentheses is a grammar violation.
+                return self.parse_expression()
+            self.advance()
+            if self.peek().kind == "(":
+                return self._parse_application(token.text)
+            return Var(token.text)
+
+        raise ParseError(
+            f"unexpected token {token.text!r} at position {token.position}", token.position
+        )
+
+    def _parse_unary_builtin(self, node_type) -> Expression:
+        self.advance()  # builtin name
+        self.expect("(")
+        operand = self.parse_expression()
+        self.expect(")")
+        return node_type(operand)
+
+    def _parse_hint(self) -> Expression:
+        self.advance()  # 'hint'
+        self.expect("(")
+        operand = self.parse_expression()
+        self.expect(",")
+        row = self._parse_size_symbol()
+        self.expect(",")
+        col = self._parse_size_symbol()
+        self.expect(")")
+        return TypeHint(operand, row, col)
+
+    def _parse_size_symbol(self) -> Optional[str]:
+        token = self.peek()
+        if token.kind == "name":
+            self.advance()
+            return None if token.text == "_" else token.text
+        if token.kind == "number" and token.text == "1":
+            self.advance()
+            return "1"
+        raise ParseError(
+            f"expected a size symbol but found {token.text!r} at position {token.position}",
+            token.position,
+        )
+
+    def _parse_application(self, function: str) -> Expression:
+        self.expect("(")
+        operands = [self.parse_expression()]
+        while self.accept(","):
+            operands.append(self.parse_expression())
+        self.expect(")")
+        return Apply(function, tuple(operands))
+
+
+def parse(source: str) -> Expression:
+    """Parse a MATLANG surface-syntax string into an expression tree.
+
+    >>> parse("for v, X . X + v")
+    ForLoop(iterator='v', accumulator='X', body=Add(...), init=None)
+    """
+    parser = _Parser(tokenize(source))
+    expression = parser.parse_expression()
+    trailing = parser.peek()
+    if trailing.kind != "end":
+        raise ParseError(
+            f"unexpected trailing input {trailing.text!r} at position {trailing.position}",
+            trailing.position,
+        )
+    return expression

@@ -1,0 +1,118 @@
+"""Pretty printer for MATLANG expressions.
+
+The output is valid surface syntax: ``parse(to_text(e))`` returns an
+expression structurally equal to ``e`` (modulo literal float formatting),
+which the round-trip tests verify.
+"""
+
+from __future__ import annotations
+
+from repro.matlang.ast import (
+    Add,
+    Apply,
+    Diag,
+    Expression,
+    ForLoop,
+    HadamardLoop,
+    Literal,
+    MatMul,
+    OneVector,
+    ProductLoop,
+    ScalarMul,
+    SumLoop,
+    Transpose,
+    TypeHint,
+    Var,
+)
+
+#: Binding strengths used to decide where parentheses are needed.
+_PRECEDENCE_LOOP = 0
+_PRECEDENCE_ADD = 1
+_PRECEDENCE_MUL = 2
+_PRECEDENCE_ATOM = 3
+
+
+def to_text(expression: Expression) -> str:
+    """Render ``expression`` as parseable surface syntax."""
+    return _render(expression, 0)
+
+
+def _parenthesise(text: str, precedence: int, context: int) -> str:
+    return f"({text})" if precedence < context else text
+
+
+def _format_number(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _render(expression: Expression, context: int) -> str:
+    if isinstance(expression, Var):
+        return expression.name
+
+    if isinstance(expression, Literal):
+        text = _format_number(expression.value)
+        if expression.value < 0:
+            return f"({text})"
+        return text
+
+    if isinstance(expression, Transpose):
+        return f"{_render(expression.operand, _PRECEDENCE_ATOM)}'"
+
+    if isinstance(expression, OneVector):
+        return f"ones({_render(expression.operand, 0)})"
+
+    if isinstance(expression, Diag):
+        return f"diag({_render(expression.operand, 0)})"
+
+    if isinstance(expression, TypeHint):
+        row = expression.row if expression.row is not None else "_"
+        col = expression.col if expression.col is not None else "_"
+        return f"hint({_render(expression.operand, 0)}, {row}, {col})"
+
+    if isinstance(expression, Apply):
+        arguments = ", ".join(_render(operand, 0) for operand in expression.operands)
+        return f"{expression.function}({arguments})"
+
+    if isinstance(expression, MatMul):
+        text = (
+            f"{_render(expression.left, _PRECEDENCE_MUL)} * "
+            f"{_render(expression.right, _PRECEDENCE_ATOM)}"
+        )
+        return _parenthesise(text, _PRECEDENCE_MUL, context)
+
+    if isinstance(expression, ScalarMul):
+        text = (
+            f"{_render(expression.scalar, _PRECEDENCE_ATOM)} .* "
+            f"{_render(expression.operand, _PRECEDENCE_ATOM)}"
+        )
+        return _parenthesise(text, _PRECEDENCE_MUL, context)
+
+    if isinstance(expression, Add):
+        text = (
+            f"{_render(expression.left, _PRECEDENCE_ADD)} + "
+            f"{_render(expression.right, _PRECEDENCE_MUL)}"
+        )
+        return _parenthesise(text, _PRECEDENCE_ADD, context)
+
+    if isinstance(expression, ForLoop):
+        header = f"for {expression.iterator}, {expression.accumulator}"
+        if expression.init is not None:
+            header += f" = {_render(expression.init, _PRECEDENCE_ADD)}"
+        text = f"{header}. {_render(expression.body, _PRECEDENCE_LOOP)}"
+        return _parenthesise(text, _PRECEDENCE_LOOP, context)
+
+    if isinstance(expression, SumLoop):
+        text = f"sum {expression.iterator}. {_render(expression.body, _PRECEDENCE_LOOP)}"
+        return _parenthesise(text, _PRECEDENCE_LOOP, context)
+
+    if isinstance(expression, HadamardLoop):
+        text = f"had {expression.iterator}. {_render(expression.body, _PRECEDENCE_LOOP)}"
+        return _parenthesise(text, _PRECEDENCE_LOOP, context)
+
+    if isinstance(expression, ProductLoop):
+        text = f"prod {expression.iterator}. {_render(expression.body, _PRECEDENCE_LOOP)}"
+        return _parenthesise(text, _PRECEDENCE_LOOP, context)
+
+    raise TypeError(f"cannot print unknown node {type(expression).__name__}")

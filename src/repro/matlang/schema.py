@@ -1,0 +1,148 @@
+"""MATLANG schemas: size symbols and variable typings.
+
+A schema ``S = (M, size)`` consists of a finite set of matrix variables and a
+``size`` function mapping each variable to a pair of size symbols (Section 2).
+The distinguished symbol ``"1"`` always denotes dimension one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Mapping, Tuple
+
+from repro.exceptions import SchemaError
+
+#: The distinguished size symbol with constant dimension 1.
+SCALAR_SYMBOL = "1"
+
+#: A matrix type is a pair of size symbols (row symbol, column symbol).
+MatrixType = Tuple[str, str]
+
+
+def scalar_type() -> MatrixType:
+    """The type ``(1, 1)`` of scalars."""
+    return (SCALAR_SYMBOL, SCALAR_SYMBOL)
+
+
+def vector_type(symbol: str) -> MatrixType:
+    """The type ``(symbol, 1)`` of column vectors."""
+    return (symbol, SCALAR_SYMBOL)
+
+
+def square_type(symbol: str) -> MatrixType:
+    """The type ``(symbol, symbol)`` of square matrices."""
+    return (symbol, symbol)
+
+
+def transpose_type(matrix_type: MatrixType) -> MatrixType:
+    """Swap the row and column symbols."""
+    row, col = matrix_type
+    return (col, row)
+
+
+@dataclass
+class Schema:
+    """A MATLANG schema: a mapping from matrix variable names to types.
+
+    >>> schema = Schema({"A": ("alpha", "alpha"), "v": ("alpha", "1")})
+    >>> schema.size("A")
+    ('alpha', 'alpha')
+    """
+
+    sizes: Dict[str, MatrixType] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        validated: Dict[str, MatrixType] = {}
+        for name, matrix_type in dict(self.sizes).items():
+            validated[name] = self._validate_type(name, matrix_type)
+        self.sizes = validated
+
+    @staticmethod
+    def _validate_type(name: str, matrix_type) -> MatrixType:
+        try:
+            row, col = matrix_type
+        except (TypeError, ValueError):
+            raise SchemaError(
+                f"type of variable {name!r} must be a pair of size symbols, got {matrix_type!r}"
+            ) from None
+        if not isinstance(row, str) or not isinstance(col, str):
+            raise SchemaError(
+                f"size symbols of variable {name!r} must be strings, got {matrix_type!r}"
+            )
+        return (row, col)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def of(**sizes: MatrixType) -> "Schema":
+        """Keyword-argument constructor: ``Schema.of(A=("alpha", "alpha"))``."""
+        return Schema(dict(sizes))
+
+    @staticmethod
+    def square(*names: str, symbol: str = "alpha") -> "Schema":
+        """A schema declaring each name as a square matrix over ``symbol``."""
+        return Schema({name: square_type(symbol) for name in names})
+
+    def with_variable(self, name: str, matrix_type: MatrixType) -> "Schema":
+        """Return a copy of the schema with one additional / updated variable."""
+        updated = dict(self.sizes)
+        updated[name] = self._validate_type(name, matrix_type)
+        return Schema(updated)
+
+    def merged_with(self, other: "Schema") -> "Schema":
+        """Union of two schemas; conflicting declarations raise ``SchemaError``."""
+        merged = dict(self.sizes)
+        for name, matrix_type in other.sizes.items():
+            if name in merged and merged[name] != matrix_type:
+                raise SchemaError(
+                    f"conflicting declarations for variable {name!r}: "
+                    f"{merged[name]} vs {matrix_type}"
+                )
+            merged[name] = matrix_type
+        return Schema(merged)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def size(self, name: str) -> MatrixType:
+        """The declared type of variable ``name``."""
+        try:
+            return self.sizes[name]
+        except KeyError:
+            raise SchemaError(f"variable {name!r} is not declared in the schema") from None
+
+    def declares(self, name: str) -> bool:
+        """Whether the schema declares a variable called ``name``."""
+        return name in self.sizes
+
+    def variables(self) -> Tuple[str, ...]:
+        """All declared variable names, sorted."""
+        return tuple(sorted(self.sizes))
+
+    def symbols(self) -> Tuple[str, ...]:
+        """All size symbols mentioned by the schema (including ``"1"``)."""
+        seen = {SCALAR_SYMBOL}
+        for row, col in self.sizes.values():
+            seen.add(row)
+            seen.add(col)
+        return tuple(sorted(seen))
+
+    def is_square_schema(self) -> bool:
+        """Whether every variable is typed over a single non-scalar symbol.
+
+        Sections 5 and 6 restrict attention to schemas in which every variable
+        has type ``(alpha, alpha)``, ``(alpha, 1)``, ``(1, alpha)`` or
+        ``(1, 1)`` for one fixed symbol ``alpha``.
+        """
+        non_scalar = {s for s in self.symbols() if s != SCALAR_SYMBOL}
+        return len(non_scalar) <= 1
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self.sizes))
+
+    def __len__(self) -> int:
+        return len(self.sizes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.sizes

@@ -1,0 +1,404 @@
+"""Type inference and checking for MATLANG / for-MATLANG expressions.
+
+The paper's typing relation (Section 2 and 3.1) assigns to every well-typed
+expression a pair of size symbols.  The paper assumes that every variable —
+including loop iterators and accumulators — is declared in the schema.  For
+usability the reproduction generalises this to *type inference*: variables that
+are not declared receive fresh type variables, and the typing rules are turned
+into unification constraints over size symbols.  Declared symbols (and the
+distinguished symbol ``"1"``) act as constants; unifying two distinct constants
+is a type error.  The result is exactly the paper's typing on fully declared
+schemas, and a most-general typing otherwise.
+
+The entry points are :func:`infer_type` (the type of the whole expression) and
+:func:`annotate`, which produces a :class:`TypedExpression` tree recording the
+resolved type of every sub-expression; the evaluator and the circuit compiler
+consume annotated trees so that loop bounds are known without re-inference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.exceptions import TypingError
+from repro.matlang.ast import (
+    Add,
+    Apply,
+    Diag,
+    Expression,
+    ForLoop,
+    HadamardLoop,
+    Literal,
+    MatMul,
+    OneVector,
+    ProductLoop,
+    ScalarMul,
+    SumLoop,
+    Transpose,
+    TypeHint,
+    Var,
+)
+from repro.matlang.schema import SCALAR_SYMBOL, MatrixType, Schema
+
+
+class _SymbolUnifier:
+    """Union-find over size symbols.
+
+    Symbols starting with ``"?"`` are inference variables; every other symbol
+    (schema symbols and ``"1"``) is a constant.  Each union-find class tracks
+    the constant it has been bound to, if any.
+    """
+
+    def __init__(self) -> None:
+        self._parent: Dict[str, str] = {}
+        self._constant: Dict[str, Optional[str]] = {}
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    def fresh(self, hint: str = "t") -> str:
+        self._counter += 1
+        name = f"?{hint}{self._counter}"
+        self._register(name)
+        return name
+
+    def _register(self, symbol: str) -> None:
+        if symbol not in self._parent:
+            self._parent[symbol] = symbol
+            self._constant[symbol] = None if symbol.startswith("?") else symbol
+
+    def find(self, symbol: str) -> str:
+        self._register(symbol)
+        root = symbol
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent[symbol] != root:
+            self._parent[symbol], symbol = root, self._parent[symbol]
+        return root
+
+    def constant_of(self, symbol: str) -> Optional[str]:
+        return self._constant[self.find(symbol)]
+
+    def unify(self, left: str, right: str, context: str) -> None:
+        left_root = self.find(left)
+        right_root = self.find(right)
+        if left_root == right_root:
+            return
+        left_const = self._constant[left_root]
+        right_const = self._constant[right_root]
+        if left_const is not None and right_const is not None and left_const != right_const:
+            raise TypingError(
+                f"size symbol mismatch in {context}: {left_const!r} vs {right_const!r}"
+            )
+        # Merge the variable class into the (possibly constant) one.
+        self._parent[right_root] = left_root
+        self._constant[left_root] = left_const if left_const is not None else right_const
+
+    def resolve(self, symbol: str) -> str:
+        """The canonical name of ``symbol``: its constant if bound, else its root."""
+        constant = self.constant_of(symbol)
+        return constant if constant is not None else self.find(symbol)
+
+
+@dataclass
+class TypedExpression:
+    """An expression annotated with its inferred type.
+
+    ``iterator_symbol`` is set on loop nodes and records the (resolved) row
+    symbol of the iterator variable; the evaluator uses it to look up the loop
+    bound ``n`` in the instance, and the circuit compiler uses it to unroll.
+    ``accumulator_type`` is set on :class:`ForLoop` nodes.  ``free_names`` is
+    the set of matrix variables occurring free below this node; the evaluator
+    uses it to decide which sub-results can safely be memoised across loop
+    iterations.
+    """
+
+    expression: Expression
+    type: MatrixType
+    children: Tuple["TypedExpression", ...] = ()
+    iterator_symbol: Optional[str] = None
+    accumulator_type: Optional[MatrixType] = None
+    free_names: FrozenSet[str] = frozenset()
+
+    def walk(self):
+        """Yield this annotated node and all descendants in pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+@dataclass
+class _Context:
+    """Inference context: schema lookups plus the binding environment."""
+
+    schema: Schema
+    unifier: _SymbolUnifier
+    bindings: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+
+    def type_of_variable(self, name: str, context: str) -> Tuple[str, str]:
+        if name in self.bindings:
+            return self.bindings[name]
+        if self.schema.declares(name):
+            row, col = self.schema.size(name)
+            return (row, col)
+        raise TypingError(
+            f"variable {name!r} used in {context} is neither bound by a loop "
+            "nor declared in the schema"
+        )
+
+
+def infer_type(expression: Expression, schema: Schema) -> MatrixType:
+    """Infer the type of ``expression`` with respect to ``schema``.
+
+    Raises :class:`~repro.exceptions.TypingError` when the expression is not
+    well-typed.  Unresolved dimensions are reported as inference variables
+    (names starting with ``"?"``).
+    """
+    return annotate(expression, schema).type
+
+
+def annotate(expression: Expression, schema: Schema) -> TypedExpression:
+    """Type-check ``expression`` and return the fully annotated tree.
+
+    Dimensions that remain unconstrained after unification are defaulted to
+    the schema's unique non-scalar size symbol when there is exactly one (the
+    "square schema" setting of Sections 5 and 6); otherwise they stay as
+    inference variables and the evaluator reports them when a concrete
+    dimension is actually required.
+    """
+    unifier = _SymbolUnifier()
+    context = _Context(schema=schema, unifier=unifier)
+    typed = _infer(expression, context)
+    non_scalar = [symbol for symbol in schema.symbols() if symbol != SCALAR_SYMBOL]
+    default_symbol = non_scalar[0] if len(non_scalar) == 1 else None
+    return _resolve(typed, unifier, default_symbol)
+
+
+# ----------------------------------------------------------------------
+# Inference
+# ----------------------------------------------------------------------
+def _infer(expression: Expression, ctx: _Context) -> TypedExpression:
+    unifier = ctx.unifier
+
+    if isinstance(expression, Var):
+        row, col = ctx.type_of_variable(expression.name, f"variable {expression.name!r}")
+        return TypedExpression(expression, (row, col))
+
+    if isinstance(expression, Literal):
+        return TypedExpression(expression, (SCALAR_SYMBOL, SCALAR_SYMBOL))
+
+    if isinstance(expression, Transpose):
+        operand = _infer(expression.operand, ctx)
+        row, col = operand.type
+        return TypedExpression(expression, (col, row), (operand,))
+
+    if isinstance(expression, OneVector):
+        operand = _infer(expression.operand, ctx)
+        row, _ = operand.type
+        return TypedExpression(expression, (row, SCALAR_SYMBOL), (operand,))
+
+    if isinstance(expression, Diag):
+        operand = _infer(expression.operand, ctx)
+        row, col = operand.type
+        unifier.unify(col, SCALAR_SYMBOL, "diag(e): e must be a column vector")
+        return TypedExpression(expression, (row, row), (operand,))
+
+    if isinstance(expression, TypeHint):
+        operand = _infer(expression.operand, ctx)
+        row, col = operand.type
+        if expression.row is not None:
+            unifier.unify(row, expression.row, "type hint (rows)")
+        if expression.col is not None:
+            unifier.unify(col, expression.col, "type hint (columns)")
+        return TypedExpression(expression, (row, col), (operand,))
+
+    if isinstance(expression, MatMul):
+        left = _infer(expression.left, ctx)
+        right = _infer(expression.right, ctx)
+        unifier.unify(left.type[1], right.type[0], "matrix multiplication e1 . e2")
+        return TypedExpression(expression, (left.type[0], right.type[1]), (left, right))
+
+    if isinstance(expression, Add):
+        left = _infer(expression.left, ctx)
+        right = _infer(expression.right, ctx)
+        unifier.unify(left.type[0], right.type[0], "matrix addition e1 + e2 (rows)")
+        unifier.unify(left.type[1], right.type[1], "matrix addition e1 + e2 (columns)")
+        return TypedExpression(expression, left.type, (left, right))
+
+    if isinstance(expression, ScalarMul):
+        scalar = _infer(expression.scalar, ctx)
+        operand = _infer(expression.operand, ctx)
+        unifier.unify(scalar.type[0], SCALAR_SYMBOL, "scalar multiplication (rows of e1)")
+        unifier.unify(scalar.type[1], SCALAR_SYMBOL, "scalar multiplication (columns of e1)")
+        return TypedExpression(expression, operand.type, (scalar, operand))
+
+    if isinstance(expression, Apply):
+        if not expression.operands:
+            raise TypingError(f"pointwise function {expression.function!r} needs arguments")
+        operands = [_infer(op, ctx) for op in expression.operands]
+        first = operands[0]
+        for other in operands[1:]:
+            unifier.unify(first.type[0], other.type[0], "pointwise application (rows)")
+            unifier.unify(first.type[1], other.type[1], "pointwise application (columns)")
+        return TypedExpression(expression, first.type, tuple(operands))
+
+    if isinstance(expression, ForLoop):
+        return _infer_for(expression, ctx)
+
+    if isinstance(expression, (SumLoop, HadamardLoop, ProductLoop)):
+        return _infer_quantifier(expression, ctx)
+
+    raise TypingError(f"unknown expression node {type(expression).__name__}")
+
+
+def _declared_or_fresh(ctx: _Context, name: str, default_row: str, default_col: str) -> Tuple[str, str]:
+    """Type of a bound variable: schema declaration if present, else fresh symbols."""
+    if ctx.schema.declares(name):
+        return ctx.schema.size(name)
+    return (default_row, default_col)
+
+
+def _infer_for(expression: ForLoop, ctx: _Context) -> TypedExpression:
+    unifier = ctx.unifier
+    iterator_type = _declared_or_fresh(
+        ctx, expression.iterator, unifier.fresh("it"), SCALAR_SYMBOL
+    )
+    unifier.unify(iterator_type[1], SCALAR_SYMBOL, "for-loop iterator must be a column vector")
+    accumulator_type = _declared_or_fresh(
+        ctx, expression.accumulator, unifier.fresh("accr"), unifier.fresh("accc")
+    )
+
+    init_typed: Optional[TypedExpression] = None
+    if expression.init is not None:
+        init_typed = _infer(expression.init, ctx)
+        unifier.unify(accumulator_type[0], init_typed.type[0], "for-loop initialiser (rows)")
+        unifier.unify(accumulator_type[1], init_typed.type[1], "for-loop initialiser (columns)")
+
+    saved_iterator = ctx.bindings.get(expression.iterator)
+    saved_accumulator = ctx.bindings.get(expression.accumulator)
+    ctx.bindings[expression.iterator] = iterator_type
+    ctx.bindings[expression.accumulator] = accumulator_type
+    try:
+        body = _infer(expression.body, ctx)
+    finally:
+        _restore(ctx, expression.iterator, saved_iterator)
+        _restore(ctx, expression.accumulator, saved_accumulator)
+
+    unifier.unify(accumulator_type[0], body.type[0], "for-loop body must match accumulator (rows)")
+    unifier.unify(
+        accumulator_type[1], body.type[1], "for-loop body must match accumulator (columns)"
+    )
+
+    children = (body,) if init_typed is None else (init_typed, body)
+    return TypedExpression(
+        expression,
+        accumulator_type,
+        children,
+        iterator_symbol=iterator_type[0],
+        accumulator_type=accumulator_type,
+    )
+
+
+def _infer_quantifier(expression, ctx: _Context) -> TypedExpression:
+    unifier = ctx.unifier
+    iterator_type = _declared_or_fresh(
+        ctx, expression.iterator, unifier.fresh("it"), SCALAR_SYMBOL
+    )
+    unifier.unify(iterator_type[1], SCALAR_SYMBOL, "quantifier iterator must be a column vector")
+
+    saved = ctx.bindings.get(expression.iterator)
+    ctx.bindings[expression.iterator] = iterator_type
+    try:
+        body = _infer(expression.body, ctx)
+    finally:
+        _restore(ctx, expression.iterator, saved)
+
+    if isinstance(expression, ProductLoop):
+        unifier.unify(
+            body.type[0], body.type[1], "matrix-product quantifier needs a square body"
+        )
+
+    return TypedExpression(
+        expression,
+        body.type,
+        (body,),
+        iterator_symbol=iterator_type[0],
+        accumulator_type=body.type,
+    )
+
+
+def _restore(ctx: _Context, name: str, saved: Optional[Tuple[str, str]]) -> None:
+    if saved is None:
+        ctx.bindings.pop(name, None)
+    else:
+        ctx.bindings[name] = saved
+
+
+# ----------------------------------------------------------------------
+# Resolution
+# ----------------------------------------------------------------------
+def _resolve(
+    typed: TypedExpression,
+    unifier: _SymbolUnifier,
+    default_symbol: Optional[str] = None,
+) -> TypedExpression:
+    def resolve_symbol(symbol: str) -> str:
+        resolved = unifier.resolve(symbol)
+        if resolved.startswith("?") and default_symbol is not None:
+            return default_symbol
+        return resolved
+
+    row, col = typed.type
+    resolved_type = (resolve_symbol(row), resolve_symbol(col))
+    resolved_children = tuple(
+        _resolve(child, unifier, default_symbol) for child in typed.children
+    )
+    iterator_symbol = (
+        resolve_symbol(typed.iterator_symbol) if typed.iterator_symbol is not None else None
+    )
+    accumulator_type = None
+    if typed.accumulator_type is not None:
+        accumulator_type = (
+            resolve_symbol(typed.accumulator_type[0]),
+            resolve_symbol(typed.accumulator_type[1]),
+        )
+    return TypedExpression(
+        typed.expression,
+        resolved_type,
+        resolved_children,
+        iterator_symbol=iterator_symbol,
+        accumulator_type=accumulator_type,
+        free_names=_free_names(typed.expression, resolved_children),
+    )
+
+
+def _free_names(
+    expression: Expression, children: Tuple[TypedExpression, ...]
+) -> FrozenSet[str]:
+    """Free matrix variables of a node, computed from its resolved children."""
+    if isinstance(expression, Var):
+        return frozenset({expression.name})
+    if isinstance(expression, ForLoop):
+        bound = {expression.iterator, expression.accumulator}
+        if expression.init is None:
+            (body,) = children
+            return body.free_names - bound
+        init, body = children
+        return init.free_names | (body.free_names - bound)
+    if isinstance(expression, (SumLoop, HadamardLoop, ProductLoop)):
+        (body,) = children
+        return body.free_names - {expression.iterator}
+    names: FrozenSet[str] = frozenset()
+    for child in children:
+        names |= child.free_names
+    return names
+
+
+def is_well_typed(expression: Expression, schema: Schema) -> bool:
+    """Whether ``expression`` type-checks against ``schema``."""
+    try:
+        infer_type(expression, schema)
+    except TypingError:
+        return False
+    return True

@@ -1,0 +1,228 @@
+"""The commutative semiring abstraction.
+
+A semiring ``(K, plus, times, zero, one)`` consists of a carrier set together
+with two associative binary operations such that ``plus`` is commutative with
+identity ``zero``, ``times`` is commutative (the paper restricts to commutative
+semirings) with identity ``one``, ``times`` distributes over ``plus`` and
+``zero`` annihilates the carrier.
+
+Concrete semirings subclass :class:`Semiring` and provide the scalar
+operations; the matrix layer in :mod:`repro.semiring.matrix` and the MATLANG
+evaluator build on top of those.  The real field additionally exposes a dense
+``float64`` fast path which the evaluator uses transparently.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.exceptions import SemiringError
+
+
+class Semiring(ABC):
+    """Abstract commutative semiring over scalar values.
+
+    Subclasses define the carrier through :meth:`coerce` and the four scalar
+    operations.  Values are plain Python / numpy objects; matrices over a
+    semiring are numpy arrays of ``dtype=object`` except for semirings that
+    advertise a numeric dtype through :attr:`dtype`.
+    """
+
+    #: Human readable, unique name used by the registry.
+    name: str = "abstract"
+
+    #: numpy dtype used for dense matrices over this semiring.  ``object`` is
+    #: always correct; numeric semirings may override it for speed.
+    dtype: Any = object
+
+    # ------------------------------------------------------------------
+    # Scalar interface
+    # ------------------------------------------------------------------
+    @property
+    @abstractmethod
+    def zero(self) -> Any:
+        """The additive identity of the semiring."""
+
+    @property
+    @abstractmethod
+    def one(self) -> Any:
+        """The multiplicative identity of the semiring."""
+
+    @abstractmethod
+    def plus(self, left: Any, right: Any) -> Any:
+        """Return ``left + right`` in the semiring."""
+
+    @abstractmethod
+    def times(self, left: Any, right: Any) -> Any:
+        """Return ``left * right`` in the semiring."""
+
+    @abstractmethod
+    def coerce(self, value: Any) -> Any:
+        """Convert ``value`` into a carrier element.
+
+        Raises :class:`~repro.exceptions.SemiringError` when the value cannot
+        be interpreted as an element of the semiring.
+        """
+
+    # ------------------------------------------------------------------
+    # Optional structure
+    # ------------------------------------------------------------------
+    @property
+    def is_field(self) -> bool:
+        """Whether the semiring supports division by non-zero elements."""
+        return False
+
+    @property
+    def is_ring(self) -> bool:
+        """Whether additive inverses exist (needed for subtraction)."""
+        return False
+
+    def negate(self, value: Any) -> Any:
+        """Return the additive inverse of ``value`` if the semiring is a ring."""
+        raise SemiringError(f"semiring {self.name!r} has no additive inverses")
+
+    def divide(self, left: Any, right: Any) -> Any:
+        """Return ``left / right`` if the semiring is a field."""
+        raise SemiringError(f"semiring {self.name!r} does not support division")
+
+    def is_zero(self, value: Any) -> bool:
+        """Whether ``value`` equals the additive identity."""
+        return self.equal(value, self.zero)
+
+    def equal(self, left: Any, right: Any) -> bool:
+        """Whether two carrier elements are equal."""
+        return bool(left == right)
+
+    def close_to(self, left: Any, right: Any, tolerance: float = 1e-9) -> bool:
+        """Equality up to a numerical tolerance; exact by default."""
+        del tolerance
+        return self.equal(left, right)
+
+    def from_int(self, value: int) -> Any:
+        """Embed a non-negative integer as ``1 + 1 + ... + 1`` (value times).
+
+        Every semiring admits this canonical embedding of the naturals; most
+        concrete semirings override it with a direct conversion.
+        """
+        if value < 0:
+            raise SemiringError(
+                f"cannot embed negative integer {value} into semiring {self.name!r}"
+            )
+        result = self.zero
+        for _ in range(value):
+            result = self.plus(result, self.one)
+        return result
+
+    # ------------------------------------------------------------------
+    # Aggregations
+    # ------------------------------------------------------------------
+    def sum(self, values: Iterable[Any]) -> Any:
+        """Fold ``plus`` over ``values`` starting from ``zero``."""
+        result = self.zero
+        for value in values:
+            result = self.plus(result, value)
+        return result
+
+    def product(self, values: Iterable[Any]) -> Any:
+        """Fold ``times`` over ``values`` starting from ``one``."""
+        result = self.one
+        for value in values:
+            result = self.times(result, value)
+        return result
+
+    # ------------------------------------------------------------------
+    # Dense matrix helpers (generic object-array implementation)
+    # ------------------------------------------------------------------
+    def zeros(self, rows: int, cols: int) -> np.ndarray:
+        """A ``rows x cols`` matrix filled with the additive identity."""
+        matrix = np.empty((rows, cols), dtype=self.dtype)
+        matrix[...] = self.zero
+        return matrix
+
+    def ones(self, rows: int, cols: int) -> np.ndarray:
+        """A ``rows x cols`` matrix filled with the multiplicative identity."""
+        matrix = np.empty((rows, cols), dtype=self.dtype)
+        matrix[...] = self.one
+        return matrix
+
+    def add_matrices(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        """Entrywise semiring addition of two equally shaped matrices."""
+        if left.shape != right.shape:
+            raise SemiringError(
+                f"cannot add matrices of shapes {left.shape} and {right.shape}"
+            )
+        result = np.empty(left.shape, dtype=self.dtype)
+        for index in np.ndindex(left.shape):
+            result[index] = self.plus(left[index], right[index])
+        return result
+
+    def hadamard(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        """Entrywise semiring multiplication (Hadamard product)."""
+        if left.shape != right.shape:
+            raise SemiringError(
+                f"cannot take Hadamard product of shapes {left.shape} and {right.shape}"
+            )
+        result = np.empty(left.shape, dtype=self.dtype)
+        for index in np.ndindex(left.shape):
+            result[index] = self.times(left[index], right[index])
+        return result
+
+    def matmul(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        """Semiring matrix multiplication."""
+        if left.shape[1] != right.shape[0]:
+            raise SemiringError(
+                f"cannot multiply matrices of shapes {left.shape} and {right.shape}"
+            )
+        rows, inner = left.shape
+        cols = right.shape[1]
+        result = self.zeros(rows, cols)
+        for i in range(rows):
+            for j in range(cols):
+                accumulator = self.zero
+                for k in range(inner):
+                    accumulator = self.plus(
+                        accumulator, self.times(left[i, k], right[k, j])
+                    )
+                result[i, j] = accumulator
+        return result
+
+    def scale(self, factor: Any, matrix: np.ndarray) -> np.ndarray:
+        """Multiply every entry of ``matrix`` by the scalar ``factor``."""
+        result = np.empty(matrix.shape, dtype=self.dtype)
+        for index in np.ndindex(matrix.shape):
+            result[index] = self.times(factor, matrix[index])
+        return result
+
+    def coerce_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        """Coerce every entry of ``matrix`` into the semiring carrier."""
+        source = np.asarray(matrix)
+        result = np.empty(source.shape, dtype=self.dtype)
+        for index in np.ndindex(source.shape):
+            result[index] = self.coerce(source[index])
+        return result
+
+    def matrices_equal(
+        self, left: np.ndarray, right: np.ndarray, tolerance: float = 1e-9
+    ) -> bool:
+        """Whether two matrices agree entrywise (up to ``tolerance``)."""
+        if left.shape != right.shape:
+            return False
+        return all(
+            self.close_to(left[index], right[index], tolerance)
+            for index in np.ndindex(left.shape)
+        )
+
+    # ------------------------------------------------------------------
+    # Dunder conveniences
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"{type(self).__name__}()"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Semiring) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(self.name)

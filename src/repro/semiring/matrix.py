@@ -1,0 +1,114 @@
+"""Matrix helpers that are generic over a semiring.
+
+The MATLANG evaluator manipulates matrices as 2-d numpy arrays whose entries
+are elements of some :class:`~repro.semiring.base.Semiring`.  This module
+collects the constructors and predicates used throughout the code base:
+canonical vectors, identity matrices, scalar wrapping and comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.exceptions import SemiringError
+from repro.semiring.base import Semiring
+from repro.semiring.standard import REAL
+
+
+def zeros(semiring: Semiring, rows: int, cols: int) -> np.ndarray:
+    """A ``rows x cols`` zero matrix over ``semiring``."""
+    return semiring.zeros(rows, cols)
+
+
+def ones_matrix(semiring: Semiring, rows: int, cols: int) -> np.ndarray:
+    """A ``rows x cols`` matrix filled with the semiring one."""
+    return semiring.ones(rows, cols)
+
+
+def identity(semiring: Semiring, size: int) -> np.ndarray:
+    """The ``size x size`` identity matrix over ``semiring``."""
+    matrix = semiring.zeros(size, size)
+    for i in range(size):
+        matrix[i, i] = semiring.one
+    return matrix
+
+
+def canonical_vector(semiring: Semiring, size: int, index: int) -> np.ndarray:
+    """The canonical column vector ``b_index`` of dimension ``size``.
+
+    ``index`` is zero-based; the paper writes ``b_1, ..., b_n`` which
+    correspond to indices ``0, ..., size - 1`` here.
+    """
+    if not 0 <= index < size:
+        raise SemiringError(
+            f"canonical vector index {index} out of range for dimension {size}"
+        )
+    vector = semiring.zeros(size, 1)
+    vector[index, 0] = semiring.one
+    return vector
+
+
+def scalar(semiring: Semiring, value: Any) -> np.ndarray:
+    """Wrap a scalar value as a ``1 x 1`` matrix over ``semiring``."""
+    matrix = semiring.zeros(1, 1)
+    matrix[0, 0] = semiring.coerce(value)
+    return matrix
+
+
+def scalar_value(matrix: np.ndarray) -> Any:
+    """Extract the single entry of a ``1 x 1`` matrix."""
+    if matrix.shape != (1, 1):
+        raise SemiringError(f"expected a 1x1 matrix, got shape {matrix.shape}")
+    return matrix[0, 0]
+
+
+def from_rows(semiring: Semiring, rows: Sequence[Sequence[Any]]) -> np.ndarray:
+    """Build a matrix from nested Python sequences, coercing every entry."""
+    if not rows:
+        raise SemiringError("cannot build a matrix from an empty row list")
+    width = len(rows[0])
+    if any(len(row) != width for row in rows):
+        raise SemiringError("all rows must have the same length")
+    matrix = semiring.zeros(len(rows), width)
+    for i, row in enumerate(rows):
+        for j, value in enumerate(row):
+            matrix[i, j] = semiring.coerce(value)
+    return matrix
+
+
+def lift(semiring: Semiring, matrix: Any) -> np.ndarray:
+    """Coerce an array-like (possibly 1-d) into a 2-d matrix over ``semiring``.
+
+    One-dimensional inputs become column vectors, matching the paper's
+    convention that vectors have type ``(alpha, 1)``.
+    """
+    array = np.asarray(matrix, dtype=object if semiring.dtype is object else semiring.dtype)
+    if array.ndim == 0:
+        return scalar(semiring, array.item())
+    if array.ndim == 1:
+        array = array.reshape(-1, 1)
+    if array.ndim != 2:
+        raise SemiringError(f"expected at most 2 dimensions, got {array.ndim}")
+    return semiring.coerce_matrix(array)
+
+
+def matrices_equal(
+    semiring: Semiring,
+    left: np.ndarray,
+    right: np.ndarray,
+    tolerance: float = 1e-9,
+) -> bool:
+    """Entrywise equality of two matrices over ``semiring``."""
+    return semiring.matrices_equal(left, right, tolerance)
+
+
+def to_float(matrix: np.ndarray) -> np.ndarray:
+    """View a matrix over the real field (or naturals/integers) as floats."""
+    return np.asarray(matrix, dtype=np.float64)
+
+
+def default_semiring() -> Semiring:
+    """The default semiring of the library: the real field."""
+    return REAL

@@ -1,0 +1,220 @@
+"""The polynomial provenance semiring ``N[X]``.
+
+The positive relational algebra on K-relations of Green, Karvounarakis and
+Tannen — the formalism sum-MATLANG is proved equivalent to in Section 6.1 —
+was originally introduced for provenance tracking.  The most informative
+provenance semiring is the semiring of polynomials with natural-number
+coefficients over a set of provenance tokens, ``N[X]``: it is the free
+commutative semiring, so any evaluation over another semiring factors through
+it.  Having it available lets the reproduction demonstrate how-provenance for
+both RA+_K queries and sum-MATLANG expressions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Mapping, Tuple
+
+from repro.exceptions import SemiringError
+from repro.semiring.base import Semiring
+
+
+@dataclass(frozen=True)
+class Monomial:
+    """A monomial over provenance tokens: a multiset of variable names.
+
+    The multiset is stored as a sorted tuple of ``(token, exponent)`` pairs so
+    monomials are hashable and have a canonical form.
+    """
+
+    powers: Tuple[Tuple[str, int], ...] = ()
+
+    @staticmethod
+    def unit() -> "Monomial":
+        """The empty monomial (the multiplicative identity)."""
+        return Monomial(())
+
+    @staticmethod
+    def variable(token: str) -> "Monomial":
+        """The monomial consisting of a single provenance token."""
+        return Monomial(((token, 1),))
+
+    @staticmethod
+    def from_mapping(powers: Mapping[str, int]) -> "Monomial":
+        """Build a monomial from a token -> exponent mapping."""
+        cleaned = tuple(
+            sorted((token, exponent) for token, exponent in powers.items() if exponent > 0)
+        )
+        return Monomial(cleaned)
+
+    def degree(self) -> int:
+        """Total degree of the monomial."""
+        return sum(exponent for _, exponent in self.powers)
+
+    def times(self, other: "Monomial") -> "Monomial":
+        """Multiply two monomials by adding exponents."""
+        merged: Dict[str, int] = dict(self.powers)
+        for token, exponent in other.powers:
+            merged[token] = merged.get(token, 0) + exponent
+        return Monomial.from_mapping(merged)
+
+    def __str__(self) -> str:
+        if not self.powers:
+            return "1"
+        parts = []
+        for token, exponent in self.powers:
+            parts.append(token if exponent == 1 else f"{token}^{exponent}")
+        return "*".join(parts)
+
+
+@dataclass(frozen=True)
+class Polynomial:
+    """A polynomial with natural coefficients over provenance tokens.
+
+    Stored as a sorted tuple of ``(monomial, coefficient)`` pairs with strictly
+    positive coefficients, which gives a canonical, hashable representation.
+    """
+
+    terms: Tuple[Tuple[Monomial, int], ...] = ()
+
+    @staticmethod
+    def zero() -> "Polynomial":
+        return Polynomial(())
+
+    @staticmethod
+    def one() -> "Polynomial":
+        return Polynomial(((Monomial.unit(), 1),))
+
+    @staticmethod
+    def variable(token: str) -> "Polynomial":
+        """The polynomial consisting of the single token ``token``."""
+        return Polynomial(((Monomial.variable(token), 1),))
+
+    @staticmethod
+    def constant(value: int) -> "Polynomial":
+        """The constant polynomial ``value`` (a natural number)."""
+        if value < 0:
+            raise SemiringError("provenance polynomials have natural coefficients")
+        if value == 0:
+            return Polynomial.zero()
+        return Polynomial(((Monomial.unit(), int(value)),))
+
+    @staticmethod
+    def _from_mapping(terms: Mapping[Monomial, int]) -> "Polynomial":
+        cleaned = tuple(
+            sorted(
+                ((monomial, coefficient) for monomial, coefficient in terms.items() if coefficient),
+                key=lambda item: (item[0].degree(), str(item[0])),
+            )
+        )
+        return Polynomial(cleaned)
+
+    def plus(self, other: "Polynomial") -> "Polynomial":
+        merged: Dict[Monomial, int] = dict(self.terms)
+        for monomial, coefficient in other.terms:
+            merged[monomial] = merged.get(monomial, 0) + coefficient
+        return Polynomial._from_mapping(merged)
+
+    def times(self, other: "Polynomial") -> "Polynomial":
+        merged: Dict[Monomial, int] = {}
+        for left_monomial, left_coefficient in self.terms:
+            for right_monomial, right_coefficient in other.terms:
+                product = left_monomial.times(right_monomial)
+                merged[product] = merged.get(product, 0) + left_coefficient * right_coefficient
+        return Polynomial._from_mapping(merged)
+
+    def degree(self) -> int:
+        """Total degree of the polynomial (0 for the zero polynomial)."""
+        if not self.terms:
+            return 0
+        return max(monomial.degree() for monomial, _ in self.terms)
+
+    def tokens(self) -> Tuple[str, ...]:
+        """All provenance tokens mentioned by the polynomial, sorted."""
+        seen = {
+            token
+            for monomial, _ in self.terms
+            for token, _ in monomial.powers
+        }
+        return tuple(sorted(seen))
+
+    def evaluate(self, semiring: Semiring, assignment: Mapping[str, Any]) -> Any:
+        """Evaluate the polynomial in ``semiring`` under a token assignment.
+
+        This is the universal property of ``N[X]``: specialising tokens to
+        values of any commutative semiring commutes with query evaluation.
+        """
+        total = semiring.zero
+        for monomial, coefficient in self.terms:
+            term = semiring.from_int(coefficient)
+            for token, exponent in monomial.powers:
+                if token not in assignment:
+                    raise SemiringError(f"no value assigned to provenance token {token!r}")
+                value = semiring.coerce(assignment[token])
+                for _ in range(exponent):
+                    term = semiring.times(term, value)
+            total = semiring.plus(total, term)
+        return total
+
+    def __str__(self) -> str:
+        if not self.terms:
+            return "0"
+        rendered = []
+        for monomial, coefficient in self.terms:
+            if monomial == Monomial.unit():
+                rendered.append(str(coefficient))
+            elif coefficient == 1:
+                rendered.append(str(monomial))
+            else:
+                rendered.append(f"{coefficient}*{monomial}")
+        return " + ".join(rendered)
+
+
+class ProvenanceSemiring(Semiring):
+    """The free commutative semiring ``N[X]`` of provenance polynomials."""
+
+    name = "provenance"
+    dtype = object
+
+    @property
+    def zero(self) -> Polynomial:
+        return Polynomial.zero()
+
+    @property
+    def one(self) -> Polynomial:
+        return Polynomial.one()
+
+    def plus(self, left: Polynomial, right: Polynomial) -> Polynomial:
+        return self.coerce(left).plus(self.coerce(right))
+
+    def times(self, left: Polynomial, right: Polynomial) -> Polynomial:
+        return self.coerce(left).times(self.coerce(right))
+
+    def coerce(self, value: Any) -> Polynomial:
+        if isinstance(value, Polynomial):
+            return value
+        if isinstance(value, Monomial):
+            return Polynomial(((value, 1),))
+        if isinstance(value, str):
+            return Polynomial.variable(value)
+        if isinstance(value, bool):
+            return Polynomial.one() if value else Polynomial.zero()
+        if isinstance(value, int):
+            return Polynomial.constant(value)
+        if isinstance(value, float) and float(value).is_integer():
+            return Polynomial.constant(int(value))
+        raise SemiringError(f"cannot coerce {value!r} into a provenance polynomial")
+
+    def from_int(self, value: int) -> Polynomial:
+        return Polynomial.constant(value)
+
+    def tokens(self, values: Iterable[Any]) -> Tuple[str, ...]:
+        """All provenance tokens mentioned by a collection of values."""
+        seen = set()
+        for value in values:
+            seen.update(self.coerce(value).tokens())
+        return tuple(sorted(seen))
+
+
+#: Shared singleton instance.
+PROVENANCE = ProvenanceSemiring()

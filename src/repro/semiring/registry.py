@@ -1,0 +1,43 @@
+"""Registry of named semirings.
+
+The registry makes it possible to request semirings by name from benchmarks,
+examples and command-line style workloads without importing the concrete
+classes, and lets downstream users plug in their own semirings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.exceptions import SemiringError
+from repro.semiring.base import Semiring
+from repro.semiring.provenance import PROVENANCE
+from repro.semiring.standard import BOOLEAN, INTEGER, NATURAL, REAL
+from repro.semiring.tropical import MAX_PLUS, MIN_PLUS
+
+_REGISTRY: Dict[str, Semiring] = {}
+
+
+def register_semiring(semiring: Semiring, overwrite: bool = False) -> None:
+    """Register ``semiring`` under its :attr:`Semiring.name`."""
+    if semiring.name in _REGISTRY and not overwrite:
+        raise SemiringError(f"semiring {semiring.name!r} is already registered")
+    _REGISTRY[semiring.name] = semiring
+
+
+def get_semiring(name: str) -> Semiring:
+    """Look up a registered semiring by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise SemiringError(f"unknown semiring {name!r}; known semirings: {known}") from None
+
+
+def available_semirings() -> Tuple[str, ...]:
+    """Names of all registered semirings, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+for _semiring in (REAL, INTEGER, NATURAL, BOOLEAN, MIN_PLUS, MAX_PLUS, PROVENANCE):
+    register_semiring(_semiring)

@@ -1,0 +1,243 @@
+"""Standard numeric semirings: reals, integers, naturals and booleans.
+
+These are the semirings named explicitly in Section 6 of the paper:
+``(R, +, x, 0, 1)``, ``(N, +, x, 0, 1)`` and the boolean semiring
+``({0, 1}, or, and, 0, 1)``.  The integer ring is included because the
+linear-algebra algorithms of Section 4 (LU, Csanky) need subtraction.
+"""
+
+from __future__ import annotations
+
+from numbers import Real as _RealNumber
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import SemiringError
+from repro.semiring.base import Semiring
+
+
+class RealField(Semiring):
+    """The field of real numbers with the usual operations.
+
+    This is the default semiring of MATLANG.  Matrices over the real field
+    are stored as dense ``float64`` numpy arrays, and the matrix-level
+    operations delegate to vectorised numpy routines.
+    """
+
+    name = "real"
+    dtype = np.float64
+
+    @property
+    def zero(self) -> float:
+        return 0.0
+
+    @property
+    def one(self) -> float:
+        return 1.0
+
+    @property
+    def is_field(self) -> bool:
+        return True
+
+    @property
+    def is_ring(self) -> bool:
+        return True
+
+    def plus(self, left: float, right: float) -> float:
+        return float(left) + float(right)
+
+    def times(self, left: float, right: float) -> float:
+        return float(left) * float(right)
+
+    def negate(self, value: float) -> float:
+        return -float(value)
+
+    def divide(self, left: float, right: float) -> float:
+        if right == 0.0:
+            raise SemiringError("division by zero in the real field")
+        return float(left) / float(right)
+
+    def coerce(self, value: Any) -> float:
+        if isinstance(value, bool):
+            return 1.0 if value else 0.0
+        if isinstance(value, (_RealNumber, np.floating, np.integer)):
+            return float(value)
+        raise SemiringError(f"cannot coerce {value!r} into a real number")
+
+    def from_int(self, value: int) -> float:
+        return float(value)
+
+    def equal(self, left: float, right: float) -> bool:
+        return float(left) == float(right)
+
+    def close_to(self, left: float, right: float, tolerance: float = 1e-9) -> bool:
+        return abs(float(left) - float(right)) <= tolerance * (
+            1.0 + max(abs(float(left)), abs(float(right)))
+        )
+
+    # ------------------------------------------------------------------
+    # Dense numpy fast paths
+    # ------------------------------------------------------------------
+    def zeros(self, rows: int, cols: int) -> np.ndarray:
+        return np.zeros((rows, cols), dtype=np.float64)
+
+    def ones(self, rows: int, cols: int) -> np.ndarray:
+        return np.ones((rows, cols), dtype=np.float64)
+
+    def add_matrices(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        if left.shape != right.shape:
+            raise SemiringError(
+                f"cannot add matrices of shapes {left.shape} and {right.shape}"
+            )
+        return left + right
+
+    def hadamard(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        if left.shape != right.shape:
+            raise SemiringError(
+                f"cannot take Hadamard product of shapes {left.shape} and {right.shape}"
+            )
+        return left * right
+
+    def matmul(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        if left.shape[1] != right.shape[0]:
+            raise SemiringError(
+                f"cannot multiply matrices of shapes {left.shape} and {right.shape}"
+            )
+        return left @ right
+
+    def scale(self, factor: float, matrix: np.ndarray) -> np.ndarray:
+        return float(factor) * matrix
+
+    def coerce_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        return np.asarray(matrix, dtype=np.float64)
+
+    def matrices_equal(
+        self, left: np.ndarray, right: np.ndarray, tolerance: float = 1e-9
+    ) -> bool:
+        if left.shape != right.shape:
+            return False
+        return bool(np.allclose(left, right, rtol=tolerance, atol=tolerance))
+
+
+class IntegerRing(Semiring):
+    """The commutative ring of integers (a semiring with additive inverses)."""
+
+    name = "integer"
+    dtype = object
+
+    @property
+    def zero(self) -> int:
+        return 0
+
+    @property
+    def one(self) -> int:
+        return 1
+
+    @property
+    def is_ring(self) -> bool:
+        return True
+
+    def plus(self, left: int, right: int) -> int:
+        return int(left) + int(right)
+
+    def times(self, left: int, right: int) -> int:
+        return int(left) * int(right)
+
+    def negate(self, value: int) -> int:
+        return -int(value)
+
+    def coerce(self, value: Any) -> int:
+        if isinstance(value, bool):
+            return 1 if value else 0
+        if isinstance(value, (int, np.integer)):
+            return int(value)
+        if isinstance(value, (float, np.floating)) and float(value).is_integer():
+            return int(value)
+        raise SemiringError(f"cannot coerce {value!r} into an integer")
+
+    def from_int(self, value: int) -> int:
+        return int(value)
+
+
+class NaturalSemiring(Semiring):
+    """The semiring of natural numbers ``(N, +, x, 0, 1)``.
+
+    It is the canonical bag / counting semiring of provenance theory: the
+    annotation of an answer tuple counts its derivations.
+    """
+
+    name = "natural"
+    dtype = object
+
+    @property
+    def zero(self) -> int:
+        return 0
+
+    @property
+    def one(self) -> int:
+        return 1
+
+    def plus(self, left: int, right: int) -> int:
+        return int(left) + int(right)
+
+    def times(self, left: int, right: int) -> int:
+        return int(left) * int(right)
+
+    def coerce(self, value: Any) -> int:
+        if isinstance(value, bool):
+            return 1 if value else 0
+        if isinstance(value, (int, np.integer)):
+            if int(value) < 0:
+                raise SemiringError(f"{value!r} is not a natural number")
+            return int(value)
+        if isinstance(value, (float, np.floating)) and float(value).is_integer():
+            return NaturalSemiring.coerce(self, int(value))
+        raise SemiringError(f"cannot coerce {value!r} into a natural number")
+
+    def from_int(self, value: int) -> int:
+        if value < 0:
+            raise SemiringError(f"{value!r} is not a natural number")
+        return int(value)
+
+
+class BooleanSemiring(Semiring):
+    """The boolean semiring ``({0, 1}, or, and, 0, 1)``.
+
+    Evaluating a MATLANG expression over the booleans turns annotated
+    matrices into set-semantics relations: a non-zero entry means "present".
+    """
+
+    name = "boolean"
+    dtype = object
+
+    @property
+    def zero(self) -> bool:
+        return False
+
+    @property
+    def one(self) -> bool:
+        return True
+
+    def plus(self, left: bool, right: bool) -> bool:
+        return bool(left) or bool(right)
+
+    def times(self, left: bool, right: bool) -> bool:
+        return bool(left) and bool(right)
+
+    def coerce(self, value: Any) -> bool:
+        if isinstance(value, (bool, np.bool_)):
+            return bool(value)
+        if isinstance(value, (int, float, np.integer, np.floating)):
+            return bool(value != 0)
+        raise SemiringError(f"cannot coerce {value!r} into a boolean")
+
+    def from_int(self, value: int) -> bool:
+        return value != 0
+
+
+#: Shared singleton instances: semirings are stateless, so one of each suffices.
+REAL = RealField()
+INTEGER = IntegerRing()
+NATURAL = NaturalSemiring()
+BOOLEAN = BooleanSemiring()

@@ -1,0 +1,105 @@
+"""Tropical semirings: min-plus and max-plus.
+
+Tropical semirings are the standard examples of semirings in which MATLANG
+evaluation computes shortest / longest path information: over min-plus, the
+entry ``(i, j)`` of the "matrix power" ``A^k`` holds the cheapest cost of a
+walk of length ``k`` from ``i`` to ``j``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import SemiringError
+from repro.semiring.base import Semiring
+
+
+class MinPlusSemiring(Semiring):
+    """The tropical semiring ``(R U {inf}, min, +, inf, 0)``."""
+
+    name = "min_plus"
+    dtype = object
+
+    @property
+    def zero(self) -> float:
+        return math.inf
+
+    @property
+    def one(self) -> float:
+        return 0.0
+
+    def plus(self, left: float, right: float) -> float:
+        return min(float(left), float(right))
+
+    def times(self, left: float, right: float) -> float:
+        if math.isinf(left) or math.isinf(right):
+            return math.inf
+        return float(left) + float(right)
+
+    def coerce(self, value: Any) -> float:
+        if isinstance(value, bool):
+            return 0.0 if value else math.inf
+        if isinstance(value, (int, float, np.integer, np.floating)):
+            return float(value)
+        raise SemiringError(f"cannot coerce {value!r} into a min-plus value")
+
+    def from_int(self, value: int) -> float:
+        # 1 + 1 + ... + 1 (value times) under (min, +): min of `value` zeros,
+        # which is 0 for value >= 1 and the additive identity inf for value 0.
+        return math.inf if value == 0 else 0.0
+
+    def close_to(self, left: float, right: float, tolerance: float = 1e-9) -> bool:
+        if math.isinf(left) or math.isinf(right):
+            return left == right
+        return abs(float(left) - float(right)) <= tolerance * (
+            1.0 + max(abs(float(left)), abs(float(right)))
+        )
+
+
+class MaxPlusSemiring(Semiring):
+    """The arctic semiring ``(R U {-inf}, max, +, -inf, 0)``."""
+
+    name = "max_plus"
+    dtype = object
+
+    @property
+    def zero(self) -> float:
+        return -math.inf
+
+    @property
+    def one(self) -> float:
+        return 0.0
+
+    def plus(self, left: float, right: float) -> float:
+        return max(float(left), float(right))
+
+    def times(self, left: float, right: float) -> float:
+        if math.isinf(left) or math.isinf(right):
+            if left == -math.inf or right == -math.inf:
+                return -math.inf
+        return float(left) + float(right)
+
+    def coerce(self, value: Any) -> float:
+        if isinstance(value, bool):
+            return 0.0 if value else -math.inf
+        if isinstance(value, (int, float, np.integer, np.floating)):
+            return float(value)
+        raise SemiringError(f"cannot coerce {value!r} into a max-plus value")
+
+    def from_int(self, value: int) -> float:
+        return -math.inf if value == 0 else 0.0
+
+    def close_to(self, left: float, right: float, tolerance: float = 1e-9) -> bool:
+        if math.isinf(left) or math.isinf(right):
+            return left == right
+        return abs(float(left) - float(right)) <= tolerance * (
+            1.0 + max(abs(float(left)), abs(float(right)))
+        )
+
+
+#: Shared singleton instances.
+MIN_PLUS = MinPlusSemiring()
+MAX_PLUS = MaxPlusSemiring()

@@ -1,0 +1,89 @@
+"""Basic building blocks: ones, diag, identity and their for-loop forms.
+
+Examples 3.1 and 3.2 of the paper show that the MATLANG primitives ``1(e)``
+and ``diag(e)`` are redundant in for-MATLANG.  Both the primitive forms and
+the for-loop re-definitions are provided so the redundancy can be tested
+(experiment E1).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.matlang.ast import Diag, Expression, OneVector, Var
+from repro.matlang.builder import forloop, hint, lit, var
+
+ExpressionLike = Union[Expression, str]
+
+DEFAULT_SYMBOL = "alpha"
+
+
+def _as_expr(value: ExpressionLike) -> Expression:
+    """Accept either an expression or a variable name."""
+    if isinstance(value, Expression):
+        return value
+    return Var(value)
+
+
+def ones_like(operand: ExpressionLike) -> Expression:
+    """The MATLANG primitive ``1(e)``: the all-ones column vector of e's height."""
+    return OneVector(_as_expr(operand))
+
+
+def identity_like(operand: ExpressionLike) -> Expression:
+    """The identity matrix ``e_Id`` of the row dimension of ``e``.
+
+    Expressed as ``diag(1(e))``, which stays inside the MATLANG core.
+    """
+    return Diag(OneVector(_as_expr(operand)))
+
+
+def ones_matrix_like(operand: ExpressionLike) -> Expression:
+    """The all-ones matrix of the same type as ``e``: ``1(e) . 1(e^T)^T``."""
+    expr = _as_expr(operand)
+    return OneVector(expr) @ OneVector(expr.T).T
+
+
+def ones_via_for(symbol: str = DEFAULT_SYMBOL, iterator: str = "_v", accumulator: str = "_X") -> Expression:
+    """Example 3.1: the ones vector defined with a for-loop.
+
+    ``for v, X. X + v`` evaluated over dimension ``n`` adds up all canonical
+    vectors, producing the all-ones vector of type ``(symbol, 1)``.
+    """
+    loop = forloop(iterator, accumulator, var(accumulator) + var(iterator))
+    return hint(loop, symbol, "1")
+
+
+def diag_via_for(
+    operand: ExpressionLike,
+    iterator: str = "_v",
+    accumulator: str = "_X",
+) -> Expression:
+    """Example 3.2: ``diag(e)`` defined with a for-loop.
+
+    ``for v, X. X + (v^T . e) x (v . v^T)`` places the i-th entry of the
+    column vector ``e`` at position ``(i, i)``.
+    """
+    expr = _as_expr(operand)
+    v = var(iterator)
+    body = var(accumulator) + (v.T @ expr) * (v @ v.T)
+    return forloop(iterator, accumulator, body)
+
+
+def scalar_entry(matrix: ExpressionLike, row: Expression, col: Expression) -> Expression:
+    """The ``1 x 1`` expression ``row^T . M . col`` extracting one entry.
+
+    ``row`` and ``col`` are expected to evaluate to canonical vectors; this is
+    the paper's idiom for positional access.
+    """
+    return row.T @ _as_expr(matrix) @ col
+
+
+def zero_scalar() -> Expression:
+    """The constant ``0`` as a 1x1 expression."""
+    return lit(0)
+
+
+def one_scalar() -> Expression:
+    """The constant ``1`` as a 1x1 expression."""
+    return lit(1)

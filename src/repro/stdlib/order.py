@@ -1,0 +1,179 @@
+"""Order predicates on canonical vectors (Section 3.2 and Appendix B.1).
+
+The for-loop iterates over the canonical vectors ``b_1, ..., b_n`` in a fixed
+order, and this order can be made explicit inside the language.  The central
+objects are
+
+* ``e_max`` / ``e_min`` — the last / first canonical vector,
+* ``Prev`` / ``Next`` — the shift matrices with ``Prev . b_i = b_{i-1}``,
+* ``S_<`` and ``S_<=`` — the order matrices with ``b_i^T . S_<= . b_j = 1``
+  iff ``i <= j``,
+* the derived predicates ``succ``, ``succ_strict`` (written ``succ`` and
+  ``succ^+`` in the paper), ``min`` and ``max``.
+
+Deviation from the appendix: the appendix builds ``S_<=`` by using the last
+column of the accumulator as scratch space.  That construction double-counts
+the final column (its value ends up 2 instead of 1), so the library instead
+builds the ``Prev`` matrix first (the appendix construction for ``Prev`` is
+correct) and obtains ``S_< = Prev + Prev^2 + ... + Prev^n`` with the loop
+``for v, X. X . Prev + Prev``, then ``S_<= = S_< + I``.  The resulting
+matrices satisfy exactly the properties stated in Section 3.2 and are what
+every later construction relies on.
+"""
+
+from __future__ import annotations
+
+from repro.matlang.ast import Expression
+from repro.matlang.builder import forloop, hint, lit, ones, var
+from repro.stdlib.basic import DEFAULT_SYMBOL
+
+#: Internal variable names; the leading underscore avoids collisions with
+#: user variables, and nested loops use distinct suffixes.
+_IT = "_ov"
+_ACC = "_oX"
+
+
+def e_max(symbol: str = DEFAULT_SYMBOL) -> Expression:
+    """The last canonical vector ``b_n`` (the expression ``for v, X. v``)."""
+    loop = forloop(_IT, _ACC, var(_IT))
+    return hint(loop, symbol, "1")
+
+
+def is_max(vector: Expression, symbol: str = DEFAULT_SYMBOL) -> Expression:
+    """``max(u)``: 1 iff ``u`` is the last canonical vector."""
+    return vector.T @ e_max(symbol)
+
+
+def prev_matrix(symbol: str = DEFAULT_SYMBOL) -> Expression:
+    """The ``Prev`` matrix with ``Prev . b_i = b_{i-1}`` and ``Prev . b_1 = 0``.
+
+    Appendix B.1 construction: the last column of the accumulator holds the
+    previously seen canonical vector; each iteration moves it into the column
+    of the current vector.
+    """
+    v = var(_IT)
+    x = var(_ACC)
+    last = e_max(symbol)
+    scratch = x @ last
+    body = (
+        x
+        + ((lit(1) + lit(-1) * is_max(v, symbol)) * (v @ last.T))
+        + lit(-1) * (scratch @ last.T)
+        + scratch @ v.T
+    )
+    loop = forloop(_IT, _ACC, body)
+    return hint(loop, symbol, symbol)
+
+
+def next_matrix(symbol: str = DEFAULT_SYMBOL) -> Expression:
+    """The ``Next`` matrix ``Prev^T`` with ``Next . b_i = b_{i+1}``."""
+    return prev_matrix(symbol).T
+
+
+def prev_vector(vector: Expression, symbol: str = DEFAULT_SYMBOL) -> Expression:
+    """``prev(v) = Prev . v``."""
+    return prev_matrix(symbol) @ vector
+
+
+def next_vector(vector: Expression, symbol: str = DEFAULT_SYMBOL) -> Expression:
+    """``next(v) = Next . v``."""
+    return next_matrix(symbol) @ vector
+
+
+def is_min(vector: Expression, symbol: str = DEFAULT_SYMBOL) -> Expression:
+    """``min(u)``: 1 iff ``u`` is the first canonical vector.
+
+    Defined as ``1 - 1(u)^T . Prev . u``: ``Prev . b_1`` is the zero vector,
+    so the subtracted term is 0 exactly for ``b_1``.
+    """
+    return lit(1) + lit(-1) * (ones(vector).T @ prev_matrix(symbol) @ vector)
+
+
+def e_min(symbol: str = DEFAULT_SYMBOL) -> Expression:
+    """The first canonical vector ``b_1``: ``for v, X. X + min(v) x v``."""
+    iterator = "_omv"
+    accumulator = "_omX"
+    body = var(accumulator) + is_min(var(iterator), symbol) * var(iterator)
+    loop = forloop(iterator, accumulator, body)
+    return hint(loop, symbol, "1")
+
+
+def s_less(symbol: str = DEFAULT_SYMBOL) -> Expression:
+    """The strict order matrix ``S_<`` with ``b_i^T . S_< . b_j = [i < j]``.
+
+    Built as ``Prev + Prev^2 + ... + Prev^n`` by the loop
+    ``for v, X. X . Prev + Prev``; the entry ``(i, j)`` of ``Prev^k`` is 1
+    exactly when ``i = j - k``.
+    """
+    iterator = "_osv"
+    accumulator = "_osX"
+    prev = prev_matrix(symbol)
+    body = var(accumulator) @ prev + prev
+    loop = forloop(iterator, accumulator, body)
+    return hint(loop, symbol, symbol)
+
+
+def s_less_equal(symbol: str = DEFAULT_SYMBOL) -> Expression:
+    """The order matrix ``S_<=``: ``S_< + I`` where ``I = diag(1(S_<))``."""
+    less = s_less(symbol)
+    from repro.stdlib.basic import identity_like
+
+    return less + identity_like(less)
+
+
+def succ(left: Expression, right: Expression, symbol: str = DEFAULT_SYMBOL) -> Expression:
+    """``succ(u, v) = u^T . S_<= . v``: 1 iff index(u) <= index(v)."""
+    return left.T @ s_less_equal(symbol) @ right
+
+
+def succ_strict(left: Expression, right: Expression, symbol: str = DEFAULT_SYMBOL) -> Expression:
+    """``succ^+(u, v) = u^T . S_< . v``: 1 iff index(u) < index(v)."""
+    return left.T @ s_less(symbol) @ right
+
+
+def get_prev_matrix(vector: Expression, symbol: str = DEFAULT_SYMBOL) -> Expression:
+    """``Prev^i`` for ``vector = b_i`` (Appendix B.1, ``e_getPrevMatrix``).
+
+    ``Pi w. succ(w, v) x Prev + (1 - succ(w, v)) x I`` multiplies one ``Prev``
+    factor for every ``w <= v``.
+    """
+    from repro.matlang.builder import prod
+    from repro.stdlib.basic import identity_like
+
+    iterator = "_ogw"
+    w = var(iterator)
+    prev = prev_matrix(symbol)
+    condition = succ(w, vector, symbol)
+    body = condition * prev + (lit(1) + lit(-1) * condition) * identity_like(prev)
+    return prod(iterator, body)
+
+
+def get_next_matrix(vector: Expression, symbol: str = DEFAULT_SYMBOL) -> Expression:
+    """``Next^i`` for ``vector = b_i`` (Appendix B.1, ``e_getNextMatrix``)."""
+    from repro.matlang.builder import prod
+    from repro.stdlib.basic import identity_like
+
+    iterator = "_ogw"
+    w = var(iterator)
+    nxt = next_matrix(symbol)
+    condition = succ(w, vector, symbol)
+    body = condition * nxt + (lit(1) + lit(-1) * condition) * identity_like(nxt)
+    return prod(iterator, body)
+
+
+def min_plus(offset: int, symbol: str = DEFAULT_SYMBOL) -> Expression:
+    """The canonical vector ``b_{1 + offset}`` (``e_min+i`` in the appendix)."""
+    expression = e_min(symbol)
+    nxt = next_matrix(symbol)
+    for _ in range(offset):
+        expression = nxt @ expression
+    return expression
+
+
+def max_minus(offset: int, symbol: str = DEFAULT_SYMBOL) -> Expression:
+    """The canonical vector ``b_{n - offset}`` (``e_max-i`` in the appendix)."""
+    expression = e_max(symbol)
+    prev = prev_matrix(symbol)
+    for _ in range(offset):
+        expression = prev @ expression
+    return expression

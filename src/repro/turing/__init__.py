@@ -1,0 +1,28 @@
+"""Deterministic multi-tape Turing machines (Appendix D.1 substrate).
+
+The paper's Theorem 5.1 relies on two Turing-machine ingredients: the
+LOGSPACE machine that generates the circuit ``Phi_n`` from ``1^n``
+(uniformity) and the linear-space input/output machines simulated inside
+for-MATLANG (Proposition D.1).  This subpackage provides the machine model
+those constructions assume — read-only input tapes, one work tape, one
+write-only output tape — together with a rule-based simulator and a handful
+of concrete machines used by the circuit-family experiments.
+"""
+
+from repro.turing.machine import RunResult, TransitionRule, TuringMachine
+from repro.turing.programs import (
+    parity_machine,
+    sum_circuit_description_machine,
+    unary_copy_machine,
+    unary_double_machine,
+)
+
+__all__ = [
+    "RunResult",
+    "TransitionRule",
+    "TuringMachine",
+    "parity_machine",
+    "sum_circuit_description_machine",
+    "unary_copy_machine",
+    "unary_double_machine",
+]

@@ -1,0 +1,187 @@
+"""A rule-based simulator for deterministic multi-tape Turing machines.
+
+The machine model follows Appendix D.1:
+
+* ``input_tapes`` read-only tapes, each holding ``> w <`` for an input word
+  ``w`` over ``{0, 1}``;
+* one read/write work tape initialised to ``>``;
+* one write-only output tape initialised to ``>`` whose head never moves left.
+
+Transitions are given as an ordered list of :class:`TransitionRule` objects;
+``None`` in a rule's ``reads`` component acts as a wildcard, and the first
+matching rule fires.  This keeps hand-written machines small while remaining
+fully deterministic (rule order resolves overlaps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ReproError
+
+#: Tape symbols: begin marker, end marker (inputs only) and blank.
+BEGIN = ">"
+END = "<"
+BLANK = "_"
+
+#: Head movements.
+LEFT = "L"
+RIGHT = "R"
+STAY = "S"
+
+_MOVES = {LEFT: -1, RIGHT: 1, STAY: 0}
+
+
+class TuringMachineError(ReproError):
+    """The machine is malformed or its simulation failed."""
+
+
+@dataclass(frozen=True)
+class TransitionRule:
+    """One transition rule.
+
+    ``reads`` lists the symbols expected under the heads of the input tapes,
+    then the work tape, then the output tape; ``None`` matches any symbol.
+    ``write_work`` / ``write_output`` of ``None`` leave the cell unchanged
+    (for the output tape "unchanged" is the faithful way of writing nothing).
+    ``moves`` lists one of ``"L"``, ``"R"``, ``"S"`` per tape, in the same
+    order as ``reads``.
+    """
+
+    state: str
+    reads: Tuple[Optional[str], ...]
+    next_state: str
+    write_work: Optional[str] = None
+    write_output: Optional[str] = None
+    moves: Tuple[str, ...] = ()
+
+    def matches(self, state: str, symbols: Sequence[str]) -> bool:
+        if state != self.state or len(symbols) != len(self.reads):
+            return False
+        return all(expected is None or expected == actual for expected, actual in zip(self.reads, symbols))
+
+
+@dataclass
+class RunResult:
+    """Outcome of a Turing machine run."""
+
+    accepted: bool
+    steps: int
+    output: str
+    work_tape: str
+    final_state: str
+
+
+class _Tape:
+    """A one-way-infinite tape with a begin marker at position 0."""
+
+    def __init__(self, content: str) -> None:
+        self.cells: List[str] = list(content)
+        self.head = 0
+
+    def read(self) -> str:
+        if self.head < len(self.cells):
+            return self.cells[self.head]
+        return BLANK
+
+    def write(self, symbol: str) -> None:
+        while self.head >= len(self.cells):
+            self.cells.append(BLANK)
+        self.cells[self.head] = symbol
+
+    def move(self, direction: str) -> None:
+        delta = _MOVES[direction]
+        if self.head + delta < 0:
+            raise TuringMachineError("head attempted to move left of the begin marker")
+        self.head += delta
+
+    def contents(self) -> str:
+        return "".join(self.cells).rstrip(BLANK)
+
+
+class TuringMachine:
+    """A deterministic machine with input tapes, a work tape and an output tape."""
+
+    def __init__(
+        self,
+        name: str,
+        rules: Sequence[TransitionRule],
+        initial_state: str = "q0",
+        accept_state: str = "qa",
+        input_tapes: int = 1,
+    ) -> None:
+        if input_tapes < 1:
+            raise TuringMachineError("a machine needs at least one input tape")
+        self.name = name
+        self.rules = list(rules)
+        self.initial_state = initial_state
+        self.accept_state = accept_state
+        self.input_tapes = input_tapes
+        expected = input_tapes + 2
+        for rule in self.rules:
+            if len(rule.reads) != expected or len(rule.moves) != expected:
+                raise TuringMachineError(
+                    f"rule for state {rule.state!r} must describe {expected} tapes "
+                    f"({input_tapes} inputs + work + output)"
+                )
+
+    # ------------------------------------------------------------------
+    def _find_rule(self, state: str, symbols: Sequence[str]) -> Optional[TransitionRule]:
+        for rule in self.rules:
+            if rule.matches(state, symbols):
+                return rule
+        return None
+
+    def run(self, inputs: Sequence[str], max_steps: int = 100_000) -> RunResult:
+        """Simulate the machine on the given input words.
+
+        The words must be over ``{0, 1}``; they are wrapped with the begin and
+        end markers automatically.  The run stops when the accept state is
+        reached, when no rule applies (rejection), or after ``max_steps``.
+        """
+        if len(inputs) != self.input_tapes:
+            raise TuringMachineError(
+                f"machine {self.name!r} expects {self.input_tapes} input words, got {len(inputs)}"
+            )
+        for word in inputs:
+            if any(symbol not in "01" for symbol in word):
+                raise TuringMachineError(f"input word {word!r} is not over the alphabet {{0, 1}}")
+
+        tapes = [_Tape(BEGIN + word + END) for word in inputs]
+        work = _Tape(BEGIN)
+        output = _Tape(BEGIN)
+        state = self.initial_state
+        steps = 0
+
+        while state != self.accept_state and steps < max_steps:
+            symbols = [tape.read() for tape in tapes] + [work.read(), output.read()]
+            rule = self._find_rule(state, symbols)
+            if rule is None:
+                break
+            if rule.write_work is not None:
+                work.write(rule.write_work)
+            if rule.write_output is not None:
+                output.write(rule.write_output)
+            for tape, move in zip(tapes, rule.moves[: self.input_tapes]):
+                tape.move(move)
+            work.move(rule.moves[self.input_tapes])
+            output_move = rule.moves[self.input_tapes + 1]
+            if output_move == LEFT:
+                raise TuringMachineError("the output tape is write-only and cannot move left")
+            output.move(output_move)
+            state = rule.next_state
+            steps += 1
+
+        if steps >= max_steps and state != self.accept_state:
+            raise TuringMachineError(
+                f"machine {self.name!r} did not halt within {max_steps} steps"
+            )
+
+        return RunResult(
+            accepted=state == self.accept_state,
+            steps=steps,
+            output=output.contents().lstrip(BEGIN),
+            work_tape=work.contents().lstrip(BEGIN),
+            final_state=state,
+        )

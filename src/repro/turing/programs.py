@@ -1,0 +1,92 @@
+"""Concrete Turing machines used by the experiments.
+
+The machines are deliberately small: they demonstrate the uniformity device
+of Section 5 (a machine that on input ``1^n`` produces a description of the
+``n``-th circuit of a family) and give the simulator meaningful unit tests.
+"""
+
+from __future__ import annotations
+
+from repro.turing.machine import (
+    BEGIN,
+    BLANK,
+    END,
+    LEFT,
+    RIGHT,
+    STAY,
+    TransitionRule,
+    TuringMachine,
+)
+
+
+def unary_copy_machine() -> TuringMachine:
+    """Copy the unary input word ``1^n`` to the output tape.
+
+    The machine scans the input once, writing one ``1`` on the output tape for
+    every ``1`` it reads, and accepts at the end marker.
+    """
+    rules = [
+        # Skip the begin marker on the input tape.
+        TransitionRule("q0", (BEGIN, None, None), "scan", moves=(RIGHT, STAY, STAY)),
+        # Copy a 1 and advance both the input head and the output head.
+        TransitionRule(
+            "scan", ("1", None, None), "scan", write_output="1", moves=(RIGHT, STAY, RIGHT)
+        ),
+        # A 0 in the input is skipped (copying only the 1s keeps the output unary).
+        TransitionRule("scan", ("0", None, None), "scan", moves=(RIGHT, STAY, STAY)),
+        # End of the input: accept.
+        TransitionRule("scan", (END, None, None), "qa", moves=(STAY, STAY, STAY)),
+    ]
+    return TuringMachine("unary_copy", rules)
+
+
+def unary_double_machine() -> TuringMachine:
+    """Write ``1^{2n}`` on the output tape for input ``1^n``."""
+    rules = [
+        TransitionRule("q0", (BEGIN, None, None), "scan", moves=(RIGHT, STAY, STAY)),
+        # For every input 1: emit two 1s (via an intermediate state).
+        TransitionRule(
+            "scan", ("1", None, None), "second", write_output="1", moves=(STAY, STAY, RIGHT)
+        ),
+        TransitionRule(
+            "second", ("1", None, None), "scan", write_output="1", moves=(RIGHT, STAY, RIGHT)
+        ),
+        TransitionRule("scan", ("0", None, None), "scan", moves=(RIGHT, STAY, STAY)),
+        TransitionRule("scan", (END, None, None), "qa", moves=(STAY, STAY, STAY)),
+    ]
+    return TuringMachine("unary_double", rules)
+
+
+def parity_machine() -> TuringMachine:
+    """Write ``1`` if the input word contains an odd number of ``1`` symbols, else ``0``.
+
+    Uses the work tape head position implicitly through two states (even /
+    odd), which is the textbook constant-space parity machine.
+    """
+    rules = [
+        TransitionRule("q0", (BEGIN, None, None), "even", moves=(RIGHT, STAY, STAY)),
+        TransitionRule("even", ("1", None, None), "odd", moves=(RIGHT, STAY, STAY)),
+        TransitionRule("even", ("0", None, None), "even", moves=(RIGHT, STAY, STAY)),
+        TransitionRule("odd", ("1", None, None), "even", moves=(RIGHT, STAY, STAY)),
+        TransitionRule("odd", ("0", None, None), "odd", moves=(RIGHT, STAY, STAY)),
+        TransitionRule(
+            "even", (END, None, None), "qa", write_output="0", moves=(STAY, STAY, RIGHT)
+        ),
+        TransitionRule(
+            "odd", (END, None, None), "qa", write_output="1", moves=(STAY, STAY, RIGHT)
+        ),
+    ]
+    return TuringMachine("parity", rules)
+
+
+def sum_circuit_description_machine() -> TuringMachine:
+    """The uniformity machine for the ``x_1 + ... + x_n`` circuit family.
+
+    On input ``1^n`` it writes the description ``1^n`` on its output tape,
+    which :func:`repro.circuits.families.family_from_machine` decodes as "a
+    single sum gate over n inputs".  This is the machine-generated notion of
+    uniformity used by experiment E8.
+    """
+    machine = unary_copy_machine()
+    machine.name = "sum_circuit_description"
+    return machine

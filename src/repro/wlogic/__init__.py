@@ -1,0 +1,36 @@
+"""Weighted logics over commutative semirings (Section 6.2).
+
+Weighted logics (Droste & Gastin) extend first-order logic from the boolean
+semiring to an arbitrary semiring ``K``: formulas evaluate to semiring values,
+disjunction/conjunction become ``+``/``*`` and the quantifiers become sums and
+products over the structure's domain.  Proposition 6.7 shows the first-order
+fragment used here has exactly the expressive power of FO-MATLANG over square
+schemas; both translation directions are implemented.
+"""
+
+from repro.wlogic.formulas import Atom, Equals, Formula, Plus, ProdQ, SumQ, Times
+from repro.wlogic.matlang_to_wl import translate_fo_matlang
+from repro.wlogic.semantics import evaluate_formula
+from repro.wlogic.structures import (
+    WeightedStructure,
+    structure_from_instance,
+    structure_to_instance,
+)
+from repro.wlogic.wl_to_matlang import evaluate_formula_via_matlang, translate_formula
+
+__all__ = [
+    "Atom",
+    "Equals",
+    "Formula",
+    "Plus",
+    "ProdQ",
+    "SumQ",
+    "Times",
+    "WeightedStructure",
+    "evaluate_formula",
+    "evaluate_formula_via_matlang",
+    "structure_from_instance",
+    "structure_to_instance",
+    "translate_fo_matlang",
+    "translate_formula",
+]

@@ -1,0 +1,142 @@
+"""Syntax of (first-order) weighted logic formulas (Section 6.2).
+
+The grammar is::
+
+    phi := x = y | R(x_1, ..., x_k) | phi (+) phi | phi (*) phi
+         | Sum x. phi | Prod x. phi
+
+Formulas are immutable dataclasses; substitution renames free variable
+occurrences and is used by the FO-MATLANG -> WL translation (transposition
+swaps the row and column variables).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Tuple
+
+
+@dataclass(frozen=True)
+class Formula:
+    """Base class of weighted-logic formulas."""
+
+    def children(self) -> Tuple["Formula", ...]:
+        return ()
+
+    def walk(self) -> Iterator["Formula"]:
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def free_variables(self) -> Tuple[str, ...]:
+        """Free first-order variables, sorted."""
+        return tuple(sorted(self._free(frozenset())))
+
+    def _free(self, bound: frozenset) -> set:
+        names = set()
+        for child in self.children():
+            names |= child._free(bound)
+        return names
+
+    def substitute(self, mapping: Mapping[str, str]) -> "Formula":
+        """Simultaneously rename free variable occurrences."""
+        return self._substitute(dict(mapping), frozenset())
+
+    def _substitute(self, mapping: Mapping[str, str], bound: frozenset) -> "Formula":
+        raise NotImplementedError  # pragma: no cover
+
+    def __add__(self, other: "Formula") -> "Formula":
+        return Plus(self, other)
+
+    def __mul__(self, other: "Formula") -> "Formula":
+        return Times(self, other)
+
+
+@dataclass(frozen=True)
+class Equals(Formula):
+    """``x = y``: weight 1 when the assignment makes them equal, else 0."""
+
+    left: str
+    right: str
+
+    def _free(self, bound: frozenset) -> set:
+        return {name for name in (self.left, self.right) if name not in bound}
+
+    def _substitute(self, mapping, bound):
+        left = mapping.get(self.left, self.left) if self.left not in bound else self.left
+        right = mapping.get(self.right, self.right) if self.right not in bound else self.right
+        return Equals(left, right)
+
+
+@dataclass(frozen=True)
+class Atom(Formula):
+    """``R(x_1, ..., x_k)``: the weight of the tuple under the structure."""
+
+    relation: str
+    variables: Tuple[str, ...]
+
+    def __init__(self, relation: str, variables=()) -> None:
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "variables", tuple(variables))
+
+    def _free(self, bound: frozenset) -> set:
+        return {name for name in self.variables if name not in bound}
+
+    def _substitute(self, mapping, bound):
+        renamed = tuple(
+            mapping.get(name, name) if name not in bound else name for name in self.variables
+        )
+        return Atom(self.relation, renamed)
+
+
+@dataclass(frozen=True)
+class Plus(Formula):
+    """``phi (+) psi``: semiring addition of the two weights."""
+
+    left: Formula
+    right: Formula
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.left, self.right)
+
+    def _substitute(self, mapping, bound):
+        return Plus(self.left._substitute(mapping, bound), self.right._substitute(mapping, bound))
+
+
+@dataclass(frozen=True)
+class Times(Formula):
+    """``phi (*) psi``: semiring multiplication of the two weights."""
+
+    left: Formula
+    right: Formula
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.left, self.right)
+
+    def _substitute(self, mapping, bound):
+        return Times(self.left._substitute(mapping, bound), self.right._substitute(mapping, bound))
+
+
+@dataclass(frozen=True)
+class _Quantifier(Formula):
+    variable: str
+    body: Formula
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.body,)
+
+    def _free(self, bound: frozenset) -> set:
+        return self.body._free(bound | {self.variable})
+
+    def _substitute(self, mapping, bound):
+        return type(self)(self.variable, self.body._substitute(mapping, bound | {self.variable}))
+
+
+@dataclass(frozen=True)
+class SumQ(_Quantifier):
+    """``Sum x. phi``: sum of the body's weight over all domain elements."""
+
+
+@dataclass(frozen=True)
+class ProdQ(_Quantifier):
+    """``Prod x. phi``: product of the body's weight over all domain elements."""

@@ -1,0 +1,182 @@
+"""Translating FO-MATLANG expressions to weighted-logic formulas (Proposition 6.7).
+
+The translation follows the first bullet of the proposition: an FO-MATLANG
+expression over a square schema, of type ``(1, 1)`` and with no free iterator
+variables, becomes a weighted-logic sentence over the vocabulary ``WL(S)``
+such that evaluation commutes with the encoding of instances as weighted
+structures.  Sub-expressions of matrix or vector type are translated to
+formulas with the designated free variables ``row`` / ``col`` standing for the
+row and column index, plus one variable ``it_v`` per free iterator ``v``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.exceptions import FragmentError
+from repro.matlang.ast import (
+    Add,
+    Apply,
+    Diag,
+    Expression,
+    HadamardLoop,
+    Literal,
+    MatMul,
+    OneVector,
+    ScalarMul,
+    SumLoop,
+    Transpose,
+    TypeHint,
+    Var,
+)
+from repro.matlang.fragments import Fragment, minimal_fragment
+from repro.matlang.schema import SCALAR_SYMBOL, Schema
+from repro.matlang.typecheck import TypedExpression, annotate
+from repro.wlogic.formulas import Atom, Equals, Formula, Plus, ProdQ, SumQ, Times
+from repro.wlogic.structures import variable_relation
+
+#: Designated variable names for the row and column index of a sub-expression.
+ROW_VARIABLE = "row"
+COL_VARIABLE = "col"
+
+
+def iterator_variable(name: str) -> str:
+    """The WL variable standing for the canonical-vector iterator ``name``."""
+    return f"it_{name}"
+
+
+class _Translator:
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self._fresh = 0
+
+    def fresh_variable(self) -> str:
+        self._fresh += 1
+        return f"y_{self._fresh}"
+
+    # ------------------------------------------------------------------
+    def translate(self, typed: TypedExpression, iterators: Dict[str, str]) -> Formula:
+        expression = typed.expression
+        row_symbol, col_symbol = typed.type
+
+        if isinstance(expression, TypeHint):
+            return self.translate(typed.children[0], iterators)
+
+        if isinstance(expression, Var):
+            return self._translate_var(expression, typed, iterators)
+
+        if isinstance(expression, Literal):
+            raise FragmentError(
+                "scalar literals have no weighted-logic counterpart; Proposition 6.7 "
+                "covers literal-free FO-MATLANG expressions"
+            )
+
+        if isinstance(expression, OneVector):
+            return Equals(ROW_VARIABLE, ROW_VARIABLE)
+
+        if isinstance(expression, Diag):
+            operand = self.translate(typed.children[0], iterators)
+            return Times(operand, Equals(ROW_VARIABLE, COL_VARIABLE))
+
+        if isinstance(expression, Transpose):
+            operand = self.translate(typed.children[0], iterators)
+            return operand.substitute({ROW_VARIABLE: COL_VARIABLE, COL_VARIABLE: ROW_VARIABLE})
+
+        if isinstance(expression, Add):
+            left = self.translate(typed.children[0], iterators)
+            right = self.translate(typed.children[1], iterators)
+            return Plus(left, right)
+
+        if isinstance(expression, (ScalarMul, Apply)):
+            if isinstance(expression, Apply) and expression.function != "mul":
+                raise FragmentError(
+                    f"pointwise function {expression.function!r} has no weighted-logic "
+                    "counterpart; only the product function of Lemma A.1 is supported"
+                )
+            formula = self.translate(typed.children[0], iterators)
+            for child in typed.children[1:]:
+                formula = Times(formula, self.translate(child, iterators))
+            return formula
+
+        if isinstance(expression, MatMul):
+            return self._translate_matmul(typed, iterators)
+
+        if isinstance(expression, SumLoop):
+            inner = dict(iterators)
+            inner[expression.iterator] = typed.iterator_symbol or ""
+            body = self.translate(typed.children[0], inner)
+            return SumQ(iterator_variable(expression.iterator), body)
+
+        if isinstance(expression, HadamardLoop):
+            inner = dict(iterators)
+            inner[expression.iterator] = typed.iterator_symbol or ""
+            body = self.translate(typed.children[0], inner)
+            return ProdQ(iterator_variable(expression.iterator), body)
+
+        raise FragmentError(
+            f"node {type(expression).__name__} is outside FO-MATLANG and cannot be "
+            "translated to weighted logic (Proposition 6.7)"
+        )
+
+    # ------------------------------------------------------------------
+    def _translate_var(
+        self, expression: Var, typed: TypedExpression, iterators: Dict[str, str]
+    ) -> Formula:
+        row_symbol, col_symbol = typed.type
+        if expression.name in iterators:
+            if row_symbol != SCALAR_SYMBOL:
+                return Equals(ROW_VARIABLE, iterator_variable(expression.name))
+            if col_symbol != SCALAR_SYMBOL:
+                return Equals(COL_VARIABLE, iterator_variable(expression.name))
+            raise FragmentError(
+                f"iterator variable {expression.name!r} has scalar type; cannot translate"
+            )
+        relation = variable_relation(expression.name)
+        if row_symbol != SCALAR_SYMBOL and col_symbol != SCALAR_SYMBOL:
+            return Atom(relation, (ROW_VARIABLE, COL_VARIABLE))
+        if row_symbol != SCALAR_SYMBOL:
+            return Atom(relation, (ROW_VARIABLE,))
+        if col_symbol != SCALAR_SYMBOL:
+            return Atom(relation, (COL_VARIABLE,))
+        return Atom(relation, ())
+
+    def _translate_matmul(
+        self, typed: TypedExpression, iterators: Dict[str, str]
+    ) -> Formula:
+        left_typed, right_typed = typed.children
+        inner_symbol = left_typed.type[1]
+        left = self.translate(left_typed, iterators)
+        right = self.translate(right_typed, iterators)
+        if inner_symbol == SCALAR_SYMBOL:
+            return Times(left, right)
+        join_variable = self.fresh_variable()
+        left_joined = left.substitute({COL_VARIABLE: join_variable})
+        right_joined = right.substitute({ROW_VARIABLE: join_variable})
+        return SumQ(join_variable, Times(left_joined, right_joined))
+
+
+def translate_fo_matlang(expression: Expression, schema: Schema) -> Formula:
+    """Proposition 6.7 (first bullet): FO-MATLANG to weighted logic.
+
+    The expression must be of scalar type ``(1, 1)`` over a square schema;
+    the result is a weighted-logic sentence over ``WL(S)``.
+    """
+    fragment = minimal_fragment(expression)
+    if not Fragment.FO_MATLANG.includes(fragment):
+        raise FragmentError(
+            f"expression lives in {fragment.display_name}; Proposition 6.7 only covers "
+            "FO-MATLANG"
+        )
+    if not schema.is_square_schema():
+        raise FragmentError("Proposition 6.7 assumes a square schema")
+    typed = annotate(expression, schema)
+    if typed.type != (SCALAR_SYMBOL, SCALAR_SYMBOL):
+        raise FragmentError(
+            f"only (1, 1)-typed expressions translate to sentences; got type {typed.type}"
+        )
+    translator = _Translator(schema)
+    formula = translator.translate(typed, {})
+    remaining = [name for name in formula.free_variables() if name not in (ROW_VARIABLE, COL_VARIABLE)]
+    if remaining:
+        raise FragmentError(f"translation left unexpected free variables {remaining}")
+    return formula

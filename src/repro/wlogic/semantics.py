@@ -1,0 +1,68 @@
+"""Semantics of weighted-logic formulas over weighted structures (Section 6.2)."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+
+from repro.exceptions import EvaluationError
+from repro.wlogic.formulas import Atom, Equals, Formula, Plus, ProdQ, SumQ, Times
+from repro.wlogic.structures import WeightedStructure
+
+
+def evaluate_formula(
+    formula: Formula,
+    structure: WeightedStructure,
+    assignment: Optional[Mapping[str, Any]] = None,
+) -> Any:
+    """Evaluate ``formula`` over ``structure`` under ``assignment``.
+
+    Every free variable of the formula must be assigned a domain element;
+    sentences need no assignment.
+    """
+    env: Dict[str, Any] = dict(assignment or {})
+    missing = [name for name in formula.free_variables() if name not in env]
+    if missing:
+        raise EvaluationError(f"no assignment for free variables {missing}")
+    return _evaluate(formula, structure, env)
+
+
+def _evaluate(formula: Formula, structure: WeightedStructure, env: Dict[str, Any]) -> Any:
+    semiring = structure.semiring
+
+    if isinstance(formula, Equals):
+        return semiring.one if env[formula.left] == env[formula.right] else semiring.zero
+
+    if isinstance(formula, Atom):
+        values = [env[name] for name in formula.variables]
+        return structure.weight(formula.relation, values)
+
+    if isinstance(formula, Plus):
+        return semiring.plus(
+            _evaluate(formula.left, structure, env), _evaluate(formula.right, structure, env)
+        )
+
+    if isinstance(formula, Times):
+        return semiring.times(
+            _evaluate(formula.left, structure, env), _evaluate(formula.right, structure, env)
+        )
+
+    if isinstance(formula, (SumQ, ProdQ)):
+        saved = env.get(formula.variable)
+        had_binding = formula.variable in env
+        total = semiring.zero if isinstance(formula, SumQ) else semiring.one
+        try:
+            for element in structure.domain:
+                env[formula.variable] = element
+                value = _evaluate(formula.body, structure, env)
+                if isinstance(formula, SumQ):
+                    total = semiring.plus(total, value)
+                else:
+                    total = semiring.times(total, value)
+        finally:
+            if had_binding:
+                env[formula.variable] = saved
+            else:
+                env.pop(formula.variable, None)
+        return total
+
+    raise EvaluationError(f"unknown formula node {type(formula).__name__}")

@@ -1,0 +1,181 @@
+"""K-weighted structures: the models of weighted logics.
+
+A weighted structure over a relational vocabulary assigns to every relation
+symbol ``R`` of arity ``k`` a weight function ``R^A : A^k -> K`` on the finite
+domain ``A``.  The encodings between weighted structures and MATLANG
+instances (square matrices / vectors / scalars over the same domain) follow
+Section 6.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import SchemaError
+from repro.matlang.instance import Instance
+from repro.matlang.schema import SCALAR_SYMBOL, Schema
+from repro.semiring import REAL, Semiring
+
+
+def relation_variable(symbol: str) -> str:
+    """The matrix variable encoding relation symbol ``symbol`` (Mat(Gamma))."""
+    return f"V_{symbol}"
+
+
+def variable_relation(variable: str) -> str:
+    """The relation symbol encoding matrix variable ``variable`` (WL(S))."""
+    return f"R_{variable}"
+
+
+@dataclass
+class WeightedStructure:
+    """A finite K-weighted structure.
+
+    ``weights`` maps each relation symbol to a dictionary from value tuples
+    (of the symbol's arity) to semiring values; missing tuples have weight
+    zero.  ``arities`` fixes each symbol's arity, so empty relations are
+    representable.
+    """
+
+    domain: Tuple[Any, ...]
+    arities: Dict[str, int]
+    weights: Dict[str, Dict[Tuple[Any, ...], Any]] = field(default_factory=dict)
+    semiring: Semiring = field(default_factory=lambda: REAL)
+
+    def __post_init__(self) -> None:
+        self.domain = tuple(self.domain)
+        if not self.domain:
+            raise SchemaError("a weighted structure needs a non-empty domain")
+        cleaned: Dict[str, Dict[Tuple[Any, ...], Any]] = {}
+        for symbol, arity in self.arities.items():
+            table = {}
+            for values, weight in self.weights.get(symbol, {}).items():
+                values = tuple(values)
+                if len(values) != arity:
+                    raise SchemaError(
+                        f"tuple {values} has length {len(values)}, but {symbol!r} has arity {arity}"
+                    )
+                for value in values:
+                    if value not in self.domain:
+                        raise SchemaError(f"value {value!r} is not in the structure's domain")
+                table[values] = self.semiring.coerce(weight)
+            cleaned[symbol] = table
+        self.weights = cleaned
+
+    # ------------------------------------------------------------------
+    def arity(self, symbol: str) -> int:
+        try:
+            return self.arities[symbol]
+        except KeyError:
+            raise SchemaError(f"unknown relation symbol {symbol!r}") from None
+
+    def weight(self, symbol: str, values: Sequence[Any]) -> Any:
+        """The weight ``R^A(values)`` (the semiring zero when unspecified)."""
+        arity = self.arity(symbol)
+        values = tuple(values)
+        if len(values) != arity:
+            raise SchemaError(
+                f"relation {symbol!r} has arity {arity}, got a tuple of length {len(values)}"
+            )
+        return self.weights.get(symbol, {}).get(values, self.semiring.zero)
+
+    def set_weight(self, symbol: str, values: Sequence[Any], weight: Any) -> None:
+        """Assign a weight to one tuple."""
+        arity = self.arity(symbol)
+        values = tuple(values)
+        if len(values) != arity:
+            raise SchemaError(
+                f"relation {symbol!r} has arity {arity}, got a tuple of length {len(values)}"
+            )
+        self.weights.setdefault(symbol, {})[values] = self.semiring.coerce(weight)
+
+    def symbols(self) -> Tuple[str, ...]:
+        return tuple(sorted(self.arities))
+
+
+# ----------------------------------------------------------------------
+# Encodings between structures and MATLANG instances (Section 6.2)
+# ----------------------------------------------------------------------
+def structure_to_instance(
+    structure: WeightedStructure, symbol: str = "alpha"
+) -> Tuple[Instance, Tuple[Any, ...]]:
+    """``Mat(A)``: encode a weighted structure as a MATLANG instance.
+
+    Binary relations become square matrices indexed by the (ordered) domain,
+    unary relations become column vectors and nullary relations scalars.
+    Returns the instance together with the domain ordering used.
+    """
+    if any(arity > 2 for arity in structure.arities.values()):
+        raise SchemaError("Mat(A) is only defined for vocabularies of arity at most two")
+    domain = structure.domain
+    size = len(domain)
+    index = {value: position for position, value in enumerate(domain)}
+    semiring = structure.semiring
+
+    sizes: Dict[str, Tuple[str, str]] = {}
+    matrices: Dict[str, np.ndarray] = {}
+    for relation in structure.symbols():
+        arity = structure.arity(relation)
+        variable = relation_variable(relation)
+        if arity == 2:
+            sizes[variable] = (symbol, symbol)
+            matrix = semiring.zeros(size, size)
+            for (left, right), weight in structure.weights.get(relation, {}).items():
+                matrix[index[left], index[right]] = weight
+        elif arity == 1:
+            sizes[variable] = (symbol, SCALAR_SYMBOL)
+            matrix = semiring.zeros(size, 1)
+            for (value,), weight in structure.weights.get(relation, {}).items():
+                matrix[index[value], 0] = weight
+        else:
+            sizes[variable] = (SCALAR_SYMBOL, SCALAR_SYMBOL)
+            matrix = semiring.zeros(1, 1)
+            for _, weight in structure.weights.get(relation, {}).items():
+                matrix[0, 0] = weight
+        matrices[variable] = matrix
+
+    schema = Schema(sizes)
+    instance = Instance(schema, {symbol: size}, matrices, semiring)
+    return instance, domain
+
+
+def structure_from_instance(instance: Instance) -> WeightedStructure:
+    """``WL(I)``: encode a square-schema MATLANG instance as a weighted structure.
+
+    The domain is ``{1, ..., n}``; a square matrix variable ``V`` becomes a
+    binary relation ``R_V``, vectors become unary relations (column and row
+    vectors alike) and scalars nullary relations.
+    """
+    if not instance.schema.is_square_schema():
+        raise SchemaError("WL(I) is only defined for square schemas")
+    non_scalar = [s for s in instance.schema.symbols() if s != SCALAR_SYMBOL]
+    size = instance.dimension(non_scalar[0]) if non_scalar else 1
+    domain = tuple(range(1, size + 1))
+    semiring = instance.semiring
+
+    arities: Dict[str, int] = {}
+    weights: Dict[str, Dict[Tuple[Any, ...], Any]] = {}
+    for name in instance.schema.variables():
+        if name not in instance.matrices:
+            continue
+        matrix = instance.matrix(name)
+        row_symbol, col_symbol = instance.schema.size(name)
+        relation = variable_relation(name)
+        if row_symbol != SCALAR_SYMBOL and col_symbol != SCALAR_SYMBOL:
+            arities[relation] = 2
+            weights[relation] = {
+                (i + 1, j + 1): matrix[i, j]
+                for i in range(matrix.shape[0])
+                for j in range(matrix.shape[1])
+            }
+        elif row_symbol != SCALAR_SYMBOL or col_symbol != SCALAR_SYMBOL:
+            arities[relation] = 1
+            flat = matrix.reshape(-1)
+            weights[relation] = {(i + 1,): flat[i] for i in range(flat.shape[0])}
+        else:
+            arities[relation] = 0
+            weights[relation] = {(): matrix[0, 0]}
+    return WeightedStructure(domain=domain, arities=arities, weights=weights, semiring=semiring)

@@ -1,0 +1,88 @@
+"""Translating weighted-logic formulas to FO-MATLANG (Proposition 6.7, second bullet).
+
+Every first-order variable ``x`` becomes a canonical-vector variable ``v_x``;
+atoms become positional accesses ``v_x^T . V_R . v_y``, the weighted
+connectives become ``+`` and (scalar) product, and the weighted quantifiers
+become the Sigma and Hadamard-Pi quantifiers of FO-MATLANG.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.exceptions import FragmentError
+from repro.matlang.ast import Expression, Var
+from repro.matlang.builder import had, ssum, var
+from repro.matlang.evaluator import evaluate
+from repro.wlogic.formulas import Atom, Equals, Formula, Plus, ProdQ, SumQ, Times
+from repro.wlogic.structures import (
+    WeightedStructure,
+    relation_variable,
+    structure_to_instance,
+)
+
+
+def logic_variable(name: str) -> str:
+    """The MATLANG vector variable standing for the FO variable ``name``."""
+    return f"_fo_{name}"
+
+
+def translate_formula(formula: Formula, arities: Dict[str, int]) -> Expression:
+    """Proposition 6.7 (second bullet): weighted logic to FO-MATLANG.
+
+    ``arities`` gives the arity of every relation symbol (at most two).  The
+    formula must be a sentence; the returned expression has type ``(1, 1)``.
+    """
+    if formula.free_variables():
+        raise FragmentError(
+            f"only sentences are translated; free variables: {formula.free_variables()}"
+        )
+    if any(arity > 2 for arity in arities.values()):
+        raise FragmentError("Proposition 6.7 assumes relation symbols of arity at most two")
+    return _translate(formula, arities)
+
+
+def _translate(formula: Formula, arities: Dict[str, int]) -> Expression:
+    if isinstance(formula, Equals):
+        return var(logic_variable(formula.left)).T @ var(logic_variable(formula.right))
+
+    if isinstance(formula, Atom):
+        arity = arities.get(formula.relation)
+        if arity is None:
+            raise FragmentError(f"relation symbol {formula.relation!r} has no declared arity")
+        matrix = Var(relation_variable(formula.relation))
+        if arity == 2:
+            left, right = formula.variables
+            return var(logic_variable(left)).T @ matrix @ var(logic_variable(right))
+        if arity == 1:
+            (only,) = formula.variables
+            return matrix.T @ var(logic_variable(only))
+        return matrix
+
+    if isinstance(formula, Plus):
+        return _translate(formula.left, arities) + _translate(formula.right, arities)
+
+    if isinstance(formula, Times):
+        return _translate(formula.left, arities) @ _translate(formula.right, arities)
+
+    if isinstance(formula, SumQ):
+        return ssum(logic_variable(formula.variable), _translate(formula.body, arities))
+
+    if isinstance(formula, ProdQ):
+        return had(logic_variable(formula.variable), _translate(formula.body, arities))
+
+    raise FragmentError(f"unknown formula node {type(formula).__name__}")
+
+
+def evaluate_formula_via_matlang(formula: Formula, structure: WeightedStructure) -> Any:
+    """Evaluate a weighted-logic sentence by translating it to FO-MATLANG.
+
+    The structure is encoded as a MATLANG instance (``Mat(A)``), the translated
+    expression is evaluated, and the scalar entry is returned — ready to be
+    compared against :func:`repro.wlogic.semantics.evaluate_formula`
+    (experiment E13).
+    """
+    expression = translate_formula(formula, dict(structure.arities))
+    instance, _ = structure_to_instance(structure)
+    result = evaluate(expression, instance)
+    return result[0, 0]

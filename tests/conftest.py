@@ -1,0 +1,48 @@
+"""Shared pytest fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.matlang.instance import Instance
+from repro.semiring import BOOLEAN, MIN_PLUS, NATURAL, REAL
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator shared by the tests."""
+    return np.random.default_rng(20210627)
+
+
+@pytest.fixture
+def square_matrix() -> np.ndarray:
+    """A fixed, well-conditioned 4x4 matrix used across evaluator tests."""
+    return np.array(
+        [
+            [4.0, 1.0, 2.0, 0.0],
+            [1.0, 3.0, 0.0, 1.0],
+            [2.0, 0.0, 5.0, 1.0],
+            [0.0, 1.0, 1.0, 6.0],
+        ]
+    )
+
+
+@pytest.fixture
+def square_instance(square_matrix: np.ndarray) -> Instance:
+    """An instance assigning the fixed matrix to variable ``A``."""
+    return Instance.from_matrices({"A": square_matrix})
+
+
+@pytest.fixture
+def path_instance() -> Instance:
+    """The directed path 1 -> 2 -> 3 -> 4 as an adjacency matrix instance."""
+    adjacency = np.zeros((4, 4))
+    adjacency[0, 1] = adjacency[1, 2] = adjacency[2, 3] = 1.0
+    return Instance.from_matrices({"A": adjacency})
+
+
+@pytest.fixture(params=[REAL, NATURAL, BOOLEAN, MIN_PLUS], ids=lambda s: s.name)
+def any_semiring(request):
+    """Parametrised fixture running a test over several semirings."""
+    return request.param

@@ -1,0 +1,153 @@
+"""Tests for the arithmetic circuit data structure, builders and analysis."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    Circuit,
+    GateKind,
+    balanced_sum_family,
+    circuit_statistics,
+    elementary_symmetric_two_family,
+    inner_product_family,
+    monomial_family,
+    power_family,
+    product_family,
+    sum_family,
+)
+from repro.circuits.analysis import degree_growth, depth_growth, is_polynomial_degree_family
+from repro.exceptions import CircuitError
+
+
+class TestCircuitConstruction:
+    def test_manual_circuit(self):
+        circuit = Circuit("xy_plus_1", simplify=False)
+        x = circuit.add_input("x")
+        y = circuit.add_input("y")
+        one = circuit.add_constant(1.0)
+        circuit.mark_output(circuit.add_sum([circuit.add_product([x, y]), one]))
+        circuit.validate()
+        assert circuit.evaluate_single({"x": 2.0, "y": 3.0}) == 7.0
+
+    def test_positional_inputs(self):
+        circuit = sum_family(3)
+        assert circuit.evaluate_single([1.0, 2.0, 3.0]) == 6.0
+
+    def test_wrong_number_of_positional_inputs(self):
+        with pytest.raises(CircuitError):
+            sum_family(3).evaluate([1.0, 2.0])
+
+    def test_missing_named_input(self):
+        with pytest.raises(CircuitError):
+            sum_family(2).evaluate({"x_1": 1.0})
+
+    def test_constant_gates_are_cached(self):
+        circuit = Circuit()
+        assert circuit.add_constant(1.0) == circuit.add_constant(1.0)
+
+    def test_invalid_child_index(self):
+        circuit = Circuit()
+        with pytest.raises(CircuitError):
+            circuit.add_sum([5])
+
+    def test_validate_requires_outputs(self):
+        circuit = Circuit()
+        circuit.add_input("x")
+        with pytest.raises(CircuitError):
+            circuit.validate()
+
+    def test_division_gate(self):
+        circuit = Circuit(simplify=False)
+        x = circuit.add_input("x")
+        y = circuit.add_input("y")
+        circuit.mark_output(circuit.add_division(x, y))
+        assert circuit.evaluate_single({"x": 6.0, "y": 3.0}) == 2.0
+        assert circuit.evaluate_single({"x": 6.0, "y": 0.0}) == 0.0
+
+    def test_evaluate_single_requires_unique_output(self):
+        circuit = Circuit(simplify=False)
+        x = circuit.add_input("x")
+        circuit.mark_output(x)
+        circuit.mark_output(x)
+        with pytest.raises(CircuitError):
+            circuit.evaluate_single({"x": 1.0})
+
+
+class TestSimplification:
+    def test_sum_folds_constants(self):
+        circuit = Circuit(simplify=True)
+        x = circuit.add_input("x")
+        result = circuit.add_sum([x, circuit.add_constant(0.0)])
+        assert result == x
+
+    def test_product_with_zero_collapses(self):
+        circuit = Circuit(simplify=True)
+        x = circuit.add_input("x")
+        result = circuit.add_product([x, circuit.add_constant(0.0)])
+        assert circuit.gate(result).kind == GateKind.CONSTANT
+        assert circuit.gate(result).value == 0.0
+
+    def test_product_with_one_collapses(self):
+        circuit = Circuit(simplify=True)
+        x = circuit.add_input("x")
+        assert circuit.add_product([x, circuit.add_constant(1.0)]) == x
+
+    def test_division_by_one_collapses(self):
+        circuit = Circuit(simplify=True)
+        x = circuit.add_input("x")
+        assert circuit.add_division(x, circuit.add_constant(1.0)) == x
+
+
+class TestMetrics:
+    def test_degree_of_product_family(self):
+        assert product_family(5).degree() == 5
+
+    def test_degree_of_sum_family(self):
+        assert sum_family(5).degree() == 1
+
+    def test_degree_of_power_family(self):
+        assert power_family(6).degree() == 6
+
+    def test_depth_of_balanced_sum(self):
+        assert balanced_sum_family(8).depth() == 3
+        assert balanced_sum_family(9).depth() == 4
+
+    def test_size_counts_gates_and_wires(self):
+        circuit = sum_family(4)
+        assert circuit.size() == circuit.num_gates() + circuit.num_wires()
+
+    def test_statistics(self):
+        stats = circuit_statistics(inner_product_family(6))
+        assert stats.num_inputs == 6
+        assert stats.num_outputs == 1
+        assert stats.degree == 2
+        assert stats.as_dict()["degree"] == 2
+
+    def test_degree_and_depth_growth(self):
+        growth = degree_growth(product_family, [1, 2, 4])
+        assert growth == ((1, 1), (2, 2), (4, 4))
+        depths = depth_growth(balanced_sum_family, [2, 4, 8])
+        assert [depth for _, depth in depths] == [1, 2, 3]
+
+    def test_polynomial_degree_family_check(self):
+        assert is_polynomial_degree_family(product_family, [2, 4, 8], order=1)
+        assert is_polynomial_degree_family(elementary_symmetric_two_family, [2, 4, 8])
+
+
+class TestBuilderSemantics:
+    @pytest.mark.parametrize("dimension", [1, 2, 5])
+    def test_sum_families_agree(self, dimension, rng):
+        values = rng.uniform(-1, 1, size=dimension)
+        assert np.isclose(
+            sum_family(dimension).evaluate_single(list(values)),
+            balanced_sum_family(dimension).evaluate_single(list(values)),
+        )
+
+    def test_inner_product(self):
+        assert inner_product_family(4).evaluate_single([1.0, 2.0, 3.0, 4.0]) == 1 * 3 + 2 * 4
+
+    def test_elementary_symmetric(self):
+        assert elementary_symmetric_two_family(3).evaluate_single([1.0, 2.0, 3.0]) == 11.0
+
+    def test_monomial_family(self):
+        assert monomial_family(3).evaluate_single([2.0, 3.0, 4.0]) == 24.0 + 4.0

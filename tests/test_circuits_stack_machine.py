@@ -1,0 +1,100 @@
+"""Tests for the two-stack depth-first evaluation (Appendix D.2, Algorithms 1-3)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    Circuit,
+    balanced_sum_family,
+    elementary_symmetric_two_family,
+    evaluate_with_stacks,
+    inner_product_family,
+    power_family,
+    product_family,
+    sum_family,
+)
+from repro.exceptions import CircuitError
+
+
+FAMILIES = [
+    sum_family,
+    balanced_sum_family,
+    product_family,
+    inner_product_family,
+    elementary_symmetric_two_family,
+    power_family,
+]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("family", FAMILIES, ids=lambda f: f.__name__)
+    @pytest.mark.parametrize("dimension", [1, 2, 4, 7])
+    def test_agrees_with_bottom_up_evaluation(self, family, dimension, rng):
+        circuit = family(dimension)
+        values = list(rng.uniform(-2, 2, size=dimension))
+        expected = circuit.evaluate_single(values)
+        trace = evaluate_with_stacks(circuit, values)
+        assert np.isclose(trace.result, expected)
+
+    def test_named_inputs(self):
+        circuit = sum_family(3)
+        trace = evaluate_with_stacks(circuit, {"x_1": 1.0, "x_2": 2.0, "x_3": 3.0})
+        assert trace.result == 6.0
+
+    def test_constant_only_circuit(self):
+        circuit = Circuit(simplify=False)
+        one = circuit.add_constant(1.0)
+        circuit.mark_output(circuit.add_sum([one, one]))
+        assert evaluate_with_stacks(circuit, []).result == 2.0
+
+    def test_repeated_child_is_handled(self):
+        """x^n circuits have the same gate n times as a child (see module docstring)."""
+        circuit = power_family(5)
+        assert evaluate_with_stacks(circuit, [2.0, 0.0, 0.0, 0.0, 0.0]).result == 32.0
+
+    def test_division_gates_are_rejected(self):
+        circuit = Circuit(simplify=False)
+        x = circuit.add_input("x")
+        y = circuit.add_input("y")
+        circuit.mark_output(circuit.add_division(x, y))
+        with pytest.raises(CircuitError):
+            evaluate_with_stacks(circuit, [1.0, 2.0])
+
+    def test_multi_output_requires_explicit_gate(self):
+        circuit = Circuit(simplify=False)
+        x = circuit.add_input("x")
+        circuit.mark_output(x)
+        circuit.mark_output(circuit.add_sum([x, x]))
+        with pytest.raises(CircuitError):
+            evaluate_with_stacks(circuit, [3.0])
+        assert evaluate_with_stacks(circuit, [3.0], output=circuit.outputs[1]).result == 6.0
+
+    def test_wrong_input_count(self):
+        with pytest.raises(CircuitError):
+            evaluate_with_stacks(sum_family(3), [1.0])
+
+    def test_max_steps_guard(self):
+        circuit = product_family(6)
+        with pytest.raises(CircuitError):
+            evaluate_with_stacks(circuit, [1.0] * 6, max_steps=3)
+
+
+class TestStackProfile:
+    def test_stack_depth_bounded_by_circuit_depth(self):
+        """The gates stack never exceeds depth + 1 (the key fact behind Theorem 5.1)."""
+        for family in FAMILIES:
+            for dimension in (2, 4, 8):
+                circuit = family(dimension)
+                trace = evaluate_with_stacks(circuit, [1.0] * dimension)
+                assert trace.max_gates_stack <= circuit.depth() + 1
+                assert trace.max_values_stack <= trace.max_gates_stack
+
+    def test_fits_in_matrix_encoding_for_log_depth_families(self):
+        for dimension in (4, 8, 16):
+            circuit = balanced_sum_family(dimension)
+            trace = evaluate_with_stacks(circuit, [1.0] * dimension)
+            assert trace.fits_in_matrix_encoding(dimension)
+
+    def test_step_count_is_positive_and_recorded(self):
+        trace = evaluate_with_stacks(sum_family(4), [1.0] * 4)
+        assert trace.steps > 0

@@ -1,0 +1,165 @@
+"""Tests for the two compilation directions of Section 5 (Theorems 5.1 and 5.3)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    balanced_sum_family,
+    circuit_to_expression,
+    compile_expression,
+    elementary_symmetric_two_family,
+    family_from_machine,
+    inner_product_family,
+    power_family,
+    product_family,
+    sum_family,
+)
+from repro.circuits.families import UniformCircuitFamily, standard_families
+from repro.exceptions import CircuitError
+from repro.matlang.builder import apply, forloop, ssum, var
+from repro.matlang.evaluator import evaluate
+from repro.matlang.instance import Instance
+from repro.matlang.schema import Schema
+from repro.stdlib import csanky_determinant, four_clique_count, trace, transitive_closure_floyd_warshall
+from repro.turing import sum_circuit_description_machine
+
+SCHEMA = Schema({"A": ("alpha", "alpha"), "u": ("alpha", "1")})
+
+
+class TestMatlangToCircuits:
+    """Theorem 5.3: for-MATLANG expressions compile to circuits over matrices."""
+
+    @pytest.mark.parametrize("dimension", [1, 2, 3, 4])
+    def test_matrix_product(self, dimension, rng):
+        matrix = rng.uniform(-1, 1, size=(dimension, dimension))
+        compiled = compile_expression(var("A") @ var("A"), SCHEMA, dimension)
+        assert np.allclose(compiled.evaluate({"A": matrix}), matrix @ matrix)
+
+    @pytest.mark.parametrize("dimension", [2, 3, 4])
+    def test_trace(self, dimension, rng):
+        matrix = rng.uniform(-1, 1, size=(dimension, dimension))
+        compiled = compile_expression(trace("A"), SCHEMA, dimension)
+        assert np.isclose(compiled.evaluate({"A": matrix})[0, 0], np.trace(matrix))
+
+    def test_four_clique(self):
+        adjacency = np.ones((4, 4)) - np.eye(4)
+        compiled = compile_expression(four_clique_count("A"), SCHEMA, 4)
+        assert compiled.evaluate({"A": adjacency})[0, 0] == 24.0
+
+    def test_floyd_warshall(self, rng):
+        adjacency = (rng.random((4, 4)) < 0.4).astype(float)
+        np.fill_diagonal(adjacency, 0.0)
+        compiled = compile_expression(transitive_closure_floyd_warshall("A"), SCHEMA, 4)
+        instance = Instance.from_matrices({"A": adjacency})
+        direct = evaluate(transitive_closure_floyd_warshall("A"), instance)
+        assert np.allclose(compiled.evaluate({"A": adjacency}), direct)
+
+    def test_division_compiles_to_division_gates(self, rng):
+        matrix = rng.uniform(1, 2, size=(3, 3)) + 3 * np.eye(3)
+        compiled = compile_expression(csanky_determinant("A"), SCHEMA, 3)
+        assert np.isclose(
+            compiled.evaluate({"A": matrix})[0, 0], np.linalg.det(matrix), rtol=1e-8
+        )
+
+    def test_vector_inputs(self, rng):
+        vector = rng.uniform(-1, 1, size=3)
+        compiled = compile_expression(var("u").T @ var("u"), SCHEMA, 3)
+        assert np.isclose(compiled.evaluate({"u": vector})[0, 0], float(vector @ vector))
+
+    def test_unsupported_function_raises(self):
+        with pytest.raises(CircuitError):
+            compile_expression(apply("gt0", var("A")), SCHEMA, 2)
+
+    def test_degree_matches_expectation(self):
+        compiled = compile_expression(trace("A"), SCHEMA, 4)
+        assert compiled.circuit.degree() == 1
+        compiled2 = compile_expression(var("A") @ var("A"), SCHEMA, 2)
+        assert compiled2.circuit.degree() == 2 * 4  # degree 2 per output entry
+
+    def test_compile_requires_positive_dimension(self):
+        with pytest.raises(CircuitError):
+            compile_expression(var("A"), SCHEMA, 0)
+
+    def test_missing_input_matrix(self):
+        compiled = compile_expression(var("A") @ var("u"), SCHEMA, 2)
+        with pytest.raises(CircuitError):
+            compiled.evaluate({"A": np.eye(2)})
+
+    def test_loop_unrolling_matches_evaluator(self, rng):
+        expression = forloop("v", "X", var("X") @ var("A") + var("A"), init=var("A"))
+        matrix = rng.uniform(-1, 1, size=(3, 3))
+        compiled = compile_expression(expression, SCHEMA, 3)
+        direct = evaluate(expression, Instance.from_matrices({"A": matrix}))
+        assert np.allclose(compiled.evaluate({"A": matrix}), direct)
+
+
+class TestCircuitsToMatlang:
+    """Theorem 5.1 direction: circuits become for-MATLANG expressions."""
+
+    FAMILIES = [
+        sum_family,
+        balanced_sum_family,
+        product_family,
+        inner_product_family,
+        elementary_symmetric_two_family,
+        power_family,
+    ]
+
+    @pytest.mark.parametrize("family", FAMILIES, ids=lambda f: f.__name__)
+    @pytest.mark.parametrize("dimension", [1, 2, 3, 5])
+    def test_translation_preserves_values(self, family, dimension, rng):
+        circuit = family(dimension)
+        values = rng.uniform(-2, 2, size=dimension)
+        expression = circuit_to_expression(circuit)
+        # Declare the input vector type explicitly so that dimension 1 is not
+        # mistaken for a scalar instance.
+        schema = Schema({"v": ("alpha", "1")})
+        instance = Instance(schema, {"alpha": dimension}, {"v": values.reshape(-1, 1)})
+        translated = evaluate(expression, instance)[0, 0]
+        assert np.isclose(translated, circuit.evaluate_single(list(values)))
+
+    def test_multi_output_circuit_needs_explicit_output(self):
+        circuit = sum_family(2)
+        circuit.mark_output(circuit.outputs[0])
+        with pytest.raises(CircuitError):
+            circuit_to_expression(circuit)
+
+    def test_roundtrip_circuit_to_matlang_to_circuit(self, rng):
+        """Composing both directions preserves the computed function."""
+        original = inner_product_family(4)
+        expression = circuit_to_expression(original)
+        schema = Schema({"v": ("alpha", "1")})
+        recompiled = compile_expression(expression, schema, 4)
+        values = rng.uniform(-1, 1, size=4)
+        assert np.isclose(
+            recompiled.evaluate({"v": values})[0, 0], original.evaluate_single(list(values))
+        )
+
+
+class TestUniformFamilies:
+    def test_standard_families_registry(self):
+        families = standard_families()
+        assert "sum" in families and "product" in families
+        assert families["product"].circuit(3).degree() == 3
+
+    def test_family_caching(self):
+        family = UniformCircuitFamily("sum", sum_family)
+        assert family.circuit(4) is family.circuit(4)
+
+    def test_family_rejects_non_positive_dimension(self):
+        family = UniformCircuitFamily("sum", sum_family)
+        with pytest.raises(CircuitError):
+            family.circuit(0)
+
+    def test_degree_and_depth_sweeps(self):
+        family = UniformCircuitFamily("product", product_family)
+        assert family.degrees([1, 2, 3]) == {1: 1, 2: 2, 3: 3}
+        assert family.depths([2, 4]) == {2: 1, 4: 1}
+
+    def test_turing_machine_backed_family(self, rng):
+        """Uniformity via a machine: the TM emits the description of Phi_n."""
+        family = family_from_machine(sum_circuit_description_machine(), "tm_sum")
+        for dimension in (1, 3, 5):
+            circuit = family.circuit(dimension)
+            values = rng.uniform(-1, 1, size=dimension)
+            assert np.isclose(circuit.evaluate_single(list(values)), values.sum())

@@ -1,0 +1,144 @@
+"""Tests for the experiment harness, registry, workloads and the Figure 1 build."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReproError
+from repro.experiments import (
+    EXPERIMENTS,
+    ExperimentRecord,
+    Table,
+    build_figure1,
+    experiment_info,
+    render_figure1,
+)
+from repro.experiments.figure1 import figure1_placements, hierarchy_chain
+from repro.experiments.workloads import (
+    planted_clique_graph,
+    random_digraph,
+    random_invertible_matrix,
+    random_lu_factorizable_matrix,
+    random_pivot_requiring_matrix,
+    random_relational_instance,
+    random_sum_matlang_expression,
+    random_undirected_graph,
+    random_weighted_structure,
+    reachability_closure,
+)
+from repro.matlang.fragments import Fragment
+
+
+class TestHarness:
+    def test_table_rendering(self):
+        table = Table(columns=("name", "value"), title="demo")
+        table.add_row("alpha", 1.5)
+        table.add_row("beta", True)
+        rendered = table.render()
+        assert "demo" in rendered and "alpha" in rendered and "yes" in rendered
+
+    def test_table_row_length_check(self):
+        table = Table(columns=("a", "b"))
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_table_column_access(self):
+        table = Table(columns=("n", "value"))
+        table.add_row(1, 10)
+        table.add_row(2, 20)
+        assert table.column("value") == [10, 20]
+
+    def test_experiment_record_render(self):
+        table = Table(columns=("n",))
+        table.add_row(3)
+        record = ExperimentRecord("E1", "demo claim", table, True)
+        assert "PASS" in record.render()
+
+    def test_registry_contains_all_experiments(self):
+        identifiers = set(EXPERIMENTS)
+        assert {"E1", "E7", "E11", "F1", "P1"} <= identifiers
+        assert len(identifiers) == 16
+
+    def test_registry_lookup(self):
+        info = experiment_info("E5")
+        assert "4.1" in info.claim
+        with pytest.raises(ReproError):
+            experiment_info("E99")
+
+    def test_bench_targets_exist_on_disk(self):
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parent.parent
+        for info in EXPERIMENTS.values():
+            assert (root / info.bench_target).exists(), info.bench_target
+
+
+class TestWorkloads:
+    def test_seeded_generators_are_deterministic(self):
+        assert np.allclose(random_invertible_matrix(4, 7), random_invertible_matrix(4, 7))
+        assert np.allclose(random_digraph(5, 0.4, 3), random_digraph(5, 0.4, 3))
+
+    def test_invertible_matrices_are_invertible(self):
+        for seed in range(3):
+            matrix = random_invertible_matrix(5, seed)
+            assert abs(np.linalg.det(matrix)) > 1e-6
+
+    def test_lu_factorizable_matrices_have_nonzero_leading_minors(self):
+        matrix = random_lu_factorizable_matrix(5, 2)
+        for k in range(1, 6):
+            assert abs(np.linalg.det(matrix[:k, :k])) > 1e-9
+
+    def test_pivot_requiring_matrix(self):
+        matrix = random_pivot_requiring_matrix(4, 1)
+        assert matrix[0, 0] == 0.0
+        assert abs(np.linalg.det(matrix)) > 1e-9
+
+    def test_graphs_have_no_self_loops(self):
+        assert np.trace(random_digraph(6, 0.5, 0)) == 0.0
+        assert np.trace(random_undirected_graph(6, 0.5, 0)) == 0.0
+
+    def test_planted_clique_is_present(self):
+        adjacency, vertices = planted_clique_graph(8, 4, 0.05, 0)
+        for i in vertices:
+            for j in vertices:
+                if i != j:
+                    assert adjacency[i, j] == 1.0
+
+    def test_reachability_closure_on_path(self):
+        adjacency = np.zeros((3, 3))
+        adjacency[0, 1] = adjacency[1, 2] = 1
+        closure = reachability_closure(adjacency)
+        assert closure[0, 2] == 1.0 and closure[2, 0] == 0.0
+
+    def test_random_relational_instance_is_binary(self):
+        instance = random_relational_instance(3, 0)
+        assert instance.schema.is_binary_schema()
+
+    def test_random_weighted_structure_arity(self):
+        structure = random_weighted_structure(3, 0)
+        assert structure.arity("E") == 2 and structure.arity("P") == 1
+
+    def test_random_sum_matlang_expression_stays_in_fragment(self):
+        from repro.matlang.fragments import minimal_fragment
+
+        for seed in range(5):
+            expression = random_sum_matlang_expression(seed, depth=3)
+            assert Fragment.SUM_MATLANG.includes(minimal_fragment(expression))
+
+
+class TestFigure1:
+    def test_placements_are_consistent(self):
+        table, consistent = build_figure1()
+        assert consistent
+        assert len(table.rows) == len(figure1_placements())
+
+    def test_hierarchy_chain_is_increasing(self):
+        chain = hierarchy_chain()
+        assert list(chain) == sorted(chain)
+
+    def test_render_mentions_equivalences(self):
+        text = render_figure1()
+        assert "RA+_K" in text and "WL" in text and "circuits" in text
+
+    def test_placements_cover_the_figure_queries(self):
+        names = {placement.query for placement in figure1_placements()}
+        assert {"4-clique", "diagonal product (DP)", "inverse", "determinant", "PLU decomposition"} <= names

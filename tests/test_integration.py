@@ -1,0 +1,143 @@
+"""Integration tests exercising several subsystems together.
+
+These tests follow the paper's storyline end to end: an expression is written
+once and then evaluated directly, through the arithmetic-circuit compiler,
+through the RA+_K translation and through weighted logic, and all answers must
+agree.  They are the executable form of the "equivalence" arrows of Figure 1.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import compile_expression
+from repro.kalgebra.matlang_to_ra import evaluate_via_relational
+from repro.matlang.evaluator import evaluate
+from repro.matlang.instance import Instance
+from repro.matlang.parser import parse
+from repro.matlang.printer import to_text
+from repro.matlang.schema import Schema
+from repro.semiring import BOOLEAN, NATURAL
+from repro.stdlib import (
+    csanky_determinant,
+    csanky_inverse,
+    four_clique_count,
+    lu_lower,
+    lu_upper,
+    trace,
+    transitive_closure_indicator,
+)
+from repro.wlogic import (
+    evaluate_formula,
+    structure_from_instance,
+    translate_fo_matlang,
+)
+from repro.experiments.workloads import (
+    planted_clique_graph,
+    random_digraph,
+    random_invertible_matrix,
+    random_lu_factorizable_matrix,
+    reachability_closure,
+)
+
+
+class TestFourWayAgreement:
+    """One expression, four evaluation routes (Figure 1's equivalences)."""
+
+    def test_trace_agrees_everywhere(self, rng):
+        matrix = rng.integers(0, 4, size=(4, 4)).astype(float)
+        instance = Instance.from_matrices({"A": matrix})
+        expression = trace("A")
+
+        direct = evaluate(expression, instance)[0, 0]
+        circuit_value = compile_expression(
+            expression, Schema({"A": ("alpha", "alpha")}), 4
+        ).evaluate({"A": matrix})[0, 0]
+        relational_value = evaluate_via_relational(expression, instance)[0, 0]
+        formula = translate_fo_matlang(expression, instance.schema)
+        logical_value = evaluate_formula(formula, structure_from_instance(instance))
+
+        assert np.isclose(direct, np.trace(matrix))
+        assert np.isclose(direct, circuit_value)
+        assert np.isclose(direct, relational_value)
+        assert np.isclose(direct, logical_value)
+
+    def test_four_clique_agrees_everywhere(self):
+        adjacency, _ = planted_clique_graph(6, 4, probability=0.1, seed=2)
+        instance = Instance.from_matrices({"A": adjacency})
+        expression = four_clique_count("A")
+
+        direct = evaluate(expression, instance)[0, 0]
+        circuit_value = compile_expression(
+            expression, Schema({"A": ("alpha", "alpha")}), 6
+        ).evaluate({"A": adjacency})[0, 0]
+        relational_value = evaluate_via_relational(expression, instance)[0, 0]
+
+        assert direct > 0
+        assert np.isclose(direct, circuit_value)
+        assert np.isclose(direct, relational_value)
+
+
+class TestLinearAlgebraPipeline:
+    def test_lu_factors_solve_linear_systems(self, rng):
+        matrix = random_lu_factorizable_matrix(4, seed=17)
+        instance = Instance.from_matrices({"A": matrix})
+        lower = np.asarray(evaluate(lu_lower("A"), instance), float)
+        upper = np.asarray(evaluate(lu_upper("A"), instance), float)
+        rhs = rng.uniform(-1, 1, size=4)
+        solution = np.linalg.solve(upper, np.linalg.solve(lower, rhs))
+        assert np.allclose(matrix @ solution, rhs, atol=1e-8)
+
+    def test_determinant_and_inverse_are_consistent(self):
+        matrix = random_invertible_matrix(3, seed=23)
+        instance = Instance.from_matrices({"A": matrix})
+        determinant = evaluate(csanky_determinant("A"), instance)[0, 0]
+        inverse = np.asarray(evaluate(csanky_inverse("A"), instance), float)
+        assert np.isclose(determinant * np.linalg.det(inverse), 1.0, rtol=1e-6)
+
+    def test_inverse_reproduces_transitive_closure_claim(self):
+        """Non-zero pattern of (I - A/n)^{-1} contains the reflexive closure."""
+        adjacency = random_digraph(5, probability=0.3, seed=31)
+        scaled = np.eye(5) - adjacency / 5.0
+        instance = Instance.from_matrices({"A": scaled})
+        inverse = np.asarray(evaluate(csanky_inverse("A"), instance), float)
+        closure = reachability_closure(adjacency) + np.eye(5)
+        assert np.all((np.abs(inverse) > 1e-9) == (closure > 0))
+
+
+class TestSemiringsAcrossTheStack:
+    def test_boolean_closure_equals_real_indicator(self):
+        adjacency = random_digraph(5, probability=0.35, seed=5)
+        real_instance = Instance.from_matrices({"A": adjacency})
+        boolean_instance = Instance.from_matrices({"A": adjacency}, semiring=BOOLEAN)
+        from repro.stdlib import transitive_closure_floyd_warshall
+
+        indicator = np.asarray(
+            evaluate(transitive_closure_indicator("A"), real_instance), float
+        )
+        boolean = evaluate(transitive_closure_floyd_warshall("A"), boolean_instance)
+        assert all(
+            bool(boolean[i, j]) == bool(indicator[i, j]) for i in range(5) for j in range(5)
+        )
+
+    def test_natural_semiring_counts_paths(self):
+        adjacency = np.array([[0, 1, 1], [0, 0, 1], [0, 0, 0]])
+        instance = Instance.from_matrices({"A": adjacency}, semiring=NATURAL)
+        two_paths = evaluate(parse("A * A"), instance)
+        assert two_paths[0, 2] == 1
+
+
+class TestTextualWorkflow:
+    def test_parse_evaluate_print_cycle(self, square_instance):
+        source = "sum v . v' * A * v"
+        expression = parse(source)
+        value = evaluate(expression, square_instance)[0, 0]
+        assert np.isclose(value, np.trace(np.asarray(square_instance.matrix("A"), float)))
+        assert parse(to_text(expression)) == expression
+
+    def test_stdlib_expressions_round_trip_through_text(self, square_instance):
+        for expression in (trace("A"), four_clique_count("A")):
+            reparsed = parse(to_text(expression))
+            assert np.allclose(
+                np.asarray(evaluate(expression, square_instance), float),
+                np.asarray(evaluate(reparsed, square_instance), float),
+            )

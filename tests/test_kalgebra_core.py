@@ -1,0 +1,171 @@
+"""Tests for K-relations, the RA+_K query language and its evaluator (Section 6.1)."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.kalgebra import (
+    Join,
+    KRelation,
+    Project,
+    RelationRef,
+    RelationalInstance,
+    RelationalSchema,
+    Rename,
+    Select,
+    Union,
+    evaluate_query,
+    query_schema,
+)
+from repro.semiring import BOOLEAN, NATURAL, REAL
+from repro.semiring.provenance import PROVENANCE
+
+
+def small_instance(semiring=NATURAL) -> RelationalInstance:
+    schema = RelationalSchema({"R": ("a", "b"), "S": ("b", "c")})
+    r = KRelation(("a", "b"), semiring)
+    s = KRelation(("b", "c"), semiring)
+    r.set({"a": 1, "b": 2}, 2)
+    r.set({"a": 2, "b": 3}, 1)
+    r.set({"a": 1, "b": 1}, 3)
+    s.set({"b": 2, "c": 3}, 5)
+    s.set({"b": 3, "c": 1}, 1)
+    return RelationalInstance(schema, {"R": r, "S": s})
+
+
+class TestKRelation:
+    def test_set_and_lookup(self):
+        relation = KRelation(("a",), NATURAL)
+        relation.set({"a": 1}, 3)
+        assert relation.annotation({"a": 1}) == 3
+        assert relation.annotation({"a": 2}) == 0
+
+    def test_zero_annotations_are_dropped(self):
+        relation = KRelation(("a",), NATURAL)
+        relation.set({"a": 1}, 0)
+        assert relation.support_size() == 0
+
+    def test_add_accumulates(self):
+        relation = KRelation(("a",), NATURAL)
+        relation.add({"a": 1}, 2)
+        relation.add({"a": 1}, 3)
+        assert relation.annotation({"a": 1}) == 5
+
+    def test_wrong_signature_raises(self):
+        relation = KRelation(("a",), NATURAL)
+        with pytest.raises(SchemaError):
+            relation.set({"b": 1}, 1)
+
+    def test_active_domain(self):
+        relation = KRelation(("a", "b"), NATURAL)
+        relation.set({"a": 3, "b": 1}, 1)
+        assert relation.active_domain() == (1, 3)
+
+    def test_equality(self):
+        left = KRelation(("a",), NATURAL, {(("a", 1),): 2})
+        right = KRelation(("a",), NATURAL)
+        right.set({"a": 1}, 2)
+        assert left.equals(right)
+        right.set({"a": 2}, 1)
+        assert not left.equals(right)
+
+    def test_instance_checks_signatures(self):
+        schema = RelationalSchema({"R": ("a", "b")})
+        bad = KRelation(("a",), NATURAL)
+        with pytest.raises(SchemaError):
+            RelationalInstance(schema, {"R": bad})
+
+
+class TestQuerySchema:
+    def test_base_and_join(self):
+        schema = RelationalSchema({"R": ("a", "b"), "S": ("b", "c")})
+        assert query_schema(RelationRef("R"), schema) == frozenset({"a", "b"})
+        assert query_schema(Join(RelationRef("R"), RelationRef("S")), schema) == frozenset(
+            {"a", "b", "c"}
+        )
+
+    def test_union_requires_matching_signatures(self):
+        schema = RelationalSchema({"R": ("a", "b"), "S": ("b", "c")})
+        with pytest.raises(SchemaError):
+            query_schema(Union(RelationRef("R"), RelationRef("S")), schema)
+
+    def test_projection_must_be_contained(self):
+        schema = RelationalSchema({"R": ("a", "b")})
+        with pytest.raises(SchemaError):
+            query_schema(Project(("c",), RelationRef("R")), schema)
+
+    def test_rename_must_cover_signature(self):
+        schema = RelationalSchema({"R": ("a", "b")})
+        with pytest.raises(SchemaError):
+            query_schema(Rename({"x": "a"}, RelationRef("R")), schema)
+
+    def test_rename_valid(self):
+        schema = RelationalSchema({"R": ("a", "b")})
+        renamed = Rename({"x": "a", "y": "b"}, RelationRef("R"))
+        assert query_schema(renamed, schema) == frozenset({"x", "y"})
+
+    def test_binary_schema_check(self):
+        assert RelationalSchema({"R": ("a", "b")}).is_binary_schema()
+        assert not RelationalSchema({"T": ("a", "b", "c")}).is_binary_schema()
+
+
+class TestEvaluation:
+    def test_base_relation_copy(self):
+        instance = small_instance()
+        result = evaluate_query(RelationRef("R"), instance)
+        assert result.annotation({"a": 1, "b": 2}) == 2
+
+    def test_union_adds_annotations(self):
+        instance = small_instance()
+        doubled = evaluate_query(Union(RelationRef("R"), RelationRef("R")), instance)
+        assert doubled.annotation({"a": 1, "b": 2}) == 4
+
+    def test_join_multiplies_annotations(self):
+        instance = small_instance()
+        joined = evaluate_query(Join(RelationRef("R"), RelationRef("S")), instance)
+        assert joined.annotation({"a": 1, "b": 2, "c": 3}) == 10
+        assert joined.annotation({"a": 2, "b": 3, "c": 1}) == 1
+        assert joined.support_size() == 2
+
+    def test_projection_sums_annotations(self):
+        instance = small_instance()
+        projected = evaluate_query(Project(("a",), RelationRef("R")), instance)
+        assert projected.annotation({"a": 1}) == 5
+
+    def test_selection_keeps_equal_tuples(self):
+        instance = small_instance()
+        selected = evaluate_query(Select(("a", "b"), RelationRef("R")), instance)
+        assert selected.annotation({"a": 1, "b": 1}) == 3
+        assert selected.support_size() == 1
+
+    def test_rename(self):
+        instance = small_instance()
+        renamed = evaluate_query(Rename({"x": "a", "y": "b"}, RelationRef("R")), instance)
+        assert renamed.annotation({"x": 1, "y": 2}) == 2
+
+    def test_join_project_pipeline(self):
+        instance = small_instance()
+        query = Project(("a", "c"), Join(RelationRef("R"), RelationRef("S")))
+        result = evaluate_query(query, instance)
+        assert result.annotation({"a": 1, "c": 3}) == 10
+
+    def test_boolean_semantics_is_set_semantics(self):
+        instance = small_instance(BOOLEAN)
+        query = Project(("a",), RelationRef("R"))
+        result = evaluate_query(query, instance)
+        assert result.annotation({"a": 1}) is True
+
+    def test_provenance_annotations_compose(self):
+        schema = RelationalSchema({"R": ("a", "b"), "S": ("b", "c")})
+        r = KRelation(("a", "b"), PROVENANCE)
+        s = KRelation(("b", "c"), PROVENANCE)
+        r.set({"a": 1, "b": 2}, "p")
+        s.set({"b": 2, "c": 3}, "q")
+        instance = RelationalInstance(schema, {"R": r, "S": s})
+        query = Project(("a", "c"), Join(RelationRef("R"), RelationRef("S")))
+        result = evaluate_query(query, instance)
+        assert str(result.annotation({"a": 1, "c": 3})) == "p*q"
+
+    def test_empty_instance_rejected(self):
+        schema = RelationalSchema({"R": ("a",)})
+        with pytest.raises(SchemaError):
+            evaluate_query(RelationRef("R"), RelationalInstance(schema, {}))

@@ -1,0 +1,178 @@
+"""Tests for Propositions 6.3 and 6.4: sum-MATLANG <-> RA+_K."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FragmentError
+from repro.kalgebra import (
+    Join,
+    Project,
+    RelationRef,
+    Rename,
+    Select,
+    Union,
+    evaluate_query,
+    translate_query,
+    translate_sum_matlang,
+)
+from repro.kalgebra.matlang_to_ra import evaluate_via_relational
+from repro.kalgebra.ra_to_matlang import evaluate_query_via_matlang
+from repro.kalgebra.relations import RelationalSchema
+from repro.matlang.ast import Diag, OneVector
+from repro.matlang.builder import apply, forloop, lit, ssum, var
+from repro.matlang.evaluator import evaluate
+from repro.matlang.instance import Instance
+from repro.semiring import BOOLEAN, NATURAL
+from repro.stdlib import four_clique_count, trace
+from repro.experiments.workloads import (
+    random_integer_matrix,
+    random_ra_query,
+    random_relational_instance,
+    random_sum_matlang_expression,
+)
+
+
+def both_ways_match(expression, instance) -> bool:
+    direct = np.asarray(evaluate(expression, instance), dtype=float)
+    via = np.asarray(evaluate_via_relational(expression, instance), dtype=float)
+    return np.allclose(direct, via)
+
+
+class TestSumMatlangToRA:
+    def test_matrix_variable(self, square_instance):
+        assert both_ways_match(var("A"), square_instance)
+
+    def test_core_operators(self, square_instance):
+        for expression in (
+            var("A") + var("A"),
+            var("A") @ var("A"),
+            var("A").T,
+            lit(2) * var("A"),
+            OneVector(var("A")),
+            Diag(OneVector(var("A"))),
+            apply("mul", var("A"), var("A")),
+        ):
+            assert both_ways_match(expression, square_instance), expression
+
+    def test_trace_and_clique(self, square_instance):
+        assert both_ways_match(trace("A"), square_instance)
+        adjacency = np.ones((4, 4)) - np.eye(4)
+        graph_instance = Instance.from_matrices({"A": adjacency})
+        assert both_ways_match(four_clique_count("A"), graph_instance)
+
+    def test_vector_expressions(self):
+        instance = Instance.from_matrices({"A": np.arange(9.0).reshape(3, 3), "u": [1.0, 2.0, 3.0]})
+        for expression in (var("A") @ var("u"), var("u").T @ var("A"), var("u").T @ var("u")):
+            assert both_ways_match(expression, instance)
+
+    def test_sum_quantifier_forms(self, square_instance):
+        v = var("v")
+        expressions = [
+            ssum("v", v @ v.T),
+            ssum("v", (v.T @ var("A") @ v) * (v @ v.T)),
+            ssum("u", ssum("v", (var("u").T @ var("A") @ var("v")) * (var("u") @ var("v").T))),
+        ]
+        for expression in expressions:
+            assert both_ways_match(expression, square_instance), expression
+
+    def test_sum_over_unused_iterator_multiplies_by_n(self, square_instance):
+        expression = ssum("v", var("A"))
+        assert both_ways_match(expression, square_instance)
+
+    def test_other_semirings(self):
+        matrix = random_integer_matrix(3, seed=1)
+        for semiring in (NATURAL, BOOLEAN):
+            instance = Instance.from_matrices({"A": matrix}, semiring=semiring)
+            direct = evaluate(var("A") @ var("A"), instance)
+            via = evaluate_via_relational(var("A") @ var("A"), instance)
+            assert all(
+                semiring.close_to(direct[i, j], via[i, j]) for i in range(3) for j in range(3)
+            )
+
+    def test_for_loop_is_rejected(self, square_instance):
+        with pytest.raises(FragmentError):
+            translate_sum_matlang(
+                forloop("v", "X", var("X") + var("A")), square_instance.schema
+            )
+
+    def test_unsupported_function_is_rejected(self, square_instance):
+        with pytest.raises(FragmentError):
+            translate_sum_matlang(apply("gt0", var("A")), square_instance.schema)
+
+    def test_translation_exposes_constants(self, square_instance):
+        translation = translate_sum_matlang(lit(2) * var("A"), square_instance.schema)
+        assert 2.0 in translation.constants.values()
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_expressions(self, seed):
+        expression = random_sum_matlang_expression(seed, depth=3)
+        instance = Instance.from_matrices(
+            {"A": random_integer_matrix(3, seed), "B": random_integer_matrix(3, seed + 100)}
+        )
+        assert both_ways_match(expression, instance)
+
+
+class TestRAToSumMatlang:
+    def make_instance(self, seed=0, semiring=NATURAL):
+        return random_relational_instance(domain_size=3, seed=seed, semiring=semiring)
+
+    def check(self, query, instance) -> bool:
+        direct = evaluate_query(query, instance)
+        via = evaluate_query_via_matlang(query, instance)
+        return direct.equals(via)
+
+    def test_base_relations(self):
+        instance = self.make_instance()
+        assert self.check(RelationRef("R"), instance)
+        assert self.check(RelationRef("P"), instance)
+
+    def test_join_project(self):
+        instance = self.make_instance(1)
+        query = Project(("a", "c"), Join(RelationRef("R"), RelationRef("S")))
+        assert self.check(query, instance)
+
+    def test_union_with_rename(self):
+        instance = self.make_instance(2)
+        query = Union(RelationRef("R"), Rename({"a": "b", "b": "c"}, RelationRef("S")))
+        assert self.check(query, instance)
+
+    def test_selection(self):
+        instance = self.make_instance(3)
+        query = Project(("a",), Select(("a", "b"), RelationRef("R")))
+        assert self.check(query, instance)
+
+    def test_unary_output(self):
+        instance = self.make_instance(4)
+        query = Project(("a",), Join(RelationRef("R"), RelationRef("P")))
+        assert self.check(query, instance)
+
+    def test_nullary_output(self):
+        instance = self.make_instance(5)
+        query = Project((), RelationRef("P"))
+        assert self.check(query, instance)
+
+    def test_translated_expression_is_sum_matlang(self):
+        from repro.matlang.fragments import Fragment, minimal_fragment
+
+        schema = RelationalSchema({"R": ("a", "b"), "S": ("b", "c"), "P": ("a",)})
+        query = Project(("a", "c"), Join(RelationRef("R"), RelationRef("S")))
+        expression = translate_query(query, schema)
+        assert minimal_fragment(expression) == Fragment.SUM_MATLANG
+
+    def test_ternary_output_rejected(self):
+        schema = RelationalSchema({"R": ("a", "b"), "S": ("b", "c"), "P": ("a",)})
+        from repro.exceptions import SchemaError
+
+        with pytest.raises(SchemaError):
+            translate_query(Join(RelationRef("R"), RelationRef("S")), schema)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_queries(self, seed):
+        instance = self.make_instance(seed)
+        query = random_ra_query(instance.schema, seed=seed, depth=3)
+        assert self.check(query, instance)
+
+    def test_boolean_semiring_roundtrip(self):
+        instance = self.make_instance(7, semiring=BOOLEAN)
+        query = Project(("a", "c"), Join(RelationRef("R"), RelationRef("S")))
+        assert self.check(query, instance)

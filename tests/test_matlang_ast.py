@@ -1,0 +1,102 @@
+"""Unit tests for the MATLANG expression AST."""
+
+import pytest
+
+from repro.matlang.ast import (
+    Add,
+    Apply,
+    ForLoop,
+    HadamardLoop,
+    Literal,
+    MatMul,
+    ProductLoop,
+    ScalarMul,
+    SumLoop,
+    Transpose,
+    Var,
+)
+from repro.matlang.builder import forloop, lit, ssum, var
+
+
+class TestConstruction:
+    def test_operator_sugar_builds_expected_nodes(self):
+        a, b = var("A"), var("B")
+        assert isinstance(a + b, Add)
+        assert isinstance(a @ b, MatMul)
+        assert isinstance(lit(2) * a, ScalarMul)
+        assert isinstance(a.T, Transpose)
+
+    def test_numbers_coerce_to_literals(self):
+        expression = var("A") + 1
+        assert isinstance(expression.right, Literal)
+        assert expression.right.value == 1.0
+
+    def test_invalid_operand_raises(self):
+        with pytest.raises(TypeError):
+            var("A") + "nonsense"
+
+    def test_apply_normalises_operands_to_tuple(self):
+        node = Apply("mul", [var("A"), var("B")])
+        assert isinstance(node.operands, tuple)
+
+    def test_structural_equality_and_hash(self):
+        first = ssum("v", var("v").T @ var("A") @ var("v"))
+        second = ssum("v", var("v").T @ var("A") @ var("v"))
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_different_quantifiers_are_not_equal(self):
+        body = var("v").T @ var("A") @ var("v")
+        assert SumLoop("v", body) != HadamardLoop("v", body)
+        assert SumLoop("v", body) != ProductLoop("v", body)
+
+
+class TestVariables:
+    def test_free_variables_of_plain_expression(self):
+        expression = var("A") @ var("B") + var("A")
+        assert expression.free_variables() == ("A", "B")
+
+    def test_loop_binds_iterator_and_accumulator(self):
+        loop = forloop("v", "X", var("X") + var("v") @ var("A"))
+        assert loop.free_variables() == ("A",)
+        assert set(loop.bound_variables()) == {"v", "X"}
+
+    def test_init_is_outside_the_binder(self):
+        loop = forloop("v", "X", var("X") + var("v"), init=var("X"))
+        assert "X" in loop.free_variables()
+
+    def test_quantifier_binds_only_iterator(self):
+        expression = ssum("v", var("v").T @ var("A") @ var("v"))
+        assert expression.free_variables() == ("A",)
+        assert expression.bound_variables() == ("v",)
+
+    def test_size_counts_nodes(self):
+        assert var("A").size() == 1
+        assert (var("A") + var("B")).size() == 3
+
+
+class TestSubstitution:
+    def test_substitute_free_variable(self):
+        expression = var("X") + var("A")
+        replaced = expression.substitute("X", var("B"))
+        assert replaced == var("B") + var("A")
+
+    def test_substitution_stops_at_binders(self):
+        loop = forloop("v", "X", var("X") + var("v"))
+        assert loop.substitute("X", var("B")) == loop
+
+    def test_substitution_inside_init(self):
+        loop = forloop("v", "X", var("X") + var("v"), init=var("Y"))
+        replaced = loop.substitute("Y", var("A"))
+        assert replaced.init == var("A")
+
+    def test_substitution_mirrors_paper_initialisation_trick(self):
+        """Section 3.2: e(v, X / e0) replaces X by the initialiser everywhere."""
+        body = var("X") @ var("A") + var("v")
+        replaced = body.substitute("X", var("A"))
+        assert replaced == var("A") @ var("A") + var("v")
+
+    def test_walk_visits_all_nodes(self):
+        expression = ssum("v", var("v").T @ var("A") @ var("v"))
+        kinds = {type(node).__name__ for node in expression.walk()}
+        assert {"SumLoop", "Transpose", "MatMul", "Var"} <= kinds

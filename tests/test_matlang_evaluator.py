@@ -1,0 +1,185 @@
+"""Unit tests for the MATLANG / for-MATLANG evaluator (Sections 2, 3.1, 6)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EvaluationError
+from repro.matlang.ast import Diag, OneVector
+from repro.matlang.builder import apply, forloop, had, hint, lit, ones, prod, ssum, var
+from repro.matlang.evaluator import Evaluator, evaluate
+from repro.matlang.instance import Instance
+from repro.matlang.schema import Schema
+from repro.semiring import BOOLEAN, MIN_PLUS, NATURAL
+from repro.semiring.provenance import PROVENANCE, Polynomial
+
+
+def as_float(matrix) -> np.ndarray:
+    return np.asarray(matrix, dtype=np.float64)
+
+
+class TestCoreOperators:
+    def test_variable_lookup(self, square_instance, square_matrix):
+        assert np.allclose(evaluate(var("A"), square_instance), square_matrix)
+
+    def test_transpose(self, square_instance, square_matrix):
+        assert np.allclose(evaluate(var("A").T, square_instance), square_matrix.T)
+
+    def test_ones_vector(self, square_instance):
+        assert np.allclose(evaluate(ones(var("A")), square_instance), np.ones((4, 1)))
+
+    def test_diag(self, square_instance):
+        result = evaluate(Diag(OneVector(var("A"))), square_instance)
+        assert np.allclose(result, np.eye(4))
+
+    def test_diag_rejects_matrices_at_runtime(self):
+        schema = Schema({"A": ("alpha", "1")})
+        instance = Instance(schema, {"alpha": 2}, {"A": [1.0, 2.0]})
+        assert np.allclose(evaluate(Diag(var("A")), instance), np.diag([1.0, 2.0]))
+
+    def test_matmul_addition_scalarmul(self, square_instance, square_matrix):
+        expression = lit(2) * (var("A") @ var("A") + var("A"))
+        expected = 2 * (square_matrix @ square_matrix + square_matrix)
+        assert np.allclose(evaluate(expression, square_instance), expected)
+
+    def test_literal(self, square_instance):
+        assert evaluate(lit(3.5), square_instance)[0, 0] == 3.5
+
+    def test_scalar_multiplication_requires_1x1(self, square_instance):
+        schema = square_instance.schema.with_variable("B", ("alpha", "alpha"))
+        instance = Instance(
+            schema,
+            dict(square_instance.dimensions),
+            {**square_instance.matrices, "B": np.eye(4)},
+        )
+        # (A x B) is ill-typed, so the error surfaces at typing time already.
+        from repro.exceptions import TypingError
+
+        with pytest.raises(TypingError):
+            evaluate(var("A") * var("B"), instance)
+
+    def test_pointwise_application(self, square_instance, square_matrix):
+        result = evaluate(apply("mul", var("A"), var("A")), square_instance)
+        assert np.allclose(result, square_matrix * square_matrix)
+
+    def test_pointwise_division(self, square_instance, square_matrix):
+        result = evaluate(apply("div", var("A"), var("A")), square_instance)
+        expected = np.where(square_matrix != 0, 1.0, 0.0)
+        assert np.allclose(result, expected)
+
+
+class TestForLoops:
+    def test_ones_via_for_loop_example_31(self, square_instance):
+        loop = hint(forloop("v", "X", var("X") + var("v")), "alpha", "1")
+        assert np.allclose(evaluate(loop, square_instance), np.ones((4, 1)))
+
+    def test_diag_via_for_loop_example_32(self):
+        instance = Instance.from_matrices({"u": [3.0, 1.0, 2.0], "A": np.eye(3)})
+        v = var("_v")
+        loop = forloop("_v", "_X", var("_X") + (v.T @ var("u")) * (v @ v.T))
+        assert np.allclose(evaluate(loop, instance), np.diag([3.0, 1.0, 2.0]))
+
+    def test_last_canonical_vector(self, square_instance):
+        loop = hint(forloop("v", "X", var("v")), "alpha", "1")
+        assert np.allclose(as_float(evaluate(loop, square_instance)).ravel(), [0, 0, 0, 1])
+
+    def test_initialised_loop(self, square_instance, square_matrix):
+        loop = forloop("v", "X", var("X") @ var("A"), init=var("A"))
+        assert np.allclose(
+            evaluate(loop, square_instance), np.linalg.matrix_power(square_matrix, 5)
+        )
+
+    def test_initialisation_desugaring_matches_paper(self, square_instance, square_matrix):
+        """Section 3.2: ``for v, X = e0. e`` equals the min(v)-guarded rewrite."""
+        from repro.stdlib.order import is_min
+
+        body = var("X") @ var("A")
+        with_init = forloop("v", "X", body, init=var("A"))
+        guard = is_min(var("v"))
+        rewritten = forloop(
+            "v",
+            "X",
+            guard * body.substitute("X", var("A")) + (lit(1) + lit(-1) * guard) * body,
+        )
+        assert np.allclose(
+            evaluate(with_init, square_instance), evaluate(rewritten, square_instance)
+        )
+
+    def test_nested_loops_with_shadowing(self, square_instance):
+        inner = forloop("v", "X", var("X") + var("v") @ var("v").T)
+        outer = forloop("v", "Y", var("Y") + inner)
+        result = evaluate(outer, square_instance)
+        assert np.allclose(result, 4 * np.eye(4))
+
+    def test_unconstrained_iterator_raises(self):
+        schema = Schema({"A": ("alpha", "alpha"), "B": ("beta", "beta")})
+        instance = Instance(schema, {"alpha": 2, "beta": 3}, {"A": np.eye(2), "B": np.eye(3)})
+        with pytest.raises(EvaluationError):
+            evaluate(forloop("v", "X", var("v")), instance)
+
+    def test_memoization_returns_same_values(self, square_instance):
+        from repro.stdlib.order import s_less_equal
+
+        cached = Evaluator(square_instance, memoize=True).run(s_less_equal())
+        uncached = Evaluator(square_instance, memoize=False).run(s_less_equal())
+        assert np.allclose(cached, uncached)
+
+
+class TestQuantifiers:
+    def test_sum_quantifier_trace(self, square_instance, square_matrix):
+        expression = ssum("v", var("v").T @ var("A") @ var("v"))
+        assert np.isclose(evaluate(expression, square_instance)[0, 0], np.trace(square_matrix))
+
+    def test_product_quantifier_matrix_power(self, square_instance, square_matrix):
+        expression = prod("v", var("A"))
+        assert np.allclose(
+            evaluate(expression, square_instance), np.linalg.matrix_power(square_matrix, 4)
+        )
+
+    def test_hadamard_quantifier(self, square_instance, square_matrix):
+        expression = had("v", var("A"))
+        assert np.allclose(evaluate(expression, square_instance), square_matrix**4)
+
+    def test_sum_equals_for_loop_desugaring(self, square_instance):
+        body = var("v") @ var("v").T @ var("A")
+        sugar = ssum("v", body)
+        desugared = forloop("v", "X", var("X") + body)
+        assert np.allclose(
+            evaluate(sugar, square_instance), evaluate(desugared, square_instance)
+        )
+
+
+class TestOtherSemirings:
+    def test_boolean_reachability(self):
+        adjacency = np.array([[0, 1, 0], [0, 0, 1], [0, 0, 0]])
+        instance = Instance.from_matrices({"A": adjacency}, semiring=BOOLEAN)
+        two_step = evaluate(var("A") @ var("A"), instance)
+        assert two_step[0, 2] is True
+        assert two_step[0, 1] is False
+
+    def test_natural_counting(self):
+        adjacency = np.array([[0, 2], [1, 0]])
+        instance = Instance.from_matrices({"A": adjacency}, semiring=NATURAL)
+        result = evaluate(var("A") @ var("A"), instance)
+        assert result[0, 0] == 2
+
+    def test_min_plus_shortest_paths(self):
+        import math
+
+        inf = math.inf
+        weights = np.array([[inf, 1.0, 5.0], [inf, inf, 2.0], [inf, inf, inf]], dtype=object)
+        instance = Instance.from_matrices({"A": weights}, semiring=MIN_PLUS)
+        result = evaluate(var("A") @ var("A"), instance)
+        assert result[0, 2] == 3.0
+
+    def test_provenance_tracking(self):
+        p = Polynomial.variable
+        matrix = np.array([[p("a"), p("b")], [p("c"), p("d")]], dtype=object)
+        instance = Instance.from_matrices({"A": matrix}, semiring=PROVENANCE)
+        trace = evaluate(ssum("v", var("v").T @ var("A") @ var("v")), instance)
+        assert str(trace[0, 0]) == "a + d"
+
+    def test_sum_quantifier_over_boolean_is_exists(self):
+        adjacency = np.array([[0, 1], [0, 0]])
+        instance = Instance.from_matrices({"A": adjacency}, semiring=BOOLEAN)
+        has_edge = evaluate(ssum("u", ssum("v", var("u").T @ var("A") @ var("v"))), instance)
+        assert has_edge[0, 0] is True

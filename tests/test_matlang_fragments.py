@@ -1,0 +1,94 @@
+"""Unit tests for the fragment classifier (Section 6, Figure 1)."""
+
+import pytest
+
+from repro.exceptions import FragmentError
+from repro.matlang.builder import apply, forloop, had, lit, prod, ssum, var
+from repro.matlang.fragments import (
+    Fragment,
+    assert_fragment,
+    classify,
+    is_in_fragment,
+    minimal_fragment,
+    required_functions,
+)
+from repro.stdlib import (
+    csanky_inverse,
+    diagonal_product,
+    four_clique_count,
+    lu_upper,
+    trace,
+    transitive_closure_floyd_warshall,
+    transitive_closure_product,
+)
+
+
+class TestClassification:
+    def test_matlang_core(self):
+        assert minimal_fragment(var("A") @ var("B") + var("A").T) == Fragment.MATLANG
+
+    def test_sum_fragment(self):
+        assert minimal_fragment(trace("A")) == Fragment.SUM_MATLANG
+        assert minimal_fragment(four_clique_count("A")) == Fragment.SUM_MATLANG
+
+    def test_fo_fragment(self):
+        assert minimal_fragment(diagonal_product("A")) == Fragment.FO_MATLANG
+
+    def test_prod_fragment(self):
+        assert minimal_fragment(transitive_closure_product("A")) == Fragment.PROD_MATLANG
+
+    def test_for_fragment(self):
+        assert minimal_fragment(transitive_closure_floyd_warshall("A")) == Fragment.FOR_MATLANG
+        assert minimal_fragment(lu_upper("A")) == Fragment.FOR_MATLANG
+
+    def test_mixed_quantifiers_take_the_largest(self):
+        expression = ssum("v", var("v").T @ prod("w", var("A")) @ var("v"))
+        assert minimal_fragment(expression) == Fragment.PROD_MATLANG
+
+    def test_for_dominates_everything(self):
+        expression = ssum("v", var("v").T @ forloop("w", "X", var("X") + var("A")) @ var("v"))
+        assert minimal_fragment(expression) == Fragment.FOR_MATLANG
+
+
+class TestInclusions:
+    def test_figure1_chain(self):
+        chain = [
+            Fragment.MATLANG,
+            Fragment.SUM_MATLANG,
+            Fragment.FO_MATLANG,
+            Fragment.PROD_MATLANG,
+            Fragment.FOR_MATLANG,
+        ]
+        for smaller, larger in zip(chain, chain[1:]):
+            assert larger.includes(smaller)
+            assert not smaller.includes(larger)
+
+    def test_is_in_fragment(self):
+        assert is_in_fragment(trace("A"), Fragment.FOR_MATLANG)
+        assert is_in_fragment(trace("A"), Fragment.SUM_MATLANG)
+        assert not is_in_fragment(diagonal_product("A"), Fragment.SUM_MATLANG)
+
+    def test_assert_fragment(self):
+        assert_fragment(trace("A"), Fragment.SUM_MATLANG)
+        with pytest.raises(FragmentError):
+            assert_fragment(lu_upper("A"), Fragment.SUM_MATLANG)
+
+
+class TestReports:
+    def test_required_functions(self):
+        assert required_functions(lu_upper("A")) == ("div",)
+        assert required_functions(trace("A")) == ()
+
+    def test_language_name_mentions_functions(self):
+        report = classify(csanky_inverse("A"))
+        assert report.language_name == "for-MATLANG[div]"
+        assert classify(trace("A")).language_name == "sum-MATLANG"
+
+    def test_report_flags(self):
+        report = classify(apply("gt0", prod("v", var("A") + var("A"))))
+        assert report.uses_product and not report.uses_for_loop
+        assert report.functions == ("gt0",)
+
+    def test_display_names(self):
+        assert Fragment.SUM_MATLANG.display_name == "sum-MATLANG"
+        assert Fragment.FOR_MATLANG.display_name == "for-MATLANG"

@@ -1,0 +1,104 @@
+"""Unit tests for the pointwise function registry (MATLANG[F])."""
+
+import pytest
+
+from repro.exceptions import EvaluationError
+from repro.matlang.functions import FunctionRegistry, PointwiseFunction, default_registry
+from repro.semiring import NATURAL, REAL
+
+
+class TestDefaultRegistry:
+    def test_contains_paper_functions(self):
+        registry = default_registry()
+        assert "div" in registry
+        assert "gt0" in registry
+
+    def test_division_semantics(self):
+        registry = default_registry()
+        assert registry.get("div")(REAL, 6.0, 3.0) == 2.0
+
+    def test_division_by_zero_is_zero(self):
+        """The convention x / 0 := 0 used implicitly by the LU construction."""
+        registry = default_registry()
+        assert registry.get("div")(REAL, 5.0, 0.0) == 0.0
+
+    def test_division_requires_a_field(self):
+        registry = default_registry()
+        with pytest.raises(EvaluationError):
+            registry.get("div")(NATURAL, 4, 2)
+
+    def test_gt0(self):
+        registry = default_registry()
+        gt0 = registry.get("gt0")
+        assert gt0(REAL, 0.5) == 1.0
+        assert gt0(REAL, 0.0) == 0.0
+        assert gt0(REAL, -2.0) == 0.0
+
+    def test_nonzero_works_over_any_semiring(self):
+        registry = default_registry()
+        nonzero = registry.get("nonzero")
+        assert nonzero(NATURAL, 3) == 1
+        assert nonzero(NATURAL, 0) == 0
+
+    def test_variadic_mul_and_add(self):
+        registry = default_registry()
+        assert registry.get("mul")(REAL, 2.0, 3.0, 4.0) == 24.0
+        assert registry.get("add")(NATURAL, 1, 2, 3) == 6
+
+    def test_sub_and_neg_require_a_ring(self):
+        registry = default_registry()
+        assert registry.get("sub")(REAL, 5.0, 2.0) == 3.0
+        with pytest.raises(EvaluationError):
+            registry.get("sub")(NATURAL, 5, 2)
+        with pytest.raises(EvaluationError):
+            registry.get("neg")(NATURAL, 5)
+
+    def test_square_min_max_abs(self):
+        registry = default_registry()
+        assert registry.get("square")(REAL, 3.0) == 9.0
+        assert registry.get("min")(REAL, 3.0, 1.0, 2.0) == 1.0
+        assert registry.get("max")(REAL, 3.0, 1.0, 2.0) == 3.0
+        assert registry.get("abs")(REAL, -3.0) == 3.0
+
+
+class TestRegistryMechanics:
+    def test_unknown_function_raises(self):
+        with pytest.raises(EvaluationError):
+            default_registry().get("no-such-function")
+
+    def test_arity_checking(self):
+        registry = default_registry()
+        with pytest.raises(EvaluationError):
+            registry.get("div")(REAL, 1.0)
+
+    def test_variadic_requires_at_least_one_argument(self):
+        registry = default_registry()
+        with pytest.raises(EvaluationError):
+            registry.get("mul")(REAL)
+
+    def test_register_simple(self):
+        registry = FunctionRegistry()
+        registry.register_simple("double", 1, lambda x: 2 * x)
+        assert registry.get("double")(REAL, 3.0) == 6.0
+
+    def test_duplicate_registration_raises(self):
+        registry = default_registry()
+        with pytest.raises(EvaluationError):
+            registry.register(PointwiseFunction("div", 2, lambda s, a, b: a))
+
+    def test_overwrite_allowed_when_requested(self):
+        registry = default_registry()
+        registry.register(
+            PointwiseFunction("div", 2, lambda s, a, b: 42.0), overwrite=True
+        )
+        assert registry.get("div")(REAL, 1.0, 1.0) == 42.0
+
+    def test_copy_is_independent(self):
+        registry = default_registry()
+        clone = registry.copy()
+        clone.register_simple("extra", 1, lambda x: x)
+        assert "extra" in clone
+        assert "extra" not in registry
+
+    def test_names_listing(self):
+        assert "div" in default_registry().names()

@@ -1,0 +1,94 @@
+"""Unit tests for MATLANG instances."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.matlang.instance import Instance
+from repro.matlang.schema import Schema
+from repro.semiring import BOOLEAN, NATURAL, REAL
+
+
+class TestConstruction:
+    def test_basic_instance(self):
+        schema = Schema({"A": ("alpha", "alpha"), "v": ("alpha", "1")})
+        instance = Instance(schema, {"alpha": 2}, {"A": np.eye(2), "v": [1.0, 2.0]})
+        assert instance.dimension("alpha") == 2
+        assert instance.matrix("v").shape == (2, 1)
+
+    def test_scalar_symbol_dimension_is_one(self):
+        schema = Schema({"A": ("alpha", "alpha")})
+        instance = Instance(schema, {"alpha": 3}, {})
+        assert instance.dimension("1") == 1
+
+    def test_shape_mismatch_raises(self):
+        schema = Schema({"A": ("alpha", "alpha")})
+        with pytest.raises(SchemaError):
+            Instance(schema, {"alpha": 3}, {"A": np.eye(2)})
+
+    def test_undeclared_matrix_raises(self):
+        schema = Schema({"A": ("alpha", "alpha")})
+        with pytest.raises(SchemaError):
+            Instance(schema, {"alpha": 2}, {"B": np.eye(2)})
+
+    def test_non_positive_dimension_raises(self):
+        schema = Schema({"A": ("alpha", "alpha")})
+        with pytest.raises(SchemaError):
+            Instance(schema, {"alpha": 0}, {})
+
+    def test_unknown_symbol_dimension_raises(self):
+        schema = Schema({"A": ("alpha", "alpha")})
+        instance = Instance(schema, {"alpha": 2}, {})
+        with pytest.raises(SchemaError):
+            instance.dimension("beta")
+
+    def test_missing_matrix_raises(self):
+        schema = Schema({"A": ("alpha", "alpha")})
+        instance = Instance(schema, {"alpha": 2}, {})
+        with pytest.raises(SchemaError):
+            instance.matrix("A")
+
+
+class TestFromMatrices:
+    def test_infers_square_and_vector_types(self):
+        instance = Instance.from_matrices({"A": np.eye(3), "v": [1.0, 2.0, 3.0]})
+        assert instance.schema.size("A") == ("alpha", "alpha")
+        assert instance.schema.size("v") == ("alpha", "1")
+        assert instance.dimension("alpha") == 3
+
+    def test_scalar_variable(self):
+        instance = Instance.from_matrices({"c": 5.0, "A": np.eye(2)})
+        assert instance.schema.size("c") == ("1", "1")
+
+    def test_row_vector(self):
+        instance = Instance.from_matrices({"r": np.ones((1, 3)), "A": np.eye(3)})
+        assert instance.schema.size("r") == ("1", "alpha")
+
+    def test_conflicting_dimensions_raise(self):
+        with pytest.raises(SchemaError):
+            Instance.from_matrices({"A": np.eye(3), "B": np.eye(4)})
+
+    def test_explicit_dimension_conflict_raises(self):
+        with pytest.raises(SchemaError):
+            Instance.from_matrices({"A": np.eye(3)}, dimensions={"alpha": 4})
+
+    def test_other_semirings(self):
+        instance = Instance.from_matrices({"A": np.array([[0, 1], [1, 0]])}, semiring=BOOLEAN)
+        assert instance.matrix("A")[0, 1] is True
+
+    def test_natural_semiring_rejects_negative_entries(self):
+        with pytest.raises(Exception):
+            Instance.from_matrices({"A": np.array([[-1, 0], [0, 0]])}, semiring=NATURAL)
+
+
+class TestUpdates:
+    def test_with_matrix_creates_new_instance(self):
+        instance = Instance.from_matrices({"A": np.eye(2), "v": [0.0, 0.0]})
+        updated = instance.with_matrix("v", [1.0, 1.0])
+        assert np.allclose(np.asarray(updated.matrix("v"), float).ravel(), [1.0, 1.0])
+        assert np.allclose(np.asarray(instance.matrix("v"), float).ravel(), [0.0, 0.0])
+
+    def test_shape_helpers(self):
+        instance = Instance.from_matrices({"A": np.eye(3), "v": [1.0, 2.0, 3.0]})
+        assert instance.shape_of("A") == (3, 3)
+        assert instance.shape_of_type(("alpha", "1")) == (3, 1)

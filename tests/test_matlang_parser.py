@@ -1,0 +1,132 @@
+"""Unit tests for the surface-syntax parser and the pretty printer."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParseError
+from repro.matlang.ast import (
+    Add,
+    Apply,
+    Diag,
+    ForLoop,
+    HadamardLoop,
+    Literal,
+    MatMul,
+    OneVector,
+    ProductLoop,
+    ScalarMul,
+    SumLoop,
+    Transpose,
+    TypeHint,
+    Var,
+)
+from repro.matlang.builder import forloop, had, hint, lit, prod, ssum, var
+from repro.matlang.evaluator import evaluate
+from repro.matlang.instance import Instance
+from repro.matlang.parser import parse, tokenize
+from repro.matlang.printer import to_text
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        kinds = [token.kind for token in tokenize("A + 2 .* v'")]
+        assert kinds == ["name", "+", "number", ".*", "name", "'", "end"]
+
+    def test_comments_and_whitespace_skipped(self):
+        tokens = tokenize("A # a comment\n + B")
+        assert [t.text for t in tokens if t.kind != "end"] == ["A", "+", "B"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            tokenize("A ? B")
+
+
+class TestParsing:
+    def test_variables_and_operators(self):
+        assert parse("A") == Var("A")
+        assert parse("A + B") == Add(Var("A"), Var("B"))
+        assert parse("A * B") == MatMul(Var("A"), Var("B"))
+        assert parse("2 .* A") == ScalarMul(Literal(2.0), Var("A"))
+        assert parse("A'") == Transpose(Var("A"))
+
+    def test_precedence(self):
+        assert parse("A + B * C") == Add(Var("A"), MatMul(Var("B"), Var("C")))
+        assert parse("(A + B) * C") == MatMul(Add(Var("A"), Var("B")), Var("C"))
+
+    def test_left_associativity(self):
+        assert parse("A + B + C") == Add(Add(Var("A"), Var("B")), Var("C"))
+        assert parse("A * B * C") == MatMul(MatMul(Var("A"), Var("B")), Var("C"))
+
+    def test_builtins(self):
+        assert parse("ones(A)") == OneVector(Var("A"))
+        assert parse("diag(ones(A))") == Diag(OneVector(Var("A")))
+        assert parse("hint(A, alpha, 1)") == TypeHint(Var("A"), "alpha", "1")
+        assert parse("hint(A, _, _)") == TypeHint(Var("A"), None, None)
+
+    def test_function_application(self):
+        assert parse("div(A, B)") == Apply("div", (Var("A"), Var("B")))
+        assert parse("gt0(A)") == Apply("gt0", (Var("A"),))
+
+    def test_loops(self):
+        assert parse("for v, X . X + v") == ForLoop("v", "X", Add(Var("X"), Var("v")))
+        assert parse("for v, X = A . X * A") == ForLoop(
+            "v", "X", MatMul(Var("X"), Var("A")), Var("A")
+        )
+        assert parse("sum v . v' * A * v") == SumLoop(
+            "v", MatMul(MatMul(Transpose(Var("v")), Var("A")), Var("v"))
+        )
+        assert isinstance(parse("prod v . A"), ProductLoop)
+        assert isinstance(parse("had v . A"), HadamardLoop)
+
+    def test_loop_body_extends_right(self):
+        parsed = parse("for v, X . X + v * v'")
+        assert isinstance(parsed, ForLoop)
+        assert parsed.body == Add(Var("X"), MatMul(Var("v"), Transpose(Var("v"))))
+
+    def test_keyword_cannot_be_variable(self):
+        with pytest.raises(ParseError):
+            parse("for for, X . X")
+
+    def test_trailing_input_rejected(self):
+        with pytest.raises(ParseError):
+            parse("A + B )")
+
+    def test_numbers(self):
+        assert parse("2.5") == Literal(2.5)
+        assert parse("1e2") == Literal(100.0)
+
+    def test_nested_quantifiers(self):
+        parsed = parse("sum u . sum v . u' * A * v")
+        assert isinstance(parsed, SumLoop)
+        assert isinstance(parsed.body, SumLoop)
+
+
+class TestRoundTrip:
+    EXPRESSIONS = [
+        var("A") + var("B") @ var("C"),
+        lit(2) * (var("A") + var("B")),
+        hint(forloop("v", "X", var("X") + var("v")), "alpha", "1"),
+        ssum("v", var("v").T @ var("A") @ var("v")),
+        prod("v", Diag(OneVector(var("A"))) + var("A")),
+        had("v", var("v").T @ var("A") @ var("v")),
+        forloop("v", "X", var("X") @ var("A"), init=var("A")),
+        Apply("div", (lit(1), var("c"))),
+        lit(-1) * var("A"),
+    ]
+
+    @pytest.mark.parametrize("expression", EXPRESSIONS, ids=lambda e: to_text(e)[:40])
+    def test_parse_print_roundtrip(self, expression):
+        assert parse(to_text(expression)) == expression
+
+    def test_printed_text_evaluates_identically(self, square_instance):
+        from repro.stdlib import trace
+
+        expression = trace("A")
+        reparsed = parse(to_text(expression))
+        assert np.allclose(
+            evaluate(expression, square_instance), evaluate(reparsed, square_instance)
+        )
+
+    def test_printer_handles_negative_literals(self):
+        text = to_text(lit(-1) * var("A"))
+        assert parse(text) == lit(-1) * var("A")

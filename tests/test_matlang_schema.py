@@ -1,0 +1,81 @@
+"""Unit tests for MATLANG schemas."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.matlang.schema import (
+    SCALAR_SYMBOL,
+    Schema,
+    scalar_type,
+    square_type,
+    transpose_type,
+    vector_type,
+)
+
+
+class TestTypeHelpers:
+    def test_scalar_vector_square(self):
+        assert scalar_type() == ("1", "1")
+        assert vector_type("alpha") == ("alpha", "1")
+        assert square_type("alpha") == ("alpha", "alpha")
+
+    def test_transpose_type(self):
+        assert transpose_type(("alpha", "beta")) == ("beta", "alpha")
+
+
+class TestSchema:
+    def test_basic_lookup(self):
+        schema = Schema({"A": ("alpha", "alpha"), "v": ("alpha", "1")})
+        assert schema.size("A") == ("alpha", "alpha")
+        assert schema.declares("v")
+        assert not schema.declares("w")
+
+    def test_unknown_variable_raises(self):
+        with pytest.raises(SchemaError):
+            Schema({}).size("A")
+
+    def test_invalid_type_shape_raises(self):
+        with pytest.raises(SchemaError):
+            Schema({"A": ("alpha",)})
+
+    def test_invalid_symbol_type_raises(self):
+        with pytest.raises(SchemaError):
+            Schema({"A": (1, 2)})
+
+    def test_of_and_square_constructors(self):
+        assert Schema.of(A=("alpha", "alpha")).size("A") == ("alpha", "alpha")
+        schema = Schema.square("A", "B", symbol="gamma")
+        assert schema.size("B") == ("gamma", "gamma")
+
+    def test_with_variable_returns_copy(self):
+        schema = Schema({"A": ("alpha", "alpha")})
+        extended = schema.with_variable("v", ("alpha", "1"))
+        assert extended.declares("v")
+        assert not schema.declares("v")
+
+    def test_merged_with_conflict(self):
+        left = Schema({"A": ("alpha", "alpha")})
+        right = Schema({"A": ("beta", "beta")})
+        with pytest.raises(SchemaError):
+            left.merged_with(right)
+
+    def test_merged_with_union(self):
+        left = Schema({"A": ("alpha", "alpha")})
+        right = Schema({"v": ("alpha", "1")})
+        merged = left.merged_with(right)
+        assert set(merged.variables()) == {"A", "v"}
+
+    def test_symbols_always_contain_scalar(self):
+        schema = Schema({"A": ("alpha", "beta")})
+        assert SCALAR_SYMBOL in schema.symbols()
+        assert set(schema.symbols()) == {"1", "alpha", "beta"}
+
+    def test_square_schema_detection(self):
+        assert Schema({"A": ("alpha", "alpha"), "v": ("alpha", "1")}).is_square_schema()
+        assert not Schema({"A": ("alpha", "beta")}).is_square_schema()
+
+    def test_container_protocol(self):
+        schema = Schema({"A": ("alpha", "alpha"), "B": ("alpha", "1")})
+        assert "A" in schema
+        assert sorted(schema) == ["A", "B"]
+        assert len(schema) == 2

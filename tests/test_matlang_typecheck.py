@@ -1,0 +1,146 @@
+"""Unit tests for MATLANG type inference (the typing relation of Section 2/3.1)."""
+
+import pytest
+
+from repro.exceptions import TypingError
+from repro.matlang.ast import Diag, OneVector
+from repro.matlang.builder import apply, forloop, had, hint, lit, prod, ssum, var
+from repro.matlang.schema import Schema
+from repro.matlang.typecheck import annotate, infer_type, is_well_typed
+
+SCHEMA = Schema({"A": ("alpha", "alpha"), "v": ("alpha", "1"), "B": ("alpha", "beta")})
+
+
+class TestCoreTypingRules:
+    def test_variable(self):
+        assert infer_type(var("A"), SCHEMA) == ("alpha", "alpha")
+
+    def test_undeclared_variable_raises(self):
+        with pytest.raises(TypingError):
+            infer_type(var("Z"), SCHEMA)
+
+    def test_transpose_swaps(self):
+        assert infer_type(var("B").T, SCHEMA) == ("beta", "alpha")
+
+    def test_ones_vector(self):
+        assert infer_type(OneVector(var("B")), SCHEMA) == ("alpha", "1")
+
+    def test_diag_requires_vector(self):
+        assert infer_type(Diag(var("v")), SCHEMA) == ("alpha", "alpha")
+        with pytest.raises(TypingError):
+            infer_type(Diag(var("A")), SCHEMA)
+
+    def test_matmul_chains_inner_symbols(self):
+        assert infer_type(var("A") @ var("B"), SCHEMA) == ("alpha", "beta")
+
+    def test_matmul_mismatch(self):
+        with pytest.raises(TypingError):
+            infer_type(var("B") @ var("B"), SCHEMA)
+
+    def test_addition_requires_equal_types(self):
+        assert infer_type(var("A") + var("A"), SCHEMA) == ("alpha", "alpha")
+        with pytest.raises(TypingError):
+            infer_type(var("A") + var("B"), SCHEMA)
+
+    def test_scalar_multiplication_requires_scalar_left(self):
+        assert infer_type(lit(2) * var("B"), SCHEMA) == ("alpha", "beta")
+        with pytest.raises(TypingError):
+            infer_type(var("A") * var("B"), SCHEMA)
+
+    def test_quadratic_form_is_scalar(self):
+        assert infer_type(var("v").T @ var("A") @ var("v"), SCHEMA) == ("1", "1")
+
+    def test_pointwise_application_requires_equal_types(self):
+        assert infer_type(apply("mul", var("A"), var("A")), SCHEMA) == ("alpha", "alpha")
+        with pytest.raises(TypingError):
+            infer_type(apply("mul", var("A"), var("B")), SCHEMA)
+
+    def test_literal_is_scalar(self):
+        assert infer_type(lit(3), SCHEMA) == ("1", "1")
+
+
+class TestLoopTyping:
+    def test_for_loop_type_matches_accumulator(self):
+        loop = forloop("w", "X", var("X") + var("w") @ var("w").T @ var("A"))
+        assert infer_type(loop, SCHEMA) == ("alpha", "alpha")
+
+    def test_declared_bound_variables_use_schema_types(self):
+        schema = Schema(
+            {"A": ("alpha", "alpha"), "w": ("alpha", "1"), "X": ("alpha", "1")}
+        )
+        loop = forloop("w", "X", var("X") + var("w"))
+        assert infer_type(loop, schema) == ("alpha", "1")
+
+    def test_iterator_must_be_vector(self):
+        schema = Schema({"A": ("alpha", "alpha"), "w": ("alpha", "alpha")})
+        loop = forloop("w", "X", var("X") + var("A"))
+        with pytest.raises(TypingError):
+            infer_type(loop, schema)
+
+    def test_body_must_match_accumulator(self):
+        schema = Schema({"A": ("alpha", "beta"), "X": ("alpha", "alpha")})
+        loop = forloop("w", "X", var("A"))
+        with pytest.raises(TypingError):
+            infer_type(loop, schema)
+
+    def test_initialiser_constrains_accumulator(self):
+        loop = forloop("w", "X", var("X") @ var("A"), init=var("A"))
+        assert infer_type(loop, SCHEMA) == ("alpha", "alpha")
+
+    def test_sum_quantifier(self):
+        assert infer_type(ssum("w", var("w").T @ var("A") @ var("w")), SCHEMA) == ("1", "1")
+
+    def test_product_quantifier_requires_square_body(self):
+        assert infer_type(prod("w", var("A")), SCHEMA) == ("alpha", "alpha")
+        with pytest.raises(TypingError):
+            infer_type(prod("w", var("B")), SCHEMA)
+
+    def test_hadamard_quantifier(self):
+        assert infer_type(had("w", var("A")), SCHEMA) == ("alpha", "alpha")
+
+    def test_type_hint_anchors_unconstrained_dimensions(self):
+        schema = Schema({"A": ("alpha", "alpha"), "C": ("gamma", "gamma")})
+        loop = hint(forloop("w", "X", var("w")), "gamma", "1")
+        typed = annotate(loop, schema)
+        assert typed.type == ("gamma", "1")
+        assert typed.children[0].iterator_symbol == "gamma"
+
+    def test_type_hint_conflict_raises(self):
+        with pytest.raises(TypingError):
+            infer_type(hint(var("A"), "beta", None), SCHEMA)
+
+    def test_default_symbol_resolves_free_iterators(self):
+        schema = Schema({"A": ("alpha", "alpha")})
+        typed = annotate(forloop("w", "X", var("w")), schema)
+        # The schema has a single non-scalar symbol, so the otherwise
+        # unconstrained loop defaults to it (square-schema convention).
+        assert typed.iterator_symbol == "alpha"
+
+    def test_two_symbol_schema_leaves_iterator_unresolved(self):
+        schema = Schema({"A": ("alpha", "alpha"), "B": ("beta", "beta")})
+        typed = annotate(forloop("w", "X", var("w")), schema)
+        assert typed.iterator_symbol.startswith("?")
+
+
+class TestAnnotation:
+    def test_annotated_tree_mirrors_expression(self):
+        expression = ssum("w", var("w").T @ var("A") @ var("w"))
+        typed = annotate(expression, SCHEMA)
+        assert typed.expression is expression
+        assert len(typed.children) == 1
+
+    def test_free_names_recorded(self):
+        expression = ssum("w", var("w").T @ var("A") @ var("w"))
+        typed = annotate(expression, SCHEMA)
+        assert typed.free_names == {"A"}
+        body = typed.children[0]
+        assert "w" in body.free_names
+
+    def test_is_well_typed_helper(self):
+        assert is_well_typed(var("A") @ var("A"), SCHEMA)
+        assert not is_well_typed(var("B") @ var("B"), SCHEMA)
+
+    def test_shadowing_of_loop_variables(self):
+        inner = forloop("w", "X", var("X") + var("w") @ var("w").T @ var("A"))
+        outer = forloop("w", "Y", var("Y") + inner)
+        assert infer_type(outer, SCHEMA) == ("alpha", "alpha")

@@ -1,0 +1,92 @@
+"""Hypothesis property tests for the MATLANG evaluator and the translations."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.kalgebra.matlang_to_ra import evaluate_via_relational
+from repro.matlang.builder import lit, ssum, var
+from repro.matlang.evaluator import evaluate
+from repro.matlang.instance import Instance
+from repro.matlang.parser import parse
+from repro.matlang.printer import to_text
+from repro.stdlib import trace, transitive_closure_indicator
+from repro.experiments.workloads import random_sum_matlang_expression, reachability_closure
+
+matrices = hnp.arrays(
+    dtype=np.float64,
+    shape=(3, 3),
+    elements=st.floats(min_value=-3, max_value=3, allow_nan=False, width=32),
+)
+
+small_int_matrices = hnp.arrays(
+    dtype=np.int64, shape=(3, 3), elements=st.integers(min_value=0, max_value=3)
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(matrix=matrices)
+def test_evaluator_matches_numpy_on_core_algebra(matrix):
+    instance = Instance.from_matrices({"A": matrix})
+    expression = var("A") @ var("A") + lit(2) * var("A").T
+    assert np.allclose(
+        np.asarray(evaluate(expression, instance), float), matrix @ matrix + 2 * matrix.T
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(matrix=matrices)
+def test_trace_is_linear(matrix):
+    instance = Instance.from_matrices({"A": matrix})
+    doubled = Instance.from_matrices({"A": 2 * matrix})
+    assert np.isclose(
+        2 * evaluate(trace("A"), instance)[0, 0], evaluate(trace("A"), doubled)[0, 0]
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(matrix=matrices)
+def test_sum_quantifier_equals_identity_decomposition(matrix):
+    """Sigma_v (v . v^T) . A = A: canonical vectors decompose the identity."""
+    instance = Instance.from_matrices({"A": matrix})
+    expression = ssum("v", (var("v") @ var("v").T) @ var("A"))
+    assert np.allclose(np.asarray(evaluate(expression, instance), float), matrix)
+
+
+@settings(max_examples=20, deadline=None)
+@given(matrix=small_int_matrices)
+def test_transitive_closure_matches_reference(matrix):
+    adjacency = (matrix > 1).astype(float)
+    np.fill_diagonal(adjacency, 0.0)
+    instance = Instance.from_matrices({"A": adjacency})
+    result = np.asarray(evaluate(transitive_closure_indicator("A"), instance), float)
+    assert np.allclose(result, reachability_closure(adjacency))
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_random_sum_matlang_expressions_roundtrip_through_text(seed):
+    expression = random_sum_matlang_expression(seed, depth=3)
+    assert parse(to_text(expression)) == expression
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000), matrix=small_int_matrices)
+def test_random_sum_matlang_expressions_agree_with_ra_translation(seed, matrix):
+    """Property form of Proposition 6.3 on random expressions and inputs."""
+    expression = random_sum_matlang_expression(seed, depth=2)
+    instance = Instance.from_matrices(
+        {"A": matrix.astype(float), "B": matrix.T.astype(float)}
+    )
+    direct = np.asarray(evaluate(expression, instance), float)
+    via = np.asarray(evaluate_via_relational(expression, instance), float)
+    assert np.allclose(direct, via)
+
+
+@settings(max_examples=20, deadline=None)
+@given(matrix=matrices, scale=st.floats(min_value=-2, max_value=2, allow_nan=False))
+def test_scalar_multiplication_commutes_with_evaluation(matrix, scale):
+    instance = Instance.from_matrices({"A": matrix})
+    scaled = evaluate(lit(scale) * var("A"), instance)
+    assert np.allclose(np.asarray(scaled, float), scale * matrix)

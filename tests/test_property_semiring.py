@@ -1,0 +1,128 @@
+"""Hypothesis property tests for semiring axioms and matrix algebra laws."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.semiring import BOOLEAN, MAX_PLUS, MIN_PLUS, NATURAL, REAL
+from repro.semiring.provenance import PROVENANCE
+
+SEMIRING_VALUES = {
+    "real": st.floats(min_value=-10, max_value=10, allow_nan=False),
+    "natural": st.integers(min_value=0, max_value=50),
+    "boolean": st.booleans(),
+    "min_plus": st.one_of(st.just(math.inf), st.floats(min_value=-10, max_value=10, allow_nan=False)),
+    "max_plus": st.one_of(st.just(-math.inf), st.floats(min_value=-10, max_value=10, allow_nan=False)),
+    "provenance": st.sampled_from(["p", "q", "r", 0, 1, 2]),
+}
+
+SEMIRINGS = {
+    "real": REAL,
+    "natural": NATURAL,
+    "boolean": BOOLEAN,
+    "min_plus": MIN_PLUS,
+    "max_plus": MAX_PLUS,
+    "provenance": PROVENANCE,
+}
+
+
+def triples(name):
+    values = SEMIRING_VALUES[name]
+    return st.tuples(values, values, values)
+
+
+def _check_axioms(semiring, raw_triple):
+    a, b, c = (semiring.coerce(value) for value in raw_triple)
+    # Commutativity.
+    assert semiring.equal(semiring.plus(a, b), semiring.plus(b, a))
+    assert semiring.equal(semiring.times(a, b), semiring.times(b, a))
+    # Associativity.
+    assert semiring.close_to(
+        semiring.plus(semiring.plus(a, b), c), semiring.plus(a, semiring.plus(b, c)), 1e-6
+    )
+    assert semiring.close_to(
+        semiring.times(semiring.times(a, b), c), semiring.times(a, semiring.times(b, c)), 1e-6
+    )
+    # Identities and annihilation.
+    assert semiring.equal(semiring.plus(a, semiring.zero), a)
+    assert semiring.equal(semiring.times(a, semiring.one), a)
+    assert semiring.equal(semiring.times(a, semiring.zero), semiring.zero)
+    # Distributivity.
+    assert semiring.close_to(
+        semiring.times(a, semiring.plus(b, c)),
+        semiring.plus(semiring.times(a, b), semiring.times(a, c)),
+        1e-6,
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(triple=triples("real"))
+def test_real_axioms(triple):
+    _check_axioms(REAL, triple)
+
+
+@settings(max_examples=60, deadline=None)
+@given(triple=triples("natural"))
+def test_natural_axioms(triple):
+    _check_axioms(NATURAL, triple)
+
+
+@settings(max_examples=60, deadline=None)
+@given(triple=triples("boolean"))
+def test_boolean_axioms(triple):
+    _check_axioms(BOOLEAN, triple)
+
+
+@settings(max_examples=60, deadline=None)
+@given(triple=triples("min_plus"))
+def test_min_plus_axioms(triple):
+    _check_axioms(MIN_PLUS, triple)
+
+
+@settings(max_examples=60, deadline=None)
+@given(triple=triples("max_plus"))
+def test_max_plus_axioms(triple):
+    _check_axioms(MAX_PLUS, triple)
+
+
+@settings(max_examples=40, deadline=None)
+@given(triple=triples("provenance"))
+def test_provenance_axioms(triple):
+    _check_axioms(PROVENANCE, triple)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    data=st.lists(
+        st.lists(st.integers(min_value=0, max_value=5), min_size=3, max_size=3),
+        min_size=3,
+        max_size=3,
+    ),
+    assignment=st.fixed_dictionaries(
+        {"p": st.integers(0, 5), "q": st.integers(0, 5), "r": st.integers(0, 5)}
+    ),
+)
+def test_provenance_specialisation_commutes_with_matmul(data, assignment):
+    """The universal property of N[X]: specialise-then-multiply equals multiply-then-specialise."""
+    tokens = np.array(
+        [[PROVENANCE.coerce(token) for token in row] for row in [["p", "q", "r"]] * 3],
+        dtype=object,
+    )
+    numeric = np.array(data, dtype=float)
+    scaled = np.empty((3, 3), dtype=object)
+    for i in range(3):
+        for j in range(3):
+            scaled[i, j] = PROVENANCE.times(tokens[i, j], PROVENANCE.coerce(int(numeric[i, j])))
+    product = PROVENANCE.matmul(scaled, scaled)
+    specialised_after = np.array(
+        [[product[i, j].evaluate(REAL, assignment) for j in range(3)] for i in range(3)]
+    )
+    specialised_before = np.array(
+        [
+            [scaled[i, j].evaluate(REAL, assignment) for j in range(3)]
+            for i in range(3)
+        ]
+    )
+    assert np.allclose(specialised_after, specialised_before @ specialised_before)

@@ -1,0 +1,135 @@
+"""Unit tests for the semiring matrix helpers and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SemiringError
+from repro.semiring import (
+    BOOLEAN,
+    NATURAL,
+    REAL,
+    Semiring,
+    available_semirings,
+    canonical_vector,
+    from_rows,
+    get_semiring,
+    identity,
+    lift,
+    matrices_equal,
+    ones_matrix,
+    register_semiring,
+    scalar,
+    scalar_value,
+    zeros,
+)
+
+
+class TestConstructors:
+    def test_zeros_and_ones(self):
+        assert np.allclose(zeros(REAL, 2, 3), np.zeros((2, 3)))
+        assert np.allclose(ones_matrix(REAL, 2, 2), np.ones((2, 2)))
+
+    def test_identity(self):
+        assert np.allclose(identity(REAL, 3), np.eye(3))
+        boolean_identity = identity(BOOLEAN, 2)
+        assert boolean_identity[0, 0] is True and boolean_identity[0, 1] is False
+
+    def test_canonical_vector(self):
+        vector = canonical_vector(REAL, 4, 2)
+        assert vector.shape == (4, 1)
+        assert vector[2, 0] == 1.0 and vector.sum() == 1.0
+
+    def test_canonical_vector_out_of_range(self):
+        with pytest.raises(SemiringError):
+            canonical_vector(REAL, 3, 3)
+
+    def test_scalar_roundtrip(self):
+        wrapped = scalar(REAL, 2.5)
+        assert wrapped.shape == (1, 1)
+        assert scalar_value(wrapped) == 2.5
+
+    def test_scalar_value_requires_1x1(self):
+        with pytest.raises(SemiringError):
+            scalar_value(np.zeros((2, 2)))
+
+    def test_from_rows(self):
+        matrix = from_rows(NATURAL, [[1, 2], [3, 4]])
+        assert matrix[1, 0] == 3
+
+    def test_from_rows_ragged_raises(self):
+        with pytest.raises(SemiringError):
+            from_rows(REAL, [[1, 2], [3]])
+
+    def test_from_rows_empty_raises(self):
+        with pytest.raises(SemiringError):
+            from_rows(REAL, [])
+
+
+class TestLift:
+    def test_lift_scalar(self):
+        assert lift(REAL, 3).shape == (1, 1)
+
+    def test_lift_vector_becomes_column(self):
+        assert lift(REAL, [1.0, 2.0, 3.0]).shape == (3, 1)
+
+    def test_lift_matrix_keeps_shape(self):
+        assert lift(REAL, np.eye(2)).shape == (2, 2)
+
+    def test_lift_rejects_3d(self):
+        with pytest.raises(SemiringError):
+            lift(REAL, np.zeros((2, 2, 2)))
+
+    def test_lift_coerces_into_semiring(self):
+        lifted = lift(BOOLEAN, np.array([[0, 2], [1, 0]]))
+        assert lifted[0, 1] is True and lifted[0, 0] is False
+
+
+class TestEquality:
+    def test_matrices_equal(self):
+        assert matrices_equal(REAL, np.eye(2), np.eye(2) + 1e-12)
+        assert not matrices_equal(REAL, np.eye(2), np.zeros((2, 2)))
+
+    def test_shape_mismatch_is_not_equal(self):
+        assert not matrices_equal(REAL, np.eye(2), np.eye(3))
+
+
+class TestRegistry:
+    def test_builtin_semirings_registered(self):
+        names = available_semirings()
+        for expected in ("real", "natural", "boolean", "min_plus", "max_plus", "provenance"):
+            assert expected in names
+
+    def test_get_semiring(self):
+        assert get_semiring("real") is REAL
+
+    def test_get_unknown_semiring(self):
+        with pytest.raises(SemiringError):
+            get_semiring("no-such-semiring")
+
+    def test_register_duplicate_raises(self):
+        with pytest.raises(SemiringError):
+            register_semiring(REAL)
+
+    def test_register_custom_semiring(self):
+        class MaxMin(Semiring):
+            name = "test_max_min"
+
+            @property
+            def zero(self):
+                return 0.0
+
+            @property
+            def one(self):
+                return float("inf")
+
+            def plus(self, left, right):
+                return max(left, right)
+
+            def times(self, left, right):
+                return min(left, right)
+
+            def coerce(self, value):
+                return float(value)
+
+        register_semiring(MaxMin())
+        assert get_semiring("test_max_min").plus(1.0, 2.0) == 2.0

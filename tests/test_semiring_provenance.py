@@ -1,0 +1,89 @@
+"""Unit tests for the provenance polynomial semiring N[X]."""
+
+import pytest
+
+from repro.exceptions import SemiringError
+from repro.semiring import NATURAL, REAL, Monomial, Polynomial, ProvenanceSemiring
+
+PROV = ProvenanceSemiring()
+
+
+class TestMonomial:
+    def test_unit_and_variable(self):
+        assert str(Monomial.unit()) == "1"
+        assert str(Monomial.variable("p")) == "p"
+
+    def test_multiplication_merges_exponents(self):
+        product = Monomial.variable("p").times(Monomial.variable("p"))
+        assert product == Monomial.from_mapping({"p": 2})
+        assert product.degree() == 2
+
+    def test_from_mapping_drops_zero_exponents(self):
+        assert Monomial.from_mapping({"p": 0, "q": 1}) == Monomial.variable("q")
+
+
+class TestPolynomial:
+    def test_zero_and_one(self):
+        assert str(Polynomial.zero()) == "0"
+        assert str(Polynomial.one()) == "1"
+
+    def test_addition_collects_terms(self):
+        p = Polynomial.variable("p")
+        assert str(p.plus(p)) == "2*p"
+
+    def test_multiplication_distributes(self):
+        p, q = Polynomial.variable("p"), Polynomial.variable("q")
+        product = p.plus(q).times(p)
+        assert product == p.times(p).plus(p.times(q))
+
+    def test_degree(self):
+        p, q = Polynomial.variable("p"), Polynomial.variable("q")
+        assert p.times(q).plus(p).degree() == 2
+        assert Polynomial.zero().degree() == 0
+
+    def test_tokens(self):
+        p, q = Polynomial.variable("p"), Polynomial.variable("q")
+        assert p.times(q).tokens() == ("p", "q")
+
+    def test_constant_rejects_negative(self):
+        with pytest.raises(SemiringError):
+            Polynomial.constant(-1)
+
+    def test_evaluate_specialises_tokens(self):
+        p, q = Polynomial.variable("p"), Polynomial.variable("q")
+        polynomial = p.times(q).plus(p)  # p*q + p
+        assert polynomial.evaluate(REAL, {"p": 2.0, "q": 3.0}) == 8.0
+        assert polynomial.evaluate(NATURAL, {"p": 2, "q": 3}) == 8
+
+    def test_evaluate_missing_token_raises(self):
+        with pytest.raises(SemiringError):
+            Polynomial.variable("p").evaluate(REAL, {})
+
+
+class TestProvenanceSemiring:
+    def test_coerce_strings_to_tokens(self):
+        assert PROV.coerce("p") == Polynomial.variable("p")
+
+    def test_coerce_integers(self):
+        assert PROV.coerce(3) == Polynomial.constant(3)
+
+    def test_plus_and_times(self):
+        p, q = PROV.coerce("p"), PROV.coerce("q")
+        assert str(PROV.plus(p, q)) == "p + q"
+        assert str(PROV.times(p, q)) == "p*q"
+
+    def test_homomorphism_property(self):
+        """Evaluation in any semiring commutes with the N[X] operations."""
+        p, q = PROV.coerce("p"), PROV.coerce("q")
+        combined = PROV.plus(PROV.times(p, q), p)
+        assignment = {"p": 5.0, "q": 2.0}
+        direct = combined.evaluate(REAL, assignment)
+        manual = 5.0 * 2.0 + 5.0
+        assert direct == manual
+
+    def test_zero_annihilates(self):
+        p = PROV.coerce("p")
+        assert PROV.times(p, PROV.zero) == PROV.zero
+
+    def test_tokens_helper(self):
+        assert PROV.tokens(["p", PROV.coerce("q")]) == ("p", "q")

@@ -1,0 +1,148 @@
+"""Unit tests for the standard semirings (reals, integers, naturals, booleans)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SemiringError
+from repro.semiring import BOOLEAN, INTEGER, NATURAL, REAL
+
+
+class TestRealField:
+    def test_identities(self):
+        assert REAL.zero == 0.0
+        assert REAL.one == 1.0
+
+    def test_plus_and_times(self):
+        assert REAL.plus(2.0, 3.5) == 5.5
+        assert REAL.times(2.0, 3.5) == 7.0
+
+    def test_is_field_and_ring(self):
+        assert REAL.is_field
+        assert REAL.is_ring
+
+    def test_divide(self):
+        assert REAL.divide(6.0, 3.0) == 2.0
+
+    def test_divide_by_zero_raises(self):
+        with pytest.raises(SemiringError):
+            REAL.divide(1.0, 0.0)
+
+    def test_negate(self):
+        assert REAL.negate(4.0) == -4.0
+
+    def test_coerce_bool_and_int(self):
+        assert REAL.coerce(True) == 1.0
+        assert REAL.coerce(7) == 7.0
+
+    def test_coerce_rejects_strings(self):
+        with pytest.raises(SemiringError):
+            REAL.coerce("not a number")
+
+    def test_close_to_uses_relative_tolerance(self):
+        assert REAL.close_to(1.0, 1.0 + 1e-12)
+        assert not REAL.close_to(1.0, 1.1)
+
+    def test_matrix_operations_use_numpy(self):
+        left = np.array([[1.0, 2.0], [3.0, 4.0]])
+        right = np.array([[0.0, 1.0], [1.0, 0.0]])
+        assert np.allclose(REAL.matmul(left, right), left @ right)
+        assert np.allclose(REAL.add_matrices(left, right), left + right)
+        assert np.allclose(REAL.hadamard(left, right), left * right)
+        assert np.allclose(REAL.scale(2.0, left), 2 * left)
+
+    def test_matmul_shape_mismatch(self):
+        with pytest.raises(SemiringError):
+            REAL.matmul(np.zeros((2, 3)), np.zeros((2, 3)))
+
+    def test_matrices_equal_tolerance(self):
+        left = np.eye(2)
+        right = np.eye(2) + 1e-12
+        assert REAL.matrices_equal(left, right)
+
+
+class TestIntegerRing:
+    def test_ring_structure(self):
+        assert INTEGER.is_ring
+        assert not INTEGER.is_field
+        assert INTEGER.negate(5) == -5
+
+    def test_division_not_supported(self):
+        with pytest.raises(SemiringError):
+            INTEGER.divide(4, 2)
+
+    def test_coerce_integral_float(self):
+        assert INTEGER.coerce(3.0) == 3
+
+    def test_coerce_rejects_fractions(self):
+        with pytest.raises(SemiringError):
+            INTEGER.coerce(3.5)
+
+
+class TestNaturalSemiring:
+    def test_identities_and_operations(self):
+        assert NATURAL.zero == 0
+        assert NATURAL.one == 1
+        assert NATURAL.plus(2, 3) == 5
+        assert NATURAL.times(2, 3) == 6
+
+    def test_rejects_negative(self):
+        with pytest.raises(SemiringError):
+            NATURAL.coerce(-1)
+
+    def test_no_additive_inverse(self):
+        with pytest.raises(SemiringError):
+            NATURAL.negate(1)
+
+    def test_sum_and_product_folds(self):
+        assert NATURAL.sum([1, 2, 3]) == 6
+        assert NATURAL.product([1, 2, 3]) == 6
+
+    def test_from_int(self):
+        assert NATURAL.from_int(7) == 7
+
+
+class TestBooleanSemiring:
+    def test_operations_are_or_and(self):
+        assert BOOLEAN.plus(True, False) is True
+        assert BOOLEAN.plus(False, False) is False
+        assert BOOLEAN.times(True, False) is False
+        assert BOOLEAN.times(True, True) is True
+
+    def test_coerce_numbers(self):
+        assert BOOLEAN.coerce(5) is True
+        assert BOOLEAN.coerce(0.0) is False
+
+    def test_matrix_multiplication_is_reachability(self):
+        adjacency = BOOLEAN.coerce_matrix(np.array([[0, 1], [0, 0]]))
+        squared = BOOLEAN.matmul(adjacency, adjacency)
+        assert squared[0, 1] is False or squared[0, 1] == False  # noqa: E712
+
+    def test_is_zero(self):
+        assert BOOLEAN.is_zero(False)
+        assert not BOOLEAN.is_zero(True)
+
+
+class TestGenericHelpers:
+    def test_from_int_fallback_via_repeated_addition(self):
+        assert BOOLEAN.from_int(3) is True
+        assert BOOLEAN.from_int(0) is False
+
+    def test_equality_of_semiring_objects(self):
+        assert REAL == REAL
+        assert REAL != NATURAL
+        assert hash(REAL) == hash(REAL)
+
+    def test_zeros_and_ones_shapes(self, any_semiring):
+        zeros = any_semiring.zeros(2, 3)
+        ones = any_semiring.ones(3, 2)
+        assert zeros.shape == (2, 3)
+        assert ones.shape == (3, 2)
+        assert all(any_semiring.is_zero(value) for value in zeros.ravel())
+
+    def test_identity_annihilation(self, any_semiring):
+        value = any_semiring.from_int(2)
+        assert any_semiring.equal(
+            any_semiring.times(value, any_semiring.zero), any_semiring.zero
+        )
+        assert any_semiring.equal(any_semiring.plus(value, any_semiring.zero), value)
+        assert any_semiring.equal(any_semiring.times(value, any_semiring.one), value)

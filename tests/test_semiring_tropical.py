@@ -1,0 +1,71 @@
+"""Unit tests for the tropical (min-plus) and arctic (max-plus) semirings."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SemiringError
+from repro.semiring import MAX_PLUS, MIN_PLUS
+
+
+class TestMinPlus:
+    def test_identities(self):
+        assert MIN_PLUS.zero == math.inf
+        assert MIN_PLUS.one == 0.0
+
+    def test_operations(self):
+        assert MIN_PLUS.plus(3.0, 5.0) == 3.0
+        assert MIN_PLUS.times(3.0, 5.0) == 8.0
+
+    def test_zero_annihilates(self):
+        assert MIN_PLUS.times(math.inf, 7.0) == math.inf
+
+    def test_matrix_power_computes_shortest_paths(self):
+        # Weighted graph: 0 -> 1 (cost 1), 1 -> 2 (cost 2), 0 -> 2 (cost 5).
+        inf = math.inf
+        weights = np.array(
+            [[inf, 1.0, 5.0], [inf, inf, 2.0], [inf, inf, inf]], dtype=object
+        )
+        weights = MIN_PLUS.coerce_matrix(weights)
+        two_hops = MIN_PLUS.matmul(weights, weights)
+        assert two_hops[0, 2] == 3.0  # the two-edge path is cheaper than the direct edge
+
+    def test_coerce_rejects_strings(self):
+        with pytest.raises(SemiringError):
+            MIN_PLUS.coerce("x")
+
+    def test_close_to_handles_infinities(self):
+        assert MIN_PLUS.close_to(math.inf, math.inf)
+        assert not MIN_PLUS.close_to(math.inf, 3.0)
+
+    def test_from_int(self):
+        assert MIN_PLUS.from_int(0) == math.inf
+        assert MIN_PLUS.from_int(3) == 0.0
+
+
+class TestMaxPlus:
+    def test_identities(self):
+        assert MAX_PLUS.zero == -math.inf
+        assert MAX_PLUS.one == 0.0
+
+    def test_operations(self):
+        assert MAX_PLUS.plus(3.0, 5.0) == 5.0
+        assert MAX_PLUS.times(3.0, 5.0) == 8.0
+
+    def test_zero_annihilates(self):
+        assert MAX_PLUS.times(-math.inf, 7.0) == -math.inf
+
+    def test_longest_path_semantics(self):
+        ninf = -math.inf
+        weights = MAX_PLUS.coerce_matrix(
+            np.array([[ninf, 1.0, 1.0], [ninf, ninf, 4.0], [ninf, ninf, ninf]], dtype=object)
+        )
+        two_hops = MAX_PLUS.matmul(weights, weights)
+        assert two_hops[0, 2] == 5.0
+
+    def test_semiring_axioms_spotcheck(self):
+        a, b, c = 1.0, 2.0, 3.0
+        left = MAX_PLUS.times(a, MAX_PLUS.plus(b, c))
+        right = MAX_PLUS.plus(MAX_PLUS.times(a, b), MAX_PLUS.times(a, c))
+        assert left == right

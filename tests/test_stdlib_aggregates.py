@@ -1,0 +1,58 @@
+"""Tests for repro.stdlib.aggregates."""
+
+import numpy as np
+
+from repro.matlang.evaluator import evaluate
+from repro.matlang.instance import Instance
+from repro.semiring import MIN_PLUS, NATURAL
+from repro.stdlib.aggregates import (
+    column_sums,
+    diagonal_product,
+    entry,
+    row_sums,
+    total_sum,
+    trace,
+)
+from repro.stdlib.order import e_min, min_plus
+
+
+class TestTrace:
+    def test_trace_matches_numpy(self, square_instance, square_matrix):
+        assert np.isclose(evaluate(trace("A"), square_instance)[0, 0], np.trace(square_matrix))
+
+    def test_trace_over_naturals(self):
+        matrix = np.array([[1, 2], [3, 4]])
+        instance = Instance.from_matrices({"A": matrix}, semiring=NATURAL)
+        assert evaluate(trace("A"), instance)[0, 0] == 5
+
+    def test_trace_over_min_plus_is_min_diagonal(self):
+        matrix = np.array([[3.0, 0.0], [0.0, 7.0]], dtype=object)
+        instance = Instance.from_matrices({"A": matrix}, semiring=MIN_PLUS)
+        assert evaluate(trace("A"), instance)[0, 0] == 3.0
+
+
+class TestDiagonalProduct:
+    def test_matches_numpy_product(self, square_instance, square_matrix):
+        expected = float(np.prod(np.diag(square_matrix)))
+        assert np.isclose(evaluate(diagonal_product("A"), square_instance)[0, 0], expected)
+
+    def test_value_can_be_exponential_in_dimension(self):
+        """Example 6.6: DP escapes sum-MATLANG because its values grow too fast."""
+        dimension = 10
+        instance = Instance.from_matrices({"A": 2.0 * np.eye(dimension)})
+        assert evaluate(diagonal_product("A"), instance)[0, 0] == 2.0**dimension
+
+
+class TestSums:
+    def test_row_and_column_sums(self, square_instance, square_matrix):
+        rows = np.asarray(evaluate(row_sums("A"), square_instance), float).ravel()
+        cols = np.asarray(evaluate(column_sums("A"), square_instance), float).ravel()
+        assert np.allclose(rows, square_matrix.sum(axis=1))
+        assert np.allclose(cols, square_matrix.sum(axis=0))
+
+    def test_total_sum(self, square_instance, square_matrix):
+        assert np.isclose(evaluate(total_sum("A"), square_instance)[0, 0], square_matrix.sum())
+
+    def test_entry_access(self, square_instance, square_matrix):
+        value = evaluate(entry("A", e_min(), min_plus(2)), square_instance)[0, 0]
+        assert value == square_matrix[0, 2]

@@ -1,0 +1,70 @@
+"""Tests for repro.stdlib.basic: Examples 3.1 and 3.2 (redundancy of ones / diag)."""
+
+import numpy as np
+import pytest
+
+from repro.matlang.ast import Diag, OneVector
+from repro.matlang.builder import var
+from repro.matlang.evaluator import evaluate
+from repro.matlang.instance import Instance
+from repro.semiring import BOOLEAN, NATURAL
+from repro.stdlib.basic import (
+    diag_via_for,
+    identity_like,
+    ones_like,
+    ones_matrix_like,
+    ones_via_for,
+    scalar_entry,
+)
+from repro.stdlib.order import e_min, e_max
+
+
+class TestPrimitives:
+    def test_ones_like(self, square_instance):
+        assert np.allclose(evaluate(ones_like("A"), square_instance), np.ones((4, 1)))
+
+    def test_identity_like(self, square_instance):
+        assert np.allclose(evaluate(identity_like("A"), square_instance), np.eye(4))
+
+    def test_ones_matrix_like(self, square_instance):
+        assert np.allclose(evaluate(ones_matrix_like("A"), square_instance), np.ones((4, 4)))
+
+    def test_scalar_entry(self, square_instance, square_matrix):
+        entry = scalar_entry("A", e_min(), e_max())
+        assert np.isclose(evaluate(entry, square_instance)[0, 0], square_matrix[0, -1])
+
+
+class TestExample31:
+    """1(e) is redundant in for-MATLANG."""
+
+    @pytest.mark.parametrize("dimension", [1, 2, 3, 5, 8])
+    def test_ones_via_for_equals_primitive(self, dimension):
+        instance = Instance.from_matrices({"A": np.eye(dimension)})
+        via_for = evaluate(ones_via_for(), instance)
+        primitive = evaluate(OneVector(var("A")), instance)
+        assert np.allclose(via_for, primitive)
+
+    def test_ones_via_for_over_other_semirings(self):
+        instance = Instance.from_matrices({"A": np.zeros((3, 3))}, semiring=NATURAL)
+        result = evaluate(ones_via_for(), instance)
+        assert [value for value in result.ravel()] == [1, 1, 1]
+
+
+class TestExample32:
+    """diag(e) is redundant in for-MATLANG."""
+
+    @pytest.mark.parametrize("dimension", [1, 2, 4, 6])
+    def test_diag_via_for_equals_primitive(self, dimension, rng):
+        vector = rng.uniform(-1, 1, size=dimension)
+        instance = Instance.from_matrices({"u": vector, "A": np.eye(dimension)})
+        via_for = evaluate(diag_via_for("u"), instance)
+        primitive = evaluate(Diag(var("u")), instance)
+        assert np.allclose(via_for, primitive)
+
+    def test_diag_via_for_boolean(self):
+        instance = Instance.from_matrices(
+            {"u": np.array([1, 0, 1]), "A": np.zeros((3, 3))}, semiring=BOOLEAN
+        )
+        via_for = evaluate(diag_via_for("u"), instance)
+        primitive = evaluate(Diag(var("u")), instance)
+        assert all(via_for[i, j] == primitive[i, j] for i in range(3) for j in range(3))

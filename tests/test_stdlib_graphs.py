@@ -1,0 +1,140 @@
+"""Tests for graph queries: Examples 3.3 / 3.5 and Section 6.3."""
+
+import numpy as np
+import networkx as nx
+import pytest
+
+from repro.matlang.evaluator import evaluate
+from repro.matlang.instance import Instance
+from repro.semiring import BOOLEAN
+from repro.stdlib.graphs import (
+    four_clique_count,
+    has_four_clique,
+    k_clique_count,
+    reachability_from,
+    transitive_closure_floyd_warshall,
+    transitive_closure_indicator,
+    transitive_closure_product,
+    triangle_count,
+)
+from repro.stdlib.order import e_min
+from repro.experiments.workloads import (
+    cycle_graph,
+    path_graph,
+    planted_clique_graph,
+    random_digraph,
+    random_undirected_graph,
+    reachability_closure,
+)
+
+
+def closure_via_networkx(adjacency: np.ndarray) -> np.ndarray:
+    graph = nx.from_numpy_array(adjacency, create_using=nx.DiGraph)
+    closure = nx.transitive_closure(graph, reflexive=False)
+    return nx.to_numpy_array(closure, nodelist=sorted(graph.nodes()))
+
+
+class TestTransitiveClosure:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_floyd_warshall_indicator_matches_networkx(self, seed):
+        adjacency = random_digraph(5, probability=0.35, seed=seed)
+        instance = Instance.from_matrices({"A": adjacency})
+        result = np.asarray(evaluate(transitive_closure_indicator("A"), instance), float)
+        assert np.allclose(result, closure_via_networkx(adjacency))
+
+    def test_floyd_warshall_on_path(self, path_instance):
+        result = np.asarray(
+            evaluate(transitive_closure_indicator("A"), path_instance), float
+        )
+        assert np.allclose(result, np.triu(np.ones((4, 4)), k=1))
+
+    def test_floyd_warshall_over_boolean_semiring(self):
+        adjacency = random_digraph(5, probability=0.3, seed=7)
+        instance = Instance.from_matrices({"A": adjacency}, semiring=BOOLEAN)
+        result = evaluate(transitive_closure_floyd_warshall("A"), instance)
+        expected = closure_via_networkx(adjacency)
+        assert all(
+            bool(result[i, j]) == bool(expected[i, j]) for i in range(5) for j in range(5)
+        )
+
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_product_closure_is_reflexive_closure(self, seed):
+        adjacency = random_digraph(5, probability=0.3, seed=seed)
+        instance = Instance.from_matrices({"A": adjacency})
+        result = np.asarray(evaluate(transitive_closure_product("A"), instance), float)
+        expected = np.clip(closure_via_networkx(adjacency) + np.eye(5), 0, 1)
+        assert np.allclose(result, expected)
+
+    def test_two_closure_variants_agree_off_diagonal(self):
+        adjacency = random_digraph(6, probability=0.25, seed=11)
+        instance = Instance.from_matrices({"A": adjacency})
+        fw = np.asarray(evaluate(transitive_closure_indicator("A"), instance), float)
+        product = np.asarray(evaluate(transitive_closure_product("A"), instance), float)
+        off_diagonal = ~np.eye(6, dtype=bool)
+        assert np.allclose(fw[off_diagonal], product[off_diagonal])
+
+    def test_reachability_from_source(self):
+        adjacency = path_graph(4)
+        instance = Instance.from_matrices({"A": adjacency})
+        reachable = np.asarray(
+            evaluate(reachability_from(e_min(), "A"), instance), float
+        ).ravel()
+        assert np.allclose(reachable, [1.0, 1.0, 1.0, 1.0])
+
+    def test_reachability_on_cycle(self):
+        adjacency = cycle_graph(3)
+        instance = Instance.from_matrices({"A": adjacency})
+        reachable = np.asarray(
+            evaluate(reachability_from(e_min(), "A"), instance), float
+        ).ravel()
+        assert np.allclose(reachable, [1.0, 1.0, 1.0])
+
+    def test_workload_reference_closure_matches_networkx(self):
+        adjacency = random_digraph(6, probability=0.3, seed=5)
+        assert np.allclose(reachability_closure(adjacency), closure_via_networkx(adjacency))
+
+
+class TestCliques:
+    def test_four_clique_count_on_complete_graph(self):
+        adjacency = np.ones((4, 4)) - np.eye(4)
+        instance = Instance.from_matrices({"A": adjacency})
+        # Each 4-clique is counted 4! = 24 times (ordered tuples).
+        assert evaluate(four_clique_count("A"), instance)[0, 0] == 24.0
+
+    def test_k5_has_five_four_cliques(self):
+        adjacency = np.ones((5, 5)) - np.eye(5)
+        instance = Instance.from_matrices({"A": adjacency})
+        assert evaluate(four_clique_count("A"), instance)[0, 0] == 5 * 24.0
+
+    def test_has_four_clique_detects_planted_clique(self):
+        adjacency, _ = planted_clique_graph(8, clique_size=4, probability=0.05, seed=3)
+        instance = Instance.from_matrices({"A": adjacency})
+        assert evaluate(has_four_clique("A"), instance)[0, 0] == 1.0
+
+    def test_no_four_clique_in_sparse_graph(self):
+        adjacency = path_graph(6) + path_graph(6).T
+        instance = Instance.from_matrices({"A": adjacency})
+        assert evaluate(has_four_clique("A"), instance)[0, 0] == 0.0
+
+    def test_triangle_count_matches_networkx(self):
+        adjacency = random_undirected_graph(6, probability=0.5, seed=9)
+        instance = Instance.from_matrices({"A": adjacency})
+        counted = evaluate(triangle_count("A"), instance)[0, 0] / 6.0
+        graph = nx.from_numpy_array(adjacency)
+        expected = sum(nx.triangles(graph).values()) / 3.0
+        assert counted == expected
+
+    def test_k_clique_generalisation(self):
+        adjacency = np.ones((5, 5)) - np.eye(5)
+        instance = Instance.from_matrices({"A": adjacency})
+        # K5 contains C(5, 2) = 10 edges, each counted twice as an ordered pair.
+        assert evaluate(k_clique_count("A", 2), instance)[0, 0] == 20.0
+
+    def test_k_clique_requires_positive_k(self):
+        with pytest.raises(ValueError):
+            k_clique_count("A", 0)
+
+    def test_four_clique_is_sum_matlang(self):
+        from repro.matlang.fragments import Fragment, minimal_fragment
+
+        assert minimal_fragment(four_clique_count("A")) == Fragment.SUM_MATLANG

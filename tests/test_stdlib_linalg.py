@@ -1,0 +1,202 @@
+"""Tests for LU / PLU / Csanky constructions (Section 4, Appendix C)."""
+
+import numpy as np
+import pytest
+
+from repro.matlang.evaluator import evaluate
+from repro.matlang.instance import Instance
+from repro.stdlib.linalg import (
+    characteristic_coefficients,
+    csanky_determinant,
+    csanky_inverse,
+    lower_triangular_inverse,
+    lu_lower,
+    lu_lower_inverse,
+    lu_upper,
+    matrix_power,
+    matrix_power_fixed,
+    plu_transform,
+    plu_upper,
+    power_sum,
+    power_trace_vector,
+    solve_lower_triangular,
+    upper_triangular_inverse,
+)
+from repro.stdlib.order import min_plus
+from repro.experiments.workloads import (
+    random_invertible_matrix,
+    random_lower_triangular,
+    random_lu_factorizable_matrix,
+    random_pivot_requiring_matrix,
+)
+
+
+def instance_for(matrix: np.ndarray) -> Instance:
+    # Declare the type explicitly so that 1 x 1 inputs are still treated as
+    # (alpha, alpha) matrices with D(alpha) = 1 rather than as scalars.
+    from repro.matlang.schema import Schema
+
+    schema = Schema({"A": ("alpha", "alpha")})
+    return Instance(schema, {"alpha": matrix.shape[0]}, {"A": matrix})
+
+
+class TestPowers:
+    def test_fixed_power(self, square_instance, square_matrix):
+        assert np.allclose(
+            evaluate(matrix_power_fixed("A", 3), square_instance),
+            np.linalg.matrix_power(square_matrix, 3),
+        )
+
+    def test_fixed_power_zero_is_identity(self, square_instance):
+        assert np.allclose(evaluate(matrix_power_fixed("A", 0), square_instance), np.eye(4))
+
+    def test_fixed_power_rejects_negative(self):
+        with pytest.raises(ValueError):
+            matrix_power_fixed("A", -1)
+
+    @pytest.mark.parametrize("exponent", [0, 1, 2, 3])
+    def test_indexed_power(self, square_instance, square_matrix, exponent):
+        expression = matrix_power("A", min_plus(exponent))
+        assert np.allclose(
+            evaluate(expression, square_instance),
+            np.linalg.matrix_power(square_matrix, exponent + 1),
+        )
+
+    def test_power_sum(self, square_instance, square_matrix):
+        expected = sum(
+            np.linalg.matrix_power(square_matrix, k) for k in range(0, 5)
+        )
+        assert np.allclose(evaluate(power_sum("A"), square_instance), expected)
+
+    def test_power_trace_vector(self, square_instance, square_matrix):
+        traces = np.asarray(evaluate(power_trace_vector("A"), square_instance), float).ravel()
+        expected = [np.trace(np.linalg.matrix_power(square_matrix, k)) for k in range(1, 5)]
+        assert np.allclose(traces, expected)
+
+
+class TestTriangularInversion:
+    @pytest.mark.parametrize("dimension", [1, 2, 3, 4])
+    def test_lower_triangular_inverse(self, dimension):
+        matrix = random_lower_triangular(dimension, seed=dimension)
+        result = evaluate(lower_triangular_inverse("A"), instance_for(matrix))
+        assert np.allclose(result, np.linalg.inv(matrix), atol=1e-8)
+
+    @pytest.mark.parametrize("dimension", [2, 3, 4])
+    def test_upper_triangular_inverse(self, dimension):
+        matrix = random_lower_triangular(dimension, seed=10 + dimension).T
+        result = evaluate(upper_triangular_inverse("A"), instance_for(matrix))
+        assert np.allclose(result, np.linalg.inv(matrix), atol=1e-8)
+
+    def test_solve_lower_triangular(self):
+        matrix = random_lower_triangular(3, seed=5)
+        rhs = np.array([1.0, 2.0, 3.0])
+        instance = Instance.from_matrices({"A": matrix, "b": rhs})
+        solution = evaluate(solve_lower_triangular("A", "b"), instance)
+        assert np.allclose(np.asarray(solution, float).ravel(), np.linalg.solve(matrix, rhs))
+
+
+class TestLUDecomposition:
+    @pytest.mark.parametrize("dimension", [1, 2, 3, 4])
+    def test_lu_factors_multiply_back(self, dimension):
+        matrix = random_lu_factorizable_matrix(dimension, seed=dimension)
+        instance = instance_for(matrix)
+        lower = np.asarray(evaluate(lu_lower("A"), instance), float)
+        upper = np.asarray(evaluate(lu_upper("A"), instance), float)
+        assert np.allclose(lower @ upper, matrix, atol=1e-8)
+
+    def test_lower_is_unit_lower_triangular(self):
+        matrix = random_lu_factorizable_matrix(4, seed=7)
+        lower = np.asarray(evaluate(lu_lower("A"), instance_for(matrix)), float)
+        assert np.allclose(np.triu(lower, k=1), 0.0, atol=1e-9)
+        assert np.allclose(np.diag(lower), 1.0)
+
+    def test_upper_is_upper_triangular(self):
+        matrix = random_lu_factorizable_matrix(4, seed=8)
+        upper = np.asarray(evaluate(lu_upper("A"), instance_for(matrix)), float)
+        assert np.allclose(np.tril(upper, k=-1), 0.0, atol=1e-9)
+
+    def test_transform_reduces_matrix(self):
+        matrix = random_lu_factorizable_matrix(3, seed=9)
+        instance = instance_for(matrix)
+        transform = np.asarray(evaluate(lu_lower_inverse("A"), instance), float)
+        upper = np.asarray(evaluate(lu_upper("A"), instance), float)
+        assert np.allclose(transform @ matrix, upper, atol=1e-9)
+
+    def test_matches_scipy_on_diagonally_dominant_input(self):
+        scipy_linalg = pytest.importorskip("scipy.linalg")
+        matrix = random_lu_factorizable_matrix(4, seed=12)
+        upper = np.asarray(evaluate(lu_upper("A"), instance_for(matrix)), float)
+        # scipy uses partial pivoting, so compare the determinant magnitude
+        # |det(A)| = |prod(diag(U))| instead of the factors themselves.
+        assert np.isclose(
+            abs(np.prod(np.diag(upper))), abs(np.linalg.det(matrix)), rtol=1e-8
+        )
+
+
+class TestPLUDecomposition:
+    @pytest.mark.parametrize("dimension", [2, 3, 4])
+    def test_plu_on_pivot_requiring_matrix(self, dimension):
+        matrix = random_pivot_requiring_matrix(dimension, seed=dimension)
+        instance = instance_for(matrix)
+        transform = np.asarray(evaluate(plu_transform("A"), instance), float)
+        upper = np.asarray(evaluate(plu_upper("A"), instance), float)
+        assert np.allclose(np.tril(upper, k=-1), 0.0, atol=1e-8)
+        assert np.allclose(transform @ matrix, upper, atol=1e-8)
+
+    def test_plu_transform_is_invertible(self):
+        matrix = random_pivot_requiring_matrix(3, seed=21)
+        transform = np.asarray(evaluate(plu_transform("A"), instance_for(matrix)), float)
+        assert abs(np.linalg.det(transform)) > 1e-9
+
+    def test_plu_also_works_without_pivoting_need(self):
+        matrix = random_lu_factorizable_matrix(3, seed=22)
+        instance = instance_for(matrix)
+        upper = np.asarray(evaluate(plu_upper("A"), instance), float)
+        assert np.allclose(np.tril(upper, k=-1), 0.0, atol=1e-9)
+
+    def test_plu_on_singular_matrix_keeps_triangular_shape(self):
+        matrix = np.array([[0.0, 1.0, 2.0], [0.0, 2.0, 4.0], [1.0, 0.0, 1.0]])
+        upper = np.asarray(evaluate(plu_upper("A"), instance_for(matrix)), float)
+        assert np.allclose(np.tril(upper, k=-1), 0.0, atol=1e-9)
+
+
+class TestCsanky:
+    @pytest.mark.parametrize("dimension", [1, 2, 3, 4, 5])
+    def test_determinant(self, dimension):
+        matrix = random_invertible_matrix(dimension, seed=dimension)
+        value = evaluate(csanky_determinant("A"), instance_for(matrix))[0, 0]
+        assert np.isclose(value, np.linalg.det(matrix), rtol=1e-6)
+
+    @pytest.mark.parametrize("dimension", [1, 2, 3, 4])
+    def test_inverse(self, dimension):
+        matrix = random_invertible_matrix(dimension, seed=30 + dimension)
+        inverse = np.asarray(evaluate(csanky_inverse("A"), instance_for(matrix)), float)
+        assert np.allclose(inverse, np.linalg.inv(matrix), atol=1e-6)
+
+    def test_inverse_times_matrix_is_identity(self):
+        matrix = random_invertible_matrix(4, seed=40)
+        inverse = np.asarray(evaluate(csanky_inverse("A"), instance_for(matrix)), float)
+        assert np.allclose(inverse @ matrix, np.eye(4), atol=1e-6)
+
+    def test_characteristic_coefficients_match_numpy(self):
+        matrix = random_invertible_matrix(3, seed=41)
+        coefficients = np.asarray(
+            evaluate(characteristic_coefficients("A"), instance_for(matrix)), float
+        ).ravel()
+        expected = np.poly(matrix)[1:]  # numpy returns [1, c_1, ..., c_n]
+        assert np.allclose(coefficients, expected, rtol=1e-6)
+
+    def test_determinant_of_singular_matrix_is_zero(self):
+        matrix = np.array([[1.0, 2.0], [2.0, 4.0]])
+        value = evaluate(csanky_determinant("A"), instance_for(matrix))[0, 0]
+        assert np.isclose(value, 0.0, atol=1e-9)
+
+    def test_determinant_of_identity(self):
+        value = evaluate(csanky_determinant("A"), instance_for(np.eye(3)))[0, 0]
+        assert np.isclose(value, 1.0)
+
+    def test_expressions_live_in_for_matlang_with_division_only(self):
+        from repro.matlang.fragments import classify
+
+        assert classify(csanky_determinant("A")).functions == ("div",)
+        assert classify(csanky_inverse("A")).functions == ("div",)

@@ -1,0 +1,141 @@
+"""Tests for the order predicates of Section 3.2 / Appendix B.1."""
+
+import numpy as np
+import pytest
+
+from repro.matlang.evaluator import evaluate
+from repro.matlang.instance import Instance
+from repro.semiring import canonical_vector, REAL
+from repro.stdlib.order import (
+    e_max,
+    e_min,
+    get_next_matrix,
+    get_prev_matrix,
+    is_max,
+    is_min,
+    max_minus,
+    min_plus,
+    next_matrix,
+    prev_matrix,
+    s_less,
+    s_less_equal,
+    succ,
+    succ_strict,
+)
+from repro.matlang.builder import var
+
+
+def instance_of_dimension(dimension: int) -> Instance:
+    return Instance.from_matrices({"A": np.zeros((dimension, dimension))})
+
+
+DIMENSIONS = [1, 2, 3, 5, 8]
+
+
+class TestExtremalVectors:
+    @pytest.mark.parametrize("dimension", DIMENSIONS)
+    def test_e_max_is_last_canonical_vector(self, dimension):
+        instance = instance_of_dimension(dimension)
+        expected = np.zeros((dimension, 1))
+        expected[-1, 0] = 1.0
+        assert np.allclose(evaluate(e_max(), instance), expected)
+
+    @pytest.mark.parametrize("dimension", DIMENSIONS)
+    def test_e_min_is_first_canonical_vector(self, dimension):
+        instance = instance_of_dimension(dimension)
+        expected = np.zeros((dimension, 1))
+        expected[0, 0] = 1.0
+        assert np.allclose(evaluate(e_min(), instance), expected)
+
+    @pytest.mark.parametrize("offset", [0, 1, 2])
+    def test_min_plus_and_max_minus(self, offset):
+        instance = instance_of_dimension(5)
+        plus = evaluate(min_plus(offset), instance)
+        minus = evaluate(max_minus(offset), instance)
+        assert plus[offset, 0] == 1.0 and plus.sum() == 1.0
+        assert minus[4 - offset, 0] == 1.0 and minus.sum() == 1.0
+
+
+class TestShiftMatrices:
+    @pytest.mark.parametrize("dimension", DIMENSIONS)
+    def test_prev_matrix(self, dimension):
+        instance = instance_of_dimension(dimension)
+        prev = np.asarray(evaluate(prev_matrix(), instance), float)
+        expected = np.eye(dimension, k=1)
+        assert np.allclose(prev, expected)
+
+    def test_next_matrix_is_transpose_of_prev(self):
+        instance = instance_of_dimension(4)
+        prev = np.asarray(evaluate(prev_matrix(), instance), float)
+        nxt = np.asarray(evaluate(next_matrix(), instance), float)
+        assert np.allclose(nxt, prev.T)
+
+    def test_prev_of_first_vector_is_zero(self):
+        instance = instance_of_dimension(3)
+        prev = np.asarray(evaluate(prev_matrix(), instance), float)
+        b1 = np.asarray(canonical_vector(REAL, 3, 0), float)
+        assert np.allclose(prev @ b1, 0)
+
+    @pytest.mark.parametrize("power", [0, 1, 2, 3])
+    def test_get_prev_and_next_matrix_powers(self, power):
+        instance = instance_of_dimension(4)
+        index_vector = min_plus(power)
+        prev_power = np.asarray(evaluate(get_prev_matrix(index_vector), instance), float)
+        next_power = np.asarray(evaluate(get_next_matrix(index_vector), instance), float)
+        base_prev = np.eye(4, k=1)
+        base_next = np.eye(4, k=-1)
+        assert np.allclose(prev_power, np.linalg.matrix_power(base_prev, power + 1))
+        assert np.allclose(next_power, np.linalg.matrix_power(base_next, power + 1))
+
+
+class TestOrderMatrices:
+    @pytest.mark.parametrize("dimension", DIMENSIONS)
+    def test_s_less_equal(self, dimension):
+        instance = instance_of_dimension(dimension)
+        result = np.asarray(evaluate(s_less_equal(), instance), float)
+        expected = np.triu(np.ones((dimension, dimension)))
+        assert np.allclose(result, expected)
+
+    @pytest.mark.parametrize("dimension", DIMENSIONS)
+    def test_s_less(self, dimension):
+        instance = instance_of_dimension(dimension)
+        result = np.asarray(evaluate(s_less(), instance), float)
+        expected = np.triu(np.ones((dimension, dimension)), k=1)
+        assert np.allclose(result, expected)
+
+    def test_order_entries_are_zero_one(self):
+        instance = instance_of_dimension(6)
+        result = np.asarray(evaluate(s_less_equal(), instance), float)
+        assert set(np.unique(result)) <= {0.0, 1.0}
+
+
+class TestPredicates:
+    def test_succ_on_all_pairs(self):
+        dimension = 4
+        instance = instance_of_dimension(dimension)
+        for i in range(dimension):
+            for j in range(dimension):
+                left = min_plus(i)
+                right = min_plus(j)
+                value = evaluate(succ(left, right), instance)[0, 0]
+                strict = evaluate(succ_strict(left, right), instance)[0, 0]
+                assert value == (1.0 if i <= j else 0.0)
+                assert strict == (1.0 if i < j else 0.0)
+
+    def test_min_and_max_predicates(self):
+        dimension = 3
+        instance = instance_of_dimension(dimension)
+        for i in range(dimension):
+            vector = min_plus(i)
+            assert evaluate(is_min(vector), instance)[0, 0] == (1.0 if i == 0 else 0.0)
+            assert evaluate(is_max(vector), instance)[0, 0] == (
+                1.0 if i == dimension - 1 else 0.0
+            )
+
+    def test_order_expressions_do_not_depend_on_matrix_values(self, rng):
+        noisy = Instance.from_matrices({"A": rng.uniform(-5, 5, size=(4, 4))})
+        clean = instance_of_dimension(4)
+        assert np.allclose(
+            np.asarray(evaluate(s_less_equal(), noisy), float),
+            np.asarray(evaluate(s_less_equal(), clean), float),
+        )

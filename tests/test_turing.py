@@ -1,0 +1,88 @@
+"""Tests for the Turing machine substrate (Appendix D.1)."""
+
+import pytest
+
+from repro.turing import (
+    TransitionRule,
+    TuringMachine,
+    parity_machine,
+    sum_circuit_description_machine,
+    unary_copy_machine,
+    unary_double_machine,
+)
+from repro.turing.machine import RIGHT, STAY, TuringMachineError
+
+
+class TestSimulator:
+    def test_copy_machine(self):
+        result = unary_copy_machine().run(["1111"])
+        assert result.accepted
+        assert result.output == "1111"
+
+    def test_copy_machine_empty_input(self):
+        result = unary_copy_machine().run([""])
+        assert result.accepted
+        assert result.output == ""
+
+    def test_copy_machine_skips_zeros(self):
+        assert unary_copy_machine().run(["10101"]).output == "111"
+
+    def test_double_machine(self):
+        assert unary_double_machine().run(["111"]).output == "1" * 6
+
+    def test_parity_machine(self):
+        machine = parity_machine()
+        assert machine.run(["1011"]).output == "1"
+        assert machine.run(["1001"]).output == "0"
+        assert machine.run([""]).output == "0"
+
+    def test_step_count_is_linear_for_copy(self):
+        machine = unary_copy_machine()
+        short = machine.run(["1" * 4]).steps
+        long = machine.run(["1" * 8]).steps
+        assert long > short
+
+    def test_rejecting_run(self):
+        # A machine with no applicable rule halts in a non-accepting state.
+        rules = [TransitionRule("q0", (None, None, None), "dead", moves=(STAY, STAY, STAY))]
+        machine = TuringMachine("stuck", rules)
+        result = machine.run(["1"])
+        assert not result.accepted
+
+    def test_non_halting_machine_raises(self):
+        rules = [TransitionRule("q0", (None, None, None), "q0", moves=(STAY, STAY, STAY))]
+        machine = TuringMachine("loop", rules)
+        with pytest.raises(TuringMachineError):
+            machine.run(["1"], max_steps=50)
+
+    def test_invalid_input_alphabet(self):
+        with pytest.raises(TuringMachineError):
+            unary_copy_machine().run(["12"])
+
+    def test_wrong_number_of_inputs(self):
+        with pytest.raises(TuringMachineError):
+            unary_copy_machine().run(["1", "1"])
+
+    def test_output_tape_cannot_move_left(self):
+        rules = [
+            TransitionRule("q0", (None, None, None), "q0", moves=(RIGHT, STAY, "L")),
+        ]
+        machine = TuringMachine("bad_output", rules)
+        with pytest.raises(TuringMachineError):
+            machine.run(["1"])
+
+    def test_rule_arity_validation(self):
+        with pytest.raises(TuringMachineError):
+            TuringMachine("bad", [TransitionRule("q0", (None,), "qa", moves=(STAY,))])
+
+
+class TestUniformityMachine:
+    def test_description_machine_outputs_unary_size(self):
+        machine = sum_circuit_description_machine()
+        for size in (1, 2, 5):
+            assert machine.run(["1" * size]).output == "1" * size
+
+    def test_machine_is_resettable_between_runs(self):
+        machine = sum_circuit_description_machine()
+        assert machine.run(["11"]).output == "11"
+        assert machine.run(["1"]).output == "1"

@@ -1,0 +1,213 @@
+"""Tests for weighted structures, weighted logic and the Proposition 6.7 translations."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EvaluationError, FragmentError, SchemaError
+from repro.matlang.builder import forloop, had, lit, ssum, var
+from repro.matlang.evaluator import evaluate
+from repro.matlang.instance import Instance
+from repro.semiring import BOOLEAN, NATURAL
+from repro.stdlib import diagonal_product, trace
+from repro.wlogic import (
+    Atom,
+    Equals,
+    Plus,
+    ProdQ,
+    SumQ,
+    Times,
+    WeightedStructure,
+    evaluate_formula,
+    evaluate_formula_via_matlang,
+    structure_from_instance,
+    structure_to_instance,
+    translate_fo_matlang,
+    translate_formula,
+)
+from repro.experiments.workloads import random_weighted_structure
+
+
+def example_structure(semiring=None) -> WeightedStructure:
+    kwargs = {"semiring": semiring} if semiring is not None else {}
+    return WeightedStructure(
+        domain=(1, 2, 3),
+        arities={"E": 2, "P": 1},
+        weights={
+            "E": {(1, 2): 2.0, (2, 3): 3.0, (3, 3): 1.0},
+            "P": {(1,): 5.0, (3,): 1.0},
+        },
+        **kwargs,
+    )
+
+
+class TestStructures:
+    def test_weight_lookup_defaults_to_zero(self):
+        structure = example_structure()
+        assert structure.weight("E", (1, 2)) == 2.0
+        assert structure.weight("E", (2, 1)) == 0.0
+
+    def test_arity_checking(self):
+        structure = example_structure()
+        with pytest.raises(SchemaError):
+            structure.weight("E", (1,))
+        with pytest.raises(SchemaError):
+            structure.set_weight("P", (1, 2), 1.0)
+
+    def test_domain_membership_checked(self):
+        with pytest.raises(SchemaError):
+            WeightedStructure(domain=(1,), arities={"E": 2}, weights={"E": {(1, 5): 1.0}})
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(SchemaError):
+            WeightedStructure(domain=(), arities={})
+
+    def test_structure_instance_roundtrip(self, square_instance):
+        structure = structure_from_instance(square_instance)
+        instance, domain = structure_to_instance(structure)
+        matrix = np.asarray(instance.matrix("V_R_A"), float)
+        assert np.allclose(matrix, np.asarray(square_instance.matrix("A"), float))
+        assert domain == (1, 2, 3, 4)
+
+    def test_structure_from_instance_covers_vectors_and_scalars(self):
+        instance = Instance.from_matrices({"A": np.eye(2), "u": [1.0, 2.0], "c": 7.0})
+        structure = structure_from_instance(instance)
+        assert structure.arity("R_u") == 1
+        assert structure.arity("R_c") == 0
+        assert structure.weight("R_c", ()) == 7.0
+
+
+class TestSemantics:
+    def test_equality_formula(self):
+        structure = example_structure()
+        assert evaluate_formula(Equals("x", "y"), structure, {"x": 1, "y": 1}) == 1.0
+        assert evaluate_formula(Equals("x", "y"), structure, {"x": 1, "y": 2}) == 0.0
+
+    def test_atom_formula(self):
+        structure = example_structure()
+        assert evaluate_formula(Atom("E", ("x", "y")), structure, {"x": 1, "y": 2}) == 2.0
+
+    def test_missing_assignment_raises(self):
+        with pytest.raises(EvaluationError):
+            evaluate_formula(Atom("P", ("x",)), example_structure())
+
+    def test_sum_quantifier(self):
+        structure = example_structure()
+        total_edges = SumQ("x", SumQ("y", Atom("E", ("x", "y"))))
+        assert evaluate_formula(total_edges, structure) == 6.0
+
+    def test_product_quantifier(self):
+        structure = example_structure()
+        formula = ProdQ("x", Plus(Atom("P", ("x",)), Equals("x", "x")))
+        assert evaluate_formula(formula, structure) == 6.0 * 1.0 * 2.0
+
+    def test_connectives(self):
+        structure = example_structure()
+        formula = Plus(Atom("E", ("x", "y")), Times(Atom("P", ("x",)), Atom("P", ("y",))))
+        assert evaluate_formula(formula, structure, {"x": 1, "y": 3}) == 0.0 + 5.0
+
+    def test_free_variables_and_substitution(self):
+        formula = SumQ("y", Atom("E", ("x", "y")))
+        assert formula.free_variables() == ("x",)
+        renamed = formula.substitute({"x": "z"})
+        assert renamed.free_variables() == ("z",)
+
+    def test_substitution_respects_binders(self):
+        formula = SumQ("y", Atom("E", ("x", "y")))
+        assert formula.substitute({"y": "z"}) == formula
+
+    def test_boolean_semiring_gives_classical_fo(self):
+        structure = example_structure(semiring=BOOLEAN)
+        exists_edge = SumQ("x", SumQ("y", Atom("E", ("x", "y"))))
+        assert evaluate_formula(exists_edge, structure) is True
+
+
+class TestFOMatlangToWL:
+    CASES = [
+        ("trace", lambda: trace("A")),
+        ("diagonal product", lambda: diagonal_product("A")),
+        ("quadratic form", lambda: var("u").T @ var("A") @ var("u")),
+        (
+            "nested quantifiers",
+            lambda: ssum(
+                "x", had("y", var("x").T @ var("A") @ var("y") + var("u").T @ var("x"))
+            ),
+        ),
+        ("total sum", lambda: ssum("x", ssum("y", var("x").T @ var("A") @ var("y")))),
+    ]
+
+    @pytest.mark.parametrize("name,factory", CASES, ids=[c[0] for c in CASES])
+    def test_translation_preserves_values(self, name, factory, rng):
+        matrix = rng.uniform(-1, 2, size=(3, 3))
+        vector = rng.uniform(-1, 2, size=3)
+        instance = Instance.from_matrices({"A": matrix, "u": vector})
+        expression = factory()
+        formula = translate_fo_matlang(expression, instance.schema)
+        structure = structure_from_instance(instance)
+        assert np.isclose(
+            evaluate(expression, instance)[0, 0], evaluate_formula(formula, structure)
+        )
+
+    def test_prod_matlang_rejected(self):
+        from repro.matlang.builder import prod
+
+        instance = Instance.from_matrices({"A": np.eye(2)})
+        with pytest.raises(FragmentError):
+            translate_fo_matlang(
+                ssum("v", var("v").T @ prod("w", var("A")) @ var("v")), instance.schema
+            )
+
+    def test_matrix_typed_expression_rejected(self):
+        instance = Instance.from_matrices({"A": np.eye(2)})
+        with pytest.raises(FragmentError):
+            translate_fo_matlang(var("A"), instance.schema)
+
+    def test_literal_rejected(self):
+        instance = Instance.from_matrices({"A": np.eye(2)})
+        with pytest.raises(FragmentError):
+            translate_fo_matlang(ssum("v", lit(2)), instance.schema)
+
+
+class TestWLToFOMatlang:
+    def test_simple_sentences(self):
+        structure = example_structure()
+        sentences = [
+            SumQ("x", SumQ("y", Atom("E", ("x", "y")))),
+            SumQ("x", Times(Atom("P", ("x",)), Atom("P", ("x",)))),
+            ProdQ("x", Plus(Atom("P", ("x",)), Equals("x", "x"))),
+            SumQ("x", SumQ("y", SumQ("z", Times(Atom("E", ("x", "y")), Atom("E", ("y", "z")))))),
+        ]
+        for sentence in sentences:
+            assert np.isclose(
+                evaluate_formula(sentence, structure),
+                evaluate_formula_via_matlang(sentence, structure),
+            )
+
+    def test_translated_expression_is_fo_matlang(self):
+        from repro.matlang.fragments import Fragment, minimal_fragment
+
+        sentence = ProdQ("x", SumQ("y", Atom("E", ("x", "y"))))
+        expression = translate_formula(sentence, {"E": 2})
+        assert minimal_fragment(expression) == Fragment.FO_MATLANG
+
+    def test_open_formula_rejected(self):
+        with pytest.raises(FragmentError):
+            translate_formula(Atom("E", ("x", "y")), {"E": 2})
+
+    def test_high_arity_rejected(self):
+        with pytest.raises(FragmentError):
+            translate_formula(SumQ("x", Atom("T", ("x", "x", "x"))), {"T": 3})
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_structures(self, seed):
+        structure = random_weighted_structure(domain_size=3, seed=seed)
+        sentence = SumQ(
+            "x",
+            Times(
+                Atom("P", ("x",)),
+                SumQ("y", Plus(Atom("E", ("x", "y")), Equals("x", "y"))),
+            ),
+        )
+        assert np.isclose(
+            evaluate_formula(sentence, structure),
+            evaluate_formula_via_matlang(sentence, structure),
+        )
