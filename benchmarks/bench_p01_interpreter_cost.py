@@ -38,6 +38,28 @@ def test_matmul_numpy_baseline(benchmark):
     benchmark(lambda: matrix @ matrix)
 
 
+def test_matmul_interpreter_min_plus(benchmark):
+    """Non-field coverage: the tropical semiring now runs on vectorized kernels."""
+    from repro.semiring import MIN_PLUS
+
+    weights = np.abs(random_matrix(DIMENSION, seed=1))
+    instance = Instance.from_matrices({"A": weights}, semiring=MIN_PLUS)
+    expression = var("A") @ var("A")
+    result = benchmark(lambda: evaluate(expression, instance))
+    assert result.shape == (DIMENSION, DIMENSION)
+
+
+def test_matmul_interpreter_boolean(benchmark):
+    """Non-field coverage: boolean reachability on vectorized kernels."""
+    from repro.semiring import BOOLEAN
+
+    adjacency = random_digraph(DIMENSION, probability=0.2, seed=3)
+    instance = Instance.from_matrices({"A": adjacency}, semiring=BOOLEAN)
+    expression = var("A") @ var("A")
+    result = benchmark(lambda: evaluate(expression, instance))
+    assert result.shape == (DIMENSION, DIMENSION)
+
+
 def test_trace_interpreter(benchmark):
     instance = _instance()
     benchmark(lambda: evaluate(trace("A"), instance))

@@ -25,7 +25,7 @@ from repro.exceptions import SchemaError
 from repro.kalgebra.relations import KRelation, RelationalInstance, RelationalSchema
 from repro.matlang.instance import Instance
 from repro.matlang.schema import SCALAR_SYMBOL, Schema
-from repro.semiring import Semiring, lift
+from repro.semiring import Semiring, from_entries, lift
 
 
 # ----------------------------------------------------------------------
@@ -157,7 +157,7 @@ def decode_relation_to_matrix(
 ) -> np.ndarray:
     """Decode a K-relation over (subsets of) ``{row_attr, col_attr}`` into a matrix."""
     rows, cols = shape
-    matrix = semiring.zeros(rows, cols)
+    entries = {}
     for values, annotation in relation.items():
         i = int(values[row_attr]) - 1 if row_attr is not None else 0
         j = int(values[col_attr]) - 1 if col_attr is not None else 0
@@ -165,8 +165,8 @@ def decode_relation_to_matrix(
             raise SchemaError(
                 f"tuple index ({i + 1}, {j + 1}) falls outside the matrix shape {shape}"
             )
-        matrix[i, j] = annotation
-    return matrix
+        entries[i, j] = annotation
+    return from_entries(semiring, rows, cols, entries)
 
 
 # ----------------------------------------------------------------------
@@ -218,21 +218,33 @@ def encode_relations_as_matrices(
         variable = relation_variable(name)
         if len(attributes) == 2:
             sizes[variable] = (symbol, symbol)
-            matrix = semiring.zeros(size, size)
             first, second = attributes
-            for values, annotation in relation.items():
-                matrix[index[values[first]], index[values[second]]] = annotation
+            matrix = from_entries(
+                semiring,
+                size,
+                size,
+                {
+                    (index[values[first]], index[values[second]]): annotation
+                    for values, annotation in relation.items()
+                },
+            )
         elif len(attributes) == 1:
             sizes[variable] = (symbol, SCALAR_SYMBOL)
-            matrix = semiring.zeros(size, 1)
             (only,) = attributes
-            for values, annotation in relation.items():
-                matrix[index[values[only]], 0] = annotation
+            matrix = from_entries(
+                semiring,
+                size,
+                1,
+                {
+                    (index[values[only]], 0): annotation
+                    for values, annotation in relation.items()
+                },
+            )
         else:
             sizes[variable] = (SCALAR_SYMBOL, SCALAR_SYMBOL)
-            matrix = semiring.zeros(1, 1)
-            for _, annotation in relation.items():
-                matrix[0, 0] = annotation
+            matrix = from_entries(
+                semiring, 1, 1, {(0, 0): annotation for _, annotation in relation.items()}
+            )
         matrices[variable] = matrix
 
     schema = Schema(sizes)

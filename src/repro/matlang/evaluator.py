@@ -6,9 +6,14 @@ resolved size symbols tell the evaluator which dimension each for-loop ranges
 over and what the shape of an empty accumulator is, so no shape information
 has to be re-derived at run time.
 
-The evaluator is generic over the commutative semiring of the instance; the
-real field uses dense ``float64`` numpy arrays, all other semirings use
-object-dtype arrays (see :mod:`repro.semiring`).
+The evaluator is generic over the commutative semiring of the instance; all
+matrix operations dispatch through the semiring's dense kernel backend
+(:mod:`repro.semiring.kernels`), so numeric-representable semirings (reals,
+booleans, naturals/integers, min-plus/max-plus) evaluate on vectorized
+primitive-dtype arrays while everything else uses the object-dtype scalar
+fold.  Results returned from the public entry points (:meth:`Evaluator.run`,
+:meth:`Evaluator.run_typed`, :func:`evaluate`) are defensive copies: mutating
+them can never corrupt the instance's matrices or the evaluator's caches.
 """
 
 from __future__ import annotations
@@ -38,7 +43,7 @@ from repro.matlang.ast import (
 from repro.matlang.functions import FunctionRegistry, default_registry
 from repro.matlang.instance import Instance
 from repro.matlang.typecheck import TypedExpression, annotate
-from repro.semiring import canonical_vector, identity, ones_matrix, scalar
+from repro.semiring import diagonal, identity, ones_matrix, scalar
 
 
 class Evaluator:
@@ -68,6 +73,11 @@ class Evaluator:
         #: annotated node, so structurally equal but distinct sub-trees are
         #: simply cached separately.
         self._cache: Dict[int, np.ndarray] = {}
+        #: Identity matrices keyed by dimension, shared across all loops of
+        #: this evaluator: loop iterations bind the iterator variable to
+        #: (read-only) column views of these, so canonical vectors are not
+        #: reallocated once per iteration.
+        self._basis_cache: Dict[int, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     # Public API
@@ -78,13 +88,19 @@ class Evaluator:
         return self.run_typed(typed)
 
     def run_typed(self, typed: TypedExpression) -> np.ndarray:
-        """Evaluate an already annotated expression."""
+        """Evaluate an already annotated expression.
+
+        The result is a defensive copy: internally the evaluator shares
+        arrays freely (instance matrices, memoized loop bodies, basis-vector
+        views), so handing out the raw array would let callers corrupt the
+        instance or the memo cache by mutating it.
+        """
         # The memoisation cache is keyed by node identity, which is only
         # guaranteed stable for the lifetime of one evaluation; clear it so a
         # recycled object id from a different tree can never produce a stale hit.
         self._cache.clear()
         environment: Dict[str, np.ndarray] = {}
-        return self._evaluate(typed, environment)
+        return self._evaluate(typed, environment).copy()
 
     # ------------------------------------------------------------------
     # Shape helpers
@@ -119,6 +135,11 @@ class Evaluator:
     def _evaluate(self, typed: TypedExpression, env: Dict[str, np.ndarray]) -> np.ndarray:
         expression = typed.expression
         semiring = self.semiring
+        # Every array the evaluator handles is carrier-validated by
+        # construction (instance matrices through lift, everything else
+        # produced by the kernels themselves), so dispatch straight to the
+        # kernel layer and skip the public API's per-operand re-validation.
+        kernels = semiring.kernels
 
         if isinstance(expression, Var):
             if expression.name in env:
@@ -142,11 +163,7 @@ class Evaluator:
                 raise EvaluationError(
                     f"diag expects a column vector, got shape {operand.shape}"
                 )
-            size = operand.shape[0]
-            result = semiring.zeros(size, size)
-            for i in range(size):
-                result[i, i] = operand[i, 0]
-            return result
+            return diagonal(semiring, operand)
 
         if isinstance(expression, TypeHint):
             return self._evaluate(typed.children[0], env)
@@ -154,12 +171,12 @@ class Evaluator:
         if isinstance(expression, MatMul):
             left = self._evaluate(typed.children[0], env)
             right = self._evaluate(typed.children[1], env)
-            return semiring.matmul(left, right)
+            return kernels.matmul(left, right)
 
         if isinstance(expression, Add):
             left = self._evaluate(typed.children[0], env)
             right = self._evaluate(typed.children[1], env)
-            return semiring.add_matrices(left, right)
+            return kernels.add_matrices(left, right)
 
         if isinstance(expression, ScalarMul):
             factor = self._evaluate(typed.children[0], env)
@@ -168,7 +185,7 @@ class Evaluator:
                 raise EvaluationError(
                     f"scalar multiplication expects a 1x1 left operand, got {factor.shape}"
                 )
-            return semiring.scale(factor[0, 0], operand)
+            return kernels.scale(factor[0, 0], operand)
 
         if isinstance(expression, Apply):
             return self._evaluate_apply(expression, typed, env)
@@ -201,6 +218,13 @@ class Evaluator:
     ) -> np.ndarray:
         function = self.functions.get(expression.function)
         operands = [self._evaluate(child, env) for child in typed.children]
+        if not operands:
+            # annotate() rejects this at typing time, but run_typed can be
+            # handed a hand-built tree that never went through it.
+            raise EvaluationError(
+                f"pointwise function {expression.function!r} applied to no operands; "
+                "the result shape would be undefined"
+            )
         shape = operands[0].shape
         for operand in operands[1:]:
             if operand.shape != shape:
@@ -208,11 +232,14 @@ class Evaluator:
                     f"pointwise function {expression.function!r} applied to matrices of "
                     f"different shapes {shape} and {operand.shape}"
                 )
-        result = self.semiring.zeros(*shape)
+        # Collect into an object array and coerce through the kernel boundary:
+        # assigning directly into a primitive-dtype array would leak a raw
+        # OverflowError for results that do not fit the storage dtype.
+        result = np.empty(shape, dtype=object)
         for index in np.ndindex(shape):
             values = [operand[index] for operand in operands]
-            result[index] = self.semiring.coerce(function(self.semiring, *values))
-        return result
+            result[index] = function(self.semiring, *values)
+        return self.semiring.coerce_matrix(result)
 
     # ------------------------------------------------------------------
     # Loops
@@ -223,6 +250,19 @@ class Evaluator:
         return self._dimension(
             typed.iterator_symbol, f"iterator {expression.iterator!r}"
         )
+
+    def _basis(self, count: int) -> np.ndarray:
+        """The identity matrix whose columns are the canonical vectors.
+
+        Shared (never mutated) across every loop of this evaluator, so each
+        iteration only takes an O(1) column view instead of materialising a
+        fresh ``count x 1`` zero vector.
+        """
+        basis = self._basis_cache.get(count)
+        if basis is None:
+            basis = identity(self.semiring, count)
+            self._basis_cache[count] = basis
+        return basis
 
     def _evaluate_for(
         self, expression: ForLoop, typed: TypedExpression, env: Dict[str, np.ndarray]
@@ -242,11 +282,12 @@ class Evaluator:
             )
             accumulator = semiring.zeros(rows, cols)
 
+        basis = self._basis(count)
         saved_iterator = env.get(expression.iterator)
         saved_accumulator = env.get(expression.accumulator)
         try:
             for index in range(count):
-                env[expression.iterator] = canonical_vector(semiring, count, index)
+                env[expression.iterator] = basis[:, index : index + 1]
                 env[expression.accumulator] = accumulator
                 accumulator = self._evaluate(body_typed, env)
         finally:
@@ -261,24 +302,25 @@ class Evaluator:
         env: Dict[str, np.ndarray],
         kind: str,
     ) -> np.ndarray:
-        semiring = self.semiring
+        kernels = self.semiring.kernels
         count = self._loop_dimension(typed, expression)
         (body_typed,) = typed.children
 
+        basis = self._basis(count)
         saved_iterator = env.get(expression.iterator)
         accumulator: Optional[np.ndarray] = None
         try:
             for index in range(count):
-                env[expression.iterator] = canonical_vector(semiring, count, index)
+                env[expression.iterator] = basis[:, index : index + 1]
                 value = self._evaluate(body_typed, env)
                 if accumulator is None:
                     accumulator = value
                 elif kind == "sum":
-                    accumulator = semiring.add_matrices(accumulator, value)
+                    accumulator = kernels.add_matrices(accumulator, value)
                 elif kind == "hadamard":
-                    accumulator = semiring.hadamard(accumulator, value)
+                    accumulator = kernels.hadamard(accumulator, value)
                 else:
-                    accumulator = semiring.matmul(accumulator, value)
+                    accumulator = kernels.matmul(accumulator, value)
         finally:
             _restore(env, expression.iterator, saved_iterator)
 

@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, Optional, Tuple
 
+import numpy as np
+
 from repro.exceptions import EvaluationError, SemiringError
 from repro.semiring import Semiring
 
@@ -109,9 +111,11 @@ class FunctionRegistry:
 # Default function implementations
 # ----------------------------------------------------------------------
 def _require_number(name: str, value: Any) -> float:
-    if isinstance(value, bool):
+    # Matrices over primitive-dtype kernel backends hand out numpy scalars
+    # (np.bool_, np.int64, np.float64), which must count as numbers too.
+    if isinstance(value, (bool, np.bool_)):
         return 1.0 if value else 0.0
-    if isinstance(value, (int, float)):
+    if isinstance(value, (int, float, np.integer, np.floating)):
         return float(value)
     raise EvaluationError(
         f"function {name!r} is only defined over numeric semirings, got {value!r}"

@@ -9,8 +9,17 @@ uniformly over any of them.
 """
 
 from repro.semiring.base import Semiring
+from repro.semiring.kernels import (
+    KernelBackend,
+    ObjectFoldKernels,
+    kernels_for,
+    register_kernels,
+    unregister_kernels,
+)
 from repro.semiring.matrix import (
     canonical_vector,
+    diagonal,
+    from_entries,
     from_rows,
     identity,
     lift,
@@ -39,6 +48,7 @@ __all__ = [
     "BooleanSemiring",
     "INTEGER",
     "IntegerRing",
+    "KernelBackend",
     "MAX_PLUS",
     "MIN_PLUS",
     "MaxPlusSemiring",
@@ -46,6 +56,7 @@ __all__ = [
     "Monomial",
     "NATURAL",
     "NaturalSemiring",
+    "ObjectFoldKernels",
     "Polynomial",
     "ProvenanceSemiring",
     "REAL",
@@ -53,14 +64,19 @@ __all__ = [
     "Semiring",
     "available_semirings",
     "canonical_vector",
+    "diagonal",
+    "from_entries",
     "from_rows",
     "get_semiring",
     "identity",
+    "kernels_for",
     "lift",
     "matrices_equal",
     "ones_matrix",
+    "register_kernels",
     "register_semiring",
     "scalar",
     "scalar_value",
+    "unregister_kernels",
     "zeros",
 ]

@@ -8,18 +8,23 @@ semirings) with identity ``one``, ``times`` distributes over ``plus`` and
 
 Concrete semirings subclass :class:`Semiring` and provide the scalar
 operations; the matrix layer in :mod:`repro.semiring.matrix` and the MATLANG
-evaluator build on top of those.  The real field additionally exposes a dense
-``float64`` fast path which the evaluator uses transparently.
+evaluator build on top of those.  All matrix-level operations dispatch to a
+dense kernel backend (:mod:`repro.semiring.kernels`): numeric-representable
+semirings get vectorized whole-array kernels over a primitive dtype, every
+other semiring falls back to the generic object-dtype scalar fold.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Iterable
+from typing import TYPE_CHECKING, Any, Iterable, Optional
 
 import numpy as np
 
 from repro.exceptions import SemiringError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.semiring.kernels import KernelBackend
 
 
 class Semiring(ABC):
@@ -27,16 +32,28 @@ class Semiring(ABC):
 
     Subclasses define the carrier through :meth:`coerce` and the four scalar
     operations.  Values are plain Python / numpy objects; matrices over a
-    semiring are numpy arrays of ``dtype=object`` except for semirings that
-    advertise a numeric dtype through :attr:`dtype`.
+    semiring are numpy arrays whose dtype is declared by :attr:`dtype` and
+    whose whole-array operations are provided by the kernel backend selected
+    through :func:`repro.semiring.kernels.kernels_for`.
     """
 
     #: Human readable, unique name used by the registry.
     name: str = "abstract"
 
-    #: numpy dtype used for dense matrices over this semiring.  ``object`` is
-    #: always correct; numeric semirings may override it for speed.
-    dtype: Any = object
+    #: Lazily selected kernel backend (see the :attr:`kernels` property),
+    #: together with the factory-registry version it was resolved against.
+    _kernels: Optional["KernelBackend"] = None
+    _kernels_version: int = -1
+
+    @property
+    def dtype(self) -> Any:
+        """numpy dtype used for dense matrices over this semiring.
+
+        Derived from the kernel backend (the single owner of the storage
+        decision), so switching backends via
+        :func:`repro.semiring.kernels.register_kernels` keeps the two in sync.
+        """
+        return self.kernels.dtype
 
     # ------------------------------------------------------------------
     # Scalar interface
@@ -121,95 +138,90 @@ class Semiring(ABC):
     # ------------------------------------------------------------------
     def sum(self, values: Iterable[Any]) -> Any:
         """Fold ``plus`` over ``values`` starting from ``zero``."""
-        result = self.zero
-        for value in values:
-            result = self.plus(result, value)
-        return result
+        return self.kernels.sum(values)
 
     def product(self, values: Iterable[Any]) -> Any:
         """Fold ``times`` over ``values`` starting from ``one``."""
-        result = self.one
-        for value in values:
-            result = self.times(result, value)
-        return result
+        return self.kernels.product(values)
 
     # ------------------------------------------------------------------
-    # Dense matrix helpers (generic object-array implementation)
+    # Dense matrix helpers (dispatch to the kernel backend)
     # ------------------------------------------------------------------
+    @property
+    def kernels(self) -> "KernelBackend":
+        """The dense kernel backend for matrices over this semiring.
+
+        Selected through :func:`repro.semiring.kernels.kernels_for` and
+        cached; the cache is invalidated automatically when
+        :func:`repro.semiring.kernels.register_kernels` changes the factory
+        table, so re-registering a backend takes effect immediately.
+        """
+        from repro.semiring.kernels import kernels_for, registry_version
+
+        version = registry_version()
+        kernels = self._kernels
+        if kernels is None or self._kernels_version != version:
+            kernels = kernels_for(self)
+            self._kernels = kernels
+            self._kernels_version = version
+        return kernels
+
     def zeros(self, rows: int, cols: int) -> np.ndarray:
         """A ``rows x cols`` matrix filled with the additive identity."""
-        matrix = np.empty((rows, cols), dtype=self.dtype)
-        matrix[...] = self.zero
-        return matrix
+        return self.kernels.zeros(rows, cols)
 
     def ones(self, rows: int, cols: int) -> np.ndarray:
         """A ``rows x cols`` matrix filled with the multiplicative identity."""
-        matrix = np.empty((rows, cols), dtype=self.dtype)
-        matrix[...] = self.one
-        return matrix
+        return self.kernels.ones(rows, cols)
 
     def add_matrices(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
         """Entrywise semiring addition of two equally shaped matrices."""
-        if left.shape != right.shape:
-            raise SemiringError(
-                f"cannot add matrices of shapes {left.shape} and {right.shape}"
-            )
-        result = np.empty(left.shape, dtype=self.dtype)
-        for index in np.ndindex(left.shape):
-            result[index] = self.plus(left[index], right[index])
-        return result
+        kernels = self.kernels
+        return kernels.add_matrices(
+            kernels.ensure_storage(left), kernels.ensure_storage(right)
+        )
 
     def hadamard(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
         """Entrywise semiring multiplication (Hadamard product)."""
-        if left.shape != right.shape:
-            raise SemiringError(
-                f"cannot take Hadamard product of shapes {left.shape} and {right.shape}"
-            )
-        result = np.empty(left.shape, dtype=self.dtype)
-        for index in np.ndindex(left.shape):
-            result[index] = self.times(left[index], right[index])
-        return result
+        kernels = self.kernels
+        return kernels.hadamard(
+            kernels.ensure_storage(left), kernels.ensure_storage(right)
+        )
 
     def matmul(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
         """Semiring matrix multiplication."""
-        if left.shape[1] != right.shape[0]:
-            raise SemiringError(
-                f"cannot multiply matrices of shapes {left.shape} and {right.shape}"
-            )
-        rows, inner = left.shape
-        cols = right.shape[1]
-        result = self.zeros(rows, cols)
-        for i in range(rows):
-            for j in range(cols):
-                accumulator = self.zero
-                for k in range(inner):
-                    accumulator = self.plus(
-                        accumulator, self.times(left[i, k], right[k, j])
-                    )
-                result[i, j] = accumulator
-        return result
+        kernels = self.kernels
+        return kernels.matmul(
+            kernels.ensure_storage(left), kernels.ensure_storage(right)
+        )
 
     def scale(self, factor: Any, matrix: np.ndarray) -> np.ndarray:
         """Multiply every entry of ``matrix`` by the scalar ``factor``."""
-        result = np.empty(matrix.shape, dtype=self.dtype)
-        for index in np.ndindex(matrix.shape):
-            result[index] = self.times(factor, matrix[index])
-        return result
+        kernels = self.kernels
+        return kernels.scale(factor, kernels.ensure_storage(matrix))
 
     def coerce_matrix(self, matrix: np.ndarray) -> np.ndarray:
         """Coerce every entry of ``matrix`` into the semiring carrier."""
-        source = np.asarray(matrix)
-        result = np.empty(source.shape, dtype=self.dtype)
-        for index in np.ndindex(source.shape):
-            result[index] = self.coerce(source[index])
-        return result
+        return self.kernels.coerce_matrix(matrix)
 
     def matrices_equal(
         self, left: np.ndarray, right: np.ndarray, tolerance: float = 1e-9
     ) -> bool:
-        """Whether two matrices agree entrywise (up to ``tolerance``)."""
+        """Whether two matrices agree entrywise (up to ``tolerance``).
+
+        Inputs are never coerced: out-of-carrier numeric values and legacy
+        object-dtype arrays are compared entrywise with ``close_to`` rather
+        than rejected.  (Entries the scalar comparison itself cannot
+        interpret — e.g. strings over the reals — propagate ``close_to``'s
+        error, as they always have.)
+        """
+        kernels = self.kernels
+        left = np.asarray(left)
+        right = np.asarray(right)
         if left.shape != right.shape:
             return False
+        if left.dtype == kernels.dtype and right.dtype == kernels.dtype:
+            return kernels.matrices_equal(left, right, tolerance)
         return all(
             self.close_to(left[index], right[index], tolerance)
             for index in np.ndindex(left.shape)

@@ -8,12 +8,13 @@ canonical vectors, identity matrices, scalar wrapping and comparisons.
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import Any, Mapping, Sequence
 
 import numpy as np
 
 from repro.exceptions import SemiringError
 from repro.semiring.base import Semiring
+from repro.semiring.kernels import storage_fit_error
 from repro.semiring.standard import REAL
 
 
@@ -29,10 +30,13 @@ def ones_matrix(semiring: Semiring, rows: int, cols: int) -> np.ndarray:
 
 def identity(semiring: Semiring, size: int) -> np.ndarray:
     """The ``size x size`` identity matrix over ``semiring``."""
-    matrix = semiring.zeros(size, size)
-    for i in range(size):
-        matrix[i, i] = semiring.one
-    return matrix
+    return semiring.kernels.identity(size)
+
+
+def diagonal(semiring: Semiring, column: np.ndarray) -> np.ndarray:
+    """The square matrix with ``column`` (an ``n x 1`` array) on the diagonal."""
+    kernels = semiring.kernels
+    return kernels.diag(kernels.ensure_storage(column))
 
 
 def canonical_vector(semiring: Semiring, size: int, index: int) -> np.ndarray:
@@ -52,9 +56,12 @@ def canonical_vector(semiring: Semiring, size: int, index: int) -> np.ndarray:
 
 def scalar(semiring: Semiring, value: Any) -> np.ndarray:
     """Wrap a scalar value as a ``1 x 1`` matrix over ``semiring``."""
-    matrix = semiring.zeros(1, 1)
-    matrix[0, 0] = semiring.coerce(value)
-    return matrix
+    source = np.empty((1, 1), dtype=object)
+    source[0, 0] = value
+    # Route through the kernel coercion boundary so out-of-carrier values
+    # (including ints that do not fit a primitive dtype) raise SemiringError
+    # instead of leaking a raw OverflowError from an array assignment.
+    return semiring.coerce_matrix(source)
 
 
 def scalar_value(matrix: np.ndarray) -> Any:
@@ -71,10 +78,38 @@ def from_rows(semiring: Semiring, rows: Sequence[Sequence[Any]]) -> np.ndarray:
     width = len(rows[0])
     if any(len(row) != width for row in rows):
         raise SemiringError("all rows must have the same length")
-    matrix = semiring.zeros(len(rows), width)
+    source = np.empty((len(rows), width), dtype=object)
     for i, row in enumerate(rows):
         for j, value in enumerate(row):
+            source[i, j] = value
+    return semiring.coerce_matrix(source)
+
+
+def from_entries(
+    semiring: Semiring,
+    rows: int,
+    cols: int,
+    entries: Mapping[tuple[int, int], Any],
+) -> np.ndarray:
+    """Build a matrix from a sparse ``{(i, j): value}`` mapping.
+
+    Unset positions hold the semiring zero.  Set values are coerced into the
+    carrier, and out-of-storage entries (ints that do not fit a primitive
+    dtype) raise :class:`~repro.exceptions.SemiringError` instead of leaking
+    a numpy assignment error.  Work is proportional to ``len(entries)``: the
+    zero background comes from the vectorized constructor and needs no
+    per-cell validation.
+    """
+    matrix = semiring.zeros(rows, cols)
+    for (i, j), value in entries.items():
+        if not (0 <= i < rows and 0 <= j < cols):
+            raise SemiringError(
+                f"entry index ({i}, {j}) is outside a {rows} x {cols} matrix"
+            )
+        try:
             matrix[i, j] = semiring.coerce(value)
+        except OverflowError as error:
+            raise storage_fit_error(semiring, matrix.dtype, value) from error
     return matrix
 
 
@@ -84,7 +119,10 @@ def lift(semiring: Semiring, matrix: Any) -> np.ndarray:
     One-dimensional inputs become column vectors, matching the paper's
     convention that vectors have type ``(alpha, 1)``.
     """
-    array = np.asarray(matrix, dtype=object if semiring.dtype is object else semiring.dtype)
+    # Keep the source dtype: the kernel backend's ``coerce_matrix`` below is
+    # the carrier boundary, and pre-casting here would bypass its validation
+    # (e.g. silently truncating 3.5 into an int64 natural).
+    array = np.asarray(matrix, dtype=object) if semiring.dtype is object else np.asarray(matrix)
     if array.ndim == 0:
         return scalar(semiring, array.item())
     if array.ndim == 1:

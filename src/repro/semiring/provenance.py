@@ -174,7 +174,6 @@ class ProvenanceSemiring(Semiring):
     """The free commutative semiring ``N[X]`` of provenance polynomials."""
 
     name = "provenance"
-    dtype = object
 
     @property
     def zero(self) -> Polynomial:

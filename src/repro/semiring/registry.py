@@ -7,10 +7,11 @@ classes, and lets downstream users plug in their own semirings.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.exceptions import SemiringError
 from repro.semiring.base import Semiring
+from repro.semiring.kernels import KernelBackend, register_kernels, unregister_kernels
 from repro.semiring.provenance import PROVENANCE
 from repro.semiring.standard import BOOLEAN, INTEGER, NATURAL, REAL
 from repro.semiring.tropical import MAX_PLUS, MIN_PLUS
@@ -18,10 +19,36 @@ from repro.semiring.tropical import MAX_PLUS, MIN_PLUS
 _REGISTRY: Dict[str, Semiring] = {}
 
 
-def register_semiring(semiring: Semiring, overwrite: bool = False) -> None:
-    """Register ``semiring`` under its :attr:`Semiring.name`."""
+def register_semiring(
+    semiring: Semiring,
+    overwrite: bool = False,
+    kernels: Optional[Callable[[Semiring], KernelBackend]] = None,
+) -> None:
+    """Register ``semiring`` under its :attr:`Semiring.name`.
+
+    ``kernels`` optionally installs a vectorized kernel backend factory for
+    the semiring at the same time (see
+    :func:`repro.semiring.kernels.register_kernels`); without it, matrices
+    over the semiring use the generic object-dtype scalar fold — including
+    when overwriting a name that previously had a vectorized backend, whose
+    factory is dropped rather than silently inherited.
+    """
     if semiring.name in _REGISTRY and not overwrite:
         raise SemiringError(f"semiring {semiring.name!r} is already registered")
+    # Register the kernels first: if that step raises (e.g. a factory for the
+    # name already exists), the semiring must not be left half-registered.
+    if kernels is not None:
+        register_kernels(semiring.name, kernels, overwrite=overwrite)
+    elif (
+        overwrite
+        and semiring.name in _REGISTRY
+        and _REGISTRY[semiring.name] is not semiring
+    ):
+        # A genuine replacement must not silently inherit the old vectorized
+        # backend.  Re-registering the same instance (an idempotent refresh)
+        # keeps its kernels, as does a first registration of a name whose
+        # kernels were installed beforehand via register_kernels.
+        unregister_kernels(semiring.name)
     _REGISTRY[semiring.name] = semiring
 
 

@@ -22,11 +22,11 @@ class RealField(Semiring):
 
     This is the default semiring of MATLANG.  Matrices over the real field
     are stored as dense ``float64`` numpy arrays, and the matrix-level
-    operations delegate to vectorised numpy routines.
+    operations delegate to the BLAS-backed kernel backend
+    (:class:`repro.semiring.kernels.Float64FieldKernels`).
     """
 
     name = "real"
-    dtype = np.float64
 
     @property
     def zero(self) -> float:
@@ -59,7 +59,7 @@ class RealField(Semiring):
         return float(left) / float(right)
 
     def coerce(self, value: Any) -> float:
-        if isinstance(value, bool):
+        if isinstance(value, (bool, np.bool_)):
             return 1.0 if value else 0.0
         if isinstance(value, (_RealNumber, np.floating, np.integer)):
             return float(value)
@@ -76,55 +76,17 @@ class RealField(Semiring):
             1.0 + max(abs(float(left)), abs(float(right)))
         )
 
-    # ------------------------------------------------------------------
-    # Dense numpy fast paths
-    # ------------------------------------------------------------------
-    def zeros(self, rows: int, cols: int) -> np.ndarray:
-        return np.zeros((rows, cols), dtype=np.float64)
-
-    def ones(self, rows: int, cols: int) -> np.ndarray:
-        return np.ones((rows, cols), dtype=np.float64)
-
-    def add_matrices(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
-        if left.shape != right.shape:
-            raise SemiringError(
-                f"cannot add matrices of shapes {left.shape} and {right.shape}"
-            )
-        return left + right
-
-    def hadamard(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
-        if left.shape != right.shape:
-            raise SemiringError(
-                f"cannot take Hadamard product of shapes {left.shape} and {right.shape}"
-            )
-        return left * right
-
-    def matmul(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
-        if left.shape[1] != right.shape[0]:
-            raise SemiringError(
-                f"cannot multiply matrices of shapes {left.shape} and {right.shape}"
-            )
-        return left @ right
-
-    def scale(self, factor: float, matrix: np.ndarray) -> np.ndarray:
-        return float(factor) * matrix
-
-    def coerce_matrix(self, matrix: np.ndarray) -> np.ndarray:
-        return np.asarray(matrix, dtype=np.float64)
-
-    def matrices_equal(
-        self, left: np.ndarray, right: np.ndarray, tolerance: float = 1e-9
-    ) -> bool:
-        if left.shape != right.shape:
-            return False
-        return bool(np.allclose(left, right, rtol=tolerance, atol=tolerance))
-
 
 class IntegerRing(Semiring):
-    """The commutative ring of integers (a semiring with additive inverses)."""
+    """The commutative ring of integers (a semiring with additive inverses).
+
+    Matrices are stored as ``int64`` arrays; values (including operation
+    results) that do not fit the storage are rejected with a
+    :class:`~repro.exceptions.SemiringError` rather than wrapped — switch to
+    the object-fold kernels for arbitrary precision.
+    """
 
     name = "integer"
-    dtype = object
 
     @property
     def zero(self) -> int:
@@ -148,7 +110,7 @@ class IntegerRing(Semiring):
         return -int(value)
 
     def coerce(self, value: Any) -> int:
-        if isinstance(value, bool):
+        if isinstance(value, (bool, np.bool_)):
             return 1 if value else 0
         if isinstance(value, (int, np.integer)):
             return int(value)
@@ -168,7 +130,6 @@ class NaturalSemiring(Semiring):
     """
 
     name = "natural"
-    dtype = object
 
     @property
     def zero(self) -> int:
@@ -185,7 +146,7 @@ class NaturalSemiring(Semiring):
         return int(left) * int(right)
 
     def coerce(self, value: Any) -> int:
-        if isinstance(value, bool):
+        if isinstance(value, (bool, np.bool_)):
             return 1 if value else 0
         if isinstance(value, (int, np.integer)):
             if int(value) < 0:
@@ -209,7 +170,6 @@ class BooleanSemiring(Semiring):
     """
 
     name = "boolean"
-    dtype = object
 
     @property
     def zero(self) -> bool:

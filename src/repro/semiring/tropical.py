@@ -4,6 +4,14 @@ Tropical semirings are the standard examples of semirings in which MATLANG
 evaluation computes shortest / longest path information: over min-plus, the
 entry ``(i, j)`` of the "matrix power" ``A^k`` holds the cheapest cost of a
 walk of length ``k`` from ``i`` to ``j``.
+
+The carriers are ``R U {+inf}`` (min-plus) and ``R U {-inf}`` (max-plus):
+each semiring adjoins *only its own* additive identity.  ``coerce`` rejects
+the opposite infinity (and NaN) — accepting it would both leave the carrier
+and break annihilation, since ``times`` must map the semiring zero (not any
+infinity) to the zero.  This carrier discipline is also what makes the
+vectorized kernels (:class:`repro.semiring.kernels.TropicalKernels`) safe:
+``inf - inf`` can never arise inside a broadcasted outer sum.
 """
 
 from __future__ import annotations
@@ -21,7 +29,6 @@ class MinPlusSemiring(Semiring):
     """The tropical semiring ``(R U {inf}, min, +, inf, 0)``."""
 
     name = "min_plus"
-    dtype = object
 
     @property
     def zero(self) -> float:
@@ -35,15 +42,26 @@ class MinPlusSemiring(Semiring):
         return min(float(left), float(right))
 
     def times(self, left: float, right: float) -> float:
-        if math.isinf(left) or math.isinf(right):
+        left = float(left)
+        right = float(right)
+        # Only the semiring's own zero (+inf) annihilates; -inf is outside
+        # the carrier and must not be swallowed into +inf.
+        if left == math.inf or right == math.inf:
             return math.inf
-        return float(left) + float(right)
+        return left + right
 
     def coerce(self, value: Any) -> float:
-        if isinstance(value, bool):
+        if isinstance(value, (bool, np.bool_)):
             return 0.0 if value else math.inf
         if isinstance(value, (int, float, np.integer, np.floating)):
-            return float(value)
+            number = float(value)
+            if number == -math.inf:
+                raise SemiringError(
+                    "-inf is outside the min-plus carrier (only +inf is adjoined)"
+                )
+            if math.isnan(number):
+                raise SemiringError("NaN is not an element of the min-plus semiring")
+            return number
         raise SemiringError(f"cannot coerce {value!r} into a min-plus value")
 
     def from_int(self, value: int) -> float:
@@ -63,7 +81,6 @@ class MaxPlusSemiring(Semiring):
     """The arctic semiring ``(R U {-inf}, max, +, -inf, 0)``."""
 
     name = "max_plus"
-    dtype = object
 
     @property
     def zero(self) -> float:
@@ -77,16 +94,25 @@ class MaxPlusSemiring(Semiring):
         return max(float(left), float(right))
 
     def times(self, left: float, right: float) -> float:
-        if math.isinf(left) or math.isinf(right):
-            if left == -math.inf or right == -math.inf:
-                return -math.inf
-        return float(left) + float(right)
+        left = float(left)
+        right = float(right)
+        # Only the semiring's own zero (-inf) annihilates.
+        if left == -math.inf or right == -math.inf:
+            return -math.inf
+        return left + right
 
     def coerce(self, value: Any) -> float:
-        if isinstance(value, bool):
+        if isinstance(value, (bool, np.bool_)):
             return 0.0 if value else -math.inf
         if isinstance(value, (int, float, np.integer, np.floating)):
-            return float(value)
+            number = float(value)
+            if number == math.inf:
+                raise SemiringError(
+                    "+inf is outside the max-plus carrier (only -inf is adjoined)"
+                )
+            if math.isnan(number):
+                raise SemiringError("NaN is not an element of the max-plus semiring")
+            return number
         raise SemiringError(f"cannot coerce {value!r} into a max-plus value")
 
     def from_int(self, value: int) -> float:

@@ -41,6 +41,7 @@ from repro.stdlib.graphs import (
     has_four_clique,
     k_clique_count,
     reachability_from,
+    shortest_path_matrix,
     transitive_closure_floyd_warshall,
     transitive_closure_indicator,
     transitive_closure_product,
@@ -121,6 +122,7 @@ __all__ = [
     "s_less_equal",
     "scalar_entry",
     "solve_lower_triangular",
+    "shortest_path_matrix",
     "succ",
     "succ_strict",
     "total_sum",

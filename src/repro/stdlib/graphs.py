@@ -72,6 +72,21 @@ def transitive_closure_product(adjacency: ExpressionLike = "A", iterator: str = 
     return apply("gt0", prod(iterator, body))
 
 
+def shortest_path_matrix(adjacency: ExpressionLike = "A", iterator: str = "_spv") -> Expression:
+    """All-pairs shortest-path costs: ``Pi v. (I + A)`` over min-plus.
+
+    Over the min-plus semiring ``+`` is entrywise ``min`` and the matrix
+    product is the tropical one, so ``I + A`` is the weight matrix with free
+    self-loops and its ``n``-th tropical power holds the cheapest cost of a
+    walk of length at most ``n`` — the shortest-path distance (``inf`` where
+    no path exists).  The same expression evaluated over the booleans is
+    reflexive-transitive reachability: the semiring parameterises the
+    meaning, exactly the Section 6 story.  Lives in prod-MATLANG.
+    """
+    matrix = _as_expr(adjacency)
+    return prod(iterator, identity_like(matrix) + matrix)
+
+
 def reachability_from(
     source: Expression,
     adjacency: ExpressionLike = "A",

@@ -17,7 +17,7 @@ import numpy as np
 from repro.exceptions import SchemaError
 from repro.matlang.instance import Instance
 from repro.matlang.schema import SCALAR_SYMBOL, Schema
-from repro.semiring import REAL, Semiring
+from repro.semiring import REAL, Semiring, from_entries
 
 
 def relation_variable(symbol: str) -> str:
@@ -120,21 +120,34 @@ def structure_to_instance(
     for relation in structure.symbols():
         arity = structure.arity(relation)
         variable = relation_variable(relation)
+        weights = structure.weights.get(relation, {})
+        # from_entries routes the weights through the kernel coercion
+        # boundary, so out-of-storage values fail with SemiringError instead
+        # of a raw numpy assignment error.
         if arity == 2:
             sizes[variable] = (symbol, symbol)
-            matrix = semiring.zeros(size, size)
-            for (left, right), weight in structure.weights.get(relation, {}).items():
-                matrix[index[left], index[right]] = weight
+            matrix = from_entries(
+                semiring,
+                size,
+                size,
+                {
+                    (index[left], index[right]): weight
+                    for (left, right), weight in weights.items()
+                },
+            )
         elif arity == 1:
             sizes[variable] = (symbol, SCALAR_SYMBOL)
-            matrix = semiring.zeros(size, 1)
-            for (value,), weight in structure.weights.get(relation, {}).items():
-                matrix[index[value], 0] = weight
+            matrix = from_entries(
+                semiring,
+                size,
+                1,
+                {(index[value], 0): weight for (value,), weight in weights.items()},
+            )
         else:
             sizes[variable] = (SCALAR_SYMBOL, SCALAR_SYMBOL)
-            matrix = semiring.zeros(1, 1)
-            for _, weight in structure.weights.get(relation, {}).items():
-                matrix[0, 0] = weight
+            matrix = from_entries(
+                semiring, 1, 1, {(0, 0): weight for _, weight in weights.items()}
+            )
         matrices[variable] = matrix
 
     schema = Schema(sizes)

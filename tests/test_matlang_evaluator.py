@@ -153,8 +153,8 @@ class TestOtherSemirings:
         adjacency = np.array([[0, 1, 0], [0, 0, 1], [0, 0, 0]])
         instance = Instance.from_matrices({"A": adjacency}, semiring=BOOLEAN)
         two_step = evaluate(var("A") @ var("A"), instance)
-        assert two_step[0, 2] is True
-        assert two_step[0, 1] is False
+        assert bool(two_step[0, 2]) is True
+        assert bool(two_step[0, 1]) is False
 
     def test_natural_counting(self):
         adjacency = np.array([[0, 2], [1, 0]])
@@ -178,8 +178,116 @@ class TestOtherSemirings:
         trace = evaluate(ssum("v", var("v").T @ var("A") @ var("v")), instance)
         assert str(trace[0, 0]) == "a + d"
 
+    def test_pointwise_functions_accept_numpy_scalars(self):
+        # Regression: primitive-dtype matrices hand np.bool_/np.int64 entries
+        # to pointwise functions; gt0 and friends used to reject them.
+        adjacency = np.array([[0, 1], [0, 0]])
+        boolean = Instance.from_matrices({"A": adjacency}, semiring=BOOLEAN)
+        gated = evaluate(apply("gt0", var("A")), boolean)
+        assert bool(gated[0, 1]) is True and bool(gated[0, 0]) is False
+
+        natural = Instance.from_matrices({"A": adjacency}, semiring=NATURAL)
+        gated = evaluate(apply("gt0", var("A")), natural)
+        assert gated[0, 1] == 1 and gated[0, 0] == 0
+
+    def test_transitive_closure_stdlib_works_over_boolean_and_natural(self):
+        from repro.stdlib import transitive_closure_indicator, transitive_closure_product
+
+        adjacency = np.array([[0, 1, 0], [0, 0, 1], [0, 0, 0]])
+        for semiring in (BOOLEAN, NATURAL):
+            instance = Instance.from_matrices({"A": adjacency}, semiring=semiring)
+            closure = evaluate(transitive_closure_indicator(var("A")), instance)
+            assert bool(closure[0, 2]) and not bool(closure[2, 0])
+            reflexive = evaluate(transitive_closure_product(var("A")), instance)
+            assert bool(reflexive[0, 0]) and bool(reflexive[0, 2])
+
     def test_sum_quantifier_over_boolean_is_exists(self):
         adjacency = np.array([[0, 1], [0, 0]])
         instance = Instance.from_matrices({"A": adjacency}, semiring=BOOLEAN)
         has_edge = evaluate(ssum("u", ssum("v", var("u").T @ var("A") @ var("v"))), instance)
-        assert has_edge[0, 0] is True
+        assert bool(has_edge[0, 0]) is True
+
+
+class TestResultAliasing:
+    """Results handed out by the public API must be defensive copies."""
+
+    def test_mutating_a_variable_result_does_not_corrupt_the_instance(
+        self, square_instance, square_matrix
+    ):
+        # Regression: evaluate(var("A"), ...) used to return the instance's
+        # backing array itself.
+        result = evaluate(var("A"), square_instance)
+        result[0, 0] = -999.0
+        assert square_instance.matrix("A")[0, 0] == square_matrix[0, 0]
+        fresh = evaluate(var("A"), square_instance)
+        assert np.allclose(fresh, square_matrix)
+
+    def test_mutating_a_result_does_not_corrupt_later_runs(self, square_instance):
+        # Regression: memoized loop results were returned without copying, so
+        # a caller mutation poisoned every later evaluation of the same tree.
+        evaluator = Evaluator(square_instance)
+        expression = ssum("v", var("v") @ var("v").T)
+        first = evaluator.run(expression)
+        expected = first.copy()
+        first[...] = -123.0
+        second = evaluator.run(expression)
+        assert np.allclose(second, expected)
+
+    def test_loop_iterator_results_are_independent(self, square_instance):
+        # The evaluator binds loop iterators to views of a shared basis
+        # matrix; results built from them must still be safe to mutate.
+        result = evaluate(ssum("v", var("v")), square_instance)
+        result[0, 0] = 77.0
+        again = evaluate(ssum("v", var("v")), square_instance)
+        assert again[0, 0] == 1.0
+
+
+class TestApplyEdgeCases:
+    def test_apply_result_exceeding_int64_storage_raises_semiring_error(self):
+        # Regression: pointwise results that do not fit the primitive kernel
+        # dtype used to leak a raw OverflowError (or, worse, wrap silently).
+        from repro.exceptions import SemiringError
+
+        big = np.array([[2**40, 1], [1, 2**40]], dtype=object)
+        instance = Instance.from_matrices({"A": big}, semiring=NATURAL)
+        with pytest.raises(SemiringError):
+            evaluate(apply("mul", var("A"), var("A")), instance)
+
+    def test_apply_is_exact_on_the_object_fold_escape_hatch(self):
+        from repro.semiring.kernels import (
+            Int64Kernels,
+            ObjectFoldKernels,
+            register_kernels,
+        )
+
+        big = np.array([[2**40, 1], [1, 2**40]], dtype=object)
+        instance = Instance.from_matrices({"A": big}, semiring=NATURAL)
+        register_kernels("natural", ObjectFoldKernels, overwrite=True)
+        try:
+            result = evaluate(apply("mul", var("A"), var("A")), instance)
+            assert result[0, 0] == 2**80
+        finally:
+            register_kernels(
+                "natural",
+                lambda s: Int64Kernels(s, allow_negative=False),
+                overwrite=True,
+            )
+
+    def test_nullary_apply_is_a_typing_error(self, square_instance):
+        from repro.exceptions import TypingError
+        from repro.matlang.ast import Apply
+
+        with pytest.raises(TypingError):
+            evaluate(Apply("gt0", ()), square_instance)
+
+    def test_nullary_apply_is_an_evaluation_error_on_hand_built_trees(
+        self, square_instance
+    ):
+        # Regression: a hand-annotated nullary Apply used to crash with a
+        # bare IndexError at operands[0].shape.
+        from repro.matlang.ast import Apply
+        from repro.matlang.typecheck import TypedExpression
+
+        typed = TypedExpression(Apply("gt0", ()), ("1", "1"), ())
+        with pytest.raises(EvaluationError):
+            Evaluator(square_instance).run_typed(typed)

@@ -74,7 +74,7 @@ class TestFromMatrices:
 
     def test_other_semirings(self):
         instance = Instance.from_matrices({"A": np.array([[0, 1], [1, 0]])}, semiring=BOOLEAN)
-        assert instance.matrix("A")[0, 1] is True
+        assert bool(instance.matrix("A")[0, 1]) is True
 
     def test_natural_semiring_rejects_negative_entries(self):
         with pytest.raises(Exception):

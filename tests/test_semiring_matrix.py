@@ -32,7 +32,8 @@ class TestConstructors:
     def test_identity(self):
         assert np.allclose(identity(REAL, 3), np.eye(3))
         boolean_identity = identity(BOOLEAN, 2)
-        assert boolean_identity[0, 0] is True and boolean_identity[0, 1] is False
+        assert boolean_identity.dtype == np.bool_
+        assert bool(boolean_identity[0, 0]) is True and bool(boolean_identity[0, 1]) is False
 
     def test_canonical_vector(self):
         vector = canonical_vector(REAL, 4, 2)
@@ -81,7 +82,8 @@ class TestLift:
 
     def test_lift_coerces_into_semiring(self):
         lifted = lift(BOOLEAN, np.array([[0, 2], [1, 0]]))
-        assert lifted[0, 1] is True and lifted[0, 0] is False
+        assert lifted.dtype == np.bool_
+        assert bool(lifted[0, 1]) is True and bool(lifted[0, 0]) is False
 
 
 class TestEquality:

@@ -112,6 +112,14 @@ class TestBooleanSemiring:
         assert BOOLEAN.coerce(5) is True
         assert BOOLEAN.coerce(0.0) is False
 
+    def test_all_numeric_semirings_coerce_numpy_bools(self):
+        # Regression: np.bool_ values (e.g. comparison results on
+        # primitive-dtype matrices) were rejected by the int-like semirings.
+        assert NATURAL.coerce(np.bool_(True)) == 1
+        assert INTEGER.coerce(np.bool_(True)) == 1
+        assert INTEGER.coerce(np.bool_(False)) == 0
+        assert REAL.coerce(np.bool_(True)) == 1.0
+
     def test_matrix_multiplication_is_reachability(self):
         adjacency = BOOLEAN.coerce_matrix(np.array([[0, 1], [0, 0]]))
         squared = BOOLEAN.matmul(adjacency, adjacency)

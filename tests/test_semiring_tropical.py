@@ -35,6 +35,23 @@ class TestMinPlus:
         with pytest.raises(SemiringError):
             MIN_PLUS.coerce("x")
 
+    def test_coerce_rejects_out_of_carrier_infinity(self):
+        # Regression: -inf is not in R u {+inf}; accepting it used to let
+        # ``times`` silently swallow it into the annihilator +inf.
+        with pytest.raises(SemiringError):
+            MIN_PLUS.coerce(-math.inf)
+
+    def test_coerce_rejects_nan(self):
+        with pytest.raises(SemiringError):
+            MIN_PLUS.coerce(math.nan)
+
+    def test_times_only_annihilates_on_own_zero(self):
+        # Regression: times(-inf, x) used to return +inf because any infinity
+        # was treated as the annihilator.
+        assert MIN_PLUS.times(-math.inf, 5.0) == -math.inf
+        assert MIN_PLUS.times(5.0, -math.inf) == -math.inf
+        assert MIN_PLUS.times(math.inf, -math.inf) == math.inf
+
     def test_close_to_handles_infinities(self):
         assert MIN_PLUS.close_to(math.inf, math.inf)
         assert not MIN_PLUS.close_to(math.inf, 3.0)
@@ -69,3 +86,17 @@ class TestMaxPlus:
         left = MAX_PLUS.times(a, MAX_PLUS.plus(b, c))
         right = MAX_PLUS.plus(MAX_PLUS.times(a, b), MAX_PLUS.times(a, c))
         assert left == right
+
+    def test_coerce_rejects_out_of_carrier_infinity(self):
+        # Mirror of the min-plus regression: +inf is not in R u {-inf}.
+        with pytest.raises(SemiringError):
+            MAX_PLUS.coerce(math.inf)
+
+    def test_coerce_rejects_nan(self):
+        with pytest.raises(SemiringError):
+            MAX_PLUS.coerce(math.nan)
+
+    def test_times_only_annihilates_on_own_zero(self):
+        assert MAX_PLUS.times(math.inf, 5.0) == math.inf
+        assert MAX_PLUS.times(5.0, math.inf) == math.inf
+        assert MAX_PLUS.times(-math.inf, math.inf) == -math.inf

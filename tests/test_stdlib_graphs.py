@@ -138,3 +138,30 @@ class TestCliques:
         from repro.matlang.fragments import Fragment, minimal_fragment
 
         assert minimal_fragment(four_clique_count("A")) == Fragment.SUM_MATLANG
+
+
+class TestShortestPaths:
+    def test_min_plus_all_pairs_shortest_paths(self):
+        from repro.semiring import MIN_PLUS
+        from repro.stdlib.graphs import shortest_path_matrix
+
+        inf = np.inf
+        # 0 -> 1 (cost 1), 1 -> 2 (cost 2), 0 -> 2 (cost 5), 2 unreachable from 1's side back.
+        weights = np.array(
+            [[inf, 1.0, 5.0], [inf, inf, 2.0], [inf, inf, inf]]
+        )
+        instance = Instance.from_matrices({"A": weights}, semiring=MIN_PLUS)
+        distances = evaluate(shortest_path_matrix("A"), instance)
+        assert distances[0, 0] == 0.0  # free self-loop
+        assert distances[0, 1] == 1.0
+        assert distances[0, 2] == 3.0  # via vertex 1, cheaper than the direct edge
+        assert distances[1, 0] == inf  # unreachable
+
+    def test_same_expression_over_booleans_is_reachability(self):
+        from repro.stdlib.graphs import shortest_path_matrix
+
+        adjacency = random_digraph(6, probability=0.3, seed=11)
+        instance = Instance.from_matrices({"A": adjacency}, semiring=BOOLEAN)
+        reachable = evaluate(shortest_path_matrix("A"), instance)
+        expected = reachability_closure(adjacency) + np.eye(6)
+        assert np.array_equal(np.asarray(reachable, dtype=float) != 0, expected != 0)

@@ -211,3 +211,20 @@ class TestWLToFOMatlang:
             evaluate_formula(sentence, structure),
             evaluate_formula_via_matlang(sentence, structure),
         )
+
+
+class TestStorageBoundary:
+    def test_structure_to_instance_rejects_weights_beyond_int64_storage(self):
+        # Regression: weights used to be assigned raw into int64 arrays,
+        # leaking OverflowError instead of the library's SemiringError.
+        from repro.exceptions import SemiringError
+        from repro.wlogic.structures import WeightedStructure, structure_to_instance
+
+        structure = WeightedStructure(
+            domain=(1, 2),
+            arities={"E": 2},
+            weights={"E": {(1, 2): 2**70}},
+            semiring=NATURAL,
+        )
+        with pytest.raises(SemiringError):
+            structure_to_instance(structure)
