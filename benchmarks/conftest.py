@@ -9,10 +9,30 @@ regenerates the rows recorded in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import pathlib
+
 import numpy as np
 import pytest
 
 from repro.experiments import ExperimentRecord, Table, experiment_info
+
+_BENCHMARK_DIR = pathlib.Path(__file__).parent.resolve()
+
+
+def pytest_collection_modifyitems(items):
+    """Mark every test collected from this directory with ``bench``.
+
+    Together with the ``addopts = -m 'not bench'`` filter in pyproject.toml
+    this keeps benchmarks out of the default (tier-1) run while making them
+    selectable with ``pytest -m bench``.
+    """
+    for item in items:
+        try:
+            path = pathlib.Path(str(item.fspath)).resolve()
+        except OSError:  # pragma: no cover - defensive
+            continue
+        if _BENCHMARK_DIR in path.parents:
+            item.add_marker(pytest.mark.bench)
 
 
 @pytest.fixture

@@ -17,11 +17,12 @@ provides
   fragment equivalences on random instances.
 """
 
-from repro.experiments.harness import ExperimentRecord, Table
+from repro.experiments.harness import CompiledWorkload, ExperimentRecord, Table
 from repro.experiments.registry import EXPERIMENTS, ExperimentInfo, experiment_info
 from repro.experiments.figure1 import build_figure1, render_figure1
 
 __all__ = [
+    "CompiledWorkload",
     "EXPERIMENTS",
     "ExperimentInfo",
     "ExperimentRecord",

@@ -137,6 +137,20 @@ _EXPERIMENTS: Tuple[ExperimentInfo, ...] = (
         ("repro.matlang.evaluator", "repro.stdlib"),
         "benchmarks/bench_p01_interpreter_cost.py",
     ),
+    ExperimentInfo(
+        "P2",
+        "Reproduction-specific",
+        "Vectorized semiring kernel backends versus the object-dtype scalar fold",
+        ("repro.semiring.kernels",),
+        "benchmarks/bench_p02_semiring_kernels.py",
+    ),
+    ExperimentInfo(
+        "P3",
+        "Reproduction-specific",
+        "Compile-then-execute pipeline: loop fusion, plan caching and the sparse backend",
+        ("repro.matlang.compiler", "repro.matlang.rewrites", "repro.semiring.backends"),
+        "benchmarks/bench_p03_compile_pipeline.py",
+    ),
 )
 
 EXPERIMENTS: Dict[str, ExperimentInfo] = {info.identifier: info for info in _EXPERIMENTS}

@@ -49,8 +49,16 @@ from repro.matlang.builder import (
     ssum,
     var,
 )
+from repro.matlang.compiler import (
+    clear_plan_cache,
+    compile_expression,
+    compile_typed,
+    lower,
+    plan_cache_info,
+)
 from repro.matlang.degree import DegreeReport, analyse_degree, circuit_degree_for_dimension
 from repro.matlang.evaluator import Evaluator, evaluate
+from repro.matlang.ir import Plan, PlanOp, execute_plan
 from repro.matlang.fragments import Fragment, classify, is_in_fragment, required_functions
 from repro.matlang.functions import FunctionRegistry, PointwiseFunction, default_registry
 from repro.matlang.instance import Instance
@@ -75,6 +83,8 @@ __all__ = [
     "MatMul",
     "MatrixType",
     "OneVector",
+    "Plan",
+    "PlanOp",
     "PointwiseFunction",
     "ProductLoop",
     "SCALAR_SYMBOL",
@@ -90,10 +100,16 @@ __all__ = [
     "apply",
     "circuit_degree_for_dimension",
     "classify",
+    "clear_plan_cache",
+    "compile_expression",
+    "compile_typed",
     "default_registry",
     "diag",
     "evaluate",
+    "execute_plan",
     "forloop",
+    "lower",
+    "plan_cache_info",
     "had",
     "infer_type",
     "is_in_fragment",

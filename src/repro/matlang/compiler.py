@@ -1,0 +1,375 @@
+"""Lowering of annotated MATLANG expressions into executable plans.
+
+This is the middle stage of the evaluation pipeline
+
+    annotate  ->  lower (this module)  ->  optimize (rewrites)  ->  execute
+
+The compiler walks a :class:`~repro.matlang.typecheck.TypedExpression` once
+and produces a flat :class:`~repro.matlang.ir.Plan`, applying three
+optimizations as it goes:
+
+* **Common-subexpression elimination** — registers are hash-consed on the
+  *structural* identity of the underlying expression (AST nodes are frozen
+  dataclasses), so structurally equal sub-trees within one binding scope
+  compile to a single register.  This strictly subsumes the id-keyed memo
+  cache the tree-walking evaluator used.
+* **Loop-invariant hoisting** — a sub-expression whose free variables do
+  not meet the binders of the enclosing loop is lowered into the *parent*
+  plan and imported through a ``capture`` op, so it is computed once before
+  the loop instead of once per iteration (and bubbles out of nested loops
+  as far as its dependencies allow).
+* **Loop fusion** — quantifier loops whose bodies match the algebraic
+  patterns of :mod:`repro.matlang.rewrites` compile to single fused kernel
+  ops (row/column sums, trace, diagonal extraction, iterated powers by
+  repeated squaring), eliminating the per-iteration Python loop entirely.
+  ``for v, X. X + e`` loops are first recognised as sum quantifiers.
+
+Compiled plans are cached at module level keyed by ``(expression, schema
+signature)`` — plans reference dimension *symbols*, not concrete sizes, so
+one plan serves every instance of a schema.  :func:`plan_cache_info`
+exposes hit / miss counters so tests (and benchmarks) can assert that
+re-evaluation performs no re-lowering.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, namedtuple
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.exceptions import EvaluationError
+from repro.matlang import rewrites
+from repro.matlang.ast import (
+    Add,
+    Apply,
+    Diag,
+    Expression,
+    ForLoop,
+    HadamardLoop,
+    Literal,
+    MatMul,
+    OneVector,
+    ProductLoop,
+    ScalarMul,
+    SumLoop,
+    Transpose,
+    TypeHint,
+    Var,
+)
+from repro.matlang.ir import Plan, PlanOp
+from repro.matlang.schema import Schema
+from repro.matlang.typecheck import TypedExpression, annotate
+
+__all__ = [
+    "clear_plan_cache",
+    "compile_expression",
+    "compile_typed",
+    "lower",
+    "plan_cache_info",
+]
+
+
+# ----------------------------------------------------------------------
+# Lowering frames
+# ----------------------------------------------------------------------
+class _Frame:
+    """One plan under construction: ops, CSE table and binder names."""
+
+    __slots__ = ("ops", "cse", "parent", "iterator_name", "accumulator_name", "bound", "captures")
+
+    def __init__(
+        self,
+        parent: Optional["_Frame"] = None,
+        iterator_name: Optional[str] = None,
+        accumulator_name: Optional[str] = None,
+    ) -> None:
+        self.ops: List[PlanOp] = []
+        self.cse: Dict[Any, int] = {}
+        self.parent = parent
+        self.iterator_name = iterator_name
+        self.accumulator_name = accumulator_name
+        self.bound = frozenset(
+            name for name in (iterator_name, accumulator_name) if name is not None
+        )
+        #: Parent registers imported by this frame's ``capture`` ops.
+        self.captures: List[int] = []
+
+    def emit(self, opcode: str, inputs: Tuple[int, ...] = (), **params: Any) -> int:
+        self.ops.append(PlanOp(opcode=opcode, inputs=tuple(inputs), **params))
+        return len(self.ops) - 1
+
+    def capture(self, parent_register: int) -> int:
+        key = ("__capture__", parent_register)
+        register = self.cse.get(key)
+        if register is None:
+            self.captures.append(parent_register)
+            register = self.emit("capture", value=len(self.captures) - 1)
+            self.cse[key] = register
+        return register
+
+
+class _RuleContext:
+    """What :mod:`repro.matlang.rewrites` rules see of the compiler."""
+
+    __slots__ = ("frame", "iterator", "symbol")
+
+    def __init__(self, frame: _Frame, iterator: str, symbol: str) -> None:
+        self.frame = frame
+        self.iterator = iterator
+        self.symbol = symbol
+
+    def lower(self, typed: TypedExpression) -> int:
+        return _lower(typed, self.frame)
+
+    def emit(self, opcode: str, inputs: Tuple[int, ...] = (), **params: Any) -> int:
+        return self.frame.emit(opcode, inputs, **params)
+
+
+# ----------------------------------------------------------------------
+# Core lowering
+# ----------------------------------------------------------------------
+def lower(typed: TypedExpression) -> Plan:
+    """Lower an annotated expression to a plan (uncached entry point)."""
+    frame = _Frame()
+    result = _lower(typed, frame)
+    return Plan(tuple(frame.ops), result)
+
+
+def _lower(typed: TypedExpression, frame: _Frame) -> int:
+    expression = typed.expression
+
+    # Type hints are semantically transparent.
+    if isinstance(expression, TypeHint):
+        return _lower(typed.children[0], frame)
+
+    # Loop-invariant hoisting: nothing this node reads is bound by the
+    # current loop, so compute it in the enclosing plan (recursively — it
+    # keeps bubbling up while it stays invariant).
+    if frame.parent is not None and not (typed.free_names & frame.bound):
+        return frame.capture(_lower(typed, frame.parent))
+
+    register = frame.cse.get(expression)
+    if register is not None:
+        return register
+    register = _emit_node(typed, frame)
+    frame.cse[expression] = register
+    return register
+
+
+def _emit_node(typed: TypedExpression, frame: _Frame) -> int:
+    expression = typed.expression
+
+    if isinstance(expression, Var):
+        name = expression.name
+        # Accumulator before iterator: the reference interpreter binds the
+        # iterator and then the accumulator into the same environment, so a
+        # for-loop whose binders share one name resolves it to the
+        # accumulator — the compiled path must agree.
+        if name == frame.accumulator_name:
+            return frame.emit("accumulator", type=typed.type)
+        if name == frame.iterator_name:
+            return frame.emit("iterator", type=typed.type)
+        return frame.emit("load", name=name, type=typed.type)
+
+    if isinstance(expression, Literal):
+        return frame.emit("const", value=expression.value, type=typed.type)
+
+    if isinstance(expression, Transpose):
+        return frame.emit("transpose", (_lower(typed.children[0], frame),), type=typed.type)
+
+    if isinstance(expression, OneVector):
+        return frame.emit("ones", (_lower(typed.children[0], frame),), type=typed.type)
+
+    if isinstance(expression, Diag):
+        child = typed.children[0]
+        stripped = rewrites.strip_hints(child)
+        if isinstance(stripped.expression, OneVector):
+            # diag(1(e)) is the identity; skip materialising the ones vector.
+            inner = _lower(stripped.children[0], frame)
+            return frame.emit("identity_of", (inner,), type=typed.type)
+        return frame.emit("diag", (_lower(child, frame),), type=typed.type)
+
+    if isinstance(expression, MatMul):
+        left = _lower(typed.children[0], frame)
+        right = _lower(typed.children[1], frame)
+        return frame.emit("matmul", (left, right), type=typed.type)
+
+    if isinstance(expression, Add):
+        left = _lower(typed.children[0], frame)
+        right = _lower(typed.children[1], frame)
+        return frame.emit("add", (left, right), type=typed.type)
+
+    if isinstance(expression, ScalarMul):
+        factor = _lower(typed.children[0], frame)
+        operand = _lower(typed.children[1], frame)
+        return frame.emit("scale", (factor, operand), type=typed.type)
+
+    if isinstance(expression, Apply):
+        if not expression.operands:
+            raise EvaluationError(
+                f"pointwise function {expression.function!r} applied to no operands; "
+                "the result shape would be undefined"
+            )
+        registers = tuple(_lower(child, frame) for child in typed.children)
+        return frame.emit("apply", registers, name=expression.function, type=typed.type)
+
+    if isinstance(expression, ForLoop):
+        return _lower_for(typed, frame)
+
+    if isinstance(expression, (SumLoop, HadamardLoop, ProductLoop)):
+        kind = (
+            "sum"
+            if isinstance(expression, SumLoop)
+            else "hadamard"
+            if isinstance(expression, HadamardLoop)
+            else "product"
+        )
+        (body,) = typed.children
+        return _lower_quantifier(typed, body, frame, kind)
+
+    raise EvaluationError(f"unknown expression node {type(expression).__name__}")
+
+
+def _lower_for(typed: TypedExpression, frame: _Frame) -> int:
+    expression = typed.expression
+    if typed.iterator_symbol is None:
+        raise EvaluationError("loop node is missing its iterator annotation")
+
+    init_register: Optional[int] = None
+    if expression.init is not None:
+        init_typed, body_typed = typed.children
+        init_register = _lower(init_typed, frame)
+    else:
+        (body_typed,) = typed.children
+        # ``for v, X. X + e`` is the sum quantifier in disguise; treating it
+        # as one unlocks the sum-fusion rules and drops the accumulator
+        # binding (which in turn lets more of the body hoist).
+        sum_body = rewrites.sum_quantifier_body(typed)
+        if sum_body is not None:
+            return _lower_quantifier(typed, sum_body, frame, "sum")
+
+    # A body that reads neither binder is the loop's final value (n >= 1).
+    # The initialiser (lowered above) stays in the plan even though the
+    # result ignores it: the interpreter evaluates it too, so errors it
+    # raises must surface identically on the compiled path.
+    if not ({expression.iterator, expression.accumulator} & body_typed.free_names):
+        return _lower(body_typed, frame)
+
+    if init_register is None and typed.accumulator_type is None:
+        raise EvaluationError("for-loop node is missing its accumulator type")
+
+    child = _Frame(frame, expression.iterator, expression.accumulator)
+    body_register = _lower(body_typed, child)
+    inputs = () if init_register is None else (init_register,)
+    return frame.emit(
+        "loop",
+        inputs,
+        kind="for",
+        symbol=typed.iterator_symbol,
+        body=Plan(tuple(child.ops), body_register),
+        captures=tuple(child.captures),
+        accumulator_type=typed.accumulator_type,
+        type=typed.type,
+    )
+
+
+def _lower_quantifier(
+    typed: TypedExpression, body_typed: TypedExpression, frame: _Frame, kind: str
+) -> int:
+    expression = typed.expression
+    if typed.iterator_symbol is None:
+        raise EvaluationError("loop node is missing its iterator annotation")
+
+    context = _RuleContext(frame, expression.iterator, typed.iterator_symbol)
+    fused = rewrites.try_fuse(kind, body_typed, context)
+    if fused is not None:
+        return fused
+
+    child = _Frame(frame, iterator_name=expression.iterator)
+    body_register = _lower(body_typed, child)
+    return frame.emit(
+        "loop",
+        (),
+        kind=kind,
+        symbol=typed.iterator_symbol,
+        body=Plan(tuple(child.ops), body_register),
+        captures=tuple(child.captures),
+        type=typed.type,
+    )
+
+
+# ----------------------------------------------------------------------
+# The plan cache
+# ----------------------------------------------------------------------
+PlanCacheInfo = namedtuple("PlanCacheInfo", "hits misses size capacity")
+
+_PLAN_CACHE: "OrderedDict[Tuple[Expression, Tuple], Plan]" = OrderedDict()
+_PLAN_CACHE_CAPACITY = 512
+_hits = 0
+_misses = 0
+
+
+def _cache_lookup(key) -> Optional[Plan]:
+    global _hits
+    plan = _PLAN_CACHE.get(key)
+    if plan is not None:
+        _hits += 1
+        _PLAN_CACHE.move_to_end(key)
+    return plan
+
+
+def _cache_store(key, plan: Plan) -> None:
+    global _misses
+    _misses += 1
+    _PLAN_CACHE[key] = plan
+    while len(_PLAN_CACHE) > _PLAN_CACHE_CAPACITY:
+        _PLAN_CACHE.popitem(last=False)
+
+
+def compile_expression(expression: Expression, schema: Schema) -> Plan:
+    """Type-check and lower ``expression``, reusing the plan cache.
+
+    On a cache hit even the ``annotate`` pass is skipped: the key is the
+    structural identity of the expression plus the schema signature, both of
+    which fully determine the plan.
+    """
+    key = (expression, schema.signature())
+    plan = _cache_lookup(key)
+    if plan is None:
+        plan = lower(annotate(expression, schema))
+        _cache_store(key, plan)
+    return plan
+
+
+def compile_typed(typed: TypedExpression, schema: Schema) -> Plan:
+    """Lower an already annotated expression, reusing the plan cache.
+
+    The cache key uses the schema signature :func:`annotate` recorded on the
+    tree — never ``schema`` — so a tree annotated against a different schema
+    than the evaluator's can only mis-evaluate its own call (the historical
+    ``run_typed`` contract) and can never poison the cache entry that
+    correctly annotated evaluations of the same expression share.  Trees
+    without a recorded signature (hand-built ones) are lowered uncached.
+    """
+    del schema  # part of the call signature for symmetry; see the docstring
+    signature = typed.schema_signature
+    if signature is None:
+        return lower(typed)
+    key = (typed.expression, signature)
+    plan = _cache_lookup(key)
+    if plan is None:
+        plan = lower(typed)
+        _cache_store(key, plan)
+    return plan
+
+
+def plan_cache_info() -> PlanCacheInfo:
+    """Hit / miss counters and current size of the module-level plan cache."""
+    return PlanCacheInfo(_hits, _misses, len(_PLAN_CACHE), _PLAN_CACHE_CAPACITY)
+
+
+def clear_plan_cache() -> None:
+    """Empty the plan cache and reset the counters (used by tests)."""
+    global _hits, _misses
+    _PLAN_CACHE.clear()
+    _hits = 0
+    _misses = 0

@@ -1,24 +1,33 @@
 """Evaluation of MATLANG / for-MATLANG expressions over a semiring.
 
-The semantics follows Sections 2, 3.1 and 6 of the paper.  Evaluation proceeds
-on the *typed* tree produced by :func:`repro.matlang.typecheck.annotate`: the
-resolved size symbols tell the evaluator which dimension each for-loop ranges
-over and what the shape of an empty accumulator is, so no shape information
-has to be re-derived at run time.
+The semantics follows Sections 2, 3.1 and 6 of the paper.  Evaluation is a
+compile-then-execute pipeline:
 
-The evaluator is generic over the commutative semiring of the instance; all
-matrix operations dispatch through the semiring's dense kernel backend
-(:mod:`repro.semiring.kernels`), so numeric-representable semirings (reals,
-booleans, naturals/integers, min-plus/max-plus) evaluate on vectorized
-primitive-dtype arrays while everything else uses the object-dtype scalar
-fold.  Results returned from the public entry points (:meth:`Evaluator.run`,
-:meth:`Evaluator.run_typed`, :func:`evaluate`) are defensive copies: mutating
-them can never corrupt the instance's matrices or the evaluator's caches.
+    annotate -> lower to plan IR -> optimize (fusion / CSE / hoisting) -> execute
+
+:meth:`Evaluator.run` and :meth:`Evaluator.run_typed` are thin wrappers over
+that pipeline: they compile the expression once through
+:mod:`repro.matlang.compiler` (whose module-level cache is keyed by
+``(expression, schema)``, so repeated evaluations — including across
+evaluators and instances of the same schema — perform no re-lowering) and
+execute the plan on a pluggable execution backend
+(:mod:`repro.semiring.backends`).  The default dense backend dispatches to
+the semiring's kernel layer; pass ``backend="sparse"`` over the boolean
+semiring to run reachability workloads on CSR matrices.
+
+Constructing the evaluator with ``compile=False`` selects the original
+tree-walking interpreter instead, which is retained verbatim as the
+executable reference semantics: the equivalence property suite runs every
+workload through both paths and asserts entrywise agreement.
+
+Results returned from the public entry points (:meth:`Evaluator.run`,
+:meth:`Evaluator.run_typed`, :func:`evaluate`) are defensive copies:
+mutating them can never corrupt the instance's matrices or any cache.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Union
 
 import numpy as np
 
@@ -40,10 +49,13 @@ from repro.matlang.ast import (
     TypeHint,
     Var,
 )
+from repro.matlang.compiler import compile_expression, compile_typed
 from repro.matlang.functions import FunctionRegistry, default_registry
 from repro.matlang.instance import Instance
+from repro.matlang.ir import execute_plan
 from repro.matlang.typecheck import TypedExpression, annotate
 from repro.semiring import diagonal, identity, ones_matrix, scalar
+from repro.semiring.backends import ExecutionBackend, resolve_backend
 
 
 class Evaluator:
@@ -52,6 +64,23 @@ class Evaluator:
     The evaluator is reusable: :meth:`run` may be called many times with
     different expressions over the same instance, which the benchmark harness
     exploits.
+
+    Parameters
+    ----------
+    compile:
+        When true (the default) expressions are lowered to plan IR and
+        executed on ``backend``; when false the retained reference
+        tree-walk interprets the annotated tree directly.
+    backend:
+        Execution backend for the compiled path: an
+        :class:`~repro.semiring.backends.ExecutionBackend` instance (which
+        must be bound to the instance's semiring), a registered backend
+        name (``"dense"``, ``"sparse"``), or ``None`` for the dense kernel
+        backend.
+    memoize:
+        Only consulted by the ``compile=False`` tree-walk (its id-keyed
+        loop memo cache); the compiled path replaces memoisation with CSE
+        and loop-invariant hoisting at lowering time.
     """
 
     def __init__(
@@ -59,11 +88,15 @@ class Evaluator:
         instance: Instance,
         functions: Optional[FunctionRegistry] = None,
         memoize: bool = True,
+        compile: bool = True,
+        backend: Union[ExecutionBackend, str, None] = None,
     ) -> None:
         self.instance = instance
         self.semiring = instance.semiring
         self.functions = functions if functions is not None else default_registry()
         self.memoize = memoize
+        self.compile = compile
+        self.backend = resolve_backend(self.semiring, backend)
         #: Cache of results of loop sub-expressions that do not depend on any
         #: loop-bound variable.  Such sub-expressions (for example the order
         #: matrix ``S_<=`` occurring inside the body of an LU reduction loop)
@@ -83,24 +116,41 @@ class Evaluator:
     # Public API
     # ------------------------------------------------------------------
     def run(self, expression: Expression) -> np.ndarray:
-        """Type-check and evaluate ``expression`` against the instance."""
+        """Type-check and evaluate ``expression`` against the instance.
+
+        On the compiled path (the default) the annotate + lower work is
+        cached on ``(expression, schema)``: evaluating the same expression
+        again — on this instance or any other instance of the same schema —
+        executes the cached plan directly.
+        """
+        if self.compile:
+            plan = compile_expression(expression, self.instance.schema)
+            return self._execute(plan)
         typed = annotate(expression, self.instance.schema)
         return self.run_typed(typed)
 
     def run_typed(self, typed: TypedExpression) -> np.ndarray:
         """Evaluate an already annotated expression.
 
-        The result is a defensive copy: internally the evaluator shares
-        arrays freely (instance matrices, memoized loop bodies, basis-vector
-        views), so handing out the raw array would let callers corrupt the
-        instance or the memo cache by mutating it.
+        The tree must have been annotated against (a schema compatible with)
+        the instance's schema.  The result is a defensive copy: internally
+        arrays are shared freely (instance matrices, hoisted loop-invariant
+        values, basis-vector views), so handing out the raw array would let
+        callers corrupt the instance or a cache by mutating it.
         """
+        if self.compile:
+            plan = compile_typed(typed, self.instance.schema)
+            return self._execute(plan)
         # The memoisation cache is keyed by node identity, which is only
         # guaranteed stable for the lifetime of one evaluation; clear it so a
         # recycled object id from a different tree can never produce a stale hit.
         self._cache.clear()
         environment: Dict[str, np.ndarray] = {}
         return self._evaluate(typed, environment).copy()
+
+    def _execute(self, plan) -> np.ndarray:
+        value = execute_plan(plan, self.backend, self.instance, self.functions)
+        return self.backend.to_dense(value).copy()
 
     # ------------------------------------------------------------------
     # Shape helpers
@@ -232,14 +282,9 @@ class Evaluator:
                     f"pointwise function {expression.function!r} applied to matrices of "
                     f"different shapes {shape} and {operand.shape}"
                 )
-        # Collect into an object array and coerce through the kernel boundary:
-        # assigning directly into a primitive-dtype array would leak a raw
-        # OverflowError for results that do not fit the storage dtype.
-        result = np.empty(shape, dtype=object)
-        for index in np.ndindex(shape):
-            values = [operand[index] for operand in operands]
-            result[index] = function(self.semiring, *values)
-        return self.semiring.coerce_matrix(result)
+        # Whole-array fast path for the registered vectorized functions,
+        # falling back to the per-entry scalar loop (see apply_matrix).
+        return function.apply_matrix(self.semiring, operands)
 
     # ------------------------------------------------------------------
     # Loops

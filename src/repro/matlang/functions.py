@@ -19,7 +19,7 @@ functions that only make sense over ordered numeric semirings raise
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -37,12 +37,20 @@ class PointwiseFunction:
 
     ``arity`` of ``None`` means variadic (at least one argument).  The
     implementation receives the semiring followed by the scalar arguments.
+
+    ``vectorized`` optionally provides a whole-array implementation: it
+    receives the semiring and the operand matrices (guaranteed to be numpy
+    arrays in the semiring's primitive kernel storage dtype, equally
+    shaped), and returns a carrier-valid storage array — or ``None`` to
+    decline, in which case the per-entry scalar loop runs.  Object-dtype
+    backends always use the scalar loop, so vectorizers never see them.
     """
 
     name: str
     arity: Optional[int]
     implementation: Callable[..., Any]
     description: str = ""
+    vectorized: Optional[Callable[..., Optional[np.ndarray]]] = None
 
     def check_arity(self, count: int) -> None:
         if self.arity is not None and count != self.arity:
@@ -55,6 +63,45 @@ class PointwiseFunction:
     def __call__(self, semiring: Semiring, *values: Any) -> Any:
         self.check_arity(len(values))
         return self.implementation(semiring, *values)
+
+    def apply_matrix(
+        self, semiring: Semiring, operands: Sequence[np.ndarray]
+    ) -> np.ndarray:
+        """Apply the function entrywise to equally shaped matrices.
+
+        Uses the vectorized whole-array implementation when one is
+        registered and every operand is in the semiring's primitive storage
+        dtype; otherwise falls back to the per-entry scalar loop, collecting
+        into an object array and coercing through the kernel boundary (so
+        results that do not fit the storage dtype raise
+        :class:`~repro.exceptions.SemiringError` instead of leaking a raw
+        ``OverflowError``).
+        """
+        self.check_arity(len(operands))
+        shape = operands[0].shape
+        for operand in operands[1:]:
+            if operand.shape != shape:
+                raise EvaluationError(
+                    f"pointwise function {self.name!r} applied to matrices of "
+                    f"different shapes {shape} and {operand.shape}"
+                )
+        dtype = semiring.kernels.dtype
+        if (
+            self.vectorized is not None
+            and dtype is not object
+            and all(
+                isinstance(operand, np.ndarray) and operand.dtype == dtype
+                for operand in operands
+            )
+        ):
+            result = self.vectorized(semiring, *operands)
+            if result is not None:
+                return result
+        collected = np.empty(shape, dtype=object)
+        for index in np.ndindex(shape):
+            values = [operand[index] for operand in operands]
+            collected[index] = self.implementation(semiring, *values)
+        return semiring.coerce_matrix(collected)
 
 
 class FunctionRegistry:
@@ -191,21 +238,144 @@ def _square(semiring: Semiring, value: Any) -> Any:
     return semiring.times(value, value)
 
 
+# ----------------------------------------------------------------------
+# Vectorized whole-array implementations
+# ----------------------------------------------------------------------
+# These receive operands that are already validated storage-dtype arrays of
+# a primitive-dtype kernel backend (see PointwiseFunction.apply_matrix), so
+# entries are plain bools / ints / floats.  Each must agree entrywise with
+# the scalar implementation above, which the property suite checks.
+
+
+def _indicator(semiring: Semiring, mask: np.ndarray) -> np.ndarray:
+    """An array holding ``one`` where ``mask`` is true and ``zero`` elsewhere."""
+    result = np.empty(mask.shape, dtype=semiring.kernels.dtype)
+    result[...] = semiring.zero
+    result[mask] = semiring.one
+    return result
+
+
+def _positive_vec(semiring: Semiring, array: np.ndarray) -> Optional[np.ndarray]:
+    # Entries of bool / int64 / float64 backends are numbers (the tropical
+    # carrier's own infinity included); `> 0` matches the scalar float test.
+    return _indicator(semiring, array > 0)
+
+
+def _nonzero_vec(semiring: Semiring, array: np.ndarray) -> Optional[np.ndarray]:
+    zero = semiring.zero
+    # Primitive backends compare carrier elements with plain == (inf == inf
+    # holds, and NaN cannot occur inside a validated tropical array).
+    return _indicator(semiring, array != np.asarray(zero, dtype=array.dtype))
+
+
+def _chain_safe_for(kernels, count: int) -> bool:
+    """Whether a pairwise kernel chain of ``count`` operands matches the fold.
+
+    For float64 / bool backends the chain performs exactly the sequential
+    scalar fold.  For int64 backends a chain of three or more operands can
+    overflow on an *intermediate* even when the exact final value fits
+    (e.g. ``mul(2**40, 2**40, 0)``), where the scalar fold's exact Python
+    ints would succeed — so those decline and take the scalar loop.  With
+    two operands the intermediate is the result, and the kernels' exact
+    fallback already agrees with the fold.
+    """
+    return count <= 2 or kernels.dtype != np.int64
+
+
+def _product_vec(semiring: Semiring, *arrays: np.ndarray) -> Optional[np.ndarray]:
+    # The entrywise product of k matrices is a Hadamard chain; the kernels
+    # carry the semiring semantics (including the int64 overflow guard,
+    # which falls back to the exact fold and raises instead of wrapping).
+    kernels = semiring.kernels
+    if not _chain_safe_for(kernels, len(arrays)):
+        return None
+    if len(arrays) == 1:
+        return arrays[0].copy()
+    result = arrays[0]
+    for other in arrays[1:]:
+        result = kernels.hadamard(result, other)
+    return result
+
+
+def _sum_vec(semiring: Semiring, *arrays: np.ndarray) -> Optional[np.ndarray]:
+    kernels = semiring.kernels
+    if not _chain_safe_for(kernels, len(arrays)):
+        return None
+    if len(arrays) == 1:
+        return arrays[0].copy()
+    result = arrays[0]
+    for other in arrays[1:]:
+        result = kernels.add_matrices(result, other)
+    return result
+
+
+def _division_vec(
+    semiring: Semiring, numerator: np.ndarray, denominator: np.ndarray
+) -> Optional[np.ndarray]:
+    # Float division with the paper's x/0 := 0 convention.  Restricted to
+    # the real field: other (hypothetical) float64 fields may define their
+    # own division, for which the scalar fallback remains correct.
+    if semiring.name != "real":
+        return None
+    with np.errstate(divide="ignore", invalid="ignore"):
+        quotient = numerator / denominator
+    return np.where(denominator == 0.0, 0.0, quotient)
+
+
+def _square_vec(semiring: Semiring, array: np.ndarray) -> Optional[np.ndarray]:
+    return semiring.kernels.hadamard(array, array)
+
+
+def _subtract_vec(
+    semiring: Semiring, left: np.ndarray, right: np.ndarray
+) -> Optional[np.ndarray]:
+    # Safe for float64 rings only: int64 subtraction could wrap, so the
+    # integer ring keeps the exact scalar fold.
+    if semiring.name != "real":
+        return None
+    return left - right
+
+
+def _negate_vec(semiring: Semiring, array: np.ndarray) -> Optional[np.ndarray]:
+    if semiring.name != "real":
+        return None
+    return -array
+
+
 def default_registry() -> FunctionRegistry:
-    """The registry with the paper's functions plus a few generic helpers."""
+    """The registry with the paper's functions plus a few generic helpers.
+
+    The common functions carry vectorized whole-array implementations used
+    automatically on primitive-dtype kernel backends; everything falls back
+    to the per-entry scalar loop on object-dtype semirings.
+    """
     registry = FunctionRegistry()
     registry.register(
-        PointwiseFunction(DIVISION, 2, _division, "f_/: division with x/0 := 0")
+        PointwiseFunction(
+            DIVISION, 2, _division, "f_/: division with x/0 := 0", _division_vec
+        )
     )
     registry.register(
-        PointwiseFunction(POSITIVE, 1, _positive, "f_>0: strict positivity indicator")
+        PointwiseFunction(
+            POSITIVE, 1, _positive, "f_>0: strict positivity indicator", _positive_vec
+        )
     )
-    registry.register(PointwiseFunction("nonzero", 1, _nonzero, "indicator of x != 0"))
-    registry.register(PointwiseFunction("mul", None, _product, "variadic product f_mul"))
-    registry.register(PointwiseFunction("add", None, _sum, "variadic sum f_add"))
-    registry.register(PointwiseFunction("sub", 2, _subtract, "subtraction (rings only)"))
-    registry.register(PointwiseFunction("neg", 1, _negate, "additive inverse (rings only)"))
-    registry.register(PointwiseFunction("square", 1, _square, "x * x"))
+    registry.register(
+        PointwiseFunction("nonzero", 1, _nonzero, "indicator of x != 0", _nonzero_vec)
+    )
+    registry.register(
+        PointwiseFunction("mul", None, _product, "variadic product f_mul", _product_vec)
+    )
+    registry.register(
+        PointwiseFunction("add", None, _sum, "variadic sum f_add", _sum_vec)
+    )
+    registry.register(
+        PointwiseFunction("sub", 2, _subtract, "subtraction (rings only)", _subtract_vec)
+    )
+    registry.register(
+        PointwiseFunction("neg", 1, _negate, "additive inverse (rings only)", _negate_vec)
+    )
+    registry.register(PointwiseFunction("square", 1, _square, "x * x", _square_vec))
     registry.register(PointwiseFunction("min", None, _minimum, "numeric minimum"))
     registry.register(PointwiseFunction("max", None, _maximum, "numeric maximum"))
     registry.register(PointwiseFunction("abs", 1, _absolute, "numeric absolute value"))

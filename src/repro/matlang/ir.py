@@ -1,0 +1,336 @@
+"""The compiled plan IR for MATLANG / for-MATLANG expressions.
+
+A :class:`Plan` is a flat, register-based sequence of :class:`PlanOp`
+instructions in topological order, produced by
+:func:`repro.matlang.compiler.lower`.  The opcodes mirror the semiring
+kernel / execution-backend API one-to-one, so executing a plan is a single
+linear pass with no tree re-interpretation:
+
+==================  =========================================================
+opcode              meaning (``rK`` are register indices)
+==================  =========================================================
+``load``            the instance matrix of variable ``name``
+``const``           the ``1 x 1`` carrier constant ``value``
+``iterator``        the current loop iterator (canonical vector)
+``accumulator``     the current for-loop accumulator
+``capture``         value imported from the enclosing plan (hoisted /
+                    loop-invariant operand); ``index`` selects from the loop
+                    op's ``captures`` tuple
+``transpose``       ``r0^T``
+``ones``            the all-ones column vector with the row count of ``r0``
+``ones_type``       the all-ones matrix of the op's (symbolic) type
+``identity_of``     the identity matrix with the row count of ``r0``
+``identity_sym``    the identity matrix of dimension ``symbol``
+``diag``            ``diag(r0)`` of a column vector
+``matmul``          ``r0 . r1``
+``add``             ``r0 + r1``
+``hadamard``        ``r0 o r1`` (entrywise product; no core AST node maps
+                    here — reserved for user-registered rewrite rules)
+``scale``           ``r0 x r1`` with ``r0`` of shape ``1 x 1``
+``apply``           pointwise function ``name`` applied to the inputs
+``loop``            iterate the nested ``body`` plan (see below)
+``nsum``            ``Sigma_v r0`` with ``v`` not free: ``n`` copies summed
+``row_sums``        ``Sigma_v (r0 . v)``
+``col_sums``        ``Sigma_v (v^T . r0)``
+``trace``           ``Sigma_v (v^T . r0 . v)``
+``diag_of_diag``    ``Sigma_v (v^T.r0.v) x (v.v^T)``
+``diag_product``    ``Pi-o_v (v^T . r0 . v)``
+``power``           ``Pi_v r0`` with ``v`` not free: ``r0^n`` by squaring
+``hadamard_power``  ``Pi-o_v r0`` with ``v`` not free: entrywise power
+==================  =========================================================
+
+Loops that fusion cannot eliminate become a ``loop`` op holding a nested
+:class:`Plan` for the body.  Loop-invariant sub-expressions are *not* in the
+body: the compiler hoists them into the enclosing plan and the body refers
+to them through ``capture`` ops, so they are computed exactly once instead
+of once per iteration (this subsumes the old id-keyed memo cache of the
+tree-walking evaluator).
+
+Dimension *symbols* (not concrete sizes) are stored on the ops, so one plan
+is reusable across every instance of the same schema; symbols are resolved
+against the instance when :func:`execute_plan` runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from repro.exceptions import EvaluationError
+from repro.matlang.schema import MatrixType
+
+__all__ = ["Plan", "PlanOp", "execute_plan"]
+
+#: Opcodes whose semantics replace a whole Python-level loop with a single
+#: backend call (emitted by :mod:`repro.matlang.rewrites`).
+FUSED_OPCODES = frozenset(
+    {
+        "nsum",
+        "row_sums",
+        "col_sums",
+        "trace",
+        "diag_of_diag",
+        "diag_product",
+        "power",
+        "hadamard_power",
+    }
+)
+
+
+@dataclass(frozen=True)
+class PlanOp:
+    """One instruction of a plan (see the module docstring for opcodes)."""
+
+    opcode: str
+    inputs: Tuple[int, ...] = ()
+    #: Resolved (row symbol, column symbol) type of the op's result.
+    type: Optional[MatrixType] = None
+    #: Variable name (``load``), function name (``apply``).
+    name: Optional[str] = None
+    #: Constant payload (``const``) or capture index (``capture``).
+    value: Any = None
+    #: Dimension symbol for symbol-parameterised ops (``identity_sym``,
+    #: ``nsum``, ``power``, ``hadamard_power``) and the iteration symbol of
+    #: ``loop`` ops.
+    symbol: Optional[str] = None
+    #: ``loop`` only: ``"for"``, ``"sum"``, ``"hadamard"`` or ``"product"``.
+    kind: Optional[str] = None
+    #: ``loop`` only: the nested body plan.
+    body: Optional["Plan"] = None
+    #: ``loop`` only: registers of the *enclosing* plan whose values the
+    #: body imports through its ``capture`` ops.
+    captures: Tuple[int, ...] = ()
+    #: ``loop`` (kind ``for``) only: type of the zero accumulator when the
+    #: loop has no initialiser.
+    accumulator_type: Optional[MatrixType] = None
+
+
+@dataclass(frozen=True)
+class Plan:
+    """A straight-line register program computing one expression."""
+
+    ops: Tuple[PlanOp, ...]
+    result: int
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def walk_ops(self):
+        """Yield every op of this plan and of all nested loop bodies."""
+        for op in self.ops:
+            yield op
+            if op.body is not None:
+                yield from op.body.walk_ops()
+
+    def count_ops(self, opcode: str) -> int:
+        """Number of ops (including nested bodies) with the given opcode."""
+        return sum(1 for op in self.walk_ops() if op.opcode == opcode)
+
+    def describe(self, indent: str = "") -> str:
+        """A readable listing of the plan, for debugging and tests."""
+        lines: List[str] = []
+        for register, op in enumerate(self.ops):
+            args = ", ".join(f"r{i}" for i in op.inputs)
+            detail = ""
+            if op.name is not None:
+                detail += f" name={op.name!r}"
+            if op.value is not None:
+                detail += f" value={op.value!r}"
+            if op.symbol is not None:
+                detail += f" symbol={op.symbol!r}"
+            if op.kind is not None:
+                detail += f" kind={op.kind!r}"
+            lines.append(f"{indent}r{register} = {op.opcode}({args}){detail}")
+            if op.body is not None:
+                captured = ", ".join(f"r{i}" for i in op.captures)
+                lines.append(f"{indent}  captures [{captured}] body:")
+                lines.append(op.body.describe(indent + "    "))
+        lines.append(f"{indent}return r{self.result}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+@dataclass
+class _Runtime:
+    """Per-execution context shared by a plan and its nested bodies."""
+
+    backend: Any
+    instance: Any
+    functions: Any
+
+    def dimension(self, symbol: str, context: str) -> int:
+        if symbol is None:
+            raise EvaluationError(f"plan op for {context} is missing its size symbol")
+        if symbol.startswith("?"):
+            # Unconstrained dimension: same square-schema fallback as the
+            # interpreted evaluator (see Evaluator._dimension).
+            non_scalar = sorted(
+                name for name in self.instance.dimensions if name != "1"
+            )
+            if len(non_scalar) == 1:
+                return self.instance.dimension(non_scalar[0])
+            raise EvaluationError(
+                f"cannot determine the dimension of {context}: the size symbol is "
+                "unconstrained; declare the variable in the schema or add a TypeHint"
+            )
+        return self.instance.dimension(symbol)
+
+    def shape(self, matrix_type: Optional[MatrixType], context: str) -> Tuple[int, int]:
+        if matrix_type is None:
+            raise EvaluationError(f"plan op for {context} is missing its type")
+        row_symbol, col_symbol = matrix_type
+        return (
+            self.dimension(row_symbol, f"{context} (rows)"),
+            self.dimension(col_symbol, f"{context} (columns)"),
+        )
+
+
+def execute_plan(plan: Plan, backend: Any, instance: Any, functions: Any) -> Any:
+    """Run ``plan`` against ``instance`` on ``backend``.
+
+    Returns a backend value; callers convert through ``backend.to_dense``
+    (and copy) before handing it to user code.
+    """
+    runtime = _Runtime(backend=backend, instance=instance, functions=functions)
+    return _run(plan, runtime, (), None, None)
+
+
+def _run(
+    plan: Plan,
+    runtime: _Runtime,
+    captured: Tuple[Any, ...],
+    iterator: Any,
+    accumulator: Any,
+) -> Any:
+    backend = runtime.backend
+    values: List[Any] = []
+    append = values.append
+
+    for op in plan.ops:
+        opcode = op.opcode
+
+        if opcode == "matmul":
+            append(backend.matmul(values[op.inputs[0]], values[op.inputs[1]]))
+        elif opcode == "add":
+            append(backend.add(values[op.inputs[0]], values[op.inputs[1]]))
+        elif opcode == "hadamard":
+            append(backend.hadamard(values[op.inputs[0]], values[op.inputs[1]]))
+        elif opcode == "scale":
+            factor = values[op.inputs[0]]
+            if factor.shape != (1, 1):
+                raise EvaluationError(
+                    f"scalar multiplication expects a 1x1 left operand, got {factor.shape}"
+                )
+            append(backend.scale(factor, values[op.inputs[1]]))
+        elif opcode == "transpose":
+            append(backend.transpose(values[op.inputs[0]]))
+        elif opcode == "load":
+            append(backend.lift_instance_matrix(runtime.instance.matrix(op.name)))
+        elif opcode == "const":
+            append(backend.constant(op.value))
+        elif opcode == "iterator":
+            if iterator is None:
+                raise EvaluationError("iterator referenced outside of a loop body")
+            append(iterator)
+        elif opcode == "accumulator":
+            if accumulator is None:
+                raise EvaluationError("accumulator referenced outside of a for-loop body")
+            append(accumulator)
+        elif opcode == "capture":
+            append(captured[op.value])
+        elif opcode == "ones":
+            append(backend.ones(values[op.inputs[0]].shape[0], 1))
+        elif opcode == "ones_type":
+            rows, cols = runtime.shape(op.type, "a fused ones matrix")
+            append(backend.ones(rows, cols))
+        elif opcode == "identity_of":
+            append(backend.identity(values[op.inputs[0]].shape[0]))
+        elif opcode == "identity_sym":
+            append(backend.identity(runtime.dimension(op.symbol, "a fused identity")))
+        elif opcode == "diag":
+            operand = values[op.inputs[0]]
+            if operand.shape[1] != 1:
+                raise EvaluationError(
+                    f"diag expects a column vector, got shape {operand.shape}"
+                )
+            append(backend.diag(operand))
+        elif opcode == "apply":
+            append(_run_apply(op, values, runtime))
+        elif opcode == "loop":
+            append(_run_loop(op, values, runtime))
+        elif opcode == "nsum":
+            count = runtime.dimension(op.symbol, "a fused quantifier")
+            append(backend.nsum(values[op.inputs[0]], count))
+        elif opcode == "row_sums":
+            append(backend.row_sums(values[op.inputs[0]]))
+        elif opcode == "col_sums":
+            append(backend.col_sums(values[op.inputs[0]]))
+        elif opcode == "trace":
+            append(backend.trace(values[op.inputs[0]]))
+        elif opcode == "diag_of_diag":
+            append(backend.diag_of_diagonal(values[op.inputs[0]]))
+        elif opcode == "diag_product":
+            append(backend.diag_product(values[op.inputs[0]]))
+        elif opcode == "power":
+            count = runtime.dimension(op.symbol, "a fused matrix-product quantifier")
+            append(backend.power(values[op.inputs[0]], count))
+        elif opcode == "hadamard_power":
+            count = runtime.dimension(op.symbol, "a fused Hadamard quantifier")
+            append(backend.hadamard_power(values[op.inputs[0]], count))
+        else:  # pragma: no cover - the compiler only emits known opcodes
+            raise EvaluationError(f"unknown plan opcode {opcode!r}")
+
+    return values[plan.result]
+
+
+def _run_apply(op: PlanOp, values: List[Any], runtime: _Runtime) -> Any:
+    backend = runtime.backend
+    function = runtime.functions.get(op.name)
+    operands = [backend.to_dense(values[register]) for register in op.inputs]
+    shape = operands[0].shape
+    for operand in operands[1:]:
+        if operand.shape != shape:
+            raise EvaluationError(
+                f"pointwise function {op.name!r} applied to matrices of "
+                f"different shapes {shape} and {operand.shape}"
+            )
+    result = function.apply_matrix(runtime.backend.semiring, operands)
+    return backend.from_dense(result)
+
+
+def _run_loop(op: PlanOp, values: List[Any], runtime: _Runtime) -> Any:
+    backend = runtime.backend
+    count = runtime.dimension(op.symbol, "a loop iterator")
+    captured = tuple(values[register] for register in op.captures)
+    body = op.body
+
+    if op.kind == "for":
+        if op.inputs:
+            accumulator = values[op.inputs[0]]
+        else:
+            rows, cols = runtime.shape(op.accumulator_type, "a loop accumulator")
+            accumulator = backend.zeros(rows, cols)
+        for index in range(count):
+            iterator = backend.basis_column(count, index)
+            accumulator = _run(body, runtime, captured, iterator, accumulator)
+        return accumulator
+
+    if op.kind == "sum":
+        combine = backend.add
+    elif op.kind == "hadamard":
+        combine = backend.hadamard
+    elif op.kind == "product":
+        combine = backend.matmul
+    else:  # pragma: no cover - the compiler only emits known kinds
+        raise EvaluationError(f"unknown loop kind {op.kind!r}")
+
+    accumulator = None
+    for index in range(count):
+        iterator = backend.basis_column(count, index)
+        value = _run(body, runtime, captured, iterator, None)
+        accumulator = value if accumulator is None else combine(accumulator, value)
+    if accumulator is None:  # pragma: no cover - dimensions are always >= 1
+        raise EvaluationError("quantifier iterated over an empty dimension")
+    return accumulator

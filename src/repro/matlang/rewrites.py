@@ -1,0 +1,353 @@
+"""Loop-fusion rewrite rules for the MATLANG plan compiler.
+
+The quantifiers of Section 6 iterate a body once per canonical vector, which
+the tree-walking evaluator pays for with ``n`` Python dispatch rounds.  For
+the overwhelmingly common body shapes the whole loop is algebraically equal
+to a *single* whole-array kernel call; the rules in this module recognise
+those shapes on the annotated tree and emit the corresponding fused plan op
+(see :mod:`repro.matlang.ir`):
+
+=================================  =====================================
+sum-quantifier body (iterator v)   fused op
+=================================  =====================================
+``e`` with ``v`` not free          ``nsum``: ``n`` copies = ``n x e``
+``v``                              ``ones_type`` (the all-ones vector)
+``v^T``                            ``ones_type`` (the all-ones row)
+``v . v^T``                        ``identity_sym``
+``(v.v^T) . e`` / ``e . (v.v^T)``  ``e`` itself (sum of selectors is I)
+``v . (v^T.e)`` / ``(e.v) . v^T``  ``e`` itself
+``e . v``                          ``row_sums``
+``v^T . e``                        ``col_sums``
+``v^T . e . v``                    ``trace``
+``(v^T.e.v) x (v.v^T)``            ``diag_of_diag``
+``(v^T.e) x (v.v^T)``              ``diag`` of the column ``e``
+``(e.v) x (v.v^T)``                ``diag`` of the row ``e`` transposed
+``s x (v.v^T)``, ``v`` not in s    ``s x identity_sym``
+``s x m``, ``v`` not in ``m``      ``(Sigma_v s) x m`` (recursive)
+``s x m``, ``v`` not in ``s``      ``s x (Sigma_v m)`` (recursive)
+=================================  =====================================
+
+For the product quantifiers a loop-invariant body collapses to an iterated
+power computed by repeated squaring (``power`` / ``hadamard_power``,
+``O(log n)`` kernel calls instead of ``n``), and the Hadamard quantifier
+over ``v^T . e . v`` becomes the product of the diagonal (``diag_product``,
+Example 6.6).  All identities use only associativity, commutativity and
+distributivity, so they hold over every commutative semiring.
+
+The rules consult :attr:`~repro.matlang.typecheck.TypedExpression.free_names`
+for the "iterator not free" side conditions, match *through*
+:class:`~repro.matlang.ast.TypeHint` nodes (which are semantically
+transparent), and never emit plan ops before a match is certain, so a failed
+match leaves the plan untouched and the compiler falls back to a generic
+``loop`` op.
+
+The rule lists (``SUM_RULES``, ``PRODUCT_RULES``, ``HADAMARD_RULES``) are
+plain module-level sequences: downstream code can append custom rules, which
+receive ``(body, context)`` and return a plan register or ``None``.  Compiled
+plans are cached on ``(expression, schema)`` only, so after mutating a rule
+list call :func:`repro.matlang.compiler.clear_plan_cache` — expressions
+compiled earlier would otherwise keep serving their pre-extension plans.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.matlang.ast import Add, MatMul, ScalarMul, Transpose, TypeHint, Var
+from repro.matlang.schema import SCALAR_SYMBOL
+from repro.matlang.typecheck import TypedExpression
+
+__all__ = [
+    "HADAMARD_RULES",
+    "PRODUCT_RULES",
+    "SUM_RULES",
+    "strip_hints",
+    "sum_quantifier_body",
+    "try_fuse",
+]
+
+
+def strip_hints(typed: TypedExpression) -> TypedExpression:
+    """Skip through type hints, which evaluate to their operand."""
+    while isinstance(typed.expression, TypeHint):
+        typed = typed.children[0]
+    return typed
+
+
+# ----------------------------------------------------------------------
+# Structural matchers
+# ----------------------------------------------------------------------
+def _is_iterator(typed: TypedExpression, name: str) -> bool:
+    """``v``"""
+    stripped = strip_hints(typed)
+    return isinstance(stripped.expression, Var) and stripped.expression.name == name
+
+
+def _is_iterator_t(typed: TypedExpression, name: str) -> bool:
+    """``v^T``"""
+    stripped = strip_hints(typed)
+    return isinstance(stripped.expression, Transpose) and _is_iterator(
+        stripped.children[0], name
+    )
+
+
+def _is_selector(typed: TypedExpression, name: str) -> bool:
+    """``v . v^T``"""
+    stripped = strip_hints(typed)
+    return (
+        isinstance(stripped.expression, MatMul)
+        and _is_iterator(stripped.children[0], name)
+        and _is_iterator_t(stripped.children[1], name)
+    )
+
+
+def _match_quadratic(typed: TypedExpression, name: str) -> Optional[TypedExpression]:
+    """Match ``v^T . e . v`` (either association); return ``e`` or ``None``."""
+    stripped = strip_hints(typed)
+    if not isinstance(stripped.expression, MatMul):
+        return None
+    left, right = stripped.children
+    if _is_iterator(right, name):
+        inner = strip_hints(left)
+        if isinstance(inner.expression, MatMul) and _is_iterator_t(
+            inner.children[0], name
+        ):
+            matrix = inner.children[1]
+            if name not in matrix.free_names:
+                return matrix
+    if _is_iterator_t(left, name):
+        inner = strip_hints(right)
+        if isinstance(inner.expression, MatMul) and _is_iterator(
+            inner.children[1], name
+        ):
+            matrix = inner.children[0]
+            if name not in matrix.free_names:
+                return matrix
+    return None
+
+
+# ----------------------------------------------------------------------
+# Sum-quantifier rules
+# ----------------------------------------------------------------------
+def _rule_sum_basis(body: TypedExpression, ctx) -> Optional[int]:
+    """``Sigma_v v`` and ``Sigma_v v^T`` are the all-ones vector / row."""
+    if _is_iterator(body, ctx.iterator):
+        return ctx.emit("ones_type", (), type=(ctx.symbol, SCALAR_SYMBOL))
+    if _is_iterator_t(body, ctx.iterator):
+        return ctx.emit("ones_type", (), type=(SCALAR_SYMBOL, ctx.symbol))
+    return None
+
+
+def _rule_sum_matmul(body: TypedExpression, ctx) -> Optional[int]:
+    if not isinstance(body.expression, MatMul):
+        return None
+    iterator = ctx.iterator
+    left, right = body.children
+
+    # Sigma_v (v . v^T) = I
+    if _is_iterator(left, iterator) and _is_iterator_t(right, iterator):
+        return ctx.emit("identity_sym", (), symbol=ctx.symbol, type=body.type)
+    # Sigma_v (v.v^T) . e = e  and  Sigma_v e . (v.v^T) = e
+    if _is_selector(left, iterator) and iterator not in right.free_names:
+        return ctx.lower(right)
+    if _is_selector(right, iterator) and iterator not in left.free_names:
+        return ctx.lower(left)
+    # Sigma_v v . (v^T . e) = e  and  Sigma_v (e . v) . v^T = e
+    if _is_iterator(left, iterator):
+        inner = strip_hints(right)
+        if isinstance(inner.expression, MatMul) and _is_iterator_t(
+            inner.children[0], iterator
+        ):
+            matrix = inner.children[1]
+            if iterator not in matrix.free_names:
+                return ctx.lower(matrix)
+    if _is_iterator_t(right, iterator):
+        inner = strip_hints(left)
+        if isinstance(inner.expression, MatMul) and _is_iterator(
+            inner.children[1], iterator
+        ):
+            matrix = inner.children[0]
+            if iterator not in matrix.free_names:
+                return ctx.lower(matrix)
+    # Sigma_v v^T . e . v = tr(e)
+    quadratic = _match_quadratic(body, iterator)
+    if quadratic is not None:
+        return ctx.emit(
+            "trace", (ctx.lower(quadratic),), type=(SCALAR_SYMBOL, SCALAR_SYMBOL)
+        )
+    # Sigma_v e . v = row sums, Sigma_v v^T . e = column sums
+    if _is_iterator(right, iterator) and iterator not in left.free_names:
+        return ctx.emit("row_sums", (ctx.lower(left),), type=body.type)
+    if _is_iterator_t(left, iterator) and iterator not in right.free_names:
+        return ctx.emit("col_sums", (ctx.lower(right),), type=body.type)
+    return None
+
+
+def _rule_sum_scalar(body: TypedExpression, ctx) -> Optional[int]:
+    if not isinstance(body.expression, ScalarMul):
+        return None
+    iterator = ctx.iterator
+    factor, operand = body.children
+
+    if _is_selector(operand, iterator):
+        # Sigma_v (v^T.e.v) x (v.v^T): keep only the diagonal of e.
+        quadratic = _match_quadratic(factor, iterator)
+        if quadratic is not None:
+            return ctx.emit("diag_of_diag", (ctx.lower(quadratic),), type=body.type)
+        stripped = strip_hints(factor)
+        if isinstance(stripped.expression, MatMul):
+            inner_left, inner_right = stripped.children
+            # Sigma_v (v^T . e) x (v.v^T) = diag(e) for a column vector e.
+            if (
+                _is_iterator_t(inner_left, iterator)
+                and iterator not in inner_right.free_names
+            ):
+                return ctx.emit("diag", (ctx.lower(inner_right),), type=body.type)
+            # Sigma_v (e . v) x (v.v^T) = diag(e^T) for a row vector e.
+            if (
+                _is_iterator(inner_right, iterator)
+                and iterator not in inner_left.free_names
+            ):
+                row = ctx.lower(inner_left)
+                column = ctx.emit("transpose", (row,))
+                return ctx.emit("diag", (column,), type=body.type)
+        # Sigma_v s x (v.v^T) = s x I when v is not free in s.
+        if iterator not in factor.free_names:
+            identity = ctx.emit(
+                "identity_sym", (), symbol=ctx.symbol, type=operand.type
+            )
+            return ctx.emit(
+                "scale", (ctx.lower(factor), identity), type=body.type
+            )
+
+    # Distributivity: pull the loop-invariant factor out of the sum.
+    if iterator not in operand.free_names:
+        inner = _fuse_sum(factor, ctx)
+        if inner is not None:
+            return ctx.emit("scale", (inner, ctx.lower(operand)), type=body.type)
+    if iterator not in factor.free_names:
+        inner = _fuse_sum(operand, ctx)
+        if inner is not None:
+            return ctx.emit("scale", (ctx.lower(factor), inner), type=body.type)
+    return None
+
+
+SUM_RULES: List[Callable[[TypedExpression, object], Optional[int]]] = [
+    _rule_sum_basis,
+    _rule_sum_matmul,
+    _rule_sum_scalar,
+]
+
+
+# ----------------------------------------------------------------------
+# Product-quantifier rules
+# ----------------------------------------------------------------------
+def _rule_product_invariant(body: TypedExpression, ctx) -> Optional[int]:
+    """``Pi_v e`` with ``v`` not free: ``e^n`` by repeated squaring."""
+    if ctx.iterator in body.free_names:
+        return None
+    return ctx.emit("power", (ctx.lower(body),), symbol=ctx.symbol, type=body.type)
+
+
+PRODUCT_RULES: List[Callable[[TypedExpression, object], Optional[int]]] = [
+    _rule_product_invariant,
+]
+
+
+# ----------------------------------------------------------------------
+# Hadamard-quantifier rules
+# ----------------------------------------------------------------------
+def _rule_hadamard_invariant(body: TypedExpression, ctx) -> Optional[int]:
+    if ctx.iterator in body.free_names:
+        return None
+    return ctx.emit(
+        "hadamard_power", (ctx.lower(body),), symbol=ctx.symbol, type=body.type
+    )
+
+
+def _rule_hadamard_diagonal(body: TypedExpression, ctx) -> Optional[int]:
+    """``Pi-o_v v^T.e.v``: the product of the diagonal entries (Example 6.6)."""
+    quadratic = _match_quadratic(body, ctx.iterator)
+    if quadratic is None:
+        return None
+    return ctx.emit(
+        "diag_product", (ctx.lower(quadratic),), type=(SCALAR_SYMBOL, SCALAR_SYMBOL)
+    )
+
+
+HADAMARD_RULES: List[Callable[[TypedExpression, object], Optional[int]]] = [
+    _rule_hadamard_invariant,
+    _rule_hadamard_diagonal,
+]
+
+
+# ----------------------------------------------------------------------
+# Entry points used by the compiler
+# ----------------------------------------------------------------------
+def _fuse_sum(body: TypedExpression, ctx) -> Optional[int]:
+    body = strip_hints(body)
+    if ctx.iterator not in body.free_names:
+        return ctx.emit("nsum", (ctx.lower(body),), symbol=ctx.symbol, type=body.type)
+    for rule in SUM_RULES:
+        register = rule(body, ctx)
+        if register is not None:
+            return register
+    return None
+
+
+def _fuse_with(rules, body: TypedExpression, ctx) -> Optional[int]:
+    body = strip_hints(body)
+    for rule in rules:
+        register = rule(body, ctx)
+        if register is not None:
+            return register
+    return None
+
+
+def try_fuse(kind: str, body: TypedExpression, ctx) -> Optional[int]:
+    """Try to replace a whole quantifier loop with fused plan ops.
+
+    ``ctx`` is the compiler's rule context (``iterator`` name, dimension
+    ``symbol``, and the ``lower`` / ``emit`` callbacks into the enclosing
+    plan frame).  Returns the result register, or ``None`` when no rule
+    matches and the loop must be lowered generically.
+    """
+    if kind == "sum":
+        return _fuse_sum(body, ctx)
+    if kind == "product":
+        return _fuse_with(PRODUCT_RULES, body, ctx)
+    if kind == "hadamard":
+        return _fuse_with(HADAMARD_RULES, body, ctx)
+    return None
+
+
+def sum_quantifier_body(typed: TypedExpression) -> Optional[TypedExpression]:
+    """Recognise ``for v, X. X + e`` (no initialiser) as ``Sigma_v e``.
+
+    Returns the typed body ``e`` when the for-loop is exactly the paper's
+    desugaring of the sum quantifier (Section 6.1): the accumulator occurs
+    exactly as one top-level summand and nowhere in ``e``.  The rewrite is
+    exact because the accumulator starts at the additive identity.
+    """
+    expression = typed.expression
+    if expression.init is not None or expression.iterator == expression.accumulator:
+        return None
+    (body,) = typed.children
+    stripped = strip_hints(body)
+    if not isinstance(stripped.expression, Add):
+        return None
+    left, right = stripped.children
+    accumulator = expression.accumulator
+
+    def is_accumulator(node: TypedExpression) -> bool:
+        inner = strip_hints(node)
+        return (
+            isinstance(inner.expression, Var)
+            and inner.expression.name == accumulator
+        )
+
+    if is_accumulator(left) and accumulator not in right.free_names:
+        return right
+    if is_accumulator(right) and accumulator not in left.free_names:
+        return left
+    return None

@@ -116,6 +116,15 @@ class Schema:
         """Whether the schema declares a variable called ``name``."""
         return name in self.sizes
 
+    def signature(self) -> Tuple[Tuple[str, MatrixType], ...]:
+        """A hashable, order-independent fingerprint of the declarations.
+
+        Two schemas with equal signatures type every expression identically,
+        so the plan compiler uses ``(expression, signature)`` as its cache
+        key: one compiled plan serves every instance of the schema.
+        """
+        return tuple(sorted(self.sizes.items()))
+
     def variables(self) -> Tuple[str, ...]:
         """All declared variable names, sorted."""
         return tuple(sorted(self.sizes))

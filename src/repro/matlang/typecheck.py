@@ -120,6 +120,11 @@ class TypedExpression:
     iterator_symbol: Optional[str] = None
     accumulator_type: Optional[MatrixType] = None
     free_names: FrozenSet[str] = frozenset()
+    #: Signature of the schema the tree was annotated against, set by
+    #: :func:`annotate` on the root node only.  The plan compiler keys its
+    #: cache on this (never on a caller-supplied schema), so a tree annotated
+    #: against one schema can never poison the cache entry of another.
+    schema_signature: Optional[Tuple] = None
 
     def walk(self):
         """Yield this annotated node and all descendants in pre-order."""
@@ -172,7 +177,9 @@ def annotate(expression: Expression, schema: Schema) -> TypedExpression:
     typed = _infer(expression, context)
     non_scalar = [symbol for symbol in schema.symbols() if symbol != SCALAR_SYMBOL]
     default_symbol = non_scalar[0] if len(non_scalar) == 1 else None
-    return _resolve(typed, unifier, default_symbol)
+    resolved = _resolve(typed, unifier, default_symbol)
+    resolved.schema_signature = schema.signature()
+    return resolved
 
 
 # ----------------------------------------------------------------------

@@ -16,6 +16,14 @@ from repro.semiring.kernels import (
     register_kernels,
     unregister_kernels,
 )
+from repro.semiring.backends import (
+    DenseExecutionBackend,
+    ExecutionBackend,
+    SparseBooleanBackend,
+    available_backends,
+    backend_for,
+    register_backend,
+)
 from repro.semiring.matrix import (
     canonical_vector,
     diagonal,
@@ -46,9 +54,15 @@ from repro.semiring.tropical import MAX_PLUS, MIN_PLUS, MaxPlusSemiring, MinPlus
 __all__ = [
     "BOOLEAN",
     "BooleanSemiring",
+    "DenseExecutionBackend",
+    "ExecutionBackend",
     "INTEGER",
     "IntegerRing",
     "KernelBackend",
+    "SparseBooleanBackend",
+    "available_backends",
+    "backend_for",
+    "register_backend",
     "MAX_PLUS",
     "MIN_PLUS",
     "MaxPlusSemiring",

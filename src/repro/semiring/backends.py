@@ -1,0 +1,479 @@
+"""Pluggable execution backends for compiled MATLANG plans.
+
+The dense kernel layer (:mod:`repro.semiring.kernels`) decides how one matrix
+operation is computed; an *execution backend* decides how matrix **values**
+are represented while a compiled plan (:mod:`repro.matlang.ir`) runs.  The
+plan executor is written against the small protocol below, so the same plan
+can run on
+
+* :class:`DenseExecutionBackend` — values are plain numpy arrays in the
+  semiring's kernel storage dtype; every operation delegates to the kernel
+  backend.  This is the default and works for every semiring (including the
+  object-dtype ones).
+* :class:`SparseBooleanBackend` — values are ``scipy.sparse`` CSR matrices
+  over the boolean semiring.  Reachability / transitive-closure workloads on
+  sparse graphs stay sparse through matmul chains and the fused
+  ``power`` op, which beats the dense kernels by orders of magnitude when
+  the closure itself is sparse.  Requires :mod:`scipy`; constructing the
+  backend without it raises :class:`~repro.exceptions.SemiringError`.
+
+Backend protocol
+----------------
+A backend is any object with the attributes / methods of
+:class:`ExecutionBackend`.  Values are opaque to the executor except for
+their ``.shape`` attribute (both numpy arrays and scipy sparse matrices
+provide one).  ``from_dense`` / ``to_dense`` convert at the boundary: plan
+inputs (instance matrices, pointwise-function operands) enter through
+``from_dense`` and results leave through ``to_dense``, so equivalence with
+the interpreted tree-walk holds entrywise regardless of the representation.
+
+The fused whole-array operations (``row_sums`` …, ``power``) mirror the
+fused plan ops emitted by :mod:`repro.matlang.rewrites`; their generic dense
+implementations are expressed through the kernel API, so they are correct
+over any commutative semiring.
+
+Backends are selected by name through :func:`backend_for`;
+:func:`register_backend` installs custom representations (the same
+function-selection idiom as :func:`repro.semiring.kernels.register_kernels`).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Optional
+
+import numpy as np
+
+from repro.exceptions import SemiringError
+from repro.semiring.base import Semiring
+from repro.semiring.matrix import scalar
+
+try:  # scipy is an optional dependency: only the sparse backend needs it.
+    import scipy.sparse as _sparse
+except ImportError:  # pragma: no cover - exercised only on scipy-less installs
+    _sparse = None
+
+__all__ = [
+    "DenseExecutionBackend",
+    "ExecutionBackend",
+    "SparseBooleanBackend",
+    "available_backends",
+    "backend_for",
+    "register_backend",
+    "resolve_backend",
+]
+
+
+class ExecutionBackend:
+    """Base class spelling out the value protocol of the plan executor.
+
+    Concrete backends override the representation hooks and the combining
+    operations; the derived helpers (``constant``, ``nsum``, ``power``,
+    ``hadamard_power``) have generic implementations in terms of the rest.
+    """
+
+    #: Short name used by :func:`backend_for` diagnostics.
+    name: str = "abstract"
+
+    def __init__(self, semiring: Semiring) -> None:
+        self.semiring = semiring
+        #: Identity matrices keyed by dimension; loop iterations bind the
+        #: iterator to (read-only) columns of these, exactly like the
+        #: interpreter's basis cache.
+        self._basis_cache: Dict[int, Any] = {}
+
+    # -- representation boundary ----------------------------------------
+    def from_dense(self, matrix: np.ndarray) -> Any:
+        """Convert a dense storage-dtype array into a backend value."""
+        raise NotImplementedError
+
+    def to_dense(self, value: Any) -> np.ndarray:
+        """Convert a backend value into a dense storage-dtype array.
+
+        May return a view / shared array; callers that hand the result to
+        user code must copy.
+        """
+        raise NotImplementedError
+
+    def lift_instance_matrix(self, matrix: np.ndarray) -> Any:
+        """Import an instance matrix (already carrier-validated) as a value."""
+        return self.from_dense(matrix)
+
+    # -- constructors ----------------------------------------------------
+    def zeros(self, rows: int, cols: int) -> Any:
+        raise NotImplementedError
+
+    def ones(self, rows: int, cols: int) -> Any:
+        raise NotImplementedError
+
+    def identity(self, size: int) -> Any:
+        raise NotImplementedError
+
+    def basis_column(self, size: int, index: int) -> Any:
+        """The canonical vector ``b_index`` as a (never mutated) value."""
+        raise NotImplementedError
+
+    def constant(self, value: Any) -> Any:
+        """A ``1 x 1`` value holding ``value`` coerced into the carrier."""
+        return self.from_dense(scalar(self.semiring, value))
+
+    # -- kernel mirror ---------------------------------------------------
+    def matmul(self, left: Any, right: Any) -> Any:
+        raise NotImplementedError
+
+    def add(self, left: Any, right: Any) -> Any:
+        raise NotImplementedError
+
+    def hadamard(self, left: Any, right: Any) -> Any:
+        raise NotImplementedError
+
+    def scale(self, factor: Any, operand: Any) -> Any:
+        """Scalar multiplication; ``factor`` is a ``1 x 1`` backend value."""
+        raise NotImplementedError
+
+    def transpose(self, value: Any) -> Any:
+        raise NotImplementedError
+
+    def diag(self, column: Any) -> Any:
+        raise NotImplementedError
+
+    # -- fused whole-array operations ------------------------------------
+    def row_sums(self, value: Any) -> Any:
+        """``Sigma_v (e . v)``: the column vector of row sums."""
+        return self.matmul(value, self.ones(value.shape[1], 1))
+
+    def col_sums(self, value: Any) -> Any:
+        """``Sigma_v (v^T . e)``: the row vector of column sums."""
+        return self.matmul(self.ones(1, value.shape[0]), value)
+
+    def trace(self, value: Any) -> Any:
+        """``Sigma_v (v^T . e . v)``: the semiring sum of the diagonal."""
+        raise NotImplementedError
+
+    def diag_of_diagonal(self, value: Any) -> Any:
+        """``Sigma_v (v^T.e.v) x (v.v^T)``: zero out everything off-diagonal."""
+        raise NotImplementedError
+
+    def diag_product(self, value: Any) -> Any:
+        """``Pi-o_v (v^T . e . v)``: the semiring product of the diagonal."""
+        raise NotImplementedError
+
+    def nsum(self, value: Any, count: int) -> Any:
+        """``Sigma_v e`` with ``v`` not free in ``e``: ``count`` copies added up.
+
+        By distributivity this is ``(1 + ... + 1) * e``, i.e. a scale by the
+        canonical embedding of ``count``.
+        """
+        return self.scale(
+            self.constant(self.semiring.from_int(count)), value
+        )
+
+    def _iterated(self, value: Any, count: int, combine: Callable[[Any, Any], Any]) -> Any:
+        """``value`` combined with itself ``count`` times, by squaring.
+
+        Associativity of the semiring operation is all this needs; powers of
+        a fixed matrix commute, so the re-association is exact.
+        """
+        if count < 1:
+            raise SemiringError("iterated products need a positive count")
+        result: Optional[Any] = None
+        base = value
+        remaining = count
+        while remaining:
+            if remaining & 1:
+                result = base if result is None else combine(result, base)
+            remaining >>= 1
+            if remaining:
+                base = combine(base, base)
+        return result
+
+    def power(self, value: Any, count: int) -> Any:
+        """``Pi_v e`` with ``v`` not free in ``e``: the matrix power ``e^count``."""
+        return self._iterated(value, count, self.matmul)
+
+    def hadamard_power(self, value: Any, count: int) -> Any:
+        """``Pi-o_v e`` with ``v`` not free in ``e``: the entrywise power."""
+        return self._iterated(value, count, self.hadamard)
+
+
+class DenseExecutionBackend(ExecutionBackend):
+    """The default backend: dense arrays through the semiring's kernels.
+
+    Works for every registered semiring because it only uses the kernel
+    contract (the object-dtype fold included); primitive-dtype semirings get
+    the vectorized kernels automatically.
+    """
+
+    name = "dense"
+
+    @property
+    def kernels(self):
+        # Resolved through the (version-checked) per-semiring cache on every
+        # access, so re-registering a kernel factory takes effect even for
+        # evaluators that already exist.
+        return self.semiring.kernels
+
+    # -- representation --------------------------------------------------
+    def from_dense(self, matrix: np.ndarray) -> np.ndarray:
+        return self.kernels.ensure_storage(matrix)
+
+    def to_dense(self, value: np.ndarray) -> np.ndarray:
+        return value
+
+    def lift_instance_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        # Instance matrices are carrier-validated at construction; skip the
+        # per-load re-validation exactly like the interpreted tree-walk does.
+        return matrix
+
+    # -- constructors ----------------------------------------------------
+    def zeros(self, rows: int, cols: int) -> np.ndarray:
+        return self.kernels.zeros(rows, cols)
+
+    def ones(self, rows: int, cols: int) -> np.ndarray:
+        return self.kernels.ones(rows, cols)
+
+    def identity(self, size: int) -> np.ndarray:
+        return self.kernels.identity(size)
+
+    def basis_column(self, size: int, index: int) -> np.ndarray:
+        basis = self._basis_cache.get(size)
+        if basis is None:
+            basis = self.kernels.identity(size)
+            self._basis_cache[size] = basis
+        return basis[:, index : index + 1]
+
+    # -- kernel mirror ---------------------------------------------------
+    def matmul(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        return self.kernels.matmul(left, right)
+
+    def add(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        return self.kernels.add_matrices(left, right)
+
+    def hadamard(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        return self.kernels.hadamard(left, right)
+
+    def scale(self, factor: np.ndarray, operand: np.ndarray) -> np.ndarray:
+        return self.kernels.scale(factor[0, 0], operand)
+
+    def transpose(self, value: np.ndarray) -> np.ndarray:
+        return value.T
+
+    def diag(self, column: np.ndarray) -> np.ndarray:
+        return self.kernels.diag(np.ascontiguousarray(column))
+
+    # -- fused operations ------------------------------------------------
+    def trace(self, value: np.ndarray) -> np.ndarray:
+        total = self.kernels.sum(value.diagonal().copy())
+        return self.from_dense(scalar(self.semiring, total))
+
+    def diag_of_diagonal(self, value: np.ndarray) -> np.ndarray:
+        column = value.diagonal().copy().reshape(-1, 1)
+        return self.kernels.diag(column)
+
+    def diag_product(self, value: np.ndarray) -> np.ndarray:
+        total = self.kernels.product(value.diagonal().copy())
+        return self.from_dense(scalar(self.semiring, total))
+
+
+class SparseBooleanBackend(ExecutionBackend):
+    """CSR-matrix values for the boolean semiring (reachability workloads).
+
+    Matrices are ``scipy.sparse.csr_matrix`` instances with ``float64`` data
+    canonicalised to ``1.0`` after every operation: sums of positive products
+    can never cancel, so "stored entry" is exactly "semiring one", and no
+    counting overflow can flip an entry back to zero.  Dense conversions at
+    the boundary return ``bool`` arrays matching the dense kernel storage.
+    """
+
+    name = "sparse"
+
+    def __init__(self, semiring: Semiring) -> None:
+        if _sparse is None:
+            raise SemiringError(
+                "the sparse execution backend requires scipy, which is not "
+                "installed; use the dense backend instead"
+            )
+        if semiring.name != "boolean":
+            raise SemiringError(
+                f"the sparse CSR backend only supports the boolean semiring, "
+                f"not {semiring.name!r}"
+            )
+        super().__init__(semiring)
+        #: Instance matrices converted to CSR, keyed by array identity so a
+        #: reused Evaluator converts each input once.  The array itself is
+        #: kept alongside so the id can never be recycled while cached.
+        #: Bounded FIFO: a long-lived backend sweeping many instances (the
+        #: CompiledWorkload pattern) must not pin every matrix it ever saw.
+        self._lift_cache: "OrderedDict[int, Any]" = OrderedDict()
+
+    _LIFT_CACHE_CAPACITY = 64
+
+    @staticmethod
+    def _canonical(matrix):
+        if matrix.nnz:
+            matrix.data.fill(1.0)
+        return matrix
+
+    # -- representation --------------------------------------------------
+    def from_dense(self, matrix: np.ndarray) -> Any:
+        dense = self.semiring.kernels.ensure_storage(np.asarray(matrix))
+        return self._canonical(_sparse.csr_matrix(dense.astype(np.float64)))
+
+    def to_dense(self, value: Any) -> np.ndarray:
+        return value.toarray() != 0
+
+    def lift_instance_matrix(self, matrix: np.ndarray) -> Any:
+        cached = self._lift_cache.get(id(matrix))
+        if cached is not None and cached[0] is matrix:
+            self._lift_cache.move_to_end(id(matrix))
+            return cached[1]
+        lifted = self.from_dense(matrix)
+        self._lift_cache[id(matrix)] = (matrix, lifted)
+        while len(self._lift_cache) > self._LIFT_CACHE_CAPACITY:
+            self._lift_cache.popitem(last=False)
+        return lifted
+
+    # -- constructors ----------------------------------------------------
+    def zeros(self, rows: int, cols: int) -> Any:
+        return _sparse.csr_matrix((rows, cols), dtype=np.float64)
+
+    def ones(self, rows: int, cols: int) -> Any:
+        return _sparse.csr_matrix(np.ones((rows, cols), dtype=np.float64))
+
+    def identity(self, size: int) -> Any:
+        return _sparse.identity(size, dtype=np.float64, format="csr")
+
+    def basis_column(self, size: int, index: int) -> Any:
+        basis = self._basis_cache.get(size)
+        if basis is None:
+            basis = _sparse.identity(size, dtype=np.float64, format="csc")
+            self._basis_cache[size] = basis
+        return basis[:, index : index + 1].tocsr()
+
+    # -- kernel mirror ---------------------------------------------------
+    def _check_shapes(self, left: Any, right: Any, operation: str) -> None:
+        if operation == "multiply":
+            if left.shape[1] != right.shape[0]:
+                raise SemiringError(
+                    f"cannot multiply matrices of shapes {left.shape} and {right.shape}"
+                )
+        elif left.shape != right.shape:
+            raise SemiringError(
+                f"cannot {operation} matrices of shapes {left.shape} and {right.shape}"
+            )
+
+    def matmul(self, left: Any, right: Any) -> Any:
+        self._check_shapes(left, right, "multiply")
+        return self._canonical(left @ right)
+
+    def add(self, left: Any, right: Any) -> Any:
+        self._check_shapes(left, right, "add")
+        return self._canonical((left + right).tocsr())
+
+    def hadamard(self, left: Any, right: Any) -> Any:
+        self._check_shapes(left, right, "take Hadamard product of")
+        return self._canonical(left.multiply(right).tocsr())
+
+    def scale(self, factor: Any, operand: Any) -> Any:
+        if bool(factor.toarray()[0, 0]):
+            return operand.copy()
+        return self.zeros(*operand.shape)
+
+    def transpose(self, value: Any) -> Any:
+        return value.transpose().tocsr()
+
+    def diag(self, column: Any) -> Any:
+        entries = column.toarray().ravel() != 0
+        return self._canonical(
+            _sparse.diags(entries.astype(np.float64), format="csr")
+        )
+
+    # -- fused operations ------------------------------------------------
+    def row_sums(self, value: Any) -> Any:
+        hit = np.asarray(value.sum(axis=1)).reshape(-1, 1) != 0
+        return self.from_dense(hit)
+
+    def col_sums(self, value: Any) -> Any:
+        hit = np.asarray(value.sum(axis=0)).reshape(1, -1) != 0
+        return self.from_dense(hit)
+
+    def trace(self, value: Any) -> Any:
+        return self.constant(bool(np.any(value.diagonal() != 0)))
+
+    def diag_of_diagonal(self, value: Any) -> Any:
+        entries = value.diagonal() != 0
+        return self._canonical(
+            _sparse.diags(entries.astype(np.float64), format="csr")
+        )
+
+    def diag_product(self, value: Any) -> Any:
+        return self.constant(bool(np.all(value.diagonal() != 0)))
+
+    def nsum(self, value: Any, count: int) -> Any:
+        # Boolean addition is idempotent: n >= 1 copies of e are just e.
+        if count >= 1:
+            return value.copy()
+        return self.zeros(*value.shape)
+
+    def hadamard_power(self, value: Any, count: int) -> Any:
+        if count < 1:
+            raise SemiringError("iterated products need a positive count")
+        return value.copy()
+
+
+# ----------------------------------------------------------------------
+# Backend selection
+# ----------------------------------------------------------------------
+BackendFactory = Callable[[Semiring], ExecutionBackend]
+
+_BACKEND_FACTORIES: Dict[str, BackendFactory] = {
+    "dense": DenseExecutionBackend,
+    "sparse": SparseBooleanBackend,
+}
+
+
+def register_backend(name: str, factory: BackendFactory, overwrite: bool = False) -> None:
+    """Install ``factory`` as the execution backend named ``name``."""
+    if name in _BACKEND_FACTORIES and not overwrite:
+        raise SemiringError(f"execution backend {name!r} is already registered")
+    _BACKEND_FACTORIES[name] = factory
+
+
+def available_backends() -> tuple:
+    """Names of all registered execution backends, sorted."""
+    return tuple(sorted(_BACKEND_FACTORIES))
+
+
+def backend_for(semiring: Semiring, name: str = "dense") -> ExecutionBackend:
+    """Instantiate the execution backend called ``name`` for ``semiring``."""
+    try:
+        factory = _BACKEND_FACTORIES[name]
+    except KeyError:
+        known = ", ".join(available_backends())
+        raise SemiringError(
+            f"unknown execution backend {name!r}; known backends: {known}"
+        ) from None
+    return factory(semiring)
+
+
+def resolve_backend(semiring: Semiring, backend) -> ExecutionBackend:
+    """Normalise a backend argument against ``semiring``.
+
+    ``backend`` may be ``None`` (the dense default), a registered backend
+    name, or an :class:`ExecutionBackend` instance — which must be bound to
+    ``semiring``: silently running one semiring's plan on another semiring's
+    backend would compute the wrong algebra without any error.  This is the
+    single resolution policy shared by the evaluator and the experiment
+    harness.
+    """
+    if backend is None:
+        return backend_for(semiring, "dense")
+    if isinstance(backend, str):
+        return backend_for(semiring, backend)
+    if backend.semiring != semiring:
+        raise SemiringError(
+            f"execution backend is bound to semiring "
+            f"{backend.semiring.name!r}, but the instance uses "
+            f"{semiring.name!r}"
+        )
+    return backend

@@ -67,8 +67,10 @@ semiring      storage                implementation
 
 Storage-boundary behavior of the primitive backends: the ``int64`` kernels
 reject values that do not fit at the coercion boundary, and guard every
-combining operation with an exact a-priori bound — operations whose result
-could exceed ``2**63 - 1`` recompute on the exact scalar fold and raise
+combining operation with an a-priori bound — a cheap global bound from the
+operand extrema, refined by a per-row / per-operation bound when that fails
+(see :class:`Int64Kernels`) — operations whose result could exceed
+``2**63 - 1`` recompute on the exact scalar fold and raise
 :class:`~repro.exceptions.SemiringError` if the true result does not fit,
 so results never wrap silently.  Workloads that routinely exceed ``int64``
 should register :class:`ObjectFoldKernels` for their semiring instead.  The
@@ -457,18 +459,32 @@ class Int64Kernels(KernelBackend):
 
     The coercion boundary validates carrier membership (integrality, and
     non-negativity for the naturals) and that values fit ``int64``.  Every
-    combining operation first checks an a-priori worst-case bound on the
-    result magnitude (exact Python-int arithmetic on the operand extrema):
-    when the bound fits ``int64`` the vectorized numpy path is provably
-    wrap-free; otherwise the operation falls back to the exact scalar fold
-    and re-enters the coercion boundary, so a result that genuinely does not
-    fit raises :class:`~repro.exceptions.SemiringError` instead of silently
-    wrapping.
+    combining operation guards against wrap-around with a two-level a-priori
+    bound on the result magnitude:
+
+    1. a cheap global bound from the operand extrema (exact Python-int
+       arithmetic, e.g. ``inner * max|L| * max|R|`` for matmul) — when it
+       fits ``int64`` the vectorized numpy path is provably wrap-free;
+    2. when the global bound fails, a tighter per-row / per-operation bound
+       (row-wise absolute sums for matmul, entrywise ``|l| op |r|`` extrema
+       for add / Hadamard) computed in ``float64`` with a conservative
+       safety margin — big-value workloads whose *actual* rows stay in
+       range keep the fast path even though the worst-case product of the
+       extrema would not.
+
+    Only when both bounds fail does the operation fall back to the exact
+    scalar fold and re-enter the coercion boundary, so a result that
+    genuinely does not fit raises :class:`~repro.exceptions.SemiringError`
+    instead of silently wrapping.
     """
 
     dtype = np.int64
 
     _INT64_MAX = 2**63 - 1
+    #: Margin applied to float64-computed bounds: relative rounding error of
+    #: a sum of n float64 terms is below n * 2**-53, so 1e-6 is conservative
+    #: for any array with fewer than ~10**9 summands per row.
+    _FLOAT_BOUND_LIMIT = (2**63 - 1) * (1.0 - 1e-6)
 
     def __init__(self, semiring: Semiring, allow_negative: bool = True) -> None:
         super().__init__(semiring)
@@ -494,24 +510,48 @@ class Int64Kernels(KernelBackend):
         exact = getattr(fold, operation)(*operands)
         return self.coerce_matrix(exact)
 
+    @staticmethod
+    def _float_abs(matrix: np.ndarray) -> np.ndarray:
+        # Convert before abs: np.abs wraps on the int64 minimum, while the
+        # float conversion merely rounds (the margin absorbs that error).
+        return np.abs(matrix.astype(np.float64))
+
     def matmul(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
         _check_matmul_shapes(left, right)
         inner = left.shape[1]
-        bound = inner * self._max_abs(left) * self._max_abs(right)
-        if bound <= self._INT64_MAX:
+        max_left = self._max_abs(left)
+        max_right = self._max_abs(right)
+        if inner * max_left * max_right <= self._INT64_MAX:
             return left @ right
+        # Per-row refinement: |(LR)[i,j]| <= sum_k |L[i,k]| * max|R| (and
+        # symmetrically per column), which keeps e.g. diagonal or sparse
+        # big-value matrices vectorized where the global bound gives up.
+        if left.size and right.size:
+            row_bound = float(self._float_abs(left).sum(axis=1).max()) * max_right
+            col_bound = max_left * float(self._float_abs(right).sum(axis=0).max())
+            if min(row_bound, col_bound) <= self._FLOAT_BOUND_LIMIT:
+                return left @ right
         return self._exact_fallback("matmul", left, right)
 
     def add_matrices(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
         _check_same_shape(left, right, "add")
         if self._max_abs(left) + self._max_abs(right) <= self._INT64_MAX:
             return left + right
+        # Entrywise refinement: the extrema may live in different cells.
+        if left.size:
+            bound = float((self._float_abs(left) + self._float_abs(right)).max())
+            if bound <= self._FLOAT_BOUND_LIMIT:
+                return left + right
         return self._exact_fallback("add_matrices", left, right)
 
     def hadamard(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
         _check_same_shape(left, right, "take Hadamard product of")
         if self._max_abs(left) * self._max_abs(right) <= self._INT64_MAX:
             return left * right
+        if left.size:
+            bound = float((self._float_abs(left) * self._float_abs(right)).max())
+            if bound <= self._FLOAT_BOUND_LIMIT:
+                return left * right
         return self._exact_fallback("hadamard", left, right)
 
     def scale(self, factor: Any, matrix: np.ndarray) -> np.ndarray:

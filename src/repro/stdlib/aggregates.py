@@ -23,7 +23,12 @@ def _as_expr(value: ExpressionLike) -> Expression:
 
 
 def trace(matrix: ExpressionLike, iterator: str = "_tv") -> Expression:
-    """``tr(A) = Sigma v. v^T . A . v`` (sum-MATLANG)."""
+    """``tr(A) = Sigma v. v^T . A . v`` (sum-MATLANG).
+
+    The plan compiler recognises this body shape and fuses the whole
+    quantifier into a single ``trace`` kernel op
+    (:mod:`repro.matlang.rewrites`), so evaluation never unrolls the loop.
+    """
     expr = _as_expr(matrix)
     v = var(iterator)
     return ssum(iterator, v.T @ expr @ v)
@@ -34,6 +39,7 @@ def diagonal_product(matrix: ExpressionLike, iterator: str = "_dv") -> Expressio
 
     ``Pi-o v. v^T . A . v`` multiplies the diagonal entries pointwise; on a
     ``1 x 1`` result the Hadamard product coincides with ordinary product.
+    Compiles to the fused ``diag_product`` plan op.
     """
     expr = _as_expr(matrix)
     v = var(iterator)

@@ -66,6 +66,12 @@ def transitive_closure_product(adjacency: ExpressionLike = "A", iterator: str = 
     The matrix-product quantifier computes ``(I + A)^n`` whose non-zero
     entries coincide with the reflexive-transitive closure; ``f_>0`` turns the
     path counts into a 0/1 matrix.  Lives in prod-MATLANG[f_>0].
+
+    The quantifier body is loop-invariant, so the plan compiler fuses the
+    whole loop into a ``power`` op computed by repeated squaring —
+    ``O(log n)`` matrix products instead of ``n`` — and over the boolean
+    semiring the sparse CSR execution backend keeps the iterated product
+    sparse end to end.
     """
     matrix = _as_expr(adjacency)
     body = identity_like(matrix) + matrix
@@ -82,6 +88,8 @@ def shortest_path_matrix(adjacency: ExpressionLike = "A", iterator: str = "_spv"
     no path exists).  The same expression evaluated over the booleans is
     reflexive-transitive reachability: the semiring parameterises the
     meaning, exactly the Section 6 story.  Lives in prod-MATLANG.
+    Like :func:`transitive_closure_product`, the invariant body fuses into
+    a repeated-squaring ``power`` plan op.
     """
     matrix = _as_expr(adjacency)
     return prod(iterator, identity_like(matrix) + matrix)

@@ -102,3 +102,94 @@ class TestRegistryMechanics:
 
     def test_names_listing(self):
         assert "div" in default_registry().names()
+
+
+class TestVectorizedApply:
+    """Whole-array fast paths for the common pointwise functions."""
+
+    def _registry(self):
+        return default_registry()
+
+    def test_vectorized_matches_scalar_loop(self):
+        import numpy as np
+
+        from repro.semiring import BOOLEAN, INTEGER, MIN_PLUS
+
+        registry = self._registry()
+        cases = [
+            (REAL, "gt0", [np.array([[-1.0, 0.5], [0.0, 2.0]])]),
+            (REAL, "div", [np.array([[6.0, 1.0], [5.0, -2.0]]),
+                           np.array([[3.0, 0.0], [2.0, 4.0]])]),
+            (REAL, "mul", [np.array([[2.0, 3.0], [4.0, 5.0]])] * 3),
+            (REAL, "add", [np.array([[2.0, 3.0], [4.0, 5.0]])] * 2),
+            (REAL, "sub", [np.array([[2.0, 3.0], [4.0, 5.0]]),
+                           np.array([[1.0, 1.0], [9.0, 1.0]])]),
+            (REAL, "neg", [np.array([[2.0, -3.0], [0.0, 5.0]])]),
+            (REAL, "square", [np.array([[2.0, -3.0], [0.0, 5.0]])]),
+            (REAL, "nonzero", [np.array([[2.0, 0.0], [0.0, 5.0]])]),
+            (NATURAL, "gt0", [np.array([[0, 3], [1, 0]], dtype=np.int64)]),
+            (NATURAL, "mul", [np.array([[2, 3], [4, 5]], dtype=np.int64)] * 2),
+            (BOOLEAN, "gt0", [np.array([[True, False], [False, True]])]),
+            (BOOLEAN, "mul", [np.array([[True, False], [True, True]])] * 2),
+            (MIN_PLUS, "gt0", [np.array([[0.5, np.inf], [-1.0, 0.0]])]),
+        ]
+        for semiring, name, operands in cases:
+            operands = [semiring.coerce_matrix(op) for op in operands]
+            function = registry.get(name)
+            fast = function.apply_matrix(semiring, operands)
+            # Reference: force the scalar loop by dropping the vectorizer.
+            slow = PointwiseFunction(
+                function.name, function.arity, function.implementation
+            ).apply_matrix(semiring, operands)
+            assert fast.dtype == semiring.kernels.dtype, (semiring.name, name)
+            assert semiring.matrices_equal(fast, slow), (semiring.name, name)
+
+    def test_vectorized_mul_overflow_still_raises(self):
+        import numpy as np
+
+        from repro.exceptions import SemiringError
+
+        registry = self._registry()
+        big = NATURAL.coerce_matrix(np.array([[2**40, 1], [1, 2**40]], dtype=object))
+        with pytest.raises(SemiringError):
+            registry.get("mul").apply_matrix(NATURAL, [big, big])
+
+    def test_variadic_int64_chain_with_fitting_result_stays_exact(self):
+        # Regression: mul(2**40, 2**40, 0) has an int64-overflowing
+        # *intermediate* but an exact final value of 0; the vectorized chain
+        # must decline (not raise) so the scalar fold's answer comes back.
+        import numpy as np
+
+        registry = self._registry()
+        big = NATURAL.coerce_matrix(np.array([[2**40]], dtype=object))
+        zero = NATURAL.coerce_matrix(np.array([[0]], dtype=object))
+        result = registry.get("mul").apply_matrix(NATURAL, [big, big, zero])
+        assert result[0, 0] == 0
+        from repro.semiring import INTEGER
+
+        high = INTEGER.coerce_matrix(np.array([[2**62]], dtype=object))
+        low = INTEGER.coerce_matrix(np.array([[-(2**62)]], dtype=object))
+        summed = registry.get("add").apply_matrix(INTEGER, [high, high, low, low])
+        assert summed[0, 0] == 0
+
+    def test_single_operand_mul_returns_a_fresh_array(self):
+        import numpy as np
+
+        registry = self._registry()
+        operand = REAL.coerce_matrix(np.array([[1.0, 2.0]]))
+        result = registry.get("mul").apply_matrix(REAL, [operand])
+        result[0, 0] = 99.0
+        assert operand[0, 0] == 1.0
+
+    def test_object_dtype_falls_back_to_scalar_loop(self):
+        import numpy as np
+
+        from repro.semiring.provenance import PROVENANCE, Polynomial
+
+        registry = self._registry()
+        matrix = np.empty((1, 2), dtype=object)
+        matrix[0, 0] = Polynomial.variable("p")
+        matrix[0, 1] = PROVENANCE.zero
+        result = registry.get("nonzero").apply_matrix(PROVENANCE, [matrix])
+        assert result[0, 0] == PROVENANCE.one
+        assert result[0, 1] == PROVENANCE.zero

@@ -606,3 +606,64 @@ class TestTropicalMatmulBlocking:
         assert MIN_PLUS.matrices_equal(
             kernels.matmul(left, right), blocked.matmul(left, right)
         )
+
+
+class TestInt64PerRowBound:
+    """The tightened (per-row / per-operation) int64 overflow guard."""
+
+    def _no_fallback(self, monkeypatch):
+        def boom(self, operation, *operands):
+            raise AssertionError("expected the vectorized fast path, got the exact fallback")
+
+        from repro.semiring.kernels import Int64Kernels
+
+        monkeypatch.setattr(Int64Kernels, "_exact_fallback", boom)
+
+    def test_matmul_stays_vectorized_when_rows_fit(self, monkeypatch):
+        # Global bound: 4 * 2**31 * 2**31 = 2**64 overflows, but each row
+        # holds a single large entry, so the per-row bound (2**62) fits.
+        self._no_fallback(monkeypatch)
+        big = np.diag([2**31] * 4).astype(np.int64)
+        result = INTEGER.matmul(big, big)
+        assert result[0, 0] == 2**62
+        assert np.all(np.asarray(result)[~np.eye(4, dtype=bool)] == 0)
+
+    def test_hadamard_stays_vectorized_when_entries_fit(self, monkeypatch):
+        # max|L| * max|R| = 2**62 * 4 overflows, but the extrema live in
+        # different cells, so the entrywise bound fits.
+        self._no_fallback(monkeypatch)
+        left = np.array([[2**62, 2], [3, 4]], dtype=np.int64)
+        right = np.array([[1, 4], [4, 4]], dtype=np.int64)
+        result = INTEGER.hadamard(left, right)
+        assert result[0, 0] == 2**62 and result[1, 1] == 16
+
+    def test_add_stays_vectorized_when_entries_fit(self, monkeypatch):
+        self._no_fallback(monkeypatch)
+        left = np.array([[2**62, 0], [0, 2**62]], dtype=np.int64)
+        right = np.array([[0, 2**62], [2**62, 0]], dtype=np.int64)
+        result = INTEGER.add_matrices(left, right)
+        assert np.all(np.asarray(result) == 2**62)
+
+    def test_true_overflow_still_raises(self):
+        big = np.diag([2**62] * 2).astype(np.int64)
+        with pytest.raises(SemiringError):
+            INTEGER.matmul(big, big)
+        with pytest.raises(SemiringError):
+            INTEGER.add_matrices(big, big)
+        with pytest.raises(SemiringError):
+            INTEGER.hadamard(big, big)
+
+    def test_per_row_results_match_exact_fold(self):
+        # The refined bound must never change values, only the code path:
+        # one big entry per matrix defeats the global extrema bound while
+        # every actual row product still fits int64.
+        rng = np.random.default_rng(23)
+        left = rng.integers(-100, 100, size=(5, 5)).astype(np.int64)
+        right = rng.integers(-100, 100, size=(5, 5)).astype(np.int64)
+        left[0, 0] = 2**31
+        right[0, 0] = 2**31
+        fold = ObjectFoldKernels(INTEGER, dtype=object)
+        expected = fold.matmul(left.astype(object), right.astype(object))
+        assert np.array_equal(
+            np.asarray(INTEGER.matmul(left, right), dtype=object), expected
+        )
