@@ -17,10 +17,10 @@ them on every push):
   no re-lowering (the plan-cache miss counter stays put).
 """
 
-import time
-
 import numpy as np
 import pytest
+
+from benchmarks.conftest import assert_speedup
 
 from repro.experiments.harness import CompiledWorkload
 from repro.experiments.workloads import random_matrix
@@ -63,27 +63,6 @@ def _sparse_boolean_instance(size=DIMENSION, cycle=8):
     return Instance.from_matrices({"A": adjacency}, semiring=BOOLEAN)
 
 
-def _best_of(callable_, repetitions=3):
-    best = float("inf")
-    for _ in range(repetitions):
-        start = time.perf_counter()
-        callable_()
-        best = min(best, time.perf_counter() - start)
-    return best
-
-
-def _assert_speedup(slow_call, fast_call, floor, label):
-    """Retry with more repetitions before failing, to absorb CI noise."""
-    speedup = 0.0
-    for repetitions in (3, 10, 30):
-        slow_time = _best_of(slow_call, repetitions=2)
-        fast_time = _best_of(fast_call, repetitions=repetitions)
-        speedup = slow_time / fast_time
-        if speedup >= floor:
-            return speedup
-    raise AssertionError(f"{label} speedup {speedup:.1f}x is below the {floor:.0f}x floor")
-
-
 # ----------------------------------------------------------------------
 # Fusion versus tree-walk interpretation
 # ----------------------------------------------------------------------
@@ -104,7 +83,7 @@ def test_fused_sum_quantifier_compiled(benchmark):
     assert result.shape == (1, DIMENSION)
 
 
-def test_fusion_is_5x_faster_and_agrees():
+def test_fusion_is_5x_faster_and_agrees(bench_artifact):
     instance = _dense_instance()
     expression = _sum_quantifier_workload()
     typed = annotate(expression, instance.schema)
@@ -120,11 +99,19 @@ def test_fusion_is_5x_faster_and_agrees():
     plan = compile_expression(expression, instance.schema)
     assert plan.count_ops("loop") == 0
 
-    speedup = _assert_speedup(
+    slow_time, fast_time, speedup = assert_speedup(
         lambda: interpreted.run_typed(typed),
         lambda: compiled.run_typed(typed),
         FUSION_SPEEDUP_FLOOR,
         f"fused sum-quantifier {DIMENSION}x{DIMENSION}",
+    )
+    bench_artifact(
+        "p03", op="sum-quantifier", size=DIMENSION, backend="tree-walk",
+        seconds=slow_time,
+    )
+    bench_artifact(
+        "p03", op="sum-quantifier", size=DIMENSION, backend="compiled-fused",
+        seconds=fast_time, speedup=speedup,
     )
     print(f"\nfusion speedup over tree-walk: {speedup:.1f}x")
 
@@ -133,7 +120,7 @@ def test_fusion_is_5x_faster_and_agrees():
 # Sparse boolean backend versus the dense kernels
 # ----------------------------------------------------------------------
 @pytest.mark.skipif(not HAVE_SCIPY, reason="scipy is required for the sparse backend")
-def test_sparse_reachability_beats_dense_and_agrees():
+def test_sparse_reachability_beats_dense_and_agrees(bench_artifact):
     instance = _sparse_boolean_instance()
     expression = shortest_path_matrix("A")  # over booleans: reflexive closure
     typed = annotate(expression, instance.schema)
@@ -149,13 +136,55 @@ def test_sparse_reachability_beats_dense_and_agrees():
     reference = Evaluator(instance, compile=False).run_typed(typed)
     assert np.array_equal(dense_result, reference)
 
-    speedup = _assert_speedup(
+    slow_time, fast_time, speedup = assert_speedup(
         lambda: dense.run_typed(typed),
         lambda: sparse.run_typed(typed),
         1.0,
         f"sparse boolean reachability {DIMENSION}x{DIMENSION}",
     )
+    bench_artifact(
+        "p03", op="reachability", size=DIMENSION, backend="dense",
+        seconds=slow_time, semiring="boolean",
+    )
+    bench_artifact(
+        "p03", op="reachability", size=DIMENSION, backend="sparse",
+        seconds=fast_time, speedup=speedup, semiring="boolean",
+    )
     print(f"\nsparse-over-dense reachability speedup: {speedup:.1f}x")
+
+
+@pytest.mark.skipif(not HAVE_SCIPY, reason="scipy is required for the sparse backend")
+def test_sparse_minplus_shortest_paths_beats_dense_and_agrees(bench_artifact):
+    """The CSR min-plus backend on sparse shortest paths (PR 3 satellite)."""
+    from repro.semiring import MIN_PLUS
+
+    adjacency = _sparse_boolean_instance().matrix("A")
+    weights = np.where(adjacency, 1.0, np.inf)
+    instance = Instance.from_matrices({"A": weights}, semiring=MIN_PLUS)
+    typed = annotate(shortest_path_matrix("A"), instance.schema)
+
+    dense = Evaluator(instance)
+    sparse = Evaluator(instance, backend="sparse")
+
+    dense_result = dense.run_typed(typed)
+    sparse_result = sparse.run_typed(typed)
+    assert np.array_equal(dense_result, sparse_result)
+
+    slow_time, fast_time, speedup = assert_speedup(
+        lambda: dense.run_typed(typed),
+        lambda: sparse.run_typed(typed),
+        1.0,
+        f"sparse min-plus shortest paths {DIMENSION}x{DIMENSION}",
+    )
+    bench_artifact(
+        "p03", op="shortest-paths", size=DIMENSION, backend="dense",
+        seconds=slow_time, semiring="min_plus",
+    )
+    bench_artifact(
+        "p03", op="shortest-paths", size=DIMENSION, backend="sparse",
+        seconds=fast_time, speedup=speedup, semiring="min_plus",
+    )
+    print(f"\nsparse-over-dense min-plus speedup: {speedup:.1f}x")
 
 
 @pytest.mark.skipif(not HAVE_SCIPY, reason="scipy is required for the sparse backend")

@@ -1,0 +1,180 @@
+"""P4 — Batched plan execution: one plan, many instances per kernel call.
+
+Reproduction-specific experiment (the paper has no performance study): it
+quantifies what stacking an instance sweep into ``(B, n, m)`` batches buys
+over running the compiled plan once per instance.  Small-instance sweeps —
+the common shape across ``bench_e01..e14`` — are dominated by the executor's
+Python dispatch, which batching pays once per op instead of once per op per
+instance.
+
+Three claims are asserted (also under ``--benchmark-disable``, so CI checks
+them on every push):
+
+* a 512-instance sweep of 16 x 16 real matrices runs at least 5x faster
+  through ``CompiledWorkload.run_batch`` than through the per-instance
+  ``run`` loop;
+* batched results are **bitwise-equal** to the per-instance path for every
+  registered semiring (the object-dtype provenance polynomials included,
+  where "bitwise" means exact object equality);
+* sharding is transparent: a sweep mixing sizes and semirings comes back in
+  input order, identical to per-instance evaluation, regardless of the
+  chunk size.
+
+Measurements are recorded to ``BENCH_p04.json`` via the ``bench_artifact``
+fixture (see ``benchmarks/conftest.py``).
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import assert_speedup
+
+from repro.experiments.harness import CompiledWorkload
+from repro.experiments.workloads import random_digraph, random_matrix
+from repro.matlang.builder import ssum, var
+from repro.matlang.evaluator import Evaluator, evaluate_batch
+from repro.matlang.instance import Instance
+from repro.semiring import BOOLEAN, INTEGER, MAX_PLUS, MIN_PLUS, NATURAL, REAL
+from repro.semiring.provenance import PROVENANCE, Polynomial
+
+DIMENSION = 16
+SWEEP = 512
+BATCH_SPEEDUP_FLOOR = 5.0
+
+ALL_SEMIRINGS = (REAL, NATURAL, INTEGER, BOOLEAN, MIN_PLUS, MAX_PLUS, PROVENANCE)
+
+
+def _sweep_workload():
+    """Fused quantifiers + the Add-split rule: a few ops, zero Python loops."""
+    A, v, u, w = var("A"), var("_v"), var("_u"), var("_w")
+    quadratic = ssum("_v", v.T @ A @ v)
+    column = A @ ssum("_u", A @ u)
+    split = ssum("_w", (A @ w) + (A.T @ w))
+    return (quadratic * column) + split
+
+
+def _instances_for(semiring, count, dimension, base_seed=0):
+    """A sweep of carrier-valid instances for ``semiring``."""
+    instances = []
+    for seed in range(base_seed, base_seed + count):
+        rng = np.random.default_rng(seed)
+        if semiring.name == "boolean":
+            matrix = random_digraph(dimension, probability=0.3, seed=seed)
+        elif semiring.name in ("natural", "integer"):
+            low = 0 if semiring.name == "natural" else -4
+            matrix = rng.integers(low, 5, (dimension, dimension))
+        elif semiring.name in ("min_plus", "max_plus"):
+            matrix = np.abs(random_matrix(dimension, seed=seed))
+        elif semiring.name == "provenance":
+            matrix = np.empty((dimension, dimension), dtype=object)
+            for i in range(dimension):
+                for j in range(dimension):
+                    matrix[i, j] = (
+                        Polynomial.variable(f"x{i}_{j}") if rng.random() < 0.4 else 0
+                    )
+        else:
+            matrix = random_matrix(dimension, seed=seed)
+        instances.append(Instance.from_matrices({"A": matrix}, semiring=semiring))
+    return instances
+
+
+def _entrywise_equal(semiring, left, right):
+    """Bitwise equality, total over object-dtype carriers too."""
+    if left.shape != right.shape:
+        return False
+    if left.dtype == object or right.dtype == object:
+        return all(left[index] == right[index] for index in np.ndindex(left.shape))
+    return bool(np.array_equal(left, right))
+
+
+# ----------------------------------------------------------------------
+# Throughput: the 512-instance n=16 sweep
+# ----------------------------------------------------------------------
+def test_batched_sweep_is_5x_faster_and_bitwise_equal(bench_artifact):
+    instances = _instances_for(REAL, SWEEP, DIMENSION)
+    workload = CompiledWorkload(_sweep_workload(), instances[0].schema)
+
+    sequential = [workload.run(instance) for instance in instances]
+    batched = workload.run_batch(instances)
+    assert len(batched) == SWEEP
+    for one, other in zip(sequential, batched):
+        assert np.array_equal(one, other), "batched result must be bitwise-equal"
+
+    slow, fast, speedup = assert_speedup(
+        lambda: [workload.run(instance) for instance in instances],
+        lambda: workload.run_batch(instances),
+        BATCH_SPEEDUP_FLOOR,
+        f"batched {SWEEP}-instance {DIMENSION}x{DIMENSION} sweep",
+    )
+    bench_artifact(
+        "p04", op="sweep-sequential", size=DIMENSION, backend="dense",
+        seconds=slow, instances=SWEEP,
+    )
+    bench_artifact(
+        "p04", op="sweep-batched", size=DIMENSION, backend="batched",
+        seconds=fast, speedup=speedup, instances=SWEEP,
+    )
+    print(f"\nbatched-over-sequential sweep speedup: {speedup:.1f}x")
+
+
+def test_sequential_sweep(benchmark):
+    instances = _instances_for(REAL, 64, DIMENSION)
+    workload = CompiledWorkload(_sweep_workload(), instances[0].schema)
+    workload.run(instances[0])
+    results = benchmark(lambda: [workload.run(instance) for instance in instances])
+    assert len(results) == 64
+
+
+def test_batched_sweep(benchmark):
+    instances = _instances_for(REAL, 64, DIMENSION)
+    workload = CompiledWorkload(_sweep_workload(), instances[0].schema)
+    workload.run_batch(instances[:4])
+    results = benchmark(lambda: workload.run_batch(instances))
+    assert len(results) == 64
+
+
+# ----------------------------------------------------------------------
+# Bitwise equality across every registered semiring
+# ----------------------------------------------------------------------
+def test_batched_equals_sequential_for_every_semiring(bench_artifact):
+    expression = _sweep_workload()
+    for semiring in ALL_SEMIRINGS:
+        count = 8 if semiring.name == "provenance" else 32
+        dimension = 4 if semiring.name == "provenance" else 8
+        instances = _instances_for(semiring, count, dimension)
+        workload = CompiledWorkload(expression, instances[0].schema)
+
+        start = time.perf_counter()
+        sequential = [workload.run(instance) for instance in instances]
+        sequential_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        batched = workload.run_batch(instances)
+        batched_seconds = time.perf_counter() - start
+
+        for one, other in zip(sequential, batched):
+            assert _entrywise_equal(semiring, one, other), semiring.name
+        bench_artifact(
+            "p04", op="equality-sweep", size=dimension, backend="batched",
+            seconds=batched_seconds,
+            speedup=sequential_seconds / batched_seconds if batched_seconds else None,
+            semiring=semiring.name, instances=count,
+        )
+
+
+# ----------------------------------------------------------------------
+# Sharding: ragged sweeps bucket transparently
+# ----------------------------------------------------------------------
+def test_ragged_sweep_shards_transparently():
+    expression = _sweep_workload()
+    instances = []
+    for seed in range(30):
+        size = (4, 9, 16)[seed % 3]
+        semiring = (REAL, MIN_PLUS)[seed % 2]
+        matrix = np.abs(random_matrix(size, seed=seed))
+        instances.append(Instance.from_matrices({"A": matrix}, semiring=semiring))
+
+    batched = evaluate_batch(expression, instances, chunk_size=4)
+    for instance, result in zip(instances, batched):
+        reference = Evaluator(instance).run(expression)
+        assert np.array_equal(result, reference)

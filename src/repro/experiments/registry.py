@@ -151,6 +151,13 @@ _EXPERIMENTS: Tuple[ExperimentInfo, ...] = (
         ("repro.matlang.compiler", "repro.matlang.rewrites", "repro.semiring.backends"),
         "benchmarks/bench_p03_compile_pipeline.py",
     ),
+    ExperimentInfo(
+        "P4",
+        "Reproduction-specific",
+        "Batched plan execution: one plan over stacked instance sweeps per kernel call",
+        ("repro.matlang.ir", "repro.semiring.backends", "repro.experiments.harness"),
+        "benchmarks/bench_p04_batched_execution.py",
+    ),
 )
 
 EXPERIMENTS: Dict[str, ExperimentInfo] = {info.identifier: info for info in _EXPERIMENTS}

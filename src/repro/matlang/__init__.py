@@ -57,8 +57,8 @@ from repro.matlang.compiler import (
     plan_cache_info,
 )
 from repro.matlang.degree import DegreeReport, analyse_degree, circuit_degree_for_dimension
-from repro.matlang.evaluator import Evaluator, evaluate
-from repro.matlang.ir import Plan, PlanOp, execute_plan
+from repro.matlang.evaluator import Evaluator, evaluate, evaluate_batch, run_plan_batch
+from repro.matlang.ir import Plan, PlanOp, execute_plan, execute_plan_batch
 from repro.matlang.fragments import Fragment, classify, is_in_fragment, required_functions
 from repro.matlang.functions import FunctionRegistry, PointwiseFunction, default_registry
 from repro.matlang.instance import Instance
@@ -106,10 +106,13 @@ __all__ = [
     "default_registry",
     "diag",
     "evaluate",
+    "evaluate_batch",
     "execute_plan",
+    "execute_plan_batch",
     "forloop",
     "lower",
     "plan_cache_info",
+    "run_plan_batch",
     "had",
     "infer_type",
     "is_in_fragment",

@@ -34,6 +34,7 @@ re-evaluation performs no re-lowering.
 from __future__ import annotations
 
 from collections import OrderedDict, namedtuple
+from dataclasses import replace
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.exceptions import EvaluationError
@@ -74,7 +75,16 @@ __all__ = [
 class _Frame:
     """One plan under construction: ops, CSE table and binder names."""
 
-    __slots__ = ("ops", "cse", "parent", "iterator_name", "accumulator_name", "bound", "captures")
+    __slots__ = (
+        "ops",
+        "cse",
+        "parent",
+        "iterator_name",
+        "accumulator_name",
+        "bound",
+        "captures",
+        "pinned",
+    )
 
     def __init__(
         self,
@@ -92,6 +102,8 @@ class _Frame:
         )
         #: Parent registers imported by this frame's ``capture`` ops.
         self.captures: List[int] = []
+        #: Registers kept alive through dead-op pruning (see Plan.pinned).
+        self.pinned: List[int] = []
 
     def emit(self, opcode: str, inputs: Tuple[int, ...] = (), **params: Any) -> int:
         self.ops.append(PlanOp(opcode=opcode, inputs=tuple(inputs), **params))
@@ -128,10 +140,18 @@ class _RuleContext:
 # Core lowering
 # ----------------------------------------------------------------------
 def lower(typed: TypedExpression) -> Plan:
-    """Lower an annotated expression to a plan (uncached entry point)."""
+    """Lower an annotated expression to a plan (uncached entry point).
+
+    The lowered plan runs through a final dead-op pruning pass: speculative
+    rewrite rules (the Add-body split of :mod:`repro.matlang.rewrites`) may
+    leave orphaned ops behind when a partial match fails, and pruning
+    restores the plan the non-speculative compiler would have produced.
+    Registers recorded in ``Plan.pinned`` (for-loop initialisers whose loop
+    was eliminated) survive pruning for error parity with the interpreter.
+    """
     frame = _Frame()
     result = _lower(typed, frame)
-    return Plan(tuple(frame.ops), result)
+    return _prune_plan(Plan(tuple(frame.ops), result, pinned=tuple(frame.pinned)))
 
 
 def _lower(typed: TypedExpression, frame: _Frame) -> int:
@@ -250,8 +270,11 @@ def _lower_for(typed: TypedExpression, frame: _Frame) -> int:
     # A body that reads neither binder is the loop's final value (n >= 1).
     # The initialiser (lowered above) stays in the plan even though the
     # result ignores it: the interpreter evaluates it too, so errors it
-    # raises must surface identically on the compiled path.
+    # raises must surface identically on the compiled path.  Pinning keeps
+    # it through dead-op pruning.
     if not ({expression.iterator, expression.accumulator} & body_typed.free_names):
+        if init_register is not None:
+            frame.pinned.append(init_register)
         return _lower(body_typed, frame)
 
     if init_register is None and typed.accumulator_type is None:
@@ -265,7 +288,7 @@ def _lower_for(typed: TypedExpression, frame: _Frame) -> int:
         inputs,
         kind="for",
         symbol=typed.iterator_symbol,
-        body=Plan(tuple(child.ops), body_register),
+        body=Plan(tuple(child.ops), body_register, pinned=tuple(child.pinned)),
         captures=tuple(child.captures),
         accumulator_type=typed.accumulator_type,
         type=typed.type,
@@ -291,10 +314,76 @@ def _lower_quantifier(
         (),
         kind=kind,
         symbol=typed.iterator_symbol,
-        body=Plan(tuple(child.ops), body_register),
+        body=Plan(tuple(child.ops), body_register, pinned=tuple(child.pinned)),
         captures=tuple(child.captures),
         type=typed.type,
     )
+
+
+# ----------------------------------------------------------------------
+# Dead-op pruning
+# ----------------------------------------------------------------------
+def _compact_captures(body: Plan, captures: Tuple[int, ...]):
+    """Drop capture slots whose ``capture`` ops were pruned from ``body``.
+
+    Returns the surviving parent registers and the body with its capture
+    indices renumbered to the compacted slots.
+    """
+    used = sorted({op.value for op in body.ops if op.opcode == "capture"})
+    if used == list(range(len(captures))):
+        return captures, body
+    renumber = {old: new for new, old in enumerate(used)}
+    ops = tuple(
+        replace(op, value=renumber[op.value]) if op.opcode == "capture" else op
+        for op in body.ops
+    )
+    return tuple(captures[index] for index in used), Plan(ops, body.result, body.pinned)
+
+
+def _prune_plan(plan: Plan) -> Plan:
+    """Remove ops that neither the result nor a pinned register depends on.
+
+    Bodies are pruned first so that a loop only keeps captures its pruned
+    body still reads; ops are in topological order, so one reverse liveness
+    sweep suffices.  Register indices are compacted afterwards.
+    """
+    ops = list(plan.ops)
+    for index, op in enumerate(ops):
+        if op.body is None:
+            continue
+        captures, body = _compact_captures(_prune_plan(op.body), op.captures)
+        if body is not op.body or captures != op.captures:
+            ops[index] = replace(op, body=body, captures=captures)
+
+    live = [False] * len(ops)
+    for register in (plan.result, *plan.pinned):
+        live[register] = True
+    for index in range(len(ops) - 1, -1, -1):
+        if not live[index]:
+            continue
+        for register in ops[index].inputs:
+            live[register] = True
+        for register in ops[index].captures:
+            live[register] = True
+
+    if all(live):
+        if any(new is not old for new, old in zip(ops, plan.ops)):
+            return Plan(tuple(ops), plan.result, plan.pinned)
+        return plan
+
+    remap: Dict[int, int] = {}
+    kept: List[PlanOp] = []
+    for index, op in enumerate(ops):
+        if not live[index]:
+            continue
+        inputs = tuple(remap[register] for register in op.inputs)
+        captures = tuple(remap[register] for register in op.captures)
+        if inputs != op.inputs or captures != op.captures:
+            op = replace(op, inputs=inputs, captures=captures)
+        remap[index] = len(kept)
+        kept.append(op)
+    pinned = tuple(sorted({remap[register] for register in plan.pinned}))
+    return Plan(tuple(kept), remap[plan.result], pinned)
 
 
 # ----------------------------------------------------------------------

@@ -20,14 +20,25 @@ tree-walking interpreter instead, which is retained verbatim as the
 executable reference semantics: the equivalence property suite runs every
 workload through both paths and asserts entrywise agreement.
 
+Sweeps over many instances evaluate fastest through the *batched* entry
+points: :func:`evaluate_batch` (and the lower-level :func:`run_plan_batch`)
+compiles once, buckets the instances by schema / semiring / dimension
+assignment, stacks each bucket into ``(B, rows, cols)`` arrays and runs every
+plan op once per chunk over the whole stack
+(:func:`repro.matlang.ir.execute_plan_batch`), so the Python dispatch cost —
+which dominates small-instance sweeps — is amortized over the batch.
+Oversized buckets are chunked to bound peak memory.
+
 Results returned from the public entry points (:meth:`Evaluator.run`,
-:meth:`Evaluator.run_typed`, :func:`evaluate`) are defensive copies:
-mutating them can never corrupt the instance's matrices or any cache.
+:meth:`Evaluator.run_typed`, :func:`evaluate`, :func:`evaluate_batch`) are
+defensive copies: mutating them can never corrupt the instance's matrices or
+any cache.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Union
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Union
 
 import numpy as np
 
@@ -52,7 +63,7 @@ from repro.matlang.ast import (
 from repro.matlang.compiler import compile_expression, compile_typed
 from repro.matlang.functions import FunctionRegistry, default_registry
 from repro.matlang.instance import Instance
-from repro.matlang.ir import execute_plan
+from repro.matlang.ir import execute_plan, execute_plan_batch
 from repro.matlang.typecheck import TypedExpression, annotate
 from repro.semiring import diagonal, identity, ones_matrix, scalar
 from repro.semiring.backends import ExecutionBackend, resolve_backend
@@ -393,3 +404,95 @@ def evaluate(
     raises :class:`~repro.exceptions.TypingError` if that fails.
     """
     return Evaluator(instance, functions).run(expression)
+
+
+# ----------------------------------------------------------------------
+# Batched evaluation
+# ----------------------------------------------------------------------
+#: Cap on the entries of one stacked instance-matrix operand per batch chunk
+#: (~128 MiB of float64).  Intermediate values of a plan can exceed the
+#: largest *input* matrix (a vector workload may build n x n temporaries),
+#: so this is a heuristic bound, not a hard ceiling; pass ``chunk_size`` to
+#: the batched entry points for exact control.
+BATCH_CHUNK_ENTRY_BUDGET = 1 << 24
+
+
+def _batch_chunk_size(instance: Instance) -> int:
+    """Instances per chunk keeping stacked inputs under the entry budget."""
+    largest = 1
+    for name in instance.schema.variables():
+        rows, cols = instance.shape_of(name)
+        largest = max(largest, rows * cols)
+    return max(1, BATCH_CHUNK_ENTRY_BUDGET // largest)
+
+
+def run_plan_batch(
+    plan,
+    instances,
+    functions: FunctionRegistry,
+    chunk_size: Optional[int] = None,
+) -> List[np.ndarray]:
+    """Execute a compiled plan over many instances with batched kernels.
+
+    Instances are bucketed by semiring and dimension assignment (a batch
+    must agree on both), each bucket is chunked to at most ``chunk_size``
+    instances (default: derived from :data:`BATCH_CHUNK_ENTRY_BUDGET`), and
+    each chunk runs the plan once over the whole stack on a
+    :class:`~repro.semiring.backends.BatchedDenseBackend`.  Results come
+    back in input order, one defensive copy per instance — entrywise
+    identical to running the plan per instance on the dense backend.
+    """
+    from repro.semiring.backends import BatchedDenseBackend
+
+    instances = list(instances)
+    results: List[Optional[np.ndarray]] = [None] * len(instances)
+    buckets: "OrderedDict[Any, List[int]]" = OrderedDict()
+    for position, instance in enumerate(instances):
+        key = (instance.semiring.name, tuple(sorted(instance.dimensions.items())))
+        buckets.setdefault(key, []).append(position)
+    for positions in buckets.values():
+        representative = instances[positions[0]]
+        limit = chunk_size if chunk_size is not None else _batch_chunk_size(representative)
+        if limit < 1:
+            raise EvaluationError(f"batch chunk size must be positive, got {limit!r}")
+        for start in range(0, len(positions), limit):
+            chunk = positions[start : start + limit]
+            backend = BatchedDenseBackend(representative.semiring, len(chunk))
+            value = execute_plan_batch(
+                plan, backend, [instances[position] for position in chunk], functions
+            )
+            stacked = backend.to_dense(value)
+            for offset, position in enumerate(chunk):
+                results[position] = stacked[offset].copy()
+    return results
+
+
+def evaluate_batch(
+    expression: Expression,
+    instances,
+    functions: Optional[FunctionRegistry] = None,
+    chunk_size: Optional[int] = None,
+) -> List[np.ndarray]:
+    """Evaluate ``expression`` over a sweep of instances, batching the work.
+
+    The batched counterpart of :func:`evaluate`: the expression is compiled
+    once per distinct schema (through the plan cache) and executed over the
+    instances in stacked batches — see :func:`run_plan_batch`.  The sweep
+    may freely mix sizes, dimensions and semirings; bucketing keeps each
+    kernel call homogeneous and the result list matches the input order.
+    """
+    instances = list(instances)
+    if functions is None:
+        functions = default_registry()
+    results: List[Optional[np.ndarray]] = [None] * len(instances)
+    groups: "OrderedDict[Any, List[int]]" = OrderedDict()
+    for position, instance in enumerate(instances):
+        groups.setdefault(instance.schema.signature(), []).append(position)
+    for positions in groups.values():
+        plan = compile_expression(expression, instances[positions[0]].schema)
+        outputs = run_plan_batch(
+            plan, [instances[position] for position in positions], functions, chunk_size
+        )
+        for position, output in zip(positions, outputs):
+            results[position] = output
+    return results

@@ -49,6 +49,19 @@ tree-walking evaluator).
 Dimension *symbols* (not concrete sizes) are stored on the ops, so one plan
 is reusable across every instance of the same schema; symbols are resolved
 against the instance when :func:`execute_plan` runs.
+
+Batched execution
+-----------------
+:func:`execute_plan_batch` runs a plan against *many* instances of the same
+schema in one pass: every instance's matrix for a variable is stacked into a
+``(B, rows, cols)`` array, and each plan op executes **once** over the whole
+stack on a :class:`~repro.semiring.backends.BatchedDenseBackend`.  The
+Python dispatch cost of the executor — the dominant cost of small-instance
+sweeps — is thereby paid once per op instead of once per op per instance,
+and quantifier loops iterate ``n`` times total instead of ``B * n`` times.
+All instances of a batch must agree on their dimension assignments (and
+semiring); the harness's :meth:`CompiledWorkload.run_batch` buckets mixed
+sweeps accordingly.
 """
 
 from __future__ import annotations
@@ -59,7 +72,7 @@ from typing import Any, List, Optional, Tuple
 from repro.exceptions import EvaluationError
 from repro.matlang.schema import MatrixType
 
-__all__ = ["Plan", "PlanOp", "execute_plan"]
+__all__ = ["Plan", "PlanOp", "execute_plan", "execute_plan_batch"]
 
 #: Opcodes whose semantics replace a whole Python-level loop with a single
 #: backend call (emitted by :mod:`repro.matlang.rewrites`).
@@ -111,6 +124,11 @@ class Plan:
 
     ops: Tuple[PlanOp, ...]
     result: int
+    #: Registers that must survive dead-code elimination although nothing
+    #: references them: initialisers of for-loops whose body ignores both
+    #: binders still evaluate (the interpreter evaluates them too, so errors
+    #: they raise must surface identically on the compiled path).
+    pinned: Tuple[int, ...] = ()
 
     def __len__(self) -> int:
         return len(self.ops)
@@ -330,6 +348,203 @@ def _run_loop(op: PlanOp, values: List[Any], runtime: _Runtime) -> Any:
     for index in range(count):
         iterator = backend.basis_column(count, index)
         value = _run(body, runtime, captured, iterator, None)
+        accumulator = value if accumulator is None else combine(accumulator, value)
+    if accumulator is None:  # pragma: no cover - dimensions are always >= 1
+        raise EvaluationError("quantifier iterated over an empty dimension")
+    return accumulator
+
+
+# ----------------------------------------------------------------------
+# Batched execution
+# ----------------------------------------------------------------------
+class _BatchRuntime(_Runtime):
+    """Batch execution context: one representative instance plus the stack.
+
+    Dimension symbols resolve against the representative instance (the batch
+    is validated to agree on every dimension), while variable loads stack the
+    per-instance matrices into one ``(B, rows, cols)`` value, cached so a
+    plan reloading a variable (or repeated loop iterations) stacks it once.
+    """
+
+    def __init__(self, backend: Any, instances: Any, functions: Any) -> None:
+        super().__init__(backend=backend, instance=instances[0], functions=functions)
+        self.instances = instances
+        self._load_cache: dict = {}
+
+    def load(self, name: str) -> Any:
+        value = self._load_cache.get(name)
+        if value is None:
+            value = self.backend.stack_instance_matrices(
+                instance.matrix(name) for instance in self.instances
+            )
+            self._load_cache[name] = value
+        return value
+
+
+def execute_plan_batch(plan: Plan, backend: Any, instances: Any, functions: Any) -> Any:
+    """Run ``plan`` once over a whole batch of same-shape instances.
+
+    ``backend`` must be a batch-capable backend (a
+    :class:`~repro.semiring.backends.BatchedDenseBackend`) whose
+    ``batch_size`` equals ``len(instances)``.  All instances must share the
+    semiring and assign identical dimensions to every size symbol — callers
+    with mixed sweeps bucket first (see ``CompiledWorkload.run_batch``).
+    Returns a backend value stacking one result per instance; callers
+    convert through ``backend.to_dense`` and split along the leading axis.
+    """
+    instances = list(instances)
+    if not instances:
+        raise EvaluationError("cannot execute a plan over an empty batch")
+    if getattr(backend, "batch_size", None) != len(instances):
+        raise EvaluationError(
+            f"batch backend of size {getattr(backend, 'batch_size', None)!r} cannot "
+            f"execute a batch of {len(instances)} instances"
+        )
+    first = instances[0]
+    for instance in instances[1:]:
+        if instance.semiring != first.semiring:
+            raise EvaluationError(
+                f"batched execution requires a single semiring, got "
+                f"{first.semiring.name!r} and {instance.semiring.name!r}"
+            )
+        if instance.dimensions != first.dimensions:
+            raise EvaluationError(
+                f"batched execution requires identical dimension assignments, "
+                f"got {first.dimensions!r} and {instance.dimensions!r}"
+            )
+    runtime = _BatchRuntime(backend=backend, instances=instances, functions=functions)
+    return _run_batch(plan, runtime, (), None, None)
+
+
+def _run_batch(
+    plan: Plan,
+    runtime: _BatchRuntime,
+    captured: Tuple[Any, ...],
+    iterator: Any,
+    accumulator: Any,
+) -> Any:
+    """The batched twin of :func:`_run`.
+
+    Identical op dispatch, with three systematic changes: values carry a
+    leading batch axis (so shape inspections shift by one), variable loads
+    stack the whole batch, and ``scale`` factors are ``(B, 1, 1)`` stacks of
+    per-instance scalars.  Loop structure is unchanged — which is the point:
+    a loop body evaluates once per iteration for the entire batch.
+    """
+    backend = runtime.backend
+    values: List[Any] = []
+    append = values.append
+    batch = backend.batch_size
+
+    for op in plan.ops:
+        opcode = op.opcode
+
+        if opcode == "matmul":
+            append(backend.matmul(values[op.inputs[0]], values[op.inputs[1]]))
+        elif opcode == "add":
+            append(backend.add(values[op.inputs[0]], values[op.inputs[1]]))
+        elif opcode == "hadamard":
+            append(backend.hadamard(values[op.inputs[0]], values[op.inputs[1]]))
+        elif opcode == "scale":
+            factor = values[op.inputs[0]]
+            if factor.shape != (batch, 1, 1):
+                raise EvaluationError(
+                    f"scalar multiplication expects 1x1 left operands, got "
+                    f"per-instance shape {factor.shape[1:]}"
+                )
+            append(backend.scale(factor, values[op.inputs[1]]))
+        elif opcode == "transpose":
+            append(backend.transpose(values[op.inputs[0]]))
+        elif opcode == "load":
+            append(runtime.load(op.name))
+        elif opcode == "const":
+            append(backend.constant(op.value))
+        elif opcode == "iterator":
+            if iterator is None:
+                raise EvaluationError("iterator referenced outside of a loop body")
+            append(iterator)
+        elif opcode == "accumulator":
+            if accumulator is None:
+                raise EvaluationError("accumulator referenced outside of a for-loop body")
+            append(accumulator)
+        elif opcode == "capture":
+            append(captured[op.value])
+        elif opcode == "ones":
+            append(backend.ones(values[op.inputs[0]].shape[1], 1))
+        elif opcode == "ones_type":
+            rows, cols = runtime.shape(op.type, "a fused ones matrix")
+            append(backend.ones(rows, cols))
+        elif opcode == "identity_of":
+            append(backend.identity(values[op.inputs[0]].shape[1]))
+        elif opcode == "identity_sym":
+            append(backend.identity(runtime.dimension(op.symbol, "a fused identity")))
+        elif opcode == "diag":
+            operand = values[op.inputs[0]]
+            if operand.shape[2] != 1:
+                raise EvaluationError(
+                    f"diag expects column vectors, got per-instance shape "
+                    f"{operand.shape[1:]}"
+                )
+            append(backend.diag(operand))
+        elif opcode == "apply":
+            append(_run_apply(op, values, runtime))
+        elif opcode == "loop":
+            append(_run_loop_batch(op, values, runtime))
+        elif opcode == "nsum":
+            count = runtime.dimension(op.symbol, "a fused quantifier")
+            append(backend.nsum(values[op.inputs[0]], count))
+        elif opcode == "row_sums":
+            append(backend.row_sums(values[op.inputs[0]]))
+        elif opcode == "col_sums":
+            append(backend.col_sums(values[op.inputs[0]]))
+        elif opcode == "trace":
+            append(backend.trace(values[op.inputs[0]]))
+        elif opcode == "diag_of_diag":
+            append(backend.diag_of_diagonal(values[op.inputs[0]]))
+        elif opcode == "diag_product":
+            append(backend.diag_product(values[op.inputs[0]]))
+        elif opcode == "power":
+            count = runtime.dimension(op.symbol, "a fused matrix-product quantifier")
+            append(backend.power(values[op.inputs[0]], count))
+        elif opcode == "hadamard_power":
+            count = runtime.dimension(op.symbol, "a fused Hadamard quantifier")
+            append(backend.hadamard_power(values[op.inputs[0]], count))
+        else:  # pragma: no cover - the compiler only emits known opcodes
+            raise EvaluationError(f"unknown plan opcode {opcode!r}")
+
+    return values[plan.result]
+
+
+def _run_loop_batch(op: PlanOp, values: List[Any], runtime: _BatchRuntime) -> Any:
+    backend = runtime.backend
+    count = runtime.dimension(op.symbol, "a loop iterator")
+    captured = tuple(values[register] for register in op.captures)
+    body = op.body
+
+    if op.kind == "for":
+        if op.inputs:
+            accumulator = values[op.inputs[0]]
+        else:
+            rows, cols = runtime.shape(op.accumulator_type, "a loop accumulator")
+            accumulator = backend.zeros(rows, cols)
+        for index in range(count):
+            iterator = backend.basis_column(count, index)
+            accumulator = _run_batch(body, runtime, captured, iterator, accumulator)
+        return accumulator
+
+    if op.kind == "sum":
+        combine = backend.add
+    elif op.kind == "hadamard":
+        combine = backend.hadamard
+    elif op.kind == "product":
+        combine = backend.matmul
+    else:  # pragma: no cover - the compiler only emits known kinds
+        raise EvaluationError(f"unknown loop kind {op.kind!r}")
+
+    accumulator = None
+    for index in range(count):
+        iterator = backend.basis_column(count, index)
+        value = _run_batch(body, runtime, captured, iterator, None)
         accumulator = value if accumulator is None else combine(accumulator, value)
     if accumulator is None:  # pragma: no cover - dimensions are always >= 1
         raise EvaluationError("quantifier iterated over an empty dimension")

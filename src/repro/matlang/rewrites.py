@@ -25,7 +25,17 @@ sum-quantifier body (iterator v)   fused op
 ``s x (v.v^T)``, ``v`` not in s    ``s x identity_sym``
 ``s x m``, ``v`` not in ``m``      ``(Sigma_v s) x m`` (recursive)
 ``s x m``, ``v`` not in ``s``      ``s x (Sigma_v m)`` (recursive)
+``a + b``                          ``Sigma_v a + Sigma_v b`` (recursive,
+                                   fires only when *both* summands fuse)
+``Sigma_w (v^T . e . w)``          ``col+row sums``: the total sum of ``e``
 =================================  =====================================
+
+The Add-body split is *speculative*: it fuses the left summand before
+knowing whether the right one fuses too.  When the right side fails, the
+rule declines and the already-emitted left ops become dead code — which the
+compiler's dead-op pruning pass removes again (see
+:func:`repro.matlang.compiler.lower`), so a failed split still leaves the
+final plan exactly as if the rule had never run.
 
 For the product quantifiers a loop-invariant body collapses to an iterated
 power computed by repeated squaring (``power`` / ``hadamard_power``,
@@ -35,11 +45,12 @@ Example 6.6).  All identities use only associativity, commutativity and
 distributivity, so they hold over every commutative semiring.
 
 The rules consult :attr:`~repro.matlang.typecheck.TypedExpression.free_names`
-for the "iterator not free" side conditions, match *through*
+for the "iterator not free" side conditions and match *through*
 :class:`~repro.matlang.ast.TypeHint` nodes (which are semantically
-transparent), and never emit plan ops before a match is certain, so a failed
-match leaves the plan untouched and the compiler falls back to a generic
-``loop`` op.
+transparent).  With the exception of the speculative Add split above, rules
+never emit plan ops before a match is certain; a failed match falls back to
+a generic ``loop`` op, and any speculatively emitted ops are removed by the
+compiler's dead-op pruning, so failed matches never change the final plan.
 
 The rule lists (``SUM_RULES``, ``PRODUCT_RULES``, ``HADAMARD_RULES``) are
 plain module-level sequences: downstream code can append custom rules, which
@@ -53,7 +64,16 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional
 
-from repro.matlang.ast import Add, MatMul, ScalarMul, Transpose, TypeHint, Var
+from repro.matlang.ast import (
+    Add,
+    ForLoop,
+    MatMul,
+    ScalarMul,
+    SumLoop,
+    Transpose,
+    TypeHint,
+    Var,
+)
 from repro.matlang.schema import SCALAR_SYMBOL
 from repro.matlang.typecheck import TypedExpression
 
@@ -123,6 +143,35 @@ def _match_quadratic(typed: TypedExpression, name: str) -> Optional[TypedExpress
             matrix = inner.children[0]
             if name not in matrix.free_names:
                 return matrix
+    return None
+
+
+def _match_bilinear(
+    typed: TypedExpression, first: str, second: str
+) -> Optional[TypedExpression]:
+    """Match ``x^T . e . y`` with ``{x, y} == {first, second}`` (either order,
+    either association); return ``e`` when it is free of both, else ``None``."""
+    stripped = strip_hints(typed)
+    if not isinstance(stripped.expression, MatMul):
+        return None
+    left, right = stripped.children
+    for row_name, col_name in ((first, second), (second, first)):
+        if _is_iterator(right, col_name):
+            inner = strip_hints(left)
+            if isinstance(inner.expression, MatMul) and _is_iterator_t(
+                inner.children[0], row_name
+            ):
+                matrix = inner.children[1]
+                if not ({row_name, col_name} & matrix.free_names):
+                    return matrix
+        if _is_iterator_t(left, row_name):
+            inner = strip_hints(right)
+            if isinstance(inner.expression, MatMul) and _is_iterator(
+                inner.children[1], col_name
+            ):
+                matrix = inner.children[0]
+                if not ({row_name, col_name} & matrix.free_names):
+                    return matrix
     return None
 
 
@@ -232,10 +281,67 @@ def _rule_sum_scalar(body: TypedExpression, ctx) -> Optional[int]:
     return None
 
 
+def _rule_sum_add(body: TypedExpression, ctx) -> Optional[int]:
+    """``Sigma_v (a + b) = Sigma_v a + Sigma_v b`` when both summands fuse.
+
+    Addition commutes with the quantifier sum over every semiring, so the
+    split is always sound; it is only *taken* when each summand fuses on its
+    own — splitting into two generic loops would double the loop count
+    instead of eliminating it.  The left attempt is speculative (see the
+    module docstring): on a right-side failure its ops go dead and the
+    compiler prunes them.
+    """
+    if not isinstance(body.expression, Add):
+        return None
+    left, right = body.children
+    left_register = _fuse_sum(left, ctx)
+    if left_register is None:
+        return None
+    right_register = _fuse_sum(right, ctx)
+    if right_register is None:
+        return None
+    return ctx.emit("add", (left_register, right_register), type=body.type)
+
+
+def _rule_sum_nested_total(body: TypedExpression, ctx) -> Optional[int]:
+    """``Sigma_u Sigma_w (u^T . e . w)``: the total sum of ``e``.
+
+    The body is itself a sum quantifier (or the paper's for-loop desugaring
+    of one) whose bilinear form pairs the outer iterator against the inner
+    one; summing both out adds up every entry, i.e. the row sums of the
+    column sums.  Either iterator may take the row side.
+    """
+    stripped = strip_hints(body)
+    expression = stripped.expression
+    if isinstance(expression, SumLoop):
+        (inner_body,) = stripped.children
+    elif isinstance(expression, ForLoop):
+        inner_body = sum_quantifier_body(stripped)
+        if inner_body is None:
+            return None
+    else:
+        return None
+    if expression.iterator == ctx.iterator:
+        # The inner binder shadows the outer one; the body is then invariant
+        # in the outer iterator and the nsum path has already claimed it.
+        return None
+    matrix = _match_bilinear(inner_body, ctx.iterator, expression.iterator)
+    if matrix is None:
+        return None
+    columns = ctx.emit(
+        "col_sums",
+        (ctx.lower(matrix),),
+        type=(SCALAR_SYMBOL, matrix.type[1]),
+    )
+    return ctx.emit("row_sums", (columns,), type=(SCALAR_SYMBOL, SCALAR_SYMBOL))
+
+
 SUM_RULES: List[Callable[[TypedExpression, object], Optional[int]]] = [
     _rule_sum_basis,
     _rule_sum_matmul,
     _rule_sum_scalar,
+    _rule_sum_add,
+    _rule_sum_nested_total,
 ]
 
 

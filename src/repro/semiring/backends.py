@@ -16,6 +16,20 @@ can run on
   ``power`` op, which beats the dense kernels by orders of magnitude when
   the closure itself is sparse.  Requires :mod:`scipy`; constructing the
   backend without it raises :class:`~repro.exceptions.SemiringError`.
+* :class:`SparseTropicalBackend` — CSR min-plus / max-plus: stored entries
+  are finite path costs, the implicit entry is the semiring zero (``±inf``).
+  Sparse shortest-path workloads keep the quadratic ``inf`` sea implicit;
+  matmul is a fully vectorized expand-and-reduce (the classic spgemm
+  expansion with a ``minimum.reduceat`` in place of the sum).  Also
+  scipy-gated.  Both sparse backends are reachable through the single
+  ``"sparse"`` backend name, which dispatches on the semiring.
+* :class:`BatchedDenseBackend` — values are stacked ``(B, rows, cols)``
+  arrays holding one matrix per instance of a batch.  Every protocol
+  operation runs the whole stack through the batched kernel layer in one
+  call, which is what lets :func:`repro.matlang.ir.execute_plan_batch`
+  amortize the plan's Python dispatch over ``B`` instances.  Constructed
+  directly with the batch size (it is not in the name registry: a batch
+  size is part of its identity).
 
 Backend protocol
 ----------------
@@ -54,9 +68,11 @@ except ImportError:  # pragma: no cover - exercised only on scipy-less installs
     _sparse = None
 
 __all__ = [
+    "BatchedDenseBackend",
     "DenseExecutionBackend",
     "ExecutionBackend",
     "SparseBooleanBackend",
+    "SparseTropicalBackend",
     "available_backends",
     "backend_for",
     "register_backend",
@@ -275,7 +291,187 @@ class DenseExecutionBackend(ExecutionBackend):
         return self.from_dense(scalar(self.semiring, total))
 
 
-class SparseBooleanBackend(ExecutionBackend):
+class BatchedDenseBackend(ExecutionBackend):
+    """Dense execution over a whole batch: values are ``(B, rows, cols)`` stacks.
+
+    The backend is bound to a fixed ``batch_size`` at construction; every
+    value it produces or consumes carries that leading axis.  Batch-invariant
+    values (constructors, constants, loop iterators, matrices shared by all
+    instances) are stride-0 broadcast views, so sharing one matrix across the
+    batch costs nothing — the kernels never mutate their operands.
+
+    All operations delegate to the batched kernel layer
+    (:meth:`~repro.semiring.kernels.KernelBackend.batch_matmul` and friends),
+    whose generic fallback is a per-slice loop over the 2-D kernels: the
+    backend is therefore correct for every registered semiring (object-dtype
+    folds included) and fast exactly where the kernels vectorize.
+    """
+
+    name = "batched"
+
+    def __init__(self, semiring: Semiring, batch_size: int) -> None:
+        super().__init__(semiring)
+        if batch_size < 1:
+            raise SemiringError(
+                f"batch size must be a positive integer, got {batch_size!r}"
+            )
+        self.batch_size = int(batch_size)
+
+    @property
+    def kernels(self):
+        return self.semiring.kernels
+
+    def _broadcast(self, matrix: np.ndarray) -> np.ndarray:
+        return np.broadcast_to(matrix, (self.batch_size,) + matrix.shape)
+
+    # -- representation --------------------------------------------------
+    def from_dense(self, matrix: np.ndarray) -> np.ndarray:
+        array = np.asarray(matrix)
+        if array.ndim == 2:
+            return self._broadcast(self.kernels.ensure_storage(array))
+        if array.ndim == 3 and array.shape[0] == self.batch_size:
+            return self.kernels.ensure_storage(array)
+        raise SemiringError(
+            f"batched backend of size {self.batch_size} cannot lift an array "
+            f"of shape {array.shape}; expected (rows, cols) or "
+            f"({self.batch_size}, rows, cols)"
+        )
+
+    def to_dense(self, value: np.ndarray) -> np.ndarray:
+        return value
+
+    def lift_instance_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        # One instance matrix shared by the whole batch (already validated).
+        return self._broadcast(matrix)
+
+    def stack_instance_matrices(self, matrices) -> np.ndarray:
+        """Stack one carrier-validated matrix per batch instance.
+
+        ``np.stack`` rejects shape mismatches, which is the correct error for
+        a batch whose instances were bucketed inconsistently.
+        """
+        matrices = list(matrices)
+        if len(matrices) != self.batch_size:
+            raise SemiringError(
+                f"expected {self.batch_size} matrices to stack, got {len(matrices)}"
+            )
+        return np.stack(matrices)
+
+    # -- constructors ----------------------------------------------------
+    def zeros(self, rows: int, cols: int) -> np.ndarray:
+        return self._broadcast(self.kernels.zeros(rows, cols))
+
+    def ones(self, rows: int, cols: int) -> np.ndarray:
+        return self._broadcast(self.kernels.ones(rows, cols))
+
+    def identity(self, size: int) -> np.ndarray:
+        return self._broadcast(self.kernels.identity(size))
+
+    def basis_column(self, size: int, index: int) -> np.ndarray:
+        basis = self._basis_cache.get(size)
+        if basis is None:
+            basis = self.kernels.identity(size)
+            self._basis_cache[size] = basis
+        return self._broadcast(basis[:, index : index + 1])
+
+    # -- kernel mirror ---------------------------------------------------
+    def matmul(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        return self.kernels.batch_matmul(left, right)
+
+    def add(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        return self.kernels.batch_add(left, right)
+
+    def hadamard(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        return self.kernels.batch_hadamard(left, right)
+
+    def scale(self, factor: np.ndarray, operand: np.ndarray) -> np.ndarray:
+        # Per-instance scalar factors (B, 1, 1): scaling is the entrywise
+        # semiring product against the broadcast factor, so the batched
+        # Hadamard kernel (with its overflow discipline) carries it.
+        return self.kernels.batch_hadamard(
+            np.broadcast_to(factor, operand.shape), operand
+        )
+
+    def transpose(self, value: np.ndarray) -> np.ndarray:
+        return value.swapaxes(1, 2)
+
+    def diag(self, column: np.ndarray) -> np.ndarray:
+        if column.ndim != 3 or column.shape[2] != 1:
+            raise SemiringError(
+                f"batched diag expects a (B, n, 1) column stack, got shape {column.shape}"
+            )
+        size = column.shape[1]
+        matrix = np.empty((self.batch_size, size, size), dtype=self.kernels.dtype)
+        matrix[...] = self.semiring.zero
+        indices = np.arange(size)
+        matrix[:, indices, indices] = column[:, :, 0]
+        return matrix
+
+    # -- fused operations ------------------------------------------------
+    def row_sums(self, value: np.ndarray) -> np.ndarray:
+        return self.matmul(value, self.ones(value.shape[2], 1))
+
+    def col_sums(self, value: np.ndarray) -> np.ndarray:
+        return self.matmul(self.ones(1, value.shape[1]), value)
+
+    def _diagonals(self, value: np.ndarray) -> np.ndarray:
+        # (B, n) copy: np.diagonal returns a read-only view and the int64 /
+        # object reductions index into it per entry.
+        return value.diagonal(axis1=1, axis2=2).copy()
+
+    def trace(self, value: np.ndarray) -> np.ndarray:
+        return self.kernels.batch_sum(self._diagonals(value))
+
+    def diag_of_diagonal(self, value: np.ndarray) -> np.ndarray:
+        return self.diag(self._diagonals(value)[:, :, None])
+
+    def diag_product(self, value: np.ndarray) -> np.ndarray:
+        return self.kernels.batch_product(self._diagonals(value))
+
+
+class _SparseCSRBackend(ExecutionBackend):
+    """Shared plumbing of the CSR backends: scipy gate and the lift cache."""
+
+    def __init__(self, semiring: Semiring) -> None:
+        if _sparse is None:
+            raise SemiringError(
+                "the sparse execution backend requires scipy, which is not "
+                "installed; use the dense backend instead"
+            )
+        super().__init__(semiring)
+        #: Instance matrices converted to CSR, keyed by array identity so a
+        #: reused Evaluator converts each input once.  The array itself is
+        #: kept alongside so the id can never be recycled while cached.
+        #: Bounded FIFO: a long-lived backend sweeping many instances (the
+        #: CompiledWorkload pattern) must not pin every matrix it ever saw.
+        self._lift_cache: "OrderedDict[int, Any]" = OrderedDict()
+
+    _LIFT_CACHE_CAPACITY = 64
+
+    def lift_instance_matrix(self, matrix: np.ndarray) -> Any:
+        cached = self._lift_cache.get(id(matrix))
+        if cached is not None and cached[0] is matrix:
+            self._lift_cache.move_to_end(id(matrix))
+            return cached[1]
+        lifted = self.from_dense(matrix)
+        self._lift_cache[id(matrix)] = (matrix, lifted)
+        while len(self._lift_cache) > self._LIFT_CACHE_CAPACITY:
+            self._lift_cache.popitem(last=False)
+        return lifted
+
+    def _check_shapes(self, left: Any, right: Any, operation: str) -> None:
+        if operation == "multiply":
+            if left.shape[1] != right.shape[0]:
+                raise SemiringError(
+                    f"cannot multiply matrices of shapes {left.shape} and {right.shape}"
+                )
+        elif left.shape != right.shape:
+            raise SemiringError(
+                f"cannot {operation} matrices of shapes {left.shape} and {right.shape}"
+            )
+
+
+class SparseBooleanBackend(_SparseCSRBackend):
     """CSR-matrix values for the boolean semiring (reachability workloads).
 
     Matrices are ``scipy.sparse.csr_matrix`` instances with ``float64`` data
@@ -288,25 +484,12 @@ class SparseBooleanBackend(ExecutionBackend):
     name = "sparse"
 
     def __init__(self, semiring: Semiring) -> None:
-        if _sparse is None:
-            raise SemiringError(
-                "the sparse execution backend requires scipy, which is not "
-                "installed; use the dense backend instead"
-            )
         if semiring.name != "boolean":
             raise SemiringError(
-                f"the sparse CSR backend only supports the boolean semiring, "
-                f"not {semiring.name!r}"
+                f"the sparse boolean CSR backend only supports the boolean "
+                f"semiring, not {semiring.name!r}"
             )
         super().__init__(semiring)
-        #: Instance matrices converted to CSR, keyed by array identity so a
-        #: reused Evaluator converts each input once.  The array itself is
-        #: kept alongside so the id can never be recycled while cached.
-        #: Bounded FIFO: a long-lived backend sweeping many instances (the
-        #: CompiledWorkload pattern) must not pin every matrix it ever saw.
-        self._lift_cache: "OrderedDict[int, Any]" = OrderedDict()
-
-    _LIFT_CACHE_CAPACITY = 64
 
     @staticmethod
     def _canonical(matrix):
@@ -321,17 +504,6 @@ class SparseBooleanBackend(ExecutionBackend):
 
     def to_dense(self, value: Any) -> np.ndarray:
         return value.toarray() != 0
-
-    def lift_instance_matrix(self, matrix: np.ndarray) -> Any:
-        cached = self._lift_cache.get(id(matrix))
-        if cached is not None and cached[0] is matrix:
-            self._lift_cache.move_to_end(id(matrix))
-            return cached[1]
-        lifted = self.from_dense(matrix)
-        self._lift_cache[id(matrix)] = (matrix, lifted)
-        while len(self._lift_cache) > self._LIFT_CACHE_CAPACITY:
-            self._lift_cache.popitem(last=False)
-        return lifted
 
     # -- constructors ----------------------------------------------------
     def zeros(self, rows: int, cols: int) -> Any:
@@ -351,17 +523,6 @@ class SparseBooleanBackend(ExecutionBackend):
         return basis[:, index : index + 1].tocsr()
 
     # -- kernel mirror ---------------------------------------------------
-    def _check_shapes(self, left: Any, right: Any, operation: str) -> None:
-        if operation == "multiply":
-            if left.shape[1] != right.shape[0]:
-                raise SemiringError(
-                    f"cannot multiply matrices of shapes {left.shape} and {right.shape}"
-                )
-        elif left.shape != right.shape:
-            raise SemiringError(
-                f"cannot {operation} matrices of shapes {left.shape} and {right.shape}"
-            )
-
     def matmul(self, left: Any, right: Any) -> Any:
         self._check_shapes(left, right, "multiply")
         return self._canonical(left @ right)
@@ -421,6 +582,257 @@ class SparseBooleanBackend(ExecutionBackend):
         return value.copy()
 
 
+class SparseTropicalBackend(_SparseCSRBackend):
+    """CSR-matrix values for min-plus / max-plus (sparse shortest paths).
+
+    Stored entries are finite carrier values; the implicit entry is the
+    semiring zero (``+inf`` for min-plus, ``-inf`` for max-plus), so the
+    quadratic sea of "no path" entries never materialises.  This flips the
+    usual sparse convention — the implicit value is an annihilator, not a
+    numeric ``0`` — so none of scipy's arithmetic applies directly; the
+    operations below work on the index structure instead:
+
+    * ``matmul`` is the spgemm expansion: every stored ``(i, k)`` of the left
+      operand meets every stored ``(k, j)`` row of the right through one
+      vectorized gather, and duplicates reduce through
+      ``minimum.reduceat`` (the semiring sum) instead of addition;
+    * ``add`` is a union with ``min``/``max`` on collisions, ``hadamard`` is
+      an intersection with ``+`` (``x + inf = inf`` kills entries missing
+      from either side — exactly the stored-pattern intersection).
+
+    Entries are pruned back to implicit whenever an operation can introduce
+    the semiring zero, so ``nnz`` always counts genuinely reachable pairs.
+    """
+
+    name = "sparse"
+
+    def __init__(self, semiring: Semiring) -> None:
+        super().__init__(semiring)
+        try:
+            zero = float(semiring.zero)
+        except (TypeError, ValueError):
+            zero = None
+        if zero == np.inf:
+            self._minimum = np.minimum
+            self._reduce = np.min
+        elif zero == -np.inf:
+            self._minimum = np.maximum
+            self._reduce = np.max
+        else:
+            raise SemiringError(
+                f"the sparse CSR backends support the boolean and tropical "
+                f"(min-plus / max-plus) semirings, not {semiring.name!r}"
+            )
+        self._zero = zero
+
+    # -- representation --------------------------------------------------
+    def from_dense(self, matrix: np.ndarray) -> Any:
+        dense = self.semiring.kernels.ensure_storage(np.asarray(matrix))
+        mask = dense != self._zero
+        rows, cols = np.nonzero(mask)
+        data = np.asarray(dense[rows, cols], dtype=np.float64)
+        return _sparse.csr_matrix((data, (rows, cols)), shape=dense.shape)
+
+    def to_dense(self, value: Any) -> np.ndarray:
+        dense = np.full(value.shape, self._zero, dtype=np.float64)
+        coo = value.tocoo()
+        dense[coo.row, coo.col] = coo.data
+        return dense
+
+    # -- COO reduction helpers -------------------------------------------
+    def _from_coo_reduced(self, rows, cols, data, shape, reducer) -> Any:
+        """Build a CSR matrix, combining duplicate cells with ``reducer``."""
+        if len(data) == 0:
+            return self.zeros(*shape)
+        keys = rows.astype(np.int64) * shape[1] + cols
+        order = np.argsort(keys, kind="stable")
+        keys = keys[order]
+        data = np.asarray(data, dtype=np.float64)[order]
+        starts = np.flatnonzero(np.concatenate(([True], keys[1:] != keys[:-1])))
+        reduced = reducer.reduceat(data, starts)
+        unique = keys[starts]
+        return _sparse.csr_matrix(
+            (reduced, (unique // shape[1], unique % shape[1])), shape=shape
+        )
+
+    @staticmethod
+    def _entry_keys(matrix) -> np.ndarray:
+        """Row-major cell keys of a canonical CSR matrix."""
+        rows = np.repeat(np.arange(matrix.shape[0]), np.diff(matrix.indptr))
+        return rows * np.int64(matrix.shape[1]) + matrix.indices
+
+    # -- constructors ----------------------------------------------------
+    def zeros(self, rows: int, cols: int) -> Any:
+        return _sparse.csr_matrix((rows, cols), dtype=np.float64)
+
+    def ones(self, rows: int, cols: int) -> Any:
+        # The semiring one is 0.0, which must be *stored*: an implicit entry
+        # means the zero (infinity), so the ones matrix is fully explicit.
+        return _sparse.csr_matrix(
+            (
+                np.zeros(rows * cols, dtype=np.float64),
+                np.tile(np.arange(cols), rows),
+                np.arange(0, rows * cols + 1, cols),
+            ),
+            shape=(rows, cols),
+        )
+
+    def identity(self, size: int) -> Any:
+        indices = np.arange(size)
+        return _sparse.csr_matrix(
+            (np.zeros(size, dtype=np.float64), (indices, indices)), shape=(size, size)
+        )
+
+    def basis_column(self, size: int, index: int) -> Any:
+        return _sparse.csr_matrix(
+            (np.zeros(1, dtype=np.float64), ([index], [0])), shape=(size, 1)
+        )
+
+    # -- kernel mirror ---------------------------------------------------
+    def matmul(self, left: Any, right: Any) -> Any:
+        self._check_shapes(left, right, "multiply")
+        shape = (left.shape[0], right.shape[1])
+        left = left.tocsr()
+        right = right.tocsr()
+        if left.nnz == 0 or right.nnz == 0:
+            return self.zeros(*shape)
+        # spgemm expansion: pair every stored (i, k) with the stored row k of
+        # the right operand through one flat gather.
+        left_rows = np.repeat(np.arange(shape[0]), np.diff(left.indptr))
+        starts = right.indptr[left.indices]
+        counts = right.indptr[left.indices + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            return self.zeros(*shape)
+        exclusive = np.cumsum(counts) - counts
+        gather = np.arange(total) - np.repeat(exclusive, counts) + np.repeat(starts, counts)
+        rows = np.repeat(left_rows, counts)
+        cols = right.indices[gather]
+        data = np.repeat(left.data, counts) + right.data[gather]
+        return self._from_coo_reduced(rows, cols, data, shape, self._minimum)
+
+    def add(self, left: Any, right: Any) -> Any:
+        self._check_shapes(left, right, "add")
+        left = left.tocoo()
+        right = right.tocoo()
+        return self._from_coo_reduced(
+            np.concatenate([left.row, right.row]),
+            np.concatenate([left.col, right.col]),
+            np.concatenate([left.data, right.data]),
+            left.shape,
+            self._minimum,
+        )
+
+    def _canonical_csr(self, matrix) -> Any:
+        """CSR with one stored entry per cell, without mutating the input.
+
+        Everything this backend builds is canonical already (the COO
+        reducers deduplicate before construction), so this is a cheap flag
+        check; a non-canonical stray combines duplicates with the *semiring*
+        sum — scipy's own ``sum_duplicates`` would add them numerically,
+        which is wrong here.
+        """
+        matrix = matrix.tocsr()
+        if not matrix.has_canonical_format:
+            coo = matrix.tocoo()
+            matrix = self._from_coo_reduced(
+                coo.row, coo.col, coo.data, matrix.shape, self._minimum
+            )
+        return matrix
+
+    def hadamard(self, left: Any, right: Any) -> Any:
+        self._check_shapes(left, right, "take Hadamard product of")
+        left = self._canonical_csr(left)
+        right = self._canonical_csr(right)
+        common, left_at, right_at = np.intersect1d(
+            self._entry_keys(left),
+            self._entry_keys(right),
+            assume_unique=True,
+            return_indices=True,
+        )
+        if len(common) == 0:
+            return self.zeros(*left.shape)
+        data = left.data[left_at] + right.data[right_at]
+        cols_count = left.shape[1]
+        return _sparse.csr_matrix(
+            (data, (common // cols_count, common % cols_count)), shape=left.shape
+        )
+
+    def scale(self, factor: Any, operand: Any) -> Any:
+        value = float(self.to_dense(factor)[0, 0])
+        if value == self._zero:
+            return self.zeros(*operand.shape)
+        result = operand.tocsr(copy=True)
+        result.data = result.data + value
+        return result
+
+    def transpose(self, value: Any) -> Any:
+        return value.transpose().tocsr()
+
+    def diag(self, column: Any) -> Any:
+        entries = self.to_dense(column).ravel()
+        stored = np.flatnonzero(entries != self._zero)
+        size = column.shape[0]
+        return _sparse.csr_matrix(
+            (entries[stored], (stored, stored)), shape=(size, size)
+        )
+
+    # -- fused operations ------------------------------------------------
+    def _axis_reduced(self, csr) -> np.ndarray:
+        """Per-row semiring sum (min/max of stored entries; empty row = zero)."""
+        result = np.full(csr.shape[0], self._zero, dtype=np.float64)
+        if csr.nnz:
+            lengths = np.diff(csr.indptr)
+            occupied = np.flatnonzero(lengths)
+            # reduceat segments between consecutive occupied-row starts span
+            # exactly one non-empty row each (empty rows contribute no data).
+            result[occupied] = self._minimum.reduceat(csr.data, csr.indptr[occupied])
+        return result
+
+    def row_sums(self, value: Any) -> Any:
+        sums = self._axis_reduced(value.tocsr())
+        stored = np.flatnonzero(sums != self._zero)
+        return _sparse.csr_matrix(
+            (sums[stored], (stored, np.zeros(len(stored), dtype=np.int64))),
+            shape=(value.shape[0], 1),
+        )
+
+    def col_sums(self, value: Any) -> Any:
+        return self.row_sums(self.transpose(value)).transpose().tocsr()
+
+    def _diagonal(self, value: Any) -> np.ndarray:
+        # scipy's .diagonal() fills missing cells with numeric 0 — wrong
+        # here, where missing means the semiring zero (infinity).
+        diagonal = np.full(min(value.shape), self._zero, dtype=np.float64)
+        coo = value.tocoo()
+        hits = coo.row == coo.col
+        diagonal[coo.row[hits]] = coo.data[hits]
+        return diagonal
+
+    def trace(self, value: Any) -> Any:
+        return self.constant(float(self._reduce(self._diagonal(value))))
+
+    def diag_of_diagonal(self, value: Any) -> Any:
+        diagonal = self._diagonal(value)
+        stored = np.flatnonzero(diagonal != self._zero)
+        size = min(value.shape)
+        return _sparse.csr_matrix(
+            (diagonal[stored], (stored, stored)), shape=(size, size)
+        )
+
+    def diag_product(self, value: Any) -> Any:
+        # One implicit (infinite) diagonal entry annihilates the product —
+        # float summation delivers exactly that.
+        return self.constant(float(self._diagonal(value).sum()))
+
+
+def _sparse_backend(semiring: Semiring) -> ExecutionBackend:
+    """The ``"sparse"`` name: CSR representation picked by semiring."""
+    if semiring.name == "boolean":
+        return SparseBooleanBackend(semiring)
+    return SparseTropicalBackend(semiring)
+
+
 # ----------------------------------------------------------------------
 # Backend selection
 # ----------------------------------------------------------------------
@@ -428,7 +840,7 @@ BackendFactory = Callable[[Semiring], ExecutionBackend]
 
 _BACKEND_FACTORIES: Dict[str, BackendFactory] = {
     "dense": DenseExecutionBackend,
-    "sparse": SparseBooleanBackend,
+    "sparse": _sparse_backend,
 }
 
 

@@ -65,6 +65,34 @@ semiring      storage                implementation
 (other)       ``object``             scalar fold over ``plus`` / ``times``
 ============  =====================  ==========================================
 
+Batched operation
+-----------------
+Every backend additionally exposes *batched* variants operating on stacked
+``(B, n, m)`` arrays — one instance per leading-axis slice — used by the
+batched plan executor (:func:`repro.matlang.ir.execute_plan_batch`):
+
+``batch_matmul(left, right)``
+    The per-slice semiring matrix product of two equally batched stacks.
+    Primitive backends dispatch the whole stack to a single numpy call
+    (broadcasted ``@``, blocked outer sums for the tropical semirings); the
+    generic default loops slice-by-slice over the 2-D kernel, so batching is
+    *always* correct and merely faster where vectorized.
+``batch_add`` / ``batch_hadamard``
+    Entrywise stack combination.  The entrywise kernels are rank-generic
+    (ufuncs and ``np.ndindex`` folds do not care about a leading batch
+    axis), so these validate the batch shapes and delegate.
+``batch_sum(rows)`` / ``batch_product(rows)``
+    Row-wise semiring reductions of a ``(B, k)`` array into a ``(B, 1, 1)``
+    stack of scalars (used by the fused ``trace`` / ``diag_product`` ops).
+
+Batched inputs may be broadcast views (stride-0 leading axis); no kernel
+mutates its operands, so sharing one instance across a batch is free.  The
+``int64`` batched operations bound the result magnitude from the extrema of
+the *actual batch* first, falling back to the per-slice 2-D kernels (with
+their per-row refinement and exact-fold safety net) only when the batch-wide
+bound fails — so a single outlier instance cannot silently wrap, and only
+degrades its own batch to the slice loop.
+
 Storage-boundary behavior of the primitive backends: the ``int64`` kernels
 reject values that do not fit at the coercion boundary, and guard every
 combining operation with an a-priori bound — a cheap global bound from the
@@ -121,6 +149,26 @@ def _check_matmul_shapes(left: np.ndarray, right: np.ndarray) -> None:
 def _check_column(column: np.ndarray) -> None:
     if column.ndim != 2 or column.shape[1] != 1:
         raise SemiringError(f"diag expects a column vector, got shape {column.shape}")
+
+
+def _check_batch_pair(left: np.ndarray, right: np.ndarray, operation: str) -> None:
+    if left.ndim != 3 or right.ndim != 3:
+        raise SemiringError(
+            f"batched {operation} expects stacked (B, n, m) arrays, got shapes "
+            f"{left.shape} and {right.shape}"
+        )
+    if left.shape[0] != right.shape[0]:
+        raise SemiringError(
+            f"cannot {operation} batches of sizes {left.shape[0]} and {right.shape[0]}"
+        )
+
+
+def _check_batch_matmul(left: np.ndarray, right: np.ndarray) -> None:
+    _check_batch_pair(left, right, "multiply")
+    if left.shape[2] != right.shape[1]:
+        raise SemiringError(
+            f"cannot multiply batched matrices of shapes {left.shape} and {right.shape}"
+        )
 
 
 def storage_fit_error(semiring: Semiring, dtype: Any, value: Any) -> SemiringError:
@@ -261,6 +309,44 @@ class KernelBackend:
 
     def _product_array(self, array: np.ndarray) -> Any:
         raise NotImplementedError
+
+    # -- batched operations (leading batch axis) ------------------------
+    # Operands are stacked (B, n, m) storage arrays; see the module
+    # docstring.  The defaults loop slice-by-slice over the 2-D kernels,
+    # which is correct for every backend (object fold included); the
+    # primitive backends override batch_matmul and the reductions with
+    # whole-stack numpy implementations.
+    def batch_matmul(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        _check_batch_matmul(left, right)
+        batch, rows = left.shape[0], left.shape[1]
+        cols = right.shape[2]
+        result = np.empty((batch, rows, cols), dtype=self.dtype)
+        for index in range(batch):
+            result[index] = self.matmul(left[index], right[index])
+        return result
+
+    def batch_add(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        _check_batch_pair(left, right, "add")
+        # The entrywise kernels are rank-generic; the batch axis rides along.
+        return self.add_matrices(left, right)
+
+    def batch_hadamard(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        _check_batch_pair(left, right, "take Hadamard product of")
+        return self.hadamard(left, right)
+
+    def batch_sum(self, rows: np.ndarray) -> np.ndarray:
+        """Semiring sum along the last axis of ``(B, k)`` into ``(B, 1, 1)``."""
+        result = np.empty((rows.shape[0], 1, 1), dtype=self.dtype)
+        for index in range(rows.shape[0]):
+            result[index, 0, 0] = self.sum(rows[index])
+        return result
+
+    def batch_product(self, rows: np.ndarray) -> np.ndarray:
+        """Semiring product along the last axis of ``(B, k)`` into ``(B, 1, 1)``."""
+        result = np.empty((rows.shape[0], 1, 1), dtype=self.dtype)
+        for index in range(rows.shape[0]):
+            result[index, 0, 0] = self.product(rows[index])
+        return result
 
     # -- object-array coercion shared by the primitive backends ---------
     def _coerce_elementwise(self, source: np.ndarray) -> np.ndarray:
@@ -404,6 +490,18 @@ class Float64FieldKernels(KernelBackend):
     def _product_array(self, array: np.ndarray) -> float:
         return float(array.prod())
 
+    def batch_matmul(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        _check_batch_matmul(left, right)
+        # numpy's stacked matmul runs the same BLAS gemm per slice, so the
+        # result is bitwise-equal to the per-instance loop.
+        return left @ right
+
+    def batch_sum(self, rows: np.ndarray) -> np.ndarray:
+        return rows.sum(axis=1).reshape(-1, 1, 1)
+
+    def batch_product(self, rows: np.ndarray) -> np.ndarray:
+        return rows.prod(axis=1).reshape(-1, 1, 1)
+
 
 class BooleanKernels(KernelBackend):
     """``bool`` arrays: ``|`` / ``&`` ufuncs and logical matrix product."""
@@ -452,6 +550,17 @@ class BooleanKernels(KernelBackend):
 
     def _product_array(self, array: np.ndarray) -> bool:
         return bool(array.all())
+
+    def batch_matmul(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        _check_batch_matmul(left, right)
+        # Stacked boolean matmul keeps the logical or/and accumulation.
+        return left @ right
+
+    def batch_sum(self, rows: np.ndarray) -> np.ndarray:
+        return rows.any(axis=1).reshape(-1, 1, 1)
+
+    def batch_product(self, rows: np.ndarray) -> np.ndarray:
+        return rows.all(axis=1).reshape(-1, 1, 1)
 
 
 class Int64Kernels(KernelBackend):
@@ -628,6 +737,25 @@ class Int64Kernels(KernelBackend):
         # breaking the agree-with-the-fold kernel contract.
         return None
 
+    def batch_matmul(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        _check_batch_matmul(left, right)
+        inner = left.shape[2]
+        # Batch-wide a-priori bound from the stacks' actual extrema: when it
+        # holds, every slice of the stacked numpy matmul is provably
+        # wrap-free.  When it fails, each slice re-enters the 2-D kernel,
+        # which refines per row and falls back to the exact fold — so one
+        # outlier instance degrades only its own slice, never the batch's
+        # correctness.  (batch_sum / batch_product stay on the inherited
+        # exact-fold defaults for the same reason as _reduction_array.)
+        if inner * self._max_abs(left) * self._max_abs(right) <= self._INT64_MAX:
+            return left @ right
+        batch, rows = left.shape[0], left.shape[1]
+        cols = right.shape[2]
+        result = np.empty((batch, rows, cols), dtype=np.int64)
+        for index in range(batch):
+            result[index] = self.matmul(left[index], right[index])
+        return result
+
 
 class TropicalKernels(KernelBackend):
     """``float64`` arrays for min-plus / max-plus.
@@ -750,6 +878,38 @@ class TropicalKernels(KernelBackend):
 
     def _product_array(self, array: np.ndarray) -> float:
         return float(array.sum())
+
+    def batch_matmul(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        _check_batch_matmul(left, right)
+        batch, rows, inner = left.shape
+        cols = right.shape[2]
+        if inner == 0:
+            return np.full((batch, rows, cols), self._zero, dtype=np.float64)
+        per_instance = rows * inner * cols
+        if per_instance > self._BLOCK_ENTRIES:
+            # Instances so large the 2-D kernel must block its rows anyway:
+            # batching buys nothing, run the slices through it directly.
+            result = np.empty((batch, rows, cols), dtype=np.float64)
+            for index in range(batch):
+                result[index] = self.matmul(left[index], right[index])
+            return result
+        result = np.empty((batch, rows, cols), dtype=np.float64)
+        block = max(1, self._BLOCK_ENTRIES // per_instance)
+        for start in range(0, batch, block):
+            stop = min(batch, start + block)
+            outer = left[start:stop, :, :, None] + right[start:stop, None, :, :]
+            result[start:stop] = self._reduce(outer, axis=2)
+        return result
+
+    def batch_sum(self, rows: np.ndarray) -> np.ndarray:
+        if rows.shape[1] == 0:
+            return np.full((rows.shape[0], 1, 1), self._zero, dtype=np.float64)
+        return self._reduce(rows, axis=1).reshape(-1, 1, 1)
+
+    def batch_product(self, rows: np.ndarray) -> np.ndarray:
+        # An empty product is the semiring one (0.0) — numpy's empty-axis
+        # sum already returns exactly that.
+        return rows.sum(axis=1).reshape(-1, 1, 1)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,500 @@
+"""Tests for batched plan execution and the new sparse tropical backend.
+
+Covers five concerns:
+
+* **batched kernels** — ``batch_matmul`` / ``batch_add`` / ``batch_hadamard``
+  and the row-wise reductions agree slice-by-slice with the 2-D kernels for
+  every registered semiring (the object-fold fallback included), and the
+  int64 batched matmul falls back per slice — never wrapping — when the
+  batch-wide bound fails;
+* **the batched backend** — :class:`BatchedDenseBackend` implements the
+  execution-backend protocol over ``(B, rows, cols)`` stacks, with
+  batch-invariant constructors as broadcast views;
+* **batched plans** — :func:`execute_plan_batch` produces bitwise-identical
+  results to the per-instance executor across semirings and workloads
+  (random sum-MATLANG expressions and stdlib constructions);
+* **sharding** — :func:`evaluate_batch` / :meth:`CompiledWorkload.run_batch`
+  bucket ragged sweeps (mixed sizes, schemas and semirings), respect chunk
+  boundaries, preserve input order and handle empty batches;
+* **sparse min-plus / max-plus** — :class:`SparseTropicalBackend` agrees
+  entrywise with the dense kernels and is reachable through
+  ``Evaluator(instance, backend="sparse")`` on the tropical semirings.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EvaluationError, SemiringError
+from repro.experiments.harness import CompiledWorkload
+from repro.experiments.workloads import (
+    random_digraph,
+    random_matrix,
+    random_sum_matlang_expression,
+)
+from repro.matlang.builder import apply, forloop, ssum, var
+from repro.matlang.compiler import compile_expression
+from repro.matlang.evaluator import Evaluator, evaluate_batch, run_plan_batch
+from repro.matlang.functions import default_registry
+from repro.matlang.instance import Instance
+from repro.matlang.ir import execute_plan, execute_plan_batch
+from repro.semiring import BOOLEAN, INTEGER, MAX_PLUS, MIN_PLUS, NATURAL, REAL
+from repro.semiring.backends import (
+    BatchedDenseBackend,
+    DenseExecutionBackend,
+    SparseTropicalBackend,
+    backend_for,
+)
+from repro.semiring.provenance import PROVENANCE, Polynomial
+from repro.stdlib import shortest_path_matrix, total_sum, trace
+
+try:
+    import scipy.sparse  # noqa: F401
+
+    HAVE_SCIPY = True
+except ImportError:  # pragma: no cover - exercised on scipy-less installs
+    HAVE_SCIPY = False
+
+ALL_SEMIRINGS = [REAL, NATURAL, INTEGER, BOOLEAN, MIN_PLUS, MAX_PLUS, PROVENANCE]
+TROPICAL = [MIN_PLUS, MAX_PLUS]
+
+
+def _matrix_for(semiring, rows, cols, seed):
+    rng = np.random.default_rng(seed)
+    if semiring.name == "boolean":
+        return rng.random((rows, cols)) < 0.4
+    if semiring.name == "natural":
+        return rng.integers(0, 5, (rows, cols))
+    if semiring.name == "integer":
+        return rng.integers(-4, 5, (rows, cols))
+    if semiring.name in ("min_plus", "max_plus"):
+        return np.round(rng.random((rows, cols)) * 9, 3)
+    if semiring.name == "provenance":
+        matrix = np.empty((rows, cols), dtype=object)
+        for i in range(rows):
+            for j in range(cols):
+                matrix[i, j] = (
+                    Polynomial.variable(f"x{seed}_{i}_{j}") if rng.random() < 0.5 else 0
+                )
+        return matrix
+    return rng.standard_normal((rows, cols))
+
+
+def _stack_for(semiring, batch, rows, cols, base_seed=0):
+    kernels = semiring.kernels
+    return np.stack(
+        [
+            kernels.ensure_storage(
+                kernels.coerce_matrix(_matrix_for(semiring, rows, cols, base_seed + b))
+            )
+            for b in range(batch)
+        ]
+    )
+
+
+def _instance_for(semiring, dimension, seed):
+    return Instance.from_matrices(
+        {"A": _matrix_for(semiring, dimension, dimension, seed)}, semiring=semiring
+    )
+
+
+def _entrywise_equal(left, right):
+    if left.shape != right.shape:
+        return False
+    if left.dtype == object or right.dtype == object:
+        return all(left[index] == right[index] for index in np.ndindex(left.shape))
+    return bool(np.array_equal(left, right))
+
+
+# ----------------------------------------------------------------------
+# Batched kernels
+# ----------------------------------------------------------------------
+class TestBatchedKernels:
+    @pytest.mark.parametrize("semiring", ALL_SEMIRINGS, ids=lambda s: s.name)
+    def test_batch_matmul_matches_per_slice(self, semiring):
+        kernels = semiring.kernels
+        left = _stack_for(semiring, 5, 4, 3, base_seed=0)
+        right = _stack_for(semiring, 5, 3, 6, base_seed=50)
+        batched = kernels.batch_matmul(left, right)
+        for index in range(5):
+            assert _entrywise_equal(batched[index], kernels.matmul(left[index], right[index]))
+
+    @pytest.mark.parametrize("semiring", ALL_SEMIRINGS, ids=lambda s: s.name)
+    def test_batch_elementwise_matches_per_slice(self, semiring):
+        kernels = semiring.kernels
+        left = _stack_for(semiring, 4, 3, 3, base_seed=0)
+        right = _stack_for(semiring, 4, 3, 3, base_seed=40)
+        added = kernels.batch_add(left, right)
+        multiplied = kernels.batch_hadamard(left, right)
+        for index in range(4):
+            assert _entrywise_equal(added[index], kernels.add_matrices(left[index], right[index]))
+            assert _entrywise_equal(
+                multiplied[index], kernels.hadamard(left[index], right[index])
+            )
+
+    @pytest.mark.parametrize("semiring", ALL_SEMIRINGS, ids=lambda s: s.name)
+    def test_batch_reductions_match_scalar_folds(self, semiring):
+        kernels = semiring.kernels
+        rows = _stack_for(semiring, 6, 5, 1, base_seed=7)[:, :, 0]
+        sums = kernels.batch_sum(rows.copy())
+        products = kernels.batch_product(rows.copy())
+        assert sums.shape == (6, 1, 1) and products.shape == (6, 1, 1)
+        for index in range(6):
+            assert semiring.close_to(sums[index, 0, 0], kernels.sum(rows[index].copy()))
+            assert semiring.close_to(
+                products[index, 0, 0], kernels.product(rows[index].copy())
+            )
+
+    def test_batch_matmul_shape_errors(self):
+        kernels = REAL.kernels
+        with pytest.raises(SemiringError):
+            kernels.batch_matmul(np.zeros((2, 3, 4)), np.zeros((2, 5, 6)))
+        with pytest.raises(SemiringError):
+            kernels.batch_matmul(np.zeros((2, 3, 4)), np.zeros((3, 4, 6)))
+        with pytest.raises(SemiringError):
+            kernels.batch_matmul(np.zeros((3, 4)), np.zeros((4, 6)))
+        with pytest.raises(SemiringError):
+            kernels.batch_add(np.zeros((2, 3, 4)), np.zeros((3, 3, 4)))
+
+    def test_int64_batch_bound_falls_back_per_slice(self):
+        kernels = INTEGER.kernels
+        # The batch-wide bound mixes extrema across slices (max|L| from one
+        # slice, max|R| from another), so it fails here even though every
+        # individual slice is comfortably wrap-free — the per-slice 2-D
+        # kernels must deliver the exact results.
+        big = np.zeros((2, 2), dtype=np.int64)
+        np.fill_diagonal(big, 2**40)
+        small = np.full((2, 2), 3, dtype=np.int64)
+        left = np.stack([big, small])
+        right = np.stack([small, big])
+        result = kernels.batch_matmul(left, right)
+        assert result.dtype == np.int64
+        assert np.array_equal(result[0], big @ small)
+        assert np.array_equal(result[1], small @ big)
+
+    def test_int64_batch_overflow_raises_instead_of_wrapping(self):
+        kernels = INTEGER.kernels
+        huge = np.full((2, 2, 2), 2**32, dtype=np.int64)
+        with pytest.raises(SemiringError):
+            kernels.batch_matmul(huge, huge)
+
+    @pytest.mark.parametrize("semiring", TROPICAL, ids=lambda s: s.name)
+    def test_tropical_batch_matmul_blocks(self, semiring, monkeypatch):
+        kernels = semiring.kernels
+        monkeypatch.setattr(type(kernels), "_BLOCK_ENTRIES", 64)
+        left = _stack_for(semiring, 7, 4, 5, base_seed=1)
+        right = _stack_for(semiring, 7, 5, 3, base_seed=80)
+        batched = kernels.batch_matmul(left, right)
+        for index in range(7):
+            assert np.array_equal(batched[index], kernels.matmul(left[index], right[index]))
+
+
+# ----------------------------------------------------------------------
+# The batched dense backend
+# ----------------------------------------------------------------------
+class TestBatchedDenseBackend:
+    @pytest.mark.parametrize("semiring", ALL_SEMIRINGS, ids=lambda s: s.name)
+    def test_protocol_operations_match_dense(self, semiring):
+        batch = 4
+        batched = BatchedDenseBackend(semiring, batch)
+        dense = DenseExecutionBackend(semiring)
+        stack = _stack_for(semiring, batch, 5, 5, base_seed=3)
+        column = _stack_for(semiring, batch, 5, 1, base_seed=90)
+
+        operations = {
+            "transpose": (lambda b, value: b.transpose(value), stack),
+            "row_sums": (lambda b, value: b.row_sums(value), stack),
+            "col_sums": (lambda b, value: b.col_sums(value), stack),
+            "trace": (lambda b, value: b.trace(value), stack),
+            "diag_of_diagonal": (lambda b, value: b.diag_of_diagonal(value), stack),
+            "diag_product": (lambda b, value: b.diag_product(value), stack),
+            "nsum": (lambda b, value: b.nsum(value, 3), stack),
+            "power": (lambda b, value: b.power(value, 3), stack),
+            "hadamard_power": (lambda b, value: b.hadamard_power(value, 3), stack),
+            "diag": (lambda b, value: b.diag(value), column),
+        }
+        for name, (operation, operand) in operations.items():
+            expected = [
+                dense.to_dense(
+                    operation(dense, operand[index] if name != "diag" else operand[index])
+                )
+                for index in range(batch)
+            ]
+            actual = batched.to_dense(operation(batched, operand))
+            for index in range(batch):
+                assert _entrywise_equal(actual[index], expected[index]), (
+                    semiring.name,
+                    name,
+                )
+
+    def test_constructors_are_batch_views(self):
+        backend = BatchedDenseBackend(REAL, 8)
+        zeros = backend.zeros(3, 4)
+        assert zeros.shape == (8, 3, 4)
+        assert zeros.strides[0] == 0, "batch-invariant values must not copy"
+        assert backend.identity(5).shape == (8, 5, 5)
+        assert backend.basis_column(5, 2).shape == (8, 5, 1)
+
+    def test_from_dense_shapes(self):
+        backend = BatchedDenseBackend(REAL, 3)
+        assert backend.from_dense(np.zeros((2, 2))).shape == (3, 2, 2)
+        assert backend.from_dense(np.zeros((3, 2, 2))).shape == (3, 2, 2)
+        with pytest.raises(SemiringError):
+            backend.from_dense(np.zeros((4, 2, 2)))
+        with pytest.raises(SemiringError):
+            BatchedDenseBackend(REAL, 0)
+
+    def test_stack_rejects_wrong_count_and_shapes(self):
+        backend = BatchedDenseBackend(REAL, 2)
+        with pytest.raises(SemiringError):
+            backend.stack_instance_matrices([np.zeros((2, 2))])
+        with pytest.raises(ValueError):
+            backend.stack_instance_matrices([np.zeros((2, 2)), np.zeros((3, 3))])
+
+
+# ----------------------------------------------------------------------
+# Batched plans: bitwise equivalence with the per-instance executor
+# ----------------------------------------------------------------------
+class TestBatchedPlanEquivalence:
+    @pytest.mark.parametrize("semiring", ALL_SEMIRINGS, ids=lambda s: s.name)
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_sum_matlang_sweeps(self, semiring, seed):
+        expression = random_sum_matlang_expression(seed=seed, depth=3)
+        instances = [
+            Instance.from_matrices(
+                {
+                    "A": _matrix_for(semiring, 3, 3, seed * 10 + offset),
+                    "B": _matrix_for(semiring, 3, 3, seed * 10 + offset + 100),
+                },
+                semiring=semiring,
+            )
+            for offset in range(4)
+        ]
+        self._assert_batch_matches_sequential(expression, instances)
+
+    @pytest.mark.parametrize("semiring", ALL_SEMIRINGS, ids=lambda s: s.name)
+    def test_stdlib_sweeps(self, semiring):
+        instances = [_instance_for(semiring, 5, seed) for seed in range(5)]
+        for expression in (trace("A"), total_sum("A")):
+            self._assert_batch_matches_sequential(expression, instances)
+
+    @pytest.mark.parametrize("semiring", [REAL, BOOLEAN, MIN_PLUS], ids=lambda s: s.name)
+    def test_closure_sweeps(self, semiring):
+        instances = [_instance_for(semiring, 5, seed) for seed in range(4)]
+        self._assert_batch_matches_sequential(shortest_path_matrix("A"), instances)
+
+    def test_apply_sweeps(self):
+        expression = apply("gt0", var("A") @ var("A"))
+        instances = [_instance_for(REAL, 5, seed) for seed in range(4)]
+        self._assert_batch_matches_sequential(expression, instances)
+
+    @staticmethod
+    def _assert_batch_matches_sequential(expression, instances):
+        semiring = instances[0].semiring
+        functions = default_registry()
+        plan = compile_expression(expression, instances[0].schema)
+        dense = DenseExecutionBackend(semiring)
+        sequential = [
+            dense.to_dense(execute_plan(plan, dense, instance, functions)).copy()
+            for instance in instances
+        ]
+        backend = BatchedDenseBackend(semiring, len(instances))
+        stacked = backend.to_dense(
+            execute_plan_batch(plan, backend, instances, functions)
+        )
+        for index in range(len(instances)):
+            assert _entrywise_equal(stacked[index], sequential[index]), semiring.name
+
+    def test_empty_batch_is_rejected(self):
+        instance = _instance_for(REAL, 3, 0)
+        plan = compile_expression(trace("A"), instance.schema)
+        backend = BatchedDenseBackend(REAL, 1)
+        with pytest.raises(EvaluationError):
+            execute_plan_batch(plan, backend, [], default_registry())
+
+    def test_mismatched_batches_are_rejected(self):
+        plan = compile_expression(trace("A"), _instance_for(REAL, 3, 0).schema)
+        small, large = _instance_for(REAL, 3, 0), _instance_for(REAL, 4, 0)
+        backend = BatchedDenseBackend(REAL, 2)
+        with pytest.raises(EvaluationError):
+            execute_plan_batch(plan, backend, [small, large], default_registry())
+        mixed = [_instance_for(REAL, 3, 0), _instance_for(MIN_PLUS, 3, 0)]
+        with pytest.raises(EvaluationError):
+            execute_plan_batch(plan, backend, mixed, default_registry())
+        with pytest.raises(EvaluationError):
+            execute_plan_batch(plan, backend, [small], default_registry())
+
+
+# ----------------------------------------------------------------------
+# Sharding: ragged sweeps, chunking, ordering
+# ----------------------------------------------------------------------
+class TestSharding:
+    def _ragged_sweep(self):
+        instances = []
+        for seed in range(17):
+            size = (3, 5, 8)[seed % 3]
+            semiring = (REAL, MIN_PLUS, BOOLEAN)[seed % 3 if seed % 2 else 0]
+            instances.append(_instance_for(semiring, size, seed))
+        return instances
+
+    @pytest.mark.parametrize("chunk_size", [None, 1, 2, 4, 17, 64])
+    def test_evaluate_batch_matches_evaluator(self, chunk_size):
+        expression = ssum("_v", var("A") @ var("_v"))
+        instances = self._ragged_sweep()
+        results = evaluate_batch(expression, instances, chunk_size=chunk_size)
+        assert len(results) == len(instances)
+        for instance, result in zip(instances, results):
+            reference = Evaluator(instance).run(expression)
+            assert _entrywise_equal(result, reference)
+
+    def test_evaluate_batch_empty(self):
+        assert evaluate_batch(trace("A"), []) == []
+
+    def test_run_plan_batch_rejects_bad_chunk_size(self):
+        instance = _instance_for(REAL, 3, 0)
+        plan = compile_expression(trace("A"), instance.schema)
+        with pytest.raises(EvaluationError):
+            run_plan_batch(plan, [instance], default_registry(), chunk_size=0)
+
+    def test_chunk_boundaries_are_seamless(self):
+        # 7 instances with chunk size 3: chunks of 3, 3, 1.
+        expression = total_sum("A")
+        instances = [_instance_for(REAL, 4, seed) for seed in range(7)]
+        workload = CompiledWorkload(expression, instances[0].schema)
+        chunked = workload.run_batch(instances, chunk_size=3)
+        unchunked = workload.run_batch(instances, chunk_size=64)
+        sequential = [workload.run(instance) for instance in instances]
+        for index in range(7):
+            assert np.array_equal(chunked[index], sequential[index])
+            assert np.array_equal(unchunked[index], sequential[index])
+
+    def test_results_are_defensive_copies(self):
+        instances = [_instance_for(REAL, 3, seed) for seed in range(2)]
+        workload = CompiledWorkload(var("A"), instances[0].schema)
+        results = workload.run_batch(instances)
+        results[0][0, 0] = 123.0
+        assert instances[0].matrix("A")[0, 0] != 123.0
+        again = workload.run_batch(instances)
+        assert again[0][0, 0] != 123.0
+
+    @pytest.mark.skipif(not HAVE_SCIPY, reason="scipy is required for the sparse backend")
+    def test_sparse_pinned_workload_falls_back_sequentially(self):
+        instances = [_instance_for(BOOLEAN, 5, seed) for seed in range(3)]
+        workload = CompiledWorkload(
+            shortest_path_matrix("A"), instances[0].schema, backend="sparse"
+        )
+        batched = workload.run_batch(instances)
+        for instance, result in zip(instances, batched):
+            assert np.array_equal(result, workload.run(instance))
+
+
+# ----------------------------------------------------------------------
+# The sparse tropical backend
+# ----------------------------------------------------------------------
+@pytest.mark.skipif(not HAVE_SCIPY, reason="scipy is required for the sparse backend")
+class TestSparseTropicalBackend:
+    def _sparse_weights(self, semiring, size, seed, density=0.25):
+        rng = np.random.default_rng(seed)
+        weights = np.full((size, size), float(semiring.zero))
+        mask = rng.random((size, size)) < density
+        weights[mask] = np.round(rng.random(mask.sum()) * 7, 3)
+        return weights
+
+    @pytest.mark.parametrize("semiring", TROPICAL, ids=lambda s: s.name)
+    def test_operations_agree_with_dense(self, semiring):
+        sparse = backend_for(semiring, "sparse")
+        assert isinstance(sparse, SparseTropicalBackend)
+        dense = DenseExecutionBackend(semiring)
+        left = self._sparse_weights(semiring, 7, 0)
+        right = self._sparse_weights(semiring, 7, 1)
+        pairs = [
+            ("matmul", lambda b, x, y: b.matmul(x, y)),
+            ("add", lambda b, x, y: b.add(x, y)),
+            ("hadamard", lambda b, x, y: b.hadamard(x, y)),
+        ]
+        for name, operation in pairs:
+            expected = dense.to_dense(operation(dense, left.copy(), right.copy()))
+            actual = sparse.to_dense(
+                operation(sparse, sparse.from_dense(left), sparse.from_dense(right))
+            )
+            assert np.array_equal(actual, expected), (semiring.name, name)
+        singles = [
+            ("transpose", lambda b, x: b.transpose(x)),
+            ("row_sums", lambda b, x: b.row_sums(x)),
+            ("col_sums", lambda b, x: b.col_sums(x)),
+            ("trace", lambda b, x: b.trace(x)),
+            ("diag_of_diagonal", lambda b, x: b.diag_of_diagonal(x)),
+            ("diag_product", lambda b, x: b.diag_product(x)),
+            ("power3", lambda b, x: b.power(x, 3)),
+            ("hadamard_power3", lambda b, x: b.hadamard_power(x, 3)),
+            ("nsum", lambda b, x: b.nsum(x, 4)),
+        ]
+        for name, operation in singles:
+            expected = dense.to_dense(operation(dense, left.copy()))
+            actual = sparse.to_dense(operation(sparse, sparse.from_dense(left)))
+            assert np.array_equal(actual, expected), (semiring.name, name)
+
+    @pytest.mark.parametrize("semiring", TROPICAL, ids=lambda s: s.name)
+    def test_scale_and_constructors(self, semiring):
+        sparse = backend_for(semiring, "sparse")
+        dense = DenseExecutionBackend(semiring)
+        matrix = self._sparse_weights(semiring, 5, 2)
+        value = sparse.from_dense(matrix)
+        assert np.array_equal(
+            sparse.to_dense(sparse.scale(sparse.constant(1.5), value)),
+            dense.to_dense(dense.scale(dense.constant(1.5), matrix.copy())),
+        )
+        zero = sparse.scale(sparse.constant(semiring.zero), value)
+        assert zero.nnz == 0
+        assert np.array_equal(sparse.to_dense(sparse.identity(4)), dense.identity(4))
+        assert np.array_equal(sparse.to_dense(sparse.ones(3, 2)), dense.ones(3, 2))
+        assert np.array_equal(
+            sparse.to_dense(sparse.basis_column(5, 3)), dense.basis_column(5, 3)
+        )
+        column = self._sparse_weights(semiring, 5, 3)[:, :1]
+        assert np.array_equal(
+            sparse.to_dense(sparse.diag(sparse.from_dense(column))),
+            dense.to_dense(dense.diag(column.copy())),
+        )
+
+    def test_rejects_unsupported_semirings(self):
+        with pytest.raises(SemiringError):
+            SparseTropicalBackend(REAL)
+        with pytest.raises(SemiringError):
+            backend_for(REAL, "sparse")
+        with pytest.raises(SemiringError):
+            backend_for(PROVENANCE, "sparse")
+
+    def test_carrier_violations_rejected_at_lift(self):
+        sparse = backend_for(MIN_PLUS, "sparse")
+        poisoned = np.array([[0.0, -np.inf], [1.0, 2.0]])
+        with pytest.raises(SemiringError):
+            sparse.from_dense(poisoned)
+
+    @pytest.mark.parametrize("semiring", TROPICAL, ids=lambda s: s.name)
+    def test_evaluator_selects_sparse_tropical(self, semiring):
+        weights = self._sparse_weights(semiring, 12, 4)
+        instance = Instance.from_matrices({"A": weights}, semiring=semiring)
+        expression = shortest_path_matrix("A")
+        sparse_result = Evaluator(instance, backend="sparse").run(expression)
+        dense_result = Evaluator(instance).run(expression)
+        reference = Evaluator(instance, compile=False).run(expression)
+        # Same plan, same reduction order: sparse and dense agree bitwise.
+        assert np.array_equal(sparse_result, dense_result)
+        # The tree-walk associates the float additions differently (the
+        # compiled path fuses the closure power into repeated squaring), so
+        # agreement with the reference is up to the semiring tolerance.
+        assert semiring.matrices_equal(sparse_result, reference, 1e-9)
+
+    def test_shortest_paths_match_floyd_warshall_baseline(self):
+        adjacency = random_digraph(10, probability=0.3, seed=5).astype(bool)
+        weights = np.where(adjacency, 1.0, np.inf)
+        instance = Instance.from_matrices({"A": weights}, semiring=MIN_PLUS)
+        result = Evaluator(instance, backend="sparse").run(shortest_path_matrix("A"))
+        # Independent reference: iterated min-plus relaxation in numpy.
+        n = len(weights)
+        distances = np.minimum(weights, np.where(np.eye(n, dtype=bool), 0.0, np.inf))
+        for _ in range(n):
+            distances = np.minimum(
+                distances, (distances[:, :, None] + distances[None, :, :]).min(axis=1)
+            )
+        assert np.array_equal(result, distances)

@@ -299,6 +299,107 @@ class TestFusion:
 
 
 # ----------------------------------------------------------------------
+# PR 3 fusion gaps: Add-body split and nested total-sum (rewrite-fires)
+# ----------------------------------------------------------------------
+class TestAddSplitAndNestedFusion:
+    def setup_method(self):
+        clear_plan_cache()
+
+    def test_add_body_splits_when_both_summands_fuse(self, square_instance, square_matrix):
+        A, v = var("A"), var("_v")
+        expression = ssum("_v", (A @ v) + (A.T @ v))
+        plan = compile_expression(expression, square_instance.schema)
+        assert plan.count_ops("loop") == 0, "Add split must eliminate the loop"
+        assert plan.count_ops("row_sums") == 2
+        assert plan.count_ops("add") == 1
+        result = Evaluator(square_instance).run(expression)
+        expected = square_matrix.sum(axis=1) + square_matrix.sum(axis=0)
+        assert np.allclose(result.ravel(), expected)
+        _assert_equivalent(expression, square_instance)
+
+    def test_add_split_recurses_through_nested_adds(self, square_instance):
+        A, v = var("A"), var("_v")
+        expression = ssum("_v", ((A @ v) + (A.T @ v)) + ((A @ A) @ v))
+        plan = compile_expression(expression, square_instance.schema)
+        assert plan.count_ops("loop") == 0
+        assert plan.count_ops("row_sums") == 3
+        _assert_equivalent(expression, square_instance)
+
+    def test_half_fusible_add_declines_and_leaves_no_dead_ops(self, square_instance):
+        A, v = var("A"), var("_v")
+        expression = ssum("_v", (A @ v) + apply("gt0", v))
+        plan = compile_expression(expression, square_instance.schema)
+        # The right summand cannot fuse, so the loop stays — and the
+        # speculatively emitted left-side row_sums must have been pruned.
+        assert plan.count_ops("loop") == 1
+        assert plan.count_ops("row_sums") == 0
+        _assert_equivalent(expression, square_instance)
+
+    @pytest.mark.parametrize("semiring", NUMERIC_SEMIRINGS, ids=lambda s: s.name)
+    def test_add_split_agrees_across_semirings(self, semiring):
+        A, v = var("A"), var("_v")
+        expression = ssum("_v", (A @ v) + (var("B") @ v))
+        instance = _instance_for(semiring)
+        _assert_equivalent(expression, instance)
+
+    def test_nested_total_sum_fuses(self, square_instance, square_matrix):
+        A, u, v = var("A"), var("_u"), var("_v")
+        expression = ssum("_u", ssum("_v", u.T @ A @ v))
+        plan = compile_expression(expression, square_instance.schema)
+        assert plan.count_ops("loop") == 0, "nested total sum must fuse"
+        assert plan.count_ops("col_sums") == 1
+        assert plan.count_ops("row_sums") == 1
+        result = Evaluator(square_instance).run(expression)
+        assert np.isclose(result[0, 0], square_matrix.sum())
+        _assert_equivalent(expression, square_instance)
+
+    def test_nested_total_sum_fuses_with_swapped_iterators(
+        self, square_instance, square_matrix
+    ):
+        A, u, v = var("A"), var("_u"), var("_v")
+        # The *inner* iterator takes the row side: Sigma_u Sigma_v v^T A u.
+        expression = ssum("_u", ssum("_v", v.T @ A @ u))
+        plan = compile_expression(expression, square_instance.schema)
+        assert plan.count_ops("loop") == 0
+        result = Evaluator(square_instance).run(expression)
+        assert np.isclose(result[0, 0], square_matrix.sum())
+        _assert_equivalent(expression, square_instance)
+
+    def test_nested_total_sum_through_for_loop_sugar(self, square_instance, square_matrix):
+        A, u, v = var("A"), var("_u"), var("_v")
+        expression = ssum("_u", forloop("_v", "_X", var("_X") + (u.T @ A @ v)))
+        plan = compile_expression(expression, square_instance.schema)
+        assert plan.count_ops("loop") == 0
+        result = Evaluator(square_instance).run(expression)
+        assert np.isclose(result[0, 0], square_matrix.sum())
+        _assert_equivalent(expression, square_instance)
+
+    def test_total_sum_stdlib_now_fuses_completely(self, square_instance, square_matrix):
+        plan = compile_expression(total_sum("A"), square_instance.schema)
+        assert plan.count_ops("loop") == 0
+        result = Evaluator(square_instance).run(total_sum("A"))
+        assert np.isclose(result[0, 0], square_matrix.sum())
+
+    def test_nested_sum_with_offdiagonal_body_still_works(self, square_instance):
+        # Body does not match the bilinear pattern (extra transpose): must
+        # fall back without changing semantics.
+        A, u, v = var("A"), var("_u"), var("_v")
+        expression = ssum("_u", ssum("_v", (u.T @ A @ v) + (u.T @ v)))
+        _assert_equivalent(expression, square_instance)
+
+    def test_eliminated_for_loop_keeps_initialiser(self, square_instance):
+        # The loop body ignores both binders, so the loop collapses — but
+        # the initialiser must still be evaluated for error parity with the
+        # interpreter, so its matmul survives dead-op pruning (pinned).
+        A = var("A")
+        expression = forloop("_v", "_X", A + A, init=A @ A)
+        plan = compile_expression(expression, square_instance.schema)
+        assert plan.count_ops("loop") == 0
+        assert plan.count_ops("matmul") == 1, "pinned initialiser must survive pruning"
+        _assert_equivalent(expression, square_instance)
+
+
+# ----------------------------------------------------------------------
 # Plan caching
 # ----------------------------------------------------------------------
 class TestPlanCache:
