@@ -125,7 +125,7 @@ def test_sparse_reachability_beats_dense_and_agrees(bench_artifact):
     expression = shortest_path_matrix("A")  # over booleans: reflexive closure
     typed = annotate(expression, instance.schema)
 
-    dense = Evaluator(instance)
+    dense = Evaluator(instance, backend="dense")
     sparse = Evaluator(instance, backend="sparse")
 
     dense_result = dense.run_typed(typed)
@@ -163,7 +163,7 @@ def test_sparse_minplus_shortest_paths_beats_dense_and_agrees(bench_artifact):
     instance = Instance.from_matrices({"A": weights}, semiring=MIN_PLUS)
     typed = annotate(shortest_path_matrix("A"), instance.schema)
 
-    dense = Evaluator(instance)
+    dense = Evaluator(instance, backend="dense")
     sparse = Evaluator(instance, backend="sparse")
 
     dense_result = dense.run_typed(typed)
@@ -199,7 +199,7 @@ def test_sparse_reachability(benchmark):
 
 def test_dense_reachability(benchmark):
     instance = _sparse_boolean_instance()
-    evaluator = Evaluator(instance)
+    evaluator = Evaluator(instance, backend="dense")
     typed = annotate(shortest_path_matrix("A"), instance.schema)
     evaluator.run_typed(typed)
     result = benchmark(lambda: evaluator.run_typed(typed))

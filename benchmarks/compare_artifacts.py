@@ -1,0 +1,158 @@
+"""Perf-trend gate: diff fresh ``BENCH_*.json`` artifacts against committed ones.
+
+The benchmark suite emits one JSON artifact per performance experiment (see
+``benchmarks/conftest.py``): a list of ``{"op", "size", "backend",
+"seconds", "speedup", ...}`` measurements.  The artifacts committed in this
+directory are the previous PR's numbers; CI re-runs the suite into a fresh
+directory and then calls this script, which fails when any *speedup* an
+artifact records regressed by more than the threshold (25% by default).
+
+Speedups are ratios of two measurements taken on the same machine in the
+same run, so they transfer across machines far better than raw seconds do —
+seconds are reported for context but never gated on.
+
+Usage::
+
+    python benchmarks/compare_artifacts.py --fresh-dir /tmp/bench-fresh \
+        [--baseline-dir benchmarks] [--threshold 0.25]
+
+Exit status: 0 when no recorded speedup regressed (including when either
+side has no artifacts — a missing measurement is reported, not failed, so a
+skipped benchmark cannot mask an unrelated push), 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Dict, List, Optional, Tuple
+
+#: Fields that identify a measurement within one artifact.  Extra fields
+#: (``semiring`` …) join the key when present so e.g. the dense/sparse pairs
+#: of the same op never collide.
+_KEY_FIELDS = ("op", "size", "backend", "semiring")
+
+#: Baseline speedups below this are inside the run-to-run noise band (a
+#: "1.3x" is one scheduler hiccup away from "0.9x"); they are reported for
+#: context but never gated, so marginal measurements cannot flake CI.
+NOISE_BAND = 1.5
+
+
+def entry_key(entry: dict) -> Tuple:
+    """The identity of one measurement inside an artifact."""
+    return tuple((field, str(entry.get(field))) for field in _KEY_FIELDS)
+
+
+def load_artifacts(directory: pathlib.Path) -> Dict[str, Dict[Tuple, dict]]:
+    """Load every ``BENCH_*.json`` of a directory, keyed by bench id."""
+    artifacts: Dict[str, Dict[Tuple, dict]] = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        payload = json.loads(path.read_text())
+        entries: Dict[Tuple, dict] = {}
+        for entry in payload.get("entries", ()):
+            entries[entry_key(entry)] = entry
+        artifacts[payload.get("bench", path.stem)] = entries
+    return artifacts
+
+
+def compare(
+    baseline: Dict[str, Dict[Tuple, dict]],
+    fresh: Dict[str, Dict[Tuple, dict]],
+    threshold: float,
+) -> Tuple[List[str], List[str]]:
+    """Diff two artifact sets; returns ``(report lines, regressions)``.
+
+    A regression is a measurement whose fresh ``speedup`` is below
+    ``baseline speedup * (1 - threshold)``.  Entries missing a ``speedup``
+    on either side (pure timings, new or retired measurements) are reported
+    but never fail the gate.
+    """
+    report: List[str] = []
+    regressions: List[str] = []
+    for bench in sorted(set(baseline) | set(fresh)):
+        if bench not in fresh:
+            report.append(f"[{bench}] missing from the fresh run (not gated)")
+            continue
+        if bench not in baseline:
+            report.append(f"[{bench}] new artifact, no baseline to compare")
+            continue
+        for key in sorted(set(baseline[bench]) | set(fresh[bench])):
+            label = ", ".join(f"{field}={value}" for field, value in key)
+            old = baseline[bench].get(key)
+            new = fresh[bench].get(key)
+            if old is None:
+                report.append(f"[{bench}] {label}: new measurement")
+                continue
+            if new is None:
+                report.append(f"[{bench}] {label}: measurement retired (not gated)")
+                continue
+            old_speedup: Optional[float] = old.get("speedup")
+            new_speedup: Optional[float] = new.get("speedup")
+            if old_speedup is None or new_speedup is None:
+                continue  # timing-only entries give context, never gate
+            if old_speedup < NOISE_BAND:
+                report.append(
+                    f"[{bench}] {label}: speedup {old_speedup:.2f}x -> "
+                    f"{new_speedup:.2f}x (below the {NOISE_BAND}x noise band, "
+                    f"not gated)"
+                )
+                continue
+            floor = old_speedup * (1.0 - threshold)
+            line = (
+                f"[{bench}] {label}: speedup {old_speedup:.2f}x -> "
+                f"{new_speedup:.2f}x (floor {floor:.2f}x)"
+            )
+            if new_speedup < floor:
+                regressions.append(line)
+                report.append(f"{line}  REGRESSION")
+            else:
+                report.append(f"{line}  ok")
+    return report, regressions
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline-dir",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).parent,
+        help="directory holding the committed BENCH_*.json artifacts",
+    )
+    parser.add_argument(
+        "--fresh-dir",
+        type=pathlib.Path,
+        required=True,
+        help="directory the fresh benchmark run emitted its artifacts into",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="fractional speedup loss that fails the gate (default 0.25)",
+    )
+    arguments = parser.parse_args(argv)
+    if not (0.0 <= arguments.threshold < 1.0):
+        parser.error(f"threshold must be in [0, 1), got {arguments.threshold}")
+
+    baseline = load_artifacts(arguments.baseline_dir)
+    fresh = load_artifacts(arguments.fresh_dir)
+    report, regressions = compare(baseline, fresh, arguments.threshold)
+    for line in report:
+        print(line)
+    if regressions:
+        print(
+            f"\n{len(regressions)} recorded speedup(s) regressed by more than "
+            f"{arguments.threshold:.0%}:",
+            file=sys.stderr,
+        )
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("\nno speedup regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

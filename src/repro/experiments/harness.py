@@ -93,22 +93,46 @@ class CompiledWorkload:
     functions:
         Optional pointwise-function registry (defaults to the paper's).
     backend:
-        Execution-backend name or instance forwarded to the executor
-        (``"dense"`` by default, ``"sparse"`` for boolean CSR evaluation).
+        Execution-backend name or instance forwarded to the executor.
+        ``None`` (or ``"auto"``) enables adaptive physical planning: each
+        instance is profiled and
+        :func:`repro.semiring.backends.select_backend` assigns dense or
+        sparse execution per run.  A concrete name (``"dense"``,
+        ``"sparse"``) or backend instance pins the choice.
+    options:
+        Optional :class:`~repro.matlang.compiler.OptimizationOptions`
+        controlling the logical optimizer stages for this workload's plan.
     """
 
-    def __init__(self, expression, schema, functions=None, backend=None):
+    def __init__(self, expression, schema, functions=None, backend=None, options=None):
         # Imported lazily so importing the harness stays dependency-light
         # for table-only consumers.
         from repro.matlang.compiler import compile_expression
         from repro.matlang.functions import default_registry
+        from repro.matlang.ir import StackCache
 
         self.expression = expression
         self.schema = schema
         self.functions = functions if functions is not None else default_registry()
         self.backend = backend
-        self.plan = compile_expression(expression, schema)
+        self.plan = compile_expression(expression, schema, options)
         self._backends: Dict[Any, Any] = {}
+        #: Adaptive per-instance selections, keyed by instance identity
+        #: (bounded; the instance is pinned in the value so its id cannot be
+        #: recycled while cached).
+        self._selections: Dict[int, Any] = {}
+        #: Stacked batch inputs carried across ``run_batch`` calls.
+        self._stack_cache = StackCache()
+
+    #: Sized for a typical sweep (bench_p04 uses 512 instances): the entries
+    #: are small (an instance reference plus a selection), and a capacity
+    #: below the sweep size would re-profile the whole sweep every call.
+    _SELECTION_CACHE_CAPACITY = 1024
+
+    @property
+    def adaptive(self):
+        """Whether backend selection is per-instance (no pinned backend)."""
+        return self.backend is None or self.backend == "auto"
 
     def _backend_for(self, semiring):
         from repro.semiring.backends import resolve_backend
@@ -125,6 +149,28 @@ class CompiledWorkload:
             self._backends[key] = cached
         return cached[1]
 
+    def physical(self, instance):
+        """The physical selection for one instance (adaptive or pinned)."""
+        from repro.semiring.backends import PhysicalSelection, select_backend
+
+        if not self.adaptive:
+            backend = self._backend_for(instance.semiring)
+            return PhysicalSelection(
+                backend, (f"backend {backend.name!r} pinned by the workload",)
+            )
+        cached = self._selections.get(id(instance))
+        if cached is not None and cached[0] is instance:
+            return cached[1]
+        selection = select_backend(self.plan, instance, None)
+        self._selections[id(instance)] = (instance, selection)
+        while len(self._selections) > self._SELECTION_CACHE_CAPACITY:
+            self._selections.pop(next(iter(self._selections)))
+        return selection
+
+    def explain(self, instance=None):
+        """The plan's :meth:`~repro.matlang.ir.Plan.explain` report."""
+        return self.plan.explain(instance=instance, backend=self.backend)
+
     def run(self, instance):
         """Execute the pre-compiled plan against ``instance``.
 
@@ -133,7 +179,7 @@ class CompiledWorkload:
         """
         from repro.matlang.ir import execute_plan
 
-        backend = self._backend_for(instance.semiring)
+        backend = self.physical(instance).backend
         value = execute_plan(self.plan, backend, instance, self.functions)
         return backend.to_dense(value).copy()
 
@@ -147,18 +193,48 @@ class CompiledWorkload:
         call, defaulting to a memory-bounded heuristic (see
         :func:`repro.matlang.evaluator.run_plan_batch`).  Results are
         returned in input order and are entrywise identical to calling
-        :meth:`run` per instance.
+        :meth:`run` per instance.  The stacked inputs are cached on the
+        workload, so repeated sweeps over the same instance objects do not
+        re-stack them.
 
-        Workloads pinned to a non-default backend (e.g. ``"sparse"``) have
-        no stacked representation; they fall back to the sequential loop so
-        the method is total.
+        Workloads whose physical plan is sparse — pinned (``"sparse"``) or
+        adaptively selected for the sweep's instances — have no stacked
+        representation; they fall back to the per-instance loop so the
+        method is total and each instance still runs on its best backend.
         """
         from repro.matlang.evaluator import run_plan_batch
+        from repro.semiring.backends import (
+            AUTO_SPARSE_MIN_DIMENSION,
+            SPARSE_CAPABLE_SEMIRINGS,
+        )
 
         instances = list(instances)
-        if self.backend not in (None, "dense"):
+        if self.backend not in (None, "auto", "dense"):
             return [self.run(instance) for instance in instances]
-        return run_plan_batch(self.plan, instances, self.functions, chunk_size)
+
+        def could_go_sparse(instance):
+            # Cheap pre-filter mirroring select_backend's hard gates, so a
+            # dense / small sweep never pays the per-instance density scan.
+            return instance.semiring.name in SPARSE_CAPABLE_SEMIRINGS and any(
+                dimension >= AUTO_SPARSE_MIN_DIMENSION
+                for dimension in instance.dimensions.values()
+            )
+
+        if self.adaptive and any(
+            could_go_sparse(instance)
+            and self.physical(instance).backend.name != "dense"
+            for instance in instances
+        ):
+            return [self.run(instance) for instance in instances]
+        return run_plan_batch(
+            self.plan, instances, self.functions, chunk_size,
+            stack_cache=self._stack_cache,
+        )
+
+    def stack_cache_info(self):
+        """``(hits, misses, size)`` of the cross-call input-stacking cache."""
+        cache = self._stack_cache
+        return (cache.hits, cache.misses, len(cache))
 
 
 @dataclass

@@ -158,6 +158,18 @@ _EXPERIMENTS: Tuple[ExperimentInfo, ...] = (
         ("repro.matlang.ir", "repro.semiring.backends", "repro.experiments.harness"),
         "benchmarks/bench_p04_batched_execution.py",
     ),
+    ExperimentInfo(
+        "P5",
+        "Reproduction-specific",
+        "Staged optimizer: normalization, cost-based matmul ordering, adaptive backends",
+        (
+            "repro.matlang.normalize",
+            "repro.matlang.cost",
+            "repro.matlang.compiler",
+            "repro.semiring.backends",
+        ),
+        "benchmarks/bench_p05_optimizer.py",
+    ),
 )
 
 EXPERIMENTS: Dict[str, ExperimentInfo] = {info.identifier: info for info in _EXPERIMENTS}

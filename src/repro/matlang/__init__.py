@@ -50,12 +50,15 @@ from repro.matlang.builder import (
     var,
 )
 from repro.matlang.compiler import (
+    DEFAULT_OPTIONS,
+    OptimizationOptions,
     clear_plan_cache,
     compile_expression,
     compile_typed,
     lower,
     plan_cache_info,
 )
+from repro.matlang.normalize import normalize
 from repro.matlang.degree import DegreeReport, analyse_degree, circuit_degree_for_dimension
 from repro.matlang.evaluator import Evaluator, evaluate, evaluate_batch, run_plan_batch
 from repro.matlang.ir import Plan, PlanOp, execute_plan, execute_plan_batch

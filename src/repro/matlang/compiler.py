@@ -1,12 +1,25 @@
-"""Lowering of annotated MATLANG expressions into executable plans.
+"""Compilation of annotated MATLANG expressions into executable plans.
 
-This is the middle stage of the evaluation pipeline
+This module drives the staged *logical* optimizer — the query-optimizer
+style split of the evaluation pipeline:
 
-    annotate  ->  lower (this module)  ->  optimize (rewrites)  ->  execute
+    annotate  ->  normalize (algebraic canonicalization)
+              ->  lower + fuse (this module + rewrites)
+              ->  cost-based matmul ordering (cost)
+              ->  execute, with physical backend selection per plan
+                  (semiring.backends.select_backend)
 
-The compiler walks a :class:`~repro.matlang.typecheck.TypedExpression` once
-and produces a flat :class:`~repro.matlang.ir.Plan`, applying three
-optimizations as it goes:
+Normalization (:mod:`repro.matlang.normalize`) re-associates and commutes
+matmul / addition chains into a canonical form, so lowering sees one shape
+per algebraic equivalence class; the cost pass
+(:mod:`repro.matlang.cost`) then re-associates matmul chains of the lowered
+plan by estimated FLOPs.  Each stage can be switched off through
+:class:`OptimizationOptions`, and what fired is recorded in ``Plan.notes``
+(rendered by :meth:`repro.matlang.ir.Plan.explain`).
+
+The lowering walk itself turns a
+:class:`~repro.matlang.typecheck.TypedExpression` into a flat
+:class:`~repro.matlang.ir.Plan`, applying three optimizations as it goes:
 
 * **Common-subexpression elimination** — registers are hash-consed on the
   *structural* identity of the underlying expression (AST nodes are frozen
@@ -25,20 +38,22 @@ optimizations as it goes:
   ``for v, X. X + e`` loops are first recognised as sum quantifiers.
 
 Compiled plans are cached at module level keyed by ``(expression, schema
-signature)`` — plans reference dimension *symbols*, not concrete sizes, so
-one plan serves every instance of a schema.  :func:`plan_cache_info`
-exposes hit / miss counters so tests (and benchmarks) can assert that
-re-evaluation performs no re-lowering.
+signature, optimizer options)`` — plans reference dimension *symbols*, not
+concrete sizes, so one plan serves every instance of a schema.
+:func:`plan_cache_info` exposes hit / miss counters so tests (and
+benchmarks) can assert that re-evaluation performs no re-lowering.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict, namedtuple
-from dataclasses import replace
+from dataclasses import dataclass, replace
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.exceptions import EvaluationError
 from repro.matlang import rewrites
+from repro.matlang.cost import reorder_plan
+from repro.matlang.normalize import normalize
 from repro.matlang.ast import (
     Add,
     Apply,
@@ -61,12 +76,40 @@ from repro.matlang.schema import Schema
 from repro.matlang.typecheck import TypedExpression, annotate
 
 __all__ = [
+    "DEFAULT_OPTIONS",
+    "OptimizationOptions",
     "clear_plan_cache",
     "compile_expression",
     "compile_typed",
     "lower",
     "plan_cache_info",
 ]
+
+
+@dataclass(frozen=True)
+class OptimizationOptions:
+    """Stage switches of the logical optimizer.
+
+    The compile pipeline is staged — ``annotate -> normalize -> lower (with
+    fusion) -> cost-based reordering`` — and each optimization stage can be
+    disabled independently, which the benchmarks use to measure what a stage
+    buys and tests use to pin a "written order" baseline.
+
+    ``normalize``
+        Canonicalize the typed tree first (:mod:`repro.matlang.normalize`):
+        matmul chains re-associated left-deep, addition chains flattened and
+        commuted into a deterministic order.
+    ``reorder``
+        Run cost-based matmul-chain ordering over the lowered plan
+        (:mod:`repro.matlang.cost`).
+    """
+
+    normalize: bool = True
+    reorder: bool = True
+
+
+#: The default, fully-enabled optimizer configuration.
+DEFAULT_OPTIONS = OptimizationOptions()
 
 
 # ----------------------------------------------------------------------
@@ -109,12 +152,12 @@ class _Frame:
         self.ops.append(PlanOp(opcode=opcode, inputs=tuple(inputs), **params))
         return len(self.ops) - 1
 
-    def capture(self, parent_register: int) -> int:
+    def capture(self, parent_register: int, type: Optional[Tuple[str, str]] = None) -> int:
         key = ("__capture__", parent_register)
         register = self.cse.get(key)
         if register is None:
             self.captures.append(parent_register)
-            register = self.emit("capture", value=len(self.captures) - 1)
+            register = self.emit("capture", value=len(self.captures) - 1, type=type)
             self.cse[key] = register
         return register
 
@@ -139,19 +182,34 @@ class _RuleContext:
 # ----------------------------------------------------------------------
 # Core lowering
 # ----------------------------------------------------------------------
-def lower(typed: TypedExpression) -> Plan:
-    """Lower an annotated expression to a plan (uncached entry point).
+def lower(typed: TypedExpression, options: Optional[OptimizationOptions] = None) -> Plan:
+    """Compile an annotated expression to a plan (uncached entry point).
 
-    The lowered plan runs through a final dead-op pruning pass: speculative
-    rewrite rules (the Add-body split of :mod:`repro.matlang.rewrites`) may
-    leave orphaned ops behind when a partial match fails, and pruning
-    restores the plan the non-speculative compiler would have produced.
-    Registers recorded in ``Plan.pinned`` (for-loop initialisers whose loop
-    was eliminated) survive pruning for error parity with the interpreter.
+    This runs the staged logical optimizer: normalization of the typed tree
+    (canonical matmul association, flattened + ordered addition chains),
+    lowering with fusion/CSE/hoisting, dead-op pruning, and cost-based
+    matmul-chain reordering.  Stages record what fired in ``Plan.notes``.
+
+    The dead-op pruning pass removes ops orphaned by speculative rewrite
+    rules (the Add-body split of :mod:`repro.matlang.rewrites`), restoring
+    the plan the non-speculative compiler would have produced.  Registers
+    recorded in ``Plan.pinned`` (for-loop initialisers whose loop was
+    eliminated) survive pruning for error parity with the interpreter.
     """
+    if options is None:
+        options = DEFAULT_OPTIONS
+    notes: Tuple[str, ...] = ()
+    if options.normalize:
+        typed, notes = normalize(typed)
     frame = _Frame()
     result = _lower(typed, frame)
-    return _prune_plan(Plan(tuple(frame.ops), result, pinned=tuple(frame.pinned)))
+    plan = _prune_plan(Plan(tuple(frame.ops), result, pinned=tuple(frame.pinned)))
+    if options.reorder:
+        plan, reorder_notes = reorder_plan(plan)
+        notes = notes + reorder_notes
+    if notes:
+        plan = replace(plan, notes=notes)
+    return plan
 
 
 def _lower(typed: TypedExpression, frame: _Frame) -> int:
@@ -163,9 +221,10 @@ def _lower(typed: TypedExpression, frame: _Frame) -> int:
 
     # Loop-invariant hoisting: nothing this node reads is bound by the
     # current loop, so compute it in the enclosing plan (recursively — it
-    # keeps bubbling up while it stays invariant).
+    # keeps bubbling up while it stays invariant).  The capture records the
+    # hoisted value's type so the cost model can treat it as a chain factor.
     if frame.parent is not None and not (typed.free_names & frame.bound):
-        return frame.capture(_lower(typed, frame.parent))
+        return frame.capture(_lower(typed, frame.parent), type=typed.type)
 
     register = frame.cse.get(expression)
     if register is not None:
@@ -414,22 +473,32 @@ def _cache_store(key, plan: Plan) -> None:
         _PLAN_CACHE.popitem(last=False)
 
 
-def compile_expression(expression: Expression, schema: Schema) -> Plan:
+def compile_expression(
+    expression: Expression,
+    schema: Schema,
+    options: Optional[OptimizationOptions] = None,
+) -> Plan:
     """Type-check and lower ``expression``, reusing the plan cache.
 
     On a cache hit even the ``annotate`` pass is skipped: the key is the
-    structural identity of the expression plus the schema signature, both of
-    which fully determine the plan.
+    structural identity of the expression plus the schema signature and the
+    optimizer options, which together fully determine the plan.
     """
-    key = (expression, schema.signature())
+    if options is None:
+        options = DEFAULT_OPTIONS
+    key = (expression, schema.signature(), options)
     plan = _cache_lookup(key)
     if plan is None:
-        plan = lower(annotate(expression, schema))
+        plan = lower(annotate(expression, schema), options)
         _cache_store(key, plan)
     return plan
 
 
-def compile_typed(typed: TypedExpression, schema: Schema) -> Plan:
+def compile_typed(
+    typed: TypedExpression,
+    schema: Schema,
+    options: Optional[OptimizationOptions] = None,
+) -> Plan:
     """Lower an already annotated expression, reusing the plan cache.
 
     The cache key uses the schema signature :func:`annotate` recorded on the
@@ -440,13 +509,15 @@ def compile_typed(typed: TypedExpression, schema: Schema) -> Plan:
     without a recorded signature (hand-built ones) are lowered uncached.
     """
     del schema  # part of the call signature for symmetry; see the docstring
+    if options is None:
+        options = DEFAULT_OPTIONS
     signature = typed.schema_signature
     if signature is None:
-        return lower(typed)
-    key = (typed.expression, signature)
+        return lower(typed, options)
+    key = (typed.expression, signature, options)
     plan = _cache_lookup(key)
     if plan is None:
-        plan = lower(typed)
+        plan = lower(typed, options)
         _cache_store(key, plan)
     return plan
 

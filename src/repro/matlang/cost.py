@@ -1,0 +1,270 @@
+"""Cost-based matmul-chain ordering over the plan IR.
+
+This is the middle stage of the staged optimizer
+
+    annotate -> normalize -> lower + fuse -> **cost-based reordering**
+    (this module) -> physical backend selection
+
+Plans carry dimension *symbols*, not sizes, so the pass works with a
+symbolic cost model: the distinguished scalar symbol ``"1"`` weighs 1 and
+every other schema symbol weighs a fixed surrogate dimension.  That is
+enough to rank the orderings that matter in practice — a chain mixing
+matrices with vectors (symbols against ``"1"``) has an optimal association
+that is a full surrogate factor cheaper than the worst one, while all-square
+chains cost the same either way and are left in their canonical form.
+
+Two rewrites fire, both exact over every semiring (associativity only):
+
+* **matrix-chain ordering** — a maximal chain of ``matmul`` ops whose
+  intermediate results have no other consumer is flattened and re-emitted
+  in the association the classic matrix-chain DP picks, when that beats the
+  association the plan came with;
+* **reduction push-through** — ``row_sums`` / ``col_sums`` applied to a
+  chain product is the product against a ones vector, so the ones vector
+  enters the DP as one more factor; when multiplying by it early is cheaper
+  (``Sigma_v A.(B.v)``: ``A.(B.1)`` at quadratic cost instead of the cubic
+  ``(A.B).1``), the fused reduction op is expanded into the reordered chain.
+
+Estimated costs use the schoolbook ``rows * inner * cols`` FLOP count per
+product.  The pass rewrites structure only — it never changes which
+instance matrices are loaded, so interpreter error parity is preserved
+(reassociation can change *intermediate* magnitudes, which the int64
+kernels' overflow discipline handles exactly as it does for fusion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.matlang.ir import Plan, PlanOp
+from repro.matlang.schema import SCALAR_SYMBOL, MatrixType
+
+__all__ = ["SURROGATE_DIMENSION", "chain_order", "reorder_plan", "symbol_weight"]
+
+#: Stand-in size for every non-scalar dimension symbol in the cost model.
+#: The model only needs to *rank* associations: with all non-scalar symbols
+#: equal, the DP exactly separates "vector-shaped early" from "matrix-matrix
+#: early" orderings, which is the decision that changes asymptotics.
+SURROGATE_DIMENSION = 256
+
+
+def symbol_weight(symbol: Optional[str]) -> int:
+    """The surrogate size of a dimension symbol (``"1"`` weighs one)."""
+    if symbol == SCALAR_SYMBOL:
+        return 1
+    return SURROGATE_DIMENSION
+
+
+def chain_order(types: List[MatrixType]) -> Tuple[int, Dict[Tuple[int, int], int]]:
+    """Matrix-chain DP over factor types; returns ``(cost, split table)``.
+
+    ``types`` are the ``(row symbol, column symbol)`` pairs of the chain
+    factors in order.  The split table maps ``(i, j)`` spans to the index
+    after which the optimal association splits.
+    """
+    count = len(types)
+    dims = [symbol_weight(types[0][0])] + [symbol_weight(t[1]) for t in types]
+    cost: Dict[Tuple[int, int], int] = {(i, i): 0 for i in range(count)}
+    split: Dict[Tuple[int, int], int] = {}
+    for span in range(2, count + 1):
+        for i in range(count - span + 1):
+            j = i + span - 1
+            best = None
+            at = i
+            for k in range(i, j):
+                candidate = (
+                    cost[(i, k)]
+                    + cost[(k + 1, j)]
+                    + dims[i] * dims[k + 1] * dims[j + 1]
+                )
+                if best is None or candidate < best:
+                    best = candidate
+                    at = k
+            cost[(i, j)] = best
+            split[(i, j)] = at
+    return cost[(0, count - 1)], split
+
+
+@dataclass(frozen=True)
+class _OnesLeaf:
+    """A virtual chain factor: the all-ones vector of a reduction push."""
+
+    type: MatrixType
+
+
+def reorder_plan(plan: Plan) -> Tuple[Plan, Tuple[str, ...]]:
+    """Reorder the matmul chains of ``plan`` by estimated cost.
+
+    Returns the (possibly identical) plan and human-readable notes about
+    what fired, for :meth:`~repro.matlang.ir.Plan.explain`.
+    """
+    notes: List[str] = []
+    reordered = _reorder(plan, notes)
+    return reordered, tuple(notes)
+
+
+def _reorder(plan: Plan, notes: List[str]) -> Plan:
+    ops = list(plan.ops)
+    changed = False
+    for index, op in enumerate(ops):
+        if op.body is not None:
+            body = _reorder(op.body, notes)
+            if body is not op.body:
+                ops[index] = replace(op, body=body)
+                changed = True
+
+    uses = [0] * len(ops)
+    for op in ops:
+        for register in op.inputs:
+            uses[register] += 1
+        for register in op.captures:
+            uses[register] += 1
+    uses[plan.result] += 1
+    for register in plan.pinned:
+        uses[register] += 1
+
+    def absorbable(register: int) -> bool:
+        return ops[register].opcode == "matmul" and uses[register] == 1
+
+    def flatten(root: int):
+        """Leaf registers and interior matmuls of the chain rooted at ``root``.
+
+        Returns ``(leaves, interiors)`` or ``(None, None)`` when a factor is
+        missing the type the cost model needs.
+        """
+        leaves: List[int] = []
+        interiors: List[int] = []
+
+        def visit(register: int) -> bool:
+            for operand in ops[register].inputs:
+                if absorbable(operand):
+                    interiors.append(operand)
+                    if not visit(operand):
+                        return False
+                else:
+                    if ops[operand].type is None:
+                        return False
+                    leaves.append(operand)
+            return True
+
+        if not visit(root):
+            return None, None
+        return leaves, interiors
+
+    def current_cost(root: int, interiors: List[int]) -> Optional[int]:
+        """Estimated FLOPs of the chain as currently associated."""
+        total = 0
+        for member in [root, *interiors]:
+            left, right = ops[member].inputs
+            left_type, right_type = ops[left].type, ops[right].type
+            if left_type is None or right_type is None:
+                return None
+            total += (
+                symbol_weight(left_type[0])
+                * symbol_weight(right_type[0])
+                * symbol_weight(right_type[1])
+            )
+        return total
+
+    absorbed: set = set()
+    #: root op index -> (chain factors as registers / ones leaves, DP splits)
+    rebuilt: Dict[int, Tuple[list, Dict[Tuple[int, int], int]]] = {}
+
+    for index in range(len(ops) - 1, -1, -1):
+        if index in absorbed:
+            continue
+        op = ops[index]
+
+        if op.opcode in ("row_sums", "col_sums"):
+            source = op.inputs[0]
+            if not absorbable(source):
+                continue
+            leaves, interiors = flatten(source)
+            if leaves is None:
+                continue
+            types = [ops[register].type for register in leaves]
+            as_is = current_cost(source, interiors)
+            if as_is is None:
+                continue
+            rows, cols = types[0][0], types[-1][1]
+            keep_cost = as_is + symbol_weight(rows) * symbol_weight(cols)
+            if op.opcode == "row_sums":
+                factors = leaves + [_OnesLeaf((cols, SCALAR_SYMBOL))]
+            else:
+                factors = [_OnesLeaf((SCALAR_SYMBOL, rows))] + leaves
+            push_cost, splits = chain_order([_factor_type(ops, f) for f in factors])
+            if push_cost < keep_cost:
+                rebuilt[index] = (factors, splits)
+                absorbed.add(source)
+                absorbed.update(interiors)
+                notes.append(
+                    f"reorder: pushed {op.opcode.replace('_', ' ')} through a "
+                    f"{len(leaves)}-factor matmul chain "
+                    f"(est. cost {keep_cost} -> {push_cost})"
+                )
+            continue
+
+        if op.opcode == "matmul":
+            leaves, interiors = flatten(index)
+            if leaves is None or len(leaves) < 3:
+                continue
+            types = [ops[register].type for register in leaves]
+            as_is = current_cost(index, interiors)
+            if as_is is None:
+                continue
+            best, splits = chain_order(types)
+            if best < as_is:
+                rebuilt[index] = (list(leaves), splits)
+                absorbed.update(interiors)
+                notes.append(
+                    f"reorder: re-associated a {len(leaves)}-factor matmul "
+                    f"chain (est. cost {as_is} -> {best})"
+                )
+
+    if not rebuilt:
+        if changed:
+            return Plan(tuple(ops), plan.result, plan.pinned, notes=plan.notes)
+        return plan
+
+    out: List[PlanOp] = []
+    remap: Dict[int, int] = {}
+
+    def emit(op: PlanOp) -> int:
+        out.append(op)
+        return len(out) - 1
+
+    def build(factors: list, splits, i: int, j: int) -> Tuple[int, MatrixType]:
+        if i == j:
+            factor = factors[i]
+            if isinstance(factor, _OnesLeaf):
+                return emit(PlanOp("ones_type", (), type=factor.type)), factor.type
+            return remap[factor], _factor_type(ops, factor)
+        at = splits[(i, j)]
+        left, left_type = build(factors, splits, i, at)
+        right, right_type = build(factors, splits, at + 1, j)
+        result_type = (left_type[0], right_type[1])
+        return emit(PlanOp("matmul", (left, right), type=result_type)), result_type
+
+    for index, op in enumerate(ops):
+        if index in absorbed:
+            continue
+        if index in rebuilt:
+            factors, splits = rebuilt[index]
+            register, _ = build(factors, splits, 0, len(factors) - 1)
+            remap[index] = register
+            continue
+        inputs = tuple(remap[register] for register in op.inputs)
+        captures = tuple(remap[register] for register in op.captures)
+        if inputs != op.inputs or captures != op.captures:
+            op = replace(op, inputs=inputs, captures=captures)
+        remap[index] = emit(op)
+
+    pinned = tuple(sorted({remap[register] for register in plan.pinned}))
+    return Plan(tuple(out), remap[plan.result], pinned, notes=plan.notes)
+
+
+def _factor_type(ops: List[PlanOp], factor) -> MatrixType:
+    if isinstance(factor, _OnesLeaf):
+        return factor.type
+    return ops[factor].type

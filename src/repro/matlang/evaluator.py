@@ -1,19 +1,25 @@
 """Evaluation of MATLANG / for-MATLANG expressions over a semiring.
 
 The semantics follows Sections 2, 3.1 and 6 of the paper.  Evaluation is a
-compile-then-execute pipeline:
+staged compile-then-execute pipeline with a logical/physical split:
 
-    annotate -> lower to plan IR -> optimize (fusion / CSE / hoisting) -> execute
+    annotate -> normalize (canonical associativity/commutativity)
+             -> lower to plan IR + fuse (CSE / hoisting / loop fusion)
+             -> cost-based matmul ordering
+             -> physical backend selection -> execute
 
 :meth:`Evaluator.run` and :meth:`Evaluator.run_typed` are thin wrappers over
 that pipeline: they compile the expression once through
 :mod:`repro.matlang.compiler` (whose module-level cache is keyed by
-``(expression, schema)``, so repeated evaluations — including across
-evaluators and instances of the same schema — perform no re-lowering) and
-execute the plan on a pluggable execution backend
-(:mod:`repro.semiring.backends`).  The default dense backend dispatches to
-the semiring's kernel layer; pass ``backend="sparse"`` over the boolean
-semiring to run reachability workloads on CSR matrices.
+``(expression, schema, options)``, so repeated evaluations — including
+across evaluators and instances of the same schema — perform no
+re-lowering) and execute the plan on a pluggable execution backend
+(:mod:`repro.semiring.backends`).  By default the *physical planner*
+assigns the backend per plan from instance statistics
+(:func:`repro.semiring.backends.select_backend`): sparse CSR execution for
+sparse boolean / tropical workloads, the dense kernel layer otherwise.
+Passing ``backend="dense"`` / ``"sparse"`` (or a backend instance) pins the
+choice.
 
 Constructing the evaluator with ``compile=False`` selects the original
 tree-walking interpreter instead, which is retained verbatim as the
@@ -63,10 +69,16 @@ from repro.matlang.ast import (
 from repro.matlang.compiler import compile_expression, compile_typed
 from repro.matlang.functions import FunctionRegistry, default_registry
 from repro.matlang.instance import Instance
-from repro.matlang.ir import execute_plan, execute_plan_batch
+from repro.matlang.ir import StackCache, execute_plan, execute_plan_batch
 from repro.matlang.typecheck import TypedExpression, annotate
 from repro.semiring import diagonal, identity, ones_matrix, scalar
-from repro.semiring.backends import ExecutionBackend, resolve_backend
+from repro.semiring.backends import (
+    ExecutionBackend,
+    PhysicalSelection,
+    instance_statistics,
+    resolve_backend,
+    select_backend,
+)
 
 
 class Evaluator:
@@ -86,8 +98,12 @@ class Evaluator:
         Execution backend for the compiled path: an
         :class:`~repro.semiring.backends.ExecutionBackend` instance (which
         must be bound to the instance's semiring), a registered backend
-        name (``"dense"``, ``"sparse"``), or ``None`` for the dense kernel
-        backend.
+        name (``"dense"``, ``"sparse"``), or ``None`` / ``"auto"`` for
+        adaptive physical planning — each compiled plan is assigned a
+        backend by :func:`repro.semiring.backends.select_backend`, which
+        inspects the instance's statistics (semiring, density, dimensions)
+        and the plan's op mix.  Explicit backends are validated eagerly and
+        honoured verbatim.
     memoize:
         Only consulted by the ``compile=False`` tree-walk (its id-keyed
         loop memo cache); the compiled path replaces memoisation with CSE
@@ -107,7 +123,22 @@ class Evaluator:
         self.functions = functions if functions is not None else default_registry()
         self.memoize = memoize
         self.compile = compile
-        self.backend = resolve_backend(self.semiring, backend)
+        #: The backend request; ``None`` / ``"auto"`` defers to per-plan
+        #: physical planning.  Explicit backends resolve (and validate)
+        #: eagerly, exactly as they always have.
+        self.backend_request = backend
+        self.backend: Optional[ExecutionBackend] = (
+            None
+            if backend is None or backend == "auto"
+            else resolve_backend(self.semiring, backend)
+        )
+        #: Per-plan physical selections, keyed by plan identity (the plan is
+        #: kept in the value so its id cannot be recycled while cached).
+        #: Bounded FIFO: an evaluator fed ever-new expressions must not pin
+        #: every plan it ever selected for.
+        self._physical_cache: "OrderedDict[int, tuple]" = OrderedDict()
+        #: Instance statistics for the physical planner, profiled once.
+        self._statistics = None
         #: Cache of results of loop sub-expressions that do not depend on any
         #: loop-bound variable.  Such sub-expressions (for example the order
         #: matrix ``S_<=`` occurring inside the body of an LU reduction loop)
@@ -159,9 +190,36 @@ class Evaluator:
         environment: Dict[str, np.ndarray] = {}
         return self._evaluate(typed, environment).copy()
 
+    def physical(self, plan) -> PhysicalSelection:
+        """The physical plan for ``plan`` on this evaluator's instance.
+
+        Pinned backends short-circuit; adaptive requests consult
+        :func:`~repro.semiring.backends.select_backend` with the (cached)
+        instance statistics, once per distinct plan.
+        """
+        if self.backend is not None:
+            return PhysicalSelection(
+                self.backend, (f"backend {self.backend.name!r} pinned by the caller",)
+            )
+        cached = self._physical_cache.get(id(plan))
+        if cached is not None and cached[0] is plan:
+            return cached[1]
+        if self._statistics is None:
+            self._statistics = instance_statistics(self.instance)
+        selection = select_backend(
+            plan, self.instance, None, statistics=self._statistics
+        )
+        self._physical_cache[id(plan)] = (plan, selection)
+        while len(self._physical_cache) > self._PHYSICAL_CACHE_CAPACITY:
+            self._physical_cache.popitem(last=False)
+        return selection
+
+    _PHYSICAL_CACHE_CAPACITY = 128
+
     def _execute(self, plan) -> np.ndarray:
-        value = execute_plan(plan, self.backend, self.instance, self.functions)
-        return self.backend.to_dense(value).copy()
+        backend = self.physical(plan).backend
+        value = execute_plan(plan, backend, self.instance, self.functions)
+        return backend.to_dense(value).copy()
 
     # ------------------------------------------------------------------
     # Shape helpers
@@ -431,6 +489,7 @@ def run_plan_batch(
     instances,
     functions: FunctionRegistry,
     chunk_size: Optional[int] = None,
+    stack_cache: Optional[StackCache] = None,
 ) -> List[np.ndarray]:
     """Execute a compiled plan over many instances with batched kernels.
 
@@ -441,6 +500,10 @@ def run_plan_batch(
     :class:`~repro.semiring.backends.BatchedDenseBackend`.  Results come
     back in input order, one defensive copy per instance — entrywise
     identical to running the plan per instance on the dense backend.
+
+    ``stack_cache`` (a :class:`~repro.matlang.ir.StackCache`) carries the
+    stacked input arrays across calls: repeated sweeps over the same
+    instance objects skip the per-call re-stacking entirely.
     """
     from repro.semiring.backends import BatchedDenseBackend
 
@@ -459,7 +522,11 @@ def run_plan_batch(
             chunk = positions[start : start + limit]
             backend = BatchedDenseBackend(representative.semiring, len(chunk))
             value = execute_plan_batch(
-                plan, backend, [instances[position] for position in chunk], functions
+                plan,
+                backend,
+                [instances[position] for position in chunk],
+                functions,
+                stack_cache=stack_cache,
             )
             stacked = backend.to_dense(value)
             for offset, position in enumerate(chunk):

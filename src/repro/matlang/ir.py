@@ -72,7 +72,7 @@ from typing import Any, List, Optional, Tuple
 from repro.exceptions import EvaluationError
 from repro.matlang.schema import MatrixType
 
-__all__ = ["Plan", "PlanOp", "execute_plan", "execute_plan_batch"]
+__all__ = ["Plan", "PlanOp", "StackCache", "execute_plan", "execute_plan_batch"]
 
 #: Opcodes whose semantics replace a whole Python-level loop with a single
 #: backend call (emitted by :mod:`repro.matlang.rewrites`).
@@ -129,6 +129,10 @@ class Plan:
     #: binders still evaluate (the interpreter evaluates them too, so errors
     #: they raise must surface identically on the compiled path).
     pinned: Tuple[int, ...] = ()
+    #: Human-readable record of the optimizer decisions that shaped this
+    #: plan (normalization rewrites, cost-based reorderings), rendered by
+    #: :meth:`explain`.
+    notes: Tuple[str, ...] = ()
 
     def __len__(self) -> int:
         return len(self.ops)
@@ -165,6 +169,38 @@ class Plan:
                 lines.append(op.body.describe(indent + "    "))
         lines.append(f"{indent}return r{self.result}")
         return "\n".join(lines)
+
+    def explain(self, instance: Any = None, backend: Any = None) -> str:
+        """A report of the plan and the optimizer / planner decisions.
+
+        Three sections: the op listing, the logical-optimizer notes recorded
+        at compile time (normalization and cost-based reordering), and —
+        when an ``instance`` is supplied — the physical plan: the execution
+        backend adaptive selection would pick for that instance (or the one
+        ``backend`` pins), with the statistics that drove the choice and the
+        per-op execution assignment.
+        """
+        sections: List[str] = ["plan:", self.describe(indent="  ")]
+        sections.append("logical optimizer:")
+        if self.notes:
+            sections.extend(f"  {note}" for note in self.notes)
+        else:
+            sections.append("  (no rewrites fired)")
+        if instance is not None:
+            # Imported lazily: the backends module is a consumer of values,
+            # not of the IR, and must stay importable without this module.
+            from repro.semiring.backends import select_backend
+
+            selection = select_backend(self, instance, backend)
+            sections.append("physical plan:")
+            sections.extend(f"  {note}" for note in selection.notes)
+            name = selection.backend.name
+            for register, op in enumerate(self.ops):
+                assigned = name
+                if op.opcode == "apply":
+                    assigned = f"{name} (dense round-trip)"
+                sections.append(f"  r{register} {op.opcode}: {assigned}")
+        return "\n".join(sections)
 
 
 # ----------------------------------------------------------------------
@@ -364,24 +400,115 @@ class _BatchRuntime(_Runtime):
     is validated to agree on every dimension), while variable loads stack the
     per-instance matrices into one ``(B, rows, cols)`` value, cached so a
     plan reloading a variable (or repeated loop iterations) stacks it once.
+
+    ``stack_cache`` optionally persists the stacked inputs *across* calls
+    (see :class:`StackCache`): repeated sweeps over the same instances — the
+    ``CompiledWorkload.run_batch`` pattern — then re-stack nothing.
     """
 
-    def __init__(self, backend: Any, instances: Any, functions: Any) -> None:
+    def __init__(
+        self,
+        backend: Any,
+        instances: Any,
+        functions: Any,
+        stack_cache: Optional["StackCache"] = None,
+    ) -> None:
         super().__init__(backend=backend, instance=instances[0], functions=functions)
         self.instances = instances
         self._load_cache: dict = {}
+        self._stack_cache = stack_cache
+        self._batch_token = tuple(id(instance) for instance in instances)
 
     def load(self, name: str) -> Any:
         value = self._load_cache.get(name)
+        if value is not None:
+            return value
+        if self._stack_cache is not None:
+            value = self._stack_cache.lookup(name, self._batch_token, self.instances)
         if value is None:
             value = self.backend.stack_instance_matrices(
                 instance.matrix(name) for instance in self.instances
             )
-            self._load_cache[name] = value
+            if self._stack_cache is not None:
+                self._stack_cache.store(name, self._batch_token, self.instances, value)
+        self._load_cache[name] = value
         return value
 
 
-def execute_plan_batch(plan: Plan, backend: Any, instances: Any, functions: Any) -> Any:
+class StackCache:
+    """A bounded cross-call cache of stacked instance-matrix inputs.
+
+    Keyed by ``(variable name, tuple of instance identities)``; the
+    instances themselves are pinned in the entry so an identity can never be
+    recycled while its stack is cached.  Stacks are never mutated by the
+    executor (kernels treat operands as read-only), so sharing them across
+    calls is safe.  Bounded FIFO on *both* entry count and retained bytes:
+    a stacked chunk can be ~128 MiB on its own (see
+    ``BATCH_CHUNK_ENTRY_BUDGET``), and each entry also pins its source
+    instances, so a workload sweeping ever-fresh large batches must shed old
+    stacks instead of accumulating gigabytes.
+    """
+
+    #: Default cap on the summed sizes of the cached stacks (256 MiB):
+    #: enough for a couple of budget-sized chunks, small enough that an
+    #: abandoned sweep's stacks cannot dominate the process footprint.
+    DEFAULT_BYTE_BUDGET = 256 * 1024 * 1024
+
+    def __init__(self, capacity: int = 64, byte_budget: int = DEFAULT_BYTE_BUDGET) -> None:
+        from collections import OrderedDict
+
+        if capacity < 1:
+            raise ValueError(f"stack cache capacity must be positive, got {capacity!r}")
+        if byte_budget < 1:
+            raise ValueError(f"stack cache byte budget must be positive, got {byte_budget!r}")
+        self.capacity = capacity
+        self.byte_budget = byte_budget
+        self.hits = 0
+        self.misses = 0
+        self._bytes = 0
+        self._entries: "OrderedDict[Tuple, Tuple[Any, Any]]" = OrderedDict()
+
+    @staticmethod
+    def _size_of(value: Any) -> int:
+        return int(getattr(value, "nbytes", 0))
+
+    def lookup(self, name: str, token: Tuple, instances: Any) -> Optional[Any]:
+        entry = self._entries.get((name, token))
+        if entry is not None and all(
+            cached is live for cached, live in zip(entry[0], instances)
+        ):
+            self.hits += 1
+            self._entries.move_to_end((name, token))
+            return entry[1]
+        self.misses += 1
+        return None
+
+    def store(self, name: str, token: Tuple, instances: Any, value: Any) -> None:
+        size = self._size_of(value)
+        if size > self.byte_budget:
+            return  # a single over-budget stack is never worth pinning
+        previous = self._entries.pop((name, token), None)
+        if previous is not None:
+            self._bytes -= self._size_of(previous[1])
+        self._entries[(name, token)] = (tuple(instances), value)
+        self._bytes += size
+        while self._entries and (
+            len(self._entries) > self.capacity or self._bytes > self.byte_budget
+        ):
+            _, (_, evicted) = self._entries.popitem(last=False)
+            self._bytes -= self._size_of(evicted)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def execute_plan_batch(
+    plan: Plan,
+    backend: Any,
+    instances: Any,
+    functions: Any,
+    stack_cache: Optional[StackCache] = None,
+) -> Any:
     """Run ``plan`` once over a whole batch of same-shape instances.
 
     ``backend`` must be a batch-capable backend (a
@@ -412,7 +539,12 @@ def execute_plan_batch(plan: Plan, backend: Any, instances: Any, functions: Any)
                 f"batched execution requires identical dimension assignments, "
                 f"got {first.dimensions!r} and {instance.dimensions!r}"
             )
-    runtime = _BatchRuntime(backend=backend, instances=instances, functions=functions)
+    runtime = _BatchRuntime(
+        backend=backend,
+        instances=instances,
+        functions=functions,
+        stack_cache=stack_cache,
+    )
     return _run_batch(plan, runtime, (), None, None)
 
 

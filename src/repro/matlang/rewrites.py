@@ -30,6 +30,16 @@ sum-quantifier body (iterator v)   fused op
 ``Sigma_w (v^T . e . w)``          ``col+row sums``: the total sum of ``e``
 =================================  =====================================
 
+The matmul patterns above are additionally matched *modulo associativity*
+(and through arbitrary chain lengths) by a chain-aware rule: quantifier
+bodies are flattened into their factor chains, so ``Sigma_v A . (B . v)``
+fuses exactly like ``Sigma_v (A . B) . v``, ``v^T . chain . v`` becomes a
+trace, a mid-chain ``v . v^T`` selector pair vanishes, and a single
+mid-chain iterator is summed out into a materialised ones vector.  With
+normalization (:mod:`repro.matlang.normalize`) canonicalizing trees before
+lowering, every rule in this module fires regardless of how the user
+parenthesised the body.
+
 The Add-body split is *speculative*: it fuses the left summand before
 knowing whether the right one fuses too.  When the right side fails, the
 rule declines and the already-emitted left ops become dead code — which the
@@ -74,6 +84,13 @@ from repro.matlang.ast import (
     TypeHint,
     Var,
 )
+from repro.matlang.normalize import (
+    add_leaves,
+    build_add_chain,
+    build_matmul_chain,
+    matmul_leaves,
+    strip_hints,
+)
 from repro.matlang.schema import SCALAR_SYMBOL
 from repro.matlang.typecheck import TypedExpression
 
@@ -85,13 +102,6 @@ __all__ = [
     "sum_quantifier_body",
     "try_fuse",
 ]
-
-
-def strip_hints(typed: TypedExpression) -> TypedExpression:
-    """Skip through type hints, which evaluate to their operand."""
-    while isinstance(typed.expression, TypeHint):
-        typed = typed.children[0]
-    return typed
 
 
 # ----------------------------------------------------------------------
@@ -178,57 +188,118 @@ def _match_bilinear(
 # ----------------------------------------------------------------------
 # Sum-quantifier rules
 # ----------------------------------------------------------------------
+def _leaf_role(leaf: TypedExpression, name: str) -> Optional[str]:
+    """Classify a chain factor: the iterator (``"v"``), its transpose
+    (``"vT"``), an iterator-free factor (``"free"``) or ``None`` (contains
+    the iterator in a shape the chain rule cannot move)."""
+    if _is_iterator(leaf, name):
+        return "v"
+    if _is_iterator_t(leaf, name):
+        return "vT"
+    if name not in leaf.free_names:
+        return "free"
+    return None
+
+
+def _rule_sum_chain(body: TypedExpression, ctx) -> Optional[int]:
+    """Fuse ``Sigma_v`` over a flattened matmul chain of any association.
+
+    The chain ``l_0 . l_1 ... l_k`` is multilinear in each factor, so the
+    quantifier sum commutes with every iterator-free prefix and suffix
+    (distributivity).  Depending on where the iterator occurs as a whole
+    factor the loop collapses to a fused form:
+
+    * ``v`` (or ``v^T``) occurring exactly once — the sum moves onto that
+      factor: ``Sigma_v v = 1``-vector, giving ``row_sums`` at the end of
+      the chain, ``col_sums`` at the start, and a materialised ones vector
+      in the middle;
+    * the adjacent pair ``v . v^T`` occurring once and the iterator nowhere
+      else — ``Sigma_v (v.v^T) = I`` drops out of the chain entirely;
+    * ``v^T`` first and ``v`` last — the bilinear form sums to ``trace``.
+
+    This subsumes the binary row/col-sums, trace and selector rules *modulo
+    associativity*: normalization guarantees a canonical left-deep chain,
+    but the flattening here accepts any parenthesisation, so the rule also
+    fires on hand-built (un-normalized) trees.
+    """
+    leaves = matmul_leaves(body)
+    if len(leaves) < 2:
+        return None
+    roles = [_leaf_role(leaf, ctx.iterator) for leaf in leaves]
+    if any(role is None for role in roles):
+        return None
+    occurrences = [index for index, role in enumerate(roles) if role != "free"]
+    if not occurrences:
+        return None  # handled by the nsum path before the rules run
+
+    if len(occurrences) == 1:
+        index = occurrences[0]
+        rest = leaves[:index] + leaves[index + 1 :]
+        if not rest:
+            return None  # bare ``v`` / ``v^T``: the basis rule's case
+        if roles[index] == "v" and index == len(leaves) - 1:
+            return ctx.emit(
+                "row_sums", (ctx.lower(build_matmul_chain(rest)),), type=body.type
+            )
+        if roles[index] == "vT" and index == 0:
+            return ctx.emit(
+                "col_sums", (ctx.lower(build_matmul_chain(rest)),), type=body.type
+            )
+        # The iterator sits mid-chain: replace it with the summed-out ones
+        # vector of the same type and keep the factors around it.
+        prefix = leaves[:index]
+        suffix = leaves[index + 1 :]
+        ones = ctx.emit("ones_type", (), type=leaves[index].type)
+        register = ones
+        if prefix:
+            left = ctx.lower(build_matmul_chain(prefix))
+            register = ctx.emit(
+                "matmul", (left, register), type=(prefix[0].type[0], leaves[index].type[1])
+            )
+        if suffix:
+            right = ctx.lower(build_matmul_chain(suffix))
+            register = ctx.emit("matmul", (register, right), type=body.type)
+        return register
+
+    if len(occurrences) == 2:
+        first, second = occurrences
+        # Sigma_v ... (v . v^T) ... = ... I ... : the selector pair vanishes.
+        if second == first + 1 and roles[first] == "v" and roles[second] == "vT":
+            rest = leaves[:first] + leaves[second + 1 :]
+            if not rest:
+                return ctx.emit("identity_sym", (), symbol=ctx.symbol, type=body.type)
+            return ctx.lower(build_matmul_chain(rest))
+        # Sigma_v v^T . e ... e' . v = trace(e ... e').
+        if (
+            first == 0
+            and second == len(leaves) - 1
+            and roles[first] == "vT"
+            and roles[second] == "v"
+        ):
+            middle = leaves[1:-1]
+            if not middle:
+                # Sigma_v v^T . v: every term is the semiring one, n terms.
+                identity = ctx.emit(
+                    "identity_sym", (), symbol=ctx.symbol,
+                    type=(ctx.symbol, ctx.symbol),
+                )
+                return ctx.emit(
+                    "trace", (identity,), type=(SCALAR_SYMBOL, SCALAR_SYMBOL)
+                )
+            return ctx.emit(
+                "trace",
+                (ctx.lower(build_matmul_chain(middle)),),
+                type=(SCALAR_SYMBOL, SCALAR_SYMBOL),
+            )
+    return None
+
+
 def _rule_sum_basis(body: TypedExpression, ctx) -> Optional[int]:
     """``Sigma_v v`` and ``Sigma_v v^T`` are the all-ones vector / row."""
     if _is_iterator(body, ctx.iterator):
         return ctx.emit("ones_type", (), type=(ctx.symbol, SCALAR_SYMBOL))
     if _is_iterator_t(body, ctx.iterator):
         return ctx.emit("ones_type", (), type=(SCALAR_SYMBOL, ctx.symbol))
-    return None
-
-
-def _rule_sum_matmul(body: TypedExpression, ctx) -> Optional[int]:
-    if not isinstance(body.expression, MatMul):
-        return None
-    iterator = ctx.iterator
-    left, right = body.children
-
-    # Sigma_v (v . v^T) = I
-    if _is_iterator(left, iterator) and _is_iterator_t(right, iterator):
-        return ctx.emit("identity_sym", (), symbol=ctx.symbol, type=body.type)
-    # Sigma_v (v.v^T) . e = e  and  Sigma_v e . (v.v^T) = e
-    if _is_selector(left, iterator) and iterator not in right.free_names:
-        return ctx.lower(right)
-    if _is_selector(right, iterator) and iterator not in left.free_names:
-        return ctx.lower(left)
-    # Sigma_v v . (v^T . e) = e  and  Sigma_v (e . v) . v^T = e
-    if _is_iterator(left, iterator):
-        inner = strip_hints(right)
-        if isinstance(inner.expression, MatMul) and _is_iterator_t(
-            inner.children[0], iterator
-        ):
-            matrix = inner.children[1]
-            if iterator not in matrix.free_names:
-                return ctx.lower(matrix)
-    if _is_iterator_t(right, iterator):
-        inner = strip_hints(left)
-        if isinstance(inner.expression, MatMul) and _is_iterator(
-            inner.children[1], iterator
-        ):
-            matrix = inner.children[0]
-            if iterator not in matrix.free_names:
-                return ctx.lower(matrix)
-    # Sigma_v v^T . e . v = tr(e)
-    quadratic = _match_quadratic(body, iterator)
-    if quadratic is not None:
-        return ctx.emit(
-            "trace", (ctx.lower(quadratic),), type=(SCALAR_SYMBOL, SCALAR_SYMBOL)
-        )
-    # Sigma_v e . v = row sums, Sigma_v v^T . e = column sums
-    if _is_iterator(right, iterator) and iterator not in left.free_names:
-        return ctx.emit("row_sums", (ctx.lower(left),), type=body.type)
-    if _is_iterator_t(left, iterator) and iterator not in right.free_names:
-        return ctx.emit("col_sums", (ctx.lower(right),), type=body.type)
     return None
 
 
@@ -336,9 +407,12 @@ def _rule_sum_nested_total(body: TypedExpression, ctx) -> Optional[int]:
     return ctx.emit("row_sums", (columns,), type=(SCALAR_SYMBOL, SCALAR_SYMBOL))
 
 
+#: The historical binary matmul rule (row/col sums, trace, selector
+#: collapse on two-factor bodies) is gone: ``_rule_sum_chain`` flattens
+#: arbitrary associations and chain lengths, strictly subsuming it.
 SUM_RULES: List[Callable[[TypedExpression, object], Optional[int]]] = [
     _rule_sum_basis,
-    _rule_sum_matmul,
+    _rule_sum_chain,
     _rule_sum_scalar,
     _rule_sum_add,
     _rule_sum_nested_total,
@@ -442,7 +516,6 @@ def sum_quantifier_body(typed: TypedExpression) -> Optional[TypedExpression]:
     stripped = strip_hints(body)
     if not isinstance(stripped.expression, Add):
         return None
-    left, right = stripped.children
     accumulator = expression.accumulator
 
     def is_accumulator(node: TypedExpression) -> bool:
@@ -452,8 +525,16 @@ def sum_quantifier_body(typed: TypedExpression) -> Optional[TypedExpression]:
             and inner.expression.name == accumulator
         )
 
-    if is_accumulator(left) and accumulator not in right.free_names:
-        return right
-    if is_accumulator(right) and accumulator not in left.free_names:
-        return left
-    return None
+    # The body is flattened across associations (and hence across the
+    # canonical operand order normalization imposes): the accumulator must
+    # occur as exactly one summand of the chain and nowhere inside the rest.
+    leaves = add_leaves(stripped)
+    hits = [index for index, leaf in enumerate(leaves) if is_accumulator(leaf)]
+    if len(hits) != 1:
+        return None
+    rest = leaves[: hits[0]] + leaves[hits[0] + 1 :]
+    if any(accumulator in leaf.free_names for leaf in rest):
+        return None
+    if len(rest) == 1:
+        return rest[0]
+    return build_add_chain(rest)

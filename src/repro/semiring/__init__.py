@@ -19,10 +19,14 @@ from repro.semiring.kernels import (
 from repro.semiring.backends import (
     DenseExecutionBackend,
     ExecutionBackend,
+    InstanceStatistics,
+    PhysicalSelection,
     SparseBooleanBackend,
     available_backends,
     backend_for,
+    instance_statistics,
     register_backend,
+    select_backend,
 )
 from repro.semiring.matrix import (
     canonical_vector,

@@ -54,7 +54,8 @@ function-selection idiom as :func:`repro.semiring.kernels.register_kernels`).
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Callable, Dict, Optional
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -68,15 +69,21 @@ except ImportError:  # pragma: no cover - exercised only on scipy-less installs
     _sparse = None
 
 __all__ = [
+    "AUTO_SPARSE_MAX_DENSITY",
+    "AUTO_SPARSE_MIN_DIMENSION",
     "BatchedDenseBackend",
     "DenseExecutionBackend",
     "ExecutionBackend",
+    "InstanceStatistics",
+    "PhysicalSelection",
     "SparseBooleanBackend",
     "SparseTropicalBackend",
     "available_backends",
     "backend_for",
+    "instance_statistics",
     "register_backend",
     "resolve_backend",
+    "select_backend",
 ]
 
 
@@ -866,6 +873,149 @@ def backend_for(semiring: Semiring, name: str = "dense") -> ExecutionBackend:
             f"unknown execution backend {name!r}; known backends: {known}"
         ) from None
     return factory(semiring)
+
+
+# ----------------------------------------------------------------------
+# Physical planning: adaptive per-plan backend selection
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class InstanceStatistics:
+    """What the physical planner knows about one instance.
+
+    ``density`` is the fraction of entries that differ from the semiring
+    zero across all matrices with more than one entry (for the boolean
+    semiring that is the edge density; for the tropical semirings the
+    fraction of finite entries).  It is ``None`` for semirings whose carrier
+    the planner does not profile (no sparse representation exists for them).
+    """
+
+    semiring: str
+    dtype: str
+    max_dimension: int
+    entries: int
+    density: Optional[float]
+
+
+@dataclass(frozen=True)
+class PhysicalSelection:
+    """The outcome of physical planning: a backend plus the reasons."""
+
+    backend: ExecutionBackend
+    notes: Tuple[str, ...]
+
+
+#: Semirings with a CSR execution backend (see ``_sparse_backend``).
+SPARSE_CAPABLE_SEMIRINGS = frozenset({"boolean", "min_plus", "max_plus"})
+
+#: Below this largest dimension the dense kernels win on constant factors
+#: regardless of density, so adaptive selection never goes sparse.
+AUTO_SPARSE_MIN_DIMENSION = 64
+
+#: Above this stored-entry fraction the CSR formats stop paying for
+#: themselves on matmul-heavy plans.
+AUTO_SPARSE_MAX_DENSITY = 0.15
+
+#: Plan opcodes whose cost scales with the matrix product — the workloads a
+#: sparse representation can actually accelerate.
+_MULTIPLICATIVE_OPCODES = frozenset({"matmul", "power", "loop", "hadamard_power"})
+
+
+def instance_statistics(instance) -> InstanceStatistics:
+    """Profile an instance for the physical planner.
+
+    One full pass over the instance matrices (cached by callers that select
+    repeatedly — see ``Evaluator`` and ``CompiledWorkload``).
+    """
+    semiring = instance.semiring
+    max_dimension = max(
+        (size for size in instance.dimensions.values()), default=1
+    )
+    entries = 0
+    stored = 0
+    profiled = semiring.name in SPARSE_CAPABLE_SEMIRINGS
+    if profiled:
+        zero = semiring.zero
+        for name in instance.matrices:
+            matrix = instance.matrix(name)
+            if matrix.size <= 1:
+                continue
+            entries += matrix.size
+            stored += int(np.count_nonzero(matrix != zero))
+    density = (stored / entries) if (profiled and entries) else None
+    return InstanceStatistics(
+        semiring=semiring.name,
+        dtype=str(np.dtype(semiring.dtype)),
+        max_dimension=int(max_dimension),
+        entries=int(entries),
+        density=density,
+    )
+
+
+def select_backend(
+    plan,
+    instance,
+    requested=None,
+    statistics: Optional[InstanceStatistics] = None,
+) -> PhysicalSelection:
+    """Pick the execution backend for running ``plan`` on ``instance``.
+
+    This is the physical-planning stage of the staged optimizer: with no
+    user-supplied backend (``requested`` is ``None`` or ``"auto"``) the
+    choice is driven by instance statistics and the plan's op mix —
+    sparse CSR execution for sparse instances of the boolean / tropical
+    semirings on multiplication-heavy plans, dense kernels otherwise.  A
+    concrete ``requested`` backend (name or instance) is honoured verbatim
+    through :func:`resolve_backend`, including its validation policy.
+
+    The returned notes say what was decided and why; they feed
+    :meth:`repro.matlang.ir.Plan.explain`.
+    """
+    semiring = instance.semiring
+    if requested is not None and requested != "auto":
+        backend = resolve_backend(semiring, requested)
+        label = requested if isinstance(requested, str) else backend.name
+        return PhysicalSelection(
+            backend, (f"backend {label!r} pinned by the caller",)
+        )
+
+    if statistics is None:
+        statistics = instance_statistics(instance)
+
+    def dense(reason: str) -> PhysicalSelection:
+        return PhysicalSelection(
+            backend_for(semiring, "dense"),
+            (f"auto-selected dense: {reason}",),
+        )
+
+    if statistics.semiring not in SPARSE_CAPABLE_SEMIRINGS:
+        return dense(f"no sparse representation for semiring {statistics.semiring!r}")
+    if _sparse is None:
+        return dense("scipy is not installed")
+    if statistics.max_dimension < AUTO_SPARSE_MIN_DIMENSION:
+        return dense(
+            f"largest dimension {statistics.max_dimension} is below the sparse "
+            f"threshold {AUTO_SPARSE_MIN_DIMENSION}"
+        )
+    if statistics.density is None or statistics.density > AUTO_SPARSE_MAX_DENSITY:
+        shown = "unknown" if statistics.density is None else f"{statistics.density:.3f}"
+        return dense(
+            f"instance density {shown} exceeds the sparse ceiling "
+            f"{AUTO_SPARSE_MAX_DENSITY}"
+        )
+    multiplicative = sum(
+        plan.count_ops(opcode) for opcode in _MULTIPLICATIVE_OPCODES
+    )
+    if not multiplicative:
+        return dense("the plan has no multiplication-shaped ops to accelerate")
+    return PhysicalSelection(
+        backend_for(semiring, "sparse"),
+        (
+            f"auto-selected sparse: semiring {statistics.semiring!r}, density "
+            f"{statistics.density:.3f} <= {AUTO_SPARSE_MAX_DENSITY}, largest "
+            f"dimension {statistics.max_dimension} >= {AUTO_SPARSE_MIN_DIMENSION}, "
+            f"{multiplicative} multiplication-shaped op(s)",
+        ),
+    )
 
 
 def resolve_backend(semiring: Semiring, backend) -> ExecutionBackend:

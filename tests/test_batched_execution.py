@@ -386,6 +386,33 @@ class TestSharding:
         for instance, result in zip(instances, batched):
             assert np.array_equal(result, workload.run(instance))
 
+    def test_repeated_run_batch_reuses_stacked_inputs(self):
+        expression = ssum("_v", var("A") @ var("_v"))
+        instances = [_instance_for(REAL, 4, seed) for seed in range(6)]
+        workload = CompiledWorkload(expression, instances[0].schema)
+
+        first = workload.run_batch(instances)
+        hits_after_first, misses_after_first, size = workload.stack_cache_info()
+        assert size >= 1  # the sweep's stacks were retained
+
+        second = workload.run_batch(instances)
+        hits_after_second, misses_after_second, _ = workload.stack_cache_info()
+        assert misses_after_second == misses_after_first, (
+            "a repeated sweep over the same instances must not re-stack inputs"
+        )
+        assert hits_after_second > hits_after_first
+        for before, after in zip(first, second):
+            assert np.array_equal(before, after)
+
+        # Fresh instance objects are a different batch: stacked anew, and
+        # still correct.
+        fresh = [_instance_for(REAL, 4, seed) for seed in range(6)]
+        third = workload.run_batch(fresh)
+        _, misses_after_third, _ = workload.stack_cache_info()
+        assert misses_after_third > misses_after_second
+        for before, after in zip(first, third):
+            assert np.array_equal(before, after)
+
 
 # ----------------------------------------------------------------------
 # The sparse tropical backend

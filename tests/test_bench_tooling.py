@@ -1,0 +1,113 @@
+"""Tests for the perf-trend gate (``benchmarks/compare_artifacts.py``).
+
+The comparator is pure file-in / verdict-out, so the tier-1 suite can cover
+its policy without running a single benchmark: speedups gate, raw timings
+never do, and missing measurements report without failing.
+"""
+
+import json
+
+import pytest
+
+from benchmarks.compare_artifacts import compare, entry_key, load_artifacts, main
+
+
+def _artifacts(entries):
+    return {"p0x": {entry_key(entry): entry for entry in entries}}
+
+
+def _entry(op="matmul", size=64, backend="fast", **extra):
+    payload = {"op": op, "size": size, "backend": backend, "seconds": 0.01}
+    payload.update(extra)
+    return payload
+
+
+class TestCompare:
+    def test_within_threshold_passes(self):
+        baseline = _artifacts([_entry(speedup=10.0)])
+        fresh = _artifacts([_entry(speedup=8.0)])
+        report, regressions = compare(baseline, fresh, threshold=0.25)
+        assert not regressions
+        assert any("ok" in line for line in report)
+
+    def test_regression_beyond_threshold_fails(self):
+        baseline = _artifacts([_entry(speedup=10.0)])
+        fresh = _artifacts([_entry(speedup=7.0)])
+        _, regressions = compare(baseline, fresh, threshold=0.25)
+        assert len(regressions) == 1
+        assert "REGRESSION" not in regressions[0]  # the marker is report-side
+        assert "7.00x" in regressions[0]
+
+    def test_improvements_pass(self):
+        baseline = _artifacts([_entry(speedup=5.0)])
+        fresh = _artifacts([_entry(speedup=50.0)])
+        _, regressions = compare(baseline, fresh, threshold=0.25)
+        assert not regressions
+
+    def test_timing_only_entries_never_gate(self):
+        baseline = _artifacts([_entry()])
+        fresh = _artifacts([_entry()])
+        report, regressions = compare(baseline, fresh, threshold=0.25)
+        assert not regressions
+
+    def test_missing_and_new_measurements_report_but_pass(self):
+        baseline = _artifacts([_entry(op="old", speedup=10.0)])
+        fresh = _artifacts([_entry(op="new", speedup=2.0)])
+        report, regressions = compare(baseline, fresh, threshold=0.25)
+        assert not regressions
+        assert any("retired" in line for line in report)
+        assert any("new measurement" in line for line in report)
+
+    def test_entries_disambiguated_by_extra_fields(self):
+        baseline = _artifacts(
+            [_entry(semiring="boolean", speedup=10.0), _entry(semiring="min_plus", speedup=3.0)]
+        )
+        fresh = _artifacts(
+            [_entry(semiring="boolean", speedup=10.0), _entry(semiring="min_plus", speedup=1.0)]
+        )
+        _, regressions = compare(baseline, fresh, threshold=0.25)
+        assert len(regressions) == 1
+        assert "min_plus" in regressions[0]
+
+    def test_noise_band_speedups_never_gate(self):
+        baseline = _artifacts([_entry(speedup=1.3)])
+        fresh = _artifacts([_entry(speedup=0.8)])
+        report, regressions = compare(baseline, fresh, threshold=0.25)
+        assert not regressions
+        assert any("noise band" in line for line in report)
+
+    def test_whole_missing_artifact_passes(self):
+        baseline = {"p03": {}}
+        report, regressions = compare(baseline, {}, threshold=0.25)
+        assert not regressions
+        assert any("missing from the fresh run" in line for line in report)
+
+
+class TestEndToEnd:
+    def _write(self, directory, bench, entries):
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"BENCH_{bench}.json"
+        path.write_text(json.dumps({"bench": bench, "entries": entries}))
+
+    def test_load_artifacts(self, tmp_path):
+        self._write(tmp_path, "p05", [_entry(speedup=4.0)])
+        artifacts = load_artifacts(tmp_path)
+        assert set(artifacts) == {"p05"}
+        assert len(artifacts["p05"]) == 1
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline"
+        fresh = tmp_path / "fresh"
+        self._write(baseline, "p05", [_entry(speedup=10.0)])
+
+        self._write(fresh, "p05", [_entry(speedup=9.0)])
+        assert main(["--baseline-dir", str(baseline), "--fresh-dir", str(fresh)]) == 0
+
+        self._write(fresh, "p05", [_entry(speedup=1.0)])
+        assert main(["--baseline-dir", str(baseline), "--fresh-dir", str(fresh)]) == 1
+        captured = capsys.readouterr()
+        assert "regressed" in captured.err
+
+    def test_threshold_validation(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["--fresh-dir", str(tmp_path), "--threshold", "1.5"])
