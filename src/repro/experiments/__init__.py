@@ -17,7 +17,12 @@ provides
   fragment equivalences on random instances.
 """
 
-from repro.experiments.harness import CompiledWorkload, ExperimentRecord, Table
+from repro.experiments.harness import (
+    CompiledWorkload,
+    ExperimentRecord,
+    ServedWorkload,
+    Table,
+)
 from repro.experiments.registry import EXPERIMENTS, ExperimentInfo, experiment_info
 from repro.experiments.figure1 import build_figure1, render_figure1
 
@@ -26,6 +31,7 @@ __all__ = [
     "EXPERIMENTS",
     "ExperimentInfo",
     "ExperimentRecord",
+    "ServedWorkload",
     "Table",
     "build_figure1",
     "experiment_info",

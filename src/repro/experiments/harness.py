@@ -11,9 +11,16 @@ evaluates the cached plan against many instances of the same schema, which
 is how the benchmark suite measures per-instance evaluation cost without
 re-paying type inference or lowering.  :meth:`CompiledWorkload.run_batch`
 goes one step further for instance sweeps: it shards the sweep into buckets
-that agree on semiring and dimensions, stacks each bucket and runs every
+that agree on semiring and dimensions (merging near-miss buckets by
+zero-padding when the plan allows it), stacks each bucket and runs every
 plan op once per chunk over the whole stack, amortizing the executor's
 Python dispatch across the batch (the dominant cost at small sizes).
+
+:class:`ServedWorkload` is the serving-side counterpart: it replays a
+stream of independent ``(expression, instance)`` requests through the
+concurrent query service (:mod:`repro.service`), whose scheduler coalesces
+them back into the same stacked kernel calls — the harness hook the
+serving benchmarks drive.
 """
 
 from __future__ import annotations
@@ -183,7 +190,7 @@ class CompiledWorkload:
         value = execute_plan(self.plan, backend, instance, self.functions)
         return backend.to_dense(value).copy()
 
-    def run_batch(self, instances, chunk_size=None):
+    def run_batch(self, instances, chunk_size=None, ragged=True):
         """Execute the pre-compiled plan over a whole sweep of instances.
 
         The sweep is sharded into buckets that agree on semiring and
@@ -191,11 +198,14 @@ class CompiledWorkload:
         bucket is stacked into ``(B, rows, cols)`` arrays, and oversized
         buckets are chunked — at most ``chunk_size`` instances per kernel
         call, defaulting to a memory-bounded heuristic (see
-        :func:`repro.matlang.evaluator.run_plan_batch`).  Results are
-        returned in input order and are entrywise identical to calling
-        :meth:`run` per instance.  The stacked inputs are cached on the
-        workload, so repeated sweeps over the same instance objects do not
-        re-stack them.
+        :func:`repro.matlang.evaluator.run_plan_batch`).  With ``ragged``
+        (the default), near-miss dimension buckets additionally merge into
+        one zero-padded batch when the plan tolerates padding — a 15/16/17
+        node sweep runs as one kernel call instead of three; exact
+        semirings stay bitwise-identical, float64 is tolerance-equal (see
+        ``run_plan_batch``).  Results are returned in input order.  The
+        stacked inputs are cached on the workload, so repeated sweeps over
+        the same instance objects do not re-stack them.
 
         Workloads whose physical plan is sparse — pinned (``"sparse"``) or
         adaptively selected for the sweep's instances — have no stacked
@@ -228,13 +238,65 @@ class CompiledWorkload:
             return [self.run(instance) for instance in instances]
         return run_plan_batch(
             self.plan, instances, self.functions, chunk_size,
-            stack_cache=self._stack_cache,
+            stack_cache=self._stack_cache, ragged=ragged,
         )
 
     def stack_cache_info(self):
         """``(hits, misses, size)`` of the cross-call input-stacking cache."""
-        cache = self._stack_cache
-        return (cache.hits, cache.misses, len(cache))
+        info = self._stack_cache.info()
+        return (info.hits, info.misses, info.size)
+
+
+class ServedWorkload:
+    """A workload stream replayed through the concurrent query service.
+
+    Where :class:`CompiledWorkload` is "one expression, many instances, one
+    caller", ``ServedWorkload`` is the serving-side counterpart: a stream of
+    independent ``(expression, instance)`` requests pushed through an
+    :class:`~repro.service.engine.Engine`, whose micro-batching scheduler
+    coalesces requests that share a plan / semiring / dimension signature
+    into stacked kernel calls.  The benchmark suite uses it to measure
+    serving throughput against the sequential ``evaluate()`` baseline, and
+    the experiments can use it to replay any recorded request mix.
+
+    Parameters mirror the engine's: a
+    :class:`~repro.service.batching.CoalescingPolicy`, an optional
+    pointwise-function registry and an optional pinned backend.  The
+    workload owns its engine; use it as a context manager (or call
+    :meth:`close`) to shut the scheduler down deterministically.
+    """
+
+    def __init__(self, policy=None, functions=None, backend=None, options=None):
+        # Imported lazily, like the other harness hooks.
+        from repro.service import Engine
+
+        self.engine = Engine(
+            policy=policy, functions=functions, backend=backend, options=options
+        )
+
+    def replay(self, requests, timeout=None):
+        """Submit every ``(expression, instance)`` pair; gather in order.
+
+        The whole stream is enqueued before the first result is awaited —
+        the serving shape the engine optimizes for — and the results come
+        back in input order, entrywise identical to evaluating each request
+        sequentially.  A request that fails re-raises its exception here.
+        """
+        futures = self.engine.submit_many(requests)
+        return [future.result(timeout) for future in futures]
+
+    def stats(self):
+        """The engine's telemetry snapshot (see :class:`EngineStatsSnapshot`)."""
+        return self.engine.stats()
+
+    def close(self):
+        self.engine.shutdown(wait=True)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        self.close()
 
 
 @dataclass

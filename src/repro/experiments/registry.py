@@ -170,6 +170,18 @@ _EXPERIMENTS: Tuple[ExperimentInfo, ...] = (
         ),
         "benchmarks/bench_p05_optimizer.py",
     ),
+    ExperimentInfo(
+        "P6",
+        "Reproduction-specific",
+        "Concurrent query service: micro-batched serving versus sequential evaluation",
+        (
+            "repro.service.engine",
+            "repro.service.batching",
+            "repro.service.stats",
+            "repro.experiments.harness",
+        ),
+        "benchmarks/bench_p06_service.py",
+    ),
 )
 
 EXPERIMENTS: Dict[str, ExperimentInfo] = {info.identifier: info for info in _EXPERIMENTS}

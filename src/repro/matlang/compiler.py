@@ -46,6 +46,7 @@ benchmarks) can assert that re-evaluation performs no re-lowering.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict, namedtuple
 from dataclasses import dataclass, replace
 from typing import Any, Dict, List, Optional, Tuple
@@ -452,25 +453,33 @@ PlanCacheInfo = namedtuple("PlanCacheInfo", "hits misses size capacity")
 
 _PLAN_CACHE: "OrderedDict[Tuple[Expression, Tuple], Plan]" = OrderedDict()
 _PLAN_CACHE_CAPACITY = 512
+#: Guards the cache dict *and* the counters: the get / move-to-end /
+#: insert / evict sequences and the info snapshot race under concurrent
+#: compilation (the service engine compiles on every submitter thread).
+#: An RLock so a registered trace hook calling ``plan_cache_info`` from
+#: inside a compile cannot deadlock.
+_PLAN_CACHE_LOCK = threading.RLock()
 _hits = 0
 _misses = 0
 
 
 def _cache_lookup(key) -> Optional[Plan]:
     global _hits
-    plan = _PLAN_CACHE.get(key)
-    if plan is not None:
-        _hits += 1
-        _PLAN_CACHE.move_to_end(key)
-    return plan
+    with _PLAN_CACHE_LOCK:
+        plan = _PLAN_CACHE.get(key)
+        if plan is not None:
+            _hits += 1
+            _PLAN_CACHE.move_to_end(key)
+        return plan
 
 
 def _cache_store(key, plan: Plan) -> None:
     global _misses
-    _misses += 1
-    _PLAN_CACHE[key] = plan
-    while len(_PLAN_CACHE) > _PLAN_CACHE_CAPACITY:
-        _PLAN_CACHE.popitem(last=False)
+    with _PLAN_CACHE_LOCK:
+        _misses += 1
+        _PLAN_CACHE[key] = plan
+        while len(_PLAN_CACHE) > _PLAN_CACHE_CAPACITY:
+            _PLAN_CACHE.popitem(last=False)
 
 
 def compile_expression(
@@ -523,13 +532,23 @@ def compile_typed(
 
 
 def plan_cache_info() -> PlanCacheInfo:
-    """Hit / miss counters and current size of the module-level plan cache."""
-    return PlanCacheInfo(_hits, _misses, len(_PLAN_CACHE), _PLAN_CACHE_CAPACITY)
+    """Hit / miss counters and current size of the module-level plan cache.
+
+    The snapshot is atomic: hits, misses and size are read under the cache
+    lock, so concurrent compilations can never produce a torn reading
+    (e.g. a size that already includes an insert whose miss is missing).
+    Every ``compile_expression`` / ``compile_typed`` call that consulted the
+    cache counts exactly once — ``hits + misses`` equals the number of
+    cache-consulting compilations regardless of thread interleaving.
+    """
+    with _PLAN_CACHE_LOCK:
+        return PlanCacheInfo(_hits, _misses, len(_PLAN_CACHE), _PLAN_CACHE_CAPACITY)
 
 
 def clear_plan_cache() -> None:
     """Empty the plan cache and reset the counters (used by tests)."""
     global _hits, _misses
-    _PLAN_CACHE.clear()
-    _hits = 0
-    _misses = 0
+    with _PLAN_CACHE_LOCK:
+        _PLAN_CACHE.clear()
+        _hits = 0
+        _misses = 0

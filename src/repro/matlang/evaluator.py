@@ -484,12 +484,203 @@ def _batch_chunk_size(instance: Instance) -> int:
     return max(1, BATCH_CHUNK_ENTRY_BUDGET // largest)
 
 
+# ----------------------------------------------------------------------
+# Ragged-bucket merging (padded batching)
+# ----------------------------------------------------------------------
+#: Plan opcodes through which zero-padding commutes: embedding every input
+#: as the top-left block of a larger matrix (padding with the semiring
+#: zero) yields outputs that are the same embedding of the unpadded
+#: outputs.  This holds exactly when each op only *combines* values —
+#: padding rows/columns contribute semiring zeros, which are neutral for
+#: the sum and annihilating for the product.  Ops that *construct* entries
+#: from dimensions (``ones``, ``identity_*``), count iterations (``loop``,
+#: ``nsum``, ``power``, ``hadamard_power``), multiply along the diagonal
+#: (``diag_product`` — a padded zero annihilates it) or apply arbitrary
+#: pointwise functions (``apply`` — ``f(0)`` need not be ``0``) are
+#: excluded: plans containing them never merge ragged buckets.
+_PADDING_SAFE_OPCODES = frozenset(
+    {
+        "load",
+        "const",
+        "transpose",
+        "diag",
+        "matmul",
+        "add",
+        "hadamard",
+        "scale",
+        "row_sums",
+        "col_sums",
+        "trace",
+        "diag_of_diag",
+    }
+)
+
+#: Largest tolerated padded-entries / true-entries ratio per instance
+#: matrix when merging near-miss buckets: a 15-node instance pads into a
+#: 17-node batch (ratio ~1.28) and one kernel call serves the whole sweep,
+#: while an 8-node instance never pads into a 16-node batch (ratio 4) —
+#: there the wasted kernel work would outweigh the saved dispatch.
+RAGGED_PAD_LIMIT = 2.0
+
+
+def _padding_safe(plan) -> bool:
+    """Whether ``plan`` tolerates zero-padded instances (see above)."""
+    result_type = plan.ops[plan.result].type
+    if result_type is None:
+        return False
+    return all(op.opcode in _PADDING_SAFE_OPCODES for op in plan.walk_ops())
+
+
+def _result_shape(plan, instance) -> tuple:
+    """The concrete result shape of ``plan`` on the *unpadded* instance."""
+    row_symbol, col_symbol = plan.ops[plan.result].type
+
+    def resolve(symbol: str) -> int:
+        if symbol.startswith("?"):
+            # Same square-schema fallback as the executors (_Runtime.dimension).
+            non_scalar = sorted(
+                name for name in instance.dimensions if name != "1"
+            )
+            if len(non_scalar) == 1:
+                return instance.dimension(non_scalar[0])
+            raise EvaluationError(
+                "cannot determine the padded result shape: the size symbol is "
+                "unconstrained"
+            )
+        return instance.dimension(symbol)
+
+    return (resolve(row_symbol), resolve(col_symbol))
+
+
+class _PaddedInstance:
+    """A read-only view of an instance zero-padded to larger dimensions.
+
+    Presents the :class:`Instance` protocol the batch executor consumes
+    (``semiring``, ``schema``, ``dimensions``, ``dimension``, ``shape_of``,
+    ``matrix``) with every matrix embedded as the top-left block of a
+    ``target``-sized matrix whose remaining entries are the semiring zero.
+    Padded matrices are built lazily and cached per variable.
+    """
+
+    __slots__ = ("instance", "dimensions", "semiring", "schema", "_padded")
+
+    def __init__(self, instance, target: Dict[str, int]) -> None:
+        self.instance = instance
+        self.semiring = instance.semiring
+        self.schema = instance.schema
+        self.dimensions = dict(target)
+        self._padded: Dict[str, np.ndarray] = {}
+
+    def dimension(self, symbol: str) -> int:
+        if symbol == "1":
+            return 1
+        try:
+            return self.dimensions[symbol]
+        except KeyError:
+            return self.instance.dimension(symbol)
+
+    def shape_of(self, name: str) -> tuple:
+        row_symbol, col_symbol = self.schema.size(name)
+        return (self.dimension(row_symbol), self.dimension(col_symbol))
+
+    def matrix(self, name: str) -> np.ndarray:
+        padded = self._padded.get(name)
+        if padded is not None:
+            return padded
+        matrix = self.instance.matrix(name)
+        rows, cols = self.shape_of(name)
+        if matrix.shape == (rows, cols):
+            padded = matrix
+        else:
+            padded = np.full((rows, cols), self.semiring.zero, dtype=matrix.dtype)
+            padded[: matrix.shape[0], : matrix.shape[1]] = matrix
+        self._padded[name] = padded
+        return padded
+
+
+def _pad_inflation(instance, target: Dict[str, int]) -> float:
+    """Worst padded-entries / true-entries ratio across instance matrices."""
+
+    def resolve(symbol: str, dims) -> int:
+        return 1 if symbol == "1" else dims[symbol]
+
+    worst = 1.0
+    for name in instance.schema.variables():
+        row_symbol, col_symbol = instance.schema.size(name)
+        true_entries = instance.dimension(row_symbol) * instance.dimension(col_symbol)
+        padded_entries = resolve(row_symbol, target) * resolve(col_symbol, target)
+        if true_entries:
+            worst = max(worst, padded_entries / true_entries)
+    return worst
+
+
+def _merge_ragged_buckets(buckets, instances):
+    """Fold near-miss dimension buckets into padded groups.
+
+    ``buckets`` maps ``(semiring name, sorted dimension items)`` to input
+    positions.  Buckets sharing a semiring and a dimension-symbol set are
+    clustered greedily from the largest down: each cluster pads to its
+    per-symbol maximum, and a bucket joins only while every member's
+    padding inflation stays within :data:`RAGGED_PAD_LIMIT` of the
+    cluster's (possibly enlarged) target — so one oversized outlier forms
+    its own cluster instead of pricing the genuine near-misses out of
+    merging (15/16/17/40 becomes ``{40}`` plus one padded ``{15,16,17}``
+    batch).  Returns a list of ``(positions, target-dims-or-None)``
+    groups; ``None`` means "execute unpadded" (the group already agrees on
+    every dimension).
+    """
+    by_shape: "OrderedDict[Any, List]" = OrderedDict()
+    for (semiring_name, dims), positions in buckets.items():
+        symbols = tuple(symbol for symbol, _ in dims)
+        by_shape.setdefault((semiring_name, symbols), []).append((dims, positions))
+
+    groups: List = []
+    for (_, symbols), members in by_shape.items():
+        if len(members) == 1:
+            groups.append((members[0][1], None))
+            continue
+        # Largest first, so a cluster's seed usually dominates its target
+        # and smaller near-misses fold in underneath it.
+        remaining = sorted(
+            members,
+            key=lambda member: tuple(value for _, value in member[0]),
+            reverse=True,
+        )
+        while remaining:
+            seed_dims, seed_positions = remaining.pop(0)
+            cluster = [(seed_dims, seed_positions)]
+            target = dict(seed_dims)
+            survivors: List = []
+            for dims, positions in remaining:
+                candidate = {
+                    symbol: max(target[symbol], value)
+                    for symbol, value in dims
+                }
+                members_fit = all(
+                    _pad_inflation(instances[member_positions[0]], candidate)
+                    <= RAGGED_PAD_LIMIT
+                    for _, member_positions in cluster
+                ) and _pad_inflation(instances[positions[0]], candidate) <= RAGGED_PAD_LIMIT
+                if members_fit:
+                    cluster.append((dims, positions))
+                    target = candidate
+                else:
+                    survivors.append((dims, positions))
+            remaining = survivors
+            merged_positions = [
+                position for _, positions in cluster for position in positions
+            ]
+            groups.append((merged_positions, target if len(cluster) > 1 else None))
+    return groups
+
+
 def run_plan_batch(
     plan,
     instances,
     functions: FunctionRegistry,
     chunk_size: Optional[int] = None,
     stack_cache: Optional[StackCache] = None,
+    ragged: bool = True,
 ) -> List[np.ndarray]:
     """Execute a compiled plan over many instances with batched kernels.
 
@@ -501,9 +692,24 @@ def run_plan_batch(
     back in input order, one defensive copy per instance — entrywise
     identical to running the plan per instance on the dense backend.
 
+    With ``ragged`` (the default), *near-miss* buckets — same semiring,
+    same dimension symbols, sizes within :data:`RAGGED_PAD_LIMIT` of the
+    group maximum — are additionally merged into one padded batch when the
+    plan's op mix tolerates it (see :data:`_PADDING_SAFE_OPCODES`): every
+    instance is embedded as the top-left block of a group-maximum matrix
+    padded with the semiring zero, the batch executes once, and each result
+    is sliced back to its true shape.  A 15/16/17-node sweep then runs as
+    one kernel call instead of three.  Over exact semirings padded results
+    are bitwise-identical to unpadded execution; over float64 the padded
+    zeros can regroup the kernel's reductions, so equality holds to
+    floating-point tolerance instead.  ``ragged=False`` restores strict
+    bucket-per-signature execution.
+
     ``stack_cache`` (a :class:`~repro.matlang.ir.StackCache`) carries the
     stacked input arrays across calls: repeated sweeps over the same
-    instance objects skip the per-call re-stacking entirely.
+    instance objects skip the per-call re-stacking entirely.  Padded
+    groups bypass the cache (their padded views are rebuilt per call, so
+    entries could never hit).
     """
     from repro.semiring.backends import BatchedDenseBackend
 
@@ -513,8 +719,20 @@ def run_plan_batch(
     for position, instance in enumerate(instances):
         key = (instance.semiring.name, tuple(sorted(instance.dimensions.items())))
         buckets.setdefault(key, []).append(position)
-    for positions in buckets.values():
-        representative = instances[positions[0]]
+    if ragged and len(buckets) > 1 and _padding_safe(plan):
+        groups = _merge_ragged_buckets(buckets, instances)
+    else:
+        groups = [(positions, None) for positions in buckets.values()]
+    for positions, target in groups:
+        if target is None:
+            batch_instances = [instances[position] for position in positions]
+            cache = stack_cache
+        else:
+            batch_instances = [
+                _PaddedInstance(instances[position], target) for position in positions
+            ]
+            cache = None
+        representative = batch_instances[0]
         limit = chunk_size if chunk_size is not None else _batch_chunk_size(representative)
         if limit < 1:
             raise EvaluationError(f"batch chunk size must be positive, got {limit!r}")
@@ -524,13 +742,17 @@ def run_plan_batch(
             value = execute_plan_batch(
                 plan,
                 backend,
-                [instances[position] for position in chunk],
+                batch_instances[start : start + limit],
                 functions,
-                stack_cache=stack_cache,
+                stack_cache=cache,
             )
             stacked = backend.to_dense(value)
             for offset, position in enumerate(chunk):
-                results[position] = stacked[offset].copy()
+                if target is None:
+                    results[position] = stacked[offset].copy()
+                else:
+                    rows, cols = _result_shape(plan, instances[position])
+                    results[position] = stacked[offset][:rows, :cols].copy()
     return results
 
 
@@ -539,14 +761,16 @@ def evaluate_batch(
     instances,
     functions: Optional[FunctionRegistry] = None,
     chunk_size: Optional[int] = None,
+    ragged: bool = True,
 ) -> List[np.ndarray]:
     """Evaluate ``expression`` over a sweep of instances, batching the work.
 
     The batched counterpart of :func:`evaluate`: the expression is compiled
     once per distinct schema (through the plan cache) and executed over the
-    instances in stacked batches — see :func:`run_plan_batch`.  The sweep
-    may freely mix sizes, dimensions and semirings; bucketing keeps each
-    kernel call homogeneous and the result list matches the input order.
+    instances in stacked batches — see :func:`run_plan_batch` (including
+    its ``ragged`` near-miss bucket merging).  The sweep may freely mix
+    sizes, dimensions and semirings; bucketing keeps each kernel call
+    homogeneous and the result list matches the input order.
     """
     instances = list(instances)
     if functions is None:
@@ -558,7 +782,11 @@ def evaluate_batch(
     for positions in groups.values():
         plan = compile_expression(expression, instances[positions[0]].schema)
         outputs = run_plan_batch(
-            plan, [instances[position] for position in positions], functions, chunk_size
+            plan,
+            [instances[position] for position in positions],
+            functions,
+            chunk_size,
+            ragged=ragged,
         )
         for position, output in zip(positions, outputs):
             results[position] = output

@@ -66,13 +66,22 @@ sweeps accordingly.
 
 from __future__ import annotations
 
+import threading
+from collections import namedtuple
 from dataclasses import dataclass
 from typing import Any, List, Optional, Tuple
 
 from repro.exceptions import EvaluationError
 from repro.matlang.schema import MatrixType
 
-__all__ = ["Plan", "PlanOp", "StackCache", "execute_plan", "execute_plan_batch"]
+__all__ = [
+    "Plan",
+    "PlanOp",
+    "StackCache",
+    "StackCacheInfo",
+    "execute_plan",
+    "execute_plan_batch",
+]
 
 #: Opcodes whose semantics replace a whole Python-level loop with a single
 #: backend call (emitted by :mod:`repro.matlang.rewrites`).
@@ -435,6 +444,10 @@ class _BatchRuntime(_Runtime):
         return value
 
 
+#: Atomic snapshot of a :class:`StackCache` (see :meth:`StackCache.info`).
+StackCacheInfo = namedtuple("StackCacheInfo", "hits misses size bytes capacity")
+
+
 class StackCache:
     """A bounded cross-call cache of stacked instance-matrix inputs.
 
@@ -447,6 +460,12 @@ class StackCache:
     ``BATCH_CHUNK_ENTRY_BUDGET``), and each entry also pins its source
     instances, so a workload sweeping ever-fresh large batches must shed old
     stacks instead of accumulating gigabytes.
+
+    The cache is thread-safe: lookup, store and the :meth:`info` snapshot
+    each run under one lock, so concurrent batch executions (the service
+    engine dispatches from its scheduler while callers may also run
+    ``run_batch`` directly) can share a cache without lost updates to the
+    entries, the byte accounting or the hit / miss counters.
     """
 
     #: Default cap on the summed sizes of the cached stacks (256 MiB):
@@ -467,39 +486,50 @@ class StackCache:
         self.misses = 0
         self._bytes = 0
         self._entries: "OrderedDict[Tuple, Tuple[Any, Any]]" = OrderedDict()
+        self._lock = threading.RLock()
 
     @staticmethod
     def _size_of(value: Any) -> int:
         return int(getattr(value, "nbytes", 0))
 
     def lookup(self, name: str, token: Tuple, instances: Any) -> Optional[Any]:
-        entry = self._entries.get((name, token))
-        if entry is not None and all(
-            cached is live for cached, live in zip(entry[0], instances)
-        ):
-            self.hits += 1
-            self._entries.move_to_end((name, token))
-            return entry[1]
-        self.misses += 1
-        return None
+        with self._lock:
+            entry = self._entries.get((name, token))
+            if entry is not None and all(
+                cached is live for cached, live in zip(entry[0], instances)
+            ):
+                self.hits += 1
+                self._entries.move_to_end((name, token))
+                return entry[1]
+            self.misses += 1
+            return None
 
     def store(self, name: str, token: Tuple, instances: Any, value: Any) -> None:
         size = self._size_of(value)
         if size > self.byte_budget:
             return  # a single over-budget stack is never worth pinning
-        previous = self._entries.pop((name, token), None)
-        if previous is not None:
-            self._bytes -= self._size_of(previous[1])
-        self._entries[(name, token)] = (tuple(instances), value)
-        self._bytes += size
-        while self._entries and (
-            len(self._entries) > self.capacity or self._bytes > self.byte_budget
-        ):
-            _, (_, evicted) = self._entries.popitem(last=False)
-            self._bytes -= self._size_of(evicted)
+        with self._lock:
+            previous = self._entries.pop((name, token), None)
+            if previous is not None:
+                self._bytes -= self._size_of(previous[1])
+            self._entries[(name, token)] = (tuple(instances), value)
+            self._bytes += size
+            while self._entries and (
+                len(self._entries) > self.capacity or self._bytes > self.byte_budget
+            ):
+                _, (_, evicted) = self._entries.popitem(last=False)
+                self._bytes -= self._size_of(evicted)
+
+    def info(self) -> StackCacheInfo:
+        """Counters, entry count and retained bytes, read atomically."""
+        with self._lock:
+            return StackCacheInfo(
+                self.hits, self.misses, len(self._entries), self._bytes, self.capacity
+            )
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
 
 def execute_plan_batch(

@@ -53,6 +53,7 @@ function-selection idiom as :func:`repro.semiring.kernels.register_kernels`).
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Tuple
@@ -850,28 +851,37 @@ _BACKEND_FACTORIES: Dict[str, BackendFactory] = {
     "sparse": _sparse_backend,
 }
 
+#: Guards the factory registry: backend selection runs on every thread the
+#: service engine serves, and an unsynchronized check-then-insert in
+#: :func:`register_backend` (or a registration racing a lookup) could lose
+#: an installation or observe a half-updated registry.
+_BACKEND_REGISTRY_LOCK = threading.RLock()
+
 
 def register_backend(name: str, factory: BackendFactory, overwrite: bool = False) -> None:
     """Install ``factory`` as the execution backend named ``name``."""
-    if name in _BACKEND_FACTORIES and not overwrite:
-        raise SemiringError(f"execution backend {name!r} is already registered")
-    _BACKEND_FACTORIES[name] = factory
+    with _BACKEND_REGISTRY_LOCK:
+        if name in _BACKEND_FACTORIES and not overwrite:
+            raise SemiringError(f"execution backend {name!r} is already registered")
+        _BACKEND_FACTORIES[name] = factory
 
 
 def available_backends() -> tuple:
     """Names of all registered execution backends, sorted."""
-    return tuple(sorted(_BACKEND_FACTORIES))
+    with _BACKEND_REGISTRY_LOCK:
+        return tuple(sorted(_BACKEND_FACTORIES))
 
 
 def backend_for(semiring: Semiring, name: str = "dense") -> ExecutionBackend:
     """Instantiate the execution backend called ``name`` for ``semiring``."""
-    try:
-        factory = _BACKEND_FACTORIES[name]
-    except KeyError:
-        known = ", ".join(available_backends())
-        raise SemiringError(
-            f"unknown execution backend {name!r}; known backends: {known}"
-        ) from None
+    with _BACKEND_REGISTRY_LOCK:
+        try:
+            factory = _BACKEND_FACTORIES[name]
+        except KeyError:
+            known = ", ".join(sorted(_BACKEND_FACTORIES))
+            raise SemiringError(
+                f"unknown execution backend {name!r}; known backends: {known}"
+            ) from None
     return factory(semiring)
 
 

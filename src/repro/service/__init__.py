@@ -1,0 +1,36 @@
+"""The concurrent query service: a micro-batching serving layer.
+
+This package is the front door for concurrent evaluation traffic: an
+:class:`~repro.service.engine.Engine` accepts independent
+``(expression, instance)`` requests from many threads, and its scheduler
+coalesces requests that share a compiled plan, semiring and dimension
+signature into single stacked kernel calls — turning the batched execution
+layer (PR 3) from an API one caller uses on a list into a property of the
+whole system under concurrent load.
+
+* :mod:`repro.service.engine` — the engine: submission API, the scheduler
+  thread, physical-selection-aware dispatch and the per-instance fallback.
+* :mod:`repro.service.batching` — request intake: the coalescing policy
+  knobs, the backpressured queue and micro-batch formation.
+* :mod:`repro.service.stats` — serving telemetry: queue depth, coalesce
+  ratio, p50/p95 latency and throughput as atomic snapshots.
+"""
+
+from repro.service.batching import (
+    CoalescingPolicy,
+    QueryFuture,
+    QueryRequest,
+    RequestQueue,
+)
+from repro.service.engine import Engine
+from repro.service.stats import EngineStats, EngineStatsSnapshot
+
+__all__ = [
+    "CoalescingPolicy",
+    "Engine",
+    "EngineStats",
+    "EngineStatsSnapshot",
+    "QueryFuture",
+    "QueryRequest",
+    "RequestQueue",
+]

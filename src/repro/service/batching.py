@@ -1,0 +1,297 @@
+"""Request intake and micro-batch formation for the query service.
+
+The service splits serving into *intake* (this module) and *execution*
+(:mod:`repro.service.engine`), the dispatcher/scheduler separation used by
+real serving systems: submitters append :class:`QueryRequest` records to a
+:class:`RequestQueue` and go wait on their futures, while the scheduler
+thread drains the queue and folds the drained requests into
+:class:`DispatchGroup` batches.
+
+Two requests coalesce into the same group when they would run the **same
+plan** over instances that agree on semiring and dimension assignment —
+exactly the precondition of :func:`repro.matlang.ir.execute_plan_batch`,
+which then executes the whole group as one stacked kernel call.  Everything
+else about a request (which thread submitted it, when, for which tenant) is
+irrelevant to correctness, so the group key is just::
+
+    (plan identity, semiring identity, dimension signature)
+
+Plan identity is object identity: the compiler's plan cache returns one
+plan object per ``(expression, schema, options)`` key, so concurrent
+requests for the same query share the plan object and therefore the group.
+A cache eviction between two submissions merely yields two groups — less
+coalescing, never a wrong result.
+
+:class:`CoalescingPolicy` carries the tunable knobs: how long the scheduler
+waits for stragglers once work is pending (``max_delay``), how many
+requests it drains per scheduling round (``max_batch``), and how deep the
+intake queue may grow before ``submit`` blocks for backpressure
+(``max_pending``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+__all__ = [
+    "CoalescingPolicy",
+    "DispatchGroup",
+    "QueryFuture",
+    "QueryRequest",
+    "RequestQueue",
+]
+
+
+class QueryFuture:
+    """A lightweight future for one submitted request.
+
+    The standard-library :class:`concurrent.futures.Future` allocates its
+    own condition variable per instance — tens of microseconds each, which
+    at serving rates costs more than executing the query.  This future
+    instead shares **one** engine-wide condition: completions notify it, and
+    waiters re-check their own flag.  The visible API is the familiar
+    subset — :meth:`done`, :meth:`result`, :meth:`exception` — with the
+    same semantics (``result`` re-raises the request's exception,
+    ``TimeoutError`` on expiry).
+    """
+
+    __slots__ = ("_condition", "_finished", "_result", "_error")
+
+    def __init__(self, condition: threading.Condition) -> None:
+        self._condition = condition
+        self._finished = False
+        self._result: Any = None
+        self._error: Optional[BaseException] = None
+
+    def done(self) -> bool:
+        return self._finished
+
+    def _wait(self, timeout: Optional[float]) -> None:
+        if self._finished:
+            return
+        with self._condition:
+            if not self._condition.wait_for(lambda: self._finished, timeout):
+                raise TimeoutError("the request has not completed yet")
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        """The request's result, blocking until it resolves."""
+        self._wait(timeout)
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def exception(self, timeout: Optional[float] = None) -> Optional[BaseException]:
+        """The request's exception (or ``None``), blocking until resolved."""
+        self._wait(timeout)
+        return self._error
+
+    def _finish(self, result: Any, error: Optional[BaseException]) -> bool:
+        """Resolve once; returns whether this call did the transition."""
+        with self._condition:
+            resolved = self._finish_locked(result, error)
+            if resolved:
+                self._condition.notify_all()
+            return resolved
+
+    def _finish_locked(self, result: Any, error: Optional[BaseException]) -> bool:
+        """Resolve without notifying; the caller holds the shared condition.
+
+        Lets the engine resolve a whole dispatched chunk under one condition
+        acquisition and wake waiters once, instead of paying a lock round
+        trip and a broadcast per request.
+        """
+        if self._finished:
+            return False
+        self._result = result
+        self._error = error
+        self._finished = True
+        return True
+
+
+@dataclass(frozen=True)
+class CoalescingPolicy:
+    """Tunable micro-batching knobs of the engine's scheduler.
+
+    ``max_delay``
+        Seconds the scheduler lingers after finding work, giving concurrent
+        submitters time to land requests into the same batch.  ``0`` turns
+        the engine into a pure pass-through (dispatch whatever is there).
+        The delay bounds added latency: a request waits at most
+        ``max_delay`` beyond its own execution time before dispatch starts.
+    ``max_batch``
+        Most requests drained per scheduling round, and therefore the
+        largest stacked batch one group can reach before it is split into
+        chunks.  Also the memory bound together with the executor's
+        entry-budget chunking.
+    ``max_pending``
+        Intake queue bound; ``submit`` blocks once this many requests are
+        waiting (backpressure instead of unbounded buffering).
+    """
+
+    max_delay: float = 0.002
+    max_batch: int = 256
+    max_pending: int = 8192
+
+    def __post_init__(self) -> None:
+        if self.max_delay < 0:
+            raise ValueError(f"max_delay must be >= 0, got {self.max_delay!r}")
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch!r}")
+        if self.max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {self.max_pending!r}")
+
+
+class QueryRequest:
+    """One submitted evaluation: a compiled plan, an instance, a future."""
+
+    __slots__ = ("plan", "instance", "future", "submitted_at", "sequence")
+
+    def __init__(
+        self, plan: Any, instance: Any, future: QueryFuture, submitted_at: float
+    ) -> None:
+        self.plan = plan
+        self.instance = instance
+        self.future = future
+        #: ``time.perf_counter()`` at submission, for latency telemetry.
+        self.submitted_at = submitted_at
+        #: Sequence number preserving submission order inside a group.
+        self.sequence = 0
+
+    def group_key(self) -> Tuple:
+        """The coalescing identity (see the module docstring)."""
+        dimensions = tuple(sorted(self.instance.dimensions.items()))
+        return (id(self.plan), id(self.instance.semiring), dimensions)
+
+
+@dataclass
+class DispatchGroup:
+    """Requests that can execute as one stacked kernel call."""
+
+    plan: Any
+    requests: List[QueryRequest] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    @property
+    def instances(self) -> List[Any]:
+        return [request.instance for request in self.requests]
+
+
+def coalesce(requests: List[QueryRequest]) -> List[DispatchGroup]:
+    """Fold drained requests into dispatch groups, preserving intake order.
+
+    Groups come back in order of their earliest member, and members keep
+    their submission order inside the group, so a drained burst executes in
+    a deterministic order regardless of how threads interleaved at intake.
+    """
+    groups: "OrderedDict[Tuple, DispatchGroup]" = OrderedDict()
+    for request in requests:
+        key = request.group_key()
+        group = groups.get(key)
+        if group is None:
+            groups[key] = group = DispatchGroup(plan=request.plan)
+        group.requests.append(request)
+    return list(groups.values())
+
+
+class RequestQueue:
+    """A condition-synchronized FIFO intake queue with backpressure.
+
+    ``put`` blocks while the queue is at ``max_pending`` (so a runaway
+    submitter cannot buffer unboundedly), ``drain`` blocks the scheduler
+    until work arrives and then lingers up to the policy's ``max_delay``
+    for stragglers — the heart of micro-batching: the first request of a
+    quiet period pays at most ``max_delay`` extra latency, while a
+    concurrent burst gets folded into large stacked batches.
+    """
+
+    def __init__(self, policy: CoalescingPolicy) -> None:
+        self.policy = policy
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._items: List[QueryRequest] = []
+        self._closed = False
+        self._sequence = 0
+
+    def put(self, request: QueryRequest) -> None:
+        with self._not_full:
+            while len(self._items) >= self.policy.max_pending and not self._closed:
+                self._not_full.wait()
+            if self._closed:
+                raise RuntimeError("the request queue is closed")
+            request.sequence = self._sequence
+            self._sequence += 1
+            self._items.append(request)
+            self._not_empty.notify()
+
+    def put_many(self, requests: List[QueryRequest]) -> int:
+        """Enqueue a pre-built burst under one lock acquisition.
+
+        Appends as much of the burst as backpressure allows per round
+        (waiting for the scheduler to drain when the queue is full) and
+        wakes the scheduler once per round instead of once per request.
+        Returns the number of requests accepted — the full burst unless the
+        queue was closed mid-way, in which case the un-accepted suffix is
+        the caller's to reject.
+        """
+        index = 0
+        with self._not_full:
+            while index < len(requests):
+                if self._closed:
+                    break
+                space = self.policy.max_pending - len(self._items)
+                if space <= 0:
+                    self._not_full.wait()
+                    continue
+                accepted = requests[index : index + space]
+                for request in accepted:
+                    request.sequence = self._sequence
+                    self._sequence += 1
+                self._items.extend(accepted)
+                index += len(accepted)
+                self._not_empty.notify()
+        return index
+
+    def drain(self, max_batch: Optional[int] = None) -> List[QueryRequest]:
+        """Blockingly take up to ``max_batch`` requests (all pending by default).
+
+        Returns an empty list only when the queue is closed and empty —
+        the scheduler's termination signal.
+        """
+        limit = max_batch if max_batch is not None else self.policy.max_batch
+        deadline: Optional[float] = None
+        with self._not_empty:
+            while not self._items:
+                if self._closed:
+                    return []
+                self._not_empty.wait()
+            # Work exists: linger for stragglers unless the batch is already
+            # full or the engine is shutting down (then drain immediately).
+            if self.policy.max_delay > 0 and not self._closed:
+                deadline = time.perf_counter() + self.policy.max_delay
+                while len(self._items) < limit and not self._closed:
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0:
+                        break
+                    self._not_empty.wait(timeout=remaining)
+            taken = self._items[:limit]
+            del self._items[:limit]
+            self._not_full.notify_all()
+            return taken
+
+    def close(self) -> None:
+        """Stop accepting requests; pending ones will still be drained."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)

@@ -1,0 +1,425 @@
+"""The concurrent query engine: micro-batched serving over compiled plans.
+
+:class:`Engine` is the serving front door of the reproduction: many threads
+call :meth:`Engine.submit` / :meth:`Engine.submit_many` with independent
+``(expression, instance)`` requests and get :class:`concurrent.futures.Future`
+results back, while a single scheduler thread drains the intake queue and
+**coalesces** concurrent requests that share a compiled plan, a semiring and
+a dimension signature into one stacked kernel call
+(:func:`repro.matlang.ir.execute_plan_batch`).  The Python dispatch cost of
+plan execution — the dominant cost of small-instance traffic — is thereby
+paid once per coalesced group instead of once per request, which is the same
+move the batched sweep API (PR 3) makes, lifted from "one caller with a
+list" to "many callers with one request each".
+
+Correctness contract
+--------------------
+Results are **bitwise-equal** to evaluating each request sequentially with
+:func:`repro.matlang.evaluator.evaluate`:
+
+* batched dense execution is bitwise-equal to per-instance dense execution
+  (the PR 3 invariant, asserted across every registered semiring);
+* requests whose adaptive physical selection is *not* the dense backend
+  (sparse boolean / tropical instances) never join a stacked batch — they
+  fall back to per-instance execution on exactly the backend
+  :func:`repro.semiring.backends.select_backend` picks, so the engine's
+  answer matches the single-caller answer backend-for-backend;
+* a request that raises (bad schema, carrier violation, overflow) delivers
+  its exception through its own future without poisoning the group: the
+  scheduler retries the group's surviving members per-instance.
+
+Scheduling
+----------
+The :class:`~repro.service.batching.CoalescingPolicy` bounds the trade
+between latency and batching: the scheduler lingers at most ``max_delay``
+seconds for stragglers once work is pending, drains at most ``max_batch``
+requests per round, and ``submit`` applies backpressure beyond
+``max_pending`` queued requests.  :meth:`Engine.stats` exposes the serving
+telemetry (queue depth, coalesce ratio, p50/p95 latency, throughput) as an
+atomic snapshot.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.service.batching import (
+    CoalescingPolicy,
+    DispatchGroup,
+    QueryFuture,
+    QueryRequest,
+    RequestQueue,
+    coalesce,
+)
+from repro.service.stats import EngineStats, EngineStatsSnapshot
+
+__all__ = ["Engine"]
+
+
+class Engine:
+    """A thread-safe serving engine over the compile-then-execute pipeline.
+
+    Parameters
+    ----------
+    policy:
+        The :class:`~repro.service.batching.CoalescingPolicy`; defaults to a
+        2 ms straggler window, 256-request rounds and an 8192-deep queue.
+    functions:
+        Pointwise-function registry shared by all requests (defaults to the
+        paper's registry, like the evaluator).
+    backend:
+        ``None`` / ``"auto"`` (the default) runs per-request adaptive
+        physical planning, exactly like ``evaluate``; a concrete name pins
+        every request to that backend (``"dense"`` keeps batching, anything
+        else forces the per-instance path).
+    options:
+        Optional :class:`~repro.matlang.compiler.OptimizationOptions`
+        applied to every compilation this engine performs.
+
+    The engine owns one daemon scheduler thread; use it as a context
+    manager (or call :meth:`shutdown`) to drain and stop deterministically.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[CoalescingPolicy] = None,
+        functions: Any = None,
+        backend: Any = None,
+        options: Any = None,
+    ) -> None:
+        from repro.matlang.functions import default_registry
+        from repro.matlang.ir import StackCache
+
+        self.policy = policy if policy is not None else CoalescingPolicy()
+        self.functions = functions if functions is not None else default_registry()
+        self.backend_request = backend
+        self.options = options
+        self._stats = EngineStats()
+        self._queue = RequestQueue(self.policy)
+        #: Stacked inputs shared across dispatches (thread-safe; see
+        #: :class:`repro.matlang.ir.StackCache`): a hot instance set served
+        #: repeatedly re-stacks nothing.
+        self._stack_cache = StackCache()
+        #: Dense backends per semiring identity (the semiring is pinned in
+        #: the value so its id cannot be recycled while cached).  Only the
+        #: scheduler thread touches this.
+        self._dense_backends: Dict[int, Tuple[Any, Any]] = {}
+        self._shutdown = False
+        self._shutdown_lock = threading.Lock()
+        #: One condition shared by every future this engine hands out (see
+        #: :class:`repro.service.batching.QueryFuture`).
+        self._result_condition = threading.Condition()
+        #: Expression-identity plan memo in front of the module plan cache:
+        #: the module cache is keyed on structural equality and re-hashes
+        #: the whole expression tree per lookup, which at serving rates is
+        #: the single largest per-submit cost.  Keying on ``id(expression)``
+        #: plus the schema signature makes repeat submissions O(1); the
+        #: expression is pinned in the value so its id cannot be recycled.
+        self._plan_memo: Dict[Tuple[int, Tuple], Tuple[Any, Any]] = {}
+        self._plan_memo_lock = threading.Lock()
+        self._scheduler = threading.Thread(
+            target=self._run_scheduler, name="repro-service-scheduler", daemon=True
+        )
+        self._scheduler.start()
+
+    # ------------------------------------------------------------------
+    # Submission API (any thread)
+    # ------------------------------------------------------------------
+    def submit(self, expression: Any, instance: Any) -> QueryFuture:
+        """Enqueue one evaluation; returns a future resolving to the result.
+
+        Compilation happens on the submitting thread (the plan cache makes
+        repeats cheap and is lock-protected), so typing errors surface
+        through the future immediately instead of occupying the scheduler.
+        """
+        future = QueryFuture(self._result_condition)
+        request = self._build_request(expression, instance, future)
+        if request is not None:
+            self._enqueue([request])
+        return future
+
+    def submit_many(self, requests: Iterable[Tuple[Any, Any]]) -> List[QueryFuture]:
+        """Enqueue a burst of ``(expression, instance)`` pairs.
+
+        The burst is compiled first and enqueued in one queue sweep, which
+        both minimises per-request synchronization cost and gives the
+        scheduler the best possible shot at coalescing the burst into large
+        stacked batches.  Futures come back in input order.
+        """
+        futures: List[QueryFuture] = []
+        built: List[QueryRequest] = []
+        for expression, instance in requests:
+            future = QueryFuture(self._result_condition)
+            futures.append(future)
+            request = self._build_request(expression, instance, future)
+            if request is not None:
+                built.append(request)
+        self._enqueue(built)
+        return futures
+
+    def evaluate(self, expression: Any, instance: Any) -> Any:
+        """Synchronous convenience wrapper: submit and wait for the result."""
+        return self.submit(expression, instance).result()
+
+    def stats(self) -> EngineStatsSnapshot:
+        """An atomic snapshot of the serving telemetry."""
+        return self._stats.snapshot()
+
+    def stack_cache_info(self):
+        """Counters of the engine's cross-dispatch input-stacking cache."""
+        return self._stack_cache.info()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop intake; the scheduler drains pending requests, then exits.
+
+        Idempotent.  With ``wait`` (the default) the call returns once every
+        already-submitted future has resolved.
+        """
+        with self._shutdown_lock:
+            if not self._shutdown:
+                self._shutdown = True
+                self._queue.close()
+        if wait:
+            self._scheduler.join()
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # Intake helpers
+    # ------------------------------------------------------------------
+    #: Entries kept in the expression-identity plan memo; a serving mix
+    #: rarely has more live query shapes than this, and eviction only costs
+    #: a (cheap, correct) trip through the module plan cache.
+    _PLAN_MEMO_CAPACITY = 512
+
+    def _build_request(
+        self, expression: Any, instance: Any, future: QueryFuture
+    ) -> Optional[QueryRequest]:
+        from repro.matlang.compiler import compile_expression
+
+        try:
+            key = (id(expression), instance.schema.signature())
+            entry = self._plan_memo.get(key)
+            if entry is not None and entry[0] is expression:
+                plan = entry[1]
+            else:
+                plan = compile_expression(expression, instance.schema, self.options)
+                with self._plan_memo_lock:
+                    while len(self._plan_memo) >= self._PLAN_MEMO_CAPACITY:
+                        self._plan_memo.pop(next(iter(self._plan_memo)))
+                    self._plan_memo[key] = (expression, plan)
+        except Exception as error:  # typing / schema errors belong to the future
+            self._stats.record_rejected()
+            future._finish(None, error)
+            return None
+        return QueryRequest(
+            plan=plan,
+            instance=instance,
+            future=future,
+            submitted_at=time.perf_counter(),
+        )
+
+    def _enqueue(self, requests: List[QueryRequest]) -> None:
+        if not requests:
+            return
+        # Counted as submitted *before* the enqueue: the scheduler may drain
+        # and complete a request the instant it lands, and a stats snapshot
+        # taken in that window must never see completed > submitted or a
+        # negative queue depth.
+        self._stats.record_submitted(len(requests))
+        accepted = self._queue.put_many(requests)
+        rejected = requests[accepted:]
+        if rejected:
+            self._stats.record_queue_rejected(len(rejected))
+            for request in rejected:
+                request.future._finish(
+                    None, RuntimeError("the request queue is closed")
+                )
+
+    # ------------------------------------------------------------------
+    # The scheduler thread
+    # ------------------------------------------------------------------
+    def _run_scheduler(self) -> None:
+        while True:
+            drained = self._queue.drain()
+            if not drained:
+                return  # queue closed and empty: clean shutdown
+            self._stats.record_dequeued(len(drained))
+            for group in coalesce(drained):
+                try:
+                    self._dispatch(group)
+                except Exception as error:  # pragma: no cover - last resort
+                    # A scheduler-level surprise must not strand futures.
+                    for request in group.requests:
+                        self._finish_error(request, error)
+
+    def _dispatch(self, group: DispatchGroup) -> None:
+        batchable: List[QueryRequest] = []
+        fallback: List[Tuple[QueryRequest, Any]] = []
+        for request in group.requests:
+            backend = self._select(request)
+            if backend is None:
+                batchable.append(request)
+            else:
+                fallback.append((request, backend))
+
+        if len(batchable) == 1:
+            # A lone dense request gains nothing from the (B=1) stacked
+            # representation; run it on the plain dense backend.
+            request = batchable.pop()
+            fallback.insert(0, (request, self._dense_backend(request.instance.semiring)))
+
+        if batchable:
+            self._dispatch_batched(group.plan, batchable)
+        for request, backend in fallback:
+            self._execute_single(group.plan, request, backend)
+
+    def _dispatch_batched(self, plan: Any, requests: List[QueryRequest]) -> None:
+        from repro.matlang.evaluator import _batch_chunk_size
+        from repro.matlang.ir import execute_plan_batch
+        from repro.semiring.backends import BatchedDenseBackend
+
+        representative = requests[0].instance
+        limit = max(1, min(self.policy.max_batch, _batch_chunk_size(representative)))
+        for start in range(0, len(requests), limit):
+            chunk = requests[start : start + limit]
+            if len(chunk) == 1:
+                self._execute_single(
+                    plan, chunk[0], self._dense_backend(representative.semiring)
+                )
+                continue
+            backend = BatchedDenseBackend(representative.semiring, len(chunk))
+            try:
+                value = execute_plan_batch(
+                    plan,
+                    backend,
+                    [request.instance for request in chunk],
+                    self.functions,
+                    stack_cache=self._stack_cache,
+                )
+                stacked = backend.to_dense(value)
+            except Exception:
+                # Rescue pass: one poisoned request (carrier violation,
+                # overflow) must only fail its own future — rerun the chunk
+                # per-instance so each request gets its own verdict.
+                dense = self._dense_backend(representative.semiring)
+                for request in chunk:
+                    self._execute_single(plan, request, dense)
+                continue
+            self._stats.record_dispatch(len(chunk), batched=True)
+            self._finish_chunk(chunk, stacked)
+
+    def _execute_single(self, plan: Any, request: QueryRequest, backend: Any) -> None:
+        from repro.matlang.ir import execute_plan
+
+        self._stats.record_dispatch(1, batched=False)
+        try:
+            value = execute_plan(plan, backend, request.instance, self.functions)
+            result = backend.to_dense(value).copy()
+        except Exception as error:
+            self._finish_error(request, error)
+        else:
+            self._finish_result(request, result)
+
+    # ------------------------------------------------------------------
+    # Physical selection (scheduler thread only)
+    # ------------------------------------------------------------------
+    def _select(self, request: QueryRequest) -> Optional[Any]:
+        """Pick how one request executes.
+
+        Returns ``None`` when the request should join a stacked dense batch
+        (adaptive selection lands on the dense backend, or the caller pinned
+        the ``"dense"`` *name*), and a concrete execution backend when the
+        request must run per-instance on it — a sparse adaptive selection,
+        or any other pinned backend, including pinned backend *instances*,
+        which are honoured verbatim (:func:`resolve_backend` policy).
+
+        Mirrors :meth:`repro.matlang.evaluator.Evaluator.physical` for the
+        adaptive case, with the cheap hard gates (semiring capability,
+        dimension floor) applied first so a dense-dominated stream never
+        pays the per-instance density profile.
+        """
+        from repro.semiring.backends import (
+            AUTO_SPARSE_MIN_DIMENSION,
+            SPARSE_CAPABLE_SEMIRINGS,
+            resolve_backend,
+            select_backend,
+        )
+
+        instance = request.instance
+        if self.backend_request is not None and self.backend_request != "auto":
+            if self.backend_request == "dense":
+                return None
+            return resolve_backend(instance.semiring, self.backend_request)
+        if instance.semiring.name not in SPARSE_CAPABLE_SEMIRINGS:
+            return None
+        if all(
+            dimension < AUTO_SPARSE_MIN_DIMENSION
+            for dimension in instance.dimensions.values()
+        ):
+            return None
+        selected = select_backend(request.plan, instance, None).backend
+        return None if selected.name == "dense" else selected
+
+    def _dense_backend(self, semiring: Any) -> Any:
+        from repro.semiring.backends import backend_for
+
+        cached = self._dense_backends.get(id(semiring))
+        if cached is None or cached[0] is not semiring:
+            cached = (semiring, backend_for(semiring, "dense"))
+            self._dense_backends[id(semiring)] = cached
+        return cached[1]
+
+    # ------------------------------------------------------------------
+    # Result delivery
+    # ------------------------------------------------------------------
+    # Completion statistics are recorded *before* the future flips to done
+    # (mirroring the record-submitted-before-enqueue ordering at intake): a
+    # client whose ``result()`` just returned may call ``stats()``
+    # immediately, and must never observe ``completed + failed`` lagging
+    # behind its own finished request.
+
+    def _finish_chunk(self, chunk: List[QueryRequest], stacked: Any) -> None:
+        """Resolve one dispatched chunk's futures under a single broadcast."""
+        now = time.perf_counter()
+        with self._result_condition:
+            pending = [
+                (offset, request)
+                for offset, request in enumerate(chunk)
+                if not request.future.done()
+            ]
+            self._stats.record_done_many(
+                [now - request.submitted_at for _, request in pending], failed=False
+            )
+            for offset, request in pending:
+                request.future._finish_locked(stacked[offset].copy(), None)
+            self._result_condition.notify_all()
+
+    def _finish_result(self, request: QueryRequest, result: Any) -> None:
+        with self._result_condition:
+            if request.future.done():
+                return  # already resolved by an overlapping rescue pass
+            self._stats.record_done(
+                time.perf_counter() - request.submitted_at, failed=False
+            )
+            request.future._finish_locked(result, None)
+            self._result_condition.notify_all()
+
+    def _finish_error(self, request: QueryRequest, error: BaseException) -> None:
+        with self._result_condition:
+            if request.future.done():
+                return  # already resolved by an overlapping rescue pass
+            self._stats.record_done(
+                time.perf_counter() - request.submitted_at, failed=True
+            )
+            request.future._finish_locked(None, error)
+            self._result_condition.notify_all()

@@ -1,0 +1,190 @@
+"""Throughput telemetry for the concurrent query service.
+
+:class:`EngineStats` is the engine's single mutable telemetry object: every
+counter mutation and every snapshot runs under one lock, so readers always
+see a consistent state (a completion can never be visible in ``completed``
+while its latency sample or its dispatch is still missing).  Snapshots are
+frozen :class:`EngineStatsSnapshot` values — plain data, safe to hand to
+monitoring code on any thread.
+
+The derived figures follow the usual serving-layer conventions:
+
+``coalesce_ratio``
+    Requests executed per kernel dispatch, i.e. ``completed / dispatches``.
+    ``1.0`` means no batching happened (every request ran alone); the whole
+    point of the micro-batching scheduler is to push this well above 1 on
+    concurrent streams.
+``throughput``
+    Completed requests per second of serving time, measured from the first
+    submission to the most recent completion.
+``latency_p50`` / ``latency_p95``
+    Percentiles over a bounded reservoir of the most recent per-request
+    latencies (submission to result delivery), so a long-lived engine's
+    percentiles track current behaviour instead of averaging over its whole
+    history.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional, Tuple
+
+__all__ = ["EngineStats", "EngineStatsSnapshot"]
+
+
+@dataclass(frozen=True)
+class EngineStatsSnapshot:
+    """One atomic reading of the engine's telemetry."""
+
+    #: Requests accepted by ``submit`` / ``submit_many`` so far.
+    submitted: int
+    #: Requests whose future resolved successfully.
+    completed: int
+    #: Requests whose future resolved with an exception.
+    failed: int
+    #: Requests currently waiting in the queue (not yet dispatched).
+    queue_depth: int
+    #: Kernel dispatches issued: batched group executions plus per-instance
+    #: fallback executions (each counts one).
+    dispatches: int
+    #: Requests that were served through a stacked batch of two or more.
+    batched_requests: int
+    #: Requests that ran per-instance (singleton groups, sparse-selected or
+    #: non-batchable plans, and batch-execution rescues).
+    fallback_requests: int
+    #: Finished requests per kernel dispatch (1.0 = no coalescing).
+    coalesce_ratio: float
+    #: Completed requests per second of serving time.
+    throughput: float
+    #: Median / 95th-percentile request latency in seconds over the
+    #: most recent requests (``None`` until something completed).
+    latency_p50: Optional[float]
+    latency_p95: Optional[float]
+
+    def render(self) -> str:
+        """A one-line human-readable summary (used by benchmarks / examples)."""
+        p50 = "-" if self.latency_p50 is None else f"{self.latency_p50 * 1e3:.2f}ms"
+        p95 = "-" if self.latency_p95 is None else f"{self.latency_p95 * 1e3:.2f}ms"
+        return (
+            f"served={self.completed} failed={self.failed} queued={self.queue_depth} "
+            f"dispatches={self.dispatches} coalesce={self.coalesce_ratio:.1f}x "
+            f"throughput={self.throughput:.0f}/s p50={p50} p95={p95}"
+        )
+
+
+def _percentile(sorted_values: Tuple[float, ...], fraction: float) -> float:
+    """Nearest-rank percentile of an already sorted, non-empty sample."""
+    rank = min(len(sorted_values) - 1, int(fraction * len(sorted_values)))
+    return sorted_values[rank]
+
+
+class EngineStats:
+    """Lock-guarded accumulator behind :meth:`Engine.stats`.
+
+    All mutators take the internal lock; nothing is published except through
+    :meth:`snapshot`, which also computes the derived ratios under the same
+    lock — so a snapshot can never pair counters from two different moments.
+    """
+
+    #: Latency samples retained for the percentile reservoir.  4096 recent
+    #: requests bound both memory and the per-snapshot sort while keeping
+    #: the percentiles meaningful for bursty serving workloads.
+    RESERVOIR_SIZE = 4096
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._queue_depth = 0
+        self._dispatches = 0
+        self._batched_requests = 0
+        self._fallback_requests = 0
+        self._latencies: Deque[float] = deque(maxlen=self.RESERVOIR_SIZE)
+        self._first_submit: Optional[float] = None
+        self._last_done: Optional[float] = None
+
+    # -- mutators (called by the engine) ---------------------------------
+    def record_submitted(self, count: int = 1) -> None:
+        now = time.perf_counter()
+        with self._lock:
+            self._submitted += count
+            self._queue_depth += count
+            if self._first_submit is None:
+                self._first_submit = now
+
+    def record_dequeued(self, count: int) -> None:
+        with self._lock:
+            self._queue_depth -= count
+
+    def record_rejected(self, count: int = 1) -> None:
+        """A request failed before it ever reached the queue."""
+        with self._lock:
+            self._submitted += count
+            self._failed += count
+
+    def record_queue_rejected(self, count: int) -> None:
+        """Requests counted as submitted whose enqueue was then refused."""
+        with self._lock:
+            self._queue_depth -= count
+            self._failed += count
+
+    def record_dispatch(self, requests: int, batched: bool) -> None:
+        with self._lock:
+            self._dispatches += 1
+            if batched:
+                self._batched_requests += requests
+            else:
+                self._fallback_requests += requests
+
+    def record_done(self, latency: float, failed: bool) -> None:
+        with self._lock:
+            if failed:
+                self._failed += 1
+            else:
+                self._completed += 1
+            self._latencies.append(latency)
+            self._last_done = time.perf_counter()
+
+    def record_done_many(self, latencies: list, failed: bool = False) -> None:
+        """Record a whole dispatched chunk's completions in one lock trip."""
+        if not latencies:
+            return
+        with self._lock:
+            if failed:
+                self._failed += len(latencies)
+            else:
+                self._completed += len(latencies)
+            self._latencies.extend(latencies)
+            self._last_done = time.perf_counter()
+
+    # -- reader ----------------------------------------------------------
+    def snapshot(self) -> EngineStatsSnapshot:
+        with self._lock:
+            finished = self._completed + self._failed
+            coalesce = (finished / self._dispatches) if self._dispatches else 0.0
+            elapsed = 0.0
+            if self._first_submit is not None and self._last_done is not None:
+                elapsed = self._last_done - self._first_submit
+            throughput = (self._completed / elapsed) if elapsed > 0 else 0.0
+            p50 = p95 = None
+            if self._latencies:
+                ordered = tuple(sorted(self._latencies))
+                p50 = _percentile(ordered, 0.50)
+                p95 = _percentile(ordered, 0.95)
+            return EngineStatsSnapshot(
+                submitted=self._submitted,
+                completed=self._completed,
+                failed=self._failed,
+                queue_depth=self._queue_depth,
+                dispatches=self._dispatches,
+                batched_requests=self._batched_requests,
+                fallback_requests=self._fallback_requests,
+                coalesce_ratio=coalesce,
+                throughput=throughput,
+                latency_p50=p50,
+                latency_p95=p95,
+            )

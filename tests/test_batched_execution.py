@@ -386,6 +386,189 @@ class TestSharding:
         for instance, result in zip(instances, batched):
             assert np.array_equal(result, workload.run(instance))
 
+    def test_ragged_near_miss_buckets_merge_into_one_batch(self, monkeypatch):
+        """A 15/16/17-node sweep runs as one padded kernel call."""
+        import repro.matlang.evaluator as evaluator_module
+
+        expression = ssum("_v", var("A") @ var("_v"))
+        calls = []
+        original = evaluator_module.execute_plan_batch
+
+        def counting(plan, backend, instances, functions, **kwargs):
+            calls.append(len(list(instances)))
+            return original(plan, backend, instances, functions, **kwargs)
+
+        monkeypatch.setattr(evaluator_module, "execute_plan_batch", counting)
+
+        for semiring in (BOOLEAN, MIN_PLUS, NATURAL):
+            instances = [
+                _instance_for(semiring, (15, 16, 17)[seed % 3], seed)
+                for seed in range(12)
+            ]
+            calls.clear()
+            merged = run_plan_batch(
+                compile_expression(expression, instances[0].schema),
+                instances,
+                default_registry(),
+            )
+            assert calls == [12], (
+                f"{semiring.name}: near-miss buckets must merge into one batch"
+            )
+            # Exact semirings: padded results are bitwise-identical.
+            for instance, result in zip(instances, merged):
+                reference = Evaluator(instance).run(expression)
+                assert result.shape == reference.shape
+                assert np.array_equal(result, reference), semiring.name
+
+    def test_ragged_merge_float64_is_tolerance_equal(self):
+        expression = ssum("_v", var("A") @ var("_v"))
+        instances = [
+            _instance_for(REAL, (15, 16, 17)[seed % 3], seed) for seed in range(9)
+        ]
+        merged = CompiledWorkload(expression, instances[0].schema).run_batch(instances)
+        for instance, result in zip(instances, merged):
+            reference = Evaluator(instance).run(expression)
+            assert result.shape == reference.shape
+            assert np.allclose(result, reference)
+
+    def test_ragged_merge_skips_far_apart_buckets(self, monkeypatch):
+        """8 -> 16 padding quadruples the work; those buckets stay separate."""
+        import repro.matlang.evaluator as evaluator_module
+
+        expression = ssum("_v", var("A") @ var("_v"))
+        calls = []
+        original = evaluator_module.execute_plan_batch
+
+        def counting(plan, backend, instances, functions, **kwargs):
+            calls.append(len(list(instances)))
+            return original(plan, backend, instances, functions, **kwargs)
+
+        monkeypatch.setattr(evaluator_module, "execute_plan_batch", counting)
+        instances = [
+            _instance_for(REAL, (4, 9, 16)[seed % 3], seed) for seed in range(9)
+        ]
+        results = run_plan_batch(
+            compile_expression(expression, instances[0].schema),
+            instances,
+            default_registry(),
+        )
+        assert len(calls) == 3, "far-apart sizes must not pad into one batch"
+        for instance, result in zip(instances, results):
+            assert np.array_equal(result, Evaluator(instance).run(expression))
+
+    def test_ragged_outlier_does_not_block_near_miss_merging(self, monkeypatch):
+        """15/16/17/40 clusters as {40} plus one padded {15,16,17} batch."""
+        import repro.matlang.evaluator as evaluator_module
+
+        expression = ssum("_v", var("A") @ var("_v"))
+        calls = []
+        original = evaluator_module.execute_plan_batch
+
+        def counting(plan, backend, instances, functions, **kwargs):
+            calls.append(len(list(instances)))
+            return original(plan, backend, instances, functions, **kwargs)
+
+        monkeypatch.setattr(evaluator_module, "execute_plan_batch", counting)
+        instances = [
+            _instance_for(MIN_PLUS, size, seed)
+            for seed, size in enumerate((15, 16, 17, 40, 15, 16, 17))
+        ]
+        results = run_plan_batch(
+            compile_expression(expression, instances[0].schema),
+            instances,
+            default_registry(),
+        )
+        assert sorted(calls) == [1, 6], (
+            "the 40-node outlier must not price 15/16/17 out of merging"
+        )
+        for instance, result in zip(instances, results):
+            assert np.array_equal(result, Evaluator(instance).run(expression))
+
+    def test_ragged_merge_skips_padding_unsafe_plans(self, monkeypatch):
+        """Plans with apply / loop / power ops never see padded instances."""
+        import repro.matlang.evaluator as evaluator_module
+
+        expression = apply("gt0", var("A") @ var("A"))
+        calls = []
+        original = evaluator_module.execute_plan_batch
+
+        def counting(plan, backend, instances, functions, **kwargs):
+            calls.append(len(list(instances)))
+            return original(plan, backend, instances, functions, **kwargs)
+
+        monkeypatch.setattr(evaluator_module, "execute_plan_batch", counting)
+        instances = [_instance_for(REAL, 15 + seed, seed) for seed in range(3)]
+        results = run_plan_batch(
+            compile_expression(expression, instances[0].schema),
+            instances,
+            default_registry(),
+        )
+        assert len(calls) == 3
+        for instance, result in zip(instances, results):
+            assert np.array_equal(result, Evaluator(instance).run(expression))
+
+    def test_ragged_false_restores_per_signature_buckets(self, monkeypatch):
+        import repro.matlang.evaluator as evaluator_module
+
+        expression = ssum("_v", var("A") @ var("_v"))
+        calls = []
+        original = evaluator_module.execute_plan_batch
+
+        def counting(plan, backend, instances, functions, **kwargs):
+            calls.append(len(list(instances)))
+            return original(plan, backend, instances, functions, **kwargs)
+
+        monkeypatch.setattr(evaluator_module, "execute_plan_batch", counting)
+        instances = [
+            _instance_for(MIN_PLUS, (15, 16, 17)[seed % 3], seed) for seed in range(6)
+        ]
+        plan = compile_expression(expression, instances[0].schema)
+        results = run_plan_batch(plan, instances, default_registry(), ragged=False)
+        assert len(calls) == 3
+        for instance, result in zip(instances, results):
+            assert np.array_equal(result, Evaluator(instance).run(expression))
+
+    def test_ragged_merge_handles_scalar_results(self):
+        """A trace workload (1x1 results) survives the padded slice-back."""
+        expression = trace("A")
+        instances = [
+            _instance_for(NATURAL, (15, 16, 17)[seed % 3], seed) for seed in range(6)
+        ]
+        results = run_plan_batch(
+            compile_expression(expression, instances[0].schema),
+            instances,
+            default_registry(),
+        )
+        for instance, result in zip(instances, results):
+            reference = Evaluator(instance).run(expression)
+            assert result.shape == (1, 1)
+            assert np.array_equal(result, reference)
+
+    def test_ragged_merge_respects_chunk_size(self, monkeypatch):
+        import repro.matlang.evaluator as evaluator_module
+
+        expression = ssum("_v", var("A") @ var("_v"))
+        calls = []
+        original = evaluator_module.execute_plan_batch
+
+        def counting(plan, backend, instances, functions, **kwargs):
+            calls.append(len(list(instances)))
+            return original(plan, backend, instances, functions, **kwargs)
+
+        monkeypatch.setattr(evaluator_module, "execute_plan_batch", counting)
+        instances = [
+            _instance_for(BOOLEAN, (15, 16, 17)[seed % 3], seed) for seed in range(10)
+        ]
+        results = run_plan_batch(
+            compile_expression(expression, instances[0].schema),
+            instances,
+            default_registry(),
+            chunk_size=4,
+        )
+        assert calls == [4, 4, 2], "padded groups must still honour chunk_size"
+        for instance, result in zip(instances, results):
+            assert np.array_equal(result, Evaluator(instance).run(expression))
+
     def test_repeated_run_batch_reuses_stacked_inputs(self):
         expression = ssum("_v", var("A") @ var("_v"))
         instances = [_instance_for(REAL, 4, seed) for seed in range(6)]

@@ -69,6 +69,32 @@ class TestCompare:
         assert len(regressions) == 1
         assert "min_plus" in regressions[0]
 
+    def test_serving_entries_keyed_by_stream_shape(self):
+        # The p06 throughput ratios measure different stream sizes and
+        # submitter counts; the key must keep them apart so a gated serving
+        # speedup never diffs against the wrong measurement.
+        baseline = _artifacts(
+            [
+                _entry(op="serve-engine", instances=1000, speedup=4.0),
+                _entry(op="serve-engine", instances=100, threads=4, speedup=8.0),
+            ]
+        )
+        fresh = _artifacts(
+            [
+                _entry(op="serve-engine", instances=1000, speedup=3.9),
+                _entry(op="serve-engine", instances=100, threads=4, speedup=2.0),
+            ]
+        )
+        report, regressions = compare(baseline, fresh, threshold=0.25)
+        assert len(regressions) == 1
+        assert "threads=4" in regressions[0]
+
+    def test_serving_throughput_ratio_joins_the_gate(self):
+        baseline = _artifacts([_entry(op="serve-engine", backend="service", speedup=4.0)])
+        fresh = _artifacts([_entry(op="serve-engine", backend="service", speedup=2.0)])
+        _, regressions = compare(baseline, fresh, threshold=0.25)
+        assert len(regressions) == 1
+
     def test_noise_band_speedups_never_gate(self):
         baseline = _artifacts([_entry(speedup=1.3)])
         fresh = _artifacts([_entry(speedup=0.8)])
