@@ -1,6 +1,5 @@
 """E10 — Propositions 5.5 / 6.1: degree analysis of for-MATLANG expressions."""
 
-from repro.circuits import compile_expression
 from repro.experiments import Table
 from repro.matlang.builder import forloop, var
 from repro.matlang.degree import analyse_degree, circuit_degree_for_dimension

@@ -4,7 +4,7 @@ import numpy as np
 
 from benchmarks.conftest import as_float
 from repro.experiments import Table
-from repro.matlang.builder import had, prod, ssum, var
+from repro.matlang.builder import had, prod, var
 from repro.matlang.evaluator import evaluate
 from repro.matlang.fragments import Fragment, minimal_fragment
 from repro.matlang.instance import Instance

@@ -8,7 +8,6 @@ pays for the expressiveness guarantees.
 
 import numpy as np
 
-from repro.experiments import Table
 from repro.matlang.builder import var
 from repro.matlang.evaluator import Evaluator, evaluate
 from repro.matlang.instance import Instance

@@ -1,0 +1,219 @@
+"""P7 — Per-op physical planning: mixed plans and measured-cost feedback.
+
+Reproduction-specific experiment for the per-op physical planner.  Three
+claims are asserted (also under ``--benchmark-disable``, so CI checks them
+on every push):
+
+* **mixed beats both uniform plans** — the sparse-prefix/dense-epilogue
+  workload ``(prod_v A + D) . E`` over 512-node boolean instances runs at
+  least :data:`MIXED_SPEEDUP_FLOOR` times faster under the per-op
+  assignment (CSR reachability prefix, dense epilogue, one inserted
+  conversion) than under the *best* forced single-backend plan, with
+  bitwise-identical results;
+* **plans explain their physical shape** — the ``explain()`` transcript
+  lists per-op backend assignments and the inserted conversion op;
+* **calibration changes decisions** — a profile measured by the
+  ``python -m repro.calibrate`` sweep (quick settings) moves the
+  dense/sparse crossover away from the static default, flipping the
+  planner's decision on a workload whose density sits between the two
+  thresholds.
+
+Measurements land in ``BENCH_p07.json`` via the ``bench_artifact`` fixture;
+the committed copy keeps the mixed-plan speedup inside the >25% regression
+gate driven by ``benchmarks/compare_artifacts.py`` (entries are keyed with a
+``mode`` field so forced/mixed measurements of the same op never collide).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import assert_speedup, best_of
+
+from repro.experiments.harness import CompiledWorkload
+from repro.matlang.builder import prod, var
+from repro.matlang.compiler import compile_expression
+from repro.matlang.instance import Instance
+from repro.profile import DEFAULT_PROFILE
+from repro.profile.calibration import run_calibration
+from repro.semiring import BOOLEAN
+from repro.semiring.backends import plan_physical
+
+try:
+    import scipy.sparse  # noqa: F401
+
+    HAVE_SCIPY = True
+except ImportError:  # pragma: no cover
+    HAVE_SCIPY = False
+
+needs_scipy = pytest.mark.skipif(
+    not HAVE_SCIPY, reason="scipy is required for the sparse backend"
+)
+
+DIMENSION = 512
+MIXED_SPEEDUP_FLOOR = 3.0
+
+#: Sparse-friendly prefix (iterated product over a sparse adjacency matrix)
+#: feeding a dense epilogue (sum and product against dense matrices).
+MIXED_EXPRESSION = (prod("_v", var("A")) + var("D")) @ var("E")
+
+
+def _mixed_instance(size=DIMENSION, cycle=8, seed=0):
+    """Sparse ``A`` (disjoint cycles) with dense ``D`` / ``E``."""
+    rng = np.random.default_rng(seed)
+    adjacency = np.zeros((size, size), dtype=bool)
+    for start in range(0, size - cycle + 1, cycle):
+        for offset in range(cycle):
+            adjacency[start + offset, start + (offset + 1) % cycle] = True
+    return Instance.from_matrices(
+        {
+            "A": adjacency,
+            "D": rng.random((size, size)) < 0.9,
+            "E": rng.random((size, size)) < 0.9,
+        },
+        semiring=BOOLEAN,
+    )
+
+
+def _exact_density_instance(size, density, seed=7):
+    """A boolean instance whose measured density is exactly ``density``."""
+    rng = np.random.default_rng(seed)
+    entries = max(1, round(density * size * size))
+    chosen = rng.choice(size * size, size=entries, replace=False)
+    matrix = np.zeros(size * size, dtype=bool)
+    matrix[chosen] = True
+    return Instance.from_matrices(
+        {"A": matrix.reshape(size, size)}, semiring=BOOLEAN
+    )
+
+
+# ----------------------------------------------------------------------
+# (a) Mixed plan vs. best forced single backend
+# ----------------------------------------------------------------------
+@needs_scipy
+def test_mixed_plan_beats_best_forced_single_backend(bench_artifact):
+    instance = _mixed_instance()
+    adaptive = CompiledWorkload(MIXED_EXPRESSION, instance.schema)
+    forced_dense = CompiledWorkload(
+        MIXED_EXPRESSION, instance.schema, backend="dense"
+    )
+    forced_sparse = CompiledWorkload(
+        MIXED_EXPRESSION, instance.schema, backend="sparse"
+    )
+
+    physical = adaptive.physical(instance)
+    assert physical.mixed, physical.notes
+    conversions = [
+        op for op in physical.plan.ops if op.opcode in ("to_dense", "to_sparse")
+    ]
+    assert conversions, "the mixed plan must cross a representation boundary"
+    report = adaptive.explain(instance)
+    assert "(inserted conversion)" in report
+    assert ": sparse" in report and ": dense" in report
+
+    mixed_result = adaptive.run(instance)
+    assert np.array_equal(mixed_result, forced_dense.run(instance))
+    assert np.array_equal(mixed_result, forced_sparse.run(instance))
+
+    dense_time = best_of(lambda: forced_dense.run(instance), repetitions=2)
+    sparse_time = best_of(lambda: forced_sparse.run(instance), repetitions=2)
+    best_backend, best_workload = min(
+        (("dense", forced_dense), ("sparse", forced_sparse)),
+        key=lambda pair: dense_time if pair[0] == "dense" else sparse_time,
+    )
+    slow_time, fast_time, speedup = assert_speedup(
+        lambda: best_workload.run(instance),
+        lambda: adaptive.run(instance),
+        MIXED_SPEEDUP_FLOOR,
+        f"mixed plan vs forced {best_backend} {DIMENSION}x{DIMENSION}",
+    )
+    bench_artifact(
+        "p07", op="sparse-prefix-dense-epilogue", size=DIMENSION,
+        backend="dense", mode="forced", seconds=dense_time, semiring="boolean",
+    )
+    bench_artifact(
+        "p07", op="sparse-prefix-dense-epilogue", size=DIMENSION,
+        backend="sparse", mode="forced", seconds=sparse_time, semiring="boolean",
+    )
+    bench_artifact(
+        "p07", op="sparse-prefix-dense-epilogue", size=DIMENSION,
+        backend="per-op", mode="mixed", seconds=fast_time, speedup=speedup,
+        semiring="boolean", conversions=len(conversions),
+    )
+    print(
+        f"\nmixed plan speedup over best forced single backend "
+        f"({best_backend}): {speedup:.1f}x"
+    )
+
+
+@needs_scipy
+def test_forced_dense_mixed_workload(benchmark):
+    instance = _mixed_instance()
+    workload = CompiledWorkload(MIXED_EXPRESSION, instance.schema, backend="dense")
+    workload.run(instance)
+    result = benchmark(lambda: workload.run(instance))
+    assert result.shape == (DIMENSION, DIMENSION)
+
+
+@needs_scipy
+def test_per_op_mixed_workload(benchmark):
+    instance = _mixed_instance()
+    workload = CompiledWorkload(MIXED_EXPRESSION, instance.schema)
+    workload.run(instance)
+    result = benchmark(lambda: workload.run(instance))
+    assert result.shape == (DIMENSION, DIMENSION)
+
+
+# ----------------------------------------------------------------------
+# (b) Calibration moves the crossover and flips a decision
+# ----------------------------------------------------------------------
+@needs_scipy
+def test_calibrated_profile_flips_a_borderline_decision(bench_artifact):
+    started = time.perf_counter()
+    calibrated = run_calibration(
+        sizes=(32, 64, 96), densities=(0.05, 0.3, 0.8), repeats=2
+    )
+    calibration_seconds = time.perf_counter() - started
+    assert calibrated.source == "calibrated"
+
+    default_threshold = DEFAULT_PROFILE.sparse_max_density
+    gap = abs(calibrated.sparse_max_density - default_threshold)
+    assert gap > 5e-4, (
+        "the measured crossover landed exactly on the static default — "
+        "re-run; real timings should always move it"
+    )
+
+    # A workload whose density sits strictly between the two thresholds is
+    # decided differently by the two profiles.
+    probe = (default_threshold + calibrated.sparse_max_density) / 2
+    instance = _exact_density_instance(256, probe)
+    plan = compile_expression(var("A") @ var("A"), instance.schema)
+
+    def decision(profile):
+        physical = plan_physical(plan, instance, None, profile=profile)
+        return (
+            physical.default_tag,
+            tuple(op.backend for op in physical.plan.ops),
+            physical.mixed,
+        )
+
+    default_decision = decision(DEFAULT_PROFILE)
+    calibrated_decision = decision(calibrated)
+    assert default_decision != calibrated_decision, (
+        f"probe density {probe:.4f} between thresholds "
+        f"{default_threshold:.4f} and {calibrated.sparse_max_density:.4f} "
+        "should flip the plan"
+    )
+
+    bench_artifact(
+        "p07", op="calibration-sweep", size=96, backend="quick",
+        mode="calibrate", seconds=calibration_seconds,
+        crossover=round(float(calibrated.sparse_max_density), 4),
+    )
+    print(
+        f"\ncalibrated crossover {calibrated.sparse_max_density:.3f} "
+        f"(static default {default_threshold:.3f}); decision at density "
+        f"{probe:.3f} flipped from {default_decision[0]} to "
+        f"{calibrated_decision[0]}"
+    )

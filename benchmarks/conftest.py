@@ -57,6 +57,20 @@ def pytest_collection_modifyitems(items):
             item.add_marker(pytest.mark.bench)
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _pinned_cost_profile():
+    """Pin the built-in cost profile so measurements are install-independent.
+
+    Benchmarks that exercise calibrated profiles install them explicitly
+    (and restore afterwards); a stray per-install profile must not skew the
+    recorded baselines.
+    """
+    from repro.profile import DEFAULT_PROFILE, set_active_profile
+
+    set_active_profile(DEFAULT_PROFILE)
+    yield
+
+
 @pytest.fixture
 def bench_artifact():
     """Record one perf measurement into the session's ``BENCH_<id>.json``.

@@ -1,0 +1,12 @@
+"""``python -m repro.calibrate``: per-install cost-profile calibration.
+
+Thin CLI shim over :mod:`repro.profile.calibration`; see that module for
+what the sweep measures and what the written profile drives.
+"""
+
+from __future__ import annotations
+
+from repro.profile.calibration import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Sequence, Tuple
 
-from repro.circuits.circuit import Circuit, GateKind
+from repro.circuits.circuit import Circuit
 
 
 @dataclass(frozen=True)

@@ -29,7 +29,7 @@ from typing import Dict, Optional
 
 from repro.circuits.circuit import Circuit, Gate, GateKind
 from repro.exceptions import CircuitError
-from repro.matlang.ast import Expression, Literal, MatMul, Var
+from repro.matlang.ast import Expression, Literal, MatMul
 from repro.matlang.builder import hint, lit, var
 from repro.stdlib.order import e_min, next_matrix
 

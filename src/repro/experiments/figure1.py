@@ -18,7 +18,7 @@ E11–E13; here the placement itself is the claim).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Tuple
+from typing import Tuple
 
 from repro.matlang.ast import Expression
 from repro.matlang.fragments import Fragment, classify

@@ -26,7 +26,7 @@ serving benchmarks drive.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, List, Sequence
 
 
 @dataclass
@@ -103,8 +103,9 @@ class CompiledWorkload:
         Execution-backend name or instance forwarded to the executor.
         ``None`` (or ``"auto"``) enables adaptive physical planning: each
         instance is profiled and
-        :func:`repro.semiring.backends.select_backend` assigns dense or
-        sparse execution per run.  A concrete name (``"dense"``,
+        :func:`repro.semiring.backends.plan_physical` assigns dense or
+        sparse execution per plan op, inserting conversions at
+        representation boundaries.  A concrete name (``"dense"``,
         ``"sparse"``) or backend instance pins the choice.
     options:
         Optional :class:`~repro.matlang.compiler.OptimizationOptions`
@@ -157,22 +158,27 @@ class CompiledWorkload:
         return cached[1]
 
     def physical(self, instance):
-        """The physical selection for one instance (adaptive or pinned)."""
-        from repro.semiring.backends import PhysicalSelection, select_backend
+        """The physical plan for one instance (adaptive or pinned)."""
+        from repro.profile import profile_generation
+        from repro.semiring.backends import PhysicalPlan, plan_physical
 
         if not self.adaptive:
             backend = self._backend_for(instance.semiring)
-            return PhysicalSelection(
-                backend, (f"backend {backend.name!r} pinned by the workload",)
+            return PhysicalPlan(
+                self.plan,
+                {backend.name: backend},
+                backend.name,
+                (f"backend {backend.name!r} pinned by the workload",),
             )
+        generation = profile_generation()
         cached = self._selections.get(id(instance))
-        if cached is not None and cached[0] is instance:
+        if cached is not None and cached[0] is instance and cached[2] == generation:
             return cached[1]
-        selection = select_backend(self.plan, instance, None)
-        self._selections[id(instance)] = (instance, selection)
+        physical = plan_physical(self.plan, instance, None)
+        self._selections[id(instance)] = (instance, physical, generation)
         while len(self._selections) > self._SELECTION_CACHE_CAPACITY:
             self._selections.pop(next(iter(self._selections)))
-        return selection
+        return physical
 
     def explain(self, instance=None):
         """The plan's :meth:`~repro.matlang.ir.Plan.explain` report."""
@@ -186,9 +192,15 @@ class CompiledWorkload:
         """
         from repro.matlang.ir import execute_plan
 
-        backend = self.physical(instance).backend
-        value = execute_plan(self.plan, backend, instance, self.functions)
-        return backend.to_dense(value).copy()
+        physical = self.physical(instance)
+        value = execute_plan(
+            physical.plan,
+            physical.backend,
+            instance,
+            self.functions,
+            backends=physical.backends,
+        )
+        return physical.result_backend.to_dense(value).copy()
 
     def run_batch(self, instances, chunk_size=None, ragged=True):
         """Execute the pre-compiled plan over a whole sweep of instances.
@@ -207,10 +219,11 @@ class CompiledWorkload:
         stacked inputs are cached on the workload, so repeated sweeps over
         the same instance objects do not re-stack them.
 
-        Workloads whose physical plan is sparse — pinned (``"sparse"``) or
-        adaptively selected for the sweep's instances — have no stacked
+        Workloads whose physical plan is not purely dense — pinned
+        (``"sparse"``), adaptively assigned sparse, or mixed (per-op
+        assignments with inserted conversion ops) — have no stacked
         representation; they fall back to the per-instance loop so the
-        method is total and each instance still runs on its best backend.
+        method is total and each instance still runs on its best plan.
         """
         from repro.matlang.evaluator import run_plan_batch
         from repro.semiring.backends import (
@@ -232,7 +245,7 @@ class CompiledWorkload:
 
         if self.adaptive and any(
             could_go_sparse(instance)
-            and self.physical(instance).backend.name != "dense"
+            and not self.physical(instance).batchable
             for instance in instances
         ):
             return [self.run(instance) for instance in instances]

@@ -182,6 +182,18 @@ _EXPERIMENTS: Tuple[ExperimentInfo, ...] = (
         ),
         "benchmarks/bench_p06_service.py",
     ),
+    ExperimentInfo(
+        "P7",
+        "Reproduction-specific",
+        "Per-op physical planning: mixed sparse/dense plans with measured-cost feedback",
+        (
+            "repro.semiring.backends",
+            "repro.matlang.ir",
+            "repro.matlang.cost",
+            "repro.profile",
+        ),
+        "benchmarks/bench_p07_physical_planning.py",
+    ),
 )
 
 EXPERIMENTS: Dict[str, ExperimentInfo] = {info.identifier: info for info in _EXPERIMENTS}

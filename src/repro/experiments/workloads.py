@@ -6,7 +6,7 @@ that the numbers recorded in EXPERIMENTS.md are reproducible.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Sequence, Tuple, Union
 
 import numpy as np
 

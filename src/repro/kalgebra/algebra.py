@@ -12,7 +12,7 @@ from typing import Any, Dict
 
 from repro.exceptions import SchemaError
 from repro.kalgebra.query import Join, Project, Query, RelationRef, Rename, Select, Union, query_schema
-from repro.kalgebra.relations import KRelation, RelationalInstance, restrict, tuple_key
+from repro.kalgebra.relations import KRelation, RelationalInstance
 from repro.semiring import Semiring
 
 

@@ -16,7 +16,7 @@ Two encodings are needed to state Propositions 6.3 and 6.4:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
 import numpy as np

@@ -17,7 +17,7 @@ fragment the proposition covers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Optional, Tuple
 
 import numpy as np
 
@@ -34,7 +34,7 @@ from repro.kalgebra.encoding import (
     row_attribute,
 )
 from repro.kalgebra.query import Join, Project, Query, RelationRef, Rename, Select, Union
-from repro.kalgebra.relations import KRelation, RelationalInstance
+from repro.kalgebra.relations import KRelation
 from repro.matlang.ast import (
     Add,
     Apply,

@@ -13,7 +13,7 @@ attribute variables.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Tuple
+from typing import Dict, FrozenSet
 
 from repro.exceptions import SchemaError
 from repro.kalgebra.encoding import (
@@ -27,7 +27,6 @@ from repro.kalgebra.relations import KRelation, RelationalInstance, RelationalSc
 from repro.matlang.ast import Expression, Var
 from repro.matlang.builder import ssum, var
 from repro.matlang.evaluator import evaluate
-from repro.matlang.schema import Schema
 
 
 def attribute_variable(attribute: str) -> str:

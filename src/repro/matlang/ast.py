@@ -19,7 +19,7 @@ free, which the compilers to circuits and relational algebra rely on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Optional, Tuple
 
 

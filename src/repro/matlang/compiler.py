@@ -53,7 +53,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.exceptions import EvaluationError
 from repro.matlang import rewrites
-from repro.matlang.cost import reorder_plan
+from repro.matlang.cost import CostModel, reorder_plan
 from repro.matlang.normalize import normalize
 from repro.matlang.ast import (
     Add,
@@ -206,7 +206,10 @@ def lower(typed: TypedExpression, options: Optional[OptimizationOptions] = None)
     result = _lower(typed, frame)
     plan = _prune_plan(Plan(tuple(frame.ops), result, pinned=tuple(frame.pinned)))
     if options.reorder:
-        plan, reorder_notes = reorder_plan(plan)
+        # The active cost profile supplies the symbol weights, so calibrated
+        # or fitted symbol sizes re-rank matmul chains (cache keys carry the
+        # profile generation, so stale orderings cannot be served).
+        plan, reorder_notes = reorder_plan(plan, model=CostModel.from_active())
         notes = notes + reorder_notes
     if notes:
         plan = replace(plan, notes=notes)
@@ -463,6 +466,19 @@ _hits = 0
 _misses = 0
 
 
+def _profile_generation() -> int:
+    """The active cost-profile generation, folded into every cache key.
+
+    A profile update (calibration, profiler feedback) bumps the generation,
+    which makes every cached plan unreachable: the next compilation re-runs
+    the cost-based passes against the fresh weights instead of serving a
+    plan optimized under stale ones.
+    """
+    from repro.profile import profile_generation
+
+    return profile_generation()
+
+
 def _cache_lookup(key) -> Optional[Plan]:
     global _hits
     with _PLAN_CACHE_LOCK:
@@ -495,7 +511,7 @@ def compile_expression(
     """
     if options is None:
         options = DEFAULT_OPTIONS
-    key = (expression, schema.signature(), options)
+    key = (expression, schema.signature(), options, _profile_generation())
     plan = _cache_lookup(key)
     if plan is None:
         plan = lower(annotate(expression, schema), options)
@@ -523,7 +539,7 @@ def compile_typed(
     signature = typed.schema_signature
     if signature is None:
         return lower(typed, options)
-    key = (typed.expression, signature, options)
+    key = (typed.expression, signature, options, _profile_generation())
     plan = _cache_lookup(key)
     if plan is None:
         plan = lower(typed, options)

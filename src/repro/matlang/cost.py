@@ -30,6 +30,14 @@ product.  The pass rewrites structure only — it never changes which
 instance matrices are loaded, so interpreter error parity is preserved
 (reassociation can change *intermediate* magnitudes, which the int64
 kernels' overflow discipline handles exactly as it does for fusion).
+
+Symbol weights come from a :class:`CostModel`: by default every non-scalar
+symbol weighs the flat surrogate dimension (the historical behaviour), but
+a model built from a calibrated :class:`~repro.profile.model.CostProfile`
+weighs each symbol by its *observed* size, so a schema mixing a large graph
+dimension with a small feature dimension orders its chains by the sizes
+execution actually sees.  The same model carries the per-op physical unit
+costs the per-op backend planner (:mod:`repro.semiring.backends`) consumes.
 """
 
 from __future__ import annotations
@@ -40,7 +48,13 @@ from typing import Dict, List, Optional, Tuple
 from repro.matlang.ir import Plan, PlanOp
 from repro.matlang.schema import SCALAR_SYMBOL, MatrixType
 
-__all__ = ["SURROGATE_DIMENSION", "chain_order", "reorder_plan", "symbol_weight"]
+__all__ = [
+    "SURROGATE_DIMENSION",
+    "CostModel",
+    "chain_order",
+    "reorder_plan",
+    "symbol_weight",
+]
 
 #: Stand-in size for every non-scalar dimension symbol in the cost model.
 #: The model only needs to *rank* associations: with all non-scalar symbols
@@ -49,41 +63,97 @@ __all__ = ["SURROGATE_DIMENSION", "chain_order", "reorder_plan", "symbol_weight"
 SURROGATE_DIMENSION = 256
 
 
+class CostModel:
+    """Symbolic and physical costs parameterised by a cost profile.
+
+    Wraps a :class:`~repro.profile.model.CostProfile` behind the two
+    queries the optimizer stages ask: symbol weights (the matmul-chain DP)
+    and per-op-class unit costs (the per-op physical planner).  With no
+    profile the model reproduces the static defaults — flat
+    :data:`SURROGATE_DIMENSION` weights and the shipped relative unit
+    costs — exactly.
+    """
+
+    __slots__ = ("profile",)
+
+    def __init__(self, profile=None) -> None:
+        if profile is None:
+            from repro.profile.model import DEFAULT_PROFILE
+
+            profile = DEFAULT_PROFILE
+        self.profile = profile
+
+    @classmethod
+    def from_active(cls) -> "CostModel":
+        """A model over the process-wide active profile."""
+        from repro.profile import active_profile
+
+        return cls(active_profile())
+
+    # -- symbolic weights (logical reordering) ---------------------------
+    def symbol_weight(self, symbol: Optional[str]) -> int:
+        """The believed size of a dimension symbol (``"1"`` weighs one)."""
+        if symbol == SCALAR_SYMBOL:
+            return 1
+        return max(1, int(round(self.profile.symbol_size(symbol))))
+
+    def chain_order(
+        self, types: List[MatrixType]
+    ) -> Tuple[int, Dict[Tuple[int, int], int]]:
+        """Matrix-chain DP over factor types; ``(cost, split table)``.
+
+        ``types`` are the ``(row symbol, column symbol)`` pairs of the
+        chain factors in order.  The split table maps ``(i, j)`` spans to
+        the index after which the optimal association splits.
+        """
+        weight = self.symbol_weight
+        count = len(types)
+        dims = [weight(types[0][0])] + [weight(t[1]) for t in types]
+        cost: Dict[Tuple[int, int], int] = {(i, i): 0 for i in range(count)}
+        split: Dict[Tuple[int, int], int] = {}
+        for span in range(2, count + 1):
+            for i in range(count - span + 1):
+                j = i + span - 1
+                best = None
+                at = i
+                for k in range(i, j):
+                    candidate = (
+                        cost[(i, k)]
+                        + cost[(k + 1, j)]
+                        + dims[i] * dims[k + 1] * dims[j + 1]
+                    )
+                    if best is None or candidate < best:
+                        best = candidate
+                        at = k
+                cost[(i, j)] = best
+                split[(i, j)] = at
+        return cost[(0, count - 1)], split
+
+    # -- physical unit costs (per-op backend planning) -------------------
+    def unit(self, key: str) -> float:
+        """Cost per work unit of one op class (``"dense.matmul"`` …)."""
+        return self.profile.unit_cost(key)
+
+    @property
+    def op_overhead(self) -> float:
+        """Fixed per-op dispatch cost, in the profile's units."""
+        return self.profile.op_overhead
+
+
+#: The uncalibrated model behind the module-level helper functions.
+_DEFAULT_MODEL = CostModel()
+
+
 def symbol_weight(symbol: Optional[str]) -> int:
     """The surrogate size of a dimension symbol (``"1"`` weighs one)."""
-    if symbol == SCALAR_SYMBOL:
-        return 1
-    return SURROGATE_DIMENSION
+    return _DEFAULT_MODEL.symbol_weight(symbol)
 
 
-def chain_order(types: List[MatrixType]) -> Tuple[int, Dict[Tuple[int, int], int]]:
-    """Matrix-chain DP over factor types; returns ``(cost, split table)``.
-
-    ``types`` are the ``(row symbol, column symbol)`` pairs of the chain
-    factors in order.  The split table maps ``(i, j)`` spans to the index
-    after which the optimal association splits.
-    """
-    count = len(types)
-    dims = [symbol_weight(types[0][0])] + [symbol_weight(t[1]) for t in types]
-    cost: Dict[Tuple[int, int], int] = {(i, i): 0 for i in range(count)}
-    split: Dict[Tuple[int, int], int] = {}
-    for span in range(2, count + 1):
-        for i in range(count - span + 1):
-            j = i + span - 1
-            best = None
-            at = i
-            for k in range(i, j):
-                candidate = (
-                    cost[(i, k)]
-                    + cost[(k + 1, j)]
-                    + dims[i] * dims[k + 1] * dims[j + 1]
-                )
-                if best is None or candidate < best:
-                    best = candidate
-                    at = k
-            cost[(i, j)] = best
-            split[(i, j)] = at
-    return cost[(0, count - 1)], split
+def chain_order(
+    types: List[MatrixType], model: Optional[CostModel] = None
+) -> Tuple[int, Dict[Tuple[int, int], int]]:
+    """Matrix-chain DP over factor types; returns ``(cost, split table)``."""
+    return (model or _DEFAULT_MODEL).chain_order(types)
 
 
 @dataclass(frozen=True)
@@ -93,23 +163,29 @@ class _OnesLeaf:
     type: MatrixType
 
 
-def reorder_plan(plan: Plan) -> Tuple[Plan, Tuple[str, ...]]:
+def reorder_plan(
+    plan: Plan, model: Optional[CostModel] = None
+) -> Tuple[Plan, Tuple[str, ...]]:
     """Reorder the matmul chains of ``plan`` by estimated cost.
 
-    Returns the (possibly identical) plan and human-readable notes about
-    what fired, for :meth:`~repro.matlang.ir.Plan.explain`.
+    ``model`` supplies the symbol weights (default: the flat surrogate
+    model).  Returns the (possibly identical) plan and human-readable notes
+    about what fired, for :meth:`~repro.matlang.ir.Plan.explain`.
     """
+    if model is None:
+        model = _DEFAULT_MODEL
     notes: List[str] = []
-    reordered = _reorder(plan, notes)
+    reordered = _reorder(plan, notes, model)
     return reordered, tuple(notes)
 
 
-def _reorder(plan: Plan, notes: List[str]) -> Plan:
+def _reorder(plan: Plan, notes: List[str], model: CostModel) -> Plan:
+    weight = model.symbol_weight
     ops = list(plan.ops)
     changed = False
     for index, op in enumerate(ops):
         if op.body is not None:
-            body = _reorder(op.body, notes)
+            body = _reorder(op.body, notes, model)
             if body is not op.body:
                 ops[index] = replace(op, body=body)
                 changed = True
@@ -161,9 +237,9 @@ def _reorder(plan: Plan, notes: List[str]) -> Plan:
             if left_type is None or right_type is None:
                 return None
             total += (
-                symbol_weight(left_type[0])
-                * symbol_weight(right_type[0])
-                * symbol_weight(right_type[1])
+                weight(left_type[0])
+                * weight(right_type[0])
+                * weight(right_type[1])
             )
         return total
 
@@ -188,12 +264,14 @@ def _reorder(plan: Plan, notes: List[str]) -> Plan:
             if as_is is None:
                 continue
             rows, cols = types[0][0], types[-1][1]
-            keep_cost = as_is + symbol_weight(rows) * symbol_weight(cols)
+            keep_cost = as_is + weight(rows) * weight(cols)
             if op.opcode == "row_sums":
                 factors = leaves + [_OnesLeaf((cols, SCALAR_SYMBOL))]
             else:
                 factors = [_OnesLeaf((SCALAR_SYMBOL, rows))] + leaves
-            push_cost, splits = chain_order([_factor_type(ops, f) for f in factors])
+            push_cost, splits = model.chain_order(
+                [_factor_type(ops, f) for f in factors]
+            )
             if push_cost < keep_cost:
                 rebuilt[index] = (factors, splits)
                 absorbed.add(source)
@@ -213,7 +291,7 @@ def _reorder(plan: Plan, notes: List[str]) -> Plan:
             as_is = current_cost(index, interiors)
             if as_is is None:
                 continue
-            best, splits = chain_order(types)
+            best, splits = model.chain_order(types)
             if best < as_is:
                 rebuilt[index] = (list(leaves), splits)
                 absorbed.update(interiors)

@@ -23,7 +23,7 @@ Two complementary, decidable tools are therefore provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 from repro.matlang.ast import (
     Add,

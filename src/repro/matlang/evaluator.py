@@ -15,11 +15,12 @@ that pipeline: they compile the expression once through
 across evaluators and instances of the same schema — perform no
 re-lowering) and execute the plan on a pluggable execution backend
 (:mod:`repro.semiring.backends`).  By default the *physical planner*
-assigns the backend per plan from instance statistics
-(:func:`repro.semiring.backends.select_backend`): sparse CSR execution for
-sparse boolean / tropical workloads, the dense kernel layer otherwise.
-Passing ``backend="dense"`` / ``"sparse"`` (or a backend instance) pins the
-choice.
+assigns a backend per plan op from instance statistics and the active cost
+profile (:func:`repro.semiring.backends.plan_physical`): sparse CSR
+execution for sparse boolean / tropical prefixes, the dense kernel layer
+for dense epilogues, with explicit conversion ops inserted at
+representation boundaries.  Passing ``backend="dense"`` / ``"sparse"`` (or
+a backend instance) pins the choice for the whole plan.
 
 Constructing the evaluator with ``compile=False`` selects the original
 tree-walking interpreter instead, which is retained verbatim as the
@@ -48,7 +49,7 @@ from typing import Any, Dict, List, Optional, Union
 
 import numpy as np
 
-from repro.exceptions import EvaluationError, TypingError
+from repro.exceptions import EvaluationError
 from repro.matlang.ast import (
     Add,
     Apply,
@@ -74,10 +75,10 @@ from repro.matlang.typecheck import TypedExpression, annotate
 from repro.semiring import diagonal, identity, ones_matrix, scalar
 from repro.semiring.backends import (
     ExecutionBackend,
-    PhysicalSelection,
+    PhysicalPlan,
     instance_statistics,
+    plan_physical,
     resolve_backend,
-    select_backend,
 )
 
 
@@ -99,10 +100,12 @@ class Evaluator:
         :class:`~repro.semiring.backends.ExecutionBackend` instance (which
         must be bound to the instance's semiring), a registered backend
         name (``"dense"``, ``"sparse"``), or ``None`` / ``"auto"`` for
-        adaptive physical planning — each compiled plan is assigned a
-        backend by :func:`repro.semiring.backends.select_backend`, which
-        inspects the instance's statistics (semiring, density, dimensions)
-        and the plan's op mix.  Explicit backends are validated eagerly and
+        adaptive physical planning — each compiled plan op is assigned a
+        backend by :func:`repro.semiring.backends.plan_physical`, which
+        inspects the instance's statistics (semiring, density, dimensions),
+        the active :class:`~repro.profile.CostProfile` and the plan's op
+        mix, inserting conversion ops where the assignment switches
+        representation.  Explicit backends are validated eagerly and
         honoured verbatim.
     memoize:
         Only consulted by the ``compile=False`` tree-walk (its id-keyed
@@ -117,12 +120,17 @@ class Evaluator:
         memoize: bool = True,
         compile: bool = True,
         backend: Union[ExecutionBackend, str, None] = None,
+        profiler: Any = None,
     ) -> None:
         self.instance = instance
         self.semiring = instance.semiring
         self.functions = functions if functions is not None else default_registry()
         self.memoize = memoize
         self.compile = compile
+        #: Optional :class:`~repro.profile.recorder.ExecutionProfiler`: when
+        #: set, every executed plan op feeds one timing observation into it
+        #: (and each executed instance's dimensions update its symbol EWMA).
+        self.profiler = profiler
         #: The backend request; ``None`` / ``"auto"`` defers to per-plan
         #: physical planning.  Explicit backends resolve (and validate)
         #: eagerly, exactly as they always have.
@@ -190,36 +198,58 @@ class Evaluator:
         environment: Dict[str, np.ndarray] = {}
         return self._evaluate(typed, environment).copy()
 
-    def physical(self, plan) -> PhysicalSelection:
+    def physical(self, plan) -> PhysicalPlan:
         """The physical plan for ``plan`` on this evaluator's instance.
 
-        Pinned backends short-circuit; adaptive requests consult
-        :func:`~repro.semiring.backends.select_backend` with the (cached)
-        instance statistics, once per distinct plan.
+        Pinned backends short-circuit; adaptive requests consult the per-op
+        planner (:func:`~repro.semiring.backends.plan_physical`) with the
+        (cached) instance statistics, once per distinct plan per profile
+        generation — a profile update re-plans instead of serving a stale
+        assignment.
         """
         if self.backend is not None:
-            return PhysicalSelection(
-                self.backend, (f"backend {self.backend.name!r} pinned by the caller",)
+            return PhysicalPlan(
+                plan,
+                {self.backend.name: self.backend},
+                self.backend.name,
+                (f"backend {self.backend.name!r} pinned by the caller",),
             )
+        from repro.profile import active_profile, profile_generation
+
+        generation = profile_generation()
         cached = self._physical_cache.get(id(plan))
-        if cached is not None and cached[0] is plan:
+        if cached is not None and cached[0] is plan and cached[2] == generation:
             return cached[1]
         if self._statistics is None:
             self._statistics = instance_statistics(self.instance)
-        selection = select_backend(
-            plan, self.instance, None, statistics=self._statistics
+        physical = plan_physical(
+            plan,
+            self.instance,
+            None,
+            statistics=self._statistics,
+            profile=active_profile(),
         )
-        self._physical_cache[id(plan)] = (plan, selection)
+        self._physical_cache[id(plan)] = (plan, physical, generation)
         while len(self._physical_cache) > self._PHYSICAL_CACHE_CAPACITY:
             self._physical_cache.popitem(last=False)
-        return selection
+        return physical
 
     _PHYSICAL_CACHE_CAPACITY = 128
 
     def _execute(self, plan) -> np.ndarray:
-        backend = self.physical(plan).backend
-        value = execute_plan(plan, backend, self.instance, self.functions)
-        return backend.to_dense(value).copy()
+        physical = self.physical(plan)
+        profiler = self.profiler
+        if profiler is not None:
+            profiler.observe_instance(self.instance)
+        value = execute_plan(
+            physical.plan,
+            physical.backend,
+            self.instance,
+            self.functions,
+            backends=physical.backends,
+            profiler=profiler,
+        )
+        return physical.result_backend.to_dense(value).copy()
 
     # ------------------------------------------------------------------
     # Shape helpers

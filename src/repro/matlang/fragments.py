@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import IntEnum
-from typing import FrozenSet, Tuple
+from typing import Tuple
 
 from repro.matlang.ast import (
     Apply,

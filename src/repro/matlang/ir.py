@@ -37,7 +37,25 @@ opcode              meaning (``rK`` are register indices)
 ``diag_product``    ``Pi-o_v (v^T . r0 . v)``
 ``power``           ``Pi_v r0`` with ``v`` not free: ``r0^n`` by squaring
 ``hadamard_power``  ``Pi-o_v r0`` with ``v`` not free: entrywise power
+``to_dense``        representation change: ``r0`` re-hosted on the backend
+``to_sparse``       tagged on the op (inserted by the physical planner at
+                    backend boundaries; see below)
 ==================  =========================================================
+
+Per-op physical assignment
+--------------------------
+Ops optionally carry a physical ``backend`` tag (a key into the backend map
+the physical planner supplies — see
+:func:`repro.semiring.backends.plan_physical`).  An untagged op runs on the
+executor's default backend, preserving the historical whole-plan behaviour;
+a tagged op dispatches to its assigned backend, and the planner inserts
+explicit ``to_dense`` / ``to_sparse`` conversion ops wherever a value
+crosses from one representation to another — so a single plan can run a
+CSR sparse prefix into a dense epilogue.  Conversion ops name their source
+representation in ``name`` and their target in the ``backend`` tag; both
+execute as ``target.from_dense(source.to_dense(value))``, the exact
+boundary contract every backend already satisfies.  A ``loop`` op's tag
+applies to its whole nested body.
 
 Loops that fusion cannot eliminate become a ``loop`` op holding a nested
 :class:`Plan` for the body.  Loop-invariant sub-expressions are *not* in the
@@ -67,6 +85,7 @@ sweeps accordingly.
 from __future__ import annotations
 
 import threading
+import time
 from collections import namedtuple
 from dataclasses import dataclass
 from typing import Any, List, Optional, Tuple
@@ -125,6 +144,11 @@ class PlanOp:
     #: ``loop`` (kind ``for``) only: type of the zero accumulator when the
     #: loop has no initialiser.
     accumulator_type: Optional[MatrixType] = None
+    #: Physical assignment: key into the executor's backend map, or ``None``
+    #: to run on the default backend (see "Per-op physical assignment" in
+    #: the module docstring).  For ``to_dense`` / ``to_sparse`` conversion
+    #: ops this is the *target* representation (``name`` holds the source).
+    backend: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -198,16 +222,23 @@ class Plan:
         if instance is not None:
             # Imported lazily: the backends module is a consumer of values,
             # not of the IR, and must stay importable without this module.
-            from repro.semiring.backends import select_backend
+            from repro.semiring.backends import plan_physical
 
-            selection = select_backend(self, instance, backend)
+            physical = plan_physical(self, instance, backend)
             sections.append("physical plan:")
-            sections.extend(f"  {note}" for note in selection.notes)
-            name = selection.backend.name
-            for register, op in enumerate(self.ops):
-                assigned = name
+            sections.extend(f"  {note}" for note in physical.notes)
+            default = physical.default_tag
+            for register, op in enumerate(physical.plan.ops):
+                assigned = op.backend or default
+                if op.opcode in ("to_dense", "to_sparse"):
+                    source = op.name or default
+                    sections.append(
+                        f"  r{register} {op.opcode}: {source} -> {assigned} "
+                        "(inserted conversion)"
+                    )
+                    continue
                 if op.opcode == "apply":
-                    assigned = f"{name} (dense round-trip)"
+                    assigned = f"{assigned} (dense round-trip)"
                 sections.append(f"  r{register} {op.opcode}: {assigned}")
         return "\n".join(sections)
 
@@ -222,6 +253,12 @@ class _Runtime:
     backend: Any
     instance: Any
     functions: Any
+    #: Physical tag -> backend map for per-op dispatch (``None``: every op
+    #: runs on ``backend``, the historical whole-plan behaviour).
+    backends: Any = None
+    #: Optional :class:`~repro.profile.recorder.ExecutionProfiler` fed one
+    #: observation per executed op.
+    profiler: Any = None
 
     def dimension(self, symbol: str, context: str) -> int:
         if symbol is None:
@@ -250,14 +287,32 @@ class _Runtime:
         )
 
 
-def execute_plan(plan: Plan, backend: Any, instance: Any, functions: Any) -> Any:
+def execute_plan(
+    plan: Plan,
+    backend: Any,
+    instance: Any,
+    functions: Any,
+    backends: Any = None,
+    profiler: Any = None,
+) -> Any:
     """Run ``plan`` against ``instance`` on ``backend``.
 
-    Returns a backend value; callers convert through ``backend.to_dense``
-    (and copy) before handing it to user code.
+    ``backend`` executes every untagged op; ops carrying a physical
+    ``backend`` tag dispatch through the ``backends`` map (required whenever
+    the plan is tagged — the physical planner supplies both together).
+    ``profiler`` optionally records one timing observation per executed op.
+    Returns a backend value hosted on the backend that computed the result
+    op; callers convert through that backend's ``to_dense`` (and copy)
+    before handing it to user code.
     """
-    runtime = _Runtime(backend=backend, instance=instance, functions=functions)
-    return _run(plan, runtime, (), None, None)
+    runtime = _Runtime(
+        backend=backend,
+        instance=instance,
+        functions=functions,
+        backends=backends,
+        profiler=profiler,
+    )
+    return _run(plan, runtime, (), None, None, backend)
 
 
 def _run(
@@ -266,13 +321,28 @@ def _run(
     captured: Tuple[Any, ...],
     iterator: Any,
     accumulator: Any,
+    default: Any = None,
 ) -> Any:
-    backend = runtime.backend
+    if default is None:
+        default = runtime.backend
+    backends = runtime.backends
+    profiler = runtime.profiler
     values: List[Any] = []
     append = values.append
 
     for op in plan.ops:
         opcode = op.opcode
+        tag = op.backend
+        if tag is None:
+            backend = default
+        else:
+            backend = None if backends is None else backends.get(tag)
+            if backend is None:
+                raise EvaluationError(
+                    f"plan op {opcode!r} is tagged for backend {tag!r}, which "
+                    "the supplied backend map does not provide"
+                )
+        started = time.perf_counter() if profiler is not None else 0.0
 
         if opcode == "matmul":
             append(backend.matmul(values[op.inputs[0]], values[op.inputs[1]]))
@@ -320,9 +390,9 @@ def _run(
                 )
             append(backend.diag(operand))
         elif opcode == "apply":
-            append(_run_apply(op, values, runtime))
+            append(_run_apply(op, values, runtime, backend))
         elif opcode == "loop":
-            append(_run_loop(op, values, runtime))
+            append(_run_loop(op, values, runtime, backend))
         elif opcode == "nsum":
             count = runtime.dimension(op.symbol, "a fused quantifier")
             append(backend.nsum(values[op.inputs[0]], count))
@@ -342,14 +412,29 @@ def _run(
         elif opcode == "hadamard_power":
             count = runtime.dimension(op.symbol, "a fused Hadamard quantifier")
             append(backend.hadamard_power(values[op.inputs[0]], count))
+        elif opcode in ("to_dense", "to_sparse"):
+            # Physical-planner conversion: re-host the value on this op's
+            # target backend through the dense boundary contract.
+            if op.name is None:
+                source = default
+            else:
+                source = None if backends is None else backends.get(op.name)
+                if source is None:
+                    raise EvaluationError(
+                        f"conversion op {opcode!r} names source backend "
+                        f"{op.name!r}, which the backend map does not provide"
+                    )
+            append(backend.from_dense(source.to_dense(values[op.inputs[0]])))
         else:  # pragma: no cover - the compiler only emits known opcodes
             raise EvaluationError(f"unknown plan opcode {opcode!r}")
+
+        if profiler is not None:
+            profiler.record(op, backend.name, values, time.perf_counter() - started)
 
     return values[plan.result]
 
 
-def _run_apply(op: PlanOp, values: List[Any], runtime: _Runtime) -> Any:
-    backend = runtime.backend
+def _run_apply(op: PlanOp, values: List[Any], runtime: _Runtime, backend: Any) -> Any:
     function = runtime.functions.get(op.name)
     operands = [backend.to_dense(values[register]) for register in op.inputs]
     shape = operands[0].shape
@@ -359,12 +444,11 @@ def _run_apply(op: PlanOp, values: List[Any], runtime: _Runtime) -> Any:
                 f"pointwise function {op.name!r} applied to matrices of "
                 f"different shapes {shape} and {operand.shape}"
             )
-    result = function.apply_matrix(runtime.backend.semiring, operands)
+    result = function.apply_matrix(backend.semiring, operands)
     return backend.from_dense(result)
 
 
-def _run_loop(op: PlanOp, values: List[Any], runtime: _Runtime) -> Any:
-    backend = runtime.backend
+def _run_loop(op: PlanOp, values: List[Any], runtime: _Runtime, backend: Any) -> Any:
     count = runtime.dimension(op.symbol, "a loop iterator")
     captured = tuple(values[register] for register in op.captures)
     body = op.body
@@ -377,7 +461,7 @@ def _run_loop(op: PlanOp, values: List[Any], runtime: _Runtime) -> Any:
             accumulator = backend.zeros(rows, cols)
         for index in range(count):
             iterator = backend.basis_column(count, index)
-            accumulator = _run(body, runtime, captured, iterator, accumulator)
+            accumulator = _run(body, runtime, captured, iterator, accumulator, backend)
         return accumulator
 
     if op.kind == "sum":
@@ -392,7 +476,7 @@ def _run_loop(op: PlanOp, values: List[Any], runtime: _Runtime) -> Any:
     accumulator = None
     for index in range(count):
         iterator = backend.basis_column(count, index)
-        value = _run(body, runtime, captured, iterator, None)
+        value = _run(body, runtime, captured, iterator, None, backend)
         accumulator = value if accumulator is None else combine(accumulator, value)
     if accumulator is None:  # pragma: no cover - dimensions are always >= 1
         raise EvaluationError("quantifier iterated over an empty dimension")
@@ -649,7 +733,7 @@ def _run_batch(
                 )
             append(backend.diag(operand))
         elif opcode == "apply":
-            append(_run_apply(op, values, runtime))
+            append(_run_apply(op, values, runtime, backend))
         elif opcode == "loop":
             append(_run_loop_batch(op, values, runtime))
         elif opcode == "nsum":
@@ -671,6 +755,11 @@ def _run_batch(
         elif opcode == "hadamard_power":
             count = runtime.dimension(op.symbol, "a fused Hadamard quantifier")
             append(backend.hadamard_power(values[op.inputs[0]], count))
+        elif opcode in ("to_dense", "to_sparse"):
+            raise EvaluationError(
+                "mixed-backend plans (with inserted conversion ops) cannot "
+                "execute on the batched backend; run them per instance"
+            )
         else:  # pragma: no cover - the compiler only emits known opcodes
             raise EvaluationError(f"unknown plan opcode {opcode!r}")
 

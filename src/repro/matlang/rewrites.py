@@ -74,16 +74,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional
 
-from repro.matlang.ast import (
-    Add,
-    ForLoop,
-    MatMul,
-    ScalarMul,
-    SumLoop,
-    Transpose,
-    TypeHint,
-    Var,
-)
+from repro.matlang.ast import Add, ForLoop, MatMul, ScalarMul, SumLoop, Transpose, Var
 from repro.matlang.normalize import (
     add_leaves,
     build_add_chain,

@@ -8,7 +8,7 @@ The distinguished symbol ``"1"`` always denotes dimension one.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, Mapping, Tuple
+from typing import Dict, Iterator, Tuple
 
 from repro.exceptions import SchemaError
 

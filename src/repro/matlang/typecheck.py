@@ -19,7 +19,7 @@ consume annotated trees so that loop bounds are known without re-inference.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Dict, FrozenSet, Optional, Tuple
 
 from repro.exceptions import TypingError
 from repro.matlang.ast import (

@@ -1,0 +1,99 @@
+"""Measured-cost feedback for the optimizer: profiles, recording, calibration.
+
+This package closes the loop between execution and planning:
+
+* :class:`~repro.profile.model.CostProfile` — the persistent per-install
+  weights (unit costs, symbol sizes, backend-crossover thresholds);
+* :class:`~repro.profile.recorder.ExecutionProfiler` — bounded reservoirs
+  of observed per-op timings, fitted back into a profile;
+* :mod:`repro.profile.calibration` — the ``python -m repro.calibrate``
+  micro-sweep that measures an install from scratch.
+
+The module also owns the process-wide *active* profile.  It auto-loads
+from :func:`~repro.profile.model.default_profile_path` on first use (so a
+calibrated install benefits without code changes), and every
+:func:`set_active_profile` bumps :func:`profile_generation` — the counter
+the compiler folds into its plan-cache keys, so cached plans re-optimize
+against fresh measurements instead of serving stale physical decisions.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.profile.model import (
+    DEFAULT_PROFILE,
+    DEFAULT_SURROGATE_SIZE,
+    CostProfile,
+    default_profile_path,
+)
+from repro.profile.recorder import ExecutionProfiler
+
+__all__ = [
+    "DEFAULT_PROFILE",
+    "DEFAULT_SURROGATE_SIZE",
+    "CostProfile",
+    "ExecutionProfiler",
+    "active_profile",
+    "default_profile_path",
+    "profile_generation",
+    "reset_active_profile",
+    "set_active_profile",
+]
+
+_LOCK = threading.Lock()
+_ACTIVE: Optional[CostProfile] = None
+_GENERATION = 0
+
+
+def _load_initial() -> CostProfile:
+    path = default_profile_path()
+    try:
+        if path.is_file():
+            return CostProfile.load(path)
+    except (OSError, ValueError, KeyError, TypeError):
+        pass  # a corrupt profile must never break evaluation
+    return DEFAULT_PROFILE
+
+
+def active_profile() -> CostProfile:
+    """The process-wide cost profile (auto-loaded on first use)."""
+    global _ACTIVE, _GENERATION
+    profile = _ACTIVE
+    if profile is None:
+        with _LOCK:
+            if _ACTIVE is None:
+                loaded = _load_initial()
+                if loaded is not DEFAULT_PROFILE:
+                    # A persisted profile differs from the defaults plans may
+                    # already have been compiled against: new generation.
+                    _GENERATION += 1
+                _ACTIVE = loaded
+            profile = _ACTIVE
+    return profile
+
+
+def profile_generation() -> int:
+    """Monotonic counter bumped whenever the active profile changes.
+
+    Folded into the compiler's plan-cache keys: a generation bump makes
+    every cached plan unreachable, so the next compilation re-runs the
+    cost-based passes against the new profile.
+    """
+    active_profile()  # force the initial load so the counter is stable
+    return _GENERATION
+
+
+def set_active_profile(profile: CostProfile) -> CostProfile:
+    """Install ``profile`` as the active one and bump the generation."""
+    global _ACTIVE, _GENERATION
+    with _LOCK:
+        _ACTIVE = profile
+        _GENERATION += 1
+    return profile
+
+
+def reset_active_profile() -> CostProfile:
+    """Restore the built-in default profile (used by tests)."""
+    return set_active_profile(DEFAULT_PROFILE)

@@ -1,0 +1,174 @@
+"""The persistent cost profile driving physical planning.
+
+A :class:`CostProfile` is the calibrated knowledge the optimizer has about
+*this install*: per-op unit costs for the dense and sparse execution
+backends, a fixed per-op dispatch overhead, observed sizes of dimension
+symbols, and the backend-crossover thresholds the physical planner gates
+on.  The default profile (version 0) encodes the static heuristics the
+planner shipped with — flat surrogate symbol weights, the ``0.15`` density
+ceiling and the ``64``-dimension floor — so an uncalibrated install behaves
+exactly as before.
+
+Profiles are plain JSON on disk (see :meth:`CostProfile.save` /
+:meth:`CostProfile.load`); :func:`default_profile_path` is where
+``python -m repro.calibrate`` writes and where
+:func:`repro.profile.active_profile` auto-loads from.
+
+Unit-cost keys
+--------------
+Costs are ``work-units x unit_cost`` with work units per op class:
+
+``dense.matmul``       ``rows * inner * cols`` (schoolbook FLOPs)
+``dense.elementwise``  entries touched (add, hadamard, scale, transpose, …)
+``dense.construct``    entries materialised (ones, identity, load)
+``sparse.matmul``      expansion pairs: ``rows * inner * cols * dl * dr``
+``sparse.elementwise`` stored entries involved
+``sparse.construct``   stored entries materialised
+``convert``            entries crossing a dense <-> CSR boundary
+
+The default values are *relative* weights (dense matmul = 1); a calibrated
+profile replaces them with measured seconds-per-unit.  Either way the
+planner only ever compares costs expressed in one profile's units, so the
+scale is free.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+__all__ = [
+    "DEFAULT_PROFILE",
+    "DEFAULT_SURROGATE_SIZE",
+    "DEFAULT_UNIT_COSTS",
+    "CostProfile",
+    "default_profile_path",
+]
+
+#: Stand-in size for dimension symbols the profile has never observed.
+#: Matches the logical cost model's historical surrogate dimension.
+DEFAULT_SURROGATE_SIZE = 256
+
+#: Relative unit costs of the uncalibrated default profile.  The sparse
+#: entries carry the CSR formats' constant-factor handicap (index juggling,
+#: sorting, reduceat) so the planner only goes sparse when the density
+#: advantage pays for it.
+DEFAULT_UNIT_COSTS: Dict[str, float] = {
+    "dense.matmul": 1.0,
+    "dense.elementwise": 1.0,
+    "dense.construct": 1.0,
+    "sparse.matmul": 4.0,
+    "sparse.elementwise": 4.0,
+    "sparse.construct": 2.0,
+    "convert": 1.0,
+}
+
+#: Environment variable overriding where profiles auto-load from / save to.
+PROFILE_PATH_ENV = "REPRO_PROFILE_PATH"
+
+
+def default_profile_path() -> pathlib.Path:
+    """Where the per-install profile lives (env override, else user cache)."""
+    override = os.environ.get(PROFILE_PATH_ENV)
+    if override:
+        return pathlib.Path(override)
+    cache_root = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return pathlib.Path(cache_root) / "repro-matlang" / "cost_profile.json"
+
+
+@dataclass(frozen=True)
+class CostProfile:
+    """Calibrated per-install weights for the physical cost model."""
+
+    #: Monotonic per-file version; bumped by every fit / calibration.
+    version: int = 0
+    #: Provenance note (``"default"``, ``"calibrated"``, ``"fitted"``).
+    source: str = "default"
+    #: Seconds (or relative weight) per work unit, keyed as documented above.
+    unit_costs: Dict[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_UNIT_COSTS)
+    )
+    #: Fixed per-op dispatch cost, in the same units as ``unit_costs``.
+    op_overhead: float = 512.0
+    #: Observed sizes of dimension symbols (EWMA of executions seen).
+    symbol_sizes: Dict[str, float] = field(default_factory=dict)
+    #: Dimension floor below which sparse execution never pays.
+    sparse_min_dimension: int = 64
+    #: Density ceiling above which CSR stops paying for itself.
+    sparse_max_density: float = 0.15
+
+    # -- lookups ---------------------------------------------------------
+    def unit_cost(self, key: str) -> float:
+        """The cost per work unit of one op class (default-filled)."""
+        value = self.unit_costs.get(key)
+        if value is None:
+            value = DEFAULT_UNIT_COSTS.get(key, 1.0)
+        return float(value)
+
+    def symbol_size(self, symbol: Optional[str]) -> float:
+        """The believed size of a dimension symbol (``"1"`` weighs one)."""
+        if symbol == "1":
+            return 1.0
+        if symbol is not None:
+            observed = self.symbol_sizes.get(symbol)
+            if observed is not None and observed >= 1.0:
+                return float(observed)
+        return float(DEFAULT_SURROGATE_SIZE)
+
+    # -- evolution -------------------------------------------------------
+    def bumped(self, **changes) -> "CostProfile":
+        """A copy with ``changes`` applied and the version incremented."""
+        return replace(self, version=self.version + 1, **changes)
+
+    # -- persistence -----------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "source": self.source,
+            "unit_costs": dict(self.unit_costs),
+            "op_overhead": self.op_overhead,
+            "symbol_sizes": dict(self.symbol_sizes),
+            "sparse_min_dimension": self.sparse_min_dimension,
+            "sparse_max_density": self.sparse_max_density,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CostProfile":
+        return cls(
+            version=int(payload.get("version", 0)),
+            source=str(payload.get("source", "default")),
+            unit_costs={
+                str(key): float(value)
+                for key, value in dict(payload.get("unit_costs", {})).items()
+            },
+            op_overhead=float(payload.get("op_overhead", 512.0)),
+            symbol_sizes={
+                str(key): float(value)
+                for key, value in dict(payload.get("symbol_sizes", {})).items()
+            },
+            sparse_min_dimension=int(payload.get("sparse_min_dimension", 64)),
+            sparse_max_density=float(payload.get("sparse_max_density", 0.15)),
+        )
+
+    def save(self, path: Optional[pathlib.Path] = None) -> pathlib.Path:
+        """Write the profile as JSON; returns the path written."""
+        target = pathlib.Path(path) if path is not None else default_profile_path()
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
+        return target
+
+    @classmethod
+    def load(cls, path: Optional[pathlib.Path] = None) -> "CostProfile":
+        """Read a profile from JSON (raises ``OSError`` / ``ValueError``)."""
+        source = pathlib.Path(path) if path is not None else default_profile_path()
+        return cls.from_dict(json.loads(source.read_text()))
+
+
+#: The uncalibrated profile: reproduces the planner's historical static
+#: behaviour exactly (flat surrogate weights, 0.15 / 64 thresholds).
+DEFAULT_PROFILE = CostProfile()

@@ -20,11 +20,13 @@ from repro.semiring.backends import (
     DenseExecutionBackend,
     ExecutionBackend,
     InstanceStatistics,
+    PhysicalPlan,
     PhysicalSelection,
     SparseBooleanBackend,
     available_backends,
     backend_for,
     instance_statistics,
+    plan_physical,
     register_backend,
     select_backend,
 )
@@ -63,6 +65,8 @@ __all__ = [
     "INTEGER",
     "IntegerRing",
     "KernelBackend",
+    "PhysicalPlan",
+    "PhysicalSelection",
     "SparseBooleanBackend",
     "available_backends",
     "backend_for",
@@ -91,6 +95,7 @@ __all__ = [
     "lift",
     "matrices_equal",
     "ones_matrix",
+    "plan_physical",
     "register_kernels",
     "register_semiring",
     "scalar",

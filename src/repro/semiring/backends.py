@@ -76,12 +76,14 @@ __all__ = [
     "DenseExecutionBackend",
     "ExecutionBackend",
     "InstanceStatistics",
+    "PhysicalPlan",
     "PhysicalSelection",
     "SparseBooleanBackend",
     "SparseTropicalBackend",
     "available_backends",
     "backend_for",
     "instance_statistics",
+    "plan_physical",
     "register_backend",
     "resolve_backend",
     "select_backend",
@@ -904,6 +906,11 @@ class InstanceStatistics:
     max_dimension: int
     entries: int
     density: Optional[float]
+    #: Per-matrix stored-entry fractions (same profiling pass), so the
+    #: per-op planner can tell a sparse adjacency matrix from a dense
+    #: feature matrix inside one instance.  ``None`` for unprofiled
+    #: semirings and for statistics built by older callers.
+    densities: Optional[Dict[str, float]] = None
 
 
 @dataclass(frozen=True)
@@ -943,14 +950,17 @@ def instance_statistics(instance) -> InstanceStatistics:
     entries = 0
     stored = 0
     profiled = semiring.name in SPARSE_CAPABLE_SEMIRINGS
+    per_matrix: Dict[str, float] = {}
     if profiled:
         zero = semiring.zero
         for name in instance.matrices:
             matrix = instance.matrix(name)
             if matrix.size <= 1:
                 continue
+            count = int(np.count_nonzero(matrix != zero))
             entries += matrix.size
-            stored += int(np.count_nonzero(matrix != zero))
+            stored += count
+            per_matrix[name] = count / matrix.size
     density = (stored / entries) if (profiled and entries) else None
     return InstanceStatistics(
         semiring=semiring.name,
@@ -958,6 +968,7 @@ def instance_statistics(instance) -> InstanceStatistics:
         max_dimension=int(max_dimension),
         entries=int(entries),
         density=density,
+        densities=per_matrix if profiled else None,
     )
 
 
@@ -1049,3 +1060,428 @@ def resolve_backend(semiring: Semiring, backend) -> ExecutionBackend:
             f"{semiring.name!r}"
         )
     return backend
+
+
+# ----------------------------------------------------------------------
+# Per-op physical planning
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PhysicalPlan:
+    """The outcome of per-op physical planning.
+
+    ``plan`` is the executable plan: the caller's plan object itself when
+    every op landed on one backend (so identity-keyed caches and batch
+    grouping keep working), or a rewritten copy with per-op ``backend``
+    tags and inserted ``to_dense`` / ``to_sparse`` conversion ops when the
+    assignment is mixed.  ``backends`` maps the tags the plan uses to live
+    backend instances; ``default_tag`` names the backend untagged ops run
+    on (and the only backend of a uniform plan).
+    """
+
+    plan: Any
+    backends: Dict[str, ExecutionBackend]
+    default_tag: str
+    notes: Tuple[str, ...]
+
+    @property
+    def backend(self) -> ExecutionBackend:
+        """The default backend (the single backend of a uniform plan)."""
+        return self.backends[self.default_tag]
+
+    @property
+    def mixed(self) -> bool:
+        """Whether ops are split across more than one backend."""
+        return len(self.backends) > 1
+
+    @property
+    def batchable(self) -> bool:
+        """Whether this plan can join a dense batched execution."""
+        return not self.mixed and self.default_tag == "dense"
+
+    @property
+    def result_backend(self) -> ExecutionBackend:
+        """The backend hosting the result value (for the final ``to_dense``)."""
+        op = self.plan.ops[self.plan.result]
+        tag = op.backend or self.default_tag
+        return self.backends[tag]
+
+
+#: Opcodes costed as one pass over the stored entries of their operands.
+_ELEMENTWISE_OPCODES = frozenset(
+    {
+        "add",
+        "hadamard",
+        "scale",
+        "transpose",
+        "diag",
+        "row_sums",
+        "col_sums",
+        "trace",
+        "diag_of_diag",
+        "diag_product",
+        "nsum",
+        "apply",
+    }
+)
+
+
+class _PlanCoster:
+    """Per-op cost and density estimation over one (sub-)plan.
+
+    Densities are representation-independent estimates of the value
+    structure, propagated with saturating rules chosen to keep the proven
+    whole-plan decisions: ``matmul`` grows density as ``min(1, dl*dr*k)``
+    (the expected fill of one product — deliberately *not* the
+    independence estimate ``1-(1-dl*dr)^k``, which saturates structured
+    closures to dense and would push reachability workloads off the sparse
+    backend), and ``power`` is costed as its ``log2`` squaring ladder at
+    the *input* density while its output saturates toward dense.
+    """
+
+    def __init__(self, model, matrix_density, weight) -> None:
+        self.model = model
+        self.matrix_density = matrix_density
+        self.weight = weight
+
+    def shape(self, op) -> Tuple[int, int]:
+        weight = self.weight
+        if op.type is None:
+            return weight(None), weight(None)
+        return weight(op.type[0]), weight(op.type[1])
+
+    def inner_weight(self, ops, op) -> int:
+        left = ops[op.inputs[0]]
+        if left.type is None:
+            return self.weight(None)
+        return self.weight(left.type[1])
+
+    def densities(self, plan, captures=(), iterator_density=1.0):
+        """Estimated result density per register of ``plan``."""
+        ops = plan.ops
+        out: list = []
+        for op in ops:
+            opcode = op.opcode
+            rows, cols = self.shape(op)
+            if opcode == "load":
+                d = self.matrix_density(op.name)
+            elif opcode in ("const", "ones", "ones_type", "apply"):
+                d = 1.0
+            elif opcode in ("identity_of", "identity_sym"):
+                d = 1.0 / max(rows, 1)
+            elif opcode == "iterator":
+                d = iterator_density
+            elif opcode in ("accumulator", "loop"):
+                d = 1.0
+            elif opcode == "capture":
+                d = captures[op.value] if op.value < len(captures) else 1.0
+            elif opcode == "matmul":
+                inner = self.inner_weight(ops, op)
+                d = min(
+                    1.0, out[op.inputs[0]] * out[op.inputs[1]] * inner
+                )
+            elif opcode == "add":
+                d = min(1.0, out[op.inputs[0]] + out[op.inputs[1]])
+            elif opcode == "hadamard":
+                d = out[op.inputs[0]] * out[op.inputs[1]]
+            elif opcode == "scale":
+                d = out[op.inputs[1]]
+            elif opcode == "power":
+                d = min(1.0, out[op.inputs[0]] * self.weight(op.symbol))
+            elif opcode in ("row_sums", "col_sums"):
+                d = min(1.0, out[op.inputs[0]] * self.weight(None))
+            elif opcode in ("diag", "diag_of_diag"):
+                d = out[op.inputs[0]] / max(rows, 1)
+            elif opcode in ("trace", "diag_product"):
+                d = 1.0
+            elif opcode in ("nsum", "hadamard_power", "transpose"):
+                d = out[op.inputs[0]]
+            elif op.inputs:
+                d = out[op.inputs[0]]
+            else:
+                d = 1.0
+            out.append(max(0.0, min(1.0, d)))
+        return out
+
+    def op_cost(self, ops, op, densities, tag: str) -> float:
+        """Estimated cost of one op on the backend named ``tag``."""
+        unit = self.model.unit
+        opcode = op.opcode
+        rows, cols = self.shape(op)
+        entries = rows * cols
+        sparse = tag == "sparse"
+
+        def stored(fraction: float) -> float:
+            return max(1.0, entries * (fraction if sparse else 1.0))
+
+        if opcode == "load":
+            if not sparse:
+                return 0.0  # dense loads reuse the validated instance array
+            return stored(self.matrix_density(op.name)) * unit("sparse.construct")
+        if opcode in ("const", "ones", "ones_type", "identity_of", "identity_sym"):
+            fraction = 1.0 / max(rows, 1) if "identity" in opcode else 1.0
+            return stored(fraction) * unit(f"{tag}.construct")
+        if opcode in ("iterator", "accumulator", "capture"):
+            return 0.0
+        if opcode == "matmul":
+            inner = self.inner_weight(ops, op)
+            work = float(rows * inner * cols)
+            if sparse:
+                work *= densities[op.inputs[0]] * densities[op.inputs[1]]
+            return max(1.0, work) * unit(f"{tag}.matmul")
+        if opcode == "power":
+            inner = self.inner_weight(ops, op)
+            count = self.weight(op.symbol)
+            steps = max(1, int(count).bit_length())
+            work = float(rows * inner * cols) * steps
+            if sparse:
+                work *= densities[op.inputs[0]] ** 2
+            return max(1.0, work) * unit(f"{tag}.matmul")
+        if opcode == "hadamard_power":
+            steps = max(1, int(self.weight(op.symbol)).bit_length())
+            return stored(densities[op.inputs[0]]) * steps * unit(f"{tag}.elementwise")
+        if opcode == "loop":
+            count = self.weight(op.symbol)
+            body_captures = [densities[register] for register in op.captures]
+            body_cost, _ = self.plan_cost(
+                op.body, tag, body_captures, 1.0 / max(count, 1)
+            )
+            return count * body_cost
+        if opcode in _ELEMENTWISE_OPCODES:
+            fraction = 1.0
+            if sparse:
+                fraction = 0.0
+                for register in op.inputs:
+                    fraction = max(fraction, densities[register])
+                fraction = max(fraction, 1e-3)
+            return stored(fraction) * unit(f"{tag}.elementwise")
+        return float(max(1.0, entries)) * unit(f"{tag}.elementwise")
+
+    def plan_cost(self, plan, tag, captures=(), iterator_density=1.0):
+        """Total estimated cost of running a whole (sub-)plan on ``tag``."""
+        densities = self.densities(plan, captures, iterator_density)
+        total = 0.0
+        for op in plan.ops:
+            total += self.op_cost(plan.ops, op, densities, tag)
+        return total, densities[plan.result]
+
+
+def plan_physical(
+    plan,
+    instance,
+    requested=None,
+    statistics: Optional[InstanceStatistics] = None,
+    profile=None,
+) -> PhysicalPlan:
+    """Assign an execution backend to every op of ``plan`` for ``instance``.
+
+    The per-op generalisation of :func:`select_backend`: the same gates
+    decide whether sparse execution is on the table at all (semiring
+    capability, scipy availability, profile-calibrated size and density
+    thresholds), but instead of one whole-plan verdict each top-level op is
+    costed on both representations under the active
+    :class:`~repro.profile.model.CostProfile` — with per-register density
+    propagation seeded from the instance's per-matrix densities — and
+    assigned the cheaper backend, with explicit conversion ops inserted
+    (and charged for) wherever a value crosses representations.  A sparse
+    reachability prefix can therefore feed a dense epilogue inside one
+    plan.
+
+    Uniform outcomes return the caller's plan object untouched, so plan
+    identity (caches, batch grouping) is preserved exactly as before.
+    """
+    semiring = instance.semiring
+    if requested is not None and requested != "auto":
+        backend = resolve_backend(semiring, requested)
+        label = requested if isinstance(requested, str) else backend.name
+        return PhysicalPlan(
+            plan,
+            {backend.name: backend},
+            backend.name,
+            (f"backend {label!r} pinned by the caller",),
+        )
+
+    if statistics is None:
+        statistics = instance_statistics(instance)
+    if profile is None:
+        from repro.profile import active_profile
+
+        profile = active_profile()
+
+    def dense(reason: str) -> PhysicalPlan:
+        return PhysicalPlan(
+            plan,
+            {"dense": backend_for(semiring, "dense")},
+            "dense",
+            (f"auto-selected dense: {reason}",),
+        )
+
+    min_dimension = int(profile.sparse_min_dimension)
+    max_density = float(profile.sparse_max_density)
+    if statistics.semiring not in SPARSE_CAPABLE_SEMIRINGS:
+        return dense(f"no sparse representation for semiring {statistics.semiring!r}")
+    if _sparse is None:
+        return dense("scipy is not installed")
+    if statistics.max_dimension < min_dimension:
+        return dense(
+            f"largest dimension {statistics.max_dimension} is below the sparse "
+            f"threshold {min_dimension}"
+        )
+    if statistics.density is None:
+        return dense(
+            f"instance density unknown exceeds the sparse ceiling {max_density}"
+        )
+    per_matrix = statistics.densities
+    if per_matrix is None:
+        per_matrix = {}
+    sparsest = min(per_matrix.values(), default=statistics.density)
+    if sparsest > max_density:
+        return dense(
+            f"instance density {statistics.density:.3f} exceeds the sparse "
+            f"ceiling {max_density}"
+        )
+    multiplicative = sum(plan.count_ops(opcode) for opcode in _MULTIPLICATIVE_OPCODES)
+    if not multiplicative:
+        return dense("the plan has no multiplication-shaped ops to accelerate")
+
+    from repro.matlang.cost import CostModel
+
+    model = CostModel(profile)
+    overall = statistics.density
+
+    def matrix_density(name: Optional[str]) -> float:
+        if name is None or not per_matrix:
+            return overall
+        return per_matrix.get(name, 1.0)
+
+    coster = _PlanCoster(model, matrix_density, model.symbol_weight)
+    densities = coster.densities(plan)
+    ops = plan.ops
+    costs = []
+    for op in ops:
+        costs.append(
+            {
+                "dense": coster.op_cost(ops, op, densities, "dense"),
+                "sparse": coster.op_cost(ops, op, densities, "sparse"),
+            }
+        )
+
+    convert_unit = model.unit("convert")
+    overhead = model.op_overhead
+    conversion_cost = [
+        max(1.0, coster.shape(op)[0] * coster.shape(op)[1]) * convert_unit + overhead
+        for op in ops
+    ]
+
+    def forced_dense(op) -> bool:
+        # Pointwise functions round-trip through dense arrays regardless of
+        # representation; hosting them dense avoids a pointless rebuild.
+        return op.opcode == "apply"
+
+    tags = [
+        "dense"
+        if forced_dense(op) or costs[index]["dense"] <= costs[index]["sparse"]
+        else "sparse"
+        for index, op in enumerate(ops)
+    ]
+
+    def total(assignment) -> float:
+        cost = sum(costs[index][assignment[index]] for index in range(len(ops)))
+        boundaries = set()
+        for index, op in enumerate(ops):
+            for register in (*op.inputs, *op.captures):
+                if assignment[register] != assignment[index]:
+                    boundaries.add((register, assignment[index]))
+        return cost + sum(conversion_cost[register] for register, _ in boundaries)
+
+    best_total = total(tags)
+    for _ in range(4):  # coordinate descent over per-op flips
+        improved = False
+        for index, op in enumerate(ops):
+            if forced_dense(op):
+                continue
+            flipped = list(tags)
+            flipped[index] = "sparse" if tags[index] == "dense" else "dense"
+            candidate = total(flipped)
+            if candidate < best_total:
+                tags = flipped
+                best_total = candidate
+                improved = True
+        if not improved:
+            break
+
+    distinct = set(tags)
+    if distinct == {"dense"}:
+        return dense("per-op cost model kept every op dense")
+    if distinct == {"sparse"}:
+        return PhysicalPlan(
+            plan,
+            {"sparse": backend_for(semiring, "sparse")},
+            "sparse",
+            (
+                f"auto-selected sparse: semiring {statistics.semiring!r}, "
+                f"density {statistics.density:.3f}, largest dimension "
+                f"{statistics.max_dimension} >= {min_dimension}, "
+                f"{multiplicative} multiplication-shaped op(s)",
+            ),
+        )
+
+    from dataclasses import replace as _replace
+
+    from repro.matlang.ir import Plan, PlanOp
+
+    out_ops: list = []
+    remap: Dict[int, int] = {}
+    conversions: Dict[Tuple[int, str], int] = {}
+
+    def routed(register: int, target: str) -> int:
+        if tags[register] == target:
+            return remap[register]
+        key = (register, target)
+        existing = conversions.get(key)
+        if existing is not None:
+            return existing
+        opcode = "to_dense" if target == "dense" else "to_sparse"
+        out_ops.append(
+            PlanOp(
+                opcode,
+                (remap[register],),
+                type=ops[register].type,
+                name=tags[register],
+                backend=target,
+            )
+        )
+        conversions[key] = len(out_ops) - 1
+        return conversions[key]
+
+    for index, op in enumerate(ops):
+        tag = tags[index]
+        inputs = tuple(routed(register, tag) for register in op.inputs)
+        captures = tuple(routed(register, tag) for register in op.captures)
+        out_ops.append(
+            _replace(op, inputs=inputs, captures=captures, backend=tag)
+        )
+        remap[index] = len(out_ops) - 1
+
+    physical_plan = Plan(
+        tuple(out_ops),
+        remap[plan.result],
+        tuple(sorted({remap[register] for register in plan.pinned})),
+        notes=plan.notes,
+    )
+    counts = {tag: tags.count(tag) for tag in ("sparse", "dense")}
+    notes = (
+        f"per-op physical planning (profile v{profile.version}, "
+        f"{profile.source}): {counts['sparse']} op(s) sparse, "
+        f"{counts['dense']} dense",
+        f"inserted {len(conversions)} backend conversion(s) at "
+        "representation boundaries",
+    )
+    return PhysicalPlan(
+        physical_plan,
+        {
+            "dense": backend_for(semiring, "dense"),
+            "sparse": backend_for(semiring, "sparse"),
+        },
+        "dense",
+        notes,
+    )

@@ -130,11 +130,20 @@ class CoalescingPolicy:
     ``max_pending``
         Intake queue bound; ``submit`` blocks once this many requests are
         waiting (backpressure instead of unbounded buffering).
+    ``ragged``
+        Opt-in ragged coalescing: groups that share a plan and semiring but
+        differ in dimensions additionally merge into one zero-padded batch
+        when the plan tolerates padding and the padding inflation stays
+        within :data:`repro.matlang.evaluator.RAGGED_PAD_LIMIT` — the
+        serving-side counterpart of ``run_batch(..., ragged=True)``.  Off by
+        default: padding trades kernel work for dispatch, which only pays
+        for near-miss size mixes.
     """
 
     max_delay: float = 0.002
     max_batch: int = 256
     max_pending: int = 8192
+    ragged: bool = False
 
     def __post_init__(self) -> None:
         if self.max_delay < 0:
@@ -148,13 +157,24 @@ class CoalescingPolicy:
 class QueryRequest:
     """One submitted evaluation: a compiled plan, an instance, a future."""
 
-    __slots__ = ("plan", "instance", "future", "submitted_at", "sequence")
+    __slots__ = (
+        "plan",
+        "instance",
+        "execute_instance",
+        "future",
+        "submitted_at",
+        "sequence",
+    )
 
     def __init__(
         self, plan: Any, instance: Any, future: QueryFuture, submitted_at: float
     ) -> None:
         self.plan = plan
         self.instance = instance
+        #: The instance the kernels actually run on: the submitted instance,
+        #: unless ragged coalescing substituted a zero-padded view of it
+        #: (the result is then sliced back to ``instance``'s true shape).
+        self.execute_instance = instance
         self.future = future
         #: ``time.perf_counter()`` at submission, for latency telemetry.
         self.submitted_at = submitted_at

@@ -19,11 +19,15 @@ Results are **bitwise-equal** to evaluating each request sequentially with
 
 * batched dense execution is bitwise-equal to per-instance dense execution
   (the PR 3 invariant, asserted across every registered semiring);
-* requests whose adaptive physical selection is *not* the dense backend
-  (sparse boolean / tropical instances) never join a stacked batch — they
-  fall back to per-instance execution on exactly the backend
-  :func:`repro.semiring.backends.select_backend` picks, so the engine's
-  answer matches the single-caller answer backend-for-backend;
+* requests whose per-op physical plan is not purely dense (sparse boolean /
+  tropical instances, or mixed sparse-prefix/dense-epilogue plans with
+  inserted conversion ops) never join a stacked batch — they fall back to
+  per-instance execution on exactly the plan
+  :func:`repro.semiring.backends.plan_physical` assigns, so the engine's
+  answer matches the single-caller answer op-for-op;
+* ragged coalescing (``CoalescingPolicy(ragged=True)``) only ever merges
+  padding-safe plans and slices each result back to its request's true
+  shape, so padded execution stays entrywise identical too;
 * a request that raises (bad schema, carrier violation, overflow) delivers
   its exception through its own future without poisoning the group: the
   scheduler retries the group's surviving members per-instance.
@@ -77,6 +81,13 @@ class Engine:
     options:
         Optional :class:`~repro.matlang.compiler.OptimizationOptions`
         applied to every compilation this engine performs.
+    profile_feedback:
+        When true the engine attaches an
+        :class:`~repro.profile.ExecutionProfiler` to every per-instance
+        execution and, on :meth:`flush_profile` (and automatically at
+        :meth:`shutdown`), fits the observed timings into the process-wide
+        cost profile — bumping the profile generation so cached plans
+        re-optimize against the measurements.
 
     The engine owns one daemon scheduler thread; use it as a context
     manager (or call :meth:`shutdown`) to drain and stop deterministically.
@@ -88,6 +99,7 @@ class Engine:
         functions: Any = None,
         backend: Any = None,
         options: Any = None,
+        profile_feedback: bool = False,
     ) -> None:
         from repro.matlang.functions import default_registry
         from repro.matlang.ir import StackCache
@@ -106,6 +118,16 @@ class Engine:
         #: the value so its id cannot be recycled while cached).  Only the
         #: scheduler thread touches this.
         self._dense_backends: Dict[int, Tuple[Any, Any]] = {}
+        #: Padding-safety verdicts per plan identity (the plan is pinned in
+        #: the value); only consulted under ragged coalescing, only by the
+        #: scheduler thread.
+        self._padding_safe: Dict[int, Tuple[Any, bool]] = {}
+        if profile_feedback:
+            from repro.profile import ExecutionProfiler
+
+            self._profiler: Any = ExecutionProfiler()
+        else:
+            self._profiler = None
         self._shutdown = False
         self._shutdown_lock = threading.Lock()
         #: One condition shared by every future this engine hands out (see
@@ -171,6 +193,25 @@ class Engine:
         """Counters of the engine's cross-dispatch input-stacking cache."""
         return self._stack_cache.info()
 
+    def flush_profile(self) -> bool:
+        """Fit the recorded timings into the process-wide cost profile.
+
+        Only meaningful with ``profile_feedback=True``; returns whether a
+        new profile was installed.  Installing bumps the profile
+        generation, so every plan cache (the module cache, the engine's
+        memo, evaluator physical caches) re-optimizes on next use.
+        """
+        from repro.profile import active_profile, set_active_profile
+
+        profiler = self._profiler
+        if profiler is None or profiler.sample_count() == 0:
+            return False
+        fitted = profiler.fit(base=active_profile())
+        if fitted is active_profile():
+            return False
+        set_active_profile(fitted)
+        return True
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -186,6 +227,11 @@ class Engine:
                 self._queue.close()
         if wait:
             self._scheduler.join()
+            if self._profiler is not None:
+                try:
+                    self.flush_profile()
+                except Exception:  # pragma: no cover - feedback is best-effort
+                    pass
 
     def __enter__(self) -> "Engine":
         return self
@@ -205,9 +251,13 @@ class Engine:
         self, expression: Any, instance: Any, future: QueryFuture
     ) -> Optional[QueryRequest]:
         from repro.matlang.compiler import compile_expression
+        from repro.profile import profile_generation
 
         try:
-            key = (id(expression), instance.schema.signature())
+            # The profile generation joins the key (like the module plan
+            # cache): a profile update makes every memoized plan unreachable
+            # so repeats recompile against the fresh measurements.
+            key = (id(expression), instance.schema.signature(), profile_generation())
             entry = self._plan_memo.get(key)
             if entry is not None and entry[0] is expression:
                 plan = entry[1]
@@ -254,7 +304,10 @@ class Engine:
             if not drained:
                 return  # queue closed and empty: clean shutdown
             self._stats.record_dequeued(len(drained))
-            for group in coalesce(drained):
+            groups = coalesce(drained)
+            if self.policy.ragged:
+                groups = self._merge_ragged_groups(groups)
+            for group in groups:
                 try:
                     self._dispatch(group)
                 except Exception as error:  # pragma: no cover - last resort
@@ -262,39 +315,107 @@ class Engine:
                     for request in group.requests:
                         self._finish_error(request, error)
 
+    def _merge_ragged_groups(
+        self, groups: List[DispatchGroup]
+    ) -> List[DispatchGroup]:
+        """Fold near-miss dimension groups into zero-padded dispatch groups.
+
+        The serving-side counterpart of ``run_batch(..., ragged=True)``:
+        groups that share a plan and a semiring but disagree on dimensions
+        merge into one padded batch when the plan tolerates padding
+        (:func:`repro.matlang.evaluator._padding_safe`) and every member's
+        inflation stays within ``RAGGED_PAD_LIMIT`` (the clustering in
+        :func:`repro.matlang.evaluator._merge_ragged_buckets`).  Members of
+        a padded group get a :class:`_PaddedInstance` as their
+        ``execute_instance``; results are sliced back to true shape at
+        delivery.
+        """
+        from collections import OrderedDict
+
+        from repro.matlang.evaluator import _merge_ragged_buckets, _PaddedInstance
+
+        merged: List[DispatchGroup] = []
+        families: "OrderedDict[Tuple, List[DispatchGroup]]" = OrderedDict()
+        for group in groups:
+            semiring = group.requests[0].instance.semiring
+            if self._plan_padding_safe(group.plan):
+                families.setdefault((id(group.plan), id(semiring)), []).append(group)
+            else:
+                merged.append(group)
+
+        for members in families.values():
+            if len(members) == 1:
+                merged.append(members[0])
+                continue
+            plan = members[0].plan
+            requests = [request for group in members for request in group.requests]
+            instances = [request.instance for request in requests]
+            buckets: "OrderedDict[Tuple, List[int]]" = OrderedDict()
+            for position, instance in enumerate(instances):
+                dims = tuple(sorted(instance.dimensions.items()))
+                buckets.setdefault((instance.semiring.name, dims), []).append(position)
+            for positions, target in _merge_ragged_buckets(buckets, instances):
+                group = DispatchGroup(plan=plan)
+                for position in sorted(
+                    positions, key=lambda index: requests[index].sequence
+                ):
+                    request = requests[position]
+                    if target is not None:
+                        request.execute_instance = _PaddedInstance(
+                            request.instance, target
+                        )
+                    group.requests.append(request)
+                merged.append(group)
+        return merged
+
+    def _plan_padding_safe(self, plan: Any) -> bool:
+        from repro.matlang.evaluator import _padding_safe
+
+        cached = self._padding_safe.get(id(plan))
+        if cached is None or cached[0] is not plan:
+            cached = (plan, _padding_safe(plan))
+            self._padding_safe[id(plan)] = cached
+        return cached[1]
+
     def _dispatch(self, group: DispatchGroup) -> None:
         batchable: List[QueryRequest] = []
         fallback: List[Tuple[QueryRequest, Any]] = []
         for request in group.requests:
-            backend = self._select(request)
-            if backend is None:
+            physical = self._select(request)
+            if physical is None:
                 batchable.append(request)
             else:
-                fallback.append((request, backend))
+                fallback.append((request, physical))
 
         if len(batchable) == 1:
             # A lone dense request gains nothing from the (B=1) stacked
             # representation; run it on the plain dense backend.
             request = batchable.pop()
-            fallback.insert(0, (request, self._dense_backend(request.instance.semiring)))
+            fallback.insert(
+                0, (request, self._dense_physical(group.plan, request.instance.semiring))
+            )
 
         if batchable:
             self._dispatch_batched(group.plan, batchable)
-        for request, backend in fallback:
-            self._execute_single(group.plan, request, backend)
+        for request, physical in fallback:
+            self._execute_single(request, physical)
 
     def _dispatch_batched(self, plan: Any, requests: List[QueryRequest]) -> None:
         from repro.matlang.evaluator import _batch_chunk_size
         from repro.matlang.ir import execute_plan_batch
         from repro.semiring.backends import BatchedDenseBackend
 
-        representative = requests[0].instance
+        representative = requests[0].execute_instance
+        padded = any(
+            request.execute_instance is not request.instance for request in requests
+        )
         limit = max(1, min(self.policy.max_batch, _batch_chunk_size(representative)))
         for start in range(0, len(requests), limit):
             chunk = requests[start : start + limit]
             if len(chunk) == 1:
                 self._execute_single(
-                    plan, chunk[0], self._dense_backend(representative.semiring)
+                    chunk[0],
+                    self._dense_physical(plan, representative.semiring),
                 )
                 continue
             backend = BatchedDenseBackend(representative.semiring, len(chunk))
@@ -302,32 +423,44 @@ class Engine:
                 value = execute_plan_batch(
                     plan,
                     backend,
-                    [request.instance for request in chunk],
+                    [request.execute_instance for request in chunk],
                     self.functions,
-                    stack_cache=self._stack_cache,
+                    # Padded views are rebuilt per scheduling round, so their
+                    # stacks can never be re-hit; keep them out of the cache.
+                    stack_cache=None if padded else self._stack_cache,
                 )
                 stacked = backend.to_dense(value)
             except Exception:
                 # Rescue pass: one poisoned request (carrier violation,
                 # overflow) must only fail its own future — rerun the chunk
-                # per-instance so each request gets its own verdict.
-                dense = self._dense_backend(representative.semiring)
+                # per-instance (unpadded) so each request gets its own
+                # verdict.
+                dense = self._dense_physical(plan, representative.semiring)
                 for request in chunk:
-                    self._execute_single(plan, request, dense)
+                    self._execute_single(request, dense)
                 continue
             self._stats.record_dispatch(len(chunk), batched=True)
-            self._finish_chunk(chunk, stacked)
+            self._finish_chunk(chunk, stacked, plan=plan, padded=padded)
 
-    def _execute_single(self, plan: Any, request: QueryRequest, backend: Any) -> None:
+    def _execute_single(self, request: QueryRequest, physical: Any) -> None:
         from repro.matlang.ir import execute_plan
 
         self._stats.record_dispatch(1, batched=False)
         try:
-            value = execute_plan(plan, backend, request.instance, self.functions)
-            result = backend.to_dense(value).copy()
+            value = execute_plan(
+                physical.plan,
+                physical.backend,
+                request.instance,
+                self.functions,
+                backends=physical.backends,
+                profiler=self._profiler,
+            )
+            result = physical.result_backend.to_dense(value).copy()
         except Exception as error:
             self._finish_error(request, error)
         else:
+            if self._profiler is not None:
+                self._profiler.observe_instance(request.instance)
             self._finish_result(request, result)
 
     # ------------------------------------------------------------------
@@ -337,11 +470,13 @@ class Engine:
         """Pick how one request executes.
 
         Returns ``None`` when the request should join a stacked dense batch
-        (adaptive selection lands on the dense backend, or the caller pinned
-        the ``"dense"`` *name*), and a concrete execution backend when the
-        request must run per-instance on it — a sparse adaptive selection,
-        or any other pinned backend, including pinned backend *instances*,
-        which are honoured verbatim (:func:`resolve_backend` policy).
+        (per-op planning lands every op on the dense backend, or the caller
+        pinned the ``"dense"`` *name*), and a
+        :class:`~repro.semiring.backends.PhysicalPlan` when the request
+        must run per-instance on it — a uniformly sparse or mixed
+        (conversion-carrying) assignment, or any other pinned backend,
+        including pinned backend *instances*, which are honoured verbatim
+        (:func:`resolve_backend` policy).
 
         Mirrors :meth:`repro.matlang.evaluator.Evaluator.physical` for the
         adaptive case, with the cheap hard gates (semiring capability,
@@ -351,15 +486,22 @@ class Engine:
         from repro.semiring.backends import (
             AUTO_SPARSE_MIN_DIMENSION,
             SPARSE_CAPABLE_SEMIRINGS,
+            PhysicalPlan,
+            plan_physical,
             resolve_backend,
-            select_backend,
         )
 
         instance = request.instance
         if self.backend_request is not None and self.backend_request != "auto":
             if self.backend_request == "dense":
                 return None
-            return resolve_backend(instance.semiring, self.backend_request)
+            backend = resolve_backend(instance.semiring, self.backend_request)
+            return PhysicalPlan(
+                request.plan,
+                {backend.name: backend},
+                backend.name,
+                (f"backend {backend.name!r} pinned by the caller",),
+            )
         if instance.semiring.name not in SPARSE_CAPABLE_SEMIRINGS:
             return None
         if all(
@@ -367,8 +509,8 @@ class Engine:
             for dimension in instance.dimensions.values()
         ):
             return None
-        selected = select_backend(request.plan, instance, None).backend
-        return None if selected.name == "dense" else selected
+        physical = plan_physical(request.plan, instance, None)
+        return None if physical.batchable else physical
 
     def _dense_backend(self, semiring: Any) -> Any:
         from repro.semiring.backends import backend_for
@@ -379,6 +521,15 @@ class Engine:
             self._dense_backends[id(semiring)] = cached
         return cached[1]
 
+    def _dense_physical(self, plan: Any, semiring: Any) -> Any:
+        """A uniform dense :class:`PhysicalPlan` over the cached backend."""
+        from repro.semiring.backends import PhysicalPlan
+
+        backend = self._dense_backend(semiring)
+        return PhysicalPlan(
+            plan, {backend.name: backend}, backend.name, ("dense batch member",)
+        )
+
     # ------------------------------------------------------------------
     # Result delivery
     # ------------------------------------------------------------------
@@ -388,8 +539,20 @@ class Engine:
     # immediately, and must never observe ``completed + failed`` lagging
     # behind its own finished request.
 
-    def _finish_chunk(self, chunk: List[QueryRequest], stacked: Any) -> None:
-        """Resolve one dispatched chunk's futures under a single broadcast."""
+    def _finish_chunk(
+        self,
+        chunk: List[QueryRequest],
+        stacked: Any,
+        plan: Any = None,
+        padded: bool = False,
+    ) -> None:
+        """Resolve one dispatched chunk's futures under a single broadcast.
+
+        For a padded (ragged) chunk, each request's slab is sliced back to
+        the result shape of its *unpadded* instance before delivery.
+        """
+        if padded:
+            from repro.matlang.evaluator import _result_shape
         now = time.perf_counter()
         with self._result_condition:
             pending = [
@@ -401,7 +564,11 @@ class Engine:
                 [now - request.submitted_at for _, request in pending], failed=False
             )
             for offset, request in pending:
-                request.future._finish_locked(stacked[offset].copy(), None)
+                value = stacked[offset]
+                if padded:
+                    rows, cols = _result_shape(plan, request.instance)
+                    value = value[:rows, :cols]
+                request.future._finish_locked(value.copy(), None)
             self._result_condition.notify_all()
 
     def _finish_result(self, request: QueryRequest, result: Any) -> None:

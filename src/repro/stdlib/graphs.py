@@ -20,7 +20,7 @@ from typing import Union
 
 from repro.matlang.ast import Expression, Var
 from repro.matlang.builder import apply, forloop, lit, prod, ssum, var
-from repro.stdlib.basic import DEFAULT_SYMBOL, identity_like
+from repro.stdlib.basic import identity_like
 
 ExpressionLike = Union[Expression, str]
 

@@ -37,16 +37,7 @@ from typing import Union
 from repro.matlang.ast import Expression, Var
 from repro.matlang.builder import apply, diag, forloop, lit, ones, prod, ssum, var
 from repro.stdlib.basic import DEFAULT_SYMBOL, identity_like
-from repro.stdlib.order import (
-    e_max,
-    is_max,
-    prev_matrix,
-    get_next_matrix,
-    s_less,
-    s_less_equal,
-    succ,
-    succ_strict,
-)
+from repro.stdlib.order import e_max, is_max, prev_matrix, get_next_matrix, succ, succ_strict
 
 ExpressionLike = Union[Expression, str]
 

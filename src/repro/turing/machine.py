@@ -15,8 +15,8 @@ fully deterministic (rule order resolves overlaps).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 from repro.exceptions import ReproError
 

@@ -7,16 +7,7 @@ of Section 5 (a machine that on input ``1^n`` produces a description of the
 
 from __future__ import annotations
 
-from repro.turing.machine import (
-    BEGIN,
-    BLANK,
-    END,
-    LEFT,
-    RIGHT,
-    STAY,
-    TransitionRule,
-    TuringMachine,
-)
+from repro.turing.machine import BEGIN, END, RIGHT, STAY, TransitionRule, TuringMachine
 
 
 def unary_copy_machine() -> TuringMachine:

@@ -11,7 +11,7 @@ row and column index, plus one variable ``it_v`` per free iterator ``v``.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict
 
 from repro.exceptions import FragmentError
 from repro.matlang.ast import (

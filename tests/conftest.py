@@ -9,6 +9,20 @@ from repro.matlang.instance import Instance
 from repro.semiring import BOOLEAN, MIN_PLUS, NATURAL, REAL
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _pinned_cost_profile():
+    """Pin the built-in cost profile for the whole session.
+
+    A calibrated per-install profile (``python -m repro.calibrate``) would
+    otherwise auto-load on first use and change physical-planning decisions
+    under the suite, making results machine-dependent.
+    """
+    from repro.profile import DEFAULT_PROFILE, set_active_profile
+
+    set_active_profile(DEFAULT_PROFILE)
+    yield
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """A deterministic random generator shared by the tests."""

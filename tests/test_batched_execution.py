@@ -26,12 +26,8 @@ import pytest
 
 from repro.exceptions import EvaluationError, SemiringError
 from repro.experiments.harness import CompiledWorkload
-from repro.experiments.workloads import (
-    random_digraph,
-    random_matrix,
-    random_sum_matlang_expression,
-)
-from repro.matlang.builder import apply, forloop, ssum, var
+from repro.experiments.workloads import random_digraph, random_sum_matlang_expression
+from repro.matlang.builder import apply, ssum, var
 from repro.matlang.compiler import compile_expression
 from repro.matlang.evaluator import Evaluator, evaluate_batch, run_plan_batch
 from repro.matlang.functions import default_registry

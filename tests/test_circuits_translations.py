@@ -16,7 +16,7 @@ from repro.circuits import (
 )
 from repro.circuits.families import UniformCircuitFamily, standard_families
 from repro.exceptions import CircuitError
-from repro.matlang.builder import apply, forloop, ssum, var
+from repro.matlang.builder import apply, forloop, var
 from repro.matlang.evaluator import evaluate
 from repro.matlang.instance import Instance
 from repro.matlang.schema import Schema

@@ -27,7 +27,7 @@ from repro.experiments.workloads import (
     random_sum_matlang_expression,
 )
 from repro.matlang.ast import Apply
-from repro.matlang.builder import apply, forloop, had, hint, lit, ones, prod, ssum, var
+from repro.matlang.builder import apply, forloop, had, ones, prod, ssum, var
 from repro.matlang.compiler import (
     clear_plan_cache,
     compile_expression,

@@ -7,7 +7,6 @@ agree.  They are the executable form of the "equivalence" arrows of Figure 1.
 """
 
 import numpy as np
-import pytest
 
 from repro.circuits import compile_expression
 from repro.kalgebra.matlang_to_ra import evaluate_via_relational

@@ -16,7 +16,7 @@ from repro.kalgebra import (
     evaluate_query,
     query_schema,
 )
-from repro.semiring import BOOLEAN, NATURAL, REAL
+from repro.semiring import BOOLEAN, NATURAL
 from repro.semiring.provenance import PROVENANCE
 
 

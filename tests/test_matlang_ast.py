@@ -5,7 +5,6 @@ import pytest
 from repro.matlang.ast import (
     Add,
     Apply,
-    ForLoop,
     HadamardLoop,
     Literal,
     MatMul,

@@ -1,8 +1,7 @@
 """Unit tests for degree analysis (Propositions 5.5 / 6.1)."""
 
-import pytest
 
-from repro.matlang.builder import apply, forloop, had, lit, prod, ssum, var
+from repro.matlang.builder import apply, forloop, lit, prod, ssum, var
 from repro.matlang.degree import (
     analyse_degree,
     circuit_degree_for_dimension,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.exceptions import FragmentError
-from repro.matlang.builder import apply, forloop, had, lit, prod, ssum, var
+from repro.matlang.builder import apply, forloop, prod, ssum, var
 from repro.matlang.fragments import (
     Fragment,
     assert_fragment,

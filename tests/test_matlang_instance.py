@@ -6,7 +6,7 @@ import pytest
 from repro.exceptions import SchemaError
 from repro.matlang.instance import Instance
 from repro.matlang.schema import Schema
-from repro.semiring import BOOLEAN, NATURAL, REAL
+from repro.semiring import BOOLEAN, NATURAL
 
 
 class TestConstruction:

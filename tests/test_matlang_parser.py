@@ -22,7 +22,6 @@ from repro.matlang.ast import (
 )
 from repro.matlang.builder import forloop, had, hint, lit, prod, ssum, var
 from repro.matlang.evaluator import evaluate
-from repro.matlang.instance import Instance
 from repro.matlang.parser import parse, tokenize
 from repro.matlang.printer import to_text
 

@@ -123,7 +123,7 @@ class TestLUDecomposition:
         assert np.allclose(transform @ matrix, upper, atol=1e-9)
 
     def test_matches_scipy_on_diagonally_dominant_input(self):
-        scipy_linalg = pytest.importorskip("scipy.linalg")
+        pytest.importorskip("scipy.linalg")
         matrix = random_lu_factorizable_matrix(4, seed=12)
         upper = np.asarray(evaluate(lu_upper("A"), instance_for(matrix)), float)
         # scipy uses partial pivoting, so compare the determinant magnitude

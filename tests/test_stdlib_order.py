@@ -22,7 +22,6 @@ from repro.stdlib.order import (
     succ,
     succ_strict,
 )
-from repro.matlang.builder import var
 
 
 def instance_of_dimension(dimension: int) -> Instance:

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.exceptions import EvaluationError, FragmentError, SchemaError
-from repro.matlang.builder import forloop, had, lit, ssum, var
+from repro.matlang.builder import had, lit, ssum, var
 from repro.matlang.evaluator import evaluate
 from repro.matlang.instance import Instance
 from repro.semiring import BOOLEAN, NATURAL
