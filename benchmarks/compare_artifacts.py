@@ -33,9 +33,12 @@ from typing import Dict, List, Optional, Tuple
 #: (``semiring``, ``instances``, ``threads``, ``mode`` …) join the key when
 #: present so e.g. the dense/sparse pairs of the same op — or the serving
 #: benchmark's throughput ratios at different stream sizes / submitter
-#: counts, or the physical-planning benchmark's forced/mixed measurements
-#: of one workload — never collide.
-_KEY_FIELDS = ("op", "size", "backend", "semiring", "instances", "threads", "mode")
+#: counts, the physical-planning benchmark's forced/mixed measurements
+#: of one workload, or the worker-pool ladder's per-worker-count timings —
+#: never collide.
+_KEY_FIELDS = (
+    "op", "size", "backend", "semiring", "instances", "threads", "mode", "workers",
+)
 
 #: Baseline speedups below this are inside the run-to-run noise band (a
 #: "1.3x" is one scheduler hiccup away from "0.9x"); they are reported for

@@ -194,6 +194,19 @@ _EXPERIMENTS: Tuple[ExperimentInfo, ...] = (
         ),
         "benchmarks/bench_p07_physical_planning.py",
     ),
+    ExperimentInfo(
+        "P8",
+        "Reproduction-specific",
+        "Sharded multi-process serving: worker pool, shm transport and result memo",
+        (
+            "repro.service.pool",
+            "repro.service.shm",
+            "repro.service.router",
+            "repro.service.memo",
+            "repro.service.server",
+        ),
+        "benchmarks/bench_p08_multiprocess.py",
+    ),
 )
 
 EXPERIMENTS: Dict[str, ExperimentInfo] = {info.identifier: info for info in _EXPERIMENTS}

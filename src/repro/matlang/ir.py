@@ -94,12 +94,15 @@ from repro.exceptions import EvaluationError
 from repro.matlang.schema import MatrixType
 
 __all__ = [
+    "PLAN_WIRE_VERSION",
     "Plan",
     "PlanOp",
     "StackCache",
     "StackCacheInfo",
+    "deserialize_plan",
     "execute_plan",
     "execute_plan_batch",
+    "serialize_plan",
 ]
 
 #: Opcodes whose semantics replace a whole Python-level loop with a single
@@ -241,6 +244,90 @@ class Plan:
                     assigned = f"{assigned} (dense round-trip)"
                 sections.append(f"  r{register} {op.opcode}: {assigned}")
         return "\n".join(sections)
+
+
+# ----------------------------------------------------------------------
+# Wire format (worker handoff)
+# ----------------------------------------------------------------------
+#: Version tag of the serialized-plan payload.  Bumped whenever the
+#: structural encoding below changes shape, so a worker from a different
+#: build rejects the payload instead of mis-executing it.
+PLAN_WIRE_VERSION = 1
+
+#: The ``PlanOp`` fields carried on the wire, in payload order.
+_OP_WIRE_FIELDS = (
+    "opcode",
+    "inputs",
+    "type",
+    "name",
+    "value",
+    "symbol",
+    "kind",
+    "body",
+    "captures",
+    "accumulator_type",
+    "backend",
+)
+
+
+def _plan_state(plan: "Plan"):
+    """Structural (tuples-of-primitives) form of a plan for serialization."""
+    ops = []
+    for op in plan.ops:
+        state = []
+        for field_name in _OP_WIRE_FIELDS:
+            value = getattr(op, field_name)
+            if field_name == "body" and value is not None:
+                value = _plan_state(value)
+            state.append(value)
+        ops.append(tuple(state))
+    return (tuple(ops), plan.result, plan.pinned, plan.notes)
+
+
+def _plan_from_state(state) -> "Plan":
+    ops_state, result, pinned, notes = state
+    ops = []
+    for op_state in ops_state:
+        fields = dict(zip(_OP_WIRE_FIELDS, op_state))
+        if fields["body"] is not None:
+            fields["body"] = _plan_from_state(fields["body"])
+        ops.append(PlanOp(**fields))
+    return Plan(
+        ops=tuple(ops), result=result, pinned=tuple(pinned), notes=tuple(notes)
+    )
+
+
+def serialize_plan(plan: "Plan") -> bytes:
+    """Encode a compiled plan for handoff to a worker process.
+
+    The payload is a pickled *structural* form — nested tuples of the
+    ``PlanOp`` fields rather than the dataclass instances themselves — so
+    the wire format is pinned by :data:`_OP_WIRE_FIELDS` and
+    :data:`PLAN_WIRE_VERSION` instead of by whatever pickle happens to do
+    with the classes.  Constant payloads (``const`` ops may carry semiring
+    carriers such as provenance polynomials) ride along pickled as values.
+    """
+    import pickle
+
+    return pickle.dumps(
+        (PLAN_WIRE_VERSION, _plan_state(plan)), protocol=pickle.HIGHEST_PROTOCOL
+    )
+
+
+def deserialize_plan(payload: bytes) -> "Plan":
+    """Decode a :func:`serialize_plan` payload back into a :class:`Plan`."""
+    import pickle
+
+    try:
+        version, state = pickle.loads(payload)
+    except Exception as error:
+        raise EvaluationError(f"malformed plan payload: {error}") from error
+    if version != PLAN_WIRE_VERSION:
+        raise EvaluationError(
+            f"plan wire version mismatch: payload v{version}, "
+            f"this build speaks v{PLAN_WIRE_VERSION}"
+        )
+    return _plan_from_state(state)
 
 
 # ----------------------------------------------------------------------

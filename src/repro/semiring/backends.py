@@ -1134,8 +1134,18 @@ class _PlanCoster:
     (the expected fill of one product — deliberately *not* the
     independence estimate ``1-(1-dl*dr)^k``, which saturates structured
     closures to dense and would push reachability workloads off the sparse
-    backend), and ``power`` is costed as its ``log2`` squaring ladder at
-    the *input* density while its output saturates toward dense.
+    backend), and ``power`` is costed as its ``log2`` squaring ladder with
+    the density *evolving per step* — each squaring's fill feeds the next
+    step's work term.  The per-step fill rule discounts a one-entry-per-row
+    *backbone* (``1/k``) before squaring: ``b' = min(1, b^2 * k)`` with
+    ``b = d - min(d, 1/k)``, because a permutation or reflexive-diagonal
+    skeleton composes to more skeleton, not to quadratic fill.  The
+    evolving ladder therefore keeps structured iteration cheap (a
+    permutation stays at its fixed point, and a reflexive closure such as
+    ``(cycles + I)^n`` keeps its extra diagonal without blowing up) while
+    anything meaningfully above one off-structure entry per row saturates
+    dense within a step or two, so long sparse prefixes no longer hide a
+    dense intermediate blowup from the coster.
     """
 
     def __init__(self, model, matrix_density, weight) -> None:
@@ -1154,6 +1164,23 @@ class _PlanCoster:
         if left.type is None:
             return self.weight(None)
         return self.weight(left.type[1])
+
+    @staticmethod
+    def fill_ladder(density, inner, steps):
+        """Per-step output densities of a repeated-squaring ladder.
+
+        Quadratic fill applies only to the density in excess of a
+        one-entry-per-row backbone (``1/inner``): permutation and diagonal
+        structure composes to more of the same, never to fill.
+        """
+        backbone = min(density, 1.0 / max(float(inner), 1.0))
+        excess = density - backbone
+        ladder = []
+        for _ in range(steps):
+            excess = min(1.0, excess * excess * inner)
+            density = min(1.0, backbone + excess)
+            ladder.append(density)
+        return ladder
 
     def densities(self, plan, captures=(), iterator_density=1.0):
         """Estimated result density per register of ``plan``."""
@@ -1186,7 +1213,11 @@ class _PlanCoster:
             elif opcode == "scale":
                 d = out[op.inputs[1]]
             elif opcode == "power":
-                d = min(1.0, out[op.inputs[0]] * self.weight(op.symbol))
+                # Density after the squaring ladder: iterate the
+                # backbone-discounted fill rule once per squaring.
+                inner = self.inner_weight(ops, op)
+                steps = max(1, int(self.weight(op.symbol)).bit_length())
+                d = self.fill_ladder(out[op.inputs[0]], inner, steps)[-1]
             elif opcode in ("row_sums", "col_sums"):
                 d = min(1.0, out[op.inputs[0]] * self.weight(None))
             elif opcode in ("diag", "diag_of_diag"):
@@ -1232,9 +1263,20 @@ class _PlanCoster:
             inner = self.inner_weight(ops, op)
             count = self.weight(op.symbol)
             steps = max(1, int(count).bit_length())
-            work = float(rows * inner * cols) * steps
-            if sparse:
-                work *= densities[op.inputs[0]] ** 2
+            base = float(rows * inner * cols)
+            if not sparse:
+                return max(1.0, base * steps) * unit(f"{tag}.matmul")
+            # Per-step squaring ladder at the *evolving* density: each
+            # squaring pays for its operands' current fill, and its output
+            # fill becomes the next step's density.  Costing every step at
+            # the input density would let a long sparse prefix hide the
+            # dense intermediates a moderately dense closure produces
+            # after one or two squarings.
+            density = densities[op.inputs[0]]
+            work = 0.0
+            for next_density in self.fill_ladder(density, inner, steps):
+                work += base * density * density
+                density = next_density
             return max(1.0, work) * unit(f"{tag}.matmul")
         if opcode == "hadamard_power":
             steps = max(1, int(self.weight(op.symbol)).bit_length())
@@ -1353,7 +1395,19 @@ def plan_physical(
             return overall
         return per_matrix.get(name, 1.0)
 
-    coster = _PlanCoster(model, matrix_density, model.symbol_weight)
+    def symbol_weight(symbol: Optional[str]) -> int:
+        # Prefer the instance's actual dimension over the profile's believed
+        # size: the density estimates come from this instance's matrices, and
+        # mixing measured densities with believed sizes breaks the fill
+        # arithmetic (a one-entry-per-row matrix has ``d * n == 1`` only when
+        # ``n`` is the real dimension).
+        if symbol is not None:
+            size = instance.dimensions.get(symbol)
+            if size is not None:
+                return max(1, int(size))
+        return model.symbol_weight(symbol)
+
+    coster = _PlanCoster(model, matrix_density, symbol_weight)
     densities = coster.densities(plan)
     ops = plan.ops
     costs = []

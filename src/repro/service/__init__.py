@@ -1,4 +1,4 @@
-"""The concurrent query service: a micro-batching serving layer.
+"""The concurrent query service: a micro-batching, multi-process serving layer.
 
 This package is the front door for concurrent evaluation traffic: an
 :class:`~repro.service.engine.Engine` accepts independent
@@ -6,14 +6,27 @@ This package is the front door for concurrent evaluation traffic: an
 coalesces requests that share a compiled plan, semiring and dimension
 signature into single stacked kernel calls — turning the batched execution
 layer (PR 3) from an API one caller uses on a list into a property of the
-whole system under concurrent load.
+whole system under concurrent load.  With ``workers=N`` the engine becomes
+a router over N forked worker processes, each running that same scheduler
+loop over its own plan-cache shard, with instance payloads shipped over
+shared-memory rings and results memoized across requests.
 
-* :mod:`repro.service.engine` — the engine: submission API, the scheduler
-  thread, physical-selection-aware dispatch and the per-instance fallback.
+* :mod:`repro.service.engine` — the engine: submission API (sync, bulk,
+  asyncio), the scheduler thread or the pooled router, and the result memo.
 * :mod:`repro.service.batching` — request intake: the coalescing policy
   knobs, the backpressured queue and micro-batch formation.
+* :mod:`repro.service.pool` — the forked worker pool: shard lifecycle,
+  crash rescue, and the control-pipe + shm-ring transport.
+* :mod:`repro.service.router` — the shard router hashing a request's
+  coalescing identity to a worker.
+* :mod:`repro.service.shm` — the single-producer/single-consumer
+  shared-memory ring buffer the matrix payloads ride.
+* :mod:`repro.service.memo` — the bounded cross-request result memo.
+* :mod:`repro.service.aio` — the asyncio bridge behind ``Engine.asubmit``.
+* :mod:`repro.service.server` — a length-prefixed TCP protocol for
+  out-of-process clients (:class:`QueryServer` / :class:`QueryClient`).
 * :mod:`repro.service.stats` — serving telemetry: queue depth, coalesce
-  ratio, p50/p95 latency and throughput as atomic snapshots.
+  ratio, memo hit rate, p50/p95 latency and throughput as atomic snapshots.
 """
 
 from repro.service.batching import (
@@ -23,6 +36,10 @@ from repro.service.batching import (
     RequestQueue,
 )
 from repro.service.engine import Engine
+from repro.service.memo import ResultMemo
+from repro.service.pool import WorkerCrashError, WorkerPool, available_cpus
+from repro.service.router import ShardRouter
+from repro.service.server import QueryClient, QueryServer, RemoteQueryError
 from repro.service.stats import EngineStats, EngineStatsSnapshot
 
 __all__ = [
@@ -30,7 +47,15 @@ __all__ = [
     "Engine",
     "EngineStats",
     "EngineStatsSnapshot",
+    "QueryClient",
     "QueryFuture",
     "QueryRequest",
+    "QueryServer",
+    "RemoteQueryError",
     "RequestQueue",
+    "ResultMemo",
+    "ShardRouter",
+    "WorkerCrashError",
+    "WorkerPool",
+    "available_cpus",
 ]

@@ -1,0 +1,58 @@
+"""asyncio front end for the query engine.
+
+The engine's :class:`~repro.service.batching.QueryFuture` is a
+threading-world object: waiters block on a condition variable.  An asyncio
+application must never block its event loop, so this module bridges each
+query future onto an ``asyncio.Future`` bound to the running loop:
+completion callbacks hop onto the loop thread via
+``loop.call_soon_threadsafe`` — the only loop API that is safe to call
+from another thread — and resolve the asyncio future there.
+
+Usage::
+
+    async def handler(engine, expression, instance):
+        result = await engine.asubmit(expression, instance)
+        ...
+
+    results = await engine.asubmit_many(pairs)   # gathers in input order
+
+Cancellation of the asyncio future does not revoke the underlying query
+(the kernels may already be running on a worker); the bridge simply drops
+the result when it arrives.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+__all__ = ["bridge_future"]
+
+
+def _transfer(target: "asyncio.Future", finished: Any) -> None:
+    """Resolve the asyncio future from the finished query future (loop thread)."""
+    if target.cancelled():
+        return
+    error = finished.exception()
+    if error is not None:
+        target.set_exception(error)
+    else:
+        target.set_result(finished.result())
+
+
+def bridge_future(query_future: Any, loop: "asyncio.AbstractEventLoop" = None):
+    """An ``asyncio.Future`` mirroring a :class:`QueryFuture`.
+
+    Must be called on the event-loop thread (uses
+    ``asyncio.get_running_loop()`` unless a loop is passed); the query
+    future may resolve on any engine thread.
+    """
+    if loop is None:
+        loop = asyncio.get_running_loop()
+    target = loop.create_future()
+
+    def _on_done(finished: Any) -> None:
+        loop.call_soon_threadsafe(_transfer, target, finished)
+
+    query_future.add_done_callback(_on_done)
+    return target

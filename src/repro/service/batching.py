@@ -59,16 +59,55 @@ class QueryFuture:
     ``TimeoutError`` on expiry).
     """
 
-    __slots__ = ("_condition", "_finished", "_result", "_error")
+    __slots__ = ("_condition", "_finished", "_result", "_error", "_callbacks")
 
     def __init__(self, condition: threading.Condition) -> None:
         self._condition = condition
         self._finished = False
         self._result: Any = None
         self._error: Optional[BaseException] = None
+        self._callbacks: Optional[List[Any]] = None
 
     def done(self) -> bool:
         return self._finished
+
+    def add_done_callback(self, callback: Any) -> None:
+        """Call ``callback(self)`` once the future resolves.
+
+        If the future has already resolved, the callback runs immediately on
+        the calling thread; otherwise it runs on the thread that resolves
+        the future, after the result is published.  Callback exceptions are
+        swallowed (matching :class:`concurrent.futures.Future`).  This is
+        the bridge the asyncio front end (:mod:`repro.service.aio`) and the
+        worker pool's result shipping are built on.
+        """
+        with self._condition:
+            if not self._finished:
+                if self._callbacks is None:
+                    self._callbacks = []
+                self._callbacks.append(callback)
+                return
+        try:
+            callback(self)
+        except Exception:
+            pass
+
+    def _drain_callbacks(self) -> None:
+        """Run queued callbacks after resolution, outside the condition.
+
+        The engine resolves futures via :meth:`_finish_locked` while holding
+        the shared condition; callbacks must not run under it (an asyncio
+        bridge or a pool shipping hook may take its own locks), so every
+        finish path calls this after releasing the condition.
+        """
+        with self._condition:
+            callbacks, self._callbacks = self._callbacks, None
+        if callbacks:
+            for callback in callbacks:
+                try:
+                    callback(self)
+                except Exception:
+                    pass
 
     def _wait(self, timeout: Optional[float]) -> None:
         if self._finished:
@@ -95,7 +134,9 @@ class QueryFuture:
             resolved = self._finish_locked(result, error)
             if resolved:
                 self._condition.notify_all()
-            return resolved
+        if resolved:
+            self._drain_callbacks()
+        return resolved
 
     def _finish_locked(self, result: Any, error: Optional[BaseException]) -> bool:
         """Resolve without notifying; the caller holds the shared condition.
@@ -164,6 +205,7 @@ class QueryRequest:
         "future",
         "submitted_at",
         "sequence",
+        "memo_key",
     )
 
     def __init__(
@@ -180,6 +222,9 @@ class QueryRequest:
         self.submitted_at = submitted_at
         #: Sequence number preserving submission order inside a group.
         self.sequence = 0
+        #: Result-memo key when the request missed a memoizable lookup at
+        #: intake; the finish paths retain the result under it.
+        self.memo_key = None
 
     def group_key(self) -> Tuple:
         """The coalescing identity (see the module docstring)."""

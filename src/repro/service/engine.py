@@ -41,6 +41,22 @@ requests per round, and ``submit`` applies backpressure beyond
 ``max_pending`` queued requests.  :meth:`Engine.stats` exposes the serving
 telemetry (queue depth, coalesce ratio, p50/p95 latency, throughput) as an
 atomic snapshot.
+
+Worker pools
+------------
+With ``workers=N`` the engine stops executing anything itself: it becomes
+the **router** of a sharded multi-process tier.  Each request is compiled
+(and memoized) on the submitting thread, looked up in the cross-request
+:class:`~repro.service.memo.ResultMemo`, and on a miss hashed by its
+coalescing identity to one of N forked worker processes
+(:mod:`repro.service.pool`), each of which runs this same engine class
+in-process over its own plan-cache shard.  Instance matrices travel as raw
+bytes over per-worker shared-memory rings (:mod:`repro.service.shm`);
+results come back the same way; object-dtype semirings (provenance) ride a
+pickle fallback.  The correctness contract is unchanged — results are
+bitwise-equal to sequential ``evaluate`` on every semiring — and a worker
+crash resolves only the futures in flight on that worker (one rescue
+attempt each) while the shard respawns.
 """
 
 from __future__ import annotations
@@ -87,10 +103,31 @@ class Engine:
         execution and, on :meth:`flush_profile` (and automatically at
         :meth:`shutdown`), fits the observed timings into the process-wide
         cost profile — bumping the profile generation so cached plans
-        re-optimize against the measurements.
+        re-optimize against the measurements.  In pooled mode each worker
+        profiles its own executions and the parent merges their reservoirs
+        at flush time.
+    profile_persist_min_samples:
+        Persistence policy for the fitted profile: ``None`` (the default)
+        never writes to disk; an integer makes :meth:`flush_profile` save
+        the refitted profile to the per-install path
+        (:func:`repro.profile.model.default_profile_path`) once at least
+        that many samples back the fit — an under-sampled refit is
+        installed in memory but never persisted.
+    workers:
+        ``0`` (the default) keeps the single-process scheduler.  ``N >= 1``
+        starts a sharded pool of N forked worker processes and turns this
+        engine into their router (see the module docstring).
+    memoize:
+        Cross-request result memoization.  ``None`` enables it exactly in
+        pooled mode (where the front door is the natural cache point);
+        ``True`` / ``False`` force it either way.  Memoized repeats of an
+        identical ``(plan, instance)`` pair resolve without executing.
+    memo_capacity / memo_bytes:
+        Bounds of the result memo (entries / retained result bytes).
 
-    The engine owns one daemon scheduler thread; use it as a context
-    manager (or call :meth:`shutdown`) to drain and stop deterministically.
+    The engine owns one daemon scheduler thread (or a worker pool); use it
+    as a context manager (or call :meth:`shutdown`) to drain and stop
+    deterministically.
     """
 
     def __init__(
@@ -100,14 +137,24 @@ class Engine:
         backend: Any = None,
         options: Any = None,
         profile_feedback: bool = False,
+        profile_persist_min_samples: Optional[int] = None,
+        workers: int = 0,
+        memoize: Optional[bool] = None,
+        memo_capacity: int = 512,
+        memo_bytes: int = 64 * 1024 * 1024,
+        ring_capacity: Optional[int] = None,
     ) -> None:
         from repro.matlang.functions import default_registry
         from repro.matlang.ir import StackCache
 
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers!r}")
         self.policy = policy if policy is not None else CoalescingPolicy()
         self.functions = functions if functions is not None else default_registry()
         self.backend_request = backend
         self.options = options
+        self.workers = workers
+        self.profile_persist_min_samples = profile_persist_min_samples
         self._stats = EngineStats()
         self._queue = RequestQueue(self.policy)
         #: Stacked inputs shared across dispatches (thread-safe; see
@@ -141,10 +188,38 @@ class Engine:
         #: expression is pinned in the value so its id cannot be recycled.
         self._plan_memo: Dict[Tuple[int, Tuple], Tuple[Any, Any]] = {}
         self._plan_memo_lock = threading.Lock()
-        self._scheduler = threading.Thread(
-            target=self._run_scheduler, name="repro-service-scheduler", daemon=True
-        )
-        self._scheduler.start()
+
+        #: Cross-request result memo; enabled by default in pooled mode.
+        if memoize is None:
+            memoize = workers > 0
+        if memoize:
+            from repro.service.memo import ResultMemo
+
+            self._memo: Any = ResultMemo(capacity=memo_capacity, byte_limit=memo_bytes)
+        else:
+            self._memo = None
+
+        if workers > 0:
+            from repro.service.pool import WorkerPool
+
+            self._stats.set_workers(workers)
+            self._scheduler = None
+            self._pool: Any = WorkerPool(
+                workers,
+                deliver=self._deliver_pooled,
+                policy=self.policy,
+                functions=self.functions,
+                backend=backend,
+                options=options,
+                profile_feedback=profile_feedback,
+                ring_capacity=ring_capacity,
+            )
+        else:
+            self._pool = None
+            self._scheduler = threading.Thread(
+                target=self._run_scheduler, name="repro-service-scheduler", daemon=True
+            )
+            self._scheduler.start()
 
     # ------------------------------------------------------------------
     # Submission API (any thread)
@@ -155,10 +230,19 @@ class Engine:
         Compilation happens on the submitting thread (the plan cache makes
         repeats cheap and is lock-protected), so typing errors surface
         through the future immediately instead of occupying the scheduler.
+        In pooled mode the request is additionally checked against the
+        result memo and, on a miss, routed to its shard worker.
         """
         future = QueryFuture(self._result_condition)
+        if self._reject_if_shutdown(future):
+            return future
+        if self._pool is not None:
+            self._submit_pooled(expression, instance, future)
+            return future
         request = self._build_request(expression, instance, future)
         if request is not None:
+            if self._memo_lookup(request):
+                return future
             self._enqueue([request])
         return future
 
@@ -170,24 +254,94 @@ class Engine:
         scheduler the best possible shot at coalescing the burst into large
         stacked batches.  Futures come back in input order.
         """
+        if self._pool is not None:
+            futures = []
+            for expression, instance in requests:
+                future = QueryFuture(self._result_condition)
+                futures.append(future)
+                if not self._reject_if_shutdown(future):
+                    self._submit_pooled(expression, instance, future)
+            return futures
         futures: List[QueryFuture] = []
         built: List[QueryRequest] = []
         for expression, instance in requests:
             future = QueryFuture(self._result_condition)
             futures.append(future)
+            if self._reject_if_shutdown(future):
+                continue
             request = self._build_request(expression, instance, future)
-            if request is not None:
+            if request is not None and not self._memo_lookup(request):
                 built.append(request)
         self._enqueue(built)
         return futures
+
+    def submit_compiled(self, plan: Any, instance: Any) -> QueryFuture:
+        """Enqueue an already-compiled plan, skipping expression compilation.
+
+        The entry point worker processes use for parent-shipped plans; also
+        handy for callers that compile once and replay many instances.
+        Only valid on a single-process engine (workers route compiled plans
+        themselves).
+        """
+        if self._pool is not None:
+            raise RuntimeError("submit_compiled is a worker-side entry point")
+        future = QueryFuture(self._result_condition)
+        if self._reject_if_shutdown(future):
+            return future
+        request = QueryRequest(
+            plan=plan,
+            instance=instance,
+            future=future,
+            submitted_at=time.perf_counter(),
+        )
+        if not self._memo_lookup(request):
+            self._enqueue([request])
+        return future
 
     def evaluate(self, expression: Any, instance: Any) -> Any:
         """Synchronous convenience wrapper: submit and wait for the result."""
         return self.submit(expression, instance).result()
 
+    def asubmit(self, expression: Any, instance: Any):
+        """Submit from asyncio: returns an awaitable ``asyncio.Future``.
+
+        Must be called from the thread running the event loop (the future
+        is bound to ``asyncio.get_running_loop()``); the engine resolves it
+        thread-safely from its scheduler / receiver threads.
+        """
+        from repro.service.aio import bridge_future
+
+        return bridge_future(self.submit(expression, instance))
+
+    def asubmit_many(self, requests: Iterable[Tuple[Any, Any]]):
+        """Submit a burst from asyncio; awaiting gathers in input order."""
+        import asyncio
+
+        from repro.service.aio import bridge_future
+
+        return asyncio.gather(
+            *[bridge_future(future) for future in self.submit_many(requests)]
+        )
+
     def stats(self) -> EngineStatsSnapshot:
-        """An atomic snapshot of the serving telemetry."""
+        """An atomic snapshot of the serving telemetry.
+
+        In pooled mode this is the router's view — submissions, memo
+        hits/misses, in-flight depth, completions and latencies;
+        per-worker dispatch detail (coalesce ratios, batch sizes) lives in
+        :meth:`worker_stats`.
+        """
         return self._stats.snapshot()
+
+    def worker_stats(self, timeout: float = 5.0) -> List[Any]:
+        """Per-worker engine snapshots (empty for a single-process engine)."""
+        if self._pool is None:
+            return []
+        return self._pool.worker_stats(timeout)
+
+    def memo_info(self):
+        """Counters of the cross-request result memo (``None`` if off)."""
+        return None if self._memo is None else self._memo.info()
 
     def stack_cache_info(self):
         """Counters of the engine's cross-dispatch input-stacking cache."""
@@ -199,8 +353,22 @@ class Engine:
         Only meaningful with ``profile_feedback=True``; returns whether a
         new profile was installed.  Installing bumps the profile
         generation, so every plan cache (the module cache, the engine's
-        memo, evaluator physical caches) re-optimizes on next use.
+        memo, evaluator physical caches) re-optimizes on next use.  In
+        pooled mode the workers' profiler reservoirs are drained into the
+        parent's first, so the fit sees the whole tier's measurements.
+        With ``profile_persist_min_samples`` set and satisfied, the fitted
+        profile is also written to the per-install path.
         """
+        profiler = self._profiler
+        if profiler is None:
+            return False
+        if self._pool is not None and not self._shutdown:
+            for state in self._pool.profile_states():
+                if state:
+                    profiler.merge_state(state)
+        return self._fit_and_install()
+
+    def _fit_and_install(self) -> bool:
         from repro.profile import active_profile, set_active_profile
 
         profiler = self._profiler
@@ -210,6 +378,26 @@ class Engine:
         if fitted is active_profile():
             return False
         set_active_profile(fitted)
+        self._maybe_persist(fitted, profiler.sample_count())
+        return True
+
+    def _maybe_persist(self, fitted: Any, samples: int) -> bool:
+        """Write the fitted profile to the per-install path if trustworthy.
+
+        The persistence policy: a served-traffic refit is only durable once
+        ``profile_persist_min_samples`` measurements back it — an
+        under-sampled fit is installed for this process but never written,
+        so one quiet engine cannot poison every future process's planner.
+        """
+        minimum = self.profile_persist_min_samples
+        if minimum is None or samples < minimum:
+            return False
+        from repro.profile.model import default_profile_path
+
+        try:
+            fitted.save(default_profile_path())
+        except OSError:  # pragma: no cover - unwritable install path
+            return False
         return True
 
     # ------------------------------------------------------------------
@@ -222,9 +410,22 @@ class Engine:
         already-submitted future has resolved.
         """
         with self._shutdown_lock:
-            if not self._shutdown:
-                self._shutdown = True
+            first = not self._shutdown
+            self._shutdown = True
+            if first:
                 self._queue.close()
+        if self._pool is not None:
+            if first:
+                states = self._pool.shutdown()
+                if self._profiler is not None:
+                    for state in states:
+                        if state:
+                            self._profiler.merge_state(state)
+                    try:
+                        self._fit_and_install()
+                    except Exception:  # pragma: no cover - best-effort
+                        pass
+            return
         if wait:
             self._scheduler.join()
             if self._profiler is not None:
@@ -294,6 +495,90 @@ class Engine:
                 request.future._finish(
                     None, RuntimeError("the request queue is closed")
                 )
+
+    def _reject_if_shutdown(self, future: QueryFuture) -> bool:
+        """Fail a new future when the engine is shut down (before the memo).
+
+        A memoized repeat would otherwise keep resolving after ``shutdown``,
+        making the lifecycle contract depend on what happens to be cached.
+        """
+        if not self._shutdown:
+            return False
+        self._stats.record_rejected()
+        future._finish(None, RuntimeError("the engine is shut down"))
+        return True
+
+    def _memo_lookup(self, request: QueryRequest) -> bool:
+        """Try to answer a request from the result memo.
+
+        Returns ``True`` when the future was resolved from a memo hit (the
+        request must not be enqueued).  On a memoizable miss the request is
+        tagged with its memo key so the finish paths retain the result.
+        """
+        memo = self._memo
+        if memo is None:
+            return False
+        key, hit = memo.lookup(request.plan, request.instance)
+        if key is None:
+            return False  # not memoizable (object-dtype carriers)
+        if hit is not None:
+            self._stats.record_submitted(1)
+            self._stats.record_memo_hit(
+                time.perf_counter() - request.submitted_at, memo.bytes
+            )
+            request.future._finish(hit, None)
+            return True
+        self._stats.record_memo_miss(memo.bytes)
+        request.memo_key = key
+        return False
+
+    # ------------------------------------------------------------------
+    # Pooled routing (workers >= 1)
+    # ------------------------------------------------------------------
+    def _submit_pooled(self, expression: Any, instance: Any, future: QueryFuture) -> None:
+        request = self._build_request(expression, instance, future)
+        if request is None:
+            return  # compile error already delivered through the future
+        memo = self._memo
+        key = None
+        if memo is not None:
+            key, hit = memo.lookup(request.plan, instance)
+            if hit is not None:
+                self._stats.record_submitted(1)
+                self._stats.record_memo_hit(
+                    time.perf_counter() - request.submitted_at, memo.bytes
+                )
+                future._finish(hit, None)
+                return
+            if key is not None:
+                self._stats.record_memo_miss(memo.bytes)
+        self._stats.record_submitted(1)
+        try:
+            task = self._pool.submit(
+                request.plan, instance, future, key, request.submitted_at
+            )
+        except Exception as error:
+            self._stats.record_queue_rejected(1)
+            future._finish(None, error)
+            return
+        if task is None:  # pool already closed
+            self._stats.record_queue_rejected(1)
+            future._finish(None, RuntimeError("the engine is shut down"))
+
+    def _deliver_pooled(self, task: Any, result: Any, error: Optional[BaseException]) -> None:
+        """Pool completion hook: memoize, account, resolve (receiver threads)."""
+        if error is None and task.memo_key is not None and self._memo is not None:
+            self._memo.store(task.memo_key, task.plan, result)
+        future = task.future
+        latency = time.perf_counter() - task.submitted_at
+        with self._result_condition:
+            if future.done():
+                return
+            self._stats.record_dequeued(1)
+            self._stats.record_done(latency, failed=error is not None)
+            future._finish_locked(result if error is None else None, error)
+            self._result_condition.notify_all()
+        future._drain_callbacks()
 
     # ------------------------------------------------------------------
     # The scheduler thread
@@ -568,8 +853,12 @@ class Engine:
                 if padded:
                     rows, cols = _result_shape(plan, request.instance)
                     value = value[:rows, :cols]
-                request.future._finish_locked(value.copy(), None)
+                value = value.copy()
+                self._memo_store(request, value)
+                request.future._finish_locked(value, None)
             self._result_condition.notify_all()
+        for _, request in pending:
+            request.future._drain_callbacks()
 
     def _finish_result(self, request: QueryRequest, result: Any) -> None:
         with self._result_condition:
@@ -578,8 +867,10 @@ class Engine:
             self._stats.record_done(
                 time.perf_counter() - request.submitted_at, failed=False
             )
+            self._memo_store(request, result)
             request.future._finish_locked(result, None)
             self._result_condition.notify_all()
+        request.future._drain_callbacks()
 
     def _finish_error(self, request: QueryRequest, error: BaseException) -> None:
         with self._result_condition:
@@ -590,3 +881,14 @@ class Engine:
             )
             request.future._finish_locked(None, error)
             self._result_condition.notify_all()
+        request.future._drain_callbacks()
+
+    def _memo_store(self, request: QueryRequest, result: Any) -> None:
+        """Retain one finished result under the key its intake miss minted.
+
+        Runs *before* the future flips to done (under the result
+        condition), so the memo's copy is taken before any caller can see —
+        and mutate — the delivered array.
+        """
+        if request.memo_key is not None and self._memo is not None:
+            self._memo.store(request.memo_key, request.plan, result)

@@ -1,0 +1,155 @@
+"""Cross-request result memoization for the serving tier.
+
+Identical ``(plan, instance)`` pairs routinely recur in serving traffic —
+dashboards refresh the same query over the same snapshot, retries resend
+the request verbatim, fan-out layers deduplicate imperfectly — and before
+this module every recurrence re-executed its kernels.  :class:`ResultMemo`
+is a bounded LRU over *finished results*, keyed by
+
+* **plan identity** — the compiler's plan cache returns one plan object per
+  ``(expression, schema, options)`` key, so object identity is the plan's
+  name; the plan is pinned inside the entry so its id cannot be recycled
+  while the entry lives (the same idiom as the engine's other id-keyed
+  caches);
+* **instance content** — semiring name, dimension assignment and a
+  ``blake2b`` digest over every matrix's name, dtype, shape and raw bytes,
+  so two structurally equal instances hit regardless of which arrays carry
+  them;
+* **profile generation** — a cost-profile update invalidates the whole
+  memo (entries become unreachable and age out through the LRU), matching
+  the generation-keying of every plan cache: after a replan the served
+  bytes always come from the current plan's own executions.
+
+Hits return a **copy**: callers own their results and may mutate them
+without corrupting the cache (the engine's non-memoized paths return fresh
+arrays too, so the contract is uniform).
+
+Object-dtype semirings (provenance polynomials) are not memoized: their
+entries are shared mutable Python objects, and handing the same objects to
+two callers would couple them.  ``lookup`` simply reports "not memoizable"
+and the engine executes as before.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["ResultMemo"]
+
+
+class ResultMemo:
+    """A thread-safe bounded LRU of served results.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of retained results.
+    byte_limit:
+        Maximum total size of retained result arrays in bytes; the least
+        recently used entries are evicted first when either bound trips.
+    """
+
+    def __init__(self, capacity: int = 512, byte_limit: int = 64 * 1024 * 1024) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity!r}")
+        if byte_limit < 1:
+            raise ValueError(f"byte_limit must be >= 1, got {byte_limit!r}")
+        self.capacity = capacity
+        self.byte_limit = byte_limit
+        self._lock = threading.Lock()
+        #: key -> (pinned plan, result array); insertion order is LRU order.
+        self._entries: "OrderedDict[Tuple, Tuple[Any, Any]]" = OrderedDict()
+        self._bytes = 0
+        self._hits = 0
+        self._misses = 0
+
+    # ------------------------------------------------------------------
+    # Keying
+    # ------------------------------------------------------------------
+    @staticmethod
+    def key_for(plan: Any, instance: Any) -> Optional[Tuple]:
+        """The memo key of one request, or ``None`` when not memoizable."""
+        from repro.profile import profile_generation
+
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(instance.semiring.name.encode())
+        for symbol, size in sorted(instance.dimensions.items()):
+            digest.update(f"{symbol}={size};".encode())
+        for name in sorted(instance.matrices):
+            matrix = instance.matrices[name]
+            if matrix.dtype == object:
+                return None  # shared mutable entries: never memoize
+            digest.update(name.encode())
+            digest.update(matrix.dtype.str.encode())
+            digest.update(repr(matrix.shape).encode())
+            digest.update(matrix.tobytes())
+        return (id(plan), digest.digest(), profile_generation())
+
+    # ------------------------------------------------------------------
+    # Lookup / insert
+    # ------------------------------------------------------------------
+    def lookup(self, plan: Any, instance: Any) -> Tuple[Optional[Tuple], Optional[Any]]:
+        """``(key, result copy)`` for one request.
+
+        ``(None, None)`` means the request is not memoizable; a non-``None``
+        key with a ``None`` result is a miss the caller should
+        :meth:`store` under the same key once the result arrives.
+        """
+        key = self.key_for(plan, instance)
+        if key is None:
+            return None, None
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry[0] is plan:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return key, entry[1].copy()
+            self._misses += 1
+            return key, None
+
+    def store(self, key: Tuple, plan: Any, result: Any) -> None:
+        """Retain one result (a private copy) under a :meth:`lookup` key."""
+        size = int(getattr(result, "nbytes", 0))
+        if size > self.byte_limit:
+            return  # one oversized result must not wipe the whole memo
+        kept = result.copy()
+        with self._lock:
+            previous = self._entries.pop(key, None)
+            if previous is not None:
+                self._bytes -= int(getattr(previous[1], "nbytes", 0))
+            self._entries[key] = (plan, kept)
+            self._bytes += size
+            while self._entries and (
+                len(self._entries) > self.capacity or self._bytes > self.byte_limit
+            ):
+                _, (_, evicted) = self._entries.popitem(last=False)
+                self._bytes -= int(getattr(evicted, "nbytes", 0))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def info(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "hits": self._hits,
+                "misses": self._misses,
+            }
+
+    @property
+    def bytes(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

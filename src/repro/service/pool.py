@@ -1,0 +1,645 @@
+"""The multi-process worker pool behind a pooled :class:`Engine`.
+
+Each worker is a forked process running its **own** in-process engine —
+the same scheduler + coalescer loop single-process serving uses — over its
+own shard of the plan cache and (with profile feedback on) its own
+:class:`~repro.profile.ExecutionProfiler`.  The parent's pooled engine is
+reduced to a router: it compiles, memoizes, hashes the request's
+coalescing identity to a shard (:class:`~repro.service.router.ShardRouter`)
+and ships the instance over that worker's shared-memory ring
+(:mod:`repro.service.shm`), with a pickle-over-pipe fallback for
+object-dtype semirings and payloads that outgrow the ring.
+
+Protocol (control pipe; payload bytes ride the rings)
+-----------------------------------------------------
+parent -> worker::
+
+    ("plan",    plan_id, payload, schema)          register a compiled plan
+    ("submit",  task_id, plan_id, semiring, dims, descriptors)
+    ("psubmit", task_id, plan_id, semiring, dims, pickled_matrices)
+    ("stats",)  ("profile",)  ("stop",)
+
+worker -> parent::
+
+    ("result",   task_id, dtype, shape, nbytes)    payload in the result ring
+    ("result_p", task_id, pickled_result)
+    ("error",    task_id, pickled_exception)
+    ("stats", snapshot)  ("profile", state)  ("stopped", profiler_state)
+
+Because each ring has one producer and one consumer and the announcing
+pipe message is sent only *after* the ring write, the pipe's FIFO order is
+the framing: the receiver reads exactly the announced byte count.
+
+Fork safety
+-----------
+Workers are started with the ``fork`` method (required; the instance
+arrays and registries must be inherited, not re-imported).  The first
+thing a worker does is re-initialize the module-level locks a fork may
+have captured in a held state (the compiler plan-cache lock, the profile
+lock) and clear the inherited plan cache — giving each worker the private
+plan-cache shard the sharded design wants anyway.
+
+Crash rescue
+------------
+A worker that dies (segfault, OOM-kill, ``kill -9``) surfaces as EOF on
+its pipe.  The parent respawns the shard and resubmits each in-flight
+request **once** to a live worker; a request that has already been rescued
+fails its own future with :class:`WorkerCrashError` instead of retrying
+forever.  Only futures in flight on the dead worker are touched.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import queue
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.service.router import ShardRouter
+from repro.service.shm import ShmRing
+
+__all__ = ["WorkerCrashError", "WorkerPool"]
+
+
+class WorkerCrashError(RuntimeError):
+    """A request's worker died and its one rescue attempt was exhausted."""
+
+
+def _reinit_module_locks() -> None:
+    """Give the forked worker fresh module locks and a private plan cache.
+
+    A thread of the parent may hold these locks at the instant of the
+    fork; the child would then deadlock on first use.  Re-creating them
+    (and clearing the inherited plan cache, which doubles as giving the
+    worker its own shard) makes the child self-consistent.
+    """
+    from repro.matlang import compiler
+    from repro import profile as profile_module
+
+    compiler._PLAN_CACHE_LOCK = threading.RLock()
+    compiler._PLAN_CACHE.clear()
+    profile_module._LOCK = threading.Lock()
+
+
+def _rebuild_instance(schema, dimensions, semiring, matrices):
+    """Reassemble an :class:`Instance` without re-validating or re-lifting.
+
+    The parent validated the instance at submission; the worker receives
+    arrays that are byte-for-byte the validated ones, so running
+    ``__post_init__`` again would only re-copy every matrix.
+    """
+    from repro.matlang.instance import Instance
+
+    instance = Instance.__new__(Instance)
+    instance.schema = schema
+    instance.dimensions = dict(dimensions)
+    instance.matrices = matrices
+    instance.semiring = semiring
+    return instance
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+def _worker_main(
+    index: int,
+    connection,
+    request_ring: ShmRing,
+    result_ring: ShmRing,
+    policy,
+    functions,
+    backend,
+    options,
+    profile_feedback: bool,
+) -> None:
+    from repro.semiring.registry import get_semiring
+    from repro.service.engine import Engine
+
+    _reinit_module_locks()
+    engine = Engine(
+        policy=policy,
+        functions=functions,
+        backend=backend,
+        options=options,
+        profile_feedback=profile_feedback,
+    )
+    plans: Dict[int, Any] = {}
+    schemas: Dict[int, Any] = {}
+    send_lock = threading.Lock()
+
+    def ship(task_id: int, future) -> None:
+        error = future.exception()
+        if error is not None:
+            try:
+                payload = pickle.dumps(error)
+            except Exception:
+                payload = pickle.dumps(RuntimeError(repr(error)))
+            with send_lock:
+                connection.send(("error", task_id, payload))
+            return
+        result = future.result()
+        result = np.ascontiguousarray(result)
+        if result.dtype != object and result.nbytes <= result_ring.capacity:
+            with send_lock:
+                if result_ring.write([result.data], timeout=2.0):
+                    connection.send(
+                        ("result", task_id, result.dtype.str, result.shape, result.nbytes)
+                    )
+                    return
+                connection.send(("result_p", task_id, pickle.dumps(result)))
+            return
+        with send_lock:
+            connection.send(("result_p", task_id, pickle.dumps(result)))
+
+    def handle_submit(message, pickled: bool) -> None:
+        _, task_id, plan_id, semiring_name, dimensions, payload = message
+        try:
+            plan = plans[plan_id]
+            semiring = get_semiring(semiring_name)
+            if pickled:
+                matrices = pickle.loads(payload)
+            else:
+                matrices = {}
+                for name, dtype_str, shape, nbytes in payload:
+                    array = np.empty(shape, dtype=np.dtype(dtype_str))
+                    request_ring.read_into(array.reshape(-1).view(np.uint8).data)
+                    matrices[name] = array
+            instance = _rebuild_instance(
+                schemas[plan_id], dimensions, semiring, matrices
+            )
+        except Exception as error:
+            with send_lock:
+                connection.send(("error", task_id, pickle.dumps(error)))
+            return
+        future = engine.submit_compiled(plan, instance)
+        future.add_done_callback(lambda finished, tid=task_id: ship(tid, finished))
+
+    profiler_state: Callable[[], Any] = lambda: (
+        engine._profiler.state() if engine._profiler is not None else None
+    )
+
+    while True:
+        try:
+            message = connection.recv()
+        except (EOFError, OSError):
+            break  # parent went away: exit without unlinking anything
+        kind = message[0]
+        if kind == "submit":
+            handle_submit(message, pickled=False)
+        elif kind == "psubmit":
+            handle_submit(message, pickled=True)
+        elif kind == "plan":
+            from repro.matlang.ir import deserialize_plan
+
+            _, plan_id, payload, schema = message
+            plans[plan_id] = deserialize_plan(payload)
+            schemas[plan_id] = schema
+        elif kind == "stats":
+            with send_lock:
+                connection.send(("stats", engine.stats()))
+        elif kind == "profile":
+            with send_lock:
+                connection.send(("profile", profiler_state()))
+        elif kind == "stop":
+            engine.shutdown(wait=True)
+            with send_lock:
+                connection.send(("stopped", profiler_state()))
+            break
+    request_ring.close()
+    result_ring.close()
+    connection.close()
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+class _Task:
+    """One in-flight pooled request (parent-side bookkeeping)."""
+
+    __slots__ = ("task_id", "plan", "instance", "future", "memo_key", "submitted_at", "rescued")
+
+    def __init__(self, task_id, plan, instance, future, memo_key, submitted_at):
+        self.task_id = task_id
+        self.plan = plan
+        self.instance = instance
+        self.future = future
+        self.memo_key = memo_key
+        self.submitted_at = submitted_at
+        self.rescued = False
+
+
+class _WorkerHandle:
+    """Parent-side state of one worker process."""
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.process: Optional[Any] = None
+        self.connection: Optional[Any] = None
+        self.request_ring: Optional[ShmRing] = None
+        self.result_ring: Optional[ShmRing] = None
+        self.send_lock = threading.Lock()
+        self.control_lock = threading.Lock()
+        self.replies: "queue.Queue" = queue.Queue()
+        self.registered: set = set()
+        self.inflight: Dict[int, _Task] = {}
+        self.receiver: Optional[threading.Thread] = None
+        self.alive = False
+        self.stopping = False
+
+
+class WorkerPool:
+    """N forked workers plus the routing/rescue logic binding them.
+
+    ``deliver(task, result, error)`` is the engine's completion hook: the
+    pool calls it exactly once per submitted task, from a parent-side
+    receiver thread.
+    """
+
+    #: Rescue attempts per request after a worker crash.
+    MAX_RESCUES = 1
+
+    def __init__(
+        self,
+        workers: int,
+        deliver: Callable[[_Task, Any, Optional[BaseException]], None],
+        policy=None,
+        functions=None,
+        backend=None,
+        options=None,
+        profile_feedback: bool = False,
+        ring_capacity: Optional[int] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers!r}")
+        try:
+            self._context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-posix platforms
+            raise RuntimeError(
+                "the worker pool requires the 'fork' start method"
+            ) from None
+        self.workers = workers
+        self.router = ShardRouter(workers)
+        self._deliver = deliver
+        self._policy = policy
+        self._functions = functions
+        self._backend = backend
+        self._options = options
+        self._profile_feedback = profile_feedback
+        self._ring_capacity = ring_capacity
+        self._lock = threading.Lock()
+        self._closed = False
+        self._task_counter = 0
+        self._plan_counter = 0
+        #: ``id(plan) -> (pinned plan, wire plan id, payload, schema)``.
+        self._plans: Dict[int, Tuple[Any, int, bytes, Any]] = {}
+        self._handles: List[_WorkerHandle] = []
+        for index in range(workers):
+            handle = _WorkerHandle(index)
+            self._spawn(handle)
+            self._handles.append(handle)
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+    def _spawn(self, handle: _WorkerHandle) -> None:
+        capacity = self._ring_capacity
+        rings = (
+            ShmRing() if capacity is None else ShmRing(capacity),
+            ShmRing() if capacity is None else ShmRing(capacity),
+        )
+        parent_conn, child_conn = self._context.Pipe(duplex=True)
+        process = self._context.Process(
+            target=_worker_main,
+            args=(
+                handle.index,
+                child_conn,
+                rings[0],
+                rings[1],
+                self._policy,
+                self._functions,
+                self._backend,
+                self._options,
+                self._profile_feedback,
+            ),
+            name=f"repro-worker-{handle.index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        handle.process = process
+        handle.connection = parent_conn
+        handle.request_ring, handle.result_ring = rings
+        handle.registered = set()
+        handle.inflight = {}
+        handle.replies = queue.Queue()
+        handle.alive = True
+        handle.stopping = False
+        handle.receiver = threading.Thread(
+            target=self._receive_loop,
+            args=(handle,),
+            name=f"repro-pool-recv-{handle.index}",
+            daemon=True,
+        )
+        handle.receiver.start()
+
+    def _receive_loop(self, handle: _WorkerHandle) -> None:
+        while True:
+            try:
+                message = handle.connection.recv()
+            except (EOFError, OSError):
+                if not handle.stopping:
+                    self._on_worker_death(handle)
+                return
+            kind = message[0]
+            if kind == "result":
+                _, task_id, dtype_str, shape, nbytes = message
+                array = np.empty(shape, dtype=np.dtype(dtype_str))
+                try:
+                    handle.result_ring.read_into(
+                        array.reshape(-1).view(np.uint8).data
+                    )
+                except Exception as error:
+                    self._complete(handle, task_id, None, error)
+                    continue
+                self._complete(handle, task_id, array, None)
+            elif kind == "result_p":
+                _, task_id, payload = message
+                try:
+                    result = pickle.loads(payload)
+                except Exception as error:
+                    self._complete(handle, task_id, None, error)
+                    continue
+                self._complete(handle, task_id, result, None)
+            elif kind == "error":
+                _, task_id, payload = message
+                try:
+                    error = pickle.loads(payload)
+                except Exception:
+                    error = RuntimeError("worker reported an undecodable error")
+                self._complete(handle, task_id, None, error)
+            else:  # stats / profile / stopped control replies
+                handle.replies.put(message)
+                if kind == "stopped":
+                    return
+
+    def _complete(self, handle, task_id, result, error) -> None:
+        with self._lock:
+            task = handle.inflight.pop(task_id, None)
+        if task is None:
+            return  # already rescued onto another worker
+        self._deliver(task, result, error)
+
+    def _on_worker_death(self, handle: _WorkerHandle) -> None:
+        with self._lock:
+            if not handle.alive:
+                return
+            handle.alive = False
+            orphaned = list(handle.inflight.values())
+            handle.inflight = {}
+            closed = self._closed
+        self._teardown_handle(handle)
+        if not closed:
+            try:
+                self._spawn(handle)
+            except Exception:
+                pass
+        crash = WorkerCrashError(
+            f"worker {handle.index} (shard {handle.index}) died unexpectedly"
+        )
+        for task in orphaned:
+            if task.rescued or closed:
+                self._deliver(task, None, crash)
+                continue
+            task.rescued = True
+            try:
+                self._dispatch(task)
+            except Exception as error:
+                self._deliver(task, None, error)
+
+    def _teardown_handle(self, handle: _WorkerHandle) -> None:
+        try:
+            handle.connection.close()
+        except Exception:
+            pass
+        process = handle.process
+        if process is not None:
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.kill()
+                process.join(timeout=5.0)
+        for ring in (handle.request_ring, handle.result_ring):
+            if ring is not None:
+                ring.destroy()
+        handle.request_ring = handle.result_ring = None
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, plan, instance, future, memo_key, submitted_at) -> Optional[_Task]:
+        """Route one compiled request to its shard; ``None`` when closed."""
+        with self._lock:
+            if self._closed:
+                return None
+            self._task_counter += 1
+            task = _Task(
+                self._task_counter, plan, instance, future, memo_key, submitted_at
+            )
+        self._dispatch(task)
+        return task
+
+    def _plan_record(self, plan) -> Tuple[int, bytes, Any]:
+        from repro.matlang.ir import serialize_plan
+
+        with self._lock:
+            record = self._plans.get(id(plan))
+            if record is not None and record[0] is plan:
+                return record[1], record[2], record[3]
+        payload = serialize_plan(plan)
+        with self._lock:
+            record = self._plans.get(id(plan))
+            if record is not None and record[0] is plan:
+                return record[1], record[2], record[3]
+            self._plan_counter += 1
+            # The schema rides along once per plan: every instance of the
+            # plan conforms to it, so per-submit traffic carries dims only.
+            self._plans[id(plan)] = (plan, self._plan_counter, payload, None)
+            return self._plan_counter, payload, None
+
+    def _dispatch(self, task: _Task) -> None:
+        plan_id, payload, _ = self._plan_record(task.plan)
+        instance = task.instance
+        shard = self.router.shard_for(
+            plan_id, instance.semiring.name, instance.dimensions
+        )
+        handle = self._handles[shard]
+        with self._lock:
+            if not handle.alive:
+                alive = [h for h in self._handles if h.alive]
+                if not alive:
+                    raise WorkerCrashError("no live workers")
+                handle = alive[shard % len(alive)]
+            handle.inflight[task.task_id] = task
+        try:
+            self._send_task(handle, task, plan_id, payload)
+        except Exception:
+            with self._lock:
+                handle.inflight.pop(task.task_id, None)
+            raise
+
+    def _send_task(self, handle, task, plan_id, payload) -> None:
+        instance = task.instance
+        matrices = instance.matrices
+        names = sorted(matrices)
+        arrays = [np.ascontiguousarray(matrices[name]) for name in names]
+        shippable = all(array.dtype != object for array in arrays)
+        total = sum(array.nbytes for array in arrays)
+        with handle.send_lock:
+            if not handle.alive:
+                raise WorkerCrashError(f"worker {handle.index} is down")
+            if plan_id not in handle.registered:
+                handle.connection.send(
+                    ("plan", plan_id, payload, instance.schema)
+                )
+                handle.registered.add(plan_id)
+            if (
+                shippable
+                and total <= handle.request_ring.capacity
+                and handle.request_ring.write(
+                    [array.data for array in arrays], timeout=2.0
+                )
+            ):
+                descriptors = tuple(
+                    (name, array.dtype.str, array.shape, array.nbytes)
+                    for name, array in zip(names, arrays)
+                )
+                handle.connection.send(
+                    (
+                        "submit",
+                        task.task_id,
+                        plan_id,
+                        instance.semiring.name,
+                        dict(instance.dimensions),
+                        descriptors,
+                    )
+                )
+            else:
+                handle.connection.send(
+                    (
+                        "psubmit",
+                        task.task_id,
+                        plan_id,
+                        instance.semiring.name,
+                        dict(instance.dimensions),
+                        pickle.dumps({name: matrices[name] for name in names}),
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+    def _control(self, handle: _WorkerHandle, request: Tuple, timeout: float):
+        with handle.control_lock:
+            with handle.send_lock:
+                if not handle.alive:
+                    return None
+                handle.connection.send(request)
+            try:
+                return handle.replies.get(timeout=timeout)
+            except queue.Empty:
+                return None
+
+    def worker_stats(self, timeout: float = 5.0) -> List[Any]:
+        """Per-worker engine snapshots (``None`` for unreachable workers)."""
+        snapshots = []
+        for handle in self._handles:
+            reply = self._control(handle, ("stats",), timeout)
+            snapshots.append(reply[1] if reply else None)
+        return snapshots
+
+    def profile_states(self, timeout: float = 5.0) -> List[Any]:
+        """Per-worker profiler states for the parent-side merge."""
+        states = []
+        for handle in self._handles:
+            reply = self._control(handle, ("profile",), timeout)
+            states.append(reply[1] if reply else None)
+        return states
+
+    def inflight_count(self) -> int:
+        with self._lock:
+            return sum(len(handle.inflight) for handle in self._handles)
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def shutdown(self, timeout: float = 30.0) -> List[Any]:
+        """Stop every worker, harvest final profiler states, free segments.
+
+        Pending requests drain first (each worker's inner engine finishes
+        its queue before acknowledging the stop), so every submitted future
+        resolves.  Returns the workers' final profiler states.
+        """
+        with self._lock:
+            if self._closed:
+                return []
+            self._closed = True
+        states: List[Any] = []
+        deadline = time.perf_counter() + timeout
+        for handle in self._handles:
+            handle.stopping = True
+            with handle.send_lock:
+                alive = handle.alive
+                if alive:
+                    try:
+                        handle.connection.send(("stop",))
+                    except Exception:
+                        alive = False
+            state = None
+            if alive:
+                remaining = max(0.5, deadline - time.perf_counter())
+                while True:
+                    try:
+                        reply = handle.replies.get(timeout=remaining)
+                    except queue.Empty:
+                        break
+                    if reply[0] == "stopped":
+                        state = reply[1]
+                        break
+            states.append(state)
+            handle.alive = False
+            self._teardown_handle(handle)
+        # A worker that never acknowledged leaves its in-flight futures
+        # unresolved; fail them rather than hang their waiters.
+        leftovers: List[_Task] = []
+        with self._lock:
+            for handle in self._handles:
+                leftovers.extend(handle.inflight.values())
+                handle.inflight = {}
+        for task in leftovers:
+            self._deliver(
+                task, None, RuntimeError("the worker pool shut down mid-request")
+            )
+        return states
+
+    def __del__(self) -> None:  # pragma: no cover - safety net
+        try:
+            if not self._closed:
+                for handle in self._handles:
+                    handle.stopping = True
+                    if handle.process is not None and handle.process.is_alive():
+                        handle.process.terminate()
+                    self._teardown_handle(handle)
+        except Exception:
+            pass
+
+
+def available_cpus() -> int:
+    """CPUs this process may use (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-linux
+        return os.cpu_count() or 1

@@ -1,0 +1,42 @@
+"""Shard routing for the multi-process serving tier.
+
+With worker processes in play the engine stops being a scheduler and
+becomes a **router**: every request is hashed to one shard by its
+coalescing identity — ``(plan, semiring, dimension signature)`` — so all
+requests that *could* coalesce into one stacked kernel call land on the
+same worker, whose in-process scheduler then actually coalesces them.
+Spreading one group across workers would trade the proven ~20-40x
+coalesce ratio for parallelism the group doesn't need; keying the route on
+the group identity keeps both.
+
+The hash must be stable across calls (the same plan must keep routing to
+the same shard for its worker-side plan registration to amortize), so it
+is a ``crc32`` over the registered plan id and the instance signature —
+never the builtin ``hash``, which is salted per process.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Tuple
+
+__all__ = ["ShardRouter"]
+
+
+class ShardRouter:
+    """Stable request-to-shard assignment over ``shards`` workers."""
+
+    def __init__(self, shards: int) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards!r}")
+        self.shards = shards
+
+    def shard_for(self, plan_id: int, semiring_name: str, dimensions) -> int:
+        """The shard index of one request's coalescing identity."""
+        signature = self.signature(plan_id, semiring_name, dimensions)
+        return zlib.crc32(repr(signature).encode()) % self.shards
+
+    @staticmethod
+    def signature(plan_id: int, semiring_name: str, dimensions) -> Tuple:
+        """The hashed identity: plan, semiring, sorted dimension items."""
+        return (plan_id, semiring_name, tuple(sorted(dimensions.items())))

@@ -1,0 +1,285 @@
+"""A minimal length-prefixed socket protocol in front of the engine.
+
+External processes (load generators, sidecars, other languages' runtimes
+via a shim) submit queries over TCP instead of importing the engine.  The
+protocol is deliberately tiny — one frame per message::
+
+    [ 4-byte magic b"RPQ1" ][ 4-byte big-endian payload length ][ payload ]
+
+where the payload is a pickled tuple.  Requests::
+
+    ("query",       expression, instance)
+    ("query_many",  [(expression, instance), ...])
+    ("stats",)
+    ("ping",)
+
+Responses::
+
+    ("result", value)                         for query
+    ("results", [("ok", value) | ("error", type_name, message), ...])
+    ("error", type_name, message)             the request itself failed
+    ("stats", EngineStatsSnapshot)
+    ("pong",)
+
+Security model: **trusted local transport only**.  Payloads are pickled —
+the same trust boundary as the in-process API — so the server binds to
+loopback by default and must never face an untrusted network.  The magic
+prefix rejects stray connections (port scanners, HTTP probes) before any
+unpickling happens, and both sides run with socket timeouts so a dead peer
+releases its thread instead of leaking it.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import threading
+from typing import Any, Iterable, List, Tuple
+
+__all__ = ["MAGIC", "ProtocolError", "QueryClient", "QueryServer", "RemoteQueryError"]
+
+MAGIC = b"RPQ1"
+
+_LENGTH = struct.Struct("!I")
+
+#: Refuse frames beyond this size (a corrupted length must not allocate 4GB).
+MAX_FRAME = 256 * 1024 * 1024
+
+
+class ProtocolError(RuntimeError):
+    """The peer sent bytes that are not this protocol."""
+
+
+class RemoteQueryError(RuntimeError):
+    """A query failed on the server; carries the remote type name."""
+
+    def __init__(self, type_name: str, message: str) -> None:
+        super().__init__(f"{type_name}: {message}")
+        self.type_name = type_name
+        self.remote_message = message
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+def _send_message(sock: socket.socket, payload: Any) -> None:
+    data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(MAGIC + _LENGTH.pack(len(data)) + data)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionError("peer closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _recv_message(sock: socket.socket) -> Any:
+    header = _recv_exact(sock, len(MAGIC) + _LENGTH.size)
+    if header[: len(MAGIC)] != MAGIC:
+        raise ProtocolError(f"bad magic {header[:len(MAGIC)]!r}")
+    (length,) = _LENGTH.unpack(header[len(MAGIC) :])
+    if length > MAX_FRAME:
+        raise ProtocolError(f"frame of {length} bytes exceeds the {MAX_FRAME} cap")
+    return pickle.loads(_recv_exact(sock, length))
+
+
+# ----------------------------------------------------------------------
+# Server
+# ----------------------------------------------------------------------
+class QueryServer:
+    """A threaded TCP front door over one engine.
+
+    One daemon thread accepts connections; each connection gets its own
+    handler thread (connections are long-lived query channels, typically
+    few).  The server does not own the engine — closing the server leaves
+    the engine serving in-process callers.
+    """
+
+    def __init__(
+        self,
+        engine: Any,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout: float = 30.0,
+    ) -> None:
+        self.engine = engine
+        self.timeout = timeout
+        self._listener = socket.create_server((host, port))
+        self._listener.settimeout(0.2)  # poll the closed flag while accepting
+        self._closed = False
+        self._connections: List[socket.socket] = []
+        self._lock = threading.Lock()
+        self._acceptor = threading.Thread(
+            target=self._accept_loop, name="repro-query-server", daemon=True
+        )
+        self._acceptor.start()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._listener.getsockname()[:2]
+
+    def _accept_loop(self) -> None:
+        while not self._closed:
+            try:
+                connection, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # listener closed
+            connection.settimeout(self.timeout)
+            with self._lock:
+                if self._closed:
+                    connection.close()
+                    return
+                self._connections.append(connection)
+            threading.Thread(
+                target=self._serve_connection,
+                args=(connection,),
+                name="repro-query-conn",
+                daemon=True,
+            ).start()
+
+    def _serve_connection(self, connection: socket.socket) -> None:
+        try:
+            while not self._closed:
+                try:
+                    message = _recv_message(connection)
+                except (ConnectionError, socket.timeout, OSError, ProtocolError):
+                    return
+                try:
+                    response = self._handle(message)
+                except Exception as error:  # request-level failure
+                    response = ("error", type(error).__name__, str(error))
+                try:
+                    _send_message(connection, response)
+                except (OSError, socket.timeout):
+                    return
+        finally:
+            connection.close()
+            with self._lock:
+                if connection in self._connections:
+                    self._connections.remove(connection)
+
+    def _handle(self, message: Any) -> Tuple:
+        kind = message[0]
+        if kind == "ping":
+            return ("pong",)
+        if kind == "stats":
+            return ("stats", self.engine.stats())
+        if kind == "query":
+            _, expression, instance = message
+            try:
+                value = self.engine.submit(expression, instance).result(self.timeout)
+            except Exception as error:
+                return ("error", type(error).__name__, str(error))
+            return ("result", value)
+        if kind == "query_many":
+            _, pairs = message
+            futures = self.engine.submit_many(pairs)
+            outcomes: List[Tuple] = []
+            for future in futures:
+                try:
+                    outcomes.append(("ok", future.result(self.timeout)))
+                except Exception as error:
+                    outcomes.append(("error", type(error).__name__, str(error)))
+            return ("results", outcomes)
+        return ("error", "ProtocolError", f"unknown request kind {kind!r}")
+
+    def close(self) -> None:
+        """Stop accepting and drop open connections; idempotent."""
+        self._closed = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._lock:
+            connections, self._connections = self._connections, []
+        for connection in connections:
+            try:
+                connection.close()
+            except OSError:
+                pass
+        self._acceptor.join(timeout=5.0)
+
+    def __enter__(self) -> "QueryServer":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Client
+# ----------------------------------------------------------------------
+class QueryClient:
+    """A blocking client for :class:`QueryServer`.
+
+    One socket, serial request/response — callers wanting concurrency open
+    one client per thread or use :meth:`query_many` for whole bursts.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self.timeout = timeout
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._lock = threading.Lock()
+
+    def _roundtrip(self, request: Tuple) -> Any:
+        with self._lock:
+            _send_message(self._sock, request)
+            return _recv_message(self._sock)
+
+    def query(self, expression: Any, instance: Any) -> Any:
+        """Evaluate one query remotely; raises :class:`RemoteQueryError`."""
+        response = self._roundtrip(("query", expression, instance))
+        if response[0] == "result":
+            return response[1]
+        if response[0] == "error":
+            raise RemoteQueryError(response[1], response[2])
+        raise ProtocolError(f"unexpected response {response[0]!r}")
+
+    def query_many(self, pairs: Iterable[Tuple[Any, Any]]) -> List[Any]:
+        """Evaluate a burst; per-item failures raise on access order.
+
+        Results come back in input order; an item that failed remotely
+        raises :class:`RemoteQueryError` when the whole call returns — the
+        first failed item wins, matching ``submit_many`` + ``result()``.
+        """
+        response = self._roundtrip(("query_many", list(pairs)))
+        if response[0] == "error":
+            raise RemoteQueryError(response[1], response[2])
+        if response[0] != "results":
+            raise ProtocolError(f"unexpected response {response[0]!r}")
+        results = []
+        for outcome in response[1]:
+            if outcome[0] == "error":
+                raise RemoteQueryError(outcome[1], outcome[2])
+            results.append(outcome[1])
+        return results
+
+    def stats(self) -> Any:
+        response = self._roundtrip(("stats",))
+        if response[0] != "stats":
+            raise ProtocolError(f"unexpected response {response[0]!r}")
+        return response[1]
+
+    def ping(self) -> bool:
+        return self._roundtrip(("ping",))[0] == "pong"
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "QueryClient":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()

@@ -1,0 +1,204 @@
+"""Shared-memory ring transport between the router and its workers.
+
+Shipping a request to a worker process must not cost more than the kernels
+it saves: pickling a 512x512 float64 matrix serializes two megabytes
+through a pipe *twice* (encode + decode), while the actual information
+content is the raw dtype bytes.  Each worker therefore gets a pair of
+single-producer/single-consumer byte rings in ``multiprocessing``
+shared memory — requests flowing parent -> worker, results worker ->
+parent — and matrix payloads cross the process boundary as **one memcpy
+each way**, no serialization at all.
+
+Framing lives on the worker's control pipe, not in the ring: the producer
+copies the payload bytes into the ring **first** and only then sends the
+pickled control message announcing them (opcode, dtype, shape, byte
+count).  Pipe messages are FIFO and each ring has exactly one producer and
+one consumer, so when the consumer receives the announcement the bytes are
+already present and a plain cursor read suffices — the ring itself needs
+no locks, just two monotonically increasing ``uint64`` cursors in its
+16-byte header:
+
+    [ head : uint64 ][ tail : uint64 ][ capacity bytes of payload ... ]
+
+``head`` is advanced only by the consumer, ``tail`` only by the producer;
+free space is ``capacity - (tail - head)``.  Aligned 8-byte cursor writes
+are a single memcpy on every platform CPython runs on, and each cursor has
+a single writer, so torn reads cannot produce an unsafe state (a stale
+read only under-reports free space).  Writers poll with a short sleep when
+the ring is full and report failure on timeout — the caller then falls
+back to pickling through the pipe, so a stuck consumer degrades throughput
+instead of deadlocking the tier.
+
+The parent creates both rings before forking; the worker inherits the
+mapped segments through ``fork`` and never re-attaches, so the operating
+system sees exactly one registration per segment and the parent's
+``unlink`` at shutdown removes it — no leaked ``/dev/shm`` entries even
+when a worker died abnormally.
+"""
+
+from __future__ import annotations
+
+import secrets
+import struct
+import time
+from multiprocessing import shared_memory
+from typing import Optional, Sequence
+
+__all__ = ["ShmRing", "SEGMENT_PREFIX"]
+
+#: Prefix of every segment this module creates; the lifecycle tests sweep
+#: ``/dev/shm`` for it to prove shutdown leaves nothing behind.
+SEGMENT_PREFIX = "repro-svc"
+
+_CURSORS = struct.Struct("<QQ")  # head, tail
+_MASK = (1 << 64) - 1
+
+#: Default payload capacity per ring.  Large enough for several 512x512
+#: float64 matrices in flight; anything bigger falls back to the pipe.
+DEFAULT_CAPACITY = 8 * 1024 * 1024
+
+#: Sleep between polls while waiting for ring space.
+_POLL_INTERVAL = 50e-6
+
+
+class ShmRing:
+    """One single-producer/single-consumer shared-memory byte ring."""
+
+    HEADER = _CURSORS.size
+
+    def __init__(
+        self, capacity: int = DEFAULT_CAPACITY, name: Optional[str] = None
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity!r}")
+        self.capacity = capacity
+        if name is None:
+            name = f"{SEGMENT_PREFIX}-{secrets.token_hex(6)}"
+            self._shm = shared_memory.SharedMemory(
+                name=name, create=True, size=self.HEADER + capacity
+            )
+            _CURSORS.pack_into(self._shm.buf, 0, 0, 0)
+            self._owner = True
+        else:
+            self._shm = shared_memory.SharedMemory(name=name)
+            self._owner = False
+        self.name = self._shm.name
+
+    # ------------------------------------------------------------------
+    # Cursors
+    # ------------------------------------------------------------------
+    def _cursors(self):
+        return _CURSORS.unpack_from(self._shm.buf, 0)
+
+    def _set_head(self, value: int) -> None:
+        struct.pack_into("<Q", self._shm.buf, 0, value & _MASK)
+
+    def _set_tail(self, value: int) -> None:
+        struct.pack_into("<Q", self._shm.buf, 8, value & _MASK)
+
+    def used(self) -> int:
+        head, tail = self._cursors()
+        return (tail - head) & _MASK
+
+    def free(self) -> int:
+        return self.capacity - self.used()
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+    def write(self, chunks: Sequence, timeout: float = 1.0) -> bool:
+        """Copy ``chunks`` (bytes-like) into the ring; ``False`` on no-fit.
+
+        Returns ``False`` without writing anything when the payload can
+        never fit (larger than the capacity) or when space does not free up
+        within ``timeout`` seconds — the caller's cue to use the pickle
+        fallback.  A successful write publishes the advanced tail only
+        after every byte is in place.
+        """
+        views = [memoryview(chunk).cast("B") for chunk in chunks]
+        total = sum(view.nbytes for view in views)
+        if total > self.capacity:
+            return False
+        if total == 0:
+            return True
+        deadline = time.perf_counter() + timeout
+        while self.free() < total:
+            if time.perf_counter() >= deadline:
+                return False
+            time.sleep(_POLL_INTERVAL)
+        _, tail = self._cursors()
+        buf = self._shm.buf
+        position = tail % self.capacity
+        for view in views:
+            remaining = view
+            while remaining.nbytes:
+                span = min(remaining.nbytes, self.capacity - position)
+                start = self.HEADER + position
+                buf[start : start + span] = remaining[:span]
+                remaining = remaining[span:]
+                position = (position + span) % self.capacity
+        self._set_tail(tail + total)
+        return True
+
+    # ------------------------------------------------------------------
+    # Consumer side
+    # ------------------------------------------------------------------
+    def read_into(self, destination, timeout: float = 5.0) -> None:
+        """Fill a writable bytes-like object from the ring, advancing head.
+
+        The transport protocol guarantees the bytes were published before
+        the announcing pipe message was sent, so in a healthy tier this
+        never waits; the timeout is a guard against a corrupted peer.
+        """
+        view = memoryview(destination).cast("B")
+        total = view.nbytes
+        if total > self.capacity:
+            raise ValueError(
+                f"read of {total} bytes exceeds ring capacity {self.capacity}"
+            )
+        deadline = time.perf_counter() + timeout
+        while self.used() < total:
+            if time.perf_counter() >= deadline:
+                raise TimeoutError(
+                    f"ring {self.name}: announced payload of {total} bytes "
+                    f"never arrived (have {self.used()})"
+                )
+            time.sleep(_POLL_INTERVAL)
+        head, _ = self._cursors()
+        buf = self._shm.buf
+        position = head % self.capacity
+        copied = 0
+        while copied < total:
+            span = min(total - copied, self.capacity - position)
+            start = self.HEADER + position
+            view[copied : copied + span] = buf[start : start + span]
+            copied += span
+            position = (position + span) % self.capacity
+        self._set_head(head + total)
+
+    def read(self, nbytes: int, timeout: float = 5.0) -> bytes:
+        """Consume ``nbytes`` as a fresh bytes object."""
+        out = bytearray(nbytes)
+        self.read_into(out, timeout)
+        return bytes(out)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._shm.close()
+        except Exception:
+            pass
+
+    def unlink(self) -> None:
+        """Remove the backing segment (creator side; idempotent)."""
+        try:
+            self._shm.unlink()
+        except Exception:
+            pass
+
+    def destroy(self) -> None:
+        self.close()
+        if self._owner:
+            self.unlink()

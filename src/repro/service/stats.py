@@ -63,16 +63,35 @@ class EngineStatsSnapshot:
     #: most recent requests (``None`` until something completed).
     latency_p50: Optional[float]
     latency_p95: Optional[float]
+    #: Requests answered from the cross-request result memo without any
+    #: kernel execution (pooled engines; 0 with memoization off).
+    memo_hits: int = 0
+    #: Requests that consulted the memo and missed (and therefore executed).
+    memo_misses: int = 0
+    #: Result bytes currently retained by the memo.
+    memo_bytes: int = 0
+    #: Worker processes behind this engine (0 = in-process scheduler).
+    workers: int = 0
 
     def render(self) -> str:
         """A one-line human-readable summary (used by benchmarks / examples)."""
         p50 = "-" if self.latency_p50 is None else f"{self.latency_p50 * 1e3:.2f}ms"
         p95 = "-" if self.latency_p95 is None else f"{self.latency_p95 * 1e3:.2f}ms"
-        return (
+        line = (
             f"served={self.completed} failed={self.failed} queued={self.queue_depth} "
             f"dispatches={self.dispatches} coalesce={self.coalesce_ratio:.1f}x "
             f"throughput={self.throughput:.0f}/s p50={p50} p95={p95}"
         )
+        if self.workers:
+            line += f" workers={self.workers}"
+        if self.memo_hits or self.memo_misses:
+            looked = self.memo_hits + self.memo_misses
+            rate = self.memo_hits / looked if looked else 0.0
+            line += (
+                f" memo={self.memo_hits}/{looked} ({rate:.0%} hit, "
+                f"{self.memo_bytes / 1e6:.1f}MB)"
+            )
+        return line
 
 
 def _percentile(sorted_values: Tuple[float, ...], fraction: float) -> float:
@@ -106,6 +125,10 @@ class EngineStats:
         self._latencies: Deque[float] = deque(maxlen=self.RESERVOIR_SIZE)
         self._first_submit: Optional[float] = None
         self._last_done: Optional[float] = None
+        self._memo_hits = 0
+        self._memo_misses = 0
+        self._memo_bytes = 0
+        self._workers = 0
 
     # -- mutators (called by the engine) ---------------------------------
     def record_submitted(self, count: int = 1) -> None:
@@ -149,6 +172,31 @@ class EngineStats:
             self._latencies.append(latency)
             self._last_done = time.perf_counter()
 
+    def record_memo_hit(self, latency: float, memo_bytes: int) -> None:
+        """One request answered straight from the result memo.
+
+        The hit is a completion like any other (it joins the latency
+        reservoir and the completed count) but never reached the queue, so
+        the queue-depth increment from :meth:`record_submitted` is undone
+        here.
+        """
+        with self._lock:
+            self._memo_hits += 1
+            self._memo_bytes = memo_bytes
+            self._queue_depth -= 1
+            self._completed += 1
+            self._latencies.append(latency)
+            self._last_done = time.perf_counter()
+
+    def record_memo_miss(self, memo_bytes: int) -> None:
+        with self._lock:
+            self._memo_misses += 1
+            self._memo_bytes = memo_bytes
+
+    def set_workers(self, workers: int) -> None:
+        with self._lock:
+            self._workers = workers
+
     def record_done_many(self, latencies: list, failed: bool = False) -> None:
         """Record a whole dispatched chunk's completions in one lock trip."""
         if not latencies:
@@ -187,4 +235,8 @@ class EngineStats:
                 throughput=throughput,
                 latency_p50=p50,
                 latency_p95=p95,
+                memo_hits=self._memo_hits,
+                memo_misses=self._memo_misses,
+                memo_bytes=self._memo_bytes,
+                workers=self._workers,
             )

@@ -55,8 +55,8 @@ class TestHarness:
 
     def test_registry_contains_all_experiments(self):
         identifiers = set(EXPERIMENTS)
-        assert {"E1", "E7", "E11", "F1", "P1", "P2", "P3", "P4", "P5", "P6", "P7"} <= identifiers
-        assert len(identifiers) == 22
+        assert {"E1", "E7", "E11", "F1", "P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8"} <= identifiers
+        assert len(identifiers) == 23
 
     def test_registry_lookup(self):
         info = experiment_info("E5")

@@ -171,6 +171,46 @@ class TestPerOpAssignment:
         assert any("per-op physical planning" in note for note in physical.notes)
         assert any("conversion" in note for note in physical.notes)
 
+    def test_closure_fill_in_flips_moderately_dense_power_to_dense(self):
+        # A closure (power op) over a moderately dense matrix fills in to
+        # dense within a squaring or two; the per-step density ladder must
+        # surface that blowup instead of costing every step at the input
+        # density, which under-costed sparse and picked it anyway.
+        rng = np.random.default_rng(0)
+        instance = Instance.from_matrices(
+            {"A": rng.random((256, 256)) < 0.1}, semiring=BOOLEAN
+        )
+        plan = compile_expression(prod("_v", var("A")), instance.schema)
+        physical = plan_physical(plan, instance, None)
+        assert not physical.mixed
+        assert physical.default_tag == "dense"
+
+    def test_closure_fill_in_keeps_permutation_structured_power_sparse(self):
+        # A one-entry-per-row matrix sits at the ``d * n == 1`` fixed point
+        # of the fill rule: squaring never fills it in, so the ladder must
+        # keep the closure on the sparse backend.
+        instance = Instance.from_matrices(
+            {"A": _cycles_matrix(256)}, semiring=BOOLEAN
+        )
+        plan = compile_expression(prod("_v", var("A")), instance.schema)
+        physical = plan_physical(plan, instance, None)
+        assert not physical.mixed
+        assert physical.default_tag == "sparse"
+
+    def test_closure_fill_in_keeps_reflexive_cycles_sparse(self):
+        # A reflexive closure input (cycles + I, density 2/n) carries a
+        # one-entry-per-row backbone on top of the permutation; the fill
+        # rule must discount that backbone before squaring — diagonal and
+        # permutation structure composes to more structure, not to
+        # quadratic fill — or the ladder misreads branching factor 2 and
+        # saturates a closure that genuinely stays sparse.
+        adjacency = _cycles_matrix(256) | np.eye(256, dtype=bool)
+        instance = Instance.from_matrices({"A": adjacency}, semiring=BOOLEAN)
+        plan = compile_expression(prod("_v", var("A")), instance.schema)
+        physical = plan_physical(plan, instance, None)
+        assert not physical.mixed
+        assert physical.default_tag == "sparse"
+
     def test_uniform_outcome_returns_the_original_plan_object(self):
         # Dense instance: everything lands dense, and the planner hands the
         # caller's plan object back untouched (identity-keyed caches rely on

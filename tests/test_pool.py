@@ -1,0 +1,673 @@
+"""Tests for the sharded multi-process serving tier (PR 7).
+
+Covers the whole pooled stack and its satellites:
+
+* **transport** — the single-producer/single-consumer shared-memory ring
+  (roundtrips, wraparound, oversize refusal, timeout behaviour) and plan
+  wire serialization (roundtrip identity, version rejection);
+* **routing** — the shard router's determinism and group-identity keying;
+* **memoization** — the bounded result memo (copy-out semantics, LRU and
+  byte eviction, object-dtype refusal, profile-generation invalidation)
+  and its engine integration (hit/miss/bytes telemetry, repeats resolving
+  without execution, both pooled and single-process);
+* **pooled correctness** — results bitwise-equal to sequential
+  ``evaluate`` on every registered semiring, including the object-dtype
+  pickle fallback;
+* **worker lifecycle** — crash rescue (a killed worker's shard respawns
+  and only its in-flight futures are touched), shutdown-vs-submit races
+  resolving every future, and a ``/dev/shm`` sweep proving the suite
+  leaks no segments;
+* **front ends** — the asyncio bridge (``asubmit`` / ``asubmit_many``)
+  and the length-prefixed socket protocol (queries, bursts, stats, error
+  propagation, magic rejection);
+* **profile plumbing** — worker profiler state draining/merging and the
+  persistence policy (an under-sampled refit never reaches disk).
+"""
+
+import asyncio
+import glob
+import pickle
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.matlang.builder import ssum, var
+from repro.matlang.compiler import compile_expression
+from repro.matlang.evaluator import evaluate
+from repro.matlang.instance import Instance
+from repro.matlang.ir import (
+    PLAN_WIRE_VERSION,
+    deserialize_plan,
+    serialize_plan,
+)
+from repro.exceptions import EvaluationError
+from repro.profile import (
+    DEFAULT_PROFILE,
+    ExecutionProfiler,
+    set_active_profile,
+)
+from repro.semiring import BOOLEAN, INTEGER, MAX_PLUS, MIN_PLUS, NATURAL, REAL
+from repro.semiring.provenance import PROVENANCE, Polynomial
+from repro.service import (
+    Engine,
+    QueryClient,
+    QueryServer,
+    RemoteQueryError,
+    ResultMemo,
+    ShardRouter,
+    WorkerCrashError,
+)
+from repro.service.shm import SEGMENT_PREFIX, ShmRing
+
+ALL_SEMIRINGS = [REAL, NATURAL, INTEGER, BOOLEAN, MIN_PLUS, MAX_PLUS, PROVENANCE]
+
+
+@pytest.fixture(autouse=True)
+def _restore_profile():
+    """Profile-feedback tests install profiles; restore the default after."""
+    yield
+    set_active_profile(DEFAULT_PROFILE)
+
+
+def _matrix_for(semiring, size, seed):
+    rng = np.random.default_rng(seed)
+    if semiring.name == "boolean":
+        return rng.random((size, size)) < 0.4
+    if semiring.name == "natural":
+        return rng.integers(0, 5, (size, size))
+    if semiring.name == "integer":
+        return rng.integers(-4, 5, (size, size))
+    if semiring.name in ("min_plus", "max_plus"):
+        return np.round(rng.random((size, size)) * 9, 3)
+    if semiring.name == "provenance":
+        matrix = np.empty((size, size), dtype=object)
+        for i in range(size):
+            for j in range(size):
+                matrix[i, j] = (
+                    Polynomial.variable(f"x{seed}_{i}_{j}") if rng.random() < 0.5 else 0
+                )
+        return matrix
+    return rng.standard_normal((size, size))
+
+
+def _instance_for(semiring, size, seed):
+    return Instance.from_matrices(
+        {"A": _matrix_for(semiring, size, seed)}, semiring=semiring
+    )
+
+
+def _entrywise_equal(left, right):
+    if left.shape != right.shape:
+        return False
+    if left.dtype == object or right.dtype == object:
+        return all(left[index] == right[index] for index in np.ndindex(left.shape))
+    return bool(np.array_equal(left, right))
+
+
+def _workload():
+    return ssum("_v", var("A") @ var("_v"))
+
+
+# ----------------------------------------------------------------------
+# Plan wire serialization
+# ----------------------------------------------------------------------
+class TestPlanSerialization:
+    def test_roundtrip_executes_identically(self):
+        instance = _instance_for(REAL, 6, 0)
+        expression = _workload()
+        plan = compile_expression(expression, instance.schema)
+        clone = deserialize_plan(serialize_plan(plan))
+        assert clone is not plan
+        assert len(clone.ops) == len(plan.ops)
+        with Engine() as engine:
+            via_clone = engine.submit_compiled(clone, instance).result(30)
+        assert np.array_equal(via_clone, evaluate(expression, instance))
+
+    def test_version_mismatch_rejected(self):
+        payload = pickle.dumps((PLAN_WIRE_VERSION + 1, None))
+        with pytest.raises(EvaluationError):
+            deserialize_plan(payload)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(EvaluationError):
+            deserialize_plan(b"not a plan")
+
+
+# ----------------------------------------------------------------------
+# Shared-memory ring
+# ----------------------------------------------------------------------
+class TestShmRing:
+    def test_roundtrip_and_wraparound(self):
+        ring = ShmRing(capacity=64)
+        try:
+            # Several writes larger than half the capacity force the copy
+            # to wrap; contents must survive byte-for-byte.
+            for round_number in range(8):
+                payload = bytes((round_number + i) % 256 for i in range(40))
+                assert ring.write([payload])
+                assert ring.read(len(payload)) == payload
+        finally:
+            ring.destroy()
+
+    def test_multi_chunk_write_is_contiguous(self):
+        ring = ShmRing(capacity=256)
+        try:
+            assert ring.write([b"abc", b"defg"])
+            assert ring.read(7) == b"abcdefg"
+        finally:
+            ring.destroy()
+
+    def test_oversized_payload_refused(self):
+        ring = ShmRing(capacity=16)
+        try:
+            assert not ring.write([b"x" * 17])
+            assert ring.used() == 0
+        finally:
+            ring.destroy()
+
+    def test_full_ring_times_out_without_partial_write(self):
+        ring = ShmRing(capacity=16)
+        try:
+            assert ring.write([b"a" * 12])
+            assert not ring.write([b"b" * 8], timeout=0.05)
+            assert ring.read(12) == b"a" * 12
+            assert ring.write([b"b" * 8])
+            assert ring.read(8) == b"b" * 8
+        finally:
+            ring.destroy()
+
+    def test_read_of_unannounced_bytes_times_out(self):
+        ring = ShmRing(capacity=16)
+        try:
+            with pytest.raises(TimeoutError):
+                ring.read(4, timeout=0.05)
+        finally:
+            ring.destroy()
+
+    def test_numpy_payloads_roundtrip(self):
+        ring = ShmRing(capacity=4096)
+        try:
+            array = np.random.default_rng(0).standard_normal((8, 8))
+            assert ring.write([np.ascontiguousarray(array).data])
+            out = np.empty_like(array)
+            ring.read_into(out.reshape(-1).view(np.uint8).data)
+            assert np.array_equal(out, array)
+        finally:
+            ring.destroy()
+
+
+# ----------------------------------------------------------------------
+# Shard routing
+# ----------------------------------------------------------------------
+class TestShardRouter:
+    def test_deterministic_and_in_range(self):
+        router = ShardRouter(4)
+        shard = router.shard_for(7, "real", {"alpha": 64})
+        for _ in range(5):
+            assert router.shard_for(7, "real", {"alpha": 64}) == shard
+        assert 0 <= shard < 4
+
+    def test_distinct_identities_spread(self):
+        router = ShardRouter(4)
+        shards = {
+            router.shard_for(plan_id, "real", {"alpha": 64}) for plan_id in range(64)
+        }
+        assert len(shards) > 1
+
+    def test_dimension_signature_changes_shard_key(self):
+        router = ShardRouter(1024)
+        spread = {
+            router.shard_for(1, "real", {"alpha": size}) for size in range(128)
+        }
+        assert len(spread) > 1
+
+
+# ----------------------------------------------------------------------
+# Result memo (unit level)
+# ----------------------------------------------------------------------
+class TestResultMemo:
+    def test_hit_returns_a_private_copy(self):
+        instance = _instance_for(REAL, 4, 0)
+        plan = compile_expression(_workload(), instance.schema)
+        memo = ResultMemo()
+        key, hit = memo.lookup(plan, instance)
+        assert key is not None and hit is None
+        result = np.arange(4.0).reshape(4, 1)
+        memo.store(key, plan, result)
+        result[0, 0] = 99.0  # caller mutates after store: memo unaffected
+        _, first = memo.lookup(plan, instance)
+        assert first[0, 0] == 0.0
+        first[1, 0] = -1.0  # mutating a hit must not corrupt the cache
+        _, second = memo.lookup(plan, instance)
+        assert second[1, 0] == 1.0
+
+    def test_object_dtype_not_memoizable(self):
+        instance = _instance_for(PROVENANCE, 3, 0)
+        plan = compile_expression(_workload(), instance.schema)
+        memo = ResultMemo()
+        assert memo.lookup(plan, instance) == (None, None)
+
+    def test_capacity_eviction_is_lru(self):
+        plan = object.__new__(type("FakePlan", (), {}))
+        memo = ResultMemo(capacity=2)
+        keys = [(id(plan), bytes([n]), 0) for n in range(3)]
+        for n, key in enumerate(keys):
+            memo.store(key, plan, np.full((1, 1), float(n)))
+        assert len(memo) == 2
+        info = memo.info()
+        assert info["entries"] == 2
+
+    def test_byte_limit_eviction(self):
+        plan = object.__new__(type("FakePlan", (), {}))
+        memo = ResultMemo(capacity=64, byte_limit=1024)
+        for n in range(8):
+            memo.store((id(plan), bytes([n]), 0), plan, np.zeros((8, 8)))  # 512B each
+        assert memo.bytes <= 1024
+
+    def test_oversized_result_skipped(self):
+        plan = object.__new__(type("FakePlan", (), {}))
+        memo = ResultMemo(byte_limit=64)
+        memo.store((id(plan), b"k", 0), plan, np.zeros((8, 8)))
+        assert len(memo) == 0
+
+    def test_profile_generation_invalidates_key(self):
+        instance = _instance_for(REAL, 4, 0)
+        plan = compile_expression(_workload(), instance.schema)
+        memo = ResultMemo()
+        key, _ = memo.lookup(plan, instance)
+        memo.store(key, plan, np.zeros((4, 1)))
+        set_active_profile(DEFAULT_PROFILE.bumped(source="test"))
+        fresh_key, hit = memo.lookup(plan, instance)
+        assert fresh_key != key
+        assert hit is None
+
+
+# ----------------------------------------------------------------------
+# Pooled engine correctness
+# ----------------------------------------------------------------------
+class TestPooledResults:
+    @pytest.mark.parametrize("semiring", ALL_SEMIRINGS, ids=lambda s: s.name)
+    def test_bitwise_equal_per_semiring(self, semiring):
+        # Provenance rides the pickle fallback (object dtype); the rest go
+        # through the shared-memory rings.
+        expression = _workload()
+        count = 4 if semiring.name == "provenance" else 10
+        size = 3 if semiring.name == "provenance" else 6
+        instances = [_instance_for(semiring, size, seed) for seed in range(count)]
+        sequential = [evaluate(expression, instance) for instance in instances]
+        with Engine(workers=2) as engine:
+            futures = engine.submit_many((expression, inst) for inst in instances)
+            results = [future.result(60) for future in futures]
+        for expected, actual in zip(sequential, results):
+            assert _entrywise_equal(actual, expected), semiring.name
+
+    def test_large_payload_falls_back_to_pipe(self):
+        # A ring sized below the instance forces the pickle path end-to-end.
+        expression = _workload()
+        instance = _instance_for(REAL, 64, 3)  # 32KiB matrix
+        with Engine(workers=1, ring_capacity=1024, memoize=False) as engine:
+            result = engine.submit(expression, instance).result(60)
+        assert np.array_equal(result, evaluate(expression, instance))
+
+    def test_compile_errors_surface_through_the_future(self):
+        instance = _instance_for(REAL, 4, 0)
+        with Engine(workers=1) as engine:
+            future = engine.submit(var("NoSuchMatrix"), instance)
+            assert future.exception(30) is not None
+
+    def test_worker_stats_report_dispatch_detail(self):
+        expression = _workload()
+        instances = [_instance_for(REAL, 6, seed) for seed in range(12)]
+        with Engine(workers=2, memoize=False) as engine:
+            futures = engine.submit_many((expression, inst) for inst in instances)
+            for future in futures:
+                future.result(30)
+            per_worker = engine.worker_stats()
+            router_view = engine.stats()
+        assert len(per_worker) == 2
+        served = sum(s.completed for s in per_worker if s is not None)
+        assert served == len(instances)
+        assert router_view.completed == len(instances)
+        assert router_view.workers == 2
+
+    def test_submit_compiled_is_worker_side_only(self):
+        instance = _instance_for(REAL, 4, 0)
+        plan = compile_expression(_workload(), instance.schema)
+        with Engine(workers=1) as engine:
+            with pytest.raises(RuntimeError):
+                engine.submit_compiled(plan, instance)
+
+
+# ----------------------------------------------------------------------
+# Engine-level memoization
+# ----------------------------------------------------------------------
+class TestEngineMemo:
+    def test_pooled_repeats_hit_and_count(self):
+        expression = _workload()
+        instance = _instance_for(REAL, 6, 0)
+        with Engine(workers=1) as engine:
+            first = engine.submit(expression, instance).result(30)
+            second = engine.submit(expression, instance).result(30)
+            snapshot = engine.stats()
+            info = engine.memo_info()
+        assert np.array_equal(first, second)
+        assert snapshot.memo_hits == 1
+        assert snapshot.memo_misses == 1
+        assert snapshot.memo_bytes > 0
+        assert info["entries"] == 1
+        assert "memo=" in snapshot.render()
+
+    def test_single_process_engine_can_opt_in(self):
+        expression = _workload()
+        instance = _instance_for(REAL, 6, 1)
+        with Engine(memoize=True) as engine:
+            first = engine.submit(expression, instance).result(30)
+            second = engine.submit(expression, instance).result(30)
+            snapshot = engine.stats()
+        assert np.array_equal(first, second)
+        assert snapshot.memo_hits == 1
+
+    def test_memoization_off_by_default_single_process(self):
+        with Engine() as engine:
+            assert engine.memo_info() is None
+
+    def test_hit_results_are_independent_copies(self):
+        expression = _workload()
+        instance = _instance_for(REAL, 6, 2)
+        with Engine(memoize=True) as engine:
+            first = engine.submit(expression, instance).result(30)
+            first[0, 0] = 12345.0  # mutate the delivered array
+            second = engine.submit(expression, instance).result(30)
+        assert second[0, 0] != 12345.0
+
+    def test_object_dtype_streams_never_memoize(self):
+        expression = _workload()
+        instance = _instance_for(PROVENANCE, 3, 0)
+        with Engine(workers=1) as engine:
+            engine.submit(expression, instance).result(60)
+            engine.submit(expression, instance).result(60)
+            snapshot = engine.stats()
+            info = engine.memo_info()
+        assert snapshot.memo_hits == 0
+        assert snapshot.memo_misses == 0
+        assert info["entries"] == 0
+
+
+# ----------------------------------------------------------------------
+# Worker lifecycle
+# ----------------------------------------------------------------------
+class TestWorkerLifecycle:
+    def test_killed_worker_respawns_and_serves(self):
+        expression = _workload()
+        with Engine(workers=2, memoize=False) as engine:
+            engine.submit(expression, _instance_for(REAL, 6, 0)).result(30)
+            for handle in engine._pool._handles:
+                if handle.process is not None:
+                    handle.process.kill()
+                    break
+            deadline = time.perf_counter() + 10
+            while time.perf_counter() < deadline:
+                if all(h.alive for h in engine._pool._handles):
+                    break
+                time.sleep(0.05)
+            result = engine.submit(expression, _instance_for(REAL, 6, 1)).result(30)
+        assert result is not None
+
+    def test_crash_mid_flight_resolves_every_future(self):
+        # Kill both workers while a burst is in flight: every future must
+        # resolve — with the correct result (rescued) or WorkerCrashError
+        # (rescue exhausted) — and never hang.
+        expression = _workload()
+        instances = [_instance_for(REAL, 48, seed) for seed in range(40)]
+        with Engine(workers=2, memoize=False) as engine:
+            futures = engine.submit_many((expression, inst) for inst in instances)
+            for handle in list(engine._pool._handles):
+                if handle.process is not None:
+                    handle.process.kill()
+            outcomes = []
+            for future, instance in zip(futures, instances):
+                try:
+                    result = future.result(60)
+                except (WorkerCrashError, RuntimeError) as error:
+                    outcomes.append(error)
+                else:
+                    assert np.array_equal(result, evaluate(expression, instance))
+                    outcomes.append(None)
+        assert len(outcomes) == len(instances)
+
+    def test_submit_after_shutdown_fails_the_future(self):
+        expression = _workload()
+        instance = _instance_for(REAL, 6, 0)
+        engine = Engine(workers=1)
+        engine.submit(expression, instance).result(30)
+        engine.shutdown()
+        future = engine.submit(expression, instance)
+        assert isinstance(future.exception(10), RuntimeError)
+
+    def test_shutdown_vs_submit_race_resolves_everything(self):
+        expression = _workload()
+        instances = [_instance_for(REAL, 6, seed) for seed in range(30)]
+        engine = Engine(workers=2, memoize=False)
+        futures = []
+        lock = threading.Lock()
+
+        def submitter(chunk):
+            for instance in chunk:
+                future = engine.submit(expression, instance)
+                with lock:
+                    futures.append(future)
+
+        threads = [
+            threading.Thread(target=submitter, args=(instances[i::3],))
+            for i in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        engine.shutdown()
+        for thread in threads:
+            thread.join()
+        for future in futures:
+            try:
+                result = future.result(30)
+            except RuntimeError:
+                continue  # rejected at the closed door: a valid outcome
+            assert result is not None  # accepted: must carry a real result
+
+    def test_shutdown_is_idempotent(self):
+        engine = Engine(workers=1)
+        engine.shutdown()
+        engine.shutdown()
+
+    def test_no_leaked_shm_segments(self):
+        # Runs after the lifecycle tests above (including kill -9 paths);
+        # any surviving repro-svc segment is a cleanup bug.
+        expression = _workload()
+        with Engine(workers=2) as engine:
+            engine.submit(expression, _instance_for(REAL, 6, 0)).result(30)
+        leaked = glob.glob(f"/dev/shm/{SEGMENT_PREFIX}-*")
+        assert leaked == []
+
+
+# ----------------------------------------------------------------------
+# asyncio front end
+# ----------------------------------------------------------------------
+class TestAsyncio:
+    def test_asubmit_and_asubmit_many(self):
+        expression = _workload()
+        instance = _instance_for(REAL, 6, 0)
+        expected = evaluate(expression, instance)
+
+        async def main():
+            with Engine(workers=1) as engine:
+                single = await engine.asubmit(expression, instance)
+                burst = await engine.asubmit_many([(expression, instance)] * 4)
+                return single, burst
+
+        single, burst = asyncio.run(main())
+        assert np.array_equal(single, expected)
+        assert all(np.array_equal(result, expected) for result in burst)
+
+    def test_asubmit_propagates_errors(self):
+        instance = _instance_for(REAL, 4, 0)
+
+        async def main():
+            with Engine(workers=1) as engine:
+                await engine.asubmit(var("NoSuchMatrix"), instance)
+
+        with pytest.raises(Exception):
+            asyncio.run(main())
+
+    def test_asubmit_works_single_process_too(self):
+        expression = _workload()
+        instance = _instance_for(REAL, 6, 0)
+
+        async def main():
+            with Engine() as engine:
+                return await engine.asubmit(expression, instance)
+
+        assert np.array_equal(asyncio.run(main()), evaluate(expression, instance))
+
+
+# ----------------------------------------------------------------------
+# Socket protocol
+# ----------------------------------------------------------------------
+class TestQueryServer:
+    def test_query_roundtrip(self):
+        expression = _workload()
+        instance = _instance_for(REAL, 6, 0)
+        with Engine() as engine, QueryServer(engine) as server:
+            host, port = server.address
+            with QueryClient(host, port) as client:
+                assert client.ping()
+                result = client.query(expression, instance)
+                burst = client.query_many([(expression, instance)] * 3)
+                snapshot = client.stats()
+        expected = evaluate(expression, instance)
+        assert np.array_equal(result, expected)
+        assert all(np.array_equal(item, expected) for item in burst)
+        assert snapshot.completed == 4
+
+    def test_remote_errors_carry_the_type_name(self):
+        instance = _instance_for(REAL, 4, 0)
+        with Engine() as engine, QueryServer(engine) as server:
+            host, port = server.address
+            with QueryClient(host, port) as client:
+                with pytest.raises(RemoteQueryError) as excinfo:
+                    client.query(var("NoSuchMatrix"), instance)
+        assert excinfo.value.type_name
+
+    def test_bad_magic_drops_the_connection(self):
+        with Engine() as engine, QueryServer(engine) as server:
+            host, port = server.address
+            raw = socket.create_connection((host, port), timeout=5)
+            try:
+                raw.sendall(b"GET / HTTP/1.1\r\n\r\n" + b"\x00" * 16)
+                raw.settimeout(5)
+                try:
+                    assert raw.recv(1) == b""  # closed without replying
+                except ConnectionResetError:
+                    pass  # also a close, just with unread bytes pending
+            finally:
+                raw.close()
+
+    def test_pooled_engine_behind_the_server(self):
+        expression = _workload()
+        instance = _instance_for(REAL, 6, 0)
+        with Engine(workers=2) as engine, QueryServer(engine) as server:
+            host, port = server.address
+            with QueryClient(host, port) as client:
+                result = client.query(expression, instance)
+        assert np.array_equal(result, evaluate(expression, instance))
+
+
+# ----------------------------------------------------------------------
+# Profiler state plumbing and the persistence policy
+# ----------------------------------------------------------------------
+class TestProfilePlumbing:
+    def _record_samples(self, profiler, count=4):
+        instance = _instance_for(REAL, 8, 0)
+        plan = compile_expression(_workload(), instance.schema)
+
+        class _Value:
+            shape = (8, 8)
+
+        class _Op:
+            opcode = "matmul"
+            inputs = (0, 1)
+
+        values = [_Value(), _Value(), _Value()]
+        for _ in range(count):
+            profiler.record(_Op(), "dense", values, 1e-4)
+        profiler.observe_instance(instance)
+        return plan
+
+    def test_state_drains_and_merges(self):
+        source = ExecutionProfiler()
+        self._record_samples(source, count=5)
+        assert source.sample_count() == 5
+        state = source.state()
+        assert source.sample_count() == 0  # drained
+        target = ExecutionProfiler()
+        target.merge_state(state)
+        assert target.sample_count() == 5
+        target.merge_state(None)  # no-op
+        assert target.sample_count() == 5
+
+    def test_state_without_drain_keeps_samples(self):
+        source = ExecutionProfiler()
+        self._record_samples(source, count=3)
+        source.state(drain=False)
+        assert source.sample_count() == 3
+
+    def test_pooled_flush_merges_worker_measurements(self):
+        # Sparse boolean instances execute per-instance inside the worker
+        # with the profiler attached; flushing must pull those samples into
+        # the parent's profiler.
+        adjacency = np.zeros((128, 128), dtype=bool)
+        for i in range(128):
+            adjacency[i, (i + 1) % 128] = True
+        expression = _workload()
+        with Engine(workers=1, profile_feedback=True, memoize=False) as engine:
+            for _ in range(3):
+                instance = Instance.from_matrices(
+                    {"A": adjacency.copy()}, semiring=BOOLEAN
+                )
+                engine.submit(expression, instance).result(60)
+            engine.flush_profile()
+            assert engine._profiler.sample_count() > 0
+
+    def test_undersampled_refit_never_persists(self, tmp_path, monkeypatch):
+        target = tmp_path / "profile.json"
+        monkeypatch.setenv("REPRO_PROFILE_PATH", str(target))
+        profile_instance = _instance_for(REAL, 6, 0)
+        with Engine(
+            profile_feedback=True, profile_persist_min_samples=10**9
+        ) as engine:
+            engine.submit(_workload(), profile_instance).result(30)
+        assert not target.exists()
+
+    def test_sampled_refit_persists_when_threshold_met(self, tmp_path, monkeypatch):
+        target = tmp_path / "profile.json"
+        monkeypatch.setenv("REPRO_PROFILE_PATH", str(target))
+        adjacency = np.zeros((128, 128), dtype=bool)
+        for i in range(128):
+            adjacency[i, (i + 1) % 128] = True
+        expression = _workload()
+        with Engine(profile_feedback=True, profile_persist_min_samples=1) as engine:
+            instance = Instance.from_matrices({"A": adjacency}, semiring=BOOLEAN)
+            engine.submit(expression, instance).result(60)
+        assert target.exists()
+
+    def test_persistence_defaults_off(self, tmp_path, monkeypatch):
+        target = tmp_path / "profile.json"
+        monkeypatch.setenv("REPRO_PROFILE_PATH", str(target))
+        adjacency = np.zeros((128, 128), dtype=bool)
+        for i in range(128):
+            adjacency[i, (i + 1) % 128] = True
+        with Engine(profile_feedback=True) as engine:
+            instance = Instance.from_matrices({"A": adjacency}, semiring=BOOLEAN)
+            engine.submit(_workload(), instance).result(60)
+        assert not target.exists()
