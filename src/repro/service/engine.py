@@ -204,6 +204,7 @@ class Engine:
 
             self._stats.set_workers(workers)
             self._scheduler = None
+            self._pool_drainer: Optional[threading.Thread] = None
             self._pool: Any = WorkerPool(
                 workers,
                 deliver=self._deliver_pooled,
@@ -407,24 +408,32 @@ class Engine:
         """Stop intake; the scheduler drains pending requests, then exits.
 
         Idempotent.  With ``wait`` (the default) the call returns once every
-        already-submitted future has resolved.
+        already-submitted future has resolved — in pooled mode that means
+        draining the worker pool.  With ``wait=False`` the call returns
+        promptly in both modes; a pooled engine drains its workers on a
+        background thread, and a later ``shutdown(wait=True)`` joins it.
         """
         with self._shutdown_lock:
             first = not self._shutdown
             self._shutdown = True
             if first:
                 self._queue.close()
+                if self._pool is not None and not wait:
+                    # Started under the lock so a concurrent
+                    # shutdown(wait=True) always observes the drainer.
+                    self._pool_drainer = threading.Thread(
+                        target=self._drain_pool,
+                        name="repro-pool-drain",
+                        daemon=True,
+                    )
+                    self._pool_drainer.start()
         if self._pool is not None:
-            if first:
-                states = self._pool.shutdown()
-                if self._profiler is not None:
-                    for state in states:
-                        if state:
-                            self._profiler.merge_state(state)
-                    try:
-                        self._fit_and_install()
-                    except Exception:  # pragma: no cover - best-effort
-                        pass
+            if first and wait:
+                self._drain_pool()
+            elif wait:
+                drainer = self._pool_drainer
+                if drainer is not None:
+                    drainer.join()
             return
         if wait:
             self._scheduler.join()
@@ -433,6 +442,18 @@ class Engine:
                     self.flush_profile()
                 except Exception:  # pragma: no cover - feedback is best-effort
                     pass
+
+    def _drain_pool(self) -> None:
+        """Stop the worker pool and fold its profiler states into ours."""
+        states = self._pool.shutdown()
+        if self._profiler is not None:
+            for state in states:
+                if state:
+                    self._profiler.merge_state(state)
+            try:
+                self._fit_and_install()
+            except Exception:  # pragma: no cover - best-effort
+                pass
 
     def __enter__(self) -> "Engine":
         return self

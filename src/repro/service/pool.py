@@ -14,9 +14,10 @@ Protocol (control pipe; payload bytes ride the rings)
 -----------------------------------------------------
 parent -> worker::
 
-    ("plan",    plan_id, payload, schema)          register a compiled plan
-    ("submit",  task_id, plan_id, semiring, dims, descriptors)
-    ("psubmit", task_id, plan_id, semiring, dims, pickled_matrices)
+    ("plan",     plan_id, payload, schema)         register a compiled plan
+    ("semiring", pickled_semiring)                 register a late semiring
+    ("submit",   task_id, plan_id, semiring, dims, descriptors)
+    ("psubmit",  task_id, plan_id, semiring, dims, pickled_matrices)
     ("stats",)  ("profile",)  ("stop",)
 
 worker -> parent::
@@ -28,7 +29,18 @@ worker -> parent::
 
 Because each ring has one producer and one consumer and the announcing
 pipe message is sent only *after* the ring write, the pipe's FIFO order is
-the framing: the receiver reads exactly the announced byte count.
+the framing: the receiver reads exactly the announced byte count.  The
+corollary is that the receiver must consume exactly the announced bytes
+even when it cannot *use* them — a submit whose descriptors fail to
+decode drains the payload before replying with the error, because a
+skipped byte would desynchronize every later read on the ring.
+
+Semirings are resolved by name in the worker against the registry it
+inherited at fork; a semiring registered in the parent *after* the pool
+started is shipped once per worker as a ``("semiring", ...)`` message
+before the first submit that needs it (vectorized kernel factories
+registered post-fork do not travel — such a semiring executes on the
+generic object-dtype fold in the workers).
 
 Fork safety
 -----------
@@ -50,6 +62,7 @@ forever.  Only futures in flight on the dead worker are touched.
 
 from __future__ import annotations
 
+import copy
 import multiprocessing
 import os
 import pickle
@@ -84,6 +97,19 @@ def _reinit_module_locks() -> None:
     compiler._PLAN_CACHE_LOCK = threading.RLock()
     compiler._PLAN_CACHE.clear()
     profile_module._LOCK = threading.Lock()
+
+
+def _discard_ring_bytes(ring: ShmRing, nbytes: int) -> None:
+    """Consume and drop ``nbytes`` announced bytes from ``ring``.
+
+    The error path of a submit whose payload cannot be decoded: the
+    producer already wrote (and accounted) these bytes, so they must be
+    read exactly once even though nobody wants them.
+    """
+    while nbytes > 0:
+        span = min(nbytes, ring.capacity)
+        ring.read(span)
+        nbytes -= span
 
 
 def _rebuild_instance(schema, dimensions, semiring, matrices):
@@ -158,23 +184,62 @@ def _worker_main(
 
     def handle_submit(message, pickled: bool) -> None:
         _, task_id, plan_id, semiring_name, dimensions, payload = message
-        try:
-            plan = plans[plan_id]
-            semiring = get_semiring(semiring_name)
-            if pickled:
+        failure: Optional[BaseException] = None
+        matrices: Dict[str, Any] = {}
+        if pickled:
+            try:
                 matrices = pickle.loads(payload)
-            else:
-                matrices = {}
-                for name, dtype_str, shape, nbytes in payload:
-                    array = np.empty(shape, dtype=np.dtype(dtype_str))
-                    request_ring.read_into(array.reshape(-1).view(np.uint8).data)
-                    matrices[name] = array
-            instance = _rebuild_instance(
-                schemas[plan_id], dimensions, semiring, matrices
-            )
-        except Exception as error:
+            except Exception as error:
+                failure = error
+        else:
+            # The parent wrote (and accounted) every announced byte before
+            # sending this message, so every descriptor's bytes must be
+            # consumed here exactly once — even after a decode failure —
+            # or the ring head desynchronizes and every later shm submit
+            # on this worker silently reads the wrong bytes.
+            for name, dtype_str, shape, nbytes in payload:
+                array = None
+                if failure is None:
+                    try:
+                        candidate = np.empty(shape, dtype=np.dtype(dtype_str))
+                        if candidate.nbytes == nbytes:
+                            array = candidate
+                        else:
+                            failure = ValueError(
+                                f"descriptor for {name!r} announces {nbytes} "
+                                f"bytes but {dtype_str}{shape} holds "
+                                f"{candidate.nbytes}"
+                            )
+                    except Exception as error:
+                        failure = error
+                try:
+                    if array is not None:
+                        request_ring.read_into(
+                            array.reshape(-1).view(np.uint8).data
+                        )
+                        matrices[name] = array
+                    else:
+                        _discard_ring_bytes(request_ring, nbytes)
+                except Exception as error:  # the ring itself failed
+                    if failure is None:
+                        failure = error
+        if failure is None:
+            # Fallible lookups only after the ring is fully drained.
+            try:
+                plan = plans[plan_id]
+                semiring = get_semiring(semiring_name)
+                instance = _rebuild_instance(
+                    schemas[plan_id], dimensions, semiring, matrices
+                )
+            except Exception as error:
+                failure = error
+        if failure is not None:
+            try:
+                blob = pickle.dumps(failure)
+            except Exception:
+                blob = pickle.dumps(RuntimeError(repr(failure)))
             with send_lock:
-                connection.send(("error", task_id, pickle.dumps(error)))
+                connection.send(("error", task_id, blob))
             return
         future = engine.submit_compiled(plan, instance)
         future.add_done_callback(lambda finished, tid=task_id: ship(tid, finished))
@@ -199,6 +264,14 @@ def _worker_main(
             _, plan_id, payload, schema = message
             plans[plan_id] = deserialize_plan(payload)
             schemas[plan_id] = schema
+        elif kind == "semiring":
+            # A semiring registered in the parent after this worker forked.
+            from repro.semiring.registry import register_semiring
+
+            try:
+                register_semiring(pickle.loads(message[1]), overwrite=True)
+            except Exception:
+                pass  # the submit needing it fails with a clear SemiringError
         elif kind == "stats":
             with send_lock:
                 connection.send(("stats", engine.stats()))
@@ -246,6 +319,9 @@ class _WorkerHandle:
         self.control_lock = threading.Lock()
         self.replies: "queue.Queue" = queue.Queue()
         self.registered: set = set()
+        #: Semiring names the worker is known to resolve: the registry
+        #: snapshot it inherited at fork, plus any shipped since.
+        self.semirings: set = set()
         self.inflight: Dict[int, _Task] = {}
         self.receiver: Optional[threading.Thread] = None
         self.alive = False
@@ -307,6 +383,8 @@ class WorkerPool:
     # Worker lifecycle
     # ------------------------------------------------------------------
     def _spawn(self, handle: _WorkerHandle) -> None:
+        from repro.semiring.registry import available_semirings
+
         capacity = self._ring_capacity
         rings = (
             ShmRing() if capacity is None else ShmRing(capacity),
@@ -329,12 +407,16 @@ class WorkerPool:
             name=f"repro-worker-{handle.index}",
             daemon=True,
         )
+        # Snapshot the registry *before* the fork: every name in it is
+        # inherited by the child, anything registered later must be shipped.
+        known_semirings = set(available_semirings())
         process.start()
         child_conn.close()
         handle.process = process
         handle.connection = parent_conn
         handle.request_ring, handle.result_ring = rings
         handle.registered = set()
+        handle.semirings = known_semirings
         handle.inflight = {}
         handle.replies = queue.Queue()
         handle.alive = True
@@ -402,6 +484,17 @@ class WorkerPool:
             orphaned = list(handle.inflight.values())
             handle.inflight = {}
             closed = self._closed
+            exhausted: List[_Task] = []
+            rescuable: List[_Task] = []
+            for task in orphaned:
+                if task.rescued or closed:
+                    exhausted.append(task)
+                else:
+                    # Claimed under the pool lock so a submit thread whose
+                    # _send_task to this worker is failing concurrently can
+                    # see ownership changed hands (see _dispatch's cleanup).
+                    task.rescued = True
+                    rescuable.append(task)
         self._teardown_handle(handle)
         if not closed:
             try:
@@ -411,11 +504,9 @@ class WorkerPool:
         crash = WorkerCrashError(
             f"worker {handle.index} (shard {handle.index}) died unexpectedly"
         )
-        for task in orphaned:
-            if task.rescued or closed:
-                self._deliver(task, None, crash)
-                continue
-            task.rescued = True
+        for task in exhausted:
+            self._deliver(task, None, crash)
+        for task in rescuable:
             try:
                 self._dispatch(task)
             except Exception as error:
@@ -484,12 +575,23 @@ class WorkerPool:
                     raise WorkerCrashError("no live workers")
                 handle = alive[shard % len(alive)]
             handle.inflight[task.task_id] = task
+            was_rescued = task.rescued
         try:
             self._send_task(handle, task, plan_id, payload)
         except Exception:
             with self._lock:
-                handle.inflight.pop(task.task_id, None)
-            raise
+                if task.rescued == was_rescued:
+                    handle.inflight.pop(task.task_id, None)
+                    owned = True
+                else:
+                    # The worker died mid-send and _on_worker_death already
+                    # orphaned this task and claimed it for rescue; the
+                    # rescue now owns delivery, so the send failure must
+                    # neither fail the future nor pop the rescue's fresh
+                    # registration (which reuses the same task_id key).
+                    owned = False
+            if owned:
+                raise
 
     def _send_task(self, handle, task, plan_id, payload) -> None:
         instance = task.instance
@@ -506,6 +608,17 @@ class WorkerPool:
                     ("plan", plan_id, payload, instance.schema)
                 )
                 handle.registered.add(plan_id)
+            if instance.semiring.name not in handle.semirings:
+                # Registered in the parent after this worker forked: ship
+                # the object so the worker's by-name lookup can resolve it.
+                # The lazily cached kernel backend is stripped (the worker
+                # re-resolves it); an unpicklable semiring fails here, at
+                # submit time, instead of as a worker-side name miss.
+                clone = copy.copy(instance.semiring)
+                clone.__dict__.pop("_kernels", None)
+                clone.__dict__.pop("_kernels_version", None)
+                handle.connection.send(("semiring", pickle.dumps(clone)))
+                handle.semirings.add(instance.semiring.name)
             if (
                 shippable
                 and total <= handle.request_ring.capacity

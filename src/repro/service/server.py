@@ -22,19 +22,23 @@ Responses::
     ("pong",)
 
 Security model: **trusted local transport only**.  Payloads are pickled —
-the same trust boundary as the in-process API — so the server binds to
-loopback by default and must never face an untrusted network.  The magic
-prefix rejects stray connections (port scanners, HTTP probes) before any
-unpickling happens, and both sides run with socket timeouts so a dead peer
-releases its thread instead of leaking it.
+the same trust boundary as the in-process API — so unpickling a frame
+hands code execution to whoever sent it.  The server therefore *refuses*
+to bind a non-loopback address unless the caller passes
+``allow_remote=True`` (and even then warns), the magic prefix rejects
+stray connections (port scanners, HTTP probes) before any unpickling
+happens, and both sides run with socket timeouts so a dead peer releases
+its thread instead of leaking it.
 """
 
 from __future__ import annotations
 
+import ipaddress
 import pickle
 import socket
 import struct
 import threading
+import warnings
 from typing import Any, Iterable, List, Tuple
 
 __all__ = ["MAGIC", "ProtocolError", "QueryClient", "QueryServer", "RemoteQueryError"]
@@ -49,6 +53,20 @@ MAX_FRAME = 256 * 1024 * 1024
 
 class ProtocolError(RuntimeError):
     """The peer sent bytes that are not this protocol."""
+
+
+def _is_loopback(host: str) -> bool:
+    """Whether binding ``host`` is reachable only from this machine.
+
+    Unresolvable names and wildcard binds (``""``, ``"0.0.0.0"``, ``"::"``)
+    count as remote — the check errs toward refusing.
+    """
+    if host == "localhost":
+        return True
+    try:
+        return ipaddress.ip_address(host).is_loopback
+    except ValueError:
+        return False
 
 
 class RemoteQueryError(RuntimeError):
@@ -100,6 +118,11 @@ class QueryServer:
     handler thread (connections are long-lived query channels, typically
     few).  The server does not own the engine — closing the server leaves
     the engine serving in-process callers.
+
+    Requests are unpickled, so any peer that can connect can execute code
+    in this process.  Non-loopback ``host`` values are refused unless
+    ``allow_remote=True`` is passed explicitly — and that is only safe on
+    a network where every reachable peer is fully trusted.
     """
 
     def __init__(
@@ -108,7 +131,21 @@ class QueryServer:
         host: str = "127.0.0.1",
         port: int = 0,
         timeout: float = 30.0,
+        allow_remote: bool = False,
     ) -> None:
+        if not _is_loopback(host):
+            if not allow_remote:
+                raise ValueError(
+                    f"refusing to bind non-loopback host {host!r}: the "
+                    "protocol unpickles payloads, so any peer that can "
+                    "connect gets code execution in this process; pass "
+                    "allow_remote=True only on a fully trusted network"
+                )
+            warnings.warn(
+                f"QueryServer bound to non-loopback host {host!r}: every "
+                "peer that can reach it can execute code in this process",
+                stacklevel=2,
+            )
         self.engine = engine
         self.timeout = timeout
         self._listener = socket.create_server((host, port))

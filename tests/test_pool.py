@@ -43,13 +43,14 @@ from repro.matlang.ir import (
     deserialize_plan,
     serialize_plan,
 )
-from repro.exceptions import EvaluationError
+from repro.exceptions import EvaluationError, SemiringError
 from repro.profile import (
     DEFAULT_PROFILE,
     ExecutionProfiler,
     set_active_profile,
 )
 from repro.semiring import BOOLEAN, INTEGER, MAX_PLUS, MIN_PLUS, NATURAL, REAL
+from repro.semiring.base import Semiring
 from repro.semiring.provenance import PROVENANCE, Polynomial
 from repro.service import (
     Engine,
@@ -63,6 +64,30 @@ from repro.service import (
 from repro.service.shm import SEGMENT_PREFIX, ShmRing
 
 ALL_SEMIRINGS = [REAL, NATURAL, INTEGER, BOOLEAN, MIN_PLUS, MAX_PLUS, PROVENANCE]
+
+
+class _LateMaxMin(Semiring):
+    """A module-level custom semiring (picklable by reference) that tests
+    register *after* a worker pool has already forked."""
+
+    name = "test_late_max_min"
+
+    @property
+    def zero(self):
+        return 0.0
+
+    @property
+    def one(self):
+        return float("inf")
+
+    def plus(self, left, right):
+        return max(left, right)
+
+    def times(self, left, right):
+        return min(left, right)
+
+    def coerce(self, value):
+        return float(value)
 
 
 @pytest.fixture(autouse=True)
@@ -312,6 +337,58 @@ class TestPooledResults:
             result = engine.submit(expression, instance).result(60)
         assert np.array_equal(result, evaluate(expression, instance))
 
+    def test_worker_decode_error_does_not_desync_the_ring(self, monkeypatch):
+        # A worker-side failure *after* the parent has written the payload
+        # bytes (here: the semiring lookup raising) must still drain the
+        # announced bytes; a skipped payload used to desynchronize the ring
+        # permanently, making every later shm submit on that worker read
+        # the previous request's bytes as its matrices — silently wrong
+        # results with no error.
+        import repro.semiring.registry as registry
+
+        real_lookup = registry.get_semiring
+
+        def flaky_lookup(name):
+            if name == "natural":
+                raise SemiringError("natural is broken in this worker")
+            return real_lookup(name)
+
+        # Patched before the fork so the workers inherit the flaky lookup.
+        monkeypatch.setattr(registry, "get_semiring", flaky_lookup)
+        expression = _workload()
+        poisoned = _instance_for(NATURAL, 6, 0)
+        healthy = [_instance_for(REAL, 6, seed) for seed in range(1, 5)]
+        expected = [evaluate(expression, instance) for instance in healthy]
+        with Engine(workers=1, memoize=False) as engine:
+            failed = engine.submit(expression, poisoned)
+            assert isinstance(failed.exception(30), SemiringError)
+            for instance, want in zip(healthy, expected):
+                got = engine.submit(expression, instance).result(30)
+                assert np.array_equal(got, want)
+
+    def test_semiring_registered_after_pool_start_is_shipped(self):
+        # The workers' fork-inherited registries predate the registration;
+        # the parent must ship the semiring object so by-name resolution
+        # works instead of failing every pooled request.
+        from repro.semiring import register_semiring
+        from repro.semiring.registry import _REGISTRY
+
+        expression = _workload()
+        with Engine(workers=2, memoize=False) as engine:
+            semiring = _LateMaxMin()
+            register_semiring(semiring)
+            try:
+                matrix = np.round(
+                    np.random.default_rng(7).random((5, 5)) * 9 + 0.5, 3
+                )
+                instance = Instance.from_matrices({"A": matrix}, semiring=semiring)
+                expected = evaluate(expression, instance)
+                futures = [engine.submit(expression, instance) for _ in range(4)]
+                for future in futures:
+                    assert _entrywise_equal(future.result(60), expected)
+            finally:
+                _REGISTRY.pop(semiring.name, None)
+
     def test_compile_errors_surface_through_the_future(self):
         instance = _instance_for(REAL, 4, 0)
         with Engine(workers=1) as engine:
@@ -481,6 +558,25 @@ class TestWorkerLifecycle:
         engine.shutdown()
         engine.shutdown()
 
+    def test_pooled_shutdown_honors_wait_false(self):
+        # shutdown(wait=False) must return without blocking on the pool
+        # drain (which can take up to its 30s timeout); a later
+        # shutdown(wait=True) joins the background drain, after which
+        # every accepted future has resolved.
+        expression = _workload()
+        instances = [_instance_for(REAL, 32, seed) for seed in range(8)]
+        engine = Engine(workers=1, memoize=False)
+        futures = [engine.submit(expression, inst) for inst in instances]
+        start = time.perf_counter()
+        engine.shutdown(wait=False)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 10.0  # far below the pool's 30s drain timeout
+        engine.shutdown(wait=True)
+        for future, instance in zip(futures, instances):
+            assert np.array_equal(
+                future.result(30), evaluate(expression, instance)
+            )
+
     def test_no_leaked_shm_segments(self):
         # Runs after the lifecycle tests above (including kill -9 paths);
         # any surviving repro-svc segment is a cleanup bug.
@@ -572,6 +668,19 @@ class TestQueryServer:
                     pass  # also a close, just with unread bytes pending
             finally:
                 raw.close()
+
+    def test_non_loopback_bind_requires_explicit_opt_in(self):
+        # The protocol unpickles payloads, so a reachable port is code
+        # execution: non-loopback binds must be refused unless the caller
+        # explicitly accepts the risk (and even then a warning fires).
+        with Engine() as engine:
+            with pytest.raises(ValueError):
+                QueryServer(engine, host="0.0.0.0")
+            with pytest.warns(UserWarning):
+                server = QueryServer(engine, host="0.0.0.0", allow_remote=True)
+            server.close()
+            loopback = QueryServer(engine, host="localhost")
+            loopback.close()
 
     def test_pooled_engine_behind_the_server(self):
         expression = _workload()
