@@ -1,0 +1,248 @@
+"""P9 — Robustness: deadline shedding cost and throughput under worker crashes.
+
+Reproduction-specific experiment for the self-healing serving tier
+(:mod:`repro.service.faults`, :mod:`repro.service.health`): the pooled
+engine under a deterministic fault schedule, and the admission path's cost
+of refusing work.
+
+Measurement honesty
+-------------------
+The crash-storm comparison runs the *same* request stream twice on the
+same long-lived pool configuration — once fault-free, once with every
+tenth worker task crashing its process (a 10% injected crash rate) — and
+compares **goodput**: successfully served requests per second.  The
+faulted side is credited only for requests it actually answered while
+still paying the wall-clock cost of every kill, respawn and rescue.
+
+Two policy knobs are pinned away from their defaults, for measurement
+reasons rather than performance ones:
+
+* ``max_batch=1, max_delay=0.0`` — request coalescing makes goodput
+  depend on batch-formation luck (observed 3.7x swings between identical
+  fault-free runs); disabling it makes both sides of the comparison
+  deterministic, so the ratio measures crash overhead and nothing else.
+* ``quarantine_strikes=100`` — a single-plan crash storm would otherwise
+  trip the circuit breaker after three strikes and route the remaining
+  stream to the fork-per-request sandbox.  That is correct self-healing,
+  but this benchmark measures the crash *rescue* path; quarantine has its
+  own deterministic tests in ``tests/test_robustness.py``.
+
+A marginal run retries (the same ladder policy as ``assert_speedup``):
+on a one-core CI box a scheduler preemption during the clean pass can
+shave the ratio below the floor, and a retry distinguishes that from a
+real regression.
+
+Claims asserted (also under ``--benchmark-disable``, so CI checks them):
+
+* at a 10% injected worker-crash rate the pooled engine sustains at least
+  **50%** of its fault-free goodput, every future resolves, and every
+  served result is bitwise-equal to sequential ``evaluate()``;
+* an already-expired request is shed at admission in **microseconds** —
+  mean per-request shed cost under 100µs over a 2000-request burst (three
+  orders of magnitude under the cost of evaluating it);
+* shedding is accounted: every shed future resolves with
+  :class:`~repro.exceptions.DeadlineExceededError` and the stats ledger
+  balances.
+
+Measurements are recorded to ``BENCH_p09.json`` and join the cross-PR
+regression artifact set (the goodput ratio is recorded as
+``goodput_ratio``, not ``speedup`` — it is a degradation bound, not a
+performance win to gate on).
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import best_of
+
+from repro.exceptions import DeadlineExceededError, ServiceError
+from repro.experiments.workloads import random_matrix
+from repro.matlang.builder import ssum, var
+from repro.matlang.evaluator import evaluate
+from repro.semiring import REAL
+from repro.matlang.instance import Instance
+from repro.service import CoalescingPolicy, Engine
+from repro.service.faults import InjectedFault, injected_faults
+
+STREAM = 100
+# Shallow waves bound how deep one crash can orphan the in-flight queue:
+# a task orphaned twice exhausts its at-most-once rescue, so wave depth —
+# not luck — decides whether the storm can fail requests outright.
+WAVE = 10
+# Large enough that one request's compute dominates the ~35ms fixed cost
+# of a kill + fork + ring re-setup + rescue re-dispatch: the 50% floor is
+# a claim about crash *overhead*, and on trivial work any respawn swamps
+# the numerator.
+DIMENSION = 768
+POOL_WORKERS = 2
+CRASH_EVERY = 10  # one crash per ten worker tasks = 10% injected crash rate
+GOODPUT_FLOOR = 0.5
+STORM_ATTEMPTS = 3
+SHED_BURST = 2000
+SHED_MEAN_CEILING_US = 100.0
+
+#: See "Measurement honesty" above: deterministic dispatch, no quarantine.
+STORM_POLICY = CoalescingPolicy(
+    max_batch=1, max_delay=0.0, quarantine_strikes=100, quarantine_reset=60.0
+)
+
+
+def _stream(count=STREAM, dimension=DIMENSION):
+    """A repeat-free CPU-bound stream: every request is distinct work."""
+    A, v = var("A"), var("_v")
+    expressions = (ssum("_v", A @ v), ssum("_v", v.T @ A @ v) * (A @ A))
+    return [
+        (
+            expressions[seed % len(expressions)],
+            Instance.from_matrices(
+                {"A": random_matrix(dimension, seed=30_000 + seed)}, semiring=REAL
+            ),
+        )
+        for seed in range(count)
+    ]
+
+
+def _serve_waves(engine, requests, wave=WAVE, timeout=180, keep_results=True):
+    """Submit in waves; return ``(served, failed)`` with liveness enforced.
+
+    Every future must resolve — a hang is a failure of the tier, not of
+    the benchmark.  ``keep_results=False`` drops result arrays as they
+    arrive (``served`` then pairs each request with ``None``): holding a
+    hundred dense matrices alive would put memory pressure on the very
+    passes being timed.
+    """
+    served, failed = [], []
+    for start in range(0, len(requests), wave):
+        batch = requests[start : start + wave]
+        futures = engine.submit_many(batch)
+        for future, request in zip(futures, batch):
+            error = future.exception(timeout)  # liveness: must resolve
+            if error is None:
+                served.append(
+                    (request, future.result(0) if keep_results else None)
+                )
+            else:
+                assert isinstance(error, (ServiceError, InjectedFault)), error
+                failed.append(error)
+    return served, failed
+
+
+def _run_storm_pair(requests):
+    """One clean + one faulted pass; returns everything the claims need."""
+    with Engine(workers=POOL_WORKERS, policy=STORM_POLICY, memoize=False) as engine:
+        start = time.perf_counter()
+        clean_served, clean_failed = _serve_waves(engine, requests, keep_results=False)
+        clean_seconds = time.perf_counter() - start
+    assert not clean_failed, f"fault-free run failed {len(clean_failed)} requests"
+    clean_count = len(clean_served)
+    del clean_served
+
+    # The storm: every CRASH_EVERY-th task a worker executes kills that
+    # worker process outright (os._exit — no cleanup, no goodbye).
+    with injected_faults(seed=9) as injector:
+        injector.arm("worker.task", "crash", every=CRASH_EVERY)
+        with Engine(
+            workers=POOL_WORKERS, policy=STORM_POLICY, memoize=False
+        ) as engine:
+            start = time.perf_counter()
+            served, failed = _serve_waves(engine, requests)
+            faulted_seconds = time.perf_counter() - start
+            snapshot = engine.stats()
+    return clean_count, clean_seconds, served, failed, faulted_seconds, snapshot
+
+
+# ----------------------------------------------------------------------
+# Headline: goodput under a 10% worker-crash rate
+# ----------------------------------------------------------------------
+def test_crash_storm_sustains_half_of_fault_free_goodput(bench_artifact):
+    requests = _stream()
+
+    for attempt in range(1, STORM_ATTEMPTS + 1):
+        (clean_count, clean_seconds, served, failed, faulted_seconds, snapshot) = (
+            _run_storm_pair(requests)
+        )
+        # Correctness and liveness are not retryable: a wrong byte or an
+        # unaccounted future fails the suite on any attempt.  Expected
+        # values are computed lazily, one request at a time, after the
+        # timed passes: precomputing a hundred dense results would hold
+        # half a gigabyte over the measurement.
+        served_count = len(served)
+        assert served_count + len(failed) == STREAM
+        while served:
+            (expression, instance), result = served.pop()
+            assert np.array_equal(result, evaluate(expression, instance)), (
+                "a served result under the storm must stay bitwise-equal"
+            )
+        assert snapshot.worker_respawns >= 1, snapshot.render()
+        clean_goodput = clean_count / clean_seconds
+        faulted_goodput = served_count / faulted_seconds
+        ratio = faulted_goodput / clean_goodput
+        if ratio >= GOODPUT_FLOOR:
+            break
+        print(
+            f"\nattempt {attempt}: ratio {ratio:.0%} below the floor; retrying"
+        )
+    assert ratio >= GOODPUT_FLOOR, (
+        f"goodput under a 10% crash rate fell to {ratio:.0%} of fault-free "
+        f"({faulted_goodput:.0f}/s vs {clean_goodput:.0f}/s) on every one "
+        f"of {STORM_ATTEMPTS} attempts"
+    )
+    bench_artifact(
+        "p09", op="crash-storm", size=DIMENSION, backend="pool",
+        seconds=clean_seconds, instances=STREAM, workers=POOL_WORKERS,
+        throughput_rps=round(clean_goodput, 1),
+    )
+    bench_artifact(
+        "p09", op="crash-storm", size=DIMENSION, backend="pool-faulted",
+        seconds=faulted_seconds, instances=STREAM, workers=POOL_WORKERS,
+        crash_rate=0.1, served=served_count, crash_failed=len(failed),
+        respawns=snapshot.worker_respawns,
+        throughput_rps=round(faulted_goodput, 1),
+        goodput_ratio=round(ratio, 3),
+    )
+    print(
+        f"\ngoodput at 10% crash rate: {faulted_goodput:.0f}/s of "
+        f"{clean_goodput:.0f}/s fault-free ({ratio:.0%}); "
+        f"{served_count} served, {len(failed)} failed, "
+        f"{snapshot.worker_respawns} respawns"
+    )
+
+
+# ----------------------------------------------------------------------
+# Admission: shedding an expired request costs microseconds
+# ----------------------------------------------------------------------
+def test_expired_requests_shed_in_microseconds(bench_artifact):
+    expression, instance = _stream(2)[1]  # the quadratic workload
+    # What the shed refuses to pay: one real evaluation of the request.
+    evaluation_seconds = best_of(lambda: evaluate(expression, instance))
+    with Engine(memoize=False) as engine:
+        # Warm the submit path (plan compile + cache) before timing.
+        engine.submit(expression, instance).result(60)
+
+        futures = []
+        start = time.perf_counter()
+        for _ in range(SHED_BURST):
+            futures.append(engine.submit(expression, instance, deadline=1e-9))
+        shed_seconds = time.perf_counter() - start
+        snapshot = engine.stats()
+    for future in futures:
+        assert isinstance(future.exception(0), DeadlineExceededError)
+    assert snapshot.shed_expired >= SHED_BURST, snapshot.render()
+    mean_us = shed_seconds / SHED_BURST * 1e6
+    assert mean_us < SHED_MEAN_CEILING_US, (
+        f"mean expired-shed cost {mean_us:.1f}µs breaches the "
+        f"{SHED_MEAN_CEILING_US:.0f}µs ceiling"
+    )
+    bench_artifact(
+        "p09", op="expired-shed", size=DIMENSION, backend="engine",
+        seconds=shed_seconds, instances=SHED_BURST,
+        shed_us_mean=round(mean_us, 3),
+        evaluation_ms=round(evaluation_seconds * 1e3, 3),
+        speedup=round(evaluation_seconds / (shed_seconds / SHED_BURST), 1),
+    )
+    print(
+        f"\nexpired shed: {mean_us:.1f}µs mean over {SHED_BURST} requests "
+        f"(vs {evaluation_seconds * 1e3:.1f}ms to actually evaluate — "
+        f"{evaluation_seconds / (shed_seconds / SHED_BURST):.0f}x cheaper)"
+    )

@@ -53,3 +53,61 @@ class FragmentError(ReproError):
 
 class CircuitError(ReproError):
     """An arithmetic circuit is malformed or an operation on it failed."""
+
+
+class ServiceError(ReproError):
+    """Base class of the serving tier's request-level failure modes.
+
+    Every typed error the :mod:`repro.service` engine can resolve a future
+    with derives from this class, so callers can catch one type at the
+    serving boundary while tests (and retry policies) can still distinguish
+    a shed request from a crashed worker.
+    """
+
+
+class DeadlineExceededError(ServiceError):
+    """A request's deadline expired before its result could be produced.
+
+    The engine sheds expired requests as early and as cheaply as possible —
+    at submission, at dequeue, at batch formation, and (in a pooled tier)
+    again on the worker — so the error usually means the request was never
+    executed at all.
+    """
+
+
+class EngineOverloadedError(ServiceError):
+    """Admission control rejected a request instead of queueing it.
+
+    Raised through the future when the engine's backlog is past the
+    policy's ``max_queue_depth`` or ``max_pending_cost`` threshold.  The
+    caller should back off and retry; unlike backpressure (which blocks the
+    submitting thread), overload shedding answers immediately.
+    """
+
+
+class PlanQuarantinedError(ServiceError):
+    """The request's plan is quarantined by the crash circuit breaker.
+
+    A plan whose tasks repeatedly coincide with worker deaths is isolated
+    after ``quarantine_strikes`` strikes; requests for it either run on the
+    router's sandboxed single-instance path or — when that path is disabled
+    or itself fails — resolve with this error until the breaker's reset
+    window elapses and a probe succeeds.
+    """
+
+
+class EngineDiedError(ServiceError):
+    """The engine's scheduler thread died with an unexpected exception.
+
+    All pending and in-flight futures resolve with this error (instead of
+    hanging their waiters forever), and every later submission is rejected
+    with it; the original scheduler exception is the ``__cause__``.
+    """
+
+
+class WorkerCrashError(ServiceError, RuntimeError):
+    """A pooled request's worker died and its rescue attempts are exhausted.
+
+    Subclasses :class:`RuntimeError` for compatibility with pre-robustness
+    callers that caught the pool's original exception type.
+    """

@@ -29,13 +29,24 @@ shared-memory rings and results memoized across requests.
   ratio, memo hit rate, p50/p95 latency and throughput as atomic snapshots.
 """
 
+from repro.exceptions import (
+    DeadlineExceededError,
+    EngineDiedError,
+    EngineOverloadedError,
+    PlanQuarantinedError,
+    ServiceError,
+)
+from repro.service import faults
 from repro.service.batching import (
     CoalescingPolicy,
     QueryFuture,
     QueryRequest,
     RequestQueue,
+    estimate_cost,
 )
 from repro.service.engine import Engine
+from repro.service.faults import FaultInjector, FaultSpec, InjectedFault, injected_faults
+from repro.service.health import CircuitBreaker, Watchdog
 from repro.service.memo import ResultMemo
 from repro.service.pool import WorkerCrashError, WorkerPool, available_cpus
 from repro.service.router import ShardRouter
@@ -43,10 +54,18 @@ from repro.service.server import QueryClient, QueryServer, RemoteQueryError
 from repro.service.stats import EngineStats, EngineStatsSnapshot
 
 __all__ = [
+    "CircuitBreaker",
     "CoalescingPolicy",
+    "DeadlineExceededError",
     "Engine",
+    "EngineDiedError",
+    "EngineOverloadedError",
     "EngineStats",
     "EngineStatsSnapshot",
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedFault",
+    "PlanQuarantinedError",
     "QueryClient",
     "QueryFuture",
     "QueryRequest",
@@ -54,8 +73,13 @@ __all__ = [
     "RemoteQueryError",
     "RequestQueue",
     "ResultMemo",
+    "ServiceError",
     "ShardRouter",
+    "Watchdog",
     "WorkerCrashError",
     "WorkerPool",
     "available_cpus",
+    "estimate_cost",
+    "faults",
+    "injected_faults",
 ]

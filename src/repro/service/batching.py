@@ -43,6 +43,7 @@ __all__ = [
     "QueryFuture",
     "QueryRequest",
     "RequestQueue",
+    "estimate_cost",
 ]
 
 
@@ -179,12 +180,73 @@ class CoalescingPolicy:
         serving-side counterpart of ``run_batch(..., ragged=True)``.  Off by
         default: padding trades kernel work for dispatch, which only pays
         for near-miss size mixes.
+
+    Robustness knobs (the PR 8 subsystem):
+
+    ``default_deadline``
+        Seconds-from-submission deadline applied to every request that does
+        not carry its own ``deadline=``; ``None`` (the default) leaves
+        requests unbounded.  Expired requests are shed with
+        :class:`~repro.exceptions.DeadlineExceededError` before they cost
+        anything — at submission, at dequeue, at batch formation, and on
+        the worker in pooled mode.
+    ``max_queue_depth``
+        Admission-control threshold: a submission arriving while this many
+        requests are already queued (in flight, for a pooled engine)
+        resolves immediately with
+        :class:`~repro.exceptions.EngineOverloadedError` instead of
+        queueing.  Distinct from ``max_pending``, which *blocks* the
+        submitter; shed-instead-of-block is what an upstream load balancer
+        needs to fail over.  ``None`` disables depth shedding.
+    ``max_pending_cost``
+        Admission-control threshold over the *estimated cost* of the
+        backlog (see :func:`estimate_cost`; roughly "matmul entry-ops
+        waiting").  A queue of a few giant requests can be far more
+        overloaded than a thousand tiny ones; this knob sheds on work, not
+        count.  ``None`` disables cost shedding.
+    ``dispatch_retries`` / ``retry_backoff``
+        Pooled dispatch resilience: transient send failures (a worker dying
+        mid-route) retry up to ``dispatch_retries`` times with bounded
+        exponential backoff starting at ``retry_backoff`` seconds before
+        the request fails with :class:`~repro.exceptions.WorkerCrashError`.
+    ``heartbeat_interval`` / ``heartbeat_timeout``
+        Workers send a heartbeat over their control pipe every
+        ``heartbeat_interval`` seconds; the router watchdog force-kills and
+        respawns a worker whose last heartbeat is older than
+        ``heartbeat_timeout`` — the *hung*-worker detector (dead workers
+        already surface as pipe EOF).
+    ``hung_task_grace``
+        A pooled task still in flight this many seconds past its deadline
+        marks its worker as hung (the deadline said nobody wants the result
+        anymore, yet the worker is still stuck on it); the watchdog kills
+        and respawns the worker and the task resolves through the rescue
+        path.
+    ``quarantine_strikes`` / ``quarantine_reset`` / ``quarantine_execute``
+        The plan circuit breaker (:class:`repro.service.health.CircuitBreaker`):
+        a plan whose tasks coincide with ``quarantine_strikes`` worker
+        deaths inside the strike window is quarantined; while open, its
+        requests run on the router's sandboxed single-instance path
+        (``quarantine_execute=True``) or resolve with
+        :class:`~repro.exceptions.PlanQuarantinedError`; after
+        ``quarantine_reset`` seconds one probe request is let back into the
+        pool.
     """
 
     max_delay: float = 0.002
     max_batch: int = 256
     max_pending: int = 8192
     ragged: bool = False
+    default_deadline: Optional[float] = None
+    max_queue_depth: Optional[int] = None
+    max_pending_cost: Optional[float] = None
+    dispatch_retries: int = 3
+    retry_backoff: float = 0.01
+    heartbeat_interval: float = 0.25
+    heartbeat_timeout: float = 5.0
+    hung_task_grace: float = 2.0
+    quarantine_strikes: int = 3
+    quarantine_reset: float = 30.0
+    quarantine_execute: bool = True
 
     def __post_init__(self) -> None:
         if self.max_delay < 0:
@@ -193,6 +255,63 @@ class CoalescingPolicy:
             raise ValueError(f"max_batch must be >= 1, got {self.max_batch!r}")
         if self.max_pending < 1:
             raise ValueError(f"max_pending must be >= 1, got {self.max_pending!r}")
+        if self.default_deadline is not None and self.default_deadline <= 0:
+            raise ValueError(
+                f"default_deadline must be > 0, got {self.default_deadline!r}"
+            )
+        if self.max_queue_depth is not None and self.max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1, got {self.max_queue_depth!r}"
+            )
+        if self.max_pending_cost is not None and self.max_pending_cost <= 0:
+            raise ValueError(
+                f"max_pending_cost must be > 0, got {self.max_pending_cost!r}"
+            )
+        if self.dispatch_retries < 0:
+            raise ValueError(
+                f"dispatch_retries must be >= 0, got {self.dispatch_retries!r}"
+            )
+        if self.retry_backoff < 0:
+            raise ValueError(
+                f"retry_backoff must be >= 0, got {self.retry_backoff!r}"
+            )
+        if self.heartbeat_interval <= 0:
+            raise ValueError(
+                f"heartbeat_interval must be > 0, got {self.heartbeat_interval!r}"
+            )
+        if self.heartbeat_timeout <= self.heartbeat_interval:
+            raise ValueError(
+                "heartbeat_timeout must exceed heartbeat_interval, got "
+                f"{self.heartbeat_timeout!r} <= {self.heartbeat_interval!r}"
+            )
+        if self.hung_task_grace < 0:
+            raise ValueError(
+                f"hung_task_grace must be >= 0, got {self.hung_task_grace!r}"
+            )
+        if self.quarantine_strikes < 1:
+            raise ValueError(
+                f"quarantine_strikes must be >= 1, got {self.quarantine_strikes!r}"
+            )
+        if self.quarantine_reset < 0:
+            raise ValueError(
+                f"quarantine_reset must be >= 0, got {self.quarantine_reset!r}"
+            )
+
+
+def estimate_cost(plan: Any, instance: Any) -> float:
+    """A cheap admission-control cost surrogate for one request.
+
+    Deliberately crude — ``ops x max_dimension^3`` — because it runs on the
+    submitting thread for *every* request when cost shedding is enabled:
+    it only needs to rank a backlog of giant matmuls above a backlog of
+    tiny ones, not predict seconds (that is the planner's
+    :mod:`repro.matlang.cost` job, far too heavy for intake).
+    """
+    dimension = 1
+    for size in instance.dimensions.values():
+        if size > dimension:
+            dimension = size
+    return float(max(1, len(plan.ops))) * float(dimension) ** 3
 
 
 class QueryRequest:
@@ -206,10 +325,17 @@ class QueryRequest:
         "submitted_at",
         "sequence",
         "memo_key",
+        "deadline_at",
+        "cost_estimate",
     )
 
     def __init__(
-        self, plan: Any, instance: Any, future: QueryFuture, submitted_at: float
+        self,
+        plan: Any,
+        instance: Any,
+        future: QueryFuture,
+        submitted_at: float,
+        deadline_at: Optional[float] = None,
     ) -> None:
         self.plan = plan
         self.instance = instance
@@ -225,6 +351,16 @@ class QueryRequest:
         #: Result-memo key when the request missed a memoizable lookup at
         #: intake; the finish paths retain the result under it.
         self.memo_key = None
+        #: Absolute ``time.perf_counter()`` deadline (``None`` = unbounded).
+        self.deadline_at = deadline_at
+        #: Admission-control cost estimate (0.0 when cost shedding is off).
+        self.cost_estimate = 0.0
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        """Whether this request's deadline has passed."""
+        if self.deadline_at is None:
+            return False
+        return (time.perf_counter() if now is None else now) >= self.deadline_at
 
     def group_key(self) -> Tuple:
         """The coalescing identity (see the module docstring)."""

@@ -65,6 +65,12 @@ import threading
 import time
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
+from repro.exceptions import (
+    DeadlineExceededError,
+    EngineDiedError,
+    EngineOverloadedError,
+)
+from repro.service import faults
 from repro.service.batching import (
     CoalescingPolicy,
     DispatchGroup,
@@ -72,6 +78,7 @@ from repro.service.batching import (
     QueryRequest,
     RequestQueue,
     coalesce,
+    estimate_cost,
 )
 from repro.service.stats import EngineStats, EngineStatsSnapshot
 
@@ -177,6 +184,10 @@ class Engine:
             self._profiler = None
         self._shutdown = False
         self._shutdown_lock = threading.Lock()
+        #: Set when the scheduler thread died of an unexpected exception;
+        #: every pending and future request then resolves with it instead of
+        #: hanging on a queue nobody drains.
+        self._died: Optional[EngineDiedError] = None
         #: One condition shared by every future this engine hands out (see
         #: :class:`repro.service.batching.QueryFuture`).
         self._result_condition = threading.Condition()
@@ -214,6 +225,10 @@ class Engine:
                 options=options,
                 profile_feedback=profile_feedback,
                 ring_capacity=ring_capacity,
+                stats=self._stats,
+                on_profile_state=(
+                    self._profiler.merge_state if self._profiler is not None else None
+                ),
             )
         else:
             self._pool = None
@@ -225,7 +240,9 @@ class Engine:
     # ------------------------------------------------------------------
     # Submission API (any thread)
     # ------------------------------------------------------------------
-    def submit(self, expression: Any, instance: Any) -> QueryFuture:
+    def submit(
+        self, expression: Any, instance: Any, deadline: Optional[float] = None
+    ) -> QueryFuture:
         """Enqueue one evaluation; returns a future resolving to the result.
 
         Compilation happens on the submitting thread (the plan cache makes
@@ -233,22 +250,35 @@ class Engine:
         through the future immediately instead of occupying the scheduler.
         In pooled mode the request is additionally checked against the
         result memo and, on a miss, routed to its shard worker.
+
+        ``deadline`` is seconds from now (overriding the policy's
+        ``default_deadline``); a request whose deadline expires before it
+        executes is shed and its future resolves with
+        :class:`~repro.exceptions.DeadlineExceededError`.  Under admission
+        control (``max_queue_depth`` / ``max_pending_cost``) an overloaded
+        engine resolves the future with
+        :class:`~repro.exceptions.EngineOverloadedError` instead of
+        queueing.  Neither error is ever *raised* from ``submit``.
         """
         future = QueryFuture(self._result_condition)
         if self._reject_if_shutdown(future):
             return future
-        if self._pool is not None:
-            self._submit_pooled(expression, instance, future)
+        if self._overloaded(future):
             return future
-        request = self._build_request(expression, instance, future)
+        if self._pool is not None:
+            self._submit_pooled(expression, instance, future, deadline)
+            return future
+        request = self._build_request(expression, instance, future, deadline)
         if request is not None:
+            if not self._admit(request):
+                return future
             if self._memo_lookup(request):
                 return future
             self._enqueue([request])
         return future
 
-    def submit_many(self, requests: Iterable[Tuple[Any, Any]]) -> List[QueryFuture]:
-        """Enqueue a burst of ``(expression, instance)`` pairs.
+    def submit_many(self, requests: Iterable[Tuple[Any, ...]]) -> List[QueryFuture]:
+        """Enqueue a burst of ``(expression, instance[, deadline])`` tuples.
 
         The burst is compiled first and enqueued in one queue sweep, which
         both minimises per-request synchronization cost and gives the
@@ -257,26 +287,43 @@ class Engine:
         """
         if self._pool is not None:
             futures = []
-            for expression, instance in requests:
+            for item in requests:
+                expression, instance, deadline = self._unpack_submission(item)
                 future = QueryFuture(self._result_condition)
                 futures.append(future)
-                if not self._reject_if_shutdown(future):
-                    self._submit_pooled(expression, instance, future)
+                if self._reject_if_shutdown(future) or self._overloaded(future):
+                    continue
+                self._submit_pooled(expression, instance, future, deadline)
             return futures
         futures: List[QueryFuture] = []
         built: List[QueryRequest] = []
-        for expression, instance in requests:
+        for item in requests:
+            expression, instance, deadline = self._unpack_submission(item)
             future = QueryFuture(self._result_condition)
             futures.append(future)
-            if self._reject_if_shutdown(future):
+            if self._reject_if_shutdown(future) or self._overloaded(future):
                 continue
-            request = self._build_request(expression, instance, future)
-            if request is not None and not self._memo_lookup(request):
+            request = self._build_request(expression, instance, future, deadline)
+            if (
+                request is not None
+                and self._admit(request)
+                and not self._memo_lookup(request)
+            ):
                 built.append(request)
         self._enqueue(built)
         return futures
 
-    def submit_compiled(self, plan: Any, instance: Any) -> QueryFuture:
+    @staticmethod
+    def _unpack_submission(item: Tuple[Any, ...]) -> Tuple[Any, Any, Optional[float]]:
+        """``(expression, instance)`` or ``(expression, instance, deadline)``."""
+        if len(item) == 2:
+            return item[0], item[1], None
+        expression, instance, deadline = item
+        return expression, instance, deadline
+
+    def submit_compiled(
+        self, plan: Any, instance: Any, deadline: Optional[float] = None
+    ) -> QueryFuture:
         """Enqueue an already-compiled plan, skipping expression compilation.
 
         The entry point worker processes use for parent-shipped plans; also
@@ -289,21 +336,31 @@ class Engine:
         future = QueryFuture(self._result_condition)
         if self._reject_if_shutdown(future):
             return future
+        if self._overloaded(future):
+            return future
+        submitted_at = time.perf_counter()
         request = QueryRequest(
             plan=plan,
             instance=instance,
             future=future,
-            submitted_at=time.perf_counter(),
+            submitted_at=submitted_at,
+            deadline_at=self._deadline_at(submitted_at, deadline),
         )
+        if self.policy.max_pending_cost is not None:
+            request.cost_estimate = estimate_cost(plan, instance)
+        if not self._admit(request):
+            return future
         if not self._memo_lookup(request):
             self._enqueue([request])
         return future
 
-    def evaluate(self, expression: Any, instance: Any) -> Any:
+    def evaluate(
+        self, expression: Any, instance: Any, deadline: Optional[float] = None
+    ) -> Any:
         """Synchronous convenience wrapper: submit and wait for the result."""
-        return self.submit(expression, instance).result()
+        return self.submit(expression, instance, deadline).result()
 
-    def asubmit(self, expression: Any, instance: Any):
+    def asubmit(self, expression: Any, instance: Any, deadline: Optional[float] = None):
         """Submit from asyncio: returns an awaitable ``asyncio.Future``.
 
         Must be called from the thread running the event loop (the future
@@ -312,9 +369,9 @@ class Engine:
         """
         from repro.service.aio import bridge_future
 
-        return bridge_future(self.submit(expression, instance))
+        return bridge_future(self.submit(expression, instance, deadline))
 
-    def asubmit_many(self, requests: Iterable[Tuple[Any, Any]]):
+    def asubmit_many(self, requests: Iterable[Tuple[Any, ...]]):
         """Submit a burst from asyncio; awaiting gathers in input order."""
         import asyncio
 
@@ -469,8 +526,65 @@ class Engine:
     #: a (cheap, correct) trip through the module plan cache.
     _PLAN_MEMO_CAPACITY = 512
 
+    def _deadline_at(
+        self, submitted_at: float, deadline: Optional[float]
+    ) -> Optional[float]:
+        """Absolute ``perf_counter`` deadline for one submission (or ``None``)."""
+        if deadline is None:
+            deadline = self.policy.default_deadline
+        if deadline is None:
+            return None
+        return submitted_at + deadline
+
+    def _overloaded(self, future: QueryFuture) -> bool:
+        """Depth-based admission control; resolves the future when shedding."""
+        limit = self.policy.max_queue_depth
+        if limit is None or self._stats.pending_depth() < limit:
+            return False
+        self._stats.record_overloaded()
+        future._finish(
+            None,
+            EngineOverloadedError(
+                f"the engine is overloaded: {limit} requests already pending"
+            ),
+        )
+        return True
+
+    def _admit(self, request: QueryRequest) -> bool:
+        """Deadline / cost admission for one built request.
+
+        Returns ``False`` when the request was shed — its future is already
+        resolved with the typed error and it must not be enqueued.
+        """
+        if request.expired():
+            self._stats.record_expired(at_submit=True)
+            request.future._finish(
+                None,
+                DeadlineExceededError("the request's deadline expired at submission"),
+            )
+            return False
+        limit = self.policy.max_pending_cost
+        if limit is not None and request.cost_estimate:
+            pending = self._stats.current_pending_cost()
+            if pending and pending + request.cost_estimate > limit:
+                self._stats.record_overloaded()
+                request.future._finish(
+                    None,
+                    EngineOverloadedError(
+                        "the engine is overloaded: backlog cost "
+                        f"{pending:.3g} + {request.cost_estimate:.3g} "
+                        f"exceeds {limit:.3g}"
+                    ),
+                )
+                return False
+        return True
+
     def _build_request(
-        self, expression: Any, instance: Any, future: QueryFuture
+        self,
+        expression: Any,
+        instance: Any,
+        future: QueryFuture,
+        deadline: Optional[float] = None,
     ) -> Optional[QueryRequest]:
         from repro.matlang.compiler import compile_expression
         from repro.profile import profile_generation
@@ -493,12 +607,17 @@ class Engine:
             self._stats.record_rejected()
             future._finish(None, error)
             return None
-        return QueryRequest(
+        submitted_at = time.perf_counter()
+        request = QueryRequest(
             plan=plan,
             instance=instance,
             future=future,
-            submitted_at=time.perf_counter(),
+            submitted_at=submitted_at,
+            deadline_at=self._deadline_at(submitted_at, deadline),
         )
+        if self.policy.max_pending_cost is not None:
+            request.cost_estimate = estimate_cost(plan, instance)
+        return request
 
     def _enqueue(self, requests: List[QueryRequest]) -> None:
         if not requests:
@@ -508,21 +627,37 @@ class Engine:
         # taken in that window must never see completed > submitted or a
         # negative queue depth.
         self._stats.record_submitted(len(requests))
+        cost = sum(request.cost_estimate for request in requests)
+        if cost:
+            self._stats.record_cost(cost)
         accepted = self._queue.put_many(requests)
         rejected = requests[accepted:]
         if rejected:
             self._stats.record_queue_rejected(len(rejected))
+            refund = sum(request.cost_estimate for request in rejected)
+            if refund:
+                self._stats.record_cost(-refund)
+            error: BaseException = (
+                self._died
+                if self._died is not None
+                else RuntimeError("the request queue is closed")
+            )
             for request in rejected:
-                request.future._finish(
-                    None, RuntimeError("the request queue is closed")
-                )
+                request.future._finish(None, error)
 
     def _reject_if_shutdown(self, future: QueryFuture) -> bool:
         """Fail a new future when the engine is shut down (before the memo).
 
         A memoized repeat would otherwise keep resolving after ``shutdown``,
         making the lifecycle contract depend on what happens to be cached.
+        A scheduler death outranks a plain shutdown: its
+        :class:`~repro.exceptions.EngineDiedError` tells the caller the
+        engine broke rather than was retired.
         """
+        if self._died is not None:
+            self._stats.record_rejected()
+            future._finish(None, self._died)
+            return True
         if not self._shutdown:
             return False
         self._stats.record_rejected()
@@ -556,10 +691,18 @@ class Engine:
     # ------------------------------------------------------------------
     # Pooled routing (workers >= 1)
     # ------------------------------------------------------------------
-    def _submit_pooled(self, expression: Any, instance: Any, future: QueryFuture) -> None:
-        request = self._build_request(expression, instance, future)
+    def _submit_pooled(
+        self,
+        expression: Any,
+        instance: Any,
+        future: QueryFuture,
+        deadline: Optional[float] = None,
+    ) -> None:
+        request = self._build_request(expression, instance, future, deadline)
         if request is None:
             return  # compile error already delivered through the future
+        if not self._admit(request):
+            return  # shed: typed error already delivered through the future
         memo = self._memo
         key = None
         if memo is not None:
@@ -574,15 +717,27 @@ class Engine:
             if key is not None:
                 self._stats.record_memo_miss(memo.bytes)
         self._stats.record_submitted(1)
+        if request.cost_estimate:
+            self._stats.record_cost(request.cost_estimate)
         try:
             task = self._pool.submit(
-                request.plan, instance, future, key, request.submitted_at
+                request.plan,
+                instance,
+                future,
+                key,
+                request.submitted_at,
+                deadline_at=request.deadline_at,
+                cost=request.cost_estimate,
             )
         except Exception as error:
+            if request.cost_estimate:
+                self._stats.record_cost(-request.cost_estimate)
             self._stats.record_queue_rejected(1)
             future._finish(None, error)
             return
         if task is None:  # pool already closed
+            if request.cost_estimate:
+                self._stats.record_cost(-request.cost_estimate)
             self._stats.record_queue_rejected(1)
             future._finish(None, RuntimeError("the engine is shut down"))
 
@@ -590,6 +745,11 @@ class Engine:
         """Pool completion hook: memoize, account, resolve (receiver threads)."""
         if error is None and task.memo_key is not None and self._memo is not None:
             self._memo.store(task.memo_key, task.plan, result)
+        cost = getattr(task, "cost", 0.0)
+        if cost:
+            self._stats.record_cost(-cost)
+        if isinstance(error, DeadlineExceededError):
+            self._stats.record_expired()
         future = task.future
         latency = time.perf_counter() - task.submitted_at
         with self._result_condition:
@@ -605,21 +765,84 @@ class Engine:
     # The scheduler thread
     # ------------------------------------------------------------------
     def _run_scheduler(self) -> None:
+        drained: List[QueryRequest] = []
+        try:
+            while True:
+                drained = self._queue.drain()
+                if not drained:
+                    return  # queue closed and empty: clean shutdown
+                if faults.ACTIVE is not None:
+                    faults.ACTIVE.fire("engine.scheduler")
+                self._stats.record_dequeued(len(drained))
+                cost = sum(request.cost_estimate for request in drained)
+                if cost:
+                    self._stats.record_cost(-cost)
+                drained = self._shed_expired(drained)
+                if not drained:
+                    continue
+                groups = coalesce(drained)
+                if self.policy.ragged:
+                    groups = self._merge_ragged_groups(groups)
+                for group in groups:
+                    try:
+                        self._dispatch(group)
+                    except Exception as error:  # pragma: no cover - last resort
+                        # A scheduler-level surprise must not strand futures.
+                        for request in group.requests:
+                            self._finish_error(request, error)
+        except BaseException as error:
+            self._fail_engine(error, drained)
+
+    def _shed_expired(self, requests: List[QueryRequest]) -> List[QueryRequest]:
+        """Drop already-expired requests before they cost a dispatch.
+
+        Shedding is O(µs) per request — one clock read, one typed-error
+        finish — which is the whole point of deadlines under overload: work
+        nobody is waiting for anymore never reaches a kernel.
+        """
+        now = time.perf_counter()
+        live: List[QueryRequest] = []
+        for request in requests:
+            if request.expired(now):
+                self._stats.record_expired()
+                self._finish_error(
+                    request,
+                    DeadlineExceededError(
+                        "the request's deadline expired before dispatch"
+                    ),
+                )
+            else:
+                live.append(request)
+        return live if len(live) < len(requests) else requests
+
+    def _fail_engine(
+        self, error: BaseException, inflight: List[QueryRequest]
+    ) -> None:
+        """The scheduler died: fail everything instead of hanging callers.
+
+        Every in-flight request of the dying round, everything still queued,
+        and every later submission resolves with one shared
+        :class:`~repro.exceptions.EngineDiedError` chained to the scheduler's
+        exception — a future that can never resolve is the one outcome the
+        serving tier must not produce.
+        """
+        died = EngineDiedError(
+            f"the engine scheduler died: {type(error).__name__}: {error}"
+        )
+        died.__cause__ = error
+        self._died = died
+        with self._shutdown_lock:
+            self._shutdown = True
+            self._queue.close()
+        for request in inflight:
+            self._finish_error(request, died)
         while True:
-            drained = self._queue.drain()
-            if not drained:
-                return  # queue closed and empty: clean shutdown
-            self._stats.record_dequeued(len(drained))
-            groups = coalesce(drained)
-            if self.policy.ragged:
-                groups = self._merge_ragged_groups(groups)
-            for group in groups:
-                try:
-                    self._dispatch(group)
-                except Exception as error:  # pragma: no cover - last resort
-                    # A scheduler-level surprise must not strand futures.
-                    for request in group.requests:
-                        self._finish_error(request, error)
+            leftovers = self._queue.drain()
+            if not leftovers:
+                break
+            self._stats.record_dequeued(len(leftovers))
+            for request in leftovers:
+                self._finish_error(request, died)
 
     def _merge_ragged_groups(
         self, groups: List[DispatchGroup]
@@ -684,9 +907,18 @@ class Engine:
         return cached[1]
 
     def _dispatch(self, group: DispatchGroup) -> None:
+        if faults.ACTIVE is not None:
+            faults.ACTIVE.fire("engine.dispatch")
+        requests = group.requests
+        if any(request.deadline_at is not None for request in requests):
+            # Re-check at batch formation: time passed in the straggler
+            # window and in earlier groups of this round.
+            requests = self._shed_expired(requests)
+            if not requests:
+                return
         batchable: List[QueryRequest] = []
         fallback: List[Tuple[QueryRequest, Any]] = []
-        for request in group.requests:
+        for request in requests:
             physical = self._select(request)
             if physical is None:
                 batchable.append(request)

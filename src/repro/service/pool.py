@@ -16,16 +16,26 @@ parent -> worker::
 
     ("plan",     plan_id, payload, schema)         register a compiled plan
     ("semiring", pickled_semiring)                 register a late semiring
-    ("submit",   task_id, plan_id, semiring, dims, descriptors)
-    ("psubmit",  task_id, plan_id, semiring, dims, pickled_matrices)
+    ("submit",   task_id, plan_id, semiring, dims, descriptors, remaining)
+    ("psubmit",  task_id, plan_id, semiring, dims, pickled_matrices, remaining)
     ("stats",)  ("profile",)  ("stop",)
 
 worker -> parent::
 
-    ("result",   task_id, dtype, shape, nbytes)    payload in the result ring
-    ("result_p", task_id, pickled_result)
-    ("error",    task_id, pickled_exception)
+    ("result",    task_id, dtype, shape, nbytes)   payload in the result ring
+    ("result_p",  task_id, pickled_result)
+    ("error",     task_id, pickled_exception)
+    ("heartbeat", wallclock, profiler_state_or_None)
     ("stats", snapshot)  ("profile", state)  ("stopped", profiler_state)
+
+``remaining`` is the request's deadline as *seconds left at send time*
+(``None`` = unbounded): ``time.perf_counter()`` epochs differ across
+processes, so an absolute deadline cannot travel — the worker re-anchors
+it against its own clock on receipt.  An already-expired task is answered
+with :class:`~repro.exceptions.DeadlineExceededError` without executing,
+both router-side at dispatch and worker-side at receipt (the check runs
+only after every announced ring byte is drained; the framing discipline
+outranks the deadline).
 
 Because each ring has one producer and one consumer and the announcing
 pipe message is sent only *after* the ring write, the pipe's FIFO order is
@@ -51,13 +61,34 @@ have captured in a held state (the compiler plan-cache lock, the profile
 lock) and clear the inherited plan cache — giving each worker the private
 plan-cache shard the sharded design wants anyway.
 
-Crash rescue
-------------
+Crash rescue and self-healing
+-----------------------------
 A worker that dies (segfault, OOM-kill, ``kill -9``) surfaces as EOF on
 its pipe.  The parent respawns the shard and resubmits each in-flight
 request **once** to a live worker; a request that has already been rescued
-fails its own future with :class:`WorkerCrashError` instead of retrying
-forever.  Only futures in flight on the dead worker are touched.
+fails its own future with :class:`~repro.exceptions.WorkerCrashError`
+instead of retrying forever.  Only futures in flight on the dead worker
+are touched.
+
+*Hung* workers (stuck kernel, wedged interpreter) never produce an EOF on
+their own, so each worker also sends a heartbeat over its control pipe
+every ``policy.heartbeat_interval`` seconds, and a router-side
+:class:`~repro.service.health.Watchdog` force-kills a worker whose last
+heartbeat is older than ``policy.heartbeat_timeout`` — or that is still
+chewing on a task ``policy.hung_task_grace`` seconds past the task's
+deadline.  The kill turns the hang into the pipe-EOF the rescue machinery
+already heals, so dead and hung workers share one recovery path.
+
+A plan whose tasks keep *coinciding* with worker deaths is treated as the
+probable cause: each death strikes every orphaned task's plan on a
+:class:`~repro.service.health.CircuitBreaker`, and a plan that accumulates
+``policy.quarantine_strikes`` strikes is quarantined — its requests run on
+the router's sandboxed single-instance lane (one disposable forked process
+per request, so a poison plan can only kill its own sandbox) or, with
+``policy.quarantine_execute=False``, resolve immediately with
+:class:`~repro.exceptions.PlanQuarantinedError`.  After
+``policy.quarantine_reset`` seconds one probe request is let back into the
+pool; surviving closes the breaker, dying re-opens it.
 """
 
 from __future__ import annotations
@@ -73,14 +104,17 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.exceptions import (
+    DeadlineExceededError,
+    PlanQuarantinedError,
+    WorkerCrashError,
+)
+from repro.service import faults
+from repro.service.health import CircuitBreaker, Watchdog, backoff_delays
 from repro.service.router import ShardRouter
 from repro.service.shm import ShmRing
 
 __all__ = ["WorkerCrashError", "WorkerPool"]
-
-
-class WorkerCrashError(RuntimeError):
-    """A request's worker died and its one rescue attempt was exhausted."""
 
 
 def _reinit_module_locks() -> None:
@@ -132,6 +166,12 @@ def _rebuild_instance(schema, dimensions, semiring, matrices):
 # ----------------------------------------------------------------------
 # Worker process
 # ----------------------------------------------------------------------
+#: Heartbeats between profiler-state piggybacks: frequent enough that a
+#: long-lived pool refits its cost profile mid-run (the parent merges each
+#: shipped state), sparse enough that draining the reservoirs stays noise.
+_PROFILE_EVERY_BEATS = 5
+
+
 def _worker_main(
     index: int,
     connection,
@@ -157,33 +197,81 @@ def _worker_main(
     plans: Dict[int, Any] = {}
     schemas: Dict[int, Any] = {}
     send_lock = threading.Lock()
+    stop_heartbeat = threading.Event()
+
+    def ship_error(task_id: int, error: BaseException) -> None:
+        try:
+            payload = pickle.dumps(error)
+        except Exception:
+            payload = pickle.dumps(RuntimeError(repr(error)))
+        with send_lock:
+            connection.send(("error", task_id, payload))
 
     def ship(task_id: int, future) -> None:
-        error = future.exception()
-        if error is not None:
-            try:
-                payload = pickle.dumps(error)
-            except Exception:
-                payload = pickle.dumps(RuntimeError(repr(error)))
+        # Runs as a done callback (exceptions would be swallowed), so every
+        # failure mode of shipping itself — an unpicklable result, an
+        # injected pickle fault — degrades to an ``error`` message rather
+        # than a silently unresolved parent-side future.
+        try:
+            error = future.exception()
+            if error is not None:
+                ship_error(task_id, error)
+                return
+            if faults.ACTIVE is not None:
+                faults.ACTIVE.fire("worker.ship", worker=index, task=task_id)
+            result = np.ascontiguousarray(future.result())
+            if result.dtype != object and result.nbytes <= result_ring.capacity:
+                with send_lock:
+                    if result_ring.write([result.data], timeout=2.0):
+                        connection.send(
+                            (
+                                "result",
+                                task_id,
+                                result.dtype.str,
+                                result.shape,
+                                result.nbytes,
+                            )
+                        )
+                        return
+                    connection.send(("result_p", task_id, pickle.dumps(result)))
+                return
             with send_lock:
-                connection.send(("error", task_id, payload))
-            return
-        result = future.result()
-        result = np.ascontiguousarray(result)
-        if result.dtype != object and result.nbytes <= result_ring.capacity:
-            with send_lock:
-                if result_ring.write([result.data], timeout=2.0):
-                    connection.send(
-                        ("result", task_id, result.dtype.str, result.shape, result.nbytes)
-                    )
-                    return
                 connection.send(("result_p", task_id, pickle.dumps(result)))
-            return
-        with send_lock:
-            connection.send(("result_p", task_id, pickle.dumps(result)))
+        except Exception as error:
+            try:
+                ship_error(task_id, error)
+            except Exception:
+                pass  # pipe gone: the parent's EOF handling takes over
+
+    def heartbeat_loop() -> None:
+        interval = policy.heartbeat_interval if policy is not None else 0.25
+        beats = 0
+        while not stop_heartbeat.wait(interval):
+            beats += 1
+            if faults.ACTIVE is not None and faults.ACTIVE.deny(
+                "worker.heartbeat", worker=index
+            ):
+                continue  # injected silence: the watchdog should kill us
+            state = None
+            if profile_feedback and beats % _PROFILE_EVERY_BEATS == 0:
+                # ``state()`` drains the reservoirs, so samples shipped on a
+                # heartbeat are never double-counted by a later flush.
+                try:
+                    state = engine._profiler.state()
+                except Exception:
+                    state = None
+            try:
+                with send_lock:
+                    connection.send(("heartbeat", time.time(), state))
+            except Exception:
+                return  # parent went away; the main loop will exit too
+
+    threading.Thread(
+        target=heartbeat_loop, name=f"repro-worker-{index}-hb", daemon=True
+    ).start()
 
     def handle_submit(message, pickled: bool) -> None:
-        _, task_id, plan_id, semiring_name, dimensions, payload = message
+        _, task_id, plan_id, semiring_name, dimensions, payload, remaining = message
         failure: Optional[BaseException] = None
         matrices: Dict[str, Any] = {}
         if pickled:
@@ -223,6 +311,18 @@ def _worker_main(
                 except Exception as error:  # the ring itself failed
                     if failure is None:
                         failure = error
+        if failure is None and remaining is not None and remaining <= 0:
+            # Expired in transit (or rescued onto this worker too late):
+            # answer with the typed error without executing — and without
+            # visiting the worker.task fault site, so a rescued task cannot
+            # be hit twice by one injected crash schedule.
+            ship_error(
+                task_id,
+                DeadlineExceededError(
+                    "the request's deadline expired before worker execution"
+                ),
+            )
+            return
         if failure is None:
             # Fallible lookups only after the ring is fully drained.
             try:
@@ -234,14 +334,19 @@ def _worker_main(
             except Exception as error:
                 failure = error
         if failure is not None:
-            try:
-                blob = pickle.dumps(failure)
-            except Exception:
-                blob = pickle.dumps(RuntimeError(repr(failure)))
-            with send_lock:
-                connection.send(("error", task_id, blob))
+            ship_error(task_id, failure)
             return
-        future = engine.submit_compiled(plan, instance)
+        if faults.ACTIVE is not None:
+            # The canonical chaos site: ``crash`` simulates a segfaulting
+            # kernel, ``sleep`` a stuck one, ``raise`` a poisoned plan.  A
+            # raised poison fails the *task* (shipped as its typed error);
+            # only ``crash`` takes the whole worker down.
+            try:
+                faults.ACTIVE.fire("worker.task", worker=index, task=task_id)
+            except Exception as error:
+                ship_error(task_id, error)
+                return
+        future = engine.submit_compiled(plan, instance, deadline=remaining)
         future.add_done_callback(lambda finished, tid=task_id: ship(tid, finished))
 
     profiler_state: Callable[[], Any] = lambda: (
@@ -279,10 +384,12 @@ def _worker_main(
             with send_lock:
                 connection.send(("profile", profiler_state()))
         elif kind == "stop":
+            stop_heartbeat.set()
             engine.shutdown(wait=True)
             with send_lock:
                 connection.send(("stopped", profiler_state()))
             break
+    stop_heartbeat.set()
     request_ring.close()
     result_ring.close()
     connection.close()
@@ -294,16 +401,52 @@ def _worker_main(
 class _Task:
     """One in-flight pooled request (parent-side bookkeeping)."""
 
-    __slots__ = ("task_id", "plan", "instance", "future", "memo_key", "submitted_at", "rescued")
+    __slots__ = (
+        "task_id",
+        "plan",
+        "plan_id",
+        "instance",
+        "future",
+        "memo_key",
+        "submitted_at",
+        "deadline_at",
+        "cost",
+        "rescued",
+        "probe",
+    )
 
-    def __init__(self, task_id, plan, instance, future, memo_key, submitted_at):
+    def __init__(
+        self,
+        task_id,
+        plan,
+        instance,
+        future,
+        memo_key,
+        submitted_at,
+        deadline_at=None,
+        cost=0.0,
+    ):
         self.task_id = task_id
         self.plan = plan
+        #: Wire plan id; stamped by the first dispatch (breaker key).
+        self.plan_id: Optional[int] = None
         self.instance = instance
         self.future = future
         self.memo_key = memo_key
         self.submitted_at = submitted_at
+        #: Absolute ``perf_counter`` deadline in the *router's* clock.
+        self.deadline_at = deadline_at
+        #: Admission-control cost the engine retires at delivery.
+        self.cost = cost
         self.rescued = False
+        #: Whether this task is a half-open circuit-breaker probe.
+        self.probe = False
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left before the deadline (the wire representation)."""
+        if self.deadline_at is None:
+            return None
+        return self.deadline_at - time.perf_counter()
 
 
 class _WorkerHandle:
@@ -326,6 +469,157 @@ class _WorkerHandle:
         self.receiver: Optional[threading.Thread] = None
         self.alive = False
         self.stopping = False
+        #: ``time.monotonic()`` of the last heartbeat (or the spawn).
+        self.last_heartbeat = 0.0
+
+
+def _sandbox_main(connection, plan, instance, functions) -> None:
+    """Entry point of a disposable quarantine sandbox (one request).
+
+    Runs the plan exactly the way a worker's per-instance fallback would —
+    per-op physical planning, single-instance execution — but in a process
+    whose death cannot take any in-flight neighbour with it.  Deliberately
+    does **not** contain the ``worker.task`` fault site: the sandbox exists
+    to get a *correct answer* out of a plan whose pool executions keep
+    dying, and the chaos suite relies on that asymmetry.
+    """
+    _reinit_module_locks()
+    try:
+        from repro.matlang.functions import default_registry
+        from repro.matlang.ir import execute_plan
+        from repro.semiring.backends import plan_physical
+
+        physical = plan_physical(plan, instance, None)
+        value = execute_plan(
+            physical.plan,
+            physical.backend,
+            instance,
+            functions if functions is not None else default_registry(),
+            backends=physical.backends,
+        )
+        connection.send(("ok", np.asarray(physical.result_backend.to_dense(value))))
+    except BaseException as error:
+        try:
+            connection.send(("error", error))
+        except Exception:
+            try:
+                connection.send(("error", RuntimeError(repr(error))))
+            except Exception:
+                pass
+    finally:
+        connection.close()
+
+
+class _QuarantineLane:
+    """Sandboxed single-instance execution for quarantined plans.
+
+    One lazily-started daemon thread drains quarantined tasks in order;
+    each runs in a fresh forked sandbox (arguments travel in fork-inherited
+    memory, so nothing needs pickling on the way in) bounded by the task's
+    deadline or :attr:`SANDBOX_TIMEOUT`.  A sandbox that crashes or times
+    out resolves its task with
+    :class:`~repro.exceptions.PlanQuarantinedError`.
+    """
+
+    #: Wall-clock cap for one sandboxed execution without a deadline.
+    SANDBOX_TIMEOUT = 60.0
+
+    def __init__(self, pool: "WorkerPool") -> None:
+        self._pool = pool
+        self._queue: "queue.Queue" = queue.Queue()
+        self._thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+        self._stopped = False
+
+    def submit(self, task: _Task) -> None:
+        with self._lock:
+            if self._stopped:
+                self._pool._deliver(
+                    task,
+                    None,
+                    RuntimeError("the worker pool shut down mid-request"),
+                )
+                return
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._run, name="repro-quarantine", daemon=True
+                )
+                self._thread.start()
+        self._queue.put(task)
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Drain queued tasks, then stop; fails whatever could not run."""
+        with self._lock:
+            self._stopped = True
+            thread = self._thread
+        if thread is None:
+            return
+        self._queue.put(None)
+        thread.join(timeout=timeout)
+        while True:
+            try:
+                task = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if task is not None:
+                self._pool._deliver(
+                    task,
+                    None,
+                    RuntimeError("the worker pool shut down mid-request"),
+                )
+
+    def _run(self) -> None:
+        while True:
+            task = self._queue.get()
+            if task is None:
+                return
+            try:
+                result, error = self._execute(task)
+            except Exception as surprise:  # pragma: no cover - last resort
+                result, error = None, surprise
+            self._pool._deliver(task, result, error)
+
+    def _execute(self, task: _Task):
+        if task.deadline_at is not None and time.perf_counter() >= task.deadline_at:
+            return None, DeadlineExceededError(
+                "the request's deadline expired before dispatch"
+            )
+        with self._pool._fork_lock:
+            receiver, sender = self._pool._context.Pipe(duplex=False)
+            process = self._pool._context.Process(
+                target=_sandbox_main,
+                args=(sender, task.plan, task.instance, self._pool._functions),
+                name="repro-quarantine-sandbox",
+                daemon=True,
+            )
+            process.start()
+            sender.close()
+        if task.deadline_at is None:
+            timeout = self.SANDBOX_TIMEOUT
+        else:
+            timeout = max(0.05, task.deadline_at - time.perf_counter())
+        verdict = None
+        try:
+            if receiver.poll(timeout):
+                verdict = receiver.recv()
+        except (EOFError, OSError):
+            verdict = None
+        finally:
+            try:
+                receiver.close()
+            except Exception:
+                pass
+            if process.is_alive():
+                process.kill()
+            process.join(timeout=5.0)
+        if verdict is None:
+            return None, PlanQuarantinedError(
+                "the quarantined plan's sandboxed execution crashed or timed out"
+            )
+        kind, payload = verdict
+        if kind == "ok":
+            return payload, None
+        return None, payload
 
 
 class WorkerPool:
@@ -349,6 +643,8 @@ class WorkerPool:
         options=None,
         profile_feedback: bool = False,
         ring_capacity: Optional[int] = None,
+        stats=None,
+        on_profile_state: Optional[Callable[[Any], None]] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers!r}")
@@ -367,51 +663,84 @@ class WorkerPool:
         self._options = options
         self._profile_feedback = profile_feedback
         self._ring_capacity = ring_capacity
+        self._stats = stats
+        self._on_profile_state = on_profile_state
         self._lock = threading.Lock()
+        # Serializes every fork in the pool (worker spawns, sandbox runs)
+        # against the instant where a freshly created pipe's child end is
+        # still open in the parent: a concurrent fork in that window
+        # inherits the fd, and a worker whose child end leaked into a
+        # sibling never EOFs the parent when it dies — its receive loop
+        # blocks forever and its in-flight tasks are never rescued.
+        self._fork_lock = threading.Lock()
         self._closed = False
         self._task_counter = 0
         self._plan_counter = 0
         #: ``id(plan) -> (pinned plan, wire plan id, payload, schema)``.
         self._plans: Dict[int, Tuple[Any, int, bytes, Any]] = {}
+
+        def knob(name: str, default):
+            return getattr(policy, name, default) if policy is not None else default
+
+        self._dispatch_retries = knob("dispatch_retries", 3)
+        self._retry_backoff = knob("retry_backoff", 0.01)
+        self._heartbeat_timeout = knob("heartbeat_timeout", 5.0)
+        self._hung_task_grace = knob("hung_task_grace", 2.0)
+        self._quarantine_execute = knob("quarantine_execute", True)
+        self.breaker = CircuitBreaker(
+            strikes=knob("quarantine_strikes", 3),
+            reset_after=knob("quarantine_reset", 30.0),
+        )
+        self._lane = _QuarantineLane(self)
         self._handles: List[_WorkerHandle] = []
         for index in range(workers):
             handle = _WorkerHandle(index)
             self._spawn(handle)
             self._handles.append(handle)
+        self._watchdog = Watchdog(
+            self._watchdog_scan,
+            interval=knob("heartbeat_interval", 0.25),
+            name="repro-pool-watchdog",
+        ).start()
 
     # ------------------------------------------------------------------
     # Worker lifecycle
     # ------------------------------------------------------------------
-    def _spawn(self, handle: _WorkerHandle) -> None:
+    def _spawn(self, handle: _WorkerHandle, respawn: bool = False) -> None:
         from repro.semiring.registry import available_semirings
 
-        capacity = self._ring_capacity
-        rings = (
-            ShmRing() if capacity is None else ShmRing(capacity),
-            ShmRing() if capacity is None else ShmRing(capacity),
-        )
-        parent_conn, child_conn = self._context.Pipe(duplex=True)
-        process = self._context.Process(
-            target=_worker_main,
-            args=(
-                handle.index,
-                child_conn,
-                rings[0],
-                rings[1],
-                self._policy,
-                self._functions,
-                self._backend,
-                self._options,
-                self._profile_feedback,
-            ),
-            name=f"repro-worker-{handle.index}",
-            daemon=True,
-        )
-        # Snapshot the registry *before* the fork: every name in it is
-        # inherited by the child, anything registered later must be shipped.
-        known_semirings = set(available_semirings())
-        process.start()
-        child_conn.close()
+        if respawn and self._stats is not None:
+            self._stats.record_respawn()
+
+        with self._fork_lock:
+            capacity = self._ring_capacity
+            rings = (
+                ShmRing() if capacity is None else ShmRing(capacity),
+                ShmRing() if capacity is None else ShmRing(capacity),
+            )
+            parent_conn, child_conn = self._context.Pipe(duplex=True)
+            process = self._context.Process(
+                target=_worker_main,
+                args=(
+                    handle.index,
+                    child_conn,
+                    rings[0],
+                    rings[1],
+                    self._policy,
+                    self._functions,
+                    self._backend,
+                    self._options,
+                    self._profile_feedback,
+                ),
+                name=f"repro-worker-{handle.index}",
+                daemon=True,
+            )
+            # Snapshot the registry *before* the fork: every name in it is
+            # inherited by the child, anything registered later must be
+            # shipped.
+            known_semirings = set(available_semirings())
+            process.start()
+            child_conn.close()
         handle.process = process
         handle.connection = parent_conn
         handle.request_ring, handle.result_ring = rings
@@ -421,6 +750,7 @@ class WorkerPool:
         handle.replies = queue.Queue()
         handle.alive = True
         handle.stopping = False
+        handle.last_heartbeat = time.monotonic()
         handle.receiver = threading.Thread(
             target=self._receive_loop,
             args=(handle,),
@@ -430,12 +760,19 @@ class WorkerPool:
         handle.receiver.start()
 
     def _receive_loop(self, handle: _WorkerHandle) -> None:
+        connection = handle.connection
         while True:
             try:
-                message = handle.connection.recv()
-            except (EOFError, OSError):
+                message = connection.recv()
+            except (EOFError, OSError, TypeError):
+                # TypeError: teardown's close() nulls the descriptor under
+                # a thread already inside recv().  `expect` pins the report
+                # to the incarnation this thread was started for: if the
+                # watchdog already reaped the death and respawned the
+                # worker, a late EOF from the old pipe must not take down
+                # the healthy replacement.
                 if not handle.stopping:
-                    self._on_worker_death(handle)
+                    self._on_worker_death(handle, expect=connection)
                 return
             kind = message[0]
             if kind == "result":
@@ -464,6 +801,14 @@ class WorkerPool:
                 except Exception:
                     error = RuntimeError("worker reported an undecodable error")
                 self._complete(handle, task_id, None, error)
+            elif kind == "heartbeat":
+                handle.last_heartbeat = time.monotonic()
+                state = message[2]
+                if state and self._on_profile_state is not None:
+                    try:
+                        self._on_profile_state(state)
+                    except Exception:
+                        pass  # profiler merge is best-effort telemetry
             else:  # stats / profile / stopped control replies
                 handle.replies.put(message)
                 if kind == "stopped":
@@ -474,12 +819,21 @@ class WorkerPool:
             task = handle.inflight.pop(task_id, None)
         if task is None:
             return  # already rescued onto another worker
+        if task.plan_id is not None:
+            # Any reply at all proves the worker survived this plan's task —
+            # enough to retire breaker evidence (a half-open probe's success
+            # closes the breaker here).
+            self.breaker.record_success(task.plan_id)
+            if task.probe and self._stats is not None:
+                self._stats.set_quarantine_open(self.breaker.open_count())
         self._deliver(task, result, error)
 
-    def _on_worker_death(self, handle: _WorkerHandle) -> None:
+    def _on_worker_death(self, handle: _WorkerHandle, expect=None) -> None:
         with self._lock:
             if not handle.alive:
                 return
+            if expect is not None and handle.connection is not expect:
+                return  # stale observer: that incarnation was already healed
             handle.alive = False
             orphaned = list(handle.inflight.values())
             handle.inflight = {}
@@ -495,20 +849,62 @@ class WorkerPool:
                     # see ownership changed hands (see _dispatch's cleanup).
                     task.rescued = True
                     rescuable.append(task)
-        self._teardown_handle(handle)
-        if not closed:
-            try:
-                self._spawn(handle)
-            except Exception:
-                pass
+        # Each orphaned *plan* takes one strike per death — counting deaths,
+        # not tasks, so a single crash with a deep in-flight queue cannot
+        # quarantine a plan by itself.  Struck *before* the rescues are
+        # rerouted, so a plan that just earned quarantine sends its rescued
+        # tasks to the sandbox instead of crash-looping a second worker.
+        tripped = 0
+        for plan_id in {
+            task.plan_id for task in orphaned if task.plan_id is not None
+        }:
+            if self.breaker.strike(plan_id):
+                tripped += 1
+        if self._stats is not None:
+            for _ in range(tripped):
+                self._stats.record_quarantine_trip()
+            self._stats.set_quarantine_open(self.breaker.open_count())
+        # The send lock serializes the swap against any _send_task that
+        # already passed its liveness check: without it, a submit thread can
+        # interleave its ring write and pipe send across the teardown/spawn
+        # boundary — leaving announced-to-nobody bytes in the *fresh* ring,
+        # after which every later shm submit on this worker silently decodes
+        # shifted payloads.  (The in-flight sender then targets the old ring
+        # and pipe wholesale; both die with the old worker, harmlessly.)
+        with handle.send_lock:
+            self._teardown_handle(handle)
+            # Re-read _closed *after* teardown: a shutdown that started
+            # since this death was claimed may already be past this handle
+            # in its stop loop, and a worker (and its rings) spawned now
+            # would never be torn down.  If shutdown instead flips _closed
+            # right after this check, it has yet to visit this handle — it
+            # will block on send_lock until the spawn finishes, then stop
+            # and tear down the replacement normally.
+            with self._lock:
+                closed = closed or self._closed
+            if not closed:
+                try:
+                    self._spawn(handle, respawn=True)
+                except Exception:
+                    pass
         crash = WorkerCrashError(
             f"worker {handle.index} (shard {handle.index}) died unexpectedly"
         )
         for task in exhausted:
-            self._deliver(task, None, crash)
+            # At-most-once rescue caps pool re-dispatch, but a twice-orphaned
+            # task whose plan is now quarantined still has somewhere safe to
+            # go: the sandbox is a different execution vehicle, so sending it
+            # there cannot crash-loop a third worker.
+            if task.plan_id is not None and self.breaker.is_open(task.plan_id):
+                try:
+                    self._quarantine(task)
+                except Exception as error:
+                    self._deliver(task, None, error)
+            else:
+                self._deliver(task, None, crash)
         for task in rescuable:
             try:
-                self._dispatch(task)
+                self._route(task)
             except Exception as error:
                 self._deliver(task, None, error)
 
@@ -531,17 +927,59 @@ class WorkerPool:
     # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------
-    def submit(self, plan, instance, future, memo_key, submitted_at) -> Optional[_Task]:
+    def submit(
+        self,
+        plan,
+        instance,
+        future,
+        memo_key,
+        submitted_at,
+        deadline_at=None,
+        cost=0.0,
+    ) -> Optional[_Task]:
         """Route one compiled request to its shard; ``None`` when closed."""
         with self._lock:
             if self._closed:
                 return None
             self._task_counter += 1
             task = _Task(
-                self._task_counter, plan, instance, future, memo_key, submitted_at
+                self._task_counter,
+                plan,
+                instance,
+                future,
+                memo_key,
+                submitted_at,
+                deadline_at,
+                cost,
             )
-        self._dispatch(task)
+        task.plan_id = self._plan_record(plan)[0]
+        self._route(task)
         return task
+
+    def _route(self, task: _Task) -> None:
+        """Send one task through the circuit breaker to pool or quarantine."""
+        verdict = self.breaker.admit(task.plan_id)
+        if verdict == "open":
+            self._quarantine(task)
+            return
+        if verdict == "probe":
+            task.probe = True
+        self._dispatch(task)
+
+    def _quarantine(self, task: _Task) -> None:
+        """Answer one task on the quarantine path (sandbox or typed error)."""
+        if self._stats is not None:
+            self._stats.record_quarantined()
+        if self._quarantine_execute:
+            self._lane.submit(task)
+        else:
+            self._deliver(
+                task,
+                None,
+                PlanQuarantinedError(
+                    "the plan is quarantined after repeated worker crashes"
+                ),
+            )
 
     def _plan_record(self, plan) -> Tuple[int, bytes, Any]:
         from repro.matlang.ir import serialize_plan
@@ -562,6 +1000,45 @@ class WorkerPool:
             return self._plan_counter, payload, None
 
     def _dispatch(self, task: _Task) -> None:
+        """Dispatch with bounded-backoff retries around transient failures.
+
+        A send can fail because its worker died mid-route; the respawn is
+        usually up within the first backoff step, so retrying locally is
+        far cheaper than burning the task's one crash rescue.  The retry
+        budget exhausted, the failure surfaces as
+        :class:`~repro.exceptions.WorkerCrashError`.
+        """
+        if task.deadline_at is not None and time.perf_counter() >= task.deadline_at:
+            # O(µs) shed: nobody is waiting for this result anymore (also
+            # the fate of a rescued task whose deadline lapsed while its
+            # worker hung — the watchdog test's deterministic outcome).
+            self._deliver(
+                task,
+                None,
+                DeadlineExceededError(
+                    "the request's deadline expired before dispatch"
+                ),
+            )
+            return
+        delays = backoff_delays(self._dispatch_retries, base=self._retry_backoff)
+        while True:
+            try:
+                self._dispatch_once(task)
+                return
+            except Exception as error:
+                delay = next(delays, None)
+                if delay is None or self._closed:
+                    if isinstance(error, WorkerCrashError):
+                        raise
+                    raise WorkerCrashError(
+                        f"dispatch failed after {self._dispatch_retries} "
+                        f"retries: {type(error).__name__}: {error}"
+                    ) from error
+                if self._stats is not None:
+                    self._stats.record_dispatch_retry()
+                time.sleep(delay)
+
+    def _dispatch_once(self, task: _Task) -> None:
         plan_id, payload, _ = self._plan_record(task.plan)
         instance = task.instance
         shard = self.router.shard_for(
@@ -570,10 +1047,15 @@ class WorkerPool:
         handle = self._handles[shard]
         with self._lock:
             if not handle.alive:
-                alive = [h for h in self._handles if h.alive]
+                alive = [h.index for h in self._handles if h.alive]
                 if not alive:
                     raise WorkerCrashError("no live workers")
-                handle = alive[shard % len(alive)]
+                # Rendezvous selection keeps the stand-in stable for this
+                # coalescing identity while the home shard is down.
+                stand_in = self.router.shard_among(
+                    plan_id, instance.semiring.name, instance.dimensions, alive
+                )
+                handle = self._handles[stand_in]
             handle.inflight[task.task_id] = task
             was_rescued = task.rescued
         try:
@@ -619,11 +1101,20 @@ class WorkerPool:
                 clone.__dict__.pop("_kernels_version", None)
                 handle.connection.send(("semiring", pickle.dumps(clone)))
                 handle.semirings.add(instance.semiring.name)
+            # Sampled at send time: the wire carries seconds-left, which the
+            # worker re-anchors against its own perf_counter epoch.
+            remaining = task.remaining()
             if (
                 shippable
                 and total <= handle.request_ring.capacity
                 and handle.request_ring.write(
-                    [array.data for array in arrays], timeout=2.0
+                    [array.data for array in arrays],
+                    timeout=2.0,
+                    # A dead consumer never frees ring space: bail out of
+                    # the backpressure wait the moment the death is known
+                    # instead of serializing every sender behind the full
+                    # write timeout.
+                    abort=lambda: not handle.alive,
                 )
             ):
                 descriptors = tuple(
@@ -638,9 +1129,15 @@ class WorkerPool:
                         instance.semiring.name,
                         dict(instance.dimensions),
                         descriptors,
+                        remaining,
                     )
                 )
             else:
+                if not handle.alive:
+                    # The ring wait aborted because the worker died under
+                    # us; fail fast so the rescue path takes over rather
+                    # than pickling megabytes into a pipe nobody reads.
+                    raise WorkerCrashError(f"worker {handle.index} is down")
                 handle.connection.send(
                     (
                         "psubmit",
@@ -649,6 +1146,7 @@ class WorkerPool:
                         instance.semiring.name,
                         dict(instance.dimensions),
                         pickle.dumps({name: matrices[name] for name in names}),
+                        remaining,
                     )
                 )
 
@@ -687,6 +1185,67 @@ class WorkerPool:
             return sum(len(handle.inflight) for handle in self._handles)
 
     # ------------------------------------------------------------------
+    # Watchdog (self-healing of hung workers)
+    # ------------------------------------------------------------------
+    def _watchdog_scan(self) -> None:
+        """Kill workers that stopped heartbeating or are stuck past deadline.
+
+        Killing is the whole intervention: the death surfaces as pipe EOF
+        and the existing crash machinery (respawn + one rescue per task)
+        heals the shard — hung and dead workers share one recovery path.
+        """
+        now = time.monotonic()
+        clock = time.perf_counter()
+        oldest = 0.0
+        doomed: List[_WorkerHandle] = []
+        unreaped: List[Tuple[_WorkerHandle, Any]] = []
+        with self._lock:
+            if self._closed:
+                return
+            for handle in self._handles:
+                if not handle.alive or handle.stopping:
+                    continue
+                process = handle.process
+                if process is not None and not process.is_alive():
+                    # Dead process whose pipe EOF never reached us (e.g. a
+                    # leaked fd is keeping the pipe open): the kill lever
+                    # below is useless — reap the death directly, pinned to
+                    # this incarnation's connection.
+                    unreaped.append((handle, handle.connection))
+                    continue
+                age = now - handle.last_heartbeat
+                if age > oldest:
+                    oldest = age
+                hung = age > self._heartbeat_timeout
+                if not hung:
+                    for task in handle.inflight.values():
+                        if (
+                            task.deadline_at is not None
+                            and clock > task.deadline_at + self._hung_task_grace
+                        ):
+                            # The deadline says nobody wants this result
+                            # anymore, yet the worker is still on it.
+                            hung = True
+                            break
+                if hung:
+                    doomed.append(handle)
+        if self._stats is not None:
+            self._stats.set_heartbeat_age(oldest)
+        for handle, connection in unreaped:
+            if self._stats is not None:
+                self._stats.record_watchdog_kill()
+            self._on_worker_death(handle, expect=connection)
+        for handle in doomed:
+            if self._stats is not None:
+                self._stats.record_watchdog_kill()
+            process = handle.process
+            try:
+                if process is not None and process.is_alive():
+                    process.kill()
+            except Exception:  # pragma: no cover - already reaping
+                pass
+
+    # ------------------------------------------------------------------
     # Shutdown
     # ------------------------------------------------------------------
     def shutdown(self, timeout: float = 30.0) -> List[Any]:
@@ -700,6 +1259,8 @@ class WorkerPool:
             if self._closed:
                 return []
             self._closed = True
+        self._watchdog.stop()
+        self._lane.stop()
         states: List[Any] = []
         deadline = time.perf_counter() + timeout
         for handle in self._handles:
@@ -741,6 +1302,8 @@ class WorkerPool:
     def __del__(self) -> None:  # pragma: no cover - safety net
         try:
             if not self._closed:
+                self._watchdog.stop()
+                self._lane.stop()
                 for handle in self._handles:
                     handle.stopping = True
                     if handle.process is not None and handle.process.is_alive():

@@ -18,7 +18,7 @@ never the builtin ``hash``, which is salted per process.
 from __future__ import annotations
 
 import zlib
-from typing import Tuple
+from typing import Sequence, Tuple
 
 __all__ = ["ShardRouter"]
 
@@ -40,3 +40,24 @@ class ShardRouter:
     def signature(plan_id: int, semiring_name: str, dimensions) -> Tuple:
         """The hashed identity: plan, semiring, sorted dimension items."""
         return (plan_id, semiring_name, tuple(sorted(dimensions.items())))
+
+    def shard_among(
+        self, plan_id: int, semiring_name: str, dimensions, candidates: Sequence[int]
+    ) -> int:
+        """Stable selection among a subset of live shards (rendezvous style).
+
+        Used when a request's home shard is down: scoring every candidate
+        with the same crc32 and taking the maximum keeps the choice stable
+        for a given set of live workers — repeats of one coalescing identity
+        keep landing on one stand-in (so they still coalesce there, and its
+        plan registration amortizes), and candidates that stay alive keep
+        their assignments when *another* worker's liveness changes, unlike
+        ``candidates[hash % len(candidates)]``, which reshuffles everything.
+        """
+        if not candidates:
+            raise ValueError("no candidate shards")
+        signature = repr(self.signature(plan_id, semiring_name, dimensions)).encode()
+        return max(
+            candidates,
+            key=lambda shard: zlib.crc32(signature + b"|%d" % shard),
+        )

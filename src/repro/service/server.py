@@ -8,8 +8,8 @@ protocol is deliberately tiny — one frame per message::
 
 where the payload is a pickled tuple.  Requests::
 
-    ("query",       expression, instance)
-    ("query_many",  [(expression, instance), ...])
+    ("query",       expression, instance[, deadline])
+    ("query_many",  [(expression, instance[, deadline]), ...])
     ("stats",)
     ("ping",)
 
@@ -20,6 +20,15 @@ Responses::
     ("error", type_name, message)             the request itself failed
     ("stats", EngineStatsSnapshot)
     ("pong",)
+
+``deadline`` is seconds-from-receipt (the engine's ``submit`` deadline);
+omitting it keeps the old two-element form working.  Error responses
+carry the remote exception's type name, and the client re-raises the
+serving tier's *typed* errors (:class:`~repro.exceptions.DeadlineExceededError`,
+:class:`~repro.exceptions.EngineOverloadedError`, and friends) as
+themselves so remote callers can branch on overload-vs-expired exactly
+like in-process callers; everything else surfaces as
+:class:`RemoteQueryError`.
 
 Security model: **trusted local transport only**.  Payloads are pickled —
 the same trust boundary as the in-process API — so unpickling a frame
@@ -39,7 +48,16 @@ import socket
 import struct
 import threading
 import warnings
-from typing import Any, Iterable, List, Tuple
+from typing import Any, Iterable, List, Optional, Tuple
+
+from repro.exceptions import (
+    DeadlineExceededError,
+    EngineDiedError,
+    EngineOverloadedError,
+    PlanQuarantinedError,
+    WorkerCrashError,
+)
+from repro.service import faults
 
 __all__ = ["MAGIC", "ProtocolError", "QueryClient", "QueryServer", "RemoteQueryError"]
 
@@ -78,12 +96,46 @@ class RemoteQueryError(RuntimeError):
         self.remote_message = message
 
 
+#: Serving-tier errors the client re-raises as their own types, so remote
+#: callers can branch on shed-vs-overload-vs-crash like in-process callers.
+_TYPED_REMOTE = {
+    cls.__name__: cls
+    for cls in (
+        DeadlineExceededError,
+        EngineOverloadedError,
+        PlanQuarantinedError,
+        EngineDiedError,
+        WorkerCrashError,
+    )
+}
+
+
+def _raise_remote(type_name: str, message: str) -> None:
+    typed = _TYPED_REMOTE.get(type_name)
+    if typed is not None:
+        raise typed(f"(remote) {message}")
+    raise RemoteQueryError(type_name, message)
+
+
 # ----------------------------------------------------------------------
 # Framing
 # ----------------------------------------------------------------------
 def _send_message(sock: socket.socket, payload: Any) -> None:
     data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
-    sock.sendall(MAGIC + _LENGTH.pack(len(data)) + data)
+    frame = MAGIC + _LENGTH.pack(len(data)) + data
+    if faults.ACTIVE is not None and faults.ACTIVE.deny("server.send"):
+        # Injected mid-frame socket drop: ship a truncated prefix, then
+        # kill the connection — the peer must treat it as a dead channel,
+        # never as a short (but well-formed) frame.
+        try:
+            sock.sendall(frame[: max(1, len(frame) // 2)])
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        raise ConnectionError("injected socket drop mid-frame")
+    sock.sendall(frame)
 
 
 def _recv_exact(sock: socket.socket, count: int) -> bytes:
@@ -211,9 +263,12 @@ class QueryServer:
         if kind == "stats":
             return ("stats", self.engine.stats())
         if kind == "query":
-            _, expression, instance = message
+            expression, instance = message[1], message[2]
+            deadline = message[3] if len(message) > 3 else None
             try:
-                value = self.engine.submit(expression, instance).result(self.timeout)
+                value = self.engine.submit(expression, instance, deadline).result(
+                    self.timeout
+                )
             except Exception as error:
                 return ("error", type(error).__name__, str(error))
             return ("result", value)
@@ -262,9 +317,22 @@ class QueryClient:
     one client per thread or use :meth:`query_many` for whole bursts.
     """
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        connect_timeout: Optional[float] = None,
+    ) -> None:
         self.timeout = timeout
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+        # Connecting to a wedged (or SYN-dropping) server must not stall a
+        # caller for the full I/O timeout: the handshake gets its own,
+        # typically much shorter, budget.
+        self._sock = socket.create_connection(
+            (host, port),
+            timeout=timeout if connect_timeout is None else connect_timeout,
+        )
+        self._sock.settimeout(timeout)
         self._lock = threading.Lock()
 
     def _roundtrip(self, request: Tuple) -> Any:
@@ -272,31 +340,45 @@ class QueryClient:
             _send_message(self._sock, request)
             return _recv_message(self._sock)
 
-    def query(self, expression: Any, instance: Any) -> Any:
-        """Evaluate one query remotely; raises :class:`RemoteQueryError`."""
-        response = self._roundtrip(("query", expression, instance))
+    def query(
+        self, expression: Any, instance: Any, deadline: Optional[float] = None
+    ) -> Any:
+        """Evaluate one query remotely; raises :class:`RemoteQueryError`.
+
+        ``deadline`` (seconds) travels with the request and is enforced by
+        the server's engine; its expiry comes back as a real
+        :class:`~repro.exceptions.DeadlineExceededError`.
+        """
+        request = (
+            ("query", expression, instance)
+            if deadline is None
+            else ("query", expression, instance, deadline)
+        )
+        response = self._roundtrip(request)
         if response[0] == "result":
             return response[1]
         if response[0] == "error":
-            raise RemoteQueryError(response[1], response[2])
+            _raise_remote(response[1], response[2])
         raise ProtocolError(f"unexpected response {response[0]!r}")
 
-    def query_many(self, pairs: Iterable[Tuple[Any, Any]]) -> List[Any]:
+    def query_many(self, pairs: Iterable[Tuple[Any, ...]]) -> List[Any]:
         """Evaluate a burst; per-item failures raise on access order.
 
-        Results come back in input order; an item that failed remotely
-        raises :class:`RemoteQueryError` when the whole call returns — the
-        first failed item wins, matching ``submit_many`` + ``result()``.
+        Items are ``(expression, instance)`` or
+        ``(expression, instance, deadline)`` tuples.  Results come back in
+        input order; an item that failed remotely raises when the whole
+        call returns — the first failed item wins, matching
+        ``submit_many`` + ``result()``.
         """
         response = self._roundtrip(("query_many", list(pairs)))
         if response[0] == "error":
-            raise RemoteQueryError(response[1], response[2])
+            _raise_remote(response[1], response[2])
         if response[0] != "results":
             raise ProtocolError(f"unexpected response {response[0]!r}")
         results = []
         for outcome in response[1]:
             if outcome[0] == "error":
-                raise RemoteQueryError(outcome[1], outcome[2])
+                _raise_remote(outcome[1], outcome[2])
             results.append(outcome[1])
         return results
 

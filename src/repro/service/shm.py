@@ -106,15 +106,27 @@ class ShmRing:
     # ------------------------------------------------------------------
     # Producer side
     # ------------------------------------------------------------------
-    def write(self, chunks: Sequence, timeout: float = 1.0) -> bool:
+    def write(self, chunks: Sequence, timeout: float = 1.0, abort=None) -> bool:
         """Copy ``chunks`` (bytes-like) into the ring; ``False`` on no-fit.
 
         Returns ``False`` without writing anything when the payload can
         never fit (larger than the capacity) or when space does not free up
         within ``timeout`` seconds — the caller's cue to use the pickle
-        fallback.  A successful write publishes the advanced tail only
-        after every byte is in place.
+        fallback.  ``abort`` (an optional zero-argument callable) is polled
+        while waiting for space; when it turns true the wait ends
+        immediately with ``False`` — the producer's escape hatch when the
+        consumer is known dead and space will never free up.  A successful
+        write publishes the advanced tail only after every byte is in
+        place.
         """
+        from repro.service import faults
+
+        if faults.ACTIVE is not None and faults.ACTIVE.deny(
+            "shm.write", ring=self.name
+        ):
+            # Injected write failure: report no-fit so the caller exercises
+            # its pickle fallback, without touching the cursors.
+            return False
         views = [memoryview(chunk).cast("B") for chunk in chunks]
         total = sum(view.nbytes for view in views)
         if total > self.capacity:
@@ -123,6 +135,8 @@ class ShmRing:
             return True
         deadline = time.perf_counter() + timeout
         while self.free() < total:
+            if abort is not None and abort():
+                return False
             if time.perf_counter() >= deadline:
                 return False
             time.sleep(_POLL_INTERVAL)

@@ -72,6 +72,27 @@ class EngineStatsSnapshot:
     memo_bytes: int = 0
     #: Worker processes behind this engine (0 = in-process scheduler).
     workers: int = 0
+    #: Requests shed because their deadline expired before execution.
+    shed_expired: int = 0
+    #: Requests shed by admission control (queue-depth / cost thresholds).
+    shed_overload: int = 0
+    #: Pooled dispatch attempts retried after a transient send failure.
+    dispatch_retries: int = 0
+    #: Worker processes respawned after a death (crash or watchdog kill).
+    worker_respawns: int = 0
+    #: Workers force-killed by the watchdog (hung heartbeat / stuck task).
+    watchdog_kills: int = 0
+    #: Plan circuit-breaker trips (closed -> open, incl. failed probes).
+    quarantine_trips: int = 0
+    #: Requests answered on the quarantine path (sandbox or typed rejection).
+    quarantined_requests: int = 0
+    #: Plans whose breaker is currently open or half-open (gauge).
+    quarantine_open: int = 0
+    #: Oldest worker-heartbeat age in seconds at the last watchdog scan
+    #: (gauge; ``None`` until a pooled watchdog has scanned).
+    heartbeat_age: Optional[float] = None
+    #: Estimated cost of the current backlog (gauge; admission-control units).
+    pending_cost: float = 0.0
 
     def render(self) -> str:
         """A one-line human-readable summary (used by benchmarks / examples)."""
@@ -91,6 +112,22 @@ class EngineStatsSnapshot:
                 f" memo={self.memo_hits}/{looked} ({rate:.0%} hit, "
                 f"{self.memo_bytes / 1e6:.1f}MB)"
             )
+        if self.shed_expired or self.shed_overload:
+            line += f" shed={self.shed_expired}exp/{self.shed_overload}ovl"
+        if self.dispatch_retries:
+            line += f" retries={self.dispatch_retries}"
+        if self.worker_respawns or self.watchdog_kills:
+            line += (
+                f" respawns={self.worker_respawns}"
+                f" (watchdog={self.watchdog_kills})"
+            )
+        if self.quarantine_trips or self.quarantine_open:
+            line += (
+                f" quarantine={self.quarantine_open}open/"
+                f"{self.quarantine_trips}trips/{self.quarantined_requests}req"
+            )
+        if self.heartbeat_age is not None:
+            line += f" hb_age={self.heartbeat_age:.2f}s"
         return line
 
 
@@ -129,6 +166,16 @@ class EngineStats:
         self._memo_misses = 0
         self._memo_bytes = 0
         self._workers = 0
+        self._shed_expired = 0
+        self._shed_overload = 0
+        self._dispatch_retries = 0
+        self._worker_respawns = 0
+        self._watchdog_kills = 0
+        self._quarantine_trips = 0
+        self._quarantined_requests = 0
+        self._quarantine_open = 0
+        self._heartbeat_age: Optional[float] = None
+        self._pending_cost = 0.0
 
     # -- mutators (called by the engine) ---------------------------------
     def record_submitted(self, count: int = 1) -> None:
@@ -197,6 +244,73 @@ class EngineStats:
         with self._lock:
             self._workers = workers
 
+    # -- robustness mutators ---------------------------------------------
+    def record_expired(self, at_submit: bool = False) -> None:
+        """One request shed on an expired deadline.
+
+        ``at_submit`` sheds never reached the queue, so they account their
+        own submission and failure here; a shed at dequeue or dispatch was
+        already counted submitted, and its failure is recorded by the
+        normal finish path — only the shed counter is added.
+        """
+        with self._lock:
+            self._shed_expired += 1
+            if at_submit:
+                self._submitted += 1
+                self._failed += 1
+
+    def record_overloaded(self) -> None:
+        """One request rejected by admission control (never queued)."""
+        with self._lock:
+            self._shed_overload += 1
+            self._submitted += 1
+            self._failed += 1
+
+    def record_dispatch_retry(self) -> None:
+        with self._lock:
+            self._dispatch_retries += 1
+
+    def record_respawn(self) -> None:
+        with self._lock:
+            self._worker_respawns += 1
+
+    def record_watchdog_kill(self) -> None:
+        with self._lock:
+            self._watchdog_kills += 1
+
+    def record_quarantine_trip(self) -> None:
+        with self._lock:
+            self._quarantine_trips += 1
+
+    def record_quarantined(self) -> None:
+        """One request answered on the quarantine path (sandbox/rejection)."""
+        with self._lock:
+            self._quarantined_requests += 1
+
+    def set_quarantine_open(self, count: int) -> None:
+        with self._lock:
+            self._quarantine_open = count
+
+    def set_heartbeat_age(self, age: Optional[float]) -> None:
+        with self._lock:
+            self._heartbeat_age = age
+
+    def record_cost(self, delta: float) -> None:
+        """Adjust the backlog cost gauge (positive at intake, negative at
+        retirement); clamped at zero so an accounting race can only
+        under-report pressure, never wedge admission shut."""
+        with self._lock:
+            self._pending_cost = max(0.0, self._pending_cost + delta)
+
+    def pending_depth(self) -> int:
+        """The current queue-depth gauge (pooled admission control)."""
+        with self._lock:
+            return self._queue_depth
+
+    def current_pending_cost(self) -> float:
+        with self._lock:
+            return self._pending_cost
+
     def record_done_many(self, latencies: list, failed: bool = False) -> None:
         """Record a whole dispatched chunk's completions in one lock trip."""
         if not latencies:
@@ -239,4 +353,14 @@ class EngineStats:
                 memo_misses=self._memo_misses,
                 memo_bytes=self._memo_bytes,
                 workers=self._workers,
+                shed_expired=self._shed_expired,
+                shed_overload=self._shed_overload,
+                dispatch_retries=self._dispatch_retries,
+                worker_respawns=self._worker_respawns,
+                watchdog_kills=self._watchdog_kills,
+                quarantine_trips=self._quarantine_trips,
+                quarantined_requests=self._quarantined_requests,
+                quarantine_open=self._quarantine_open,
+                heartbeat_age=self._heartbeat_age,
+                pending_cost=self._pending_cost,
             )
