@@ -34,10 +34,12 @@ from typing import Dict, List, Optional, Tuple
 #: present so e.g. the dense/sparse pairs of the same op — or the serving
 #: benchmark's throughput ratios at different stream sizes / submitter
 #: counts, the physical-planning benchmark's forced/mixed measurements
-#: of one workload, or the worker-pool ladder's per-worker-count timings —
-#: never collide.
+#: of one workload, the worker-pool ladder's per-worker-count timings, or
+#: the sparse-batching benchmark's per-instance / block-diagonal pairs at
+#: the same nnz — never collide.
 _KEY_FIELDS = (
-    "op", "size", "backend", "semiring", "instances", "threads", "mode", "workers",
+    "op", "size", "backend", "semiring", "instances", "threads", "mode",
+    "workers", "nnz", "batch",
 )
 
 #: Baseline speedups below this are inside the run-to-run noise band (a

@@ -219,39 +219,23 @@ class CompiledWorkload:
         stacked inputs are cached on the workload, so repeated sweeps over
         the same instance objects do not re-stack them.
 
-        Workloads whose physical plan is not purely dense — pinned
-        (``"sparse"``), adaptively assigned sparse, or mixed (per-op
-        assignments with inserted conversion ops) — have no stacked
-        representation; they fall back to the per-instance loop so the
-        method is total and each instance still runs on its best plan.
+        Adaptively assigned groups batch regardless of representation:
+        sparse-selected buckets assemble into one block-diagonal CSR batch
+        and mixed assignments cross representations on the whole batch
+        (see ``run_plan_batch``'s lane selection).  Only workloads pinned
+        to a non-dense backend by the caller fall back to the per-instance
+        loop — a pinned backend instance is honoured verbatim, and the
+        batched lanes only speak the built-in representations.
         """
         from repro.matlang.evaluator import run_plan_batch
-        from repro.semiring.backends import (
-            AUTO_SPARSE_MIN_DIMENSION,
-            SPARSE_CAPABLE_SEMIRINGS,
-        )
 
         instances = list(instances)
         if self.backend not in (None, "auto", "dense"):
             return [self.run(instance) for instance in instances]
-
-        def could_go_sparse(instance):
-            # Cheap pre-filter mirroring select_backend's hard gates, so a
-            # dense / small sweep never pays the per-instance density scan.
-            return instance.semiring.name in SPARSE_CAPABLE_SEMIRINGS and any(
-                dimension >= AUTO_SPARSE_MIN_DIMENSION
-                for dimension in instance.dimensions.values()
-            )
-
-        if self.adaptive and any(
-            could_go_sparse(instance)
-            and not self.physical(instance).batchable
-            for instance in instances
-        ):
-            return [self.run(instance) for instance in instances]
         return run_plan_batch(
             self.plan, instances, self.functions, chunk_size,
             stack_cache=self._stack_cache, ragged=ragged,
+            backend=self.backend,
         )
 
     def stack_cache_info(self):

@@ -139,6 +139,16 @@ class CostModel:
         """Fixed per-op dispatch cost, in the profile's units."""
         return self.profile.op_overhead
 
+    def amortized_overhead(self, batch_size: int) -> float:
+        """Per-instance share of the fixed dispatch cost at batch width ``B``.
+
+        A batched execution pays each kernel-call and conversion overhead
+        once for the whole batch, so per instance it shrinks as ``1/B`` —
+        which is what lets a borderline mixed plan (whose conversions are
+        mostly fixed cost) flip to sparse or mixed at batch time.
+        """
+        return self.op_overhead / max(1, int(batch_size))
+
 
 #: The uncalibrated model behind the module-level helper functions.
 _DEFAULT_MODEL = CostModel()

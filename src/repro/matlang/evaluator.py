@@ -514,6 +514,24 @@ def _batch_chunk_size(instance: Instance) -> int:
     return max(1, BATCH_CHUNK_ENTRY_BUDGET // largest)
 
 
+#: Cap on the *stored* entries of one block-diagonal CSR operand per batch
+#: chunk (~4M nnz).  The sparse lane's memory scales with nnz, not with the
+#: dense ``rows * cols`` envelope, so a sparse bucket packs far more
+#: instances per kernel call than the dense budget would allow — which is
+#: most of the point of batching it.
+SPARSE_BATCH_NNZ_BUDGET = 1 << 22
+
+
+def _sparse_batch_chunk_size(instance) -> int:
+    """Instances per chunk keeping stacked CSR inputs under the nnz budget."""
+    zero = instance.semiring.zero
+    largest = 1
+    for name in instance.schema.variables():
+        matrix = instance.matrix(name)
+        largest = max(largest, int(np.count_nonzero(matrix != zero)))
+    return max(1, SPARSE_BATCH_NNZ_BUDGET // largest)
+
+
 # ----------------------------------------------------------------------
 # Ragged-bucket merging (padded batching)
 # ----------------------------------------------------------------------
@@ -711,16 +729,18 @@ def run_plan_batch(
     chunk_size: Optional[int] = None,
     stack_cache: Optional[StackCache] = None,
     ragged: bool = True,
+    backend: Optional[str] = None,
 ) -> List[np.ndarray]:
     """Execute a compiled plan over many instances with batched kernels.
 
     Instances are bucketed by semiring and dimension assignment (a batch
     must agree on both), each bucket is chunked to at most ``chunk_size``
-    instances (default: derived from :data:`BATCH_CHUNK_ENTRY_BUDGET`), and
-    each chunk runs the plan once over the whole stack on a
-    :class:`~repro.semiring.backends.BatchedDenseBackend`.  Results come
-    back in input order, one defensive copy per instance — entrywise
-    identical to running the plan per instance on the dense backend.
+    instances (default: derived from :data:`BATCH_CHUNK_ENTRY_BUDGET` for
+    the dense lane, :data:`SPARSE_BATCH_NNZ_BUDGET` for the block-diagonal
+    CSR lane), and each chunk runs the plan once over the whole batch on
+    the batched backend(s) the physical planner picks.  Results come back
+    in input order, one defensive copy per instance — entrywise identical
+    to running the plan per instance.
 
     With ``ragged`` (the default), *near-miss* buckets — same semiring,
     same dimension symbols, sizes within :data:`RAGGED_PAD_LIMIT` of the
@@ -740,9 +760,21 @@ def run_plan_batch(
     instance objects skip the per-call re-stacking entirely.  Padded
     groups bypass the cache (their padded views are rebuilt per call, so
     entries could never hit).
-    """
-    from repro.semiring.backends import BatchedDenseBackend
 
+    Each group picks its execution lane through the physical planner
+    (costed at the group's batch width): a dense stack, one block-diagonal
+    CSR batch (sparse-selected reachability / shortest-path sweeps), or a
+    mixed per-op assignment with whole-batch conversions at representation
+    boundaries.  All three lanes return entrywise-identical results;
+    ``backend="dense"`` pins the dense lane (the historical behaviour).
+    """
+    from repro.semiring.backends import batched_backends_for, plan_physical
+
+    if backend not in (None, "auto", "dense"):
+        raise EvaluationError(
+            f"run_plan_batch lanes are adaptive or dense, got backend {backend!r}; "
+            "pinned non-dense workloads run per instance (see CompiledWorkload)"
+        )
     instances = list(instances)
     results: List[Optional[np.ndarray]] = [None] * len(instances)
     buckets: "OrderedDict[Any, List[int]]" = OrderedDict()
@@ -763,20 +795,42 @@ def run_plan_batch(
             ]
             cache = None
         representative = batch_instances[0]
-        limit = chunk_size if chunk_size is not None else _batch_chunk_size(representative)
+        # Lane selection on the unpadded representative (padding only adds
+        # semiring zeros, so the original densities are the honest signal),
+        # costed at the group's width so per-batch fixed costs amortize.
+        origin = instances[positions[0]]
+        exec_plan, default_tag, tags = plan, "dense", ("dense",)
+        mode = "dense"
+        if backend in (None, "auto"):
+            physical = plan_physical(plan, origin, None, batch_size=len(positions))
+            mode = physical.batch_mode or "dense"
+            if mode != "dense":
+                exec_plan = physical.plan
+                default_tag = physical.default_tag
+                tags = tuple(physical.backends)
+        if chunk_size is not None:
+            limit = chunk_size
+        elif mode == "sparse":
+            limit = _sparse_batch_chunk_size(origin)
+        else:
+            limit = _batch_chunk_size(representative)
         if limit < 1:
             raise EvaluationError(f"batch chunk size must be positive, got {limit!r}")
+        result_tag = exec_plan.ops[exec_plan.result].backend or default_tag
         for start in range(0, len(positions), limit):
             chunk = positions[start : start + limit]
-            backend = BatchedDenseBackend(representative.semiring, len(chunk))
+            backends_map = batched_backends_for(
+                representative.semiring, len(chunk), tags
+            )
             value = execute_plan_batch(
-                plan,
-                backend,
+                exec_plan,
+                backends_map[default_tag],
                 batch_instances[start : start + limit],
                 functions,
                 stack_cache=cache,
+                backends=backends_map,
             )
-            stacked = backend.to_dense(value)
+            stacked = backends_map[result_tag].to_dense(value)
             for offset, position in enumerate(chunk):
                 if target is None:
                     results[position] = stacked[offset].copy()

@@ -231,18 +231,33 @@ class Plan:
             sections.append("physical plan:")
             sections.extend(f"  {note}" for note in physical.notes)
             default = physical.default_tag
+            mode = physical.batch_mode
+            batch_labels = {
+                "dense": "dense-stack",
+                "sparse": "block-diag CSR",
+            }
+            if mode is None:
+                sections.append("  batch execution: per-instance fallback")
+            else:
+                sections.append(f"  batch execution: {mode}")
             for register, op in enumerate(physical.plan.ops):
                 assigned = op.backend or default
+                if mode is None:
+                    batched = "per-instance fallback"
+                else:
+                    batched = batch_labels.get(assigned, assigned)
                 if op.opcode in ("to_dense", "to_sparse"):
                     source = op.name or default
                     sections.append(
                         f"  r{register} {op.opcode}: {source} -> {assigned} "
-                        "(inserted conversion)"
+                        f"(inserted conversion) [batch: {batched}]"
                     )
                     continue
                 if op.opcode == "apply":
                     assigned = f"{assigned} (dense round-trip)"
-                sections.append(f"  r{register} {op.opcode}: {assigned}")
+                sections.append(
+                    f"  r{register} {op.opcode}: {assigned} [batch: {batched}]"
+                )
         return "\n".join(sections)
 
 
@@ -592,26 +607,40 @@ class _BatchRuntime(_Runtime):
         instances: Any,
         functions: Any,
         stack_cache: Optional["StackCache"] = None,
+        backends: Any = None,
     ) -> None:
-        super().__init__(backend=backend, instance=instances[0], functions=functions)
+        super().__init__(
+            backend=backend,
+            instance=instances[0],
+            functions=functions,
+            backends=backends,
+        )
         self.instances = instances
         self._load_cache: dict = {}
         self._stack_cache = stack_cache
         self._batch_token = tuple(id(instance) for instance in instances)
 
-    def load(self, name: str) -> Any:
-        value = self._load_cache.get(name)
+    def load(self, name: str, backend: Any = None) -> Any:
+        if backend is None:
+            backend = self.backend
+        # Stacks are representation-specific (dense (B, r, c) arrays vs
+        # block-diagonal CSR), so the cache key carries the backend name: a
+        # mixed plan loading one variable on both representations — or a
+        # profile flip re-running the same instances on the other lane —
+        # must never see the other lane's stack.
+        key = f"{name}@{backend.name}"
+        value = self._load_cache.get(key)
         if value is not None:
             return value
         if self._stack_cache is not None:
-            value = self._stack_cache.lookup(name, self._batch_token, self.instances)
+            value = self._stack_cache.lookup(key, self._batch_token, self.instances)
         if value is None:
-            value = self.backend.stack_instance_matrices(
+            value = backend.stack_instance_matrices(
                 instance.matrix(name) for instance in self.instances
             )
             if self._stack_cache is not None:
-                self._stack_cache.store(name, self._batch_token, self.instances, value)
-        self._load_cache[name] = value
+                self._stack_cache.store(key, self._batch_token, self.instances, value)
+        self._load_cache[key] = value
         return value
 
 
@@ -661,7 +690,14 @@ class StackCache:
 
     @staticmethod
     def _size_of(value: Any) -> int:
-        return int(getattr(value, "nbytes", 0))
+        nbytes = getattr(value, "nbytes", None)
+        if nbytes is not None:
+            return int(nbytes)
+        # Block-diagonal CSR stacks: sum the constituent index/data arrays.
+        return sum(
+            int(getattr(getattr(value, field, None), "nbytes", 0))
+            for field in ("data", "indices", "indptr")
+        )
 
     def lookup(self, name: str, token: Tuple, instances: Any) -> Optional[Any]:
         with self._lock:
@@ -709,16 +745,24 @@ def execute_plan_batch(
     instances: Any,
     functions: Any,
     stack_cache: Optional[StackCache] = None,
+    backends: Any = None,
 ) -> Any:
     """Run ``plan`` once over a whole batch of same-shape instances.
 
-    ``backend`` must be a batch-capable backend (a
-    :class:`~repro.semiring.backends.BatchedDenseBackend`) whose
-    ``batch_size`` equals ``len(instances)``.  All instances must share the
-    semiring and assign identical dimensions to every size symbol — callers
-    with mixed sweeps bucket first (see ``CompiledWorkload.run_batch``).
-    Returns a backend value stacking one result per instance; callers
-    convert through ``backend.to_dense`` and split along the leading axis.
+    ``backend`` must be a batch-capable backend — a
+    :class:`~repro.semiring.backends.BatchedDenseBackend` over ``(B, rows,
+    cols)`` stacks or a block-diagonal CSR backend from
+    :func:`~repro.semiring.backends.batched_sparse_backend` — whose
+    ``batch_size`` equals ``len(instances)``.  Plans carrying per-op
+    physical tags additionally need ``backends``, a tag -> batched-backend
+    map covering every tag the plan uses (see
+    ``PhysicalPlan.batched_backends``); inserted ``to_dense`` /
+    ``to_sparse`` conversion ops then cross representations on the whole
+    batch at once.  All instances must share the semiring and assign
+    identical dimensions to every size symbol — callers with mixed sweeps
+    bucket first (see ``CompiledWorkload.run_batch``).  Returns a backend
+    value stacking one result per instance; callers convert through the
+    result backend's ``to_dense`` and split along the leading axis.
     """
     instances = list(instances)
     if not instances:
@@ -745,6 +789,7 @@ def execute_plan_batch(
         instances=instances,
         functions=functions,
         stack_cache=stack_cache,
+        backends=backends,
     )
     return _run_batch(plan, runtime, (), None, None)
 
@@ -755,22 +800,37 @@ def _run_batch(
     captured: Tuple[Any, ...],
     iterator: Any,
     accumulator: Any,
+    default: Any = None,
 ) -> Any:
     """The batched twin of :func:`_run`.
 
-    Identical op dispatch, with three systematic changes: values carry a
-    leading batch axis (so shape inspections shift by one), variable loads
-    stack the whole batch, and ``scale`` factors are ``(B, 1, 1)`` stacks of
-    per-instance scalars.  Loop structure is unchanged — which is the point:
-    a loop body evaluates once per iteration for the entire batch.
+    Identical op dispatch — including per-op physical-tag dispatch through
+    ``runtime.backends`` and whole-batch conversion ops — with three
+    systematic changes: values carry the batch (as a leading axis on dense
+    stacks, as block-diagonal structure on CSR values; shape inspections go
+    through ``backend.batch_shape``), variable loads stack the whole batch
+    per representation, and ``scale`` factors are batches of per-instance
+    scalars.  Loop structure is unchanged — which is the point: a loop body
+    evaluates once per iteration for the entire batch.
     """
-    backend = runtime.backend
+    if default is None:
+        default = runtime.backend
+    backends = runtime.backends
     values: List[Any] = []
     append = values.append
-    batch = backend.batch_size
 
     for op in plan.ops:
         opcode = op.opcode
+        tag = op.backend
+        if tag is None:
+            backend = default
+        else:
+            backend = None if backends is None else backends.get(tag)
+            if backend is None:
+                raise EvaluationError(
+                    f"plan op {opcode!r} is tagged for backend {tag!r}, which "
+                    "the supplied batched backend map does not provide"
+                )
 
         if opcode == "matmul":
             append(backend.matmul(values[op.inputs[0]], values[op.inputs[1]]))
@@ -780,16 +840,16 @@ def _run_batch(
             append(backend.hadamard(values[op.inputs[0]], values[op.inputs[1]]))
         elif opcode == "scale":
             factor = values[op.inputs[0]]
-            if factor.shape != (batch, 1, 1):
+            if backend.batch_shape(factor) != (1, 1):
                 raise EvaluationError(
                     f"scalar multiplication expects 1x1 left operands, got "
-                    f"per-instance shape {factor.shape[1:]}"
+                    f"per-instance shape {backend.batch_shape(factor)}"
                 )
             append(backend.scale(factor, values[op.inputs[1]]))
         elif opcode == "transpose":
             append(backend.transpose(values[op.inputs[0]]))
         elif opcode == "load":
-            append(runtime.load(op.name))
+            append(runtime.load(op.name, backend))
         elif opcode == "const":
             append(backend.constant(op.value))
         elif opcode == "iterator":
@@ -803,26 +863,26 @@ def _run_batch(
         elif opcode == "capture":
             append(captured[op.value])
         elif opcode == "ones":
-            append(backend.ones(values[op.inputs[0]].shape[1], 1))
+            append(backend.ones(backend.batch_shape(values[op.inputs[0]])[0], 1))
         elif opcode == "ones_type":
             rows, cols = runtime.shape(op.type, "a fused ones matrix")
             append(backend.ones(rows, cols))
         elif opcode == "identity_of":
-            append(backend.identity(values[op.inputs[0]].shape[1]))
+            append(backend.identity(backend.batch_shape(values[op.inputs[0]])[0]))
         elif opcode == "identity_sym":
             append(backend.identity(runtime.dimension(op.symbol, "a fused identity")))
         elif opcode == "diag":
             operand = values[op.inputs[0]]
-            if operand.shape[2] != 1:
+            if backend.batch_shape(operand)[1] != 1:
                 raise EvaluationError(
                     f"diag expects column vectors, got per-instance shape "
-                    f"{operand.shape[1:]}"
+                    f"{backend.batch_shape(operand)}"
                 )
             append(backend.diag(operand))
         elif opcode == "apply":
             append(_run_apply(op, values, runtime, backend))
         elif opcode == "loop":
-            append(_run_loop_batch(op, values, runtime))
+            append(_run_loop_batch(op, values, runtime, backend))
         elif opcode == "nsum":
             count = runtime.dimension(op.symbol, "a fused quantifier")
             append(backend.nsum(values[op.inputs[0]], count))
@@ -843,18 +903,32 @@ def _run_batch(
             count = runtime.dimension(op.symbol, "a fused Hadamard quantifier")
             append(backend.hadamard_power(values[op.inputs[0]], count))
         elif opcode in ("to_dense", "to_sparse"):
-            raise EvaluationError(
-                "mixed-backend plans (with inserted conversion ops) cannot "
-                "execute on the batched backend; run them per instance"
-            )
+            # Physical-planner conversion on the whole batch: the source
+            # backend renders its stack dense (``(B, rows, cols)``) and the
+            # target backend lifts it — one crossing per batch, not per
+            # instance.
+            if op.name is None:
+                source = default
+            else:
+                source = None if backends is None else backends.get(op.name)
+                if source is None:
+                    raise EvaluationError(
+                        f"conversion op {opcode!r} names source backend "
+                        f"{op.name!r}, which the batched backend map does "
+                        "not provide"
+                    )
+            append(backend.from_dense(source.to_dense(values[op.inputs[0]])))
         else:  # pragma: no cover - the compiler only emits known opcodes
             raise EvaluationError(f"unknown plan opcode {opcode!r}")
 
     return values[plan.result]
 
 
-def _run_loop_batch(op: PlanOp, values: List[Any], runtime: _BatchRuntime) -> Any:
-    backend = runtime.backend
+def _run_loop_batch(
+    op: PlanOp, values: List[Any], runtime: _BatchRuntime, backend: Any = None
+) -> Any:
+    if backend is None:
+        backend = runtime.backend
     count = runtime.dimension(op.symbol, "a loop iterator")
     captured = tuple(values[register] for register in op.captures)
     body = op.body
@@ -867,7 +941,9 @@ def _run_loop_batch(op: PlanOp, values: List[Any], runtime: _BatchRuntime) -> An
             accumulator = backend.zeros(rows, cols)
         for index in range(count):
             iterator = backend.basis_column(count, index)
-            accumulator = _run_batch(body, runtime, captured, iterator, accumulator)
+            accumulator = _run_batch(
+                body, runtime, captured, iterator, accumulator, backend
+            )
         return accumulator
 
     if op.kind == "sum":
@@ -882,7 +958,7 @@ def _run_loop_batch(op: PlanOp, values: List[Any], runtime: _BatchRuntime) -> An
     accumulator = None
     for index in range(count):
         iterator = backend.basis_column(count, index)
-        value = _run_batch(body, runtime, captured, iterator, None)
+        value = _run_batch(body, runtime, captured, iterator, None, backend)
         accumulator = value if accumulator is None else combine(accumulator, value)
     if accumulator is None:  # pragma: no cover - dimensions are always >= 1
         raise EvaluationError("quantifier iterated over an empty dimension")

@@ -73,6 +73,8 @@ __all__ = [
     "AUTO_SPARSE_MAX_DENSITY",
     "AUTO_SPARSE_MIN_DIMENSION",
     "BatchedDenseBackend",
+    "BatchedSparseBooleanBackend",
+    "BatchedSparseTropicalBackend",
     "DenseExecutionBackend",
     "ExecutionBackend",
     "InstanceStatistics",
@@ -82,6 +84,8 @@ __all__ = [
     "SparseTropicalBackend",
     "available_backends",
     "backend_for",
+    "batched_backends_for",
+    "batched_sparse_backend",
     "instance_statistics",
     "plan_physical",
     "register_backend",
@@ -367,6 +371,10 @@ class BatchedDenseBackend(ExecutionBackend):
             )
         return np.stack(matrices)
 
+    def batch_shape(self, value: np.ndarray) -> Tuple[int, int]:
+        """Per-instance ``(rows, cols)`` of one batched value."""
+        return value.shape[1], value.shape[2]
+
     # -- constructors ----------------------------------------------------
     def zeros(self, rows: int, cols: int) -> np.ndarray:
         return self._broadcast(self.kernels.zeros(rows, cols))
@@ -480,6 +488,17 @@ class _SparseCSRBackend(ExecutionBackend):
                 f"cannot {operation} matrices of shapes {left.shape} and {right.shape}"
             )
 
+    @staticmethod
+    def _empty(rows: int, cols: int) -> Any:
+        """An all-implicit CSR value of *raw* (stored) shape.
+
+        Internal result paths must build empties through this rather than
+        ``self.zeros``: the batched subclasses redefine ``zeros`` to take
+        per-block shapes, but the inherited kernels already hold the full
+        (block-diagonal) shape of their result.
+        """
+        return _sparse.csr_matrix((rows, cols), dtype=np.float64)
+
 
 class SparseBooleanBackend(_SparseCSRBackend):
     """CSR-matrix values for the boolean semiring (reachability workloads).
@@ -548,7 +567,7 @@ class SparseBooleanBackend(_SparseCSRBackend):
     def scale(self, factor: Any, operand: Any) -> Any:
         if bool(factor.toarray()[0, 0]):
             return operand.copy()
-        return self.zeros(*operand.shape)
+        return self._empty(*operand.shape)
 
     def transpose(self, value: Any) -> Any:
         return value.transpose().tocsr()
@@ -584,7 +603,7 @@ class SparseBooleanBackend(_SparseCSRBackend):
         # Boolean addition is idempotent: n >= 1 copies of e are just e.
         if count >= 1:
             return value.copy()
-        return self.zeros(*value.shape)
+        return self._empty(*value.shape)
 
     def hadamard_power(self, value: Any, count: int) -> Any:
         if count < 1:
@@ -653,7 +672,7 @@ class SparseTropicalBackend(_SparseCSRBackend):
     def _from_coo_reduced(self, rows, cols, data, shape, reducer) -> Any:
         """Build a CSR matrix, combining duplicate cells with ``reducer``."""
         if len(data) == 0:
-            return self.zeros(*shape)
+            return self._empty(*shape)
         keys = rows.astype(np.int64) * shape[1] + cols
         order = np.argsort(keys, kind="stable")
         keys = keys[order]
@@ -705,7 +724,7 @@ class SparseTropicalBackend(_SparseCSRBackend):
         left = left.tocsr()
         right = right.tocsr()
         if left.nnz == 0 or right.nnz == 0:
-            return self.zeros(*shape)
+            return self._empty(*shape)
         # spgemm expansion: pair every stored (i, k) with the stored row k of
         # the right operand through one flat gather.
         left_rows = np.repeat(np.arange(shape[0]), np.diff(left.indptr))
@@ -713,7 +732,7 @@ class SparseTropicalBackend(_SparseCSRBackend):
         counts = right.indptr[left.indices + 1] - starts
         total = int(counts.sum())
         if total == 0:
-            return self.zeros(*shape)
+            return self._empty(*shape)
         exclusive = np.cumsum(counts) - counts
         gather = np.arange(total) - np.repeat(exclusive, counts) + np.repeat(starts, counts)
         rows = np.repeat(left_rows, counts)
@@ -761,7 +780,7 @@ class SparseTropicalBackend(_SparseCSRBackend):
             return_indices=True,
         )
         if len(common) == 0:
-            return self.zeros(*left.shape)
+            return self._empty(*left.shape)
         data = left.data[left_at] + right.data[right_at]
         cols_count = left.shape[1]
         return _sparse.csr_matrix(
@@ -771,7 +790,7 @@ class SparseTropicalBackend(_SparseCSRBackend):
     def scale(self, factor: Any, operand: Any) -> Any:
         value = float(self.to_dense(factor)[0, 0])
         if value == self._zero:
-            return self.zeros(*operand.shape)
+            return self._empty(*operand.shape)
         result = operand.tocsr(copy=True)
         result.data = result.data + value
         return result
@@ -841,6 +860,245 @@ def _sparse_backend(semiring: Semiring) -> ExecutionBackend:
     if semiring.name == "boolean":
         return SparseBooleanBackend(semiring)
     return SparseTropicalBackend(semiring)
+
+
+class _BatchedSparseCSRBackend(_SparseCSRBackend):
+    """Block-diagonal CSR batching over the single-instance sparse kernels.
+
+    A batch of ``B`` sparse ``(rows, cols)`` instances is one
+    ``(B*rows, B*cols)`` block-diagonal CSR matrix: instance ``b`` occupies
+    rows ``[b*rows, (b+1)*rows)`` and columns ``[b*cols, (b+1)*cols)``.
+    Block-diagonal structure is closed under every combining operation the
+    plan executor uses — matmul and the repeated-squaring power ladder
+    (blocks compose pairwise, cross-block products never meet), add and
+    hadamard (entrywise), transpose — so the inherited single-matrix
+    spgemm / union-min / intersection-plus kernels run verbatim on the big
+    operand and one kernel call covers the whole batch.  Only the
+    constructors (which take per-block shapes), the reductions (which must
+    stay block-local), scalar broadcasting, and the dense conversions need
+    the block-aware overrides below.
+
+    Scalar results are ``(B, B)`` diagonal matrices — the block-diagonal
+    embedding of B per-instance ``1 x 1`` values — so ``trace`` feeding
+    ``scale`` composes exactly like it does per instance.
+    """
+
+    name = "sparse-batched"
+
+    def __init__(self, semiring: Semiring, batch_size: int) -> None:
+        if batch_size < 1:
+            raise SemiringError(
+                f"batch size must be a positive integer, got {batch_size!r}"
+            )
+        super().__init__(semiring)
+        self.batch_size = int(batch_size)
+
+    # -- block bookkeeping ------------------------------------------------
+    def batch_shape(self, value: Any) -> Tuple[int, int]:
+        """Per-instance ``(rows, cols)`` of one block-diagonal value."""
+        rows, cols = value.shape
+        return rows // self.batch_size, cols // self.batch_size
+
+    def _scalar_diagonal(self, values: np.ndarray) -> Any:
+        """The batch of per-instance scalars as a ``(B, B)`` diagonal CSR."""
+        values = np.asarray(values, dtype=np.float64)
+        stored = np.flatnonzero(values != self.semiring.zero)
+        return _sparse.csr_matrix(
+            (values[stored], (stored, stored)),
+            shape=(self.batch_size, self.batch_size),
+        )
+
+    # -- representation --------------------------------------------------
+    def from_dense(self, matrix: np.ndarray) -> Any:
+        array = np.asarray(matrix)
+        if array.ndim == 2:
+            # One matrix shared by the whole batch: replicate along the
+            # diagonal (the sparse analogue of the dense stride-0 broadcast).
+            block = super().from_dense(array)
+            return _sparse.block_diag([block] * self.batch_size, format="csr")
+        if array.ndim != 3 or array.shape[0] != self.batch_size:
+            raise SemiringError(
+                f"batched sparse backend of size {self.batch_size} cannot lift "
+                f"an array of shape {array.shape}; expected (rows, cols) or "
+                f"({self.batch_size}, rows, cols)"
+            )
+        stack = self.semiring.kernels.ensure_storage(array)
+        batch, rows, cols = stack.shape
+        b, i, j = np.nonzero(stack != self.semiring.zero)
+        data = np.asarray(stack[b, i, j], dtype=np.float64)
+        return _sparse.csr_matrix(
+            (data, (b * rows + i, b * cols + j)),
+            shape=(batch * rows, batch * cols),
+        )
+
+    def to_dense(self, value: Any) -> np.ndarray:
+        rows, cols = self.batch_shape(value)
+        stack = np.full(
+            (self.batch_size, rows, cols),
+            self.semiring.zero,
+            dtype=self.semiring.kernels.dtype,
+        )
+        coo = value.tocoo()
+        if coo.nnz:
+            b = coo.row // rows
+            stack[b, coo.row - b * rows, coo.col - b * cols] = coo.data
+        return stack
+
+    def stack_instance_matrices(self, matrices) -> Any:
+        """Assemble one carrier-validated matrix per instance block-diagonally.
+
+        ``np.stack`` rejects shape mismatches, which is the correct error for
+        a batch whose instances were bucketed inconsistently.
+        """
+        matrices = list(matrices)
+        if len(matrices) != self.batch_size:
+            raise SemiringError(
+                f"expected {self.batch_size} matrices to stack, got {len(matrices)}"
+            )
+        return self.from_dense(np.stack(matrices))
+
+    # -- constructors (per-block shapes in, block-diagonal values out) ----
+    def zeros(self, rows: int, cols: int) -> Any:
+        return self._empty(rows * self.batch_size, cols * self.batch_size)
+
+    def ones(self, rows: int, cols: int) -> Any:
+        block = super().ones(rows, cols)
+        return _sparse.block_diag([block] * self.batch_size, format="csr")
+
+    def identity(self, size: int) -> Any:
+        # The big identity *is* the block-diagonal stack of B identities.
+        return super().identity(size * self.batch_size)
+
+    def basis_column(self, size: int, index: int) -> Any:
+        column = super().basis_column(size, index)
+        return _sparse.block_diag([column] * self.batch_size, format="csr")
+
+    # -- block-local reductions ------------------------------------------
+    def diag(self, column: Any) -> Any:
+        # ``column`` is a (B*rows, B) block-diagonal column stack: entry
+        # (i, i // rows).  Placing each stored entry at (i, i) is exactly
+        # the per-block diag, and implicit cells stay implicit.
+        size = column.shape[0]
+        coo = column.tocoo()
+        return _sparse.csr_matrix(
+            (coo.data, (coo.row, coo.row)), shape=(size, size)
+        )
+
+
+class BatchedSparseBooleanBackend(_BatchedSparseCSRBackend, SparseBooleanBackend):
+    """Block-diagonal CSR batching for the boolean semiring."""
+
+    name = "sparse-batched"
+
+    def scale(self, factor: Any, operand: Any) -> Any:
+        rows, _ = self.batch_shape(operand)
+        keep_block = np.zeros(self.batch_size, dtype=bool)
+        fcoo = factor.tocoo()
+        keep_block[fcoo.row] = fcoo.data != 0
+        coo = operand.tocoo()
+        keep = keep_block[coo.row // max(rows, 1)]
+        return _sparse.csr_matrix(
+            (coo.data[keep], (coo.row[keep], coo.col[keep])),
+            shape=operand.shape,
+        )
+
+    def row_sums(self, value: Any) -> Any:
+        rows, _ = self.batch_shape(value)
+        hit = np.flatnonzero(np.asarray(value.sum(axis=1)).ravel())
+        return _sparse.csr_matrix(
+            (np.ones(len(hit), dtype=np.float64), (hit, hit // max(rows, 1))),
+            shape=(value.shape[0], self.batch_size),
+        )
+
+    def col_sums(self, value: Any) -> Any:
+        _, cols = self.batch_shape(value)
+        hit = np.flatnonzero(np.asarray(value.sum(axis=0)).ravel())
+        return _sparse.csr_matrix(
+            (np.ones(len(hit), dtype=np.float64), (hit // max(cols, 1), hit)),
+            shape=(self.batch_size, value.shape[1]),
+        )
+
+    def trace(self, value: Any) -> Any:
+        rows, _ = self.batch_shape(value)
+        per_block = (value.diagonal() != 0).reshape(self.batch_size, rows)
+        return self._scalar_diagonal(np.any(per_block, axis=1).astype(np.float64))
+
+    def diag_product(self, value: Any) -> Any:
+        rows, _ = self.batch_shape(value)
+        per_block = (value.diagonal() != 0).reshape(self.batch_size, rows)
+        return self._scalar_diagonal(np.all(per_block, axis=1).astype(np.float64))
+
+
+class BatchedSparseTropicalBackend(_BatchedSparseCSRBackend, SparseTropicalBackend):
+    """Block-diagonal CSR batching for min-plus / max-plus."""
+
+    name = "sparse-batched"
+
+    def scale(self, factor: Any, operand: Any) -> Any:
+        rows, _ = self.batch_shape(operand)
+        scalars = np.full(self.batch_size, self._zero, dtype=np.float64)
+        fcoo = factor.tocoo()
+        scalars[fcoo.row] = fcoo.data
+        coo = operand.tocoo()
+        block = scalars[coo.row // max(rows, 1)]
+        keep = block != self._zero
+        return _sparse.csr_matrix(
+            (coo.data[keep] + block[keep], (coo.row[keep], coo.col[keep])),
+            shape=operand.shape,
+        )
+
+    def row_sums(self, value: Any) -> Any:
+        rows, _ = self.batch_shape(value)
+        sums = self._axis_reduced(value.tocsr())
+        stored = np.flatnonzero(sums != self._zero)
+        return _sparse.csr_matrix(
+            (sums[stored], (stored, stored // max(rows, 1))),
+            shape=(value.shape[0], self.batch_size),
+        )
+
+    def trace(self, value: Any) -> Any:
+        rows, _ = self.batch_shape(value)
+        per_block = self._diagonal(value).reshape(self.batch_size, rows)
+        if rows == 0:
+            values = np.full(self.batch_size, self._zero, dtype=np.float64)
+        else:
+            values = self._reduce(per_block, axis=1)
+        return self._scalar_diagonal(values)
+
+    def diag_product(self, value: Any) -> Any:
+        rows, _ = self.batch_shape(value)
+        per_block = self._diagonal(value).reshape(self.batch_size, rows)
+        # One implicit (infinite) diagonal entry annihilates its block's
+        # product — float summation delivers exactly that per row.
+        return self._scalar_diagonal(per_block.sum(axis=1))
+
+
+def batched_sparse_backend(semiring: Semiring, batch_size: int) -> ExecutionBackend:
+    """Block-diagonal CSR batch backend, representation picked by semiring."""
+    if semiring.name == "boolean":
+        return BatchedSparseBooleanBackend(semiring, batch_size)
+    return BatchedSparseTropicalBackend(semiring, batch_size)
+
+
+def batched_backends_for(
+    semiring: Semiring, batch_size: int, tags=("dense",)
+) -> Dict[str, "ExecutionBackend"]:
+    """Batched backend instances for the physical tags ``tags``.
+
+    The mapping feeds :func:`repro.matlang.ir.execute_plan_batch`: untagged
+    ops run on the first tag's backend, conversion ops cross between them.
+    """
+    mapping: Dict[str, ExecutionBackend] = {}
+    for tag in tags:
+        if tag == "dense":
+            mapping[tag] = BatchedDenseBackend(semiring, batch_size)
+        elif tag == "sparse":
+            mapping[tag] = batched_sparse_backend(semiring, batch_size)
+        else:
+            raise SemiringError(
+                f"no batched execution backend for tag {tag!r}"
+            )
+    return mapping
 
 
 # ----------------------------------------------------------------------
@@ -1094,9 +1352,41 @@ class PhysicalPlan:
         return len(self.backends) > 1
 
     @property
+    def batch_mode(self) -> Optional[str]:
+        """How this plan can join a batched execution.
+
+        ``"dense"`` — stacked ``(B, rows, cols)`` arrays; ``"sparse"`` —
+        one block-diagonal CSR per operand; ``"mixed"`` — both, with the
+        spliced conversion ops crossing representations on the whole
+        batch; ``None`` — a custom registered backend is involved, so the
+        plan must run per instance.
+        """
+        tags = set(self.backends)
+        sparse = self.backends.get("sparse")
+        if sparse is not None and not isinstance(sparse, _SparseCSRBackend):
+            return None
+        if tags == {"dense"}:
+            return "dense"
+        if tags == {"sparse"}:
+            return "sparse"
+        if tags == {"dense", "sparse"}:
+            return "mixed"
+        return None
+
+    @property
     def batchable(self) -> bool:
-        """Whether this plan can join a dense batched execution."""
-        return not self.mixed and self.default_tag == "dense"
+        """Whether this plan can join a batched execution (any mode)."""
+        return self.batch_mode is not None
+
+    def batched_backends(self, batch_size: int) -> Dict[str, ExecutionBackend]:
+        """Live batched backends for every tag this plan's ops use."""
+        if self.batch_mode is None:
+            raise SemiringError(
+                "the plan uses a backend with no batched counterpart"
+            )
+        return batched_backends_for(
+            self.backend.semiring, batch_size, tuple(self.backends)
+        )
 
     @property
     def result_backend(self) -> ExecutionBackend:
@@ -1313,6 +1603,7 @@ def plan_physical(
     requested=None,
     statistics: Optional[InstanceStatistics] = None,
     profile=None,
+    batch_size: int = 1,
 ) -> PhysicalPlan:
     """Assign an execution backend to every op of ``plan`` for ``instance``.
 
@@ -1330,6 +1621,13 @@ def plan_physical(
 
     Uniform outcomes return the caller's plan object untouched, so plan
     identity (caches, batch grouping) is preserved exactly as before.
+
+    ``batch_size`` costs the plan as one member of a batched execution of
+    that width: fixed per-kernel-call overheads (conversion dispatch above
+    all) are paid once per batch, so their per-instance share shrinks as
+    ``1/B`` and borderline plans flip to the representation the batch
+    amortizes — a group of sparse instances keeps its sparse (or mixed)
+    assignment where per-instance costing would have rounded it to dense.
     """
     semiring = instance.semiring
     if requested is not None and requested != "auto":
@@ -1420,7 +1718,7 @@ def plan_physical(
         )
 
     convert_unit = model.unit("convert")
-    overhead = model.op_overhead
+    overhead = model.amortized_overhead(batch_size)
     conversion_cost = [
         max(1.0, coster.shape(op)[0] * coster.shape(op)[1]) * convert_unit + overhead
         for op in ops

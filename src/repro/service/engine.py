@@ -19,12 +19,13 @@ Results are **bitwise-equal** to evaluating each request sequentially with
 
 * batched dense execution is bitwise-equal to per-instance dense execution
   (the PR 3 invariant, asserted across every registered semiring);
-* requests whose per-op physical plan is not purely dense (sparse boolean /
-  tropical instances, or mixed sparse-prefix/dense-epilogue plans with
-  inserted conversion ops) never join a stacked batch — they fall back to
-  per-instance execution on exactly the plan
-  :func:`repro.semiring.backends.plan_physical` assigns, so the engine's
-  answer matches the single-caller answer op-for-op;
+* sparse-selected and mixed (conversion-carrying) groups batch too: the
+  group assembles into one block-diagonal CSR operand per input and every
+  plan op runs once over the whole batch — block structure is closed under
+  each combine op, so the stacked answer is bitwise-equal to running each
+  request on its own sparse/mixed physical plan; only requests assigned a
+  custom (caller-registered) backend, or pinned to a non-dense backend,
+  still fall back to per-instance execution;
 * ragged coalescing (``CoalescingPolicy(ragged=True)``) only ever merges
   padding-safe plans and slices each result back to its request's true
   shape, so padded execution stays entrywise identical too;
@@ -939,45 +940,82 @@ class Engine:
             self._execute_single(request, physical)
 
     def _dispatch_batched(self, plan: Any, requests: List[QueryRequest]) -> None:
-        from repro.matlang.evaluator import _batch_chunk_size
+        from repro.matlang.evaluator import _batch_chunk_size, _sparse_batch_chunk_size
         from repro.matlang.ir import execute_plan_batch
-        from repro.semiring.backends import BatchedDenseBackend
+        from repro.semiring.backends import batched_backends_for, plan_physical
 
         representative = requests[0].execute_instance
+        # Group-level lane selection profiles the representative's *unpadded*
+        # instance (padded views carry no matrices of their own), with the
+        # per-op overhead amortized over the whole group so borderline mixed
+        # plans flip the same way the batched sweep API does.
+        origin = requests[0].instance
         padded = any(
             request.execute_instance is not request.instance for request in requests
         )
-        limit = max(1, min(self.policy.max_batch, _batch_chunk_size(representative)))
+        mode = "dense"
+        exec_plan = plan
+        default_tag = "dense"
+        tags: Tuple[str, ...] = ("dense",)
+        if self.backend_request is None or self.backend_request == "auto":
+            physical = plan_physical(plan, origin, None, batch_size=len(requests))
+            if physical.batch_mode in ("sparse", "mixed"):
+                mode = physical.batch_mode
+                exec_plan = physical.plan
+                default_tag = physical.default_tag
+                tags = tuple(physical.backends)
+        result_tag = exec_plan.ops[exec_plan.result].backend or default_tag
+
+        if mode == "sparse":
+            # Sparse chunks are bounded by stored entries, not dense slabs:
+            # a block-diagonal batch costs O(total nnz), so the budget scales
+            # with density rather than dimension.
+            limit = max(1, min(self.policy.max_batch, _sparse_batch_chunk_size(origin)))
+        else:
+            limit = max(
+                1, min(self.policy.max_batch, _batch_chunk_size(representative))
+            )
         for start in range(0, len(requests), limit):
             chunk = requests[start : start + limit]
             if len(chunk) == 1:
-                self._execute_single(
-                    chunk[0],
-                    self._dense_physical(plan, representative.semiring),
-                )
+                # A lone request gains nothing from the (B=1) stacked
+                # representation; run it on the plan its own profile picks.
+                if mode == "dense":
+                    single = self._dense_physical(plan, representative.semiring)
+                else:
+                    single = plan_physical(plan, chunk[0].instance, None)
+                self._execute_single(chunk[0], single)
                 continue
-            backend = BatchedDenseBackend(representative.semiring, len(chunk))
+            started = time.perf_counter()
+            backends_map = batched_backends_for(
+                representative.semiring, len(chunk), tags
+            )
             try:
                 value = execute_plan_batch(
-                    plan,
-                    backend,
+                    exec_plan,
+                    backends_map[default_tag],
                     [request.execute_instance for request in chunk],
                     self.functions,
                     # Padded views are rebuilt per scheduling round, so their
                     # stacks can never be re-hit; keep them out of the cache.
                     stack_cache=None if padded else self._stack_cache,
+                    backends=backends_map,
                 )
-                stacked = backend.to_dense(value)
+                stacked = backends_map[result_tag].to_dense(value)
             except Exception:
                 # Rescue pass: one poisoned request (carrier violation,
                 # overflow) must only fail its own future — rerun the chunk
                 # per-instance (unpadded) so each request gets its own
-                # verdict.
+                # verdict.  Per-instance dense is correct on every lane.
                 dense = self._dense_physical(plan, representative.semiring)
                 for request in chunk:
                     self._execute_single(request, dense)
                 continue
             self._stats.record_dispatch(len(chunk), batched=True)
+            if mode != "dense":
+                self._stats.record_sparse_dispatch(
+                    len(chunk), time.perf_counter() - started
+                )
             self._finish_chunk(chunk, stacked, plan=plan, padded=padded)
 
     def _execute_single(self, request: QueryRequest, physical: Any) -> None:
@@ -1007,14 +1045,16 @@ class Engine:
     def _select(self, request: QueryRequest) -> Optional[Any]:
         """Pick how one request executes.
 
-        Returns ``None`` when the request should join a stacked dense batch
-        (per-op planning lands every op on the dense backend, or the caller
-        pinned the ``"dense"`` *name*), and a
-        :class:`~repro.semiring.backends.PhysicalPlan` when the request
-        must run per-instance on it — a uniformly sparse or mixed
-        (conversion-carrying) assignment, or any other pinned backend,
-        including pinned backend *instances*, which are honoured verbatim
-        (:func:`resolve_backend` policy).
+        Returns ``None`` when the request should join a stacked batch —
+        any adaptive assignment over the built-in representations (dense
+        stacks, uniformly sparse block-diagonal CSR, or mixed plans that
+        cross representations mid-plan), or the caller-pinned ``"dense"``
+        *name* — and a :class:`~repro.semiring.backends.PhysicalPlan` when
+        the request must run per-instance on it: a custom backend in the
+        assignment, or any other pinned backend, including pinned backend
+        *instances*, which are honoured verbatim (:func:`resolve_backend`
+        policy).  The lane a joined batch actually runs on is re-decided at
+        dispatch time from the whole group (:meth:`_dispatch_batched`).
 
         Mirrors :meth:`repro.matlang.evaluator.Evaluator.physical` for the
         adaptive case, with the cheap hard gates (semiring capability,

@@ -93,6 +93,15 @@ class EngineStatsSnapshot:
     heartbeat_age: Optional[float] = None
     #: Estimated cost of the current backlog (gauge; admission-control units).
     pending_cost: float = 0.0
+    #: Stacked dispatches executed on the block-diagonal sparse / mixed lane
+    #: (a subset of ``dispatches``; 0 when every batch ran dense).
+    sparse_batches: int = 0
+    #: Requests served through a block-diagonal sparse / mixed batch
+    #: (a subset of ``batched_requests``).
+    sparse_batched_requests: int = 0
+    #: Wall-clock seconds spent assembling and executing block-diagonal
+    #: sparse batches (group stacking through kernel completion).
+    sparse_assembly_seconds: float = 0.0
 
     def render(self) -> str:
         """A one-line human-readable summary (used by benchmarks / examples)."""
@@ -128,6 +137,12 @@ class EngineStatsSnapshot:
             )
         if self.heartbeat_age is not None:
             line += f" hb_age={self.heartbeat_age:.2f}s"
+        if self.sparse_batches:
+            line += (
+                f" sparse_batch={self.sparse_batched_requests}req/"
+                f"{self.sparse_batches} "
+                f"({self.sparse_assembly_seconds * 1e3:.1f}ms)"
+            )
         return line
 
 
@@ -176,6 +191,9 @@ class EngineStats:
         self._quarantine_open = 0
         self._heartbeat_age: Optional[float] = None
         self._pending_cost = 0.0
+        self._sparse_batches = 0
+        self._sparse_batched_requests = 0
+        self._sparse_assembly_seconds = 0.0
 
     # -- mutators (called by the engine) ---------------------------------
     def record_submitted(self, count: int = 1) -> None:
@@ -209,6 +227,18 @@ class EngineStats:
                 self._batched_requests += requests
             else:
                 self._fallback_requests += requests
+
+    def record_sparse_dispatch(self, requests: int, seconds: float) -> None:
+        """One stacked dispatch executed on the block-diagonal sparse lane.
+
+        Called *in addition to* :meth:`record_dispatch` for the same chunk:
+        the sparse counters are a lane-attribution breakdown of the batched
+        totals, not a separate population.
+        """
+        with self._lock:
+            self._sparse_batches += 1
+            self._sparse_batched_requests += requests
+            self._sparse_assembly_seconds += seconds
 
     def record_done(self, latency: float, failed: bool) -> None:
         with self._lock:
@@ -363,4 +393,7 @@ class EngineStats:
                 quarantine_open=self._quarantine_open,
                 heartbeat_age=self._heartbeat_age,
                 pending_cost=self._pending_cost,
+                sparse_batches=self._sparse_batches,
+                sparse_batched_requests=self._sparse_batched_requests,
+                sparse_assembly_seconds=self._sparse_assembly_seconds,
             )

@@ -18,7 +18,12 @@ Covers five concerns:
   boundaries, preserve input order and handle empty batches;
 * **sparse min-plus / max-plus** — :class:`SparseTropicalBackend` agrees
   entrywise with the dense kernels and is reachable through
-  ``Evaluator(instance, backend="sparse")`` on the tropical semirings.
+  ``Evaluator(instance, backend="sparse")`` on the tropical semirings;
+* **block-diagonal CSR batching** — the batched sparse backend family
+  agrees slice-by-slice with the single sparse backend, and adaptive
+  batched sweeps over sparse-selected instances are bitwise equal to
+  per-instance execution (sparse and dense alike), including powers,
+  closures, empty members, ragged groups and chunk boundaries.
 """
 
 import numpy as np
@@ -704,3 +709,301 @@ class TestSparseTropicalBackend:
                 distances, (distances[:, :, None] + distances[None, :, :]).min(axis=1)
             )
         assert np.array_equal(result, distances)
+
+
+# ----------------------------------------------------------------------
+# Block-diagonal CSR batching: the batched sparse backend family
+# ----------------------------------------------------------------------
+SPARSE_BATCH_SEMIRINGS = [BOOLEAN, MIN_PLUS, MAX_PLUS]
+
+
+def _sparse_matrix(semiring, rows, cols, seed, density=0.2):
+    """A semiring matrix whose off-support entries are the semiring zero."""
+    rng = np.random.default_rng(seed)
+    mask = rng.random((rows, cols)) < density
+    if semiring is BOOLEAN:
+        return mask.astype(np.float64)
+    weights = np.full((rows, cols), float(semiring.zero))
+    weights[mask] = np.round(rng.random(int(mask.sum())) * 7, 3)
+    return weights
+
+
+def _sparse_instance(semiring, dimension, seed, density=0.2):
+    return Instance.from_matrices(
+        {"A": _sparse_matrix(semiring, dimension, dimension, seed, density)},
+        semiring=semiring,
+    )
+
+
+@pytest.mark.skipif(not HAVE_SCIPY, reason="scipy is required for the sparse backend")
+class TestBatchedSparseBackend:
+    """The block-diagonal backends agree slice-by-slice with the single
+    sparse backend (and therefore, transitively, with dense)."""
+
+    @pytest.mark.parametrize("semiring", SPARSE_BATCH_SEMIRINGS, ids=lambda s: s.name)
+    def test_protocol_operations_match_per_instance_sparse(self, semiring):
+        from repro.semiring.backends import batched_sparse_backend
+
+        batch = 4
+        batched = batched_sparse_backend(semiring, batch)
+        single = backend_for(semiring, "sparse")
+        slices = [_sparse_matrix(semiring, 6, 6, seed) for seed in range(batch)]
+        columns = [_sparse_matrix(semiring, 6, 1, 40 + seed) for seed in range(batch)]
+        stack = batched.stack_instance_matrices(slices)
+        column_stack = batched.stack_instance_matrices(columns)
+
+        operations = {
+            "transpose": (lambda b, value: b.transpose(value), stack, slices),
+            "row_sums": (lambda b, value: b.row_sums(value), stack, slices),
+            "col_sums": (lambda b, value: b.col_sums(value), stack, slices),
+            "trace": (lambda b, value: b.trace(value), stack, slices),
+            "diag_of_diagonal": (
+                lambda b, value: b.diag_of_diagonal(value), stack, slices
+            ),
+            "diag_product": (lambda b, value: b.diag_product(value), stack, slices),
+            "nsum": (lambda b, value: b.nsum(value, 3), stack, slices),
+            "power": (lambda b, value: b.power(value, 3), stack, slices),
+            "hadamard_power": (
+                lambda b, value: b.hadamard_power(value, 3), stack, slices
+            ),
+            "diag": (lambda b, value: b.diag(value), column_stack, columns),
+        }
+        for name, (operation, operand, per_slice) in operations.items():
+            expected = [
+                single.to_dense(operation(single, single.from_dense(matrix)))
+                for matrix in per_slice
+            ]
+            actual = batched.to_dense(operation(batched, operand))
+            for index in range(batch):
+                assert np.array_equal(actual[index], expected[index]), (
+                    semiring.name,
+                    name,
+                )
+
+    @pytest.mark.parametrize("semiring", SPARSE_BATCH_SEMIRINGS, ids=lambda s: s.name)
+    def test_binary_operations_and_scale(self, semiring):
+        from repro.semiring.backends import batched_sparse_backend
+
+        batch = 3
+        batched = batched_sparse_backend(semiring, batch)
+        single = backend_for(semiring, "sparse")
+        lefts = [_sparse_matrix(semiring, 5, 5, seed) for seed in range(batch)]
+        rights = [_sparse_matrix(semiring, 5, 5, 10 + seed) for seed in range(batch)]
+        left = batched.stack_instance_matrices(lefts)
+        right = batched.stack_instance_matrices(rights)
+        for name, operation in [
+            ("matmul", lambda b, x, y: b.matmul(x, y)),
+            ("add", lambda b, x, y: b.add(x, y)),
+            ("hadamard", lambda b, x, y: b.hadamard(x, y)),
+        ]:
+            expected = [
+                single.to_dense(
+                    operation(
+                        single, single.from_dense(one), single.from_dense(other)
+                    )
+                )
+                for one, other in zip(lefts, rights)
+            ]
+            actual = batched.to_dense(operation(batched, left, right))
+            for index in range(batch):
+                assert np.array_equal(actual[index], expected[index]), (
+                    semiring.name,
+                    name,
+                )
+        # Scale by a per-block scalar (a trace): each block is scaled by its
+        # own factor — the batched analogue of ``scale(trace(X), Y)``.
+        factor = batched.trace(left)
+        expected = [
+            single.to_dense(
+                single.scale(
+                    single.trace(single.from_dense(one)), single.from_dense(other)
+                )
+            )
+            for one, other in zip(lefts, rights)
+        ]
+        actual = batched.to_dense(batched.scale(factor, right))
+        for index in range(batch):
+            assert np.array_equal(actual[index], expected[index]), semiring.name
+
+    @pytest.mark.parametrize("semiring", SPARSE_BATCH_SEMIRINGS, ids=lambda s: s.name)
+    def test_constructors_replicate_per_block(self, semiring):
+        from repro.semiring.backends import batched_sparse_backend
+
+        batch = 3
+        batched = batched_sparse_backend(semiring, batch)
+        single = backend_for(semiring, "sparse")
+        for name, batched_value, single_value in [
+            ("zeros", batched.zeros(4, 2), single.zeros(4, 2)),
+            ("ones", batched.ones(2, 3), single.ones(2, 3)),
+            ("identity", batched.identity(4), single.identity(4)),
+            ("basis_column", batched.basis_column(5, 2), single.basis_column(5, 2)),
+        ]:
+            stacked = batched.to_dense(batched_value)
+            reference = single.to_dense(single_value)
+            assert stacked.shape == (batch,) + reference.shape, name
+            for index in range(batch):
+                assert np.array_equal(stacked[index], reference), (semiring.name, name)
+
+    def test_stack_rejects_wrong_count_and_shapes(self):
+        from repro.semiring.backends import batched_sparse_backend
+
+        backend = batched_sparse_backend(BOOLEAN, 2)
+        with pytest.raises(SemiringError):
+            backend.stack_instance_matrices([np.zeros((2, 2))])
+        with pytest.raises(ValueError):
+            backend.stack_instance_matrices([np.zeros((2, 2)), np.zeros((3, 3))])
+        with pytest.raises(SemiringError):
+            batched_sparse_backend(BOOLEAN, 0)
+        with pytest.raises(SemiringError):
+            batched_sparse_backend(REAL, 2)
+
+    @pytest.mark.parametrize("semiring", SPARSE_BATCH_SEMIRINGS, ids=lambda s: s.name)
+    def test_all_empty_blocks(self, semiring):
+        from repro.semiring.backends import batched_sparse_backend
+
+        batch = 3
+        batched = batched_sparse_backend(semiring, batch)
+        empty = [np.full((4, 4), float(semiring.zero)) for _ in range(batch)]
+        stack = batched.stack_instance_matrices(empty)
+        assert stack.nnz == 0
+        result = batched.to_dense(batched.power(stack, 3))
+        for index in range(batch):
+            assert np.array_equal(result[index], empty[index])
+
+
+# ----------------------------------------------------------------------
+# Block-diagonal CSR batching: plan-level equivalence
+# ----------------------------------------------------------------------
+@pytest.mark.skipif(not HAVE_SCIPY, reason="scipy is required for the sparse backend")
+class TestBlockDiagonalPlanEquivalence:
+    """Adaptive batched sweeps over sparse-selected instances are bitwise
+    equal to per-instance execution — sparse and dense alike."""
+
+    #: Large enough to clear ``AUTO_SPARSE_MIN_DIMENSION`` (64) and sparse
+    #: enough that the cost model keeps multiplication chains sparse.
+    DIMENSION = 64
+    DENSITY = 0.04
+
+    def _sweep(self, semiring, count, expression, density=None):
+        instances = [
+            _sparse_instance(
+                semiring, self.DIMENSION, seed, density or self.DENSITY
+            )
+            for seed in range(count)
+        ]
+        plan = compile_expression(expression, instances[0].schema)
+        return plan, instances
+
+    def _assert_block_diag_matches_per_instance(
+        self, plan, instances, chunk_size=None, expect_mode="sparse"
+    ):
+        from repro.semiring.backends import plan_physical
+
+        physical = plan_physical(plan, instances[0], None, batch_size=len(instances))
+        assert physical.batch_mode == expect_mode, physical.notes
+        batched = run_plan_batch(
+            plan, instances, default_registry(), chunk_size=chunk_size
+        )
+        semiring = instances[0].semiring
+        dense = DenseExecutionBackend(semiring)
+        for instance, result in zip(instances, batched):
+            sparse_reference = plan_physical(plan, instance, "sparse")
+            expected_sparse = sparse_reference.result_backend.to_dense(
+                execute_plan(
+                    sparse_reference.plan,
+                    sparse_reference.backend,
+                    instance,
+                    default_registry(),
+                    backends=sparse_reference.backends,
+                )
+            )
+            expected_dense = dense.to_dense(
+                execute_plan(plan, dense, instance, default_registry())
+            )
+            assert np.array_equal(result, expected_sparse), semiring.name
+            assert np.array_equal(result, expected_dense), semiring.name
+
+    @pytest.mark.parametrize("semiring", SPARSE_BATCH_SEMIRINGS, ids=lambda s: s.name)
+    def test_multiplication_chain_sweeps(self, semiring):
+        expression = (var("A") @ var("A")) @ var("A")
+        plan, instances = self._sweep(semiring, 5, expression)
+        self._assert_block_diag_matches_per_instance(plan, instances)
+
+    @pytest.mark.parametrize("semiring", SPARSE_BATCH_SEMIRINGS, ids=lambda s: s.name)
+    def test_power_sweeps(self, semiring):
+        # Repeated squaring over the block-diagonal operand: block structure
+        # is closed under every intermediate power.
+        expression = (var("A") @ var("A")) @ (var("A") @ var("A"))
+        plan, instances = self._sweep(semiring, 4, expression, density=0.02)
+        self._assert_block_diag_matches_per_instance(plan, instances)
+
+    def test_closure_sweep_boolean(self):
+        # Reachability closure at a density where it stays sparse-selected.
+        plan, instances = self._sweep(
+            BOOLEAN, 4, shortest_path_matrix("A"), density=0.005
+        )
+        self._assert_block_diag_matches_per_instance(plan, instances)
+
+    @pytest.mark.parametrize("semiring", SPARSE_BATCH_SEMIRINGS, ids=lambda s: s.name)
+    def test_empty_members_ride_along(self, semiring):
+        expression = (var("A") @ var("A")) @ var("A")
+        plan, instances = self._sweep(semiring, 4, expression)
+        hollow = Instance.from_matrices(
+            {"A": np.full((self.DIMENSION,) * 2, float(semiring.zero))},
+            semiring=semiring,
+        )
+        instances = instances[:2] + [hollow] + instances[2:]
+        self._assert_block_diag_matches_per_instance(plan, instances)
+
+    @pytest.mark.parametrize("chunk_size", [2, 3, 64])
+    def test_chunk_boundaries_are_seamless(self, chunk_size):
+        expression = (var("A") @ var("A")) @ var("A")
+        plan, instances = self._sweep(BOOLEAN, 7, expression)
+        self._assert_block_diag_matches_per_instance(
+            plan, instances, chunk_size=chunk_size
+        )
+
+    def test_ragged_sparse_groups_merge_into_one_batch(self, monkeypatch):
+        """Near-miss sparse buckets pad and stack like dense ones."""
+        import repro.matlang.evaluator as evaluator_module
+
+        expression = (var("A") @ var("A")) @ var("A")
+        calls = []
+        original = evaluator_module.execute_plan_batch
+
+        def counting(plan, backend, instances, functions, **kwargs):
+            calls.append(len(list(instances)))
+            return original(plan, backend, instances, functions, **kwargs)
+
+        monkeypatch.setattr(evaluator_module, "execute_plan_batch", counting)
+        sizes = (64, 66, 68)
+        instances = [
+            _sparse_instance(BOOLEAN, sizes[seed % 3], seed, 0.04)
+            for seed in range(9)
+        ]
+        plan = compile_expression(expression, instances[0].schema)
+        merged = run_plan_batch(plan, instances, default_registry())
+        assert calls == [9], "near-miss sparse buckets must merge into one batch"
+        dense = DenseExecutionBackend(BOOLEAN)
+        for instance, result in zip(instances, merged):
+            expected = dense.to_dense(
+                execute_plan(plan, dense, instance, default_registry())
+            )
+            assert result.shape == expected.shape
+            assert np.array_equal(result, expected)
+
+    def test_sparse_lane_is_actually_selected(self):
+        """The sweep runs on the block-diagonal backend, not dense."""
+        from repro.semiring.backends import batched_sparse_backend
+
+        expression = (var("A") @ var("A")) @ var("A")
+        plan, instances = self._sweep(BOOLEAN, 4, expression)
+        batched = batched_sparse_backend(BOOLEAN, len(instances))
+        stacked = batched.stack_instance_matrices(
+            [instance.matrix("A") for instance in instances]
+        )
+        chained = batched.matmul(batched.matmul(stacked, stacked), stacked)
+        reference = batched.to_dense(chained)
+        results = run_plan_batch(plan, instances, default_registry())
+        for index, result in enumerate(results):
+            assert np.array_equal(result, reference[index])

@@ -147,6 +147,11 @@ class TestChaosStorm:
         assert successes + len(errors) == total
         assert successes >= total * 3 // 5
         assert "respawns=" in snapshot.render()
+        # Sparse-batch telemetry is a lane breakdown of the batched totals:
+        # it can never exceed them, even under a fault storm.
+        assert snapshot.sparse_batched_requests <= snapshot.batched_requests
+        assert snapshot.sparse_batches <= snapshot.dispatches
+        assert snapshot.sparse_assembly_seconds >= 0.0
         # Hygiene: the pool's segments are gone despite every worker death.
         assert glob.glob(f"/dev/shm/{SEGMENT_PREFIX}-*") == []
 

@@ -160,7 +160,9 @@ class TestPerOpAssignment:
         plan = compile_expression(MIXED_EXPRESSION, instance.schema)
         physical = plan_physical(plan, instance, None)
         assert physical.mixed
-        assert not physical.batchable
+        # mixed CSR/dense plans batch since the block-diagonal lane landed
+        assert physical.batchable
+        assert physical.batch_mode == "mixed"
         assert set(physical.backends) == {"dense", "sparse"}
         tags = {op.backend for op in physical.plan.ops}
         assert tags == {"dense", "sparse"}
@@ -242,7 +244,7 @@ class TestPerOpAssignment:
         assert physical.backend.name == "dense"
         assert any("pinned by the caller" in note for note in physical.notes)
 
-    def test_batch_executor_rejects_conversion_ops(self):
+    def test_batch_executor_requires_backend_map_for_tagged_plans(self):
         instance = _mixed_instance(BOOLEAN, 128)
         plan = compile_expression(MIXED_EXPRESSION, instance.schema)
         physical = plan_physical(plan, instance, None)
@@ -250,10 +252,25 @@ class TestPerOpAssignment:
         from repro.semiring.backends import BatchedDenseBackend
 
         backend = BatchedDenseBackend(BOOLEAN, 2)
-        with pytest.raises(EvaluationError, match="per instance"):
+        with pytest.raises(EvaluationError, match="backend map"):
             execute_plan_batch(
                 physical.plan, backend, [instance, instance], default_registry()
             )
+        # With the matching batched backend map the mixed plan executes on
+        # the whole batch, conversions included, and matches per-instance.
+        backends = physical.batched_backends(2)
+        value = execute_plan_batch(
+            physical.plan,
+            backends[physical.default_tag],
+            [instance, instance],
+            default_registry(),
+            backends=backends,
+        )
+        result_tag = physical.plan.ops[physical.plan.result].backend
+        stacked = backends[result_tag or physical.default_tag].to_dense(value)
+        want = evaluate(MIXED_EXPRESSION, instance)
+        assert _entrywise_equal(stacked[0], want)
+        assert _entrywise_equal(stacked[1], want)
 
     def test_explain_reports_assignments_and_conversions(self):
         instance = _mixed_instance(BOOLEAN, 128)
@@ -587,7 +604,8 @@ class TestHarnessMixedPlans:
         workload = CompiledWorkload(MIXED_EXPRESSION, instances[0].schema)
         physical = workload.physical(instances[0])
         assert physical.mixed
-        assert not physical.batchable
+        assert physical.batchable
+        assert physical.batch_mode == "mixed"
         expected = [evaluate(MIXED_EXPRESSION, inst) for inst in instances]
         for instance, want in zip(instances, expected):
             assert _entrywise_equal(workload.run(instance), want)

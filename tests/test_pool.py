@@ -410,6 +410,41 @@ class TestPooledResults:
         assert router_view.completed == len(instances)
         assert router_view.workers == 2
 
+    def test_sparse_selected_stream_batches_in_workers(self):
+        # Sparse boolean instances large enough for adaptive planning to
+        # pick the sparse lane: the owning worker must coalesce them into
+        # block-diagonal CSR batches (visible in its sparse telemetry), and
+        # the results must stay bitwise-equal to sequential evaluation.
+        pytest.importorskip("scipy.sparse")
+        expression = (var("A") @ var("A")) @ var("A")
+        rng = np.random.default_rng(11)
+        instances = [
+            Instance.from_matrices(
+                {"A": (rng.random((64, 64)) < 0.04).astype(np.float64)},
+                semiring=BOOLEAN,
+            )
+            for _ in range(12)
+        ]
+        sequential = [evaluate(expression, instance) for instance in instances]
+        with Engine(workers=2, memoize=False) as engine:
+            futures = engine.submit_many((expression, inst) for inst in instances)
+            results = [future.result(60) for future in futures]
+            per_worker = engine.worker_stats()
+        for expected, actual in zip(sequential, results):
+            assert np.array_equal(actual, expected)
+        sparse_batches = sum(
+            s.sparse_batches for s in per_worker if s is not None
+        )
+        sparse_requests = sum(
+            s.sparse_batched_requests for s in per_worker if s is not None
+        )
+        assert sparse_batches >= 1, "the sparse stream never hit the batched lane"
+        assert sparse_requests >= 2
+        batched_total = sum(
+            s.batched_requests for s in per_worker if s is not None
+        )
+        assert sparse_requests <= batched_total
+
     def test_submit_compiled_is_worker_side_only(self):
         instance = _instance_for(REAL, 4, 0)
         plan = compile_expression(_workload(), instance.schema)
