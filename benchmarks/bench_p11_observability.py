@@ -1,0 +1,179 @@
+"""P11 — Observability overhead: request tracing must be nearly free.
+
+Reproduction-specific experiment (the paper has no performance study): it
+quantifies what the tracing layer (:mod:`repro.obs`) costs the serving
+tier.  Tracing records ~9 spans per sampled request (admission, queue,
+coalesce, dispatch, one kernel span per plan op, deliver) into per-thread
+ring buffers; the ``sample_rate`` knob bounds that cost at the source —
+an unsampled request carries no context and records nothing.
+
+Two claims are asserted (also under ``--benchmark-disable``, so CI checks
+them on every push):
+
+* serving the p06 1000-request mixed-schema stream with tracing enabled
+  at the 1/8 sampling rate costs at most **5%** throughput vs tracing
+  disabled (the gated acceptance criterion — sampling is the designed
+  mitigation, and 1/8 is a production-realistic rate for a stream whose
+  requests average tens of microseconds);
+* the served-over-sequential speedup of p06 survives with tracing ON —
+  the observability layer must not eat the serving win.  That speedup is
+  recorded with ``trace="on"`` and joins the cross-PR >25% regression
+  gate (``benchmarks/compare_artifacts.py``).
+
+Full-rate (``sample_rate=1.0``) overhead is also measured and recorded as
+ungated context: on this stream every request's work is so small that
+tracing all of them costs a measurable fraction, which is precisely why
+the knob exists.
+
+Measurements are recorded to ``BENCH_p11.json`` via the ``bench_artifact``
+fixture.
+"""
+
+import json
+
+from benchmarks.bench_p06_service import STREAM, _mixed_stream
+from benchmarks.conftest import assert_speedup, best_of
+
+from repro.matlang.evaluator import evaluate
+from repro.experiments.harness import ServedWorkload
+from repro.obs import Tracer
+
+#: Maximum tolerated throughput overhead of sampled tracing (the ISSUE's
+#: acceptance criterion).
+OVERHEAD_CEILING = 0.05
+
+#: The sampling rate the gate runs at: every 8th request is traced.
+GATED_SAMPLE_RATE = 0.125
+
+#: Repetition ladder for the overhead measurement — like
+#: :func:`benchmarks.conftest.assert_speedup`, retry with more repetitions
+#: before failing so one scheduler preemption cannot flake CI.
+LADDER = (4, 8, 16)
+
+
+def _serve(requests, tracer=None):
+    with ServedWorkload(trace=tracer) as served:
+        results = served.replay(requests, timeout=120)
+    assert len(results) == len(requests)
+
+
+def _measure_overhead(requests, tracer, repetitions):
+    """Best-of wall times for (tracing off, tracing on) at ``repetitions``."""
+    off = best_of(lambda: _serve(requests), repetitions=repetitions)
+
+    def traced():
+        tracer.clear()  # bound ring memory across repetitions
+        _serve(requests, tracer)
+
+    on = best_of(traced, repetitions=repetitions)
+    return off, on
+
+
+def test_sampled_tracing_overhead_stays_under_5_percent(bench_artifact):
+    requests = _mixed_stream()
+    _serve(requests)  # warm the plan caches both configurations share
+
+    tracer = Tracer(sample_rate=GATED_SAMPLE_RATE)
+    overhead = float("inf")
+    off = on = 0.0
+    for repetitions in LADDER:
+        off, on = _measure_overhead(requests, tracer, repetitions)
+        overhead = on / off - 1.0
+        if overhead <= OVERHEAD_CEILING:
+            break
+    assert overhead <= OVERHEAD_CEILING, (
+        f"tracing at sample_rate={GATED_SAMPLE_RATE} costs "
+        f"{overhead:.1%} throughput, over the {OVERHEAD_CEILING:.0%} ceiling"
+    )
+
+    # Tracing must actually have traced: roughly every 8th request, with a
+    # full span pipeline flushed for each.
+    assert tracer.finished > 0
+    assert tracer.finished * 4 >= STREAM // 8  # clears keep only the last run
+
+    # Full-rate overhead: recorded for context, never gated (every request
+    # on this stream is tens of microseconds of work, so tracing all of
+    # them has nothing to amortize against).
+    full = Tracer(sample_rate=1.0)
+    _, full_on = _measure_overhead(requests, full, repetitions=4)
+
+    bench_artifact(
+        "p11", op="serve-stream", size="mixed", backend="service",
+        seconds=off, instances=STREAM, trace="off",
+    )
+    bench_artifact(
+        "p11", op="serve-stream", size="mixed", backend="service",
+        seconds=on, instances=STREAM, trace="sampled",
+        sample_rate=GATED_SAMPLE_RATE,
+        overhead_pct=round(overhead * 100.0, 2),
+    )
+    bench_artifact(
+        "p11", op="serve-stream", size="mixed", backend="service",
+        seconds=full_on, instances=STREAM, trace="full",
+        sample_rate=1.0,
+        overhead_pct=round((full_on / off - 1.0) * 100.0, 2),
+    )
+    print(
+        f"\ntracing overhead on the {STREAM}-request stream: "
+        f"{overhead:+.1%} at rate {GATED_SAMPLE_RATE} (ceiling "
+        f"{OVERHEAD_CEILING:.0%}), {full_on / off - 1.0:+.1%} at rate 1.0"
+    )
+
+
+def test_serving_speedup_survives_tracing(bench_artifact):
+    """The p06 served-over-sequential win must hold with tracing ON."""
+    requests = _mixed_stream()
+    tracer = Tracer(sample_rate=GATED_SAMPLE_RATE)
+
+    def serve_traced():
+        tracer.clear()
+        _serve(requests, tracer)
+
+    slow, fast, speedup = assert_speedup(
+        lambda: [evaluate(expression, instance) for expression, instance in requests],
+        serve_traced,
+        3.0,  # p06's SERVE_SPEEDUP_FLOOR
+        f"traced {STREAM}-request mixed-schema stream",
+    )
+    bench_artifact(
+        "p11", op="serve-sequential", size="mixed", backend="dense",
+        seconds=slow, instances=STREAM, trace="off",
+    )
+    bench_artifact(
+        "p11", op="serve-engine", size="mixed", backend="service",
+        seconds=fast, speedup=speedup, instances=STREAM, trace="on",
+        sample_rate=GATED_SAMPLE_RATE,
+    )
+    print(f"\ntraced served-over-sequential stream speedup: {speedup:.1f}x")
+
+
+def test_trace_exports_parse_after_a_served_stream(tmp_path):
+    """The stream's trace round-trips through both export formats."""
+    requests = _mixed_stream(count=64)
+    tracer = Tracer(sample_rate=1.0)
+    _serve(requests, tracer)
+
+    chrome_path = tmp_path / "trace.json"
+    events = tracer.export_chrome(str(chrome_path))
+    document = json.loads(chrome_path.read_text())
+    assert events == len(document["traceEvents"]) > 0
+    assert all(event["ph"] == "X" for event in document["traceEvents"])
+
+    jsonl_path = tmp_path / "spans.jsonl"
+    count = tracer.export_jsonl(str(jsonl_path))
+    lines = [line for line in jsonl_path.read_text().splitlines() if line]
+    assert count == len(lines)
+    assert all(json.loads(line)["name"] for line in lines)
+
+
+def test_traced_serving(benchmark):
+    requests = _mixed_stream(count=96)
+    tracer = Tracer(sample_rate=GATED_SAMPLE_RATE)
+
+    def serve():
+        tracer.clear()
+        with ServedWorkload(trace=tracer) as served:
+            return served.replay(requests, timeout=120)
+
+    results = benchmark(serve)
+    assert len(results) == 96

@@ -39,7 +39,7 @@ from typing import Dict, List, Optional, Tuple
 #: the same nnz — never collide.
 _KEY_FIELDS = (
     "op", "size", "backend", "semiring", "instances", "threads", "mode",
-    "workers", "nnz", "batch",
+    "workers", "nnz", "batch", "trace",
 )
 
 #: Baseline speedups below this are inside the run-to-run noise band (a

@@ -215,6 +215,12 @@ class Plan:
         backend adaptive selection would pick for that instance (or the one
         ``backend`` pins), with the statistics that drove the choice and the
         per-op execution assignment.
+
+        The ``r<register>`` labels in the op listing are the same names the
+        request tracer gives its per-op kernel spans (``r3 matmul`` in a
+        :meth:`repro.obs.trace.Tracer.hot_plans` breakdown or an exported
+        Chrome trace is line ``r3`` of this listing), so a hot span maps
+        straight back to a plan op.
         """
         sections: List[str] = ["plan:", self.describe(indent="  ")]
         sections.append("logical optimizer:")
@@ -608,12 +614,14 @@ class _BatchRuntime(_Runtime):
         functions: Any,
         stack_cache: Optional["StackCache"] = None,
         backends: Any = None,
+        profiler: Any = None,
     ) -> None:
         super().__init__(
             backend=backend,
             instance=instances[0],
             functions=functions,
             backends=backends,
+            profiler=profiler,
         )
         self.instances = instances
         self._load_cache: dict = {}
@@ -746,6 +754,7 @@ def execute_plan_batch(
     functions: Any,
     stack_cache: Optional[StackCache] = None,
     backends: Any = None,
+    profiler: Any = None,
 ) -> Any:
     """Run ``plan`` once over a whole batch of same-shape instances.
 
@@ -760,9 +769,12 @@ def execute_plan_batch(
     ``to_sparse`` conversion ops then cross representations on the whole
     batch at once.  All instances must share the semiring and assign
     identical dimensions to every size symbol — callers with mixed sweeps
-    bucket first (see ``CompiledWorkload.run_batch``).  Returns a backend
-    value stacking one result per instance; callers convert through the
-    result backend's ``to_dense`` and split along the leading axis.
+    bucket first (see ``CompiledWorkload.run_batch``).  ``profiler``
+    optionally records one timing observation per executed batch op (the
+    same hook :func:`execute_plan` takes — an ``ExecutionProfiler`` or a
+    :class:`repro.obs.trace.OpSpanCollector`).  Returns a backend value
+    stacking one result per instance; callers convert through the result
+    backend's ``to_dense`` and split along the leading axis.
     """
     instances = list(instances)
     if not instances:
@@ -790,6 +802,7 @@ def execute_plan_batch(
         functions=functions,
         stack_cache=stack_cache,
         backends=backends,
+        profiler=profiler,
     )
     return _run_batch(plan, runtime, (), None, None)
 
@@ -816,6 +829,7 @@ def _run_batch(
     if default is None:
         default = runtime.backend
     backends = runtime.backends
+    profiler = runtime.profiler
     values: List[Any] = []
     append = values.append
 
@@ -831,6 +845,7 @@ def _run_batch(
                     f"plan op {opcode!r} is tagged for backend {tag!r}, which "
                     "the supplied batched backend map does not provide"
                 )
+        started = time.perf_counter() if profiler is not None else 0.0
 
         if opcode == "matmul":
             append(backend.matmul(values[op.inputs[0]], values[op.inputs[1]]))
@@ -920,6 +935,9 @@ def _run_batch(
             append(backend.from_dense(source.to_dense(values[op.inputs[0]])))
         else:  # pragma: no cover - the compiler only emits known opcodes
             raise EvaluationError(f"unknown plan opcode {opcode!r}")
+
+        if profiler is not None:
+            profiler.record(op, backend.name, values, time.perf_counter() - started)
 
     return values[plan.result]
 

@@ -1,0 +1,60 @@
+"""Wall-clock anchoring for monotonic timestamps.
+
+Everything latency-shaped in the serving tier is measured with
+``time.perf_counter()`` — the right clock for durations, but useless for
+*absolute* timestamps: its epoch is arbitrary, so exported traces and
+metrics could not say "this dispatch happened at 12:03:07.412".  A
+:class:`ClockAnchor` records one ``(perf_counter, time.time)`` pair and
+converts between the two domains by offset.
+
+On Linux both clocks are system-wide (``CLOCK_MONOTONIC`` and
+``CLOCK_REALTIME``), so an anchor captured in the router before a fork
+stays valid inside the worker processes — which is exactly how pooled
+trace spans recorded on a worker land on the same wall-clock axis as the
+router's own spans.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["ClockAnchor", "anchor"]
+
+
+class ClockAnchor:
+    """One captured ``(monotonic, epoch)`` pair; converts between the two.
+
+    The conversion is exact up to the (sub-microsecond) gap between the two
+    clock reads at capture time plus any NTP slewing since — far below the
+    millisecond granularity serving telemetry cares about.
+    """
+
+    __slots__ = ("monotonic", "epoch")
+
+    def __init__(self) -> None:
+        #: ``time.perf_counter()`` at capture.
+        self.monotonic = time.perf_counter()
+        #: ``time.time()`` (seconds since the Unix epoch) at capture.
+        self.epoch = time.time()
+
+    def epoch_of(self, monotonic_t: float) -> float:
+        """Wall-clock seconds for a ``perf_counter`` reading."""
+        return self.epoch + (monotonic_t - self.monotonic)
+
+    def monotonic_of(self, epoch_t: float) -> float:
+        """``perf_counter`` reading for a wall-clock timestamp."""
+        return self.monotonic + (epoch_t - self.epoch)
+
+    def now_epoch(self) -> float:
+        """The current wall-clock time as this anchor projects it."""
+        return self.epoch_of(time.perf_counter())
+
+
+#: Process-wide anchor, captured at first import (in a pooled tier that is
+#: the router process, before any worker forks — so inherited copies agree).
+_ANCHOR = ClockAnchor()
+
+
+def anchor() -> ClockAnchor:
+    """The process-wide anchor every trace span is stamped against."""
+    return _ANCHOR

@@ -27,6 +27,11 @@ shared-memory rings and results memoized across requests.
   out-of-process clients (:class:`QueryServer` / :class:`QueryClient`).
 * :mod:`repro.service.stats` — serving telemetry: queue depth, coalesce
   ratio, memo hit rate, p50/p95 latency and throughput as atomic snapshots.
+
+Observability on top of the serving tier — request tracing across the
+pipeline stages, a unified metrics registry with Prometheus exposition,
+and the live terminal dashboard — lives in :mod:`repro.obs` (pass
+``trace=True`` to :class:`Engine` to sample per-request span trees).
 """
 
 from repro.exceptions import (

@@ -327,6 +327,7 @@ class QueryRequest:
         "memo_key",
         "deadline_at",
         "cost_estimate",
+        "trace",
     )
 
     def __init__(
@@ -355,6 +356,10 @@ class QueryRequest:
         self.deadline_at = deadline_at
         #: Admission-control cost estimate (0.0 when cost shedding is off).
         self.cost_estimate = 0.0
+        #: :class:`repro.obs.trace.TraceContext` when this request was
+        #: sampled for tracing, else ``None`` (the overwhelmingly common
+        #: case — untraced requests pay one attribute read per stage).
+        self.trace = None
 
     def expired(self, now: Optional[float] = None) -> bool:
         """Whether this request's deadline has passed."""

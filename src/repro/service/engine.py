@@ -86,6 +86,17 @@ from repro.service.stats import EngineStats, EngineStatsSnapshot
 __all__ = ["Engine"]
 
 
+def _trace_label(expression: Any) -> str:
+    """A short human-readable trace label for a submitted expression."""
+    try:
+        label = str(expression)
+    except Exception:  # a label must never fail a submission
+        return f"expr@{id(expression) & 0xFFFFFF:06x}"
+    if len(label) > 60:
+        label = label[:57] + "..."
+    return label
+
+
 class Engine:
     """A thread-safe serving engine over the compile-then-execute pipeline.
 
@@ -132,6 +143,15 @@ class Engine:
         identical ``(plan, instance)`` pair resolve without executing.
     memo_capacity / memo_bytes:
         Bounds of the result memo (entries / retained result bytes).
+    trace:
+        Request tracing.  ``None`` / ``False`` (the default) records
+        nothing and costs nothing beyond one attribute read per pipeline
+        stage.  ``True`` traces through the process-wide default
+        :class:`repro.obs.trace.Tracer`; a ``Tracer`` instance uses that
+        tracer (and its ``sample_rate``).  Sampled requests accumulate
+        spans across admission → queue → coalesce → (ship → worker) →
+        dispatch → per-op kernel → delivery; in pooled mode worker-side
+        spans ship back with the result and land in the router's tracer.
 
     The engine owns one daemon scheduler thread (or a worker pool); use it
     as a context manager (or call :meth:`shutdown`) to drain and stop
@@ -151,6 +171,7 @@ class Engine:
         memo_capacity: int = 512,
         memo_bytes: int = 64 * 1024 * 1024,
         ring_capacity: Optional[int] = None,
+        trace: Any = None,
     ) -> None:
         from repro.matlang.functions import default_registry
         from repro.matlang.ir import StackCache
@@ -164,6 +185,14 @@ class Engine:
         self.workers = workers
         self.profile_persist_min_samples = profile_persist_min_samples
         self._stats = EngineStats()
+        if trace is None or trace is False:
+            self._tracer: Any = None
+        elif trace is True:
+            from repro.obs.trace import get_tracer
+
+            self._tracer = get_tracer()
+        else:
+            self._tracer = trace
         self._queue = RequestQueue(self.policy)
         #: Stacked inputs shared across dispatches (thread-safe; see
         #: :class:`repro.matlang.ir.StackCache`): a hot instance set served
@@ -198,7 +227,8 @@ class Engine:
         #: the single largest per-submit cost.  Keying on ``id(expression)``
         #: plus the schema signature makes repeat submissions O(1); the
         #: expression is pinned in the value so its id cannot be recycled.
-        self._plan_memo: Dict[Tuple[int, Tuple], Tuple[Any, Any]] = {}
+        #: ``key -> (expression, plan, trace label)``.
+        self._plan_memo: Dict[Tuple[int, Tuple], Tuple[Any, Any, str]] = {}
         self._plan_memo_lock = threading.Lock()
 
         #: Cross-request result memo; enabled by default in pooled mode.
@@ -323,14 +353,21 @@ class Engine:
         return expression, instance, deadline
 
     def submit_compiled(
-        self, plan: Any, instance: Any, deadline: Optional[float] = None
+        self,
+        plan: Any,
+        instance: Any,
+        deadline: Optional[float] = None,
+        trace: Any = None,
     ) -> QueryFuture:
         """Enqueue an already-compiled plan, skipping expression compilation.
 
         The entry point worker processes use for parent-shipped plans; also
         handy for callers that compile once and replay many instances.
         Only valid on a single-process engine (workers route compiled plans
-        themselves).
+        themselves).  ``trace`` optionally attaches an existing
+        :class:`~repro.obs.trace.TraceContext` (the pool passes the
+        router-started context so worker-side spans join the same trace);
+        without one, the engine's own tracer samples as usual.
         """
         if self._pool is not None:
             raise RuntimeError("submit_compiled is a worker-side entry point")
@@ -347,6 +384,13 @@ class Engine:
             submitted_at=submitted_at,
             deadline_at=self._deadline_at(submitted_at, deadline),
         )
+        if trace is not None:
+            request.trace = trace
+        elif self._tracer is not None:
+            context = self._tracer.start(f"plan@{id(plan) & 0xFFFFFF:06x}")
+            if context is not None:
+                context.add_perf("admission", "serving", submitted_at, 0.0)
+                request.trace = context
         if self.policy.max_pending_cost is not None:
             request.cost_estimate = estimate_cost(plan, instance)
         if not self._admit(request):
@@ -397,6 +441,30 @@ class Engine:
         if self._pool is None:
             return []
         return self._pool.worker_stats(timeout)
+
+    @property
+    def tracer(self) -> Any:
+        """The request :class:`~repro.obs.trace.Tracer` (``None`` = off)."""
+        return self._tracer
+
+    def _trace_finish(self, request: Any, error: Optional[BaseException] = None) -> None:
+        """Stamp the delivery on a traced request and flush its spans.
+
+        ``request`` is anything carrying ``trace`` / ``submitted_at`` (a
+        :class:`QueryRequest` here, a pool ``_Task`` on the router).  On a
+        worker the engine has no tracer, so the spans stay in the context
+        and ship back to the router with the result.
+        """
+        context = request.trace
+        if context is None:
+            return
+        now = time.perf_counter()
+        args: Dict[str, Any] = {"latency": now - request.submitted_at}
+        if error is not None:
+            args["error"] = type(error).__name__
+        context.add_perf("deliver", "serving", now, 0.0, args)
+        if self._tracer is not None:
+            self._tracer.finish(context)
 
     def memo_info(self):
         """Counters of the cross-request result memo (``None`` if off)."""
@@ -559,24 +627,24 @@ class Engine:
         """
         if request.expired():
             self._stats.record_expired(at_submit=True)
-            request.future._finish(
-                None,
-                DeadlineExceededError("the request's deadline expired at submission"),
+            error: BaseException = DeadlineExceededError(
+                "the request's deadline expired at submission"
             )
+            self._trace_finish(request, error)
+            request.future._finish(None, error)
             return False
         limit = self.policy.max_pending_cost
         if limit is not None and request.cost_estimate:
             pending = self._stats.current_pending_cost()
             if pending and pending + request.cost_estimate > limit:
                 self._stats.record_overloaded()
-                request.future._finish(
-                    None,
-                    EngineOverloadedError(
-                        "the engine is overloaded: backlog cost "
-                        f"{pending:.3g} + {request.cost_estimate:.3g} "
-                        f"exceeds {limit:.3g}"
-                    ),
+                error = EngineOverloadedError(
+                    "the engine is overloaded: backlog cost "
+                    f"{pending:.3g} + {request.cost_estimate:.3g} "
+                    f"exceeds {limit:.3g}"
                 )
+                self._trace_finish(request, error)
+                request.future._finish(None, error)
                 return False
         return True
 
@@ -590,6 +658,16 @@ class Engine:
         from repro.matlang.compiler import compile_expression
         from repro.profile import profile_generation
 
+        tracer = self._tracer
+        context = None
+        intake = 0.0
+        label = None
+        if tracer is not None:
+            intake = time.perf_counter()
+            # The label (rendered expression) is filled in from the plan
+            # memo below: str() on an AST costs microseconds, so it is paid
+            # once per compile, not once per sampled request.
+            context = tracer.start()
         try:
             # The profile generation joins the key (like the module plan
             # cache): a profile update makes every memoized plan unreachable
@@ -598,13 +676,22 @@ class Engine:
             entry = self._plan_memo.get(key)
             if entry is not None and entry[0] is expression:
                 plan = entry[1]
+                label = entry[2]
             else:
                 plan = compile_expression(expression, instance.schema, self.options)
+                label = _trace_label(expression)
                 with self._plan_memo_lock:
                     while len(self._plan_memo) >= self._PLAN_MEMO_CAPACITY:
                         self._plan_memo.pop(next(iter(self._plan_memo)))
-                    self._plan_memo[key] = (expression, plan)
+                    self._plan_memo[key] = (expression, plan, label)
         except Exception as error:  # typing / schema errors belong to the future
+            if context is not None:
+                context.add_perf(
+                    "admission", "serving", intake,
+                    time.perf_counter() - intake,
+                    {"error": type(error).__name__},
+                )
+                tracer.finish(context)
             self._stats.record_rejected()
             future._finish(None, error)
             return None
@@ -616,6 +703,12 @@ class Engine:
             submitted_at=submitted_at,
             deadline_at=self._deadline_at(submitted_at, deadline),
         )
+        if context is not None:
+            context.label = label
+            # Admission covers intake through compile/memo — everything the
+            # submitting thread does before the request exists.
+            context.add_perf("admission", "serving", intake, submitted_at - intake)
+            request.trace = context
         if self.policy.max_pending_cost is not None:
             request.cost_estimate = estimate_cost(plan, instance)
         return request
@@ -683,6 +776,14 @@ class Engine:
             self._stats.record_memo_hit(
                 time.perf_counter() - request.submitted_at, memo.bytes
             )
+            context = request.trace
+            if context is not None:
+                context.add_perf(
+                    "memo", "serving", request.submitted_at,
+                    time.perf_counter() - request.submitted_at, {"hit": True},
+                )
+                if self._tracer is not None:
+                    self._tracer.finish(context)
             request.future._finish(hit, None)
             return True
         self._stats.record_memo_miss(memo.bytes)
@@ -713,6 +814,14 @@ class Engine:
                 self._stats.record_memo_hit(
                     time.perf_counter() - request.submitted_at, memo.bytes
                 )
+                context = request.trace
+                if context is not None:
+                    context.add_perf(
+                        "memo", "serving", request.submitted_at,
+                        time.perf_counter() - request.submitted_at, {"hit": True},
+                    )
+                    if self._tracer is not None:
+                        self._tracer.finish(context)
                 future._finish(hit, None)
                 return
             if key is not None:
@@ -729,6 +838,7 @@ class Engine:
                 request.submitted_at,
                 deadline_at=request.deadline_at,
                 cost=request.cost_estimate,
+                trace=request.trace,
             )
         except Exception as error:
             if request.cost_estimate:
@@ -761,6 +871,7 @@ class Engine:
             future._finish_locked(result if error is None else None, error)
             self._result_condition.notify_all()
         future._drain_callbacks()
+        self._trace_finish(task, error)
 
     # ------------------------------------------------------------------
     # The scheduler thread
@@ -775,6 +886,13 @@ class Engine:
                 if faults.ACTIVE is not None:
                     faults.ACTIVE.fire("engine.scheduler")
                 self._stats.record_dequeued(len(drained))
+                dequeued_at = time.perf_counter()
+                for request in drained:
+                    if request.trace is not None:
+                        request.trace.add_perf(
+                            "queue", "serving", request.submitted_at,
+                            dequeued_at - request.submitted_at,
+                        )
                 cost = sum(request.cost_estimate for request in drained)
                 if cost:
                     self._stats.record_cost(-cost)
@@ -784,6 +902,15 @@ class Engine:
                 groups = coalesce(drained)
                 if self.policy.ragged:
                     groups = self._merge_ragged_groups(groups)
+                coalesced_at = time.perf_counter()
+                for group in groups:
+                    for request in group.requests:
+                        if request.trace is not None:
+                            request.trace.add_perf(
+                                "coalesce", "serving", dequeued_at,
+                                coalesced_at - dequeued_at,
+                                {"groups": len(groups), "group": len(group.requests)},
+                            )
                 for group in groups:
                     try:
                         self._dispatch(group)
@@ -987,6 +1114,15 @@ class Engine:
                 self._execute_single(chunk[0], single)
                 continue
             started = time.perf_counter()
+            traced = [request for request in chunk if request.trace is not None]
+            collector = None
+            if traced:
+                # The batch executor's profiler hook doubles as the kernel
+                # span source; the collector stays local to this chunk (the
+                # engine's feedback profiler never sees batched values).
+                from repro.obs.trace import OpSpanCollector
+
+                collector = OpSpanCollector()
             backends_map = batched_backends_for(
                 representative.semiring, len(chunk), tags
             )
@@ -1000,6 +1136,7 @@ class Engine:
                     # stacks can never be re-hit; keep them out of the cache.
                     stack_cache=None if padded else self._stack_cache,
                     backends=backends_map,
+                    profiler=collector,
                 )
                 stacked = backends_map[result_tag].to_dense(value)
             except Exception:
@@ -1016,12 +1153,31 @@ class Engine:
                 self._stats.record_sparse_dispatch(
                     len(chunk), time.perf_counter() - started
                 )
+            if traced:
+                ended = time.perf_counter()
+                for request in traced:
+                    request.trace.add_perf(
+                        "dispatch", "serving", started, ended - started,
+                        {"batch": len(chunk), "lane": mode},
+                    )
+                    collector.attach(request.trace, batch=len(chunk))
             self._finish_chunk(chunk, stacked, plan=plan, padded=padded)
 
     def _execute_single(self, request: QueryRequest, physical: Any) -> None:
         from repro.matlang.ir import execute_plan
 
+        context = request.trace
+        profiler = self._profiler
+        collector = None
+        if context is not None:
+            # Wrap (or stand in for) the feedback profiler so tracing and
+            # profile feedback share one timing pass per op.
+            from repro.obs.trace import OpSpanCollector
+
+            collector = OpSpanCollector(forward=profiler)
+            profiler = collector
         self._stats.record_dispatch(1, batched=False)
+        started = time.perf_counter()
         try:
             value = execute_plan(
                 physical.plan,
@@ -1029,14 +1185,26 @@ class Engine:
                 request.instance,
                 self.functions,
                 backends=physical.backends,
-                profiler=self._profiler,
+                profiler=profiler,
             )
             result = physical.result_backend.to_dense(value).copy()
         except Exception as error:
+            if context is not None:
+                context.add_perf(
+                    "dispatch", "serving", started, time.perf_counter() - started,
+                    {"batch": 1, "lane": "single", "error": type(error).__name__},
+                )
+                collector.attach(context, batch=1)
             self._finish_error(request, error)
         else:
             if self._profiler is not None:
                 self._profiler.observe_instance(request.instance)
+            if context is not None:
+                context.add_perf(
+                    "dispatch", "serving", started, time.perf_counter() - started,
+                    {"batch": 1, "lane": "single"},
+                )
+                collector.attach(context, batch=1)
             self._finish_result(request, result)
 
     # ------------------------------------------------------------------
@@ -1152,6 +1320,7 @@ class Engine:
             self._result_condition.notify_all()
         for _, request in pending:
             request.future._drain_callbacks()
+            self._trace_finish(request)
 
     def _finish_result(self, request: QueryRequest, result: Any) -> None:
         with self._result_condition:
@@ -1164,6 +1333,7 @@ class Engine:
             request.future._finish_locked(result, None)
             self._result_condition.notify_all()
         request.future._drain_callbacks()
+        self._trace_finish(request)
 
     def _finish_error(self, request: QueryRequest, error: BaseException) -> None:
         with self._result_condition:
@@ -1175,6 +1345,7 @@ class Engine:
             request.future._finish_locked(None, error)
             self._result_condition.notify_all()
         request.future._drain_callbacks()
+        self._trace_finish(request, error)
 
     def _memo_store(self, request: QueryRequest, result: Any) -> None:
         """Retain one finished result under the key its intake miss minted.

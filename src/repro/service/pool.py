@@ -16,17 +16,27 @@ parent -> worker::
 
     ("plan",     plan_id, payload, schema)         register a compiled plan
     ("semiring", pickled_semiring)                 register a late semiring
-    ("submit",   task_id, plan_id, semiring, dims, descriptors, remaining)
-    ("psubmit",  task_id, plan_id, semiring, dims, pickled_matrices, remaining)
+    ("submit",   task_id, plan_id, semiring, dims, descriptors, remaining, trace)
+    ("psubmit",  task_id, plan_id, semiring, dims, pickled_matrices, remaining, trace)
     ("stats",)  ("profile",)  ("stop",)
 
 worker -> parent::
 
-    ("result",    task_id, dtype, shape, nbytes)   payload in the result ring
-    ("result_p",  task_id, pickled_result)
-    ("error",     task_id, pickled_exception)
+    ("result",    task_id, dtype, shape, nbytes, spans)  payload in the ring
+    ("result_p",  task_id, pickled_result, spans)
+    ("error",     task_id, pickled_exception, spans)
     ("heartbeat", wallclock, profiler_state_or_None)
     ("stats", snapshot)  ("profile", state)  ("stopped", profiler_state)
+
+``trace`` is ``None`` for the (overwhelmingly common) untraced request, or
+``(trace_id, label)`` for a request the router's tracer sampled: the
+worker rebuilds a :class:`~repro.obs.trace.TraceContext` around it, its
+engine records queue/coalesce/dispatch/kernel spans into it, and the
+accumulated span tuples travel back as the ``spans`` field of the result
+message (``None`` when untraced).  Span timestamps are wall-clock epoch
+seconds, which *are* comparable across a fork (both underlying clocks are
+system-wide on Linux — see :mod:`repro.obs.clock`), so worker spans land
+directly on the router trace's time axis.
 
 ``remaining`` is the request's deadline as *seconds left at send time*
 (``None`` = unbounded): ``time.perf_counter()`` epochs differ across
@@ -199,23 +209,24 @@ def _worker_main(
     send_lock = threading.Lock()
     stop_heartbeat = threading.Event()
 
-    def ship_error(task_id: int, error: BaseException) -> None:
+    def ship_error(task_id: int, error: BaseException, spans=None) -> None:
         try:
             payload = pickle.dumps(error)
         except Exception:
             payload = pickle.dumps(RuntimeError(repr(error)))
         with send_lock:
-            connection.send(("error", task_id, payload))
+            connection.send(("error", task_id, payload, spans))
 
-    def ship(task_id: int, future) -> None:
+    def ship(task_id: int, future, trace=None) -> None:
         # Runs as a done callback (exceptions would be swallowed), so every
         # failure mode of shipping itself — an unpicklable result, an
         # injected pickle fault — degrades to an ``error`` message rather
         # than a silently unresolved parent-side future.
+        spans = None if trace is None else trace.export_state()
         try:
             error = future.exception()
             if error is not None:
-                ship_error(task_id, error)
+                ship_error(task_id, error, spans)
                 return
             if faults.ACTIVE is not None:
                 faults.ACTIVE.fire("worker.ship", worker=index, task=task_id)
@@ -230,16 +241,17 @@ def _worker_main(
                                 result.dtype.str,
                                 result.shape,
                                 result.nbytes,
+                                spans,
                             )
                         )
                         return
-                    connection.send(("result_p", task_id, pickle.dumps(result)))
+                    connection.send(("result_p", task_id, pickle.dumps(result), spans))
                 return
             with send_lock:
-                connection.send(("result_p", task_id, pickle.dumps(result)))
+                connection.send(("result_p", task_id, pickle.dumps(result), spans))
         except Exception as error:
             try:
-                ship_error(task_id, error)
+                ship_error(task_id, error, spans)
             except Exception:
                 pass  # pipe gone: the parent's EOF handling takes over
 
@@ -271,7 +283,14 @@ def _worker_main(
     ).start()
 
     def handle_submit(message, pickled: bool) -> None:
-        _, task_id, plan_id, semiring_name, dimensions, payload, remaining = message
+        _, task_id, plan_id, semiring_name, dimensions, payload, remaining, trace_wire = (
+            message
+        )
+        trace_context = None
+        if trace_wire is not None:
+            from repro.obs.trace import TraceContext
+
+            trace_context = TraceContext(trace_wire[0], trace_wire[1])
         failure: Optional[BaseException] = None
         matrices: Dict[str, Any] = {}
         if pickled:
@@ -346,8 +365,12 @@ def _worker_main(
             except Exception as error:
                 ship_error(task_id, error)
                 return
-        future = engine.submit_compiled(plan, instance, deadline=remaining)
-        future.add_done_callback(lambda finished, tid=task_id: ship(tid, finished))
+        future = engine.submit_compiled(
+            plan, instance, deadline=remaining, trace=trace_context
+        )
+        future.add_done_callback(
+            lambda finished, tid=task_id, ctx=trace_context: ship(tid, finished, ctx)
+        )
 
     profiler_state: Callable[[], Any] = lambda: (
         engine._profiler.state() if engine._profiler is not None else None
@@ -413,6 +436,8 @@ class _Task:
         "cost",
         "rescued",
         "probe",
+        "trace",
+        "sent_at",
     )
 
     def __init__(
@@ -425,6 +450,7 @@ class _Task:
         submitted_at,
         deadline_at=None,
         cost=0.0,
+        trace=None,
     ):
         self.task_id = task_id
         self.plan = plan
@@ -441,6 +467,11 @@ class _Task:
         self.rescued = False
         #: Whether this task is a half-open circuit-breaker probe.
         self.probe = False
+        #: Router-side :class:`~repro.obs.trace.TraceContext` when sampled.
+        self.trace = trace
+        #: ``perf_counter`` at the last successful send (the "worker" span
+        #: of a traced task runs from here to its reply).
+        self.sent_at = 0.0
 
     def remaining(self) -> Optional[float]:
         """Seconds left before the deadline (the wire representation)."""
@@ -776,31 +807,31 @@ class WorkerPool:
                 return
             kind = message[0]
             if kind == "result":
-                _, task_id, dtype_str, shape, nbytes = message
+                _, task_id, dtype_str, shape, nbytes, spans = message
                 array = np.empty(shape, dtype=np.dtype(dtype_str))
                 try:
                     handle.result_ring.read_into(
                         array.reshape(-1).view(np.uint8).data
                     )
                 except Exception as error:
-                    self._complete(handle, task_id, None, error)
+                    self._complete(handle, task_id, None, error, spans)
                     continue
-                self._complete(handle, task_id, array, None)
+                self._complete(handle, task_id, array, None, spans)
             elif kind == "result_p":
-                _, task_id, payload = message
+                _, task_id, payload, spans = message
                 try:
                     result = pickle.loads(payload)
                 except Exception as error:
-                    self._complete(handle, task_id, None, error)
+                    self._complete(handle, task_id, None, error, spans)
                     continue
-                self._complete(handle, task_id, result, None)
+                self._complete(handle, task_id, result, None, spans)
             elif kind == "error":
-                _, task_id, payload = message
+                _, task_id, payload, spans = message
                 try:
                     error = pickle.loads(payload)
                 except Exception:
                     error = RuntimeError("worker reported an undecodable error")
-                self._complete(handle, task_id, None, error)
+                self._complete(handle, task_id, None, error, spans)
             elif kind == "heartbeat":
                 handle.last_heartbeat = time.monotonic()
                 state = message[2]
@@ -814,11 +845,23 @@ class WorkerPool:
                 if kind == "stopped":
                     return
 
-    def _complete(self, handle, task_id, result, error) -> None:
+    def _complete(self, handle, task_id, result, error, spans=None) -> None:
         with self._lock:
             task = handle.inflight.pop(task_id, None)
         if task is None:
             return  # already rescued onto another worker
+        if task.trace is not None:
+            # The worker span brackets the whole remote leg (send to reply);
+            # the shipped worker-side spans nest inside it on the same
+            # wall-clock axis (system-wide clocks survive the fork).
+            if spans:
+                task.trace.ingest_state(spans)
+            if task.sent_at:
+                task.trace.add_perf(
+                    "worker", "serving", task.sent_at,
+                    time.perf_counter() - task.sent_at,
+                    {"worker": handle.index},
+                )
         if task.plan_id is not None:
             # Any reply at all proves the worker survived this plan's task —
             # enough to retire breaker evidence (a half-open probe's success
@@ -936,6 +979,7 @@ class WorkerPool:
         submitted_at,
         deadline_at=None,
         cost=0.0,
+        trace=None,
     ) -> Optional[_Task]:
         """Route one compiled request to its shard; ``None`` when closed."""
         with self._lock:
@@ -951,6 +995,7 @@ class WorkerPool:
                 submitted_at,
                 deadline_at,
                 cost,
+                trace,
             )
         task.plan_id = self._plan_record(plan)[0]
         self._route(task)
@@ -1076,6 +1121,10 @@ class WorkerPool:
                 raise
 
     def _send_task(self, handle, task, plan_id, payload) -> None:
+        ship_started = time.perf_counter()
+        trace_wire = (
+            None if task.trace is None else (task.trace.trace_id, task.trace.label)
+        )
         instance = task.instance
         matrices = instance.matrices
         names = sorted(matrices)
@@ -1130,8 +1179,10 @@ class WorkerPool:
                         dict(instance.dimensions),
                         descriptors,
                         remaining,
+                        trace_wire,
                     )
                 )
+                transport = "shm"
             else:
                 if not handle.alive:
                     # The ring wait aborted because the worker died under
@@ -1147,8 +1198,17 @@ class WorkerPool:
                         dict(instance.dimensions),
                         pickle.dumps({name: matrices[name] for name in names}),
                         remaining,
+                        trace_wire,
                     )
                 )
+                transport = "pickle"
+        if task.trace is not None:
+            sent_at = time.perf_counter()
+            task.sent_at = sent_at
+            task.trace.add_perf(
+                "ship", "serving", ship_started, sent_at - ship_started,
+                {"worker": handle.index, "transport": transport, "bytes": total},
+            )
 
     # ------------------------------------------------------------------
     # Control plane

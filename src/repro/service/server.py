@@ -11,6 +11,9 @@ where the payload is a pickled tuple.  Requests::
     ("query",       expression, instance[, deadline])
     ("query_many",  [(expression, instance[, deadline]), ...])
     ("stats",)
+    ("metrics",)
+    ("worker_stats",)
+    ("hot_plans"[, top])
     ("ping",)
 
 Responses::
@@ -19,6 +22,9 @@ Responses::
     ("results", [("ok", value) | ("error", type_name, message), ...])
     ("error", type_name, message)             the request itself failed
     ("stats", EngineStatsSnapshot)
+    ("metrics", text)                         Prometheus exposition (str)
+    ("worker_stats", [snapshot | None, ...])  per-worker heartbeat snapshots
+    ("hot_plans", [{"plan": ..., ...}, ...])  hottest plans from trace data
     ("pong",)
 
 ``deadline`` is seconds-from-receipt (the engine's ``submit`` deadline);
@@ -200,6 +206,7 @@ class QueryServer:
             )
         self.engine = engine
         self.timeout = timeout
+        self._registry: Any = None  # lazily-built obs MetricsRegistry
         self._listener = socket.create_server((host, port))
         self._listener.settimeout(0.2)  # poll the closed flag while accepting
         self._closed = False
@@ -262,6 +269,19 @@ class QueryServer:
             return ("pong",)
         if kind == "stats":
             return ("stats", self.engine.stats())
+        if kind == "metrics":
+            if self._registry is None:
+                from repro.obs.metrics import engine_registry
+
+                self._registry = engine_registry(self.engine)
+            return ("metrics", self._registry.prometheus())
+        if kind == "worker_stats":
+            return ("worker_stats", self.engine.worker_stats(timeout=2.0))
+        if kind == "hot_plans":
+            top = message[1] if len(message) > 1 else 5
+            tracer = getattr(self.engine, "tracer", None)
+            plans = [] if tracer is None else tracer.hot_plans(top)
+            return ("hot_plans", plans)
         if kind == "query":
             expression, instance = message[1], message[2]
             deadline = message[3] if len(message) > 3 else None
@@ -385,6 +405,33 @@ class QueryClient:
     def stats(self) -> Any:
         response = self._roundtrip(("stats",))
         if response[0] != "stats":
+            raise ProtocolError(f"unexpected response {response[0]!r}")
+        return response[1]
+
+    def metrics(self) -> str:
+        """Prometheus text exposition of the server engine's metrics."""
+        response = self._roundtrip(("metrics",))
+        if response[0] == "error":
+            _raise_remote(response[1], response[2])
+        if response[0] != "metrics":
+            raise ProtocolError(f"unexpected response {response[0]!r}")
+        return response[1]
+
+    def worker_stats(self) -> List[Any]:
+        """Per-worker heartbeat snapshots (empty for single-process engines)."""
+        response = self._roundtrip(("worker_stats",))
+        if response[0] == "error":
+            _raise_remote(response[1], response[2])
+        if response[0] != "worker_stats":
+            raise ProtocolError(f"unexpected response {response[0]!r}")
+        return response[1]
+
+    def hot_plans(self, top: int = 5) -> List[Any]:
+        """Hottest plans by traced kernel time (empty when tracing is off)."""
+        response = self._roundtrip(("hot_plans", top))
+        if response[0] == "error":
+            _raise_remote(response[1], response[2])
+        if response[0] != "hot_plans":
             raise ProtocolError(f"unexpected response {response[0]!r}")
         return response[1]
 

@@ -22,6 +22,12 @@ The derived figures follow the usual serving-layer conventions:
     latencies (submission to result delivery), so a long-lived engine's
     percentiles track current behaviour instead of averaging over its whole
     history.
+
+Every snapshot is anchored to wall-clock time: the stats object captures a
+``(perf_counter, epoch)`` :class:`~repro.obs.clock.ClockAnchor` pair at
+engine start, and stamps each snapshot with ``started_epoch`` /
+``snapshot_epoch`` / ``uptime_seconds`` — so exported metrics and traces
+can say *when* something happened, not just how long it took.
 """
 
 from __future__ import annotations
@@ -31,6 +37,8 @@ import time
 from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Optional, Tuple
+
+from repro.obs.clock import ClockAnchor
 
 __all__ = ["EngineStats", "EngineStatsSnapshot"]
 
@@ -102,6 +110,13 @@ class EngineStatsSnapshot:
     #: Wall-clock seconds spent assembling and executing block-diagonal
     #: sparse batches (group stacking through kernel completion).
     sparse_assembly_seconds: float = 0.0
+    #: Engine start, as seconds since the Unix epoch (wall-clock anchor
+    #: captured when the stats object was created).
+    started_epoch: float = 0.0
+    #: Snapshot capture time, on the same wall-clock axis.
+    snapshot_epoch: float = 0.0
+    #: Seconds between engine start and this snapshot (monotonic).
+    uptime_seconds: float = 0.0
 
     def render(self) -> str:
         """A one-line human-readable summary (used by benchmarks / examples)."""
@@ -167,6 +182,10 @@ class EngineStats:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
+        #: Wall-clock anchor captured at engine start; converts the
+        #: ``perf_counter`` timings everything here is measured with into
+        #: absolute epoch timestamps for snapshots and trace spans.
+        self.anchor = ClockAnchor()
         self._submitted = 0
         self._completed = 0
         self._failed = 0
@@ -355,6 +374,7 @@ class EngineStats:
 
     # -- reader ----------------------------------------------------------
     def snapshot(self) -> EngineStatsSnapshot:
+        now = time.perf_counter()
         with self._lock:
             finished = self._completed + self._failed
             coalesce = (finished / self._dispatches) if self._dispatches else 0.0
@@ -396,4 +416,7 @@ class EngineStats:
                 sparse_batches=self._sparse_batches,
                 sparse_batched_requests=self._sparse_batched_requests,
                 sparse_assembly_seconds=self._sparse_assembly_seconds,
+                started_epoch=self.anchor.epoch,
+                snapshot_epoch=self.anchor.epoch_of(now),
+                uptime_seconds=max(0.0, now - self.anchor.monotonic),
             )
